@@ -1,0 +1,117 @@
+// E11 — the "XPath Evaluations" property as throughput: label-only axis
+// predicate evaluation (ancestor / parent / document order) per scheme,
+// measured with google-benchmark over a 2000-node document.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+
+namespace {
+
+using namespace xmlup;
+using xml::NodeId;
+
+struct Fixture {
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  std::unique_ptr<core::LabeledDocument> doc;
+  std::vector<NodeId> nodes;
+};
+
+Fixture MakeFixture(const std::string& scheme_name) {
+  Fixture f;
+  auto scheme = labels::CreateScheme(scheme_name);
+  if (!scheme.ok()) return f;
+  f.scheme = std::move(*scheme);
+  workload::DocumentShape shape;
+  shape.target_nodes = 2000;
+  shape.seed = 13;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return f;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), f.scheme.get());
+  if (!doc.ok()) return f;
+  f.doc = std::make_unique<core::LabeledDocument>(std::move(*doc));
+  f.nodes = f.doc->tree().PreorderNodes();
+  return f;
+}
+
+void BM_AncestorPredicate(benchmark::State& state,
+                          const std::string& scheme_name) {
+  Fixture f = MakeFixture(scheme_name);
+  if (f.doc == nullptr) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  size_t i = 0, j = f.nodes.size() / 2;
+  for (auto _ : state) {
+    i = (i + 1) % f.nodes.size();
+    j = (j + 7) % f.nodes.size();
+    benchmark::DoNotOptimize(f.scheme->IsAncestor(
+        f.doc->label(f.nodes[i]), f.doc->label(f.nodes[j])));
+  }
+}
+
+void BM_OrderComparison(benchmark::State& state,
+                        const std::string& scheme_name) {
+  Fixture f = MakeFixture(scheme_name);
+  if (f.doc == nullptr) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  size_t i = 0, j = f.nodes.size() / 3;
+  for (auto _ : state) {
+    i = (i + 1) % f.nodes.size();
+    j = (j + 11) % f.nodes.size();
+    benchmark::DoNotOptimize(f.scheme->Compare(f.doc->label(f.nodes[i]),
+                                               f.doc->label(f.nodes[j])));
+  }
+}
+
+void BM_ParentPredicate(benchmark::State& state,
+                        const std::string& scheme_name) {
+  Fixture f = MakeFixture(scheme_name);
+  if (f.doc == nullptr || !f.scheme->traits().supports_parent) {
+    state.SkipWithError("parent evaluation unsupported");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    i = (i + 1) % f.nodes.size();
+    NodeId parent = f.doc->tree().parent(f.nodes[i]);
+    if (parent == xml::kInvalidNode) parent = f.nodes[i];
+    benchmark::DoNotOptimize(f.scheme->IsParent(f.doc->label(parent),
+                                                f.doc->label(f.nodes[i])));
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& name : labels::AllSchemeNames()) {
+    benchmark::RegisterBenchmark(("ancestor/" + name).c_str(),
+                                 BM_AncestorPredicate, name)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("order/" + name).c_str(),
+                                 BM_OrderComparison, name)
+        ->MinTime(0.05);
+    auto scheme = labels::CreateScheme(name);
+    if (scheme.ok() && (*scheme)->traits().supports_parent) {
+      benchmark::RegisterBenchmark(("parent/" + name).c_str(),
+                                   BM_ParentPredicate, name)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E1 — Figure 1: the sample XML file in textual format (1a) and its
+// preorder/postorder labelled tree representation (1b).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xmlup;
+
+  printf("=== Figure 1(a): the sample XML file ===\n\n");
+  xml::Tree tree = workload::SampleBookDocument();
+  xml::SerializeOptions pretty;
+  pretty.pretty = true;
+  printf("%s\n", xml::SerializeDocument(tree, pretty).value().c_str());
+
+  printf("=== Figure 1(b): preorder/postorder labelled tree ===\n\n");
+  auto scheme = labels::CreateScheme("xpath-accelerator");
+  if (!scheme.ok()) {
+    fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = core::LabeledDocument::Build(workload::SampleBookDocument(),
+                                          scheme->get());
+  if (!doc.ok()) {
+    fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  bench::PrintLabeledTree(*doc);
+
+  printf("\nAncestor test via Dietz's pre/post containment: "
+         "book is an ancestor of name: %s\n",
+         (*scheme)->IsAncestor(
+             doc->label(doc->tree().root()),
+             doc->label(doc->tree().PreorderNodes()[8]))
+             ? "yes"
+             : "no");
+  return 0;
+}

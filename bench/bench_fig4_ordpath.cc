@@ -1,0 +1,62 @@
+// E4 — Figure 4: the ORDPATH labelled XML tree with the figure's three
+// insertions: right of all children (1.3.3), left of all children
+// (1.1.-1) and careting-in between two consecutive nodes (1.5.2.1).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "xml/tree.h"
+
+int main() {
+  using namespace xmlup;
+  using xml::NodeId;
+  using xml::NodeKind;
+
+  auto scheme = labels::CreateScheme("ordpath");
+  if (!scheme.ok()) return 1;
+
+  xml::Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "n1").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "n3").value();
+  NodeId c = tree.AppendChild(root, NodeKind::kElement, "n5").value();
+  NodeId a1 = tree.AppendChild(a, NodeKind::kElement, "n1.1").value();
+  tree.AppendChild(b, NodeKind::kElement, "n3.1").value();
+  tree.AppendChild(c, NodeKind::kElement, "n5.1").value();
+  NodeId c2 = tree.AppendChild(c, NodeKind::kElement, "n5.3").value();
+
+  auto doc = core::LabeledDocument::Build(std::move(tree), scheme->get());
+  if (!doc.ok()) return 1;
+
+  printf("=== Figure 4: ORDPATH labelled XML tree ===\n\n");
+  bench::PrintLabeledTree(*doc);
+
+  printf("\n--- The figure's insertions (grey nodes) ---\n\n");
+  core::UpdateStats stats;
+  size_t total_relabels = 0;
+  // Right of all children of n3 -> 3.3.
+  auto right = doc->InsertNode(b, NodeKind::kElement, "right", "",
+                               xml::kInvalidNode, &stats);
+  if (!right.ok()) return 1;
+  total_relabels += stats.relabeled;
+  // Left of all children of n1 -> 1.-1.
+  auto left = doc->InsertNode(a, NodeKind::kElement, "left", "", a1, &stats);
+  if (!left.ok()) return 1;
+  total_relabels += stats.relabeled;
+  // Between 5.1 and 5.3 -> careting-in gives 5.2.1.
+  auto caret =
+      doc->InsertNode(c, NodeKind::kElement, "caret", "", c2, &stats);
+  if (!caret.ok()) return 1;
+  total_relabels += stats.relabeled;
+
+  bench::PrintLabeledTree(*doc);
+  printf("\nexisting nodes relabelled by the three insertions: %zu "
+         "(ORDPATH inserts without relabelling)\n",
+         total_relabels);
+  printf("level of the careted node %s (odd components only): %d\n",
+         doc->scheme().Render(doc->label(*caret)).c_str(),
+         doc->scheme().Level(doc->label(*caret)).value());
+  return 0;
+}

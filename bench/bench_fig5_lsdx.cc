@@ -1,0 +1,64 @@
+// E5 — Figure 5: the LSDX labelled XML tree with the figure's insertions
+// (2ab.ab, 2ac.c, 2ad.bb), plus the labelling collision documented by
+// Sans & Laurent that makes LSDX unsuitable as a dynamic scheme (§3.1.2).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "xml/tree.h"
+
+int main() {
+  using namespace xmlup;
+  using xml::NodeId;
+  using xml::NodeKind;
+
+  auto scheme = labels::CreateScheme("lsdx");
+  if (!scheme.ok()) return 1;
+
+  xml::Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "x").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "y").value();
+  NodeId c = tree.AppendChild(root, NodeKind::kElement, "z").value();
+  NodeId a1 = tree.AppendChild(a, NodeKind::kElement, "x1").value();
+  tree.AppendChild(a, NodeKind::kElement, "x2").value();
+  tree.AppendChild(b, NodeKind::kElement, "y1").value();
+  tree.AppendChild(c, NodeKind::kElement, "z1").value();
+  NodeId c2 = tree.AppendChild(c, NodeKind::kElement, "z2").value();
+  tree.AppendChild(c, NodeKind::kElement, "z3").value();
+
+  auto doc = core::LabeledDocument::Build(std::move(tree), scheme->get());
+  if (!doc.ok()) return 1;
+
+  printf("=== Figure 5: LSDX labelled XML tree ===\n\n");
+  bench::PrintLabeledTree(*doc);
+
+  printf("\n--- The figure's insertions (grey nodes) ---\n\n");
+  // Before the first child of x -> 2ab.ab.
+  if (!doc->InsertNode(a, NodeKind::kElement, "before", "", a1).ok()) return 1;
+  // After the last child of y -> 2ac.c.
+  if (!doc->InsertNode(b, NodeKind::kElement, "after", "").ok()) return 1;
+  // Between the first two children of z -> 2ad.bb.
+  if (!doc->InsertNode(c, NodeKind::kElement, "between", "", c2).ok()) {
+    return 1;
+  }
+  bench::PrintLabeledTree(*doc);
+
+  printf("\n--- The documented LSDX collision (Sans & Laurent) ---\n\n");
+  // Insert between x1 ("b") and the "bb" node created between x1 and x2.
+  auto mid = doc->InsertNode(a, NodeKind::kElement, "m1", "",
+                             doc->tree().next_sibling(a1));
+  if (!mid.ok()) return 1;
+  auto dup = doc->InsertNode(a, NodeKind::kElement, "m2", "", *mid);
+  if (!dup.ok()) return 1;
+  printf("inserting between 'b' and 'bb' produced: %s and %s\n",
+         doc->scheme().Render(doc->label(*mid)).c_str(),
+         doc->scheme().Render(doc->label(*dup)).c_str());
+  auto integrity = doc->VerifyOrderAndUniqueness();
+  printf("uniqueness check: %s\n", integrity.ok()
+                                       ? "ok (unexpected!)"
+                                       : integrity.message().c_str());
+  return 0;
+}

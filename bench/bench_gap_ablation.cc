@@ -1,0 +1,98 @@
+// E9 ablation — §3.1.1's gap extensions: "permit gaps ... to facilitate
+// future insertions gracefully. However, these solutions serve to
+// increase the label size through the sparse allocation of labels and
+// only postpone the relabelling process until the interval gaps have been
+// consumed."
+//
+// Compares plain pre/post against the gapped variant across gap widths:
+// relabels per insertion, overflow (renumber) passes, and the label-size
+// price of sparse allocation.
+
+#include <cstdio>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace {
+
+using namespace xmlup;
+using xml::NodeKind;
+
+struct Row {
+  uint64_t relabels = 0;
+  uint64_t renumber_passes = 0;
+  double avg_bits = 0;
+};
+
+bool Run(const std::string& scheme_name, uint64_t gap, size_t inserts,
+         Row* row) {
+  labels::SchemeOptions options;
+  options.prepost_gap = gap;
+  auto scheme = labels::CreateScheme(scheme_name, options);
+  if (!scheme.ok()) return false;
+  workload::DocumentShape shape;
+  shape.target_nodes = 400;
+  shape.seed = 55;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return false;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  if (!doc.ok()) return false;
+  (*scheme)->ResetCounters();
+  workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 56);
+  for (size_t i = 0; i < inserts; ++i) {
+    auto pos = planner.Next(doc->tree());
+    if (!pos.ok()) return false;
+    auto node = doc->InsertNode(pos->parent, NodeKind::kElement, "u", "",
+                                pos->before);
+    if (!node.ok()) return false;
+  }
+  row->relabels = (*scheme)->counters().relabels;
+  row->renumber_passes = (*scheme)->counters().overflows;
+  row->avg_bits = doc->AverageLabelBits();
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kInserts = 500;
+  printf("=== E9 ablation: plain vs gapped pre/post, %zu random "
+         "insertions on a 400-node document ===\n\n",
+         kInserts);
+  printf("%-26s %12s %12s %14s %12s\n", "variant", "relabels",
+         "renumbers", "relabels/ins", "bits/label");
+
+  Row plain;
+  if (Run("xpath-accelerator", 0, kInserts, &plain)) {
+    printf("%-26s %12llu %12llu %14.2f %12.0f\n", "pre/post (plain)",
+           static_cast<unsigned long long>(plain.relabels),
+           static_cast<unsigned long long>(plain.renumber_passes),
+           static_cast<double>(plain.relabels) / kInserts, plain.avg_bits);
+  }
+  for (uint64_t gap : {16ULL, 256ULL, 1ULL << 12, 1ULL << 20}) {
+    Row row;
+    if (!Run("prepost-gap", gap, kInserts, &row)) continue;
+    std::string name = "pre/post gap=" + std::to_string(gap);
+    printf("%-26s %12llu %12llu %14.2f %12.0f\n", name.c_str(),
+           static_cast<unsigned long long>(row.relabels),
+           static_cast<unsigned long long>(row.renumber_passes),
+           static_cast<double>(row.relabels) / kInserts, row.avg_bits);
+  }
+  Row dietz;
+  if (Run("dietz-om", 0, kInserts, &dietz)) {
+    printf("%-26s %12llu %12llu %14.2f %12.0f\n",
+           "Dietz order-maintenance",
+           static_cast<unsigned long long>(dietz.relabels),
+           static_cast<unsigned long long>(dietz.renumber_passes),
+           static_cast<double>(dietz.relabels) / kInserts, dietz.avg_bits);
+  }
+  printf("\nThe relabelling spectrum: plain pre/post renumbers the "
+         "document per insert; gaps postpone\nthe global pass (§3.1.1: "
+         "\"only postpone the relabelling\"); Dietz's order-maintenance\n"
+         "structure [6] localises it to a tag window — all at the price "
+         "of 144-bit sparse labels.\n");
+  return 0;
+}

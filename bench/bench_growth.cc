@@ -1,0 +1,108 @@
+// E8 — label size growth under the survey's three update scenarios
+// (frequent random, frequent uniform, skewed frequent insertions, §5.1),
+// reproducing the §3.1.2 claims: under skewed insertions the Vector
+// scheme's label growth is much slower than QED's; ORDPATH and
+// ImprovedBinary grow a bit per insertion at a fixed position; DeweyID
+// stays small only by relabelling.
+//
+// For every dynamic scheme and N in {250, 1000, 4000} insertions, prints
+// the average label bits after the batch, the peak bits of any inserted
+// label, and the number of relabelled nodes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace {
+
+using namespace xmlup;
+using workload::InsertPattern;
+using xml::NodeId;
+using xml::NodeKind;
+
+struct Row {
+  size_t inserts = 0;
+  double avg_bits = 0;
+  size_t peak_inserted_bits = 0;
+  uint64_t relabels = 0;
+  bool exhausted = false;
+};
+
+bool RunBatch(const std::string& scheme_name, InsertPattern pattern,
+              size_t inserts, Row* row) {
+  auto scheme = labels::CreateScheme(scheme_name);
+  if (!scheme.ok()) return false;
+  workload::DocumentShape shape;
+  shape.target_nodes = 500;
+  shape.seed = 77;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return false;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  if (!doc.ok()) return false;
+  (*scheme)->ResetCounters();
+
+  workload::InsertionPlanner planner(pattern, 78);
+  size_t peak = 0;
+  size_t done = 0;
+  for (size_t i = 0; i < inserts; ++i) {
+    auto pos = planner.Next(doc->tree());
+    if (!pos.ok()) return false;
+    auto node = doc->InsertNode(pos->parent, NodeKind::kElement, "u", "",
+                                pos->before);
+    if (!node.ok()) {
+      row->exhausted = true;
+      break;
+    }
+    peak = std::max(peak, (*scheme)->StorageBits(doc->label(*node)));
+    ++done;
+  }
+  row->inserts = done;
+  row->avg_bits = doc->AverageLabelBits();
+  row->peak_inserted_bits = peak;
+  row->relabels = (*scheme)->counters().relabels;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> schemes = {
+      "dewey", "ordpath", "dln",  "lsdx",   "improved-binary",
+      "qed",   "cdqs",    "cdbs", "vector", "dde"};
+  const InsertPattern patterns[] = {InsertPattern::kRandom,
+                                    InsertPattern::kUniform,
+                                    InsertPattern::kSkewedFixed};
+
+  printf("=== E8: label growth under random / uniform / skewed "
+         "insertions ===\n");
+  printf("(500-node base document; avg = bits/label after the batch, peak "
+         "= largest inserted label)\n\n");
+  for (InsertPattern pattern : patterns) {
+    printf("--- pattern: %s ---\n",
+           std::string(workload::InsertPatternName(pattern)).c_str());
+    printf("%-18s %10s %10s %10s %10s %10s\n", "scheme", "inserts", "avg",
+           "peak", "relabels", "status");
+    for (const std::string& scheme : schemes) {
+      for (size_t n : {250u, 1000u, 4000u}) {
+        Row row;
+        if (!RunBatch(scheme, pattern, n, &row)) {
+          printf("%-18s %10zu %10s\n", scheme.c_str(), n, "ERROR");
+          continue;
+        }
+        printf("%-18s %10zu %10.1f %10zu %10llu %10s\n", scheme.c_str(),
+               row.inserts, row.avg_bits, row.peak_inserted_bits,
+               static_cast<unsigned long long>(row.relabels),
+               row.exhausted ? "exhausted" : "ok");
+      }
+    }
+    printf("\n");
+  }
+  printf("Headline (paper §3.1.2): compare 'vector' vs 'qed' peak bits "
+         "under the skewed pattern.\n");
+  return 0;
+}

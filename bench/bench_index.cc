@@ -1,0 +1,105 @@
+// Label-index acceleration: the "rectangular region query in the
+// pre/post plane" (Grust) generalised — descendant retrieval by full
+// label scan vs. by ordered-index range scan, across document sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/axis_evaluator.h"
+#include "core/label_index.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+
+namespace {
+
+using namespace xmlup;
+using xml::NodeId;
+
+struct Fixture {
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  std::unique_ptr<core::LabeledDocument> doc;
+  std::unique_ptr<core::LabelIndex> index;
+  std::vector<NodeId> targets;  // Mid-size subtree roots to query.
+};
+
+Fixture MakeFixture(const std::string& scheme_name, size_t nodes) {
+  Fixture f;
+  auto scheme = labels::CreateScheme(scheme_name);
+  if (!scheme.ok()) return f;
+  f.scheme = std::move(*scheme);
+  workload::DocumentShape shape;
+  shape.target_nodes = nodes;
+  shape.seed = 29;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return f;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), f.scheme.get());
+  if (!doc.ok()) return f;
+  f.doc = std::make_unique<core::LabeledDocument>(std::move(*doc));
+  auto index = core::LabelIndex::Build(f.doc.get());
+  if (!index.ok()) return f;
+  f.index = std::make_unique<core::LabelIndex>(std::move(*index));
+  for (NodeId n : f.doc->tree().PreorderNodes()) {
+    size_t kids = f.doc->tree().ChildCount(n);
+    if (kids >= 2 && kids <= 12) f.targets.push_back(n);
+  }
+  return f;
+}
+
+void BM_DescendantsByScan(benchmark::State& state,
+                          const std::string& scheme_name) {
+  Fixture f = MakeFixture(scheme_name, static_cast<size_t>(state.range(0)));
+  if (f.doc == nullptr || f.targets.empty()) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  core::AxisEvaluator eval(f.doc.get());
+  size_t i = 0;
+  for (auto _ : state) {
+    i = (i + 1) % f.targets.size();
+    benchmark::DoNotOptimize(eval.Descendants(f.targets[i]));
+  }
+}
+
+void BM_DescendantsByIndex(benchmark::State& state,
+                           const std::string& scheme_name) {
+  Fixture f = MakeFixture(scheme_name, static_cast<size_t>(state.range(0)));
+  if (f.index == nullptr || f.targets.empty()) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    i = (i + 1) % f.targets.size();
+    benchmark::DoNotOptimize(f.index->Descendants(f.targets[i]));
+  }
+}
+
+void RegisterAll() {
+  for (const std::string& name :
+       {std::string("xpath-accelerator"), std::string("qed"),
+        std::string("vector")}) {
+    benchmark::RegisterBenchmark(("descendants_scan/" + name).c_str(),
+                                 BM_DescendantsByScan, name)
+        ->MinTime(0.05)
+        ->Arg(1000)
+        ->Arg(10000);
+    benchmark::RegisterBenchmark(("descendants_index/" + name).c_str(),
+                                 BM_DescendantsByIndex, name)
+        ->MinTime(0.05)
+        ->Arg(1000)
+        ->Arg(10000);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E12 — initial labelling cost across schemes and document sizes,
+// exercising the "Recursive Labelling Algorithm" column: single-pass
+// schemes (pre/post, DeweyID, ORDPATH, ...) vs the recursive assignment
+// algorithms (ImprovedBinary, QED, CDQS, Vector, Sector).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+
+namespace {
+
+using namespace xmlup;
+
+void BM_LabelTree(benchmark::State& state, const std::string& scheme_name) {
+  auto scheme = labels::CreateScheme(scheme_name);
+  if (!scheme.ok()) {
+    state.SkipWithError("unknown scheme");
+    return;
+  }
+  workload::DocumentShape shape;
+  shape.target_nodes = static_cast<size_t>(state.range(0));
+  shape.seed = 19;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  std::vector<labels::Label> labels;
+  for (auto _ : state) {
+    auto status = (*scheme)->LabelTree(*tree, &labels);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tree->node_count()));
+  state.counters["recursive_calls"] = static_cast<double>(
+      (*scheme)->counters().recursive_calls / state.iterations());
+  state.counters["divisions"] = static_cast<double>(
+      (*scheme)->counters().divisions / state.iterations());
+}
+
+void RegisterAll() {
+  for (const std::string& name : labels::AllSchemeNames()) {
+    auto* bench = benchmark::RegisterBenchmark(("label_tree/" + name).c_str(),
+                                               BM_LabelTree, name);
+    bench->MinTime(0.05)->Arg(1000)->Arg(10000);
+    if (name != "prime") bench->Arg(50000);  // Prime products get large.
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E10 — the overflow problem (§4): under tightened encoding budgets,
+// fixed-length schemes (DLN, CDBS) and variable-length schemes with a
+// stored size (ORDPATH, ImprovedBinary, LSDX) are driven into
+// overflow-forced relabelling by adversarial insertion streams, while the
+// separator-based quaternary schemes (QED, CDQS) and the Vector scheme
+// never relabel.
+
+#include <cstdio>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace {
+
+using namespace xmlup;
+using workload::InsertPattern;
+using xml::NodeId;
+using xml::NodeKind;
+
+struct Outcome {
+  size_t inserts = 0;
+  uint64_t overflows = 0;
+  uint64_t relabels = 0;
+  size_t first_overflow_at = 0;
+  bool hard_stop = false;
+};
+
+bool Run(const std::string& name, const labels::SchemeOptions& options,
+         Outcome* out) {
+  auto scheme = labels::CreateScheme(name, options);
+  if (!scheme.ok()) return false;
+  workload::DocumentShape shape;
+  shape.target_nodes = 150;
+  shape.seed = 21;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return false;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  if (!doc.ok()) return false;
+  (*scheme)->ResetCounters();
+
+  NodeId root = doc->tree().root();
+  NodeId right = doc->tree().next_sibling(doc->tree().first_child(root));
+  common::SplitMix64 rng(5);
+  for (size_t i = 0; i < 600; ++i) {
+    // Alternating bisection: the §4 adversary.
+    auto node = doc->InsertNode(root, NodeKind::kElement, "u", "", right);
+    if (!node.ok()) {
+      out->hard_stop = true;
+      break;
+    }
+    if (rng.NextBool(0.5)) right = *node;
+    ++out->inserts;
+    if (out->first_overflow_at == 0 &&
+        (*scheme)->counters().overflows > 0) {
+      out->first_overflow_at = out->inserts;
+    }
+  }
+  out->overflows = (*scheme)->counters().overflows;
+  out->relabels = (*scheme)->counters().relabels;
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  labels::SchemeOptions tight;
+  tight.improved_binary_length_field_bits = 6;
+  tight.cdbs_slot_bits = 24;
+  tight.dln_max_components = 6;
+  tight.ordpath_max_code_bits = 128;
+  tight.lsdx_length_field_bits = 5;
+  tight.prime_order_gap = 8;
+
+  printf("=== E10: the overflow problem under tightened budgets "
+         "(600 bisection insertions) ===\n\n");
+  printf("%-18s %10s %12s %12s %16s %10s\n", "scheme", "inserts",
+         "overflows", "relabels", "first overflow", "hard stop");
+  for (const std::string& name : labels::AllSchemeNames()) {
+    Outcome out;
+    if (!Run(name, tight, &out)) {
+      printf("%-18s ERROR\n", name.c_str());
+      continue;
+    }
+    printf("%-18s %10zu %12llu %12llu %16zu %10s\n", name.c_str(),
+           out.inserts, static_cast<unsigned long long>(out.overflows),
+           static_cast<unsigned long long>(out.relabels),
+           out.first_overflow_at, out.hard_stop ? "yes" : "no");
+  }
+  printf("\nQED / CDQS avoid overflow entirely via the 2-bit separator.\n"
+         "Every length-field or fixed-width scheme is forced to relabel "
+         "(§4).\nVector survives the paper's skewed scenario unboundedly "
+         "(mediant addition grows components\nlinearly), but deep "
+         "*bisection* grows components like Fibonacci numbers and exhausts "
+         "64-bit\nstorage — mirroring the survey's question about how the "
+         "scheme handles large integers.\n");
+  return 0;
+}

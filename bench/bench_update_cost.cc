@@ -1,0 +1,81 @@
+// E9 timing counterpart: wall-clock cost per insertion for every scheme
+// (the survey's "update costs" dimension). Relabelling schemes pay per
+// insertion; persistent schemes pay only the code computation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace {
+
+using namespace xmlup;
+using xml::NodeId;
+using xml::NodeKind;
+
+void BM_RandomInsert(benchmark::State& state,
+                     const std::string& scheme_name) {
+  auto scheme = labels::CreateScheme(scheme_name);
+  if (!scheme.ok()) {
+    state.SkipWithError("unknown scheme");
+    return;
+  }
+  workload::DocumentShape shape;
+  shape.target_nodes = 1000;
+  shape.seed = 47;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  if (!doc.ok()) {
+    state.SkipWithError("labelling failed");
+    return;
+  }
+  workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 48);
+  size_t relabels = 0;
+  for (auto _ : state) {
+    auto pos = planner.Next(doc->tree());
+    if (!pos.ok()) {
+      state.SkipWithError("planner failed");
+      return;
+    }
+    core::UpdateStats stats;
+    auto node = doc->InsertNode(pos->parent, NodeKind::kElement, "u", "",
+                                pos->before, &stats);
+    if (!node.ok()) {
+      state.SkipWithError(node.status().ToString().c_str());
+      return;
+    }
+    relabels += stats.relabeled;
+  }
+  state.counters["relabels_per_insert"] =
+      state.iterations() > 0
+          ? static_cast<double>(relabels) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+}
+
+void RegisterAll() {
+  for (const std::string& name : labels::AllSchemeNames()) {
+    benchmark::RegisterBenchmark(("insert/" + name).c_str(),
+                                 BM_RandomInsert, name)
+        ->MinTime(0.05);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,29 @@
+#ifndef XMLUP_BENCH_BENCH_UTIL_H_
+#define XMLUP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/labeled_document.h"
+
+namespace xmlup::bench {
+
+/// Prints the labelled tree as an indented listing: one node per line with
+/// its rendered label — the textual equivalent of the paper's tree
+/// figures.
+inline void PrintLabeledTree(const core::LabeledDocument& doc) {
+  for (xml::NodeId n : doc.tree().PreorderNodes()) {
+    int depth = doc.tree().Depth(n);
+    std::string name = doc.tree().name(n);
+    if (name.empty()) {
+      name.push_back('#');
+      name.append(xml::NodeKindName(doc.tree().kind(n)));
+    }
+    printf("%*s%-12s %s\n", depth * 2, "", name.c_str(),
+           doc.scheme().Render(doc.label(n)).c_str());
+  }
+}
+
+}  // namespace xmlup::bench
+
+#endif  // XMLUP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// XPath query throughput over the labelled document: the practical face
+// of the paper's §2 motivation. Measures representative queries in
+// label-evaluation mode for a full-support scheme (QED) and a containment
+// scheme (XPath Accelerator), against the tree-walking baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "xpath/evaluator.h"
+
+namespace {
+
+using namespace xmlup;
+
+struct Fixture {
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  std::unique_ptr<core::LabeledDocument> doc;
+};
+
+Fixture MakeFixture(const std::string& scheme_name) {
+  Fixture f;
+  auto scheme = labels::CreateScheme(scheme_name);
+  if (!scheme.ok()) return f;
+  f.scheme = std::move(*scheme);
+  workload::DocumentShape shape;
+  shape.target_nodes = 1500;
+  shape.seed = 37;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return f;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), f.scheme.get());
+  if (!doc.ok()) return f;
+  f.doc = std::make_unique<core::LabeledDocument>(std::move(*doc));
+  return f;
+}
+
+void BM_Query(benchmark::State& state, const std::string& scheme_name,
+              xpath::EvalMode mode, const std::string& query) {
+  Fixture f = MakeFixture(scheme_name);
+  if (f.doc == nullptr) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  xpath::XPathEvaluator eval(f.doc.get(), mode);
+  // Fail fast if the query is unsupported for this scheme/mode.
+  auto probe = eval.Query(query);
+  if (!probe.ok()) {
+    state.SkipWithError(probe.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Query(query));
+  }
+  state.counters["result_nodes"] = static_cast<double>(probe->size());
+}
+
+void RegisterAll() {
+  struct QueryCase {
+    const char* name;
+    const char* query;
+  };
+  const QueryCase queries[] = {
+      {"descendant_name", "descendant::item"},
+      {"deep_path", "//record/ancestor::*"},
+      {"predicate", "//item[@id]"},
+  };
+  for (const QueryCase& q : queries) {
+    benchmark::RegisterBenchmark(
+        (std::string("labels/qed/") + q.name).c_str(), BM_Query, "qed",
+        xpath::EvalMode::kLabels, q.query)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        (std::string("labels/prepost/") + q.name).c_str(), BM_Query,
+        "xpath-accelerator", xpath::EvalMode::kLabels, q.query)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        (std::string("tree-baseline/") + q.name).c_str(), BM_Query, "qed",
+        xpath::EvalMode::kTree, q.query)
+        ->MinTime(0.05);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

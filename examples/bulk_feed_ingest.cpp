@@ -1,0 +1,104 @@
+// §5.2 scenario 2: "an XML repository that is expected to consume very
+// large documents on a regular basis may consider a labelling scheme that
+// is not subject to the overflow problem."
+//
+// This example simulates a news-feed repository: a large base document
+// ingests a continuous stream of appended entries plus skewed editorial
+// insertions. A fixed-width scheme (DLN, small budget) is driven into
+// repeated overflow relabelling passes, while QED absorbs the same stream
+// without touching an existing label.
+
+#include <cstdio>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace {
+
+using namespace xmlup;
+using xml::NodeId;
+using xml::NodeKind;
+
+struct IngestReport {
+  size_t ingested = 0;
+  uint64_t overflow_passes = 0;
+  uint64_t labels_rewritten = 0;
+  double avg_bits = 0;
+  bool exhausted = false;
+};
+
+bool Ingest(const std::string& scheme_name,
+            const labels::SchemeOptions& options, IngestReport* report) {
+  auto scheme = labels::CreateScheme(scheme_name, options);
+  if (!scheme.ok()) return false;
+  workload::DocumentShape shape;
+  shape.target_nodes = 2000;
+  shape.max_depth = 4;
+  shape.max_fanout = 12;
+  shape.seed = 101;
+  auto tree = workload::GenerateDocument(shape);
+  if (!tree.ok()) return false;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  if (!doc.ok()) return false;
+  (*scheme)->ResetCounters();
+
+  // The feed: 1500 appended entries at the feed element, with a 20%
+  // mixture of skewed editorial inserts near the front.
+  NodeId feed = doc->tree().first_child(doc->tree().root());
+  workload::InsertionPlanner editorial(
+      workload::InsertPattern::kSkewedFixed, 7);
+  for (size_t i = 0; i < 1500; ++i) {
+    common::Result<NodeId> node(common::Status::Internal("unset"));
+    if (i % 5 == 4) {
+      auto pos = editorial.Next(doc->tree());
+      if (!pos.ok()) return false;
+      node = doc->InsertNode(pos->parent, NodeKind::kElement, "edit", "",
+                             pos->before);
+    } else {
+      std::string value = "e";
+      value += std::to_string(i);
+      node = doc->InsertNode(feed, NodeKind::kElement, "entry",
+                             std::move(value));
+    }
+    if (!node.ok()) {
+      report->exhausted = true;
+      break;
+    }
+    ++report->ingested;
+  }
+  report->overflow_passes = (*scheme)->counters().overflows;
+  report->labels_rewritten = (*scheme)->counters().relabels;
+  report->avg_bits = doc->AverageLabelBits();
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Bulk feed ingest: why §5.2 prescribes overflow-free schemes "
+         "===\n\n");
+  labels::SchemeOptions options;
+  options.dln_max_components = 8;  // DLN's fixed label size.
+
+  printf("%-10s %10s %16s %18s %10s\n", "scheme", "ingested",
+         "overflow passes", "labels rewritten", "bits/label");
+  for (const char* scheme : {"dln", "cdbs", "qed", "cdqs", "vector"}) {
+    IngestReport report;
+    if (!Ingest(scheme, options, &report)) {
+      printf("%-10s ERROR\n", scheme);
+      return 1;
+    }
+    printf("%-10s %10zu %16llu %18llu %10.1f%s\n", scheme, report.ingested,
+           static_cast<unsigned long long>(report.overflow_passes),
+           static_cast<unsigned long long>(report.labels_rewritten),
+           report.avg_bits, report.exhausted ? "  (exhausted)" : "");
+  }
+  printf("\nThe fixed-width schemes fail on a pure ingest workload — DLN "
+         "exhausts its fixed label\nsize outright, CDBS pays repeated "
+         "relabelling passes — while the separator-encoded\nquaternary "
+         "schemes and the vector scheme never rewrite a label.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: parse a document, label it with a dynamic scheme, apply
+// structural updates without relabelling, and answer XPath axes from the
+// labels alone.
+
+#include <cstdio>
+
+#include "core/axis_evaluator.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xmlup;
+
+  // 1. Parse a textual document into the tree representation (§2.1).
+  const char* text = R"(<library>
+    <book id="b1"><title>Wayfarer</title></book>
+    <book id="b2"><title>Dune</title></book>
+  </library>)";
+  auto tree = xml::ParseDocument(text);
+  if (!tree.ok()) {
+    fprintf(stderr, "parse error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Label it with QED — persistent, overflow-free quaternary codes.
+  auto scheme = labels::CreateScheme("qed");
+  if (!scheme.ok()) return 1;
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  if (!doc.ok()) return 1;
+
+  printf("Initial labels:\n");
+  for (xml::NodeId n : doc->tree().PreorderNodes()) {
+    printf("  %-8s %s\n",
+           doc->tree().name(n).empty() ? doc->tree().value(n).c_str()
+                                       : doc->tree().name(n).c_str(),
+           doc->scheme().Render(doc->label(n)).c_str());
+  }
+
+  // 3. Insert a book between the two existing ones — no relabelling.
+  xml::NodeId second = doc->tree().Children(doc->tree().root())[1];
+  core::UpdateStats stats;
+  auto fresh = doc->InsertNode(doc->tree().root(), xml::NodeKind::kElement,
+                               "book", "", second, &stats);
+  if (!fresh.ok()) return 1;
+  auto title = doc->InsertNode(*fresh, xml::NodeKind::kElement, "title", "");
+  if (!title.ok()) return 1;
+  if (!doc->InsertNode(*title, xml::NodeKind::kText, "", "Hyperion").ok()) {
+    return 1;
+  }
+  printf("\nInserted a book between b1 and b2: label %s, relabelled %zu "
+         "existing nodes\n",
+         doc->scheme().Render(doc->label(*fresh)).c_str(), stats.relabeled);
+
+  // 4. Query axes from labels alone.
+  core::AxisEvaluator axes(&*doc);
+  printf("\nDescendants of the new book (by labels only):\n");
+  for (xml::NodeId n : axes.Descendants(*fresh)) {
+    printf("  %s '%s'\n",
+           std::string(xml::NodeKindName(doc->tree().kind(n))).c_str(),
+           doc->tree().name(n).empty() ? doc->tree().value(n).c_str()
+                                       : doc->tree().name(n).c_str());
+  }
+
+  // 5. Serialise the updated document back to text (§2.3).
+  xml::SerializeOptions pretty;
+  pretty.pretty = true;
+  printf("\nUpdated document:\n%s",
+         xml::SerializeDocument(doc->tree(), pretty).value().c_str());
+  return 0;
+}

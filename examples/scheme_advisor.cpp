@@ -1,0 +1,103 @@
+// The paper's §5.2 use-case as a tool: "the evaluation framework can
+// provide assistance in the selection of a dynamic labelling scheme for
+// an XML repository by enabling the database designer to select the
+// labelling scheme that is most suitable for their requirements."
+//
+// Usage:
+//   scheme_advisor [property...]
+// where each property is one of: persistent, xpath, level, overflow,
+// orthogonal, compact, no-division, no-recursion. With no arguments the
+// advisor scores every scheme by the number of fully satisfied
+// properties (reproducing the paper's conclusion that CDQS is the most
+// generic scheme).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace {
+
+using namespace xmlup;
+using core::Compliance;
+using core::SchemeEvaluation;
+
+int FullCount(const SchemeEvaluation& eval) {
+  int count = 0;
+  for (const core::PropertyResult* p :
+       {&eval.persistent, &eval.xpath, &eval.level, &eval.overflow,
+        &eval.orthogonal, &eval.compact, &eval.division, &eval.recursion}) {
+    if (p->compliance == Compliance::kFull) ++count;
+  }
+  return count;
+}
+
+bool Satisfies(const SchemeEvaluation& eval, const std::string& property) {
+  auto full = [](const core::PropertyResult& r) {
+    return r.compliance == Compliance::kFull;
+  };
+  if (property == "persistent") return full(eval.persistent);
+  if (property == "xpath") return full(eval.xpath);
+  if (property == "level") return full(eval.level);
+  if (property == "overflow") return full(eval.overflow);
+  if (property == "orthogonal") return full(eval.orthogonal);
+  if (property == "compact") return full(eval.compact);
+  if (property == "no-division") return full(eval.division);
+  if (property == "no-recursion") return full(eval.recursion);
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> required(argv + 1, argv + argc);
+
+  core::EvaluationFramework framework;
+  auto rows = framework.EvaluateAll(/*matrix_only=*/false);
+  if (!rows.ok()) {
+    fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+
+  if (required.empty()) {
+    printf("=== Scheme advisor: schemes ranked by fully satisfied "
+           "properties ===\n\n");
+    std::vector<const SchemeEvaluation*> ranked;
+    for (const SchemeEvaluation& eval : *rows) ranked.push_back(&eval);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const SchemeEvaluation* a, const SchemeEvaluation* b) {
+                       return FullCount(*a) > FullCount(*b);
+                     });
+    for (const SchemeEvaluation* eval : ranked) {
+      printf("%-22s %d/8 full marks%s\n", eval->display_name.c_str(),
+             FullCount(*eval),
+             eval->in_paper_matrix ? "" : "  (extension)");
+    }
+    printf("\nThe paper's conclusion (§5.2): \"the CDQS labelling scheme "
+           "satisfies the greater\nnumber of properties and thus may be "
+           "considered the most generic.\"\n");
+    return 0;
+  }
+
+  printf("=== Schemes satisfying:");
+  for (const std::string& p : required) printf(" %s", p.c_str());
+  printf(" ===\n\n");
+  bool any = false;
+  for (const SchemeEvaluation& eval : *rows) {
+    bool ok = true;
+    for (const std::string& p : required) {
+      if (!Satisfies(eval, p)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      printf("  %s%s\n", eval.display_name.c_str(),
+             eval.in_paper_matrix ? "" : "  (extension)");
+      any = true;
+    }
+  }
+  if (!any) printf("  (none — relax a requirement)\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "common/biguint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmlup::common {
+
+namespace {
+
+// Returns bit i of the limb vector (0 when out of range).
+int GetBit(const std::vector<uint32_t>& limbs, int i) {
+  int limb = i / 32;
+  if (limb >= static_cast<int>(limbs.size())) return 0;
+  return (limbs[limb] >> (i % 32)) & 1u;
+}
+
+}  // namespace
+
+BigUint::BigUint(uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+    uint32_t hi = static_cast<uint32_t>(v >> 32);
+    if (hi != 0) limbs_.push_back(hi);
+  }
+}
+
+void BigUint::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+int BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  int bits = 0;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return static_cast<int>(limbs_.size() - 1) * 32 + bits;
+}
+
+BigUint BigUint::MultiplySmall(uint64_t m) const {
+  if (m == 0 || is_zero()) return BigUint();
+  BigUint lo = Multiply(BigUint(m));
+  return lo;
+}
+
+BigUint BigUint::Multiply(const BigUint& other) const {
+  if (is_zero() || other.is_zero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(limbs_[i]) * other.limbs_[j] +
+                     out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+int BigUint::CompareShifted(const BigUint& other, int shift_bits) const {
+  int my_bits = BitLength();
+  int their_bits = other.BitLength() + shift_bits;
+  if (my_bits != their_bits) return my_bits < their_bits ? -1 : 1;
+  for (int i = my_bits - 1; i >= 0; --i) {
+    int a = GetBit(limbs_, i);
+    int b = i >= shift_bits ? GetBit(other.limbs_, i - shift_bits) : 0;
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+void BigUint::SubtractShifted(const BigUint& other, int shift_bits) {
+  // Build shifted := other << shift_bits, then subtract limb-wise.
+  int limb_shift = shift_bits / 32;
+  int bit_shift = shift_bits % 32;
+  std::vector<uint32_t> shifted(limb_shift, 0);
+  uint32_t carry = 0;
+  for (uint32_t limb : other.limbs_) {
+    if (bit_shift == 0) {
+      shifted.push_back(limb);
+    } else {
+      shifted.push_back((limb << bit_shift) | carry);
+      carry = limb >> (32 - bit_shift);
+    }
+  }
+  if (bit_shift != 0 && carry != 0) shifted.push_back(carry);
+
+  assert(shifted.size() <= limbs_.size() ||
+         std::all_of(shifted.begin() + limbs_.size(), shifted.end(),
+                     [](uint32_t v) { return v == 0; }));
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t sub = (i < shifted.size() ? shifted[i] : 0) + borrow;
+    int64_t cur = static_cast<int64_t>(limbs_[i]) - sub;
+    if (cur < 0) {
+      cur += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<uint32_t>(cur);
+  }
+  assert(borrow == 0);
+  Normalize();
+}
+
+BigUint BigUint::Mod(const BigUint& other) const {
+  assert(!other.is_zero());
+  BigUint rem = *this;
+  int shift = rem.BitLength() - other.BitLength();
+  while (shift >= 0) {
+    if (rem.CompareShifted(other, shift) >= 0) {
+      rem.SubtractShifted(other, shift);
+    }
+    --shift;
+  }
+  return rem;
+}
+
+bool BigUint::DivisibleBy(const BigUint& other) const {
+  return Mod(other).is_zero();
+}
+
+std::string BigUint::ToBytes() const {
+  std::string out;
+  out.reserve(limbs_.size() * 4);
+  for (uint32_t limb : limbs_) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((limb >> (8 * i)) & 0xFF));
+    }
+  }
+  while (!out.empty() && out.back() == '\0') out.pop_back();
+  return out;
+}
+
+BigUint BigUint::FromBytes(std::string_view bytes) {
+  BigUint out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out.limbs_[i / 4] |=
+        static_cast<uint32_t>(static_cast<uint8_t>(bytes[i])) << (8 * (i % 4));
+  }
+  out.Normalize();
+  return out;
+}
+
+std::string BigUint::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide by 1e9, collecting 9-digit groups.
+  std::vector<uint32_t> work = limbs_;
+  std::string out;
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+      if (work.empty() && rem == 0) break;
+    }
+  }
+  // Strip leading zeros introduced by full 9-digit groups.
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xmlup::common

@@ -1,0 +1,74 @@
+#ifndef XMLUP_COMMON_BIGUINT_H_
+#define XMLUP_COMMON_BIGUINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlup::common {
+
+/// Minimal arbitrary-precision unsigned integer.
+///
+/// The Prime labelling scheme (Wu et al., ICDE'04) assigns each node the
+/// product of the primes on its root path; these products overflow native
+/// integers after a handful of levels, so the scheme needs big integers.
+/// Only the operations the scheme requires are provided: multiplication,
+/// comparison, divisibility testing and rendering.
+class BigUint {
+ public:
+  /// Constructs zero.
+  BigUint() = default;
+  /// Constructs from a native value.
+  explicit BigUint(uint64_t v);
+
+  BigUint(const BigUint&) = default;
+  BigUint& operator=(const BigUint&) = default;
+  BigUint(BigUint&&) = default;
+  BigUint& operator=(BigUint&&) = default;
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// Number of significant bits (0 for zero).
+  int BitLength() const;
+
+  /// this * m (m native).
+  BigUint MultiplySmall(uint64_t m) const;
+
+  /// this * other.
+  BigUint Multiply(const BigUint& other) const;
+
+  /// this mod other. other must be non-zero.
+  BigUint Mod(const BigUint& other) const;
+
+  /// True iff other divides this exactly. other must be non-zero.
+  bool DivisibleBy(const BigUint& other) const;
+
+  /// Three-way comparison: negative / zero / positive.
+  int Compare(const BigUint& other) const;
+
+  bool operator==(const BigUint& other) const { return Compare(other) == 0; }
+  bool operator<(const BigUint& other) const { return Compare(other) < 0; }
+
+  /// Decimal rendering.
+  std::string ToString() const;
+
+  /// Little-endian byte serialization (no leading zero bytes).
+  std::string ToBytes() const;
+  /// Inverse of ToBytes.
+  static BigUint FromBytes(std::string_view bytes);
+
+ private:
+  // Subtracts (other << shift_bits) from *this. Requires *this >= shifted.
+  void SubtractShifted(const BigUint& other, int shift_bits);
+  // Compares *this with (other << shift_bits).
+  int CompareShifted(const BigUint& other, int shift_bits) const;
+  void Normalize();
+
+  // Little-endian 32-bit limbs; empty means zero.
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace xmlup::common
+
+#endif  // XMLUP_COMMON_BIGUINT_H_

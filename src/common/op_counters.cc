@@ -1,0 +1,16 @@
+#include "common/op_counters.h"
+
+#include <sstream>
+
+namespace xmlup::common {
+
+std::string OpCounters::ToString() const {
+  std::ostringstream os;
+  os << "{divisions=" << divisions << ", recursive_calls=" << recursive_calls
+     << ", labels_assigned=" << labels_assigned << ", relabels=" << relabels
+     << ", overflows=" << overflows << ", bits_allocated=" << bits_allocated
+     << "}";
+  return os.str();
+}
+
+}  // namespace xmlup::common

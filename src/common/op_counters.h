@@ -1,0 +1,45 @@
+#ifndef XMLUP_COMMON_OP_COUNTERS_H_
+#define XMLUP_COMMON_OP_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xmlup::common {
+
+/// Instrumentation counters recorded by labelling schemes while assigning
+/// or updating labels. The evaluation framework reads these to decide the
+/// "Division Computation" and "Recursive Labelling Algorithm" columns of
+/// the paper's Figure 7 empirically rather than by declaration.
+struct OpCounters {
+  /// Integer or floating-point divisions performed while computing labels.
+  uint64_t divisions = 0;
+  /// Recursive calls made by a recursive initial-labelling algorithm.
+  uint64_t recursive_calls = 0;
+  /// Labels assigned (initial labelling and fresh insertions).
+  uint64_t labels_assigned = 0;
+  /// Existing labels rewritten because of an update (persistence failures).
+  uint64_t relabels = 0;
+  /// Number of updates that triggered a full or partial relabelling pass
+  /// because an encoding budget was exhausted (the overflow problem, §4).
+  uint64_t overflows = 0;
+  /// Total storage bits of all labels assigned (scheme-defined encoding).
+  uint64_t bits_allocated = 0;
+
+  void Reset() { *this = OpCounters(); }
+
+  OpCounters& operator+=(const OpCounters& o) {
+    divisions += o.divisions;
+    recursive_calls += o.recursive_calls;
+    labels_assigned += o.labels_assigned;
+    relabels += o.relabels;
+    overflows += o.overflows;
+    bits_allocated += o.bits_allocated;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace xmlup::common
+
+#endif  // XMLUP_COMMON_OP_COUNTERS_H_

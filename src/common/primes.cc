@@ -1,0 +1,31 @@
+#include "common/primes.h"
+
+namespace xmlup::common {
+
+namespace {
+
+bool IsPrimeAgainst(uint64_t candidate, const std::vector<uint64_t>& primes) {
+  for (uint64_t p : primes) {
+    if (p * p > candidate) break;
+    if (candidate % p == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void PrimeSource::ExtendTo(size_t n) {
+  if (cache_.empty()) cache_.push_back(2);
+  uint64_t candidate = cache_.back();
+  while (cache_.size() <= n) {
+    candidate = candidate == 2 ? 3 : candidate + 2;
+    if (IsPrimeAgainst(candidate, cache_)) cache_.push_back(candidate);
+  }
+}
+
+uint64_t PrimeSource::NthPrime(size_t n) {
+  if (n >= cache_.size()) ExtendTo(n);
+  return cache_[n];
+}
+
+}  // namespace xmlup::common

@@ -1,0 +1,34 @@
+#ifndef XMLUP_COMMON_PRIMES_H_
+#define XMLUP_COMMON_PRIMES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xmlup::common {
+
+/// Incremental prime source for the Prime labelling scheme. Primes are
+/// produced in ascending order and cached; NthPrime(0) == 2.
+class PrimeSource {
+ public:
+  PrimeSource() = default;
+
+  /// Returns the n-th prime (0-based), extending the cache as needed.
+  uint64_t NthPrime(size_t n);
+
+  /// Returns the next prime not yet handed out by TakeNext().
+  uint64_t TakeNext() { return NthPrime(next_index_++); }
+
+  /// Number of primes handed out via TakeNext().
+  size_t taken() const { return next_index_; }
+
+ private:
+  void ExtendTo(size_t n);
+
+  std::vector<uint64_t> cache_;
+  size_t next_index_ = 0;
+};
+
+}  // namespace xmlup::common
+
+#endif  // XMLUP_COMMON_PRIMES_H_

@@ -1,0 +1,44 @@
+#ifndef XMLUP_COMMON_RNG_H_
+#define XMLUP_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xmlup::common {
+
+/// Deterministic SplitMix64 generator. Used everywhere randomness is needed
+/// so that workloads, property tests and benchmarks are reproducible from a
+/// seed alone (no dependence on std:: distribution implementations).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool NextBool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return (Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xmlup::common
+
+#endif  // XMLUP_COMMON_RNG_H_

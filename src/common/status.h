@@ -1,0 +1,133 @@
+#ifndef XMLUP_COMMON_STATUS_H_
+#define XMLUP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xmlup::common {
+
+/// Error categories used across the library. The public API never throws;
+/// fallible operations return Status or Result<T> (Arrow/RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnsupported,
+  kParseError,
+  kOverflow,       ///< A labelling scheme exhausted its encoding budget.
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, movable success/error value. Ok statuses carry no allocation.
+class Status {
+ public:
+  /// Constructs an Ok status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Overflow(std::string msg) {
+    return Status(StatusCode::kOverflow, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an errored Result is a programming error (checked by assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...;` works. `status` must not be Ok.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from Ok status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace xmlup::common
+
+/// Propagates a non-Ok Status from an expression, RocksDB-style.
+#define XMLUP_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::xmlup::common::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs` (which must be a declaration or lvalue).
+#define XMLUP_ASSIGN_OR_RETURN(lhs, expr)           \
+  XMLUP_ASSIGN_OR_RETURN_IMPL(                      \
+      XMLUP_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define XMLUP_CONCAT_INNER_(a, b) a##b
+#define XMLUP_CONCAT_(a, b) XMLUP_CONCAT_INNER_(a, b)
+
+#define XMLUP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // XMLUP_COMMON_STATUS_H_

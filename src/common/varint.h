@@ -1,0 +1,52 @@
+#ifndef XMLUP_COMMON_VARINT_H_
+#define XMLUP_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlup::common {
+
+/// LEB128-style unsigned varint, used to pack label components into label
+/// byte strings and as the storage encoding of the Vector scheme (our
+/// substitution for the UTF-8 delimiter processing of Xu et al., which is
+/// limited to 2^21; LEB128 has the same shape with no such cap).
+inline void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Number of bytes AppendVarint emits for v.
+inline size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    ++n;
+    v >>= 7;
+  }
+  return n;
+}
+
+/// Reads a varint at *pos, advancing *pos. Returns false on truncation.
+inline bool ReadVarint(std::string_view data, size_t* pos, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+    if (shift >= 64) return false;
+  }
+  return false;
+}
+
+}  // namespace xmlup::common
+
+#endif  // XMLUP_COMMON_VARINT_H_

@@ -1,0 +1,117 @@
+#include "core/axis_evaluator.h"
+
+#include <algorithm>
+
+namespace xmlup::core {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+
+std::vector<NodeId> AxisEvaluator::LiveNodes() const {
+  return doc_->tree().PreorderNodes();
+}
+
+std::vector<NodeId> AxisEvaluator::SortDocumentOrder(
+    std::vector<NodeId> nodes) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return scheme.Compare(doc_->label(a), doc_->label(b)) < 0;
+  });
+  return nodes;
+}
+
+std::vector<NodeId> AxisEvaluator::Descendants(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n != node && scheme.IsAncestor(doc_->label(node), doc_->label(n))) {
+      out.push_back(n);
+    }
+  }
+  return SortDocumentOrder(std::move(out));
+}
+
+std::vector<NodeId> AxisEvaluator::Ancestors(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n != node && scheme.IsAncestor(doc_->label(n), doc_->label(node))) {
+      out.push_back(n);
+    }
+  }
+  return SortDocumentOrder(std::move(out));
+}
+
+Result<std::vector<NodeId>> AxisEvaluator::Children(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  if (!scheme.traits().supports_parent) {
+    return Status::Unsupported(scheme.traits().display_name +
+                               " cannot evaluate parent-child from labels");
+  }
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n != node && scheme.IsParent(doc_->label(node), doc_->label(n))) {
+      out.push_back(n);
+    }
+  }
+  return SortDocumentOrder(std::move(out));
+}
+
+Result<std::vector<NodeId>> AxisEvaluator::Parent(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  if (!scheme.traits().supports_parent) {
+    return Status::Unsupported(scheme.traits().display_name +
+                               " cannot evaluate parent-child from labels");
+  }
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n != node && scheme.IsParent(doc_->label(n), doc_->label(node))) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> AxisEvaluator::Siblings(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  if (!scheme.traits().supports_sibling) {
+    return Status::Unsupported(scheme.traits().display_name +
+                               " cannot evaluate siblings from labels");
+  }
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n != node && scheme.IsSibling(doc_->label(node), doc_->label(n))) {
+      out.push_back(n);
+    }
+  }
+  return SortDocumentOrder(std::move(out));
+}
+
+std::vector<NodeId> AxisEvaluator::Following(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n == node) continue;
+    if (scheme.Compare(doc_->label(n), doc_->label(node)) > 0 &&
+        !scheme.IsAncestor(doc_->label(node), doc_->label(n))) {
+      out.push_back(n);
+    }
+  }
+  return SortDocumentOrder(std::move(out));
+}
+
+std::vector<NodeId> AxisEvaluator::Preceding(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  std::vector<NodeId> out;
+  for (NodeId n : LiveNodes()) {
+    if (n == node) continue;
+    if (scheme.Compare(doc_->label(n), doc_->label(node)) < 0 &&
+        !scheme.IsAncestor(doc_->label(n), doc_->label(node))) {
+      out.push_back(n);
+    }
+  }
+  return SortDocumentOrder(std::move(out));
+}
+
+}  // namespace xmlup::core

@@ -1,0 +1,48 @@
+#ifndef XMLUP_CORE_AXIS_EVALUATOR_H_
+#define XMLUP_CORE_AXIS_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/labeled_document.h"
+
+namespace xmlup::core {
+
+/// Evaluates the major XPath axes *from labels alone* — the "XPath
+/// Evaluations" property of the survey's framework. The evaluator never
+/// consults tree structure (parent pointers etc.); it scans the live label
+/// set and applies the scheme's label predicates, returning node sets in
+/// document order. Tests compare each axis against tree ground truth.
+class AxisEvaluator {
+ public:
+  explicit AxisEvaluator(const LabeledDocument* doc) : doc_(doc) {}
+
+  /// descendant axis: nodes whose label marks them below `node`.
+  std::vector<xml::NodeId> Descendants(xml::NodeId node) const;
+  /// ancestor axis.
+  std::vector<xml::NodeId> Ancestors(xml::NodeId node) const;
+  /// child axis; requires the scheme to support parent evaluation.
+  common::Result<std::vector<xml::NodeId>> Children(xml::NodeId node) const;
+  /// parent axis (empty for the root); requires parent support.
+  common::Result<std::vector<xml::NodeId>> Parent(xml::NodeId node) const;
+  /// sibling nodes (preceding + following siblings); requires sibling
+  /// support.
+  common::Result<std::vector<xml::NodeId>> Siblings(xml::NodeId node) const;
+  /// following axis: after `node` in document order, not a descendant.
+  std::vector<xml::NodeId> Following(xml::NodeId node) const;
+  /// preceding axis: before `node` in document order, not an ancestor.
+  std::vector<xml::NodeId> Preceding(xml::NodeId node) const;
+
+  /// Sorts a node set into document order using labels only.
+  std::vector<xml::NodeId> SortDocumentOrder(
+      std::vector<xml::NodeId> nodes) const;
+
+ private:
+  std::vector<xml::NodeId> LiveNodes() const;
+
+  const LabeledDocument* doc_;
+};
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_AXIS_EVALUATOR_H_

@@ -1,0 +1,181 @@
+#include "core/encoding_table.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "labels/prepost_scheme.h"
+
+namespace xmlup::core {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+namespace {
+
+// True if the element's non-attribute content is exactly one text node —
+// the case Figure 2 folds into the element's Value column.
+bool HasFoldableText(const Tree& tree, NodeId node, NodeId* text) {
+  if (tree.kind(node) != NodeKind::kElement) return false;
+  NodeId only_text = xml::kInvalidNode;
+  for (NodeId c = tree.first_child(node); c != xml::kInvalidNode;
+       c = tree.next_sibling(c)) {
+    if (tree.kind(c) == NodeKind::kAttribute) continue;
+    if (tree.kind(c) != NodeKind::kText || only_text != xml::kInvalidNode) {
+      return false;
+    }
+    only_text = c;
+  }
+  if (only_text == xml::kInvalidNode) return false;
+  *text = only_text;
+  return true;
+}
+
+// Builds the "folded" view of the tree (text folded into element values),
+// returning the copy and nothing else; used for pre/post numbering.
+Result<Tree> BuildFoldedTree(const Tree& tree) {
+  Tree folded;
+  if (!tree.has_root()) return folded;
+  struct Item {
+    NodeId src;
+    NodeId dst_parent;
+  };
+  NodeId text = xml::kInvalidNode;
+  std::string root_value;
+  if (HasFoldableText(tree, tree.root(), &text)) {
+    root_value = tree.value(text);
+  }
+  XMLUP_ASSIGN_OR_RETURN(
+      NodeId root, folded.CreateRoot(tree.kind(tree.root()),
+                                     tree.name(tree.root()), root_value));
+  std::vector<Item> stack = {{tree.root(), root}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    NodeId folded_text = xml::kInvalidNode;
+    HasFoldableText(tree, src, &folded_text);
+    // Walk children in reverse and insert before-first to preserve order
+    // with a stack-free single pass. Simpler: collect then append.
+    for (NodeId c = tree.first_child(src); c != xml::kInvalidNode;
+         c = tree.next_sibling(c)) {
+      if (c == folded_text) continue;  // Folded into the element value.
+      std::string value = tree.value(c);
+      NodeId grand_text = xml::kInvalidNode;
+      if (HasFoldableText(tree, c, &grand_text)) {
+        value = tree.value(grand_text);
+      }
+      XMLUP_ASSIGN_OR_RETURN(
+          NodeId copy,
+          folded.AppendChild(dst, tree.kind(c), tree.name(c), value));
+      stack.push_back({c, copy});
+    }
+  }
+  return folded;
+}
+
+}  // namespace
+
+Result<EncodingTable> EncodingTable::FromTree(const Tree& tree) {
+  if (!tree.has_root()) {
+    return Status::InvalidArgument("cannot encode an empty tree");
+  }
+  XMLUP_ASSIGN_OR_RETURN(Tree folded, BuildFoldedTree(tree));
+  labels::PrePostScheme scheme;
+  std::vector<labels::Label> node_labels;
+  XMLUP_RETURN_NOT_OK(scheme.LabelTree(folded, &node_labels));
+
+  EncodingTable table;
+  for (NodeId n : folded.PreorderNodes()) {
+    labels::PrePostScheme::Ranks ranks;
+    if (!labels::PrePostScheme::Decode(node_labels[n], &ranks)) {
+      return Status::Internal("bad pre/post label");
+    }
+    EncodingRow row;
+    row.pre = ranks.pre;
+    row.post = ranks.post;
+    row.kind = folded.kind(n);
+    NodeId parent = folded.parent(n);
+    if (parent != xml::kInvalidNode) {
+      labels::PrePostScheme::Ranks parent_ranks;
+      if (!labels::PrePostScheme::Decode(node_labels[parent],
+                                         &parent_ranks)) {
+        return Status::Internal("bad parent label");
+      }
+      row.parent_pre = parent_ranks.pre;
+    }
+    row.name = folded.name(n);
+    row.value = folded.value(n);
+    table.rows_.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::string EncodingTable::ToText() const {
+  std::ostringstream os;
+  os << "Pre  Post Type       Parent Name        Value\n";
+  for (const EncodingRow& row : rows_) {
+    std::ostringstream line;
+    line << row.pre;
+    os << line.str() << std::string(5 - std::min<size_t>(4, line.str().size()),
+                                    ' ');
+    std::ostringstream post;
+    post << row.post;
+    os << post.str()
+       << std::string(5 - std::min<size_t>(4, post.str().size()), ' ');
+    std::string type(xml::NodeKindName(row.kind));
+    os << type << std::string(11 - std::min<size_t>(10, type.size()), ' ');
+    std::string parent = row.parent_pre ? std::to_string(*row.parent_pre) : "";
+    os << parent << std::string(7 - std::min<size_t>(6, parent.size()), ' ');
+    os << row.name << std::string(12 - std::min<size_t>(11, row.name.size()),
+                                  ' ');
+    os << row.value << "\n";
+  }
+  return os.str();
+}
+
+Result<Tree> EncodingTable::ReconstructTree() const {
+  if (rows_.empty()) {
+    return Status::InvalidArgument("empty encoding table");
+  }
+  // Rows are stored in preorder; rebuild by parent_pre lookup.
+  std::vector<EncodingRow> ordered = rows_;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const EncodingRow& a, const EncodingRow& b) {
+              return a.pre < b.pre;
+            });
+  Tree tree;
+  std::map<uint32_t, NodeId> by_pre;
+  // Folded element values become text children, appended after all of the
+  // element's encoded children so attributes keep their leading position.
+  std::vector<std::pair<NodeId, std::string>> pending_text;
+  for (const EncodingRow& row : ordered) {
+    NodeId node;
+    if (!row.parent_pre.has_value()) {
+      XMLUP_ASSIGN_OR_RETURN(node, tree.CreateRoot(row.kind, row.name));
+    } else {
+      auto it = by_pre.find(*row.parent_pre);
+      if (it == by_pre.end()) {
+        return Status::Internal("row references unknown parent pre rank");
+      }
+      XMLUP_ASSIGN_OR_RETURN(
+          node, tree.AppendChild(it->second, row.kind, row.name,
+                                 row.kind == NodeKind::kElement
+                                     ? std::string()
+                                     : row.value));
+    }
+    by_pre[row.pre] = node;
+    if (row.kind == NodeKind::kElement && !row.value.empty()) {
+      pending_text.emplace_back(node, row.value);
+    }
+  }
+  for (const auto& [node, value] : pending_text) {
+    XMLUP_RETURN_NOT_OK(
+        tree.AppendChild(node, NodeKind::kText, "", value).status());
+  }
+  return tree;
+}
+
+}  // namespace xmlup::core

@@ -1,0 +1,52 @@
+#ifndef XMLUP_CORE_ENCODING_TABLE_H_
+#define XMLUP_CORE_ENCODING_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xmlup::core {
+
+/// One row of the XML encoding scheme of Figure 2: the labelling scheme's
+/// identifiers (pre/post) augmented with node type, parent pointer, name
+/// and value (Definition 2 of the paper).
+struct EncodingRow {
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  xml::NodeKind kind = xml::NodeKind::kElement;
+  /// Pre rank of the parent; nullopt for the root.
+  std::optional<uint32_t> parent_pre;
+  std::string name;
+  std::string value;
+};
+
+/// The encoding scheme of §2.3: codifies the structure of the node
+/// sequence plus the properties and content of each node, sufficient for
+/// full XPath evaluation and for reconstructing the textual document.
+class EncodingTable {
+ public:
+  /// Builds the table from a tree using pre/post labelling (Figure 2 uses
+  /// the preorder/postorder scheme of Figure 1(b)).
+  static common::Result<EncodingTable> FromTree(const xml::Tree& tree);
+
+  const std::vector<EncodingRow>& rows() const { return rows_; }
+
+  /// Renders the table like the paper's Figure 2.
+  std::string ToText() const;
+
+  /// Rebuilds the XML tree from the table alone — the §2.3 requirement
+  /// that an encoding scheme permit full reconstruction of the textual
+  /// document.
+  common::Result<xml::Tree> ReconstructTree() const;
+
+ private:
+  std::vector<EncodingRow> rows_;
+};
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_ENCODING_TABLE_H_

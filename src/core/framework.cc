@@ -1,0 +1,163 @@
+#include "core/framework.h"
+
+#include <array>
+#include <iomanip>
+#include <sstream>
+
+namespace xmlup::core {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// The published Figure 7, columns: Document Order, Encoding Rep.,
+// Persistent Labels, XPath Eval., Level Enc., Overflow Prob., Orthogonal,
+// Compact Enc., Division Comp., Recursion Alg.
+constexpr std::array<PaperExpectation, 12> kPaperMatrix = {{
+    {"xpath-accelerator", "Global", "Fixed", 'N', 'P', 'F', 'N', 'N', 'F',
+     'F', 'F'},
+    {"xrel", "Global", "Fixed", 'N', 'P', 'F', 'N', 'N', 'F', 'F', 'F'},
+    {"sector", "Hybrid", "Fixed", 'N', 'P', 'N', 'N', 'N', 'P', 'F', 'N'},
+    {"qrs", "Global", "Fixed", 'N', 'P', 'N', 'N', 'N', 'P', 'F', 'F'},
+    {"dewey", "Hybrid", "Variable", 'N', 'F', 'F', 'N', 'N', 'N', 'F', 'F'},
+    {"ordpath", "Hybrid", "Variable", 'F', 'F', 'F', 'N', 'N', 'N', 'N',
+     'F'},
+    {"dln", "Hybrid", "Fixed", 'N', 'F', 'F', 'N', 'N', 'N', 'F', 'F'},
+    {"lsdx", "Hybrid", "Variable", 'N', 'F', 'F', 'N', 'N', 'N', 'F', 'F'},
+    {"improved-binary", "Hybrid", "Variable", 'F', 'F', 'F', 'N', 'N', 'N',
+     'N', 'N'},
+    {"qed", "Hybrid", "Variable", 'F', 'F', 'F', 'F', 'F', 'N', 'N', 'N'},
+    {"cdqs", "Hybrid", "Variable", 'F', 'F', 'F', 'F', 'F', 'F', 'N', 'N'},
+    {"vector", "Hybrid", "Variable", 'F', 'P', 'N', 'F', 'F', 'F', 'F',
+     'N'},
+}};
+
+std::string Cell(const PropertyResult& result, char expected,
+                 bool diff_against_paper, bool has_expectation) {
+  std::string out(1, ComplianceChar(result.compliance));
+  if (diff_against_paper && has_expectation &&
+      out[0] != expected) {
+    out += "[";
+    out += expected;
+    out += "]";
+  }
+  return out;
+}
+
+void Column(std::ostringstream* os, const std::string& text, size_t width) {
+  *os << text;
+  if (text.size() < width) *os << std::string(width - text.size(), ' ');
+}
+
+}  // namespace
+
+std::optional<PaperExpectation> PaperFigure7Row(std::string_view scheme) {
+  for (const PaperExpectation& row : kPaperMatrix) {
+    if (row.scheme == scheme) return row;
+  }
+  return std::nullopt;
+}
+
+Result<SchemeEvaluation> EvaluationFramework::Evaluate(
+    const std::string& scheme_name) const {
+  XMLUP_ASSIGN_OR_RETURN(std::unique_ptr<labels::LabelingScheme> scheme,
+                         labels::CreateScheme(scheme_name, options_));
+  const labels::SchemeTraits& traits = scheme->traits();
+  SchemeEvaluation eval;
+  eval.name = traits.name;
+  eval.display_name = traits.display_name;
+  eval.order_approach = traits.order_approach;
+  eval.encoding_rep = traits.encoding_rep;
+  eval.in_paper_matrix = traits.in_paper_matrix;
+  eval.orthogonal.compliance =
+      traits.orthogonal ? Compliance::kFull : Compliance::kNone;
+  eval.orthogonal.evidence =
+      traits.orthogonal
+          ? "order codec applicable to containment and prefix hosts"
+          : "published as a single host structure";
+
+  XMLUP_ASSIGN_OR_RETURN(eval.persistent, probes_.Persistence(scheme_name));
+  XMLUP_ASSIGN_OR_RETURN(eval.xpath, probes_.XPathEvaluations(scheme_name));
+  XMLUP_ASSIGN_OR_RETURN(eval.level, probes_.LevelEncoding(scheme_name));
+  XMLUP_ASSIGN_OR_RETURN(eval.overflow, probes_.Overflow(scheme_name));
+  XMLUP_ASSIGN_OR_RETURN(eval.compact, probes_.CompactEncoding(scheme_name));
+  XMLUP_ASSIGN_OR_RETURN(eval.division,
+                         probes_.DivisionComputation(scheme_name));
+  XMLUP_ASSIGN_OR_RETURN(eval.recursion,
+                         probes_.RecursiveLabelling(scheme_name));
+  return eval;
+}
+
+Result<std::vector<SchemeEvaluation>> EvaluationFramework::EvaluateAll(
+    bool matrix_only) const {
+  std::vector<std::string> names = matrix_only
+                                       ? labels::PaperMatrixSchemeNames()
+                                       : labels::AllSchemeNames();
+  std::vector<SchemeEvaluation> rows;
+  rows.reserve(names.size());
+  for (const std::string& name : names) {
+    XMLUP_ASSIGN_OR_RETURN(SchemeEvaluation eval, Evaluate(name));
+    rows.push_back(std::move(eval));
+  }
+  return rows;
+}
+
+std::string EvaluationFramework::FormatMatrix(
+    const std::vector<SchemeEvaluation>& rows, bool diff_against_paper) {
+  std::ostringstream os;
+  os << "Labelling Scheme      Order   Enc.Rep.  Pers  XPath Level Ovfl  "
+        "Orth  Cmpct Div   Rec\n";
+  os << std::string(92, '-') << "\n";
+  for (const SchemeEvaluation& row : rows) {
+    std::ostringstream line;
+    Column(&line, row.display_name, 22);
+    Column(&line, std::string(labels::OrderApproachName(row.order_approach)),
+           8);
+    Column(&line, std::string(labels::EncodingRepName(row.encoding_rep)),
+           10);
+    std::optional<PaperExpectation> paper = PaperFigure7Row(row.name);
+    bool has = paper.has_value();
+    PaperExpectation p = has ? *paper
+                             : PaperExpectation{"", "", "", '?', '?', '?',
+                                                '?', '?', '?', '?', '?'};
+    Column(&line, Cell(row.persistent, p.persistent, diff_against_paper, has),
+           6);
+    Column(&line, Cell(row.xpath, p.xpath, diff_against_paper, has), 6);
+    Column(&line, Cell(row.level, p.level, diff_against_paper, has), 6);
+    Column(&line, Cell(row.overflow, p.overflow, diff_against_paper, has),
+           6);
+    Column(&line, Cell(row.orthogonal, p.orthogonal, diff_against_paper, has),
+           6);
+    Column(&line, Cell(row.compact, p.compact, diff_against_paper, has), 6);
+    Column(&line, Cell(row.division, p.division, diff_against_paper, has),
+           6);
+    Column(&line, Cell(row.recursion, p.recursion, diff_against_paper, has),
+           6);
+    os << line.str() << "\n";
+  }
+  if (diff_against_paper) {
+    os << "\nCells marked X[Y] diverge from the paper's Figure 7 "
+          "(measured X, published Y).\n";
+  }
+  return os.str();
+}
+
+std::string EvaluationFramework::FormatEvidence(
+    const std::vector<SchemeEvaluation>& rows) {
+  std::ostringstream os;
+  for (const SchemeEvaluation& row : rows) {
+    os << row.display_name << "\n";
+    os << "  Persistent: " << row.persistent.evidence << "\n";
+    os << "  XPath:      " << row.xpath.evidence << "\n";
+    os << "  Level:      " << row.level.evidence << "\n";
+    os << "  Overflow:   " << row.overflow.evidence << "\n";
+    os << "  Orthogonal: " << row.orthogonal.evidence << "\n";
+    os << "  Compact:    " << row.compact.evidence << "\n";
+    os << "  Division:   " << row.division.evidence << "\n";
+    os << "  Recursion:  " << row.recursion.evidence << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xmlup::core

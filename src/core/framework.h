@@ -1,0 +1,76 @@
+#ifndef XMLUP_CORE_FRAMEWORK_H_
+#define XMLUP_CORE_FRAMEWORK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/property_probes.h"
+#include "labels/registry.h"
+#include "labels/scheme.h"
+
+namespace xmlup::core {
+
+/// A fully evaluated scheme: one row of the reproduced Figure 7.
+struct SchemeEvaluation {
+  std::string name;
+  std::string display_name;
+  labels::OrderApproach order_approach;
+  labels::EncodingRep encoding_rep;
+  PropertyResult persistent;
+  PropertyResult xpath;
+  PropertyResult level;
+  PropertyResult overflow;
+  PropertyResult orthogonal;
+  PropertyResult compact;
+  PropertyResult division;
+  PropertyResult recursion;
+  bool in_paper_matrix = false;
+};
+
+/// The published Figure 7 cells for one scheme, used to diff our
+/// mechanically derived matrix against the paper.
+struct PaperExpectation {
+  std::string_view scheme;
+  std::string_view order;     // "Global" / "Hybrid"
+  std::string_view encoding;  // "Fixed" / "Variable"
+  char persistent, xpath, level, overflow, orthogonal, compact, division,
+      recursion;
+};
+
+/// Returns the paper's Figure 7 row for a scheme name, if it has one.
+std::optional<PaperExpectation> PaperFigure7Row(std::string_view scheme);
+
+/// The paper's evaluation framework (§5): runs every property probe
+/// against a scheme and assembles the evaluation matrix.
+class EvaluationFramework {
+ public:
+  explicit EvaluationFramework(labels::SchemeOptions options = {})
+      : options_(options), probes_(options) {}
+
+  /// Evaluates one scheme across all ten framework properties.
+  common::Result<SchemeEvaluation> Evaluate(const std::string& scheme) const;
+
+  /// Evaluates the twelve Figure 7 schemes (matrix_only) or every
+  /// registered scheme including the §6 extensions.
+  common::Result<std::vector<SchemeEvaluation>> EvaluateAll(
+      bool matrix_only) const;
+
+  /// Renders the matrix in the layout of Figure 7; when
+  /// `diff_against_paper` is set, every cell that disagrees with the
+  /// published matrix is marked with the paper's value in brackets.
+  static std::string FormatMatrix(const std::vector<SchemeEvaluation>& rows,
+                                  bool diff_against_paper);
+
+  /// Renders per-scheme probe evidence (the measurements behind the
+  /// grades).
+  static std::string FormatEvidence(const std::vector<SchemeEvaluation>& rows);
+
+ private:
+  labels::SchemeOptions options_;
+  PropertyProbes probes_;
+};
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_FRAMEWORK_H_

@@ -1,0 +1,125 @@
+#include "core/label_index.h"
+
+#include <algorithm>
+
+namespace xmlup::core {
+
+using common::Result;
+using common::Status;
+using labels::Label;
+using xml::NodeId;
+
+Result<LabelIndex> LabelIndex::Build(const LabeledDocument* doc) {
+  LabelIndex index(doc);
+  XMLUP_RETURN_NOT_OK(index.Refresh());
+  return index;
+}
+
+Status LabelIndex::Refresh() {
+  entries_ = doc_->tree().PreorderNodes();
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  // Preorder already is document order; sorting by label both validates
+  // that and produces the invariant the queries rely on.
+  std::sort(entries_.begin(), entries_.end(), [&](NodeId a, NodeId b) {
+    return scheme.Compare(doc_->label(a), doc_->label(b)) < 0;
+  });
+  return Verify();
+}
+
+size_t LabelIndex::LowerBound(const Label& label) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (scheme.Compare(doc_->label(entries_[mid]), label) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+NodeId LabelIndex::Lookup(const Label& label) const {
+  size_t pos = LowerBound(label);
+  if (pos < entries_.size() &&
+      doc_->scheme().Compare(doc_->label(entries_[pos]), label) == 0) {
+    return entries_[pos];
+  }
+  return xml::kInvalidNode;
+}
+
+size_t LabelIndex::Rank(const Label& label) const {
+  return LowerBound(label);
+}
+
+std::vector<NodeId> LabelIndex::Descendants(NodeId node) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  const Label& top = doc_->label(node);
+  std::vector<NodeId> out;
+  // Descendants are contiguous immediately after `node` in label order.
+  for (size_t pos = LowerBound(top) + 1; pos < entries_.size(); ++pos) {
+    if (!scheme.IsAncestor(top, doc_->label(entries_[pos]))) break;
+    out.push_back(entries_[pos]);
+  }
+  return out;
+}
+
+std::vector<NodeId> LabelIndex::Range(const Label& after,
+                                      const Label& before) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  size_t pos = after.empty() ? 0 : LowerBound(after);
+  // Skip the bound itself if present.
+  if (!after.empty() && pos < entries_.size() &&
+      scheme.Compare(doc_->label(entries_[pos]), after) == 0) {
+    ++pos;
+  }
+  std::vector<NodeId> out;
+  for (; pos < entries_.size(); ++pos) {
+    if (!before.empty() &&
+        scheme.Compare(doc_->label(entries_[pos]), before) >= 0) {
+      break;
+    }
+    out.push_back(entries_[pos]);
+  }
+  return out;
+}
+
+void LabelIndex::Insert(NodeId node) {
+  size_t pos = LowerBound(doc_->label(node));
+  entries_.insert(entries_.begin() + static_cast<long>(pos), node);
+}
+
+void LabelIndex::EraseSubtree(NodeId node) {
+  // The subtree was removed from the tree already; drop every entry whose
+  // node is no longer alive.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](NodeId n) {
+                                  return !doc_->tree().IsValid(n);
+                                }),
+                 entries_.end());
+  (void)node;
+}
+
+Status LabelIndex::Verify() const {
+  if (entries_.size() != doc_->tree().node_count()) {
+    return Status::Internal("index size disagrees with live node count");
+  }
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  std::vector<NodeId> order = doc_->tree().PreorderNodes();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] != order[i]) {
+      return Status::Internal(
+          "index order diverges from document order at position " +
+          std::to_string(i));
+    }
+    if (i > 0 && scheme.Compare(doc_->label(entries_[i - 1]),
+                                doc_->label(entries_[i])) >= 0) {
+      return Status::Internal("index labels not strictly increasing at " +
+                              std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xmlup::core

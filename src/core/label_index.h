@@ -1,0 +1,81 @@
+#ifndef XMLUP_CORE_LABEL_INDEX_H_
+#define XMLUP_CORE_LABEL_INDEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/labeled_document.h"
+
+namespace xmlup::core {
+
+/// An ordered index over the labels of a document — the structure a
+/// database would keep beside the encoding table (§2.3). Because every
+/// surveyed scheme captures document order and a node's descendants are
+/// contiguous in document order, the index answers:
+///
+///   * point lookups (label -> node),
+///   * document-order rank queries,
+///   * descendant range scans in O(log n + k) — the "rectangular region
+///     query in the pre/post plane" of Grust's XPath Accelerator,
+///     generalised to any scheme via its IsAncestor predicate.
+///
+/// The index is maintained incrementally: Insert/Erase keep the ordered
+/// sequence in sync with updates (an insertion is O(log n + moved
+/// entries); schemes that relabel must re-add the affected entries, which
+/// is precisely the update cost the survey charges them with).
+class LabelIndex {
+ public:
+  /// Builds the index over all live nodes of `doc`. The document must
+  /// outlive the index; structural updates must be mirrored through
+  /// Insert/Erase/Refresh.
+  static common::Result<LabelIndex> Build(const LabeledDocument* doc);
+
+  /// Number of indexed labels.
+  size_t size() const { return entries_.size(); }
+
+  /// Finds the node carrying `label`; kInvalidNode if absent.
+  xml::NodeId Lookup(const labels::Label& label) const;
+
+  /// 0-based document-order rank of `label` (number of indexed labels
+  /// strictly before it).
+  size_t Rank(const labels::Label& label) const;
+
+  /// All indexed nodes in document order.
+  const std::vector<xml::NodeId>& ordered_nodes() const { return entries_; }
+
+  /// Descendants of `node` via binary search + contiguous scan.
+  std::vector<xml::NodeId> Descendants(xml::NodeId node) const;
+
+  /// Nodes whose labels lie in the document-order interval
+  /// (after, before) exclusive; empty labels mean the document bounds.
+  std::vector<xml::NodeId> Range(const labels::Label& after,
+                                 const labels::Label& before) const;
+
+  /// Mirrors an insertion (after LabeledDocument::InsertNode). If the
+  /// update relabelled other nodes, call Refresh instead.
+  void Insert(xml::NodeId node);
+
+  /// Mirrors a subtree removal.
+  void EraseSubtree(xml::NodeId node);
+
+  /// Rebuilds after a relabelling update.
+  common::Status Refresh();
+
+  /// Verifies the index is consistent with the document (ordering and
+  /// completeness) — used by tests and after batches of updates.
+  common::Status Verify() const;
+
+ private:
+  explicit LabelIndex(const LabeledDocument* doc) : doc_(doc) {}
+
+  // Index of the first entry whose label is >= label (lower bound).
+  size_t LowerBound(const labels::Label& label) const;
+
+  const LabeledDocument* doc_;
+  // Nodes sorted by label (== document order).
+  std::vector<xml::NodeId> entries_;
+};
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_LABEL_INDEX_H_

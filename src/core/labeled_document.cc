@@ -1,0 +1,216 @@
+#include "core/labeled_document.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace xmlup::core {
+
+using common::Result;
+using common::Status;
+using labels::Label;
+using xml::NodeId;
+
+Result<LabeledDocument> LabeledDocument::Build(
+    xml::Tree tree, const labels::LabelingScheme* scheme) {
+  std::vector<Label> labels;
+  XMLUP_RETURN_NOT_OK(scheme->LabelTree(tree, &labels));
+  return LabeledDocument(std::move(tree), scheme, std::move(labels));
+}
+
+Result<LabeledDocument> LabeledDocument::Restore(
+    xml::Tree tree, const labels::LabelingScheme* scheme,
+    std::vector<Label> labels) {
+  if (labels.size() < tree.arena_size()) {
+    return Status::InvalidArgument(
+        "label vector does not cover the node arena");
+  }
+  LabeledDocument doc(std::move(tree), scheme, std::move(labels));
+  XMLUP_RETURN_NOT_OK(doc.VerifyOrderAndUniqueness());
+  return doc;
+}
+
+Result<NodeId> LabeledDocument::InsertNode(NodeId parent, xml::NodeKind kind,
+                                           std::string name,
+                                           std::string value, NodeId before,
+                                           UpdateStats* stats) {
+  XMLUP_ASSIGN_OR_RETURN(
+      NodeId node, tree_.InsertChild(parent, kind, std::move(name),
+                                     std::move(value), before));
+  labels_.resize(tree_.arena_size());
+  Result<labels::InsertOutcome> outcome =
+      scheme_->LabelForInsert(tree_, node, labels_);
+  if (!outcome.ok()) {
+    // Keep tree and labels consistent: undo the structural insert.
+    Status undo = tree_.RemoveSubtree(node);
+    (void)undo;
+    return outcome.status();
+  }
+  labels_[node] = outcome->label;
+  for (const auto& [id, fresh] : outcome->relabeled) {
+    labels_[id] = fresh;
+  }
+  if (stats != nullptr) {
+    stats->relabeled = outcome->relabeled.size();
+    stats->overflow = outcome->overflow;
+  }
+  return node;
+}
+
+Result<NodeId> LabeledDocument::InsertSubtree(NodeId parent,
+                                              const xml::Tree& fragment,
+                                              NodeId fragment_root,
+                                              NodeId before,
+                                              UpdateStats* stats) {
+  if (!fragment.IsValid(fragment_root)) {
+    return Status::InvalidArgument("invalid fragment root");
+  }
+  UpdateStats aggregate;
+  UpdateStats step;
+  XMLUP_ASSIGN_OR_RETURN(
+      NodeId root,
+      InsertNode(parent, fragment.kind(fragment_root),
+                 fragment.name(fragment_root), fragment.value(fragment_root),
+                 before, &step));
+  aggregate.relabeled += step.relabeled;
+  aggregate.overflow |= step.overflow;
+  // Serialise the rest of the subtree as individual appends, pairing each
+  // fragment node with its copy.
+  std::vector<std::pair<NodeId, NodeId>> stack = {{fragment_root, root}};
+  while (!stack.empty()) {
+    auto [src, dst] = stack.back();
+    stack.pop_back();
+    for (NodeId c = fragment.first_child(src); c != xml::kInvalidNode;
+         c = fragment.next_sibling(c)) {
+      XMLUP_ASSIGN_OR_RETURN(
+          NodeId copy,
+          InsertNode(dst, fragment.kind(c), fragment.name(c),
+                     fragment.value(c), xml::kInvalidNode, &step));
+      aggregate.relabeled += step.relabeled;
+      aggregate.overflow |= step.overflow;
+      stack.push_back({c, copy});
+    }
+  }
+  if (stats != nullptr) *stats = aggregate;
+  return root;
+}
+
+Status LabeledDocument::RemoveSubtree(NodeId node) {
+  return tree_.RemoveSubtree(node);
+}
+
+Status LabeledDocument::VerifyOrderAndUniqueness() const {
+  std::vector<NodeId> order = tree_.PreorderNodes();
+  for (NodeId n : order) {
+    if (labels_[n].empty()) {
+      return Status::Internal("node " + std::to_string(n) + " has no label");
+    }
+  }
+  std::vector<NodeId> sorted = order;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    return scheme_->Compare(labels_[a], labels_[b]) < 0;
+  });
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (sorted[i] != order[i]) {
+      std::ostringstream os;
+      os << "label order diverges from document order at position " << i
+         << ": expected node " << order[i] << " ("
+         << scheme_->Render(labels_[order[i]]) << "), found node "
+         << sorted[i] << " (" << scheme_->Render(labels_[sorted[i]]) << ")";
+      return Status::Internal(os.str());
+    }
+    if (i > 0 &&
+        scheme_->Compare(labels_[sorted[i - 1]], labels_[sorted[i]]) == 0) {
+      std::ostringstream os;
+      os << "duplicate label " << scheme_->Render(labels_[sorted[i]])
+         << " on nodes " << sorted[i - 1] << " and " << sorted[i];
+      return Status::Internal(os.str());
+    }
+  }
+  return Status::Ok();
+}
+
+Status LabeledDocument::VerifyAxes(uint64_t seed, size_t sample_pairs) const {
+  const labels::SchemeTraits& traits = scheme_->traits();
+  std::vector<NodeId> nodes = tree_.PreorderNodes();
+  if (nodes.size() < 2) return Status::Ok();
+
+  // Exhaustive: every node against its parent chain (ancestor, parent,
+  // level).
+  for (NodeId n : nodes) {
+    if (traits.supports_level) {
+      Result<int> level = scheme_->Level(labels_[n]);
+      if (!level.ok()) return level.status();
+      if (*level != tree_.Depth(n)) {
+        return Status::Internal(
+            "level mismatch on node " + std::to_string(n) + ": label says " +
+            std::to_string(*level) + ", tree says " +
+            std::to_string(tree_.Depth(n)));
+      }
+    }
+    NodeId parent = tree_.parent(n);
+    if (parent == xml::kInvalidNode) continue;
+    if (!scheme_->IsAncestor(labels_[parent], labels_[n])) {
+      return Status::Internal("IsAncestor(parent, node) is false for node " +
+                              std::to_string(n));
+    }
+    if (scheme_->IsAncestor(labels_[n], labels_[parent])) {
+      return Status::Internal("IsAncestor(node, parent) is true for node " +
+                              std::to_string(n));
+    }
+    if (traits.supports_parent &&
+        !scheme_->IsParent(labels_[parent], labels_[n])) {
+      return Status::Internal("IsParent(parent, node) is false for node " +
+                              std::to_string(n));
+    }
+  }
+
+  // Sampled pairs: ancestor/parent/sibling agreement with ground truth.
+  common::SplitMix64 rng(seed);
+  for (size_t i = 0; i < sample_pairs; ++i) {
+    NodeId a = nodes[rng.NextBelow(nodes.size())];
+    NodeId b = nodes[rng.NextBelow(nodes.size())];
+    if (a == b) continue;
+    bool truth = tree_.IsAncestor(a, b);
+    if (scheme_->IsAncestor(labels_[a], labels_[b]) != truth) {
+      std::ostringstream os;
+      os << "IsAncestor(" << a << "," << b << ") disagrees with ground truth ("
+         << scheme_->Render(labels_[a]) << " vs "
+         << scheme_->Render(labels_[b]) << ")";
+      return Status::Internal(os.str());
+    }
+    if (traits.supports_parent) {
+      bool parent_truth = tree_.parent(b) == a;
+      if (scheme_->IsParent(labels_[a], labels_[b]) != parent_truth) {
+        return Status::Internal("IsParent disagreement on pair " +
+                                std::to_string(a) + "," + std::to_string(b));
+      }
+    }
+    if (traits.supports_sibling) {
+      bool sibling_truth = tree_.parent(a) == tree_.parent(b) &&
+                           tree_.parent(a) != xml::kInvalidNode;
+      if (scheme_->IsSibling(labels_[a], labels_[b]) != sibling_truth) {
+        return Status::Internal("IsSibling disagreement on pair " +
+                                std::to_string(a) + "," + std::to_string(b));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+size_t LabeledDocument::TotalLabelBits() const {
+  size_t bits = 0;
+  for (NodeId n : tree_.PreorderNodes()) {
+    bits += scheme_->StorageBits(labels_[n]);
+  }
+  return bits;
+}
+
+double LabeledDocument::AverageLabelBits() const {
+  size_t count = tree_.node_count();
+  if (count == 0) return 0.0;
+  return static_cast<double>(TotalLabelBits()) / static_cast<double>(count);
+}
+
+}  // namespace xmlup::core

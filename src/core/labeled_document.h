@@ -1,0 +1,105 @@
+#ifndef XMLUP_CORE_LABELED_DOCUMENT_H_
+#define XMLUP_CORE_LABELED_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "labels/scheme.h"
+#include "xml/tree.h"
+
+namespace xmlup::core {
+
+/// Statistics for one structural update.
+struct UpdateStats {
+  /// Existing labels rewritten by the update.
+  size_t relabeled = 0;
+  /// The update exhausted an encoding budget and forced relabelling.
+  bool overflow = false;
+};
+
+/// An XML tree labelled under a dynamic labelling scheme: the update
+/// engine of the library. Structural updates (insert leaf / internal node
+/// / subtree, delete subtree) are applied to the tree and the scheme is
+/// asked to label the change; relabelling reported by the scheme is
+/// applied and surfaced in UpdateStats so callers (probes, benchmarks)
+/// can observe persistence and overflow behaviour directly.
+///
+/// The scheme outlives the document and is not owned.
+class LabeledDocument {
+ public:
+  /// Labels `tree` with `scheme` and wraps both. `scheme` must outlive the
+  /// returned document.
+  static common::Result<LabeledDocument> Build(
+      xml::Tree tree, const labels::LabelingScheme* scheme);
+
+  /// Re-attaches previously assigned labels (snapshot restore): no
+  /// relabelling happens. `labels` must cover every live node of `tree`;
+  /// order and uniqueness are verified before the document is returned.
+  static common::Result<LabeledDocument> Restore(
+      xml::Tree tree, const labels::LabelingScheme* scheme,
+      std::vector<labels::Label> labels);
+
+  LabeledDocument(LabeledDocument&&) = default;
+  LabeledDocument& operator=(LabeledDocument&&) = default;
+
+  const xml::Tree& tree() const { return tree_; }
+  const labels::LabelingScheme& scheme() const { return *scheme_; }
+  const std::vector<labels::Label>& all_labels() const { return labels_; }
+  const labels::Label& label(xml::NodeId node) const { return labels_[node]; }
+
+  /// Inserts a node under `parent` immediately before `before`
+  /// (kInvalidNode appends) and labels it through the scheme.
+  common::Result<xml::NodeId> InsertNode(xml::NodeId parent,
+                                         xml::NodeKind kind, std::string name,
+                                         std::string value,
+                                         xml::NodeId before = xml::kInvalidNode,
+                                         UpdateStats* stats = nullptr);
+
+  /// Inserts a copy of `fragment_root`'s subtree from `fragment` under
+  /// `parent` before `before`, as a serialised sequence of node insertions
+  /// (the subtree-update strategy the survey notes for ORDPATH).
+  common::Result<xml::NodeId> InsertSubtree(
+      xml::NodeId parent, const xml::Tree& fragment,
+      xml::NodeId fragment_root, xml::NodeId before = xml::kInvalidNode,
+      UpdateStats* stats = nullptr);
+
+  /// Removes `node`'s subtree. Labels of removed nodes are discarded; no
+  /// scheme in the survey requires relabelling on deletion.
+  common::Status RemoveSubtree(xml::NodeId node);
+
+  /// Replaces a node's text/value (content update; labels untouched).
+  common::Status UpdateValue(xml::NodeId node, std::string value) {
+    return tree_.SetValue(node, std::move(value));
+  }
+
+  // --- Verification (used by tests and the evaluation probes) -----------
+
+  /// Checks that sorting live nodes by label reproduces document order and
+  /// that labels are unique. Returns the first violation found.
+  common::Status VerifyOrderAndUniqueness() const;
+
+  /// Checks the label-only predicates the scheme claims to support
+  /// (ancestor, parent, sibling, level) against tree ground truth.
+  /// Pairwise checks are sampled with `seed`; parent/level checks are
+  /// exhaustive.
+  common::Status VerifyAxes(uint64_t seed = 7, size_t sample_pairs = 2000) const;
+
+  /// Total storage bits across live labels under the scheme's encoding.
+  size_t TotalLabelBits() const;
+  /// Average storage bits per live label.
+  double AverageLabelBits() const;
+
+ private:
+  LabeledDocument(xml::Tree tree, const labels::LabelingScheme* scheme,
+                  std::vector<labels::Label> labels)
+      : tree_(std::move(tree)), scheme_(scheme), labels_(std::move(labels)) {}
+
+  xml::Tree tree_;
+  const labels::LabelingScheme* scheme_;
+  std::vector<labels::Label> labels_;
+};
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_LABELED_DOCUMENT_H_

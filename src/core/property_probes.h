@@ -1,0 +1,85 @@
+#ifndef XMLUP_CORE_PROPERTY_PROBES_H_
+#define XMLUP_CORE_PROPERTY_PROBES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "labels/registry.h"
+
+namespace xmlup::core {
+
+/// Compliance grades of the paper's evaluation framework (§5.1).
+enum class Compliance { kFull, kPartial, kNone };
+
+char ComplianceChar(Compliance c);
+
+/// One probed cell: a grade plus the measured evidence behind it.
+struct PropertyResult {
+  Compliance compliance = Compliance::kNone;
+  std::string evidence;
+};
+
+/// Behavioural probes, one per experimentally decidable Figure 7 column.
+/// Each probe builds its own documents and scheme instances (sometimes
+/// with tightened encoding budgets, to make §4 overflow behaviour
+/// observable at laptop scale) and returns a grade plus evidence.
+///
+/// Columns that are definitional (Document Order, Encoding Representation,
+/// Orthogonal) are read from SchemeTraits by the framework instead.
+class PropertyProbes {
+ public:
+  explicit PropertyProbes(labels::SchemeOptions options = {})
+      : options_(options) {}
+
+  /// Persistent Labels: runs a mixed update battery (random, skewed,
+  /// adversarial-between, deletions) at default budgets; Full iff no
+  /// existing label ever changed and all labels stayed unique and
+  /// correctly ordered.
+  common::Result<PropertyResult> Persistence(const std::string& scheme) const;
+
+  /// XPath Evaluations: verifies ancestor / parent / sibling label
+  /// predicates against ground truth; Full iff all three are supported and
+  /// correct, Partial iff ancestor-descendant alone is.
+  common::Result<PropertyResult> XPathEvaluations(
+      const std::string& scheme) const;
+
+  /// Level Encoding: Full iff the nesting level decodes correctly from
+  /// every label.
+  common::Result<PropertyResult> LevelEncoding(
+      const std::string& scheme) const;
+
+  /// Overflow Problem: runs adversarial skewed/prepend insertions under
+  /// tight encoding budgets; Full iff the scheme never needed an
+  /// overflow-driven relabelling pass.
+  common::Result<PropertyResult> Overflow(const std::string& scheme) const;
+
+  /// Compact Encoding: measures average label bits after initial
+  /// labelling and after random/uniform updates, and the per-insertion bit
+  /// growth under skewed insertions; grades against calibrated thresholds
+  /// (documented in EXPERIMENTS.md).
+  common::Result<PropertyResult> CompactEncoding(
+      const std::string& scheme) const;
+
+  /// Division Computation: Full iff the scheme's instrumentation counted
+  /// no divisions across initial labelling and an update battery.
+  common::Result<PropertyResult> DivisionComputation(
+      const std::string& scheme) const;
+
+  /// Recursive Labelling Algorithm: Full iff initial labelling counted no
+  /// recursive-labelling calls.
+  common::Result<PropertyResult> RecursiveLabelling(
+      const std::string& scheme) const;
+
+ private:
+  /// Peak label-bit growth per insertion under a skewed (fixed-position)
+  /// or bisection (between the two most recent nodes) insertion stream.
+  common::Result<double> MeasureSkewGrowth(const std::string& scheme,
+                                           bool bisection, size_t inserts,
+                                           uint64_t seed) const;
+
+  labels::SchemeOptions options_;
+};
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_PROPERTY_PROBES_H_

@@ -1,0 +1,118 @@
+#include "core/snapshot.h"
+
+#include <map>
+
+#include "common/varint.h"
+
+namespace xmlup::core {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+using xml::NodeKind;
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'U', 'P', '1'};
+
+void AppendString(std::string_view s, std::string* out) {
+  common::AppendVarint(s.size(), out);
+  out->append(s);
+}
+
+bool ReadString(std::string_view data, size_t* pos, std::string* out) {
+  uint64_t len = 0;
+  if (!common::ReadVarint(data, pos, &len)) return false;
+  if (*pos + len > data.size()) return false;
+  out->assign(data.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::string SaveSnapshot(const LabeledDocument& doc) {
+  std::string out(kMagic, sizeof(kMagic));
+  AppendString(doc.scheme().traits().name, &out);
+
+  std::vector<NodeId> order = doc.tree().PreorderNodes();
+  common::AppendVarint(order.size(), &out);
+  // Document-order ranks serve as parent references.
+  std::map<NodeId, uint64_t> rank;
+  for (size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  for (NodeId n : order) {
+    NodeId parent = doc.tree().parent(n);
+    common::AppendVarint(
+        parent == xml::kInvalidNode ? 0 : rank.at(parent) + 1, &out);
+    out.push_back(static_cast<char>(doc.tree().kind(n)));
+    AppendString(doc.tree().name(n), &out);
+    AppendString(doc.tree().value(n), &out);
+    AppendString(doc.label(n).bytes(), &out);
+  }
+  return out;
+}
+
+Result<LabeledDocument> LoadSnapshot(
+    std::string_view bytes, std::unique_ptr<labels::LabelingScheme>* scheme,
+    const labels::SchemeOptions& options) {
+  if (scheme == nullptr) {
+    return Status::InvalidArgument("scheme out-parameter must be non-null");
+  }
+  if (bytes.size() < sizeof(kMagic) ||
+      bytes.substr(0, sizeof(kMagic)) != std::string_view(kMagic, 4)) {
+    return Status::ParseError("not an xmlup snapshot");
+  }
+  size_t pos = sizeof(kMagic);
+  std::string scheme_name;
+  if (!ReadString(bytes, &pos, &scheme_name)) {
+    return Status::ParseError("truncated scheme name");
+  }
+  XMLUP_ASSIGN_OR_RETURN(*scheme, labels::CreateScheme(scheme_name, options));
+
+  uint64_t count = 0;
+  if (!common::ReadVarint(bytes, &pos, &count)) {
+    return Status::ParseError("truncated node count");
+  }
+  xml::Tree tree;
+  std::vector<NodeId> by_rank;
+  std::vector<labels::Label> node_labels;
+  by_rank.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t parent_rank = 0;
+    if (!common::ReadVarint(bytes, &pos, &parent_rank)) {
+      return Status::ParseError("truncated parent reference");
+    }
+    if (pos >= bytes.size()) return Status::ParseError("truncated kind");
+    NodeKind kind = static_cast<NodeKind>(bytes[pos++]);
+    std::string name, value, label_bytes;
+    if (!ReadString(bytes, &pos, &name) ||
+        !ReadString(bytes, &pos, &value) ||
+        !ReadString(bytes, &pos, &label_bytes)) {
+      return Status::ParseError("truncated node record");
+    }
+    NodeId node;
+    if (parent_rank == 0) {
+      if (i != 0) return Status::ParseError("non-first root record");
+      XMLUP_ASSIGN_OR_RETURN(
+          node, tree.CreateRoot(kind, std::move(name), std::move(value)));
+    } else {
+      if (parent_rank > by_rank.size()) {
+        return Status::ParseError("forward parent reference");
+      }
+      XMLUP_ASSIGN_OR_RETURN(
+          node, tree.AppendChild(by_rank[parent_rank - 1], kind,
+                                 std::move(name), std::move(value)));
+    }
+    by_rank.push_back(node);
+    node_labels.resize(tree.arena_size());
+    node_labels[node] = labels::Label(std::move(label_bytes));
+  }
+  if (pos != bytes.size()) {
+    return Status::ParseError("trailing bytes after the last node record");
+  }
+  if (count == 0) return Status::ParseError("empty snapshot");
+  return LabeledDocument::Restore(std::move(tree), scheme->get(),
+                                  std::move(node_labels));
+}
+
+}  // namespace xmlup::core

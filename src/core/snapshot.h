@@ -1,0 +1,36 @@
+#ifndef XMLUP_CORE_SNAPSHOT_H_
+#define XMLUP_CORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+
+namespace xmlup::core {
+
+/// Binary snapshot of a labelled document: tree structure, node content
+/// and the *assigned labels* — so a repository can persist a document and
+/// reopen it without relabelling (which, for non-persistent schemes,
+/// would invalidate every label-keyed structure built on top; cf. the
+/// versioned-repository example).
+///
+/// Format (all integers LEB128 varints):
+///   magic "XUP1" | scheme-name | node-count |
+///   per node in document order:
+///     parent-rank+1 (0 for the root) | kind | name | value | label-bytes
+std::string SaveSnapshot(const LabeledDocument& doc);
+
+/// Restores a document from a snapshot. The scheme named in the snapshot
+/// is created from the registry with `options`; the stored labels are
+/// re-attached verbatim and verified for order and uniqueness. `scheme`
+/// receives ownership of the created scheme, which must outlive the
+/// returned document.
+common::Result<LabeledDocument> LoadSnapshot(
+    std::string_view bytes,
+    std::unique_ptr<labels::LabelingScheme>* scheme,
+    const labels::SchemeOptions& options = {});
+
+}  // namespace xmlup::core
+
+#endif  // XMLUP_CORE_SNAPSHOT_H_

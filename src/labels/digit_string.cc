@@ -1,0 +1,122 @@
+#include "labels/digit_string.h"
+
+#include <cassert>
+
+namespace xmlup::labels {
+
+using common::Result;
+using common::Status;
+
+int DigitCompare(std::string_view a, std::string_view b) {
+  // std::string_view::compare is lexicographic with prefix < extension,
+  // exactly the order the digit-string schemes define.
+  int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+bool IsValidDigitCode(const DigitDomain& domain, std::string_view code) {
+  if (code.empty()) return false;
+  for (char c : code) {
+    uint8_t d = static_cast<uint8_t>(c);
+    if (d < domain.min_digit || d > domain.max_digit) return false;
+  }
+  return static_cast<uint8_t>(code.back()) >= domain.min_terminal;
+}
+
+std::string DigitAfter(const DigitDomain& domain, std::string_view left) {
+  if (left.empty()) return std::string(1, static_cast<char>(domain.min_terminal));
+  uint8_t last = static_cast<uint8_t>(left.back());
+  if (last < domain.max_digit) {
+    // Increment in place. last+1 > min_digit, so it is always terminal for
+    // the domains used here (min_terminal == min_digit + 1).
+    std::string out(left);
+    out.back() = static_cast<char>(last + 1);
+    return out;
+  }
+  std::string out(left);
+  out.push_back(static_cast<char>(domain.min_terminal));
+  return out;
+}
+
+Result<std::string> DigitBefore(const DigitDomain& domain,
+                                std::string_view right) {
+  if (right.empty()) {
+    return std::string(1, static_cast<char>(domain.min_terminal));
+  }
+  for (size_t i = 0; i < right.size(); ++i) {
+    uint8_t d = static_cast<uint8_t>(right[i]);
+    if (d == domain.min_digit) continue;
+    // Drop to d-1 at position i; anything after keeps us below `right`.
+    std::string out(right.substr(0, i));
+    out.push_back(static_cast<char>(d - 1));
+    if (d - 1 < domain.min_terminal) {
+      out.push_back(static_cast<char>(domain.min_terminal));
+    }
+    return out;
+  }
+  return Status::InvalidArgument(
+      "right bound consists solely of minimum digits; no code precedes it");
+}
+
+Result<std::string> DigitBetween(const DigitDomain& domain,
+                                 std::string_view left,
+                                 std::string_view right) {
+  if (left.empty() && right.empty()) {
+    return std::string(1, static_cast<char>(domain.min_terminal));
+  }
+  if (left.empty()) return DigitBefore(domain, right);
+  if (right.empty()) return DigitAfter(domain, left);
+
+  if (DigitCompare(left, right) >= 0) {
+    return Status::InvalidArgument("DigitBetween requires left < right");
+  }
+
+  // Find the first index where the bounds differ.
+  size_t i = 0;
+  while (i < left.size() && i < right.size() && left[i] == right[i]) ++i;
+
+  if (i == left.size()) {
+    // left is a proper prefix of right: extend left below right's suffix.
+    XMLUP_ASSIGN_OR_RETURN(std::string suffix,
+                           DigitBefore(domain, right.substr(i)));
+    std::string out(left);
+    out += suffix;
+    return out;
+  }
+  assert(i < right.size());  // right prefix of left would mean left > right.
+
+  uint8_t l = static_cast<uint8_t>(left[i]);
+  uint8_t r = static_cast<uint8_t>(right[i]);
+  std::string prefix(left.substr(0, i));
+
+  if (r - l >= 2) {
+    // A digit fits strictly between; take the largest so it is terminal
+    // whenever possible.
+    uint8_t d = static_cast<uint8_t>(r - 1);
+    std::string out = prefix;
+    out.push_back(static_cast<char>(d));
+    if (d < domain.min_terminal) {
+      out.push_back(static_cast<char>(domain.min_terminal));
+    }
+    return out;
+  }
+
+  // Adjacent digits: either extend the left branch upward or the right
+  // branch downward; prefer the shorter result (ties favour the left).
+  std::string c1 = prefix;
+  c1.push_back(static_cast<char>(l));
+  c1 += DigitAfter(domain, left.substr(i + 1));
+
+  if (i + 1 < right.size()) {
+    auto below = DigitBefore(domain, right.substr(i + 1));
+    if (below.ok()) {
+      std::string c2 = prefix;
+      c2.push_back(static_cast<char>(r));
+      c2 += below.value();
+      if (c2.size() < c1.size()) return c2;
+    }
+  }
+  return c1;
+}
+
+}  // namespace xmlup::labels

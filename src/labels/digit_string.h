@@ -1,0 +1,67 @@
+#ifndef XMLUP_LABELS_DIGIT_STRING_H_
+#define XMLUP_LABELS_DIGIT_STRING_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace xmlup::labels {
+
+/// A totally ordered digit alphabet with a terminal constraint.
+///
+/// Codes are strings of "digits" (raw byte values in [min_digit,
+/// max_digit]) compared lexicographically, where a proper prefix sorts
+/// before its extensions. Valid codes end with a digit >= min_terminal;
+/// this guarantees a code can always be generated strictly before any
+/// existing code (the reason QED reserves codes ending in 2 or 3, and
+/// ImprovedBinary codes always end in 1).
+///
+/// Instances:
+///   - binary (ImprovedBinary / CDBS): digits {0,1}, terminal {1}
+///   - quaternary (QED / CDQS): digits {1,2,3}, terminal {2,3}
+///   - DLN sub-values: digits {0..2^k-1}, terminal {>=1}
+struct DigitDomain {
+  uint8_t min_digit;
+  uint8_t max_digit;
+  uint8_t min_terminal;
+};
+
+/// Lexicographic comparison (prefix < extension): <0, 0, >0.
+int DigitCompare(std::string_view a, std::string_view b);
+
+/// True iff `code` is non-empty, all digits lie in the domain, and the last
+/// digit satisfies the terminal constraint.
+bool IsValidDigitCode(const DigitDomain& domain, std::string_view code);
+
+/// Returns the shortest-form code strictly after `left` (insert after the
+/// last sibling). An empty `left` means "-infinity" and yields the smallest
+/// valid single-digit code.
+///
+/// Rule (generalises the published per-scheme rules): if the last digit of
+/// `left` can be incremented the increment is returned, otherwise the
+/// smallest terminal digit is appended. For binary this reproduces
+/// ImprovedBinary's "concatenate an extra 1"; for quaternary it reproduces
+/// QED's "2 -> 3, 3 -> append 2".
+std::string DigitAfter(const DigitDomain& domain, std::string_view left);
+
+/// Returns a code strictly before `right` (insert before the first
+/// sibling). `right` must contain at least one digit above min_digit
+/// (guaranteed for valid codes, whose last digit is terminal).
+/// For binary this reproduces ImprovedBinary's "change the last 1 to 01";
+/// for quaternary, QED's "2 -> 12, 3 -> 2".
+common::Result<std::string> DigitBefore(const DigitDomain& domain,
+                                        std::string_view right);
+
+/// Returns a code strictly between `left` and `right` (lexicographically).
+/// Empty `left`/`right` denote -infinity/+infinity. Requires left < right.
+/// For binary this is AssignMiddleSelfLabel (Li & Ling, DASFAA'05); for
+/// quaternary it is the insertion half of GetOneThirdAndTwoThirdCode
+/// (Li & Ling, CIKM'05).
+common::Result<std::string> DigitBetween(const DigitDomain& domain,
+                                         std::string_view left,
+                                         std::string_view right);
+
+}  // namespace xmlup::labels
+
+#endif  // XMLUP_LABELS_DIGIT_STRING_H_

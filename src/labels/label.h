@@ -1,0 +1,43 @@
+#ifndef XMLUP_LABELS_LABEL_H_
+#define XMLUP_LABELS_LABEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace xmlup::labels {
+
+/// An immutable node label: a byte string whose interpretation is owned by
+/// the labelling scheme that produced it (Definition 1 of the paper). A
+/// default-constructed (empty) Label means "no label assigned"; schemes
+/// guarantee that every assigned label has a non-empty byte representation.
+class Label {
+ public:
+  Label() = default;
+  explicit Label(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  Label(const Label&) = default;
+  Label& operator=(const Label&) = default;
+  Label(Label&&) = default;
+  Label& operator=(Label&&) = default;
+
+  const std::string& bytes() const { return bytes_; }
+  bool empty() const { return bytes_.empty(); }
+  size_t size() const { return bytes_.size(); }
+
+  friend bool operator==(const Label& a, const Label& b) = default;
+
+ private:
+  std::string bytes_;
+};
+
+struct LabelHash {
+  size_t operator()(const Label& l) const {
+    return std::hash<std::string>()(l.bytes());
+  }
+};
+
+}  // namespace xmlup::labels
+
+#endif  // XMLUP_LABELS_LABEL_H_

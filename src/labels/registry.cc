@@ -1,0 +1,181 @@
+#include "labels/registry.h"
+
+#include "labels/binary_codec.h"
+#include "labels/containment_scheme.h"
+#include "labels/dde_scheme.h"
+#include "labels/dewey_codec.h"
+#include "labels/dietz_om_scheme.h"
+#include "labels/dln_codec.h"
+#include "labels/lsdx_codec.h"
+#include "labels/ordpath_codec.h"
+#include "labels/prefix_scheme.h"
+#include "labels/prepost_gap_scheme.h"
+#include "labels/prepost_scheme.h"
+#include "labels/prime_scheme.h"
+#include "labels/qrs_scheme.h"
+#include "labels/quaternary_codec.h"
+#include "labels/sector_scheme.h"
+#include "labels/vector_codec.h"
+#include "labels/xrel_scheme.h"
+
+namespace xmlup::labels {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+SchemeTraits PrefixTraits(std::string name, std::string display,
+                          EncodingRep rep, bool orthogonal,
+                          std::string citation, bool in_matrix) {
+  SchemeTraits t;
+  t.name = std::move(name);
+  t.display_name = std::move(display);
+  t.order_approach = OrderApproach::kHybrid;
+  t.encoding_rep = rep;
+  t.orthogonal = orthogonal;
+  t.citation = std::move(citation);
+  t.in_paper_matrix = in_matrix;
+  return t;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LabelingScheme>> CreateScheme(
+    std::string_view name, const SchemeOptions& options) {
+  if (name == "xpath-accelerator") {
+    return std::unique_ptr<LabelingScheme>(new PrePostScheme());
+  }
+  if (name == "prepost-gap") {
+    return std::unique_ptr<LabelingScheme>(
+        new PrePostGapScheme(options.prepost_gap));
+  }
+  if (name == "dietz-om") {
+    return std::unique_ptr<LabelingScheme>(new DietzOmScheme());
+  }
+  if (name == "xrel") {
+    return std::unique_ptr<LabelingScheme>(new XRelScheme());
+  }
+  if (name == "sector") {
+    return std::unique_ptr<LabelingScheme>(new SectorScheme());
+  }
+  if (name == "qrs") {
+    return std::unique_ptr<LabelingScheme>(new QrsScheme());
+  }
+  if (name == "dewey") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("dewey", "DeweyID", EncodingRep::kVariable, false,
+                     "Tatarinov et al., SIGMOD 2002", true),
+        std::make_unique<DeweyCodec>()));
+  }
+  if (name == "ordpath") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("ordpath", "ORDPATH", EncodingRep::kVariable, false,
+                     "O'Neil et al., SIGMOD 2004", true),
+        std::make_unique<OrdpathCodec>(options.ordpath_max_code_bits)));
+  }
+  if (name == "dln") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("dln", "DLN", EncodingRep::kFixed, false,
+                     "Böhme & Rahm, DIWeb 2004", true),
+        std::make_unique<DlnCodec>(options.dln_component_bits,
+                                   options.dln_max_components)));
+  }
+  if (name == "lsdx") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("lsdx", "LSDX", EncodingRep::kVariable, false,
+                     "Duong & Zhang, ADC 2005", true),
+        std::make_unique<LsdxCodec>(options.lsdx_length_field_bits),
+        PrefixRenderStyle::kLsdx));
+  }
+  if (name == "com-d") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("com-d", "Com-D", EncodingRep::kVariable, false,
+                     "Duong & Zhang, OTM 2008", false),
+        std::make_unique<ComDCodec>(options.lsdx_length_field_bits),
+        PrefixRenderStyle::kLsdx));
+  }
+  if (name == "improved-binary") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("improved-binary", "ImprovedBinary",
+                     EncodingRep::kVariable, false,
+                     "Li & Ling, DASFAA 2005", true),
+        std::make_unique<ImprovedBinaryCodec>(
+            options.improved_binary_length_field_bits)));
+  }
+  if (name == "cdbs") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("cdbs", "CDBS", EncodingRep::kFixed, false,
+                     "Li, Ling & Hu, ICDE 2006", false),
+        std::make_unique<CdbsCodec>(options.cdbs_slot_bits)));
+  }
+  if (name == "qed") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("qed", "QED", EncodingRep::kVariable, true,
+                     "Li & Ling, CIKM 2005", true),
+        std::make_unique<QedCodec>()));
+  }
+  if (name == "cdqs") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("cdqs", "CDQS", EncodingRep::kVariable, true,
+                     "Li, Ling & Hu, VLDB J. 2008", true),
+        std::make_unique<CdqsCodec>()));
+  }
+  if (name == "vector") {
+    SchemeTraits t;
+    t.name = "vector";
+    t.display_name = "Vector";
+    t.order_approach = OrderApproach::kHybrid;
+    t.encoding_rep = EncodingRep::kVariable;
+    t.orthogonal = true;
+    t.citation = "Xu, Bao & Ling, DEXA 2007";
+    t.in_paper_matrix = true;
+    return std::unique_ptr<LabelingScheme>(
+        new ContainmentScheme(std::move(t), std::make_unique<VectorCodec>()));
+  }
+  if (name == "qed-containment") {
+    SchemeTraits t;
+    t.name = "qed-containment";
+    t.display_name = "QED (containment)";
+    t.order_approach = OrderApproach::kHybrid;
+    t.encoding_rep = EncodingRep::kVariable;
+    t.orthogonal = true;
+    t.citation = "Li & Ling, CIKM 2005 (containment application)";
+    t.in_paper_matrix = false;
+    return std::unique_ptr<LabelingScheme>(
+        new ContainmentScheme(std::move(t), std::make_unique<QedCodec>()));
+  }
+  if (name == "dde") {
+    return std::unique_ptr<LabelingScheme>(new DdeScheme());
+  }
+  if (name == "vector-prefix") {
+    return std::unique_ptr<LabelingScheme>(new PrefixScheme(
+        PrefixTraits("vector-prefix", "Vector (prefix)",
+                     EncodingRep::kVariable, true,
+                     "Xu, Bao & Ling, DEXA 2007 (prefix application)",
+                     false),
+        std::make_unique<VectorCodec>()));
+  }
+  if (name == "prime") {
+    return std::unique_ptr<LabelingScheme>(
+        new PrimeScheme(options.prime_order_gap));
+  }
+  return Status::NotFound("unknown labelling scheme '" + std::string(name) +
+                          "'");
+}
+
+std::vector<std::string> PaperMatrixSchemeNames() {
+  return {"xpath-accelerator", "xrel",    "sector",          "qrs",
+          "dewey",             "ordpath", "dln",             "lsdx",
+          "improved-binary",   "qed",     "cdqs",            "vector"};
+}
+
+std::vector<std::string> AllSchemeNames() {
+  std::vector<std::string> names = PaperMatrixSchemeNames();
+  names.insert(names.end(), {"com-d", "cdbs", "prime", "dde",
+                             "qed-containment", "vector-prefix",
+                             "prepost-gap", "dietz-om"});
+  return names;
+}
+
+}  // namespace xmlup::labels

@@ -1,0 +1,65 @@
+#ifndef XMLUP_LABELS_REGISTRY_H_
+#define XMLUP_LABELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "labels/scheme.h"
+
+namespace xmlup::labels {
+
+/// Tuning knobs for scheme construction; the defaults reproduce the
+/// paper's setting, while benchmarks shrink budgets to make the §4
+/// overflow problem observable at laptop scale.
+struct SchemeOptions {
+  /// ImprovedBinary length-field width (bits of the stored length).
+  size_t improved_binary_length_field_bits = 8;
+  /// CDBS fixed slot width in bits.
+  size_t cdbs_slot_bits = 64;
+  /// DLN sub-value width in bits and sub-value budget per identifier.
+  int dln_component_bits = 4;
+  size_t dln_max_components = 16;
+  /// LSDX / Com-D length-field width (bits of the stored letter count).
+  size_t lsdx_length_field_bits = 8;
+  /// ORDPATH per-code storage budget in bits.
+  size_t ordpath_max_code_bits = 4096;
+  /// Prime scheme initial order-key spacing.
+  uint64_t prime_order_gap = 1ULL << 16;
+  /// Gapped pre/post rank spacing.
+  uint64_t prepost_gap = 1ULL << 20;
+};
+
+/// Creates a labelling scheme by registry name. Names:
+///
+/// The twelve rows of the paper's Figure 7:
+///   "xpath-accelerator", "xrel", "sector", "qrs", "dewey", "ordpath",
+///   "dln", "lsdx", "improved-binary", "qed", "cdqs", "vector"
+///
+/// Extensions (§3.1.2 / §4 / §6 of the survey):
+///   "com-d"            LSDX with run-length-compressed storage
+///   "cdbs"             Compact Dynamic Binary String (fixed-length)
+///   "prime"            Prime number labelling (§6 future work)
+///   "dde"              DDE: fully dynamic Dewey (§6 future work)
+///   "vector-prefix"    Vector order codes in a prefix host (orthogonality
+///                      ablation)
+///   "qed-containment"  QED applied to a containment host (orthogonality
+///                      ablation for the §4 claim)
+///   "dietz-om"         containment over Dietz's order-maintenance list
+///                      (local renumbering; the survey's reference [6])
+///   "prepost-gap"      gapped pre/post ranks (§3.1.1's [17,9,11]: gaps
+///                      only postpone relabelling)
+common::Result<std::unique_ptr<LabelingScheme>> CreateScheme(
+    std::string_view name, const SchemeOptions& options = {});
+
+/// All registry names, matrix rows first (in the paper's Figure 7 order).
+std::vector<std::string> AllSchemeNames();
+
+/// The twelve Figure 7 scheme names in row order.
+std::vector<std::string> PaperMatrixSchemeNames();
+
+}  // namespace xmlup::labels
+
+#endif  // XMLUP_LABELS_REGISTRY_H_

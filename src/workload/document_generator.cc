@@ -1,0 +1,133 @@
+#include "workload/document_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xmlup::workload {
+
+using common::Result;
+using common::SplitMix64;
+using common::Status;
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+namespace {
+
+const char* const kElementNames[] = {"item",    "record", "entry",  "person",
+                                     "address", "order",  "product", "note",
+                                     "section", "para"};
+const char* const kAttributeNames[] = {"id", "type", "lang", "version"};
+
+std::string PickName(SplitMix64* rng, const char* const* names, size_t n) {
+  return names[rng->NextBelow(n)];
+}
+
+}  // namespace
+
+Result<Tree> GenerateDocument(const DocumentShape& shape) {
+  if (shape.target_nodes == 0) {
+    return Status::InvalidArgument("target_nodes must be positive");
+  }
+  SplitMix64 rng(shape.seed);
+  Tree tree;
+  XMLUP_ASSIGN_OR_RETURN(NodeId root,
+                         tree.CreateRoot(NodeKind::kElement, "root"));
+
+  // Frontier of elements that can still take children, with their depth.
+  struct Slot {
+    NodeId node;
+    int depth;
+  };
+  std::vector<Slot> frontier = {{root, 0}};
+  while (tree.node_count() < shape.target_nodes && !frontier.empty()) {
+    size_t pick = rng.NextBelow(frontier.size());
+    Slot slot = frontier[pick];
+    int fanout =
+        1 + static_cast<int>(rng.NextBelow(
+                static_cast<uint64_t>(shape.max_fanout)));
+    for (int i = 0; i < fanout && tree.node_count() < shape.target_nodes;
+         ++i) {
+      XMLUP_ASSIGN_OR_RETURN(
+          NodeId child,
+          tree.AppendChild(slot.node, NodeKind::kElement,
+                           PickName(&rng, kElementNames, 10)));
+      if (rng.NextBool(shape.attribute_probability)) {
+        XMLUP_RETURN_NOT_OK(
+            tree.InsertChild(child, NodeKind::kAttribute,
+                             PickName(&rng, kAttributeNames, 4),
+                             std::to_string(rng.NextBelow(10000)),
+                             tree.first_child(child))
+                .status());
+      }
+      if (rng.NextBool(shape.text_probability)) {
+        std::string text = "v";
+        text += std::to_string(rng.NextBelow(100000));
+        XMLUP_RETURN_NOT_OK(
+            tree.AppendChild(child, NodeKind::kText, "", std::move(text))
+                .status());
+      }
+      if (slot.depth + 1 < shape.max_depth) {
+        frontier.push_back({child, slot.depth + 1});
+      }
+    }
+    frontier[pick] = frontier.back();
+    frontier.pop_back();
+  }
+  return tree;
+}
+
+Tree SampleBookDocument() {
+  // Figure 1(a) of the paper.
+  Tree tree;
+  NodeId book = tree.CreateRoot(NodeKind::kElement, "book").value();
+  NodeId title =
+      tree.AppendChild(book, NodeKind::kElement, "title").value();
+  tree.AppendChild(title, NodeKind::kAttribute, "genre", "Fantasy")
+      .value();
+  tree.AppendChild(title, NodeKind::kText, "", "Wayfarer").value();
+  NodeId author =
+      tree.AppendChild(book, NodeKind::kElement, "author").value();
+  tree.AppendChild(author, NodeKind::kText, "", "Matthew Dickens").value();
+  NodeId publisher =
+      tree.AppendChild(book, NodeKind::kElement, "publisher").value();
+  NodeId editor =
+      tree.AppendChild(publisher, NodeKind::kElement, "editor").value();
+  NodeId name = tree.AppendChild(editor, NodeKind::kElement, "name").value();
+  tree.AppendChild(name, NodeKind::kText, "", "Destiny Image").value();
+  NodeId address =
+      tree.AppendChild(editor, NodeKind::kElement, "address").value();
+  tree.AppendChild(address, NodeKind::kText, "", "USA").value();
+  NodeId edition =
+      tree.AppendChild(publisher, NodeKind::kElement, "edition").value();
+  tree.AppendChild(edition, NodeKind::kAttribute, "year", "2004").value();
+  tree.AppendChild(edition, NodeKind::kText, "", "1.0").value();
+  return tree;
+}
+
+Result<Tree> GenerateDeepDocument(int depth, int fanout, uint64_t seed) {
+  if (depth < 1 || fanout < 1) {
+    return Status::InvalidArgument("depth and fanout must be positive");
+  }
+  SplitMix64 rng(seed);
+  Tree tree;
+  XMLUP_ASSIGN_OR_RETURN(NodeId root,
+                         tree.CreateRoot(NodeKind::kElement, "root"));
+  NodeId spine = root;
+  for (int d = 1; d < depth; ++d) {
+    NodeId next = spine;
+    for (int i = 0; i < fanout; ++i) {
+      XMLUP_ASSIGN_OR_RETURN(
+          NodeId child,
+          tree.AppendChild(spine, NodeKind::kElement, "level"));
+      if (i == 0 || rng.NextBool(0.5)) next = child;
+    }
+    if (next == spine) break;
+    spine = next;
+  }
+  return tree;
+}
+
+}  // namespace xmlup::workload

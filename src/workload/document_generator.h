@@ -1,0 +1,44 @@
+#ifndef XMLUP_WORKLOAD_DOCUMENT_GENERATOR_H_
+#define XMLUP_WORKLOAD_DOCUMENT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xmlup::workload {
+
+/// Shape parameters for synthetic XML documents. The generator emulates
+/// data-centric documents (record collections with attributes and text
+/// leaves) — the paper specifies no corpus, so the probes and benchmarks
+/// characterise schemes across these parameterised shapes plus the paper's
+/// own Figure 1 sample.
+struct DocumentShape {
+  /// Approximate number of nodes to generate (the generator stops adding
+  /// elements when this is reached; attributes/text may slightly exceed).
+  size_t target_nodes = 1000;
+  /// Maximum element nesting depth.
+  int max_depth = 6;
+  /// Maximum children per element.
+  int max_fanout = 10;
+  /// Probability that an element carries a text child.
+  double text_probability = 0.4;
+  /// Probability that an element carries an attribute.
+  double attribute_probability = 0.3;
+  uint64_t seed = 42;
+};
+
+/// Generates a random document with the given shape. Deterministic in the
+/// seed.
+common::Result<xml::Tree> GenerateDocument(const DocumentShape& shape);
+
+/// The paper's Figure 1(a) sample document (the <book> example).
+xml::Tree SampleBookDocument();
+
+/// A deep, narrow document (chain-heavy) for depth-sensitive probes.
+common::Result<xml::Tree> GenerateDeepDocument(int depth, int fanout,
+                                               uint64_t seed);
+
+}  // namespace xmlup::workload
+
+#endif  // XMLUP_WORKLOAD_DOCUMENT_GENERATOR_H_

@@ -1,0 +1,109 @@
+#include "workload/insertion_workload.h"
+
+#include <vector>
+
+namespace xmlup::workload {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+std::string_view InsertPatternName(InsertPattern pattern) {
+  switch (pattern) {
+    case InsertPattern::kRandom:
+      return "random";
+    case InsertPattern::kUniform:
+      return "uniform";
+    case InsertPattern::kSkewedFixed:
+      return "skewed";
+    case InsertPattern::kAppend:
+      return "append";
+    case InsertPattern::kPrepend:
+      return "prepend";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// All element nodes of the tree in preorder.
+std::vector<NodeId> ElementNodes(const Tree& tree) {
+  std::vector<NodeId> out;
+  for (NodeId n : tree.PreorderNodes()) {
+    if (tree.kind(n) == NodeKind::kElement) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<InsertionPlanner::Position> InsertionPlanner::FixedAnchor(
+    const Tree& tree) {
+  if (anchor_ == xml::kInvalidNode || !tree.IsValid(anchor_)) {
+    // Pick a stable anchor: the second child of the root if present,
+    // otherwise the first, otherwise the root itself becomes the parent.
+    NodeId root = tree.root();
+    NodeId first = tree.first_child(root);
+    if (first == xml::kInvalidNode) {
+      fixed_parent_ = root;
+      anchor_ = xml::kInvalidNode;
+      return Position{root, xml::kInvalidNode};
+    }
+    NodeId second = tree.next_sibling(first);
+    anchor_ = second != xml::kInvalidNode ? second : first;
+    fixed_parent_ = root;
+  }
+  return Position{fixed_parent_, anchor_};
+}
+
+Result<InsertionPlanner::Position> InsertionPlanner::Next(const Tree& tree) {
+  if (!tree.has_root()) {
+    return Status::InvalidArgument("cannot plan insertions in an empty tree");
+  }
+  switch (pattern_) {
+    case InsertPattern::kSkewedFixed:
+      return FixedAnchor(tree);
+    case InsertPattern::kAppend: {
+      if (fixed_parent_ == xml::kInvalidNode ||
+          !tree.IsValid(fixed_parent_)) {
+        fixed_parent_ = tree.root();
+      }
+      return Position{fixed_parent_, xml::kInvalidNode};
+    }
+    case InsertPattern::kPrepend: {
+      if (fixed_parent_ == xml::kInvalidNode ||
+          !tree.IsValid(fixed_parent_)) {
+        fixed_parent_ = tree.root();
+      }
+      return Position{fixed_parent_, tree.first_child(fixed_parent_)};
+    }
+    case InsertPattern::kRandom: {
+      std::vector<NodeId> elements = ElementNodes(tree);
+      NodeId parent = elements[rng_.NextBelow(elements.size())];
+      size_t gaps = tree.ChildCount(parent) + 1;
+      size_t gap = rng_.NextBelow(gaps);
+      NodeId before = tree.first_child(parent);
+      for (size_t i = 0; i < gap && before != xml::kInvalidNode; ++i) {
+        before = tree.next_sibling(before);
+      }
+      return Position{parent, before};
+    }
+    case InsertPattern::kUniform: {
+      // Enumerate every (parent, gap) pair and choose uniformly.
+      std::vector<Position> positions;
+      for (NodeId parent : ElementNodes(tree)) {
+        positions.push_back({parent, tree.first_child(parent)});
+        for (NodeId c = tree.first_child(parent); c != xml::kInvalidNode;
+             c = tree.next_sibling(c)) {
+          positions.push_back({parent, tree.next_sibling(c)});
+        }
+      }
+      return positions[rng_.NextBelow(positions.size())];
+    }
+  }
+  return Status::Internal("unknown insertion pattern");
+}
+
+}  // namespace xmlup::workload

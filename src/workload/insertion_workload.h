@@ -1,0 +1,61 @@
+#ifndef XMLUP_WORKLOAD_INSERTION_WORKLOAD_H_
+#define XMLUP_WORKLOAD_INSERTION_WORKLOAD_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xmlup::workload {
+
+/// The three update scenarios the survey's Compact Encoding property names
+/// (§5.1) plus directed append/prepend probes.
+enum class InsertPattern {
+  /// Each insertion picks a random element and a random gap among its
+  /// children.
+  kRandom,
+  /// Gaps are chosen uniformly across the whole document (round-robin over
+  /// a shuffled enumeration of gaps).
+  kUniform,
+  /// Frequent insertions at a fixed position: always immediately before
+  /// the same anchor node, so every new node lands between the previous
+  /// insertion and the anchor — the worst case for label growth.
+  kSkewedFixed,
+  /// Always append after the last child of a fixed parent.
+  kAppend,
+  /// Always insert before the first child of a fixed parent.
+  kPrepend,
+};
+
+std::string_view InsertPatternName(InsertPattern pattern);
+
+/// Produces a stream of insertion positions for a given pattern against an
+/// evolving tree. Deterministic in the seed.
+class InsertionPlanner {
+ public:
+  InsertionPlanner(InsertPattern pattern, uint64_t seed)
+      : pattern_(pattern), rng_(seed) {}
+
+  struct Position {
+    xml::NodeId parent = xml::kInvalidNode;
+    /// Insert immediately before this child; kInvalidNode appends.
+    xml::NodeId before = xml::kInvalidNode;
+  };
+
+  /// Picks the next insertion position for the current tree state.
+  common::Result<Position> Next(const xml::Tree& tree);
+
+ private:
+  common::Result<Position> FixedAnchor(const xml::Tree& tree);
+
+  InsertPattern pattern_;
+  common::SplitMix64 rng_;
+  xml::NodeId anchor_ = xml::kInvalidNode;
+  xml::NodeId fixed_parent_ = xml::kInvalidNode;
+};
+
+}  // namespace xmlup::workload
+
+#endif  // XMLUP_WORKLOAD_INSERTION_WORKLOAD_H_

@@ -1,0 +1,49 @@
+#ifndef XMLUP_XML_NODE_H_
+#define XMLUP_XML_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlup::xml {
+
+/// Dense node identifier: an index into the owning tree's node arena.
+/// Identifiers are stable across structural updates (removals leave holes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Node kinds of the XPath data model subset the paper works with (§2.1).
+/// Attributes are represented as ordinary tree nodes ordered before the
+/// element's children, matching the pre/post numbering of Figure 1(b).
+enum class NodeKind : uint8_t {
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// Returns a short human-readable kind name ("Element", "Attribute", ...).
+std::string_view NodeKindName(NodeKind kind);
+
+/// A node in the XML tree arena. Passive data; the Tree class maintains all
+/// invariants (sibling links, parent/child consistency, liveness).
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  bool alive = false;
+  NodeId parent = kInvalidNode;
+  NodeId first_child = kInvalidNode;
+  NodeId last_child = kInvalidNode;
+  NodeId prev_sibling = kInvalidNode;
+  NodeId next_sibling = kInvalidNode;
+  /// Element/attribute/PI name; empty for text and comments.
+  std::string name;
+  /// Attribute value, text content, comment body or PI data.
+  std::string value;
+};
+
+}  // namespace xmlup::xml
+
+#endif  // XMLUP_XML_NODE_H_

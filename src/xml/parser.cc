@@ -1,0 +1,360 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace xmlup::xml {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<Tree> Parse();
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  bool Consume(std::string_view expected) {
+    if (text_.substr(pos_, expected.size()) != expected) return false;
+    for (size_t i = 0; i < expected.size(); ++i) Advance();
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(std::string_view what) const {
+    std::ostringstream os;
+    os << what << " at " << line_ << ":" << col_;
+    return Status::ParseError(os.str());
+  }
+
+  Result<std::string> ParseName();
+  Result<std::string> ParseAttrValue();
+  // Decodes entities in raw character data.
+  Result<std::string> DecodeText(std::string_view raw) const;
+
+  Status ParseMisc(Tree* tree, NodeId parent);
+  Status ParseElement(Tree* tree, NodeId parent);
+  Status ParseContent(Tree* tree, NodeId element);
+  Status ParseAttributes(Tree* tree, NodeId element);
+  Status ParseComment(Tree* tree, NodeId parent);
+  Status ParsePI(Tree* tree, NodeId parent);
+  Status ParseCData(Tree* tree, NodeId parent);
+  Status AddText(Tree* tree, NodeId parent, std::string text);
+
+  std::string_view text_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+Result<std::string> Parser::ParseName() {
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return Error("expected a name");
+  }
+  std::string name;
+  while (!AtEnd() && IsNameChar(Peek())) {
+    name.push_back(Peek());
+    Advance();
+  }
+  return name;
+}
+
+Result<std::string> Parser::DecodeText(std::string_view raw) const {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size();) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (!entity.empty() && entity[0] == '#') {
+      int base = 10;
+      std::string_view digits = entity.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) return Status::ParseError("empty character ref");
+      unsigned long code = 0;
+      for (char c : digits) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return Status::ParseError("bad character reference");
+        }
+        code = code * base + static_cast<unsigned long>(digit);
+        if (code > 0x10FFFF) return Status::ParseError("char ref too large");
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      }
+    } else {
+      return Status::ParseError("unknown entity '&" + std::string(entity) +
+                                ";'");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+Result<std::string> Parser::ParseAttrValue() {
+  if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+    return Error("expected quoted attribute value");
+  }
+  char quote = Peek();
+  Advance();
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != quote) {
+    if (Peek() == '<') return Error("'<' in attribute value");
+    Advance();
+  }
+  if (AtEnd()) return Error("unterminated attribute value");
+  std::string_view raw = text_.substr(start, pos_ - start);
+  Advance();  // Closing quote.
+  return DecodeText(raw);
+}
+
+Status Parser::AddText(Tree* tree, NodeId parent, std::string text) {
+  if (options_.skip_whitespace_text && IsAllWhitespace(text)) {
+    return Status::Ok();
+  }
+  return tree->AppendChild(parent, NodeKind::kText, "", std::move(text))
+      .status();
+}
+
+Status Parser::ParseComment(Tree* tree, NodeId parent) {
+  // "<!--" already consumed.
+  size_t end = text_.find("-->", pos_);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  std::string body(text_.substr(pos_, end - pos_));
+  while (pos_ < end + 3) Advance();
+  if (options_.keep_comments && parent != kInvalidNode) {
+    return tree->AppendChild(parent, NodeKind::kComment, "", std::move(body))
+        .status();
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParsePI(Tree* tree, NodeId parent) {
+  // "<?" already consumed.
+  XMLUP_ASSIGN_OR_RETURN(std::string target, ParseName());
+  size_t end = text_.find("?>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated PI");
+  std::string body(text_.substr(pos_, end - pos_));
+  while (pos_ < end + 2) Advance();
+  // Trim leading whitespace of the body.
+  size_t first = body.find_first_not_of(" \t\r\n");
+  body = first == std::string::npos ? "" : body.substr(first);
+  if (target == "xml") return Status::Ok();  // XML declaration: ignore.
+  if (options_.keep_processing_instructions && parent != kInvalidNode) {
+    return tree
+        ->AppendChild(parent, NodeKind::kProcessingInstruction,
+                      std::move(target), std::move(body))
+        .status();
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseCData(Tree* tree, NodeId parent) {
+  // "<![CDATA[" already consumed.
+  size_t end = text_.find("]]>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated CDATA");
+  std::string body(text_.substr(pos_, end - pos_));
+  while (pos_ < end + 3) Advance();
+  // CDATA is never whitespace-skipped: it is explicit character data.
+  return tree->AppendChild(parent, NodeKind::kText, "", std::move(body))
+      .status();
+}
+
+Status Parser::ParseAttributes(Tree* tree, NodeId element) {
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag");
+    if (Peek() == '>' || Peek() == '/') return Status::Ok();
+    XMLUP_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (!Consume("=")) return Error("expected '=' after attribute name");
+    SkipWhitespace();
+    XMLUP_ASSIGN_OR_RETURN(std::string value, ParseAttrValue());
+    XMLUP_RETURN_NOT_OK(tree
+                            ->AppendChild(element, NodeKind::kAttribute,
+                                          std::move(name), std::move(value))
+                            .status());
+  }
+}
+
+Status Parser::ParseContent(Tree* tree, NodeId element) {
+  std::string pending_text;
+  while (true) {
+    if (AtEnd()) return Error("unexpected end of input inside element");
+    if (Peek() == '<') {
+      if (!pending_text.empty()) {
+        XMLUP_ASSIGN_OR_RETURN(std::string decoded, DecodeText(pending_text));
+        XMLUP_RETURN_NOT_OK(AddText(tree, element, std::move(decoded)));
+        pending_text.clear();
+      }
+      if (PeekAt(1) == '/') {
+        return Status::Ok();  // Caller consumes the end tag.
+      }
+      if (Consume("<!--")) {
+        XMLUP_RETURN_NOT_OK(ParseComment(tree, element));
+      } else if (Consume("<![CDATA[")) {
+        XMLUP_RETURN_NOT_OK(ParseCData(tree, element));
+      } else if (Consume("<?")) {
+        XMLUP_RETURN_NOT_OK(ParsePI(tree, element));
+      } else {
+        XMLUP_RETURN_NOT_OK(ParseElement(tree, element));
+      }
+    } else {
+      pending_text.push_back(Peek());
+      Advance();
+    }
+  }
+}
+
+Status Parser::ParseElement(Tree* tree, NodeId parent) {
+  if (!Consume("<")) return Error("expected '<'");
+  XMLUP_ASSIGN_OR_RETURN(std::string name, ParseName());
+
+  NodeId element;
+  if (parent == kInvalidNode) {
+    XMLUP_ASSIGN_OR_RETURN(element,
+                           tree->CreateRoot(NodeKind::kElement, name));
+  } else {
+    XMLUP_ASSIGN_OR_RETURN(
+        element, tree->AppendChild(parent, NodeKind::kElement, name));
+  }
+  XMLUP_RETURN_NOT_OK(ParseAttributes(tree, element));
+
+  if (Consume("/>")) return Status::Ok();
+  if (!Consume(">")) return Error("expected '>' to close start tag");
+
+  XMLUP_RETURN_NOT_OK(ParseContent(tree, element));
+
+  if (!Consume("</")) return Error("expected end tag");
+  XMLUP_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+  if (end_name != name) {
+    return Error("mismatched end tag </" + end_name + "> for <" + name + ">");
+  }
+  SkipWhitespace();
+  if (!Consume(">")) return Error("expected '>' to close end tag");
+  return Status::Ok();
+}
+
+Status Parser::ParseMisc(Tree* tree, NodeId parent) {
+  while (true) {
+    SkipWhitespace();
+    if (AtEnd()) return Status::Ok();
+    if (Consume("<!--")) {
+      XMLUP_RETURN_NOT_OK(ParseComment(tree, parent));
+    } else if (text_.substr(pos_, 2) == "<?") {
+      Consume("<?");
+      XMLUP_RETURN_NOT_OK(ParsePI(tree, parent));
+    } else {
+      return Status::Ok();
+    }
+  }
+}
+
+Result<Tree> Parser::Parse() {
+  Tree tree;
+  // Prolog: declaration, comments, PIs (dropped when before the root).
+  XMLUP_RETURN_NOT_OK(ParseMisc(&tree, kInvalidNode));
+  if (AtEnd() || Peek() != '<') {
+    return Error("expected root element");
+  }
+  if (text_.substr(pos_, 2) == "<!") {
+    // Skip a DOCTYPE declaration if present (not modelled).
+    size_t end = text_.find('>', pos_);
+    if (end == std::string_view::npos) return Error("unterminated DOCTYPE");
+    while (pos_ <= end) Advance();
+    XMLUP_RETURN_NOT_OK(ParseMisc(&tree, kInvalidNode));
+  }
+  XMLUP_RETURN_NOT_OK(ParseElement(&tree, kInvalidNode));
+  // Trailing misc.
+  XMLUP_RETURN_NOT_OK(ParseMisc(&tree, kInvalidNode));
+  SkipWhitespace();
+  if (!AtEnd()) return Error("content after document element");
+  return tree;
+}
+
+}  // namespace
+
+Result<Tree> ParseDocument(std::string_view text, const ParseOptions& options) {
+  Parser parser(text, options);
+  return parser.Parse();
+}
+
+}  // namespace xmlup::xml

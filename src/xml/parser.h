@@ -1,0 +1,36 @@
+#ifndef XMLUP_XML_PARSER_H_
+#define XMLUP_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xmlup::xml {
+
+/// Parser configuration.
+struct ParseOptions {
+  /// Drop text nodes that contain only whitespace (typical for
+  /// data-centric documents such as the paper's Figure 1 sample).
+  bool skip_whitespace_text = true;
+  /// Keep comments and processing instructions as tree nodes.
+  bool keep_comments = true;
+  bool keep_processing_instructions = true;
+};
+
+/// Parses a textual XML document into a Tree (§2.1: the tree representation
+/// an XPath processor actually operates on).
+///
+/// Supported: elements, attributes, character data with the five predefined
+/// entities plus decimal/hex character references, CDATA sections, comments,
+/// processing instructions and an optional XML declaration. Not supported
+/// (out of the paper's scope): DTDs and namespaces-aware validation.
+///
+/// Errors carry 1-based line:column positions.
+common::Result<Tree> ParseDocument(std::string_view text,
+                                   const ParseOptions& options = {});
+
+}  // namespace xmlup::xml
+
+#endif  // XMLUP_XML_PARSER_H_

@@ -1,0 +1,137 @@
+#include "xml/serializer.h"
+
+#include <sstream>
+
+namespace xmlup::xml {
+
+using common::Result;
+using common::Status;
+
+std::string EscapeText(const std::string& text, bool attribute_context) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += attribute_context ? "&quot;" : "\"";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Serializer {
+ public:
+  Serializer(const Tree& tree, const SerializeOptions& options)
+      : tree_(tree), options_(options) {}
+
+  Status EmitNode(NodeId node, int depth) {
+    switch (tree_.kind(node)) {
+      case NodeKind::kElement:
+        return EmitElement(node, depth);
+      case NodeKind::kText:
+        Indent(depth);
+        out_ << EscapeText(tree_.value(node), /*attribute_context=*/false);
+        Newline();
+        return Status::Ok();
+      case NodeKind::kComment:
+        Indent(depth);
+        out_ << "<!--" << tree_.value(node) << "-->";
+        Newline();
+        return Status::Ok();
+      case NodeKind::kProcessingInstruction:
+        Indent(depth);
+        out_ << "<?" << tree_.name(node);
+        if (!tree_.value(node).empty()) out_ << " " << tree_.value(node);
+        out_ << "?>";
+        Newline();
+        return Status::Ok();
+      case NodeKind::kAttribute:
+        return Status::Internal(
+            "attribute node outside an element start tag");
+    }
+    return Status::Internal("unknown node kind");
+  }
+
+  std::string TakeOutput() { return out_.str(); }
+
+ private:
+  void Indent(int depth) {
+    if (options_.pretty) {
+      for (int i = 0; i < depth * options_.indent_width; ++i) out_ << ' ';
+    }
+  }
+  void Newline() {
+    if (options_.pretty) out_ << '\n';
+  }
+
+  Status EmitElement(NodeId node, int depth) {
+    Indent(depth);
+    out_ << "<" << tree_.name(node);
+    // Leading attribute children become attributes of the start tag.
+    std::vector<NodeId> content;
+    for (NodeId c = tree_.first_child(node); c != kInvalidNode;
+         c = tree_.next_sibling(c)) {
+      if (tree_.kind(c) == NodeKind::kAttribute) {
+        out_ << " " << tree_.name(c) << "=\""
+             << EscapeText(tree_.value(c), /*attribute_context=*/true)
+             << "\"";
+      } else {
+        content.push_back(c);
+      }
+    }
+    if (content.empty()) {
+      out_ << "/>";
+      Newline();
+      return Status::Ok();
+    }
+    out_ << ">";
+    // Compact single-text-child form: <a>text</a>.
+    if (content.size() == 1 && tree_.kind(content[0]) == NodeKind::kText) {
+      out_ << EscapeText(tree_.value(content[0]),
+                         /*attribute_context=*/false);
+      out_ << "</" << tree_.name(node) << ">";
+      Newline();
+      return Status::Ok();
+    }
+    Newline();
+    for (NodeId c : content) {
+      XMLUP_RETURN_NOT_OK(EmitNode(c, depth + 1));
+    }
+    Indent(depth);
+    out_ << "</" << tree_.name(node) << ">";
+    Newline();
+    return Status::Ok();
+  }
+
+  const Tree& tree_;
+  SerializeOptions options_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+Result<std::string> SerializeDocument(const Tree& tree,
+                                      const SerializeOptions& options) {
+  if (!tree.has_root()) {
+    return Status::InvalidArgument("tree has no root");
+  }
+  Serializer serializer(tree, options);
+  XMLUP_RETURN_NOT_OK(serializer.EmitNode(tree.root(), 0));
+  return serializer.TakeOutput();
+}
+
+}  // namespace xmlup::xml

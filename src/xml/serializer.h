@@ -1,0 +1,30 @@
+#ifndef XMLUP_XML_SERIALIZER_H_
+#define XMLUP_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace xmlup::xml {
+
+/// Serializer configuration.
+struct SerializeOptions {
+  /// Pretty-print with newlines and `indent_width` spaces per level.
+  bool pretty = false;
+  int indent_width = 2;
+};
+
+/// Serializes the tree back to textual XML (§2.3 requires that an encoding
+/// permits full reconstruction of the textual document). Attribute nodes
+/// become attributes of their parent element; text/comment/PI nodes are
+/// emitted in document order with the predefined entities re-escaped.
+common::Result<std::string> SerializeDocument(
+    const Tree& tree, const SerializeOptions& options = {});
+
+/// Escapes &, <, > (and in attribute context, the quote) for output.
+std::string EscapeText(const std::string& text, bool attribute_context);
+
+}  // namespace xmlup::xml
+
+#endif  // XMLUP_XML_SERIALIZER_H_

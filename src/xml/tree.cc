@@ -1,0 +1,205 @@
+#include "xml/tree.h"
+
+#include <algorithm>
+
+namespace xmlup::xml {
+
+using common::Result;
+using common::Status;
+
+std::string_view NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kElement:
+      return "Element";
+    case NodeKind::kAttribute:
+      return "Attribute";
+    case NodeKind::kText:
+      return "Text";
+    case NodeKind::kComment:
+      return "Comment";
+    case NodeKind::kProcessingInstruction:
+      return "PI";
+  }
+  return "Unknown";
+}
+
+NodeId Tree::Allocate(NodeKind kind, std::string name, std::string value) {
+  Node n;
+  n.kind = kind;
+  n.alive = true;
+  n.name = std::move(name);
+  n.value = std::move(value);
+  nodes_.push_back(std::move(n));
+  ++live_count_;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Result<NodeId> Tree::CreateRoot(NodeKind kind, std::string name,
+                                std::string value) {
+  if (root_ != kInvalidNode) {
+    return Status::InvalidArgument("tree already has a root");
+  }
+  root_ = Allocate(kind, std::move(name), std::move(value));
+  return root_;
+}
+
+Result<NodeId> Tree::InsertChild(NodeId parent, NodeKind kind,
+                                 std::string name, std::string value,
+                                 NodeId before) {
+  if (!IsValid(parent)) {
+    return Status::InvalidArgument("invalid parent node");
+  }
+  if (before != kInvalidNode) {
+    if (!IsValid(before) || nodes_[before].parent != parent) {
+      return Status::InvalidArgument("'before' is not a child of 'parent'");
+    }
+  }
+  NodeId id = Allocate(kind, std::move(name), std::move(value));
+  Node& n = nodes_[id];
+  Node& p = nodes_[parent];
+  n.parent = parent;
+  if (before == kInvalidNode) {
+    n.prev_sibling = p.last_child;
+    if (p.last_child != kInvalidNode) nodes_[p.last_child].next_sibling = id;
+    p.last_child = id;
+    if (p.first_child == kInvalidNode) p.first_child = id;
+  } else {
+    Node& b = nodes_[before];
+    n.next_sibling = before;
+    n.prev_sibling = b.prev_sibling;
+    if (b.prev_sibling != kInvalidNode) {
+      nodes_[b.prev_sibling].next_sibling = id;
+    } else {
+      p.first_child = id;
+    }
+    b.prev_sibling = id;
+  }
+  return id;
+}
+
+Status Tree::RemoveSubtree(NodeId node) {
+  if (!IsValid(node)) return Status::InvalidArgument("invalid node");
+  // Unlink from parent.
+  Node& n = nodes_[node];
+  if (n.parent != kInvalidNode) {
+    Node& p = nodes_[n.parent];
+    if (n.prev_sibling != kInvalidNode) {
+      nodes_[n.prev_sibling].next_sibling = n.next_sibling;
+    } else {
+      p.first_child = n.next_sibling;
+    }
+    if (n.next_sibling != kInvalidNode) {
+      nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
+    } else {
+      p.last_child = n.prev_sibling;
+    }
+  } else {
+    root_ = kInvalidNode;
+  }
+  // Mark the whole subtree dead (iterative DFS).
+  std::vector<NodeId> stack = {node};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    for (NodeId c = nodes_[cur].first_child; c != kInvalidNode;
+         c = nodes_[c].next_sibling) {
+      stack.push_back(c);
+    }
+    nodes_[cur].alive = false;
+    --live_count_;
+  }
+  return Status::Ok();
+}
+
+Status Tree::SetValue(NodeId node, std::string value) {
+  if (!IsValid(node)) return Status::InvalidArgument("invalid node");
+  nodes_[node].value = std::move(value);
+  return Status::Ok();
+}
+
+Status Tree::SetName(NodeId node, std::string name) {
+  if (!IsValid(node)) return Status::InvalidArgument("invalid node");
+  nodes_[node].name = std::move(name);
+  return Status::Ok();
+}
+
+std::vector<NodeId> Tree::Children(NodeId node) const {
+  std::vector<NodeId> out;
+  if (!IsValid(node)) return out;
+  for (NodeId c = nodes_[node].first_child; c != kInvalidNode;
+       c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+size_t Tree::ChildCount(NodeId node) const {
+  size_t count = 0;
+  if (!IsValid(node)) return 0;
+  for (NodeId c = nodes_[node].first_child; c != kInvalidNode;
+       c = nodes_[c].next_sibling) {
+    ++count;
+  }
+  return count;
+}
+
+std::vector<NodeId> Tree::PreorderNodes() const {
+  std::vector<NodeId> out;
+  if (root_ == kInvalidNode) return out;
+  out.reserve(live_count_);
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    // Push children in reverse so the leftmost is visited first.
+    std::vector<NodeId> kids = Children(cur);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+int Tree::Depth(NodeId node) const {
+  int depth = 0;
+  for (NodeId cur = nodes_[node].parent; cur != kInvalidNode;
+       cur = nodes_[cur].parent) {
+    ++depth;
+  }
+  return depth;
+}
+
+bool Tree::IsAncestor(NodeId ancestor, NodeId descendant) const {
+  if (!IsValid(ancestor) || !IsValid(descendant)) return false;
+  for (NodeId cur = nodes_[descendant].parent; cur != kInvalidNode;
+       cur = nodes_[cur].parent) {
+    if (cur == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Tree::RootPath(NodeId node) const {
+  std::vector<NodeId> path;
+  for (NodeId cur = node; cur != kInvalidNode; cur = nodes_[cur].parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int Tree::CompareDocumentOrder(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  std::vector<NodeId> pa = RootPath(a);
+  std::vector<NodeId> pb = RootPath(b);
+  size_t i = 0;
+  while (i < pa.size() && i < pb.size() && pa[i] == pb[i]) ++i;
+  if (i == pa.size()) return -1;  // a is an ancestor of b: a comes first.
+  if (i == pb.size()) return 1;   // b is an ancestor of a.
+  // pa[i] and pb[i] are distinct siblings; walk the sibling chain.
+  for (NodeId cur = pa[i]; cur != kInvalidNode;
+       cur = nodes_[cur].next_sibling) {
+    if (cur == pb[i]) return -1;
+  }
+  return 1;
+}
+
+}  // namespace xmlup::xml

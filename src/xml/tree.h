@@ -1,0 +1,110 @@
+#ifndef XMLUP_XML_TREE_H_
+#define XMLUP_XML_TREE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace xmlup::xml {
+
+/// An ordered rooted tree over an arena of nodes — the abstract datatype
+/// underlying an XML document (§2.1 of the paper). The tree supports the
+/// structural updates the survey classifies: leaf-node, internal-node and
+/// subtree insertion, and subtree deletion. Content updates are plain
+/// mutations of a node's name/value.
+///
+/// NodeIds are stable: removal marks nodes dead but never reuses or moves
+/// ids, so label maps indexed by NodeId stay valid across updates.
+class Tree {
+ public:
+  Tree() = default;
+
+  // Movable but not copyable: label maps hold NodeIds into a specific tree.
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+
+  /// Creates the root element. Fails if a root already exists.
+  common::Result<NodeId> CreateRoot(NodeKind kind, std::string name,
+                                    std::string value = "");
+
+  /// Inserts a new node under `parent`, immediately before `before`.
+  /// Pass kInvalidNode as `before` to append as the last child.
+  common::Result<NodeId> InsertChild(NodeId parent, NodeKind kind,
+                                     std::string name, std::string value,
+                                     NodeId before = kInvalidNode);
+
+  /// Convenience: append as last child.
+  common::Result<NodeId> AppendChild(NodeId parent, NodeKind kind,
+                                     std::string name,
+                                     std::string value = "") {
+    return InsertChild(parent, kind, std::move(name), std::move(value));
+  }
+
+  /// Removes `node` and its entire subtree. Removing the root empties the
+  /// tree. Ids of removed nodes become dead and are never reused.
+  common::Status RemoveSubtree(NodeId node);
+
+  /// Replaces the text/value content of a node (a content update, §3.1).
+  common::Status SetValue(NodeId node, std::string value);
+  /// Renames an element/attribute (a content update, §3.1).
+  common::Status SetName(NodeId node, std::string name);
+
+  bool has_root() const { return root_ != kInvalidNode; }
+  NodeId root() const { return root_; }
+
+  bool IsValid(NodeId id) const {
+    return id < nodes_.size() && nodes_[id].alive;
+  }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
+  const std::string& name(NodeId id) const { return nodes_[id].name; }
+  const std::string& value(NodeId id) const { return nodes_[id].value; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
+  NodeId last_child(NodeId id) const { return nodes_[id].last_child; }
+  NodeId prev_sibling(NodeId id) const { return nodes_[id].prev_sibling; }
+  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
+
+  /// Number of live nodes.
+  size_t node_count() const { return live_count_; }
+  /// Arena size (one past the largest NodeId ever allocated). Label maps
+  /// indexed by NodeId should be sized to this.
+  size_t arena_size() const { return nodes_.size(); }
+
+  /// Children of `node` in sibling order.
+  std::vector<NodeId> Children(NodeId node) const;
+  /// Number of children.
+  size_t ChildCount(NodeId node) const;
+
+  /// All live nodes in document (preorder) order.
+  std::vector<NodeId> PreorderNodes() const;
+
+  /// Nesting depth: root is 0.
+  int Depth(NodeId node) const;
+
+  /// Ground-truth ancestor test by parent-chain walk (used to validate the
+  /// label-based predicates). A node is not its own ancestor.
+  bool IsAncestor(NodeId ancestor, NodeId descendant) const;
+
+  /// Ground-truth document-order comparison (<0, 0, >0) by root-path walk.
+  int CompareDocumentOrder(NodeId a, NodeId b) const;
+
+ private:
+  NodeId Allocate(NodeKind kind, std::string name, std::string value);
+  // Root path from the root down to `node` (inclusive).
+  std::vector<NodeId> RootPath(NodeId node) const;
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+  size_t live_count_ = 0;
+};
+
+}  // namespace xmlup::xml
+
+#endif  // XMLUP_XML_TREE_H_

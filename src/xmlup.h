@@ -1,0 +1,24 @@
+#ifndef XMLUP_XMLUP_H_
+#define XMLUP_XMLUP_H_
+
+/// Umbrella header for the xmlup library: dynamic XML labelling schemes,
+/// the update engine and the desirable-properties evaluation framework of
+/// O'Connor & Roantree (EDBT 2010 workshop). Include this for the full
+/// public API, or the individual headers below for finer-grained
+/// dependencies.
+
+#include "common/status.h"            // Status / Result error model.
+#include "core/axis_evaluator.h"      // Label-only XPath axes.
+#include "core/encoding_table.h"      // The Figure 2 encoding scheme.
+#include "core/framework.h"           // The Figure 7 evaluation framework.
+#include "core/label_index.h"         // Ordered label index / region scans.
+#include "core/labeled_document.h"    // Tree + scheme + labels (updates).
+#include "core/snapshot.h"            // Persistence.
+#include "labels/registry.h"          // CreateScheme / scheme names.
+#include "workload/document_generator.h"  // Synthetic documents.
+#include "workload/insertion_workload.h"  // §5.1 update scenarios.
+#include "xml/parser.h"               // Text -> tree.
+#include "xml/serializer.h"           // Tree -> text.
+#include "xpath/evaluator.h"          // XPath subset over labels.
+
+#endif  // XMLUP_XMLUP_H_

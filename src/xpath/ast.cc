@@ -1,0 +1,120 @@
+#include "xpath/ast.h"
+
+#include <sstream>
+
+namespace xmlup::xpath {
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "unknown";
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendNodeTest(const NodeTest& test, std::ostringstream* os) {
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      *os << test.name;
+      break;
+    case NodeTestKind::kText:
+      *os << "text()";
+      break;
+    case NodeTestKind::kNode:
+      *os << "node()";
+      break;
+    case NodeTestKind::kComment:
+      *os << "comment()";
+      break;
+  }
+}
+
+void AppendPredicate(const Predicate& pred, std::ostringstream* os) {
+  *os << "[";
+  switch (pred.kind) {
+    case Predicate::Kind::kPosition:
+      *os << pred.position;
+      break;
+    case Predicate::Kind::kLast:
+      *os << "last()";
+      break;
+    case Predicate::Kind::kExists:
+      *os << ToString(*pred.path);
+      break;
+    case Predicate::Kind::kEquals:
+      *os << ToString(*pred.path) << CompareOpName(pred.op) << "'"
+          << pred.literal << "'";
+      break;
+  }
+  *os << "]";
+}
+
+}  // namespace
+
+std::string ToString(const UnionExpr& expr) {
+  std::ostringstream os;
+  for (size_t i = 0; i < expr.branches.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << ToString(expr.branches[i]);
+  }
+  return os.str();
+}
+
+std::string ToString(const LocationPath& path) {
+  std::ostringstream os;
+  if (path.absolute) os << "/";
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i > 0) os << "/";
+    const Step& step = path.steps[i];
+    os << AxisName(step.axis) << "::";
+    AppendNodeTest(step.test, &os);
+    for (const Predicate& pred : step.predicates) {
+      AppendPredicate(pred, &os);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace xmlup::xpath

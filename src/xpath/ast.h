@@ -1,0 +1,103 @@
+#ifndef XMLUP_XPATH_AST_H_
+#define XMLUP_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xmlup::xpath {
+
+/// The XPath axes supported by the engine — the major axes the paper's
+/// §2/§3 discuss, each evaluable from node labels for schemes that
+/// support the corresponding predicate.
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kSelf,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kAttribute,
+};
+
+std::string_view AxisName(Axis axis);
+
+/// Node tests: name test (possibly "*"), text() or node().
+enum class NodeTestKind {
+  kName,   ///< element/attribute name, or "*".
+  kText,   ///< text()
+  kNode,   ///< node()
+  kComment,  ///< comment()
+};
+
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kName;
+  /// For kName: the name, or "*" for any.
+  std::string name;
+};
+
+struct LocationPath;
+
+/// Comparison operators usable in predicates. Values compare numerically
+/// when both sides parse as numbers, lexicographically otherwise (the
+/// XPath 1.0 attribute-comparison idiom).
+enum class CompareOp {
+  kEq,   ///< =
+  kNe,   ///< !=
+  kLt,   ///< <
+  kLe,   ///< <=
+  kGt,   ///< >
+  kGe,   ///< >=
+};
+
+std::string_view CompareOpName(CompareOp op);
+
+/// A predicate inside [...]: a positional index, last(), a relative path
+/// whose non-emptiness is tested, or a comparison `path op "literal"`.
+struct Predicate {
+  enum class Kind {
+    kPosition,   ///< [3]
+    kLast,       ///< [last()]
+    kExists,     ///< [author]
+    kEquals,     ///< [@id='b1'], [title='Dune'], [@year>'1965'], ...
+  };
+  Kind kind = Kind::kExists;
+  int position = 0;
+  std::unique_ptr<LocationPath> path;
+  CompareOp op = CompareOp::kEq;
+  std::string literal;
+};
+
+/// One location step: axis :: node-test [predicates...].
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<Predicate> predicates;
+};
+
+/// A location path: absolute (from the root) or relative (from the
+/// context node), as a sequence of steps.
+struct LocationPath {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+/// A union expression: `path | path | ...` — node sets merged in document
+/// order with duplicates removed.
+struct UnionExpr {
+  std::vector<LocationPath> branches;
+};
+
+/// Renders the parsed path back into canonical (unabbreviated) syntax —
+/// handy for diagnostics and tested against round-trips.
+std::string ToString(const LocationPath& path);
+std::string ToString(const UnionExpr& expr);
+
+}  // namespace xmlup::xpath
+
+#endif  // XMLUP_XPATH_AST_H_

@@ -1,0 +1,358 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/axis_evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlup::xpath {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+using xml::NodeKind;
+
+Result<std::vector<NodeId>> XPathEvaluator::Query(
+    std::string_view expression) const {
+  XMLUP_ASSIGN_OR_RETURN(UnionExpr expr, ParseUnion(expression));
+  if (!doc_->tree().has_root()) {
+    return Status::InvalidArgument("empty document");
+  }
+  std::vector<NodeId> merged;
+  for (const LocationPath& path : expr.branches) {
+    XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> branch,
+                           Evaluate(path, doc_->tree().root()));
+    merged.insert(merged.end(), branch.begin(), branch.end());
+  }
+  return SortUnique(std::move(merged));
+}
+
+std::string XPathEvaluator::StringValue(NodeId node) const {
+  const xml::Tree& tree = doc_->tree();
+  switch (tree.kind(node)) {
+    case NodeKind::kText:
+    case NodeKind::kAttribute:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      return tree.value(node);
+    case NodeKind::kElement: {
+      // Concatenated descendant text.
+      std::string out;
+      std::vector<NodeId> stack = {node};
+      // Depth-first in document order.
+      std::vector<NodeId> ordered;
+      while (!stack.empty()) {
+        NodeId cur = stack.back();
+        stack.pop_back();
+        ordered.push_back(cur);
+        std::vector<NodeId> kids = tree.Children(cur);
+        for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+          stack.push_back(*it);
+        }
+      }
+      for (NodeId n : ordered) {
+        if (tree.kind(n) == NodeKind::kText) out += tree.value(n);
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+bool XPathEvaluator::CompareValues(const std::string& lhs, CompareOp op,
+                                   const std::string& rhs) {
+  // Numeric comparison when both sides parse fully as numbers; string
+  // comparison otherwise (XPath 1.0 attribute-comparison idiom).
+  char* lhs_end = nullptr;
+  char* rhs_end = nullptr;
+  double lv = std::strtod(lhs.c_str(), &lhs_end);
+  double rv = std::strtod(rhs.c_str(), &rhs_end);
+  bool numeric = !lhs.empty() && !rhs.empty() && *lhs_end == '\0' &&
+                 *rhs_end == '\0';
+  int cmp;
+  if (numeric) {
+    cmp = lv < rv ? -1 : (lv > rv ? 1 : 0);
+  } else {
+    int c = lhs.compare(rhs);
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::vector<NodeId> XPathEvaluator::SortUnique(
+    std::vector<NodeId> nodes) const {
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  if (mode_ == EvalMode::kLabels) {
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return scheme.Compare(doc_->label(a), doc_->label(b)) < 0;
+    });
+  } else {
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return doc_->tree().CompareDocumentOrder(a, b) < 0;
+    });
+  }
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::Evaluate(
+    const LocationPath& path, NodeId context) const {
+  std::vector<NodeId> current;
+  if (path.absolute) {
+    current.push_back(doc_->tree().root());
+  } else {
+    current.push_back(context);
+  }
+  for (const Step& step : path.steps) {
+    XMLUP_ASSIGN_OR_RETURN(current, EvaluateStep(step, current));
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::EvaluateStep(
+    const Step& step, const std::vector<NodeId>& context) const {
+  std::vector<NodeId> produced;
+  for (NodeId node : context) {
+    XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> axis_nodes,
+                           AxisNodes(step.axis, node));
+    // Node-test filter, preserving axis order (needed for positional
+    // predicates, which count within this context node's axis result).
+    std::vector<NodeId> tested;
+    for (NodeId n : axis_nodes) {
+      if (MatchesTest(step.test, step.axis, n)) tested.push_back(n);
+    }
+    // Predicates, applied in sequence.
+    for (const Predicate& pred : step.predicates) {
+      std::vector<NodeId> kept;
+      for (size_t i = 0; i < tested.size(); ++i) {
+        XMLUP_ASSIGN_OR_RETURN(
+            bool keep, MatchesPredicate(pred, tested[i], i + 1,
+                                        tested.size()));
+        if (keep) kept.push_back(tested[i]);
+      }
+      tested = std::move(kept);
+    }
+    produced.insert(produced.end(), tested.begin(), tested.end());
+  }
+  return SortUnique(std::move(produced));
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::AxisNodes(Axis axis,
+                                                      NodeId node) const {
+  if (mode_ == EvalMode::kTree) return AxisNodesFromTree(axis, node);
+  return AxisNodesFromLabels(axis, node);
+}
+
+std::vector<NodeId> XPathEvaluator::AxisNodesFromTree(Axis axis,
+                                                      NodeId node) const {
+  const xml::Tree& tree = doc_->tree();
+  std::vector<NodeId> out;
+  auto subtree = [&](NodeId top, bool include_top) {
+    std::vector<NodeId> stack = {top};
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      if (cur != top || include_top) out.push_back(cur);
+      std::vector<NodeId> kids = tree.Children(cur);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      out.push_back(node);
+      break;
+    case Axis::kChild:
+    case Axis::kAttribute:
+      out = tree.Children(node);
+      break;
+    case Axis::kParent:
+      if (tree.parent(node) != xml::kInvalidNode) {
+        out.push_back(tree.parent(node));
+      }
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Reverse axes are produced in proximity order (nearest first) so
+      // positional predicates count as XPath specifies; the final node
+      // set is re-sorted into document order afterwards.
+      if (axis == Axis::kAncestorOrSelf) out.push_back(node);
+      for (NodeId cur = tree.parent(node); cur != xml::kInvalidNode;
+           cur = tree.parent(cur)) {
+        out.push_back(cur);
+      }
+      break;
+    }
+    case Axis::kDescendant:
+      subtree(node, /*include_top=*/false);
+      break;
+    case Axis::kDescendantOrSelf:
+      subtree(node, /*include_top=*/true);
+      break;
+    case Axis::kFollowingSibling:
+      for (NodeId cur = tree.next_sibling(node); cur != xml::kInvalidNode;
+           cur = tree.next_sibling(cur)) {
+        out.push_back(cur);
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      // Proximity order (nearest sibling first).
+      for (NodeId cur = tree.prev_sibling(node); cur != xml::kInvalidNode;
+           cur = tree.prev_sibling(cur)) {
+        out.push_back(cur);
+      }
+      break;
+    case Axis::kFollowing:
+    case Axis::kPreceding: {
+      std::vector<NodeId> order = tree.PreorderNodes();
+      size_t self = 0;
+      while (self < order.size() && order[self] != node) ++self;
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (axis == Axis::kFollowing && i > self &&
+            !tree.IsAncestor(node, order[i])) {
+          out.push_back(order[i]);
+        }
+        if (axis == Axis::kPreceding && i < self &&
+            !tree.IsAncestor(order[i], node)) {
+          out.push_back(order[i]);
+        }
+      }
+      // Proximity order for the reverse axis.
+      if (axis == Axis::kPreceding) std::reverse(out.begin(), out.end());
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<NodeId>> XPathEvaluator::AxisNodesFromLabels(
+    Axis axis, NodeId node) const {
+  const labels::SchemeTraits& traits = doc_->scheme().traits();
+  core::AxisEvaluator eval(doc_);
+  switch (axis) {
+    case Axis::kSelf:
+      return std::vector<NodeId>{node};
+    case Axis::kChild:
+    case Axis::kAttribute:
+      return eval.Children(node);
+    case Axis::kParent:
+      return eval.Parent(node);
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // AxisEvaluator returns document order; reverse into proximity
+      // order for positional predicates (re-sorted at step end).
+      std::vector<NodeId> out = eval.Ancestors(node);
+      std::reverse(out.begin(), out.end());
+      if (axis == Axis::kAncestorOrSelf) {
+        out.insert(out.begin(), node);
+      }
+      return out;
+    }
+    case Axis::kDescendant:
+      return eval.Descendants(node);
+    case Axis::kDescendantOrSelf: {
+      std::vector<NodeId> out = eval.Descendants(node);
+      out.insert(out.begin(), node);
+      return out;
+    }
+    case Axis::kFollowing:
+      return eval.Following(node);
+    case Axis::kPreceding: {
+      std::vector<NodeId> out = eval.Preceding(node);
+      std::reverse(out.begin(), out.end());  // Proximity order.
+      return out;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      if (!traits.supports_sibling) {
+        return Status::Unsupported(traits.display_name +
+                                   " cannot evaluate sibling axes from "
+                                   "labels");
+      }
+      XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> siblings,
+                             eval.Siblings(node));
+      std::vector<NodeId> out;
+      const labels::LabelingScheme& scheme = doc_->scheme();
+      for (NodeId s : siblings) {
+        int cmp = scheme.Compare(doc_->label(s), doc_->label(node));
+        if (axis == Axis::kFollowingSibling ? cmp > 0 : cmp < 0) {
+          out.push_back(s);
+        }
+      }
+      if (axis == Axis::kPrecedingSibling) {
+        std::reverse(out.begin(), out.end());  // Proximity order.
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown axis");
+}
+
+bool XPathEvaluator::MatchesTest(const NodeTest& test, Axis axis,
+                                 NodeId node) const {
+  const xml::Tree& tree = doc_->tree();
+  NodeKind kind = tree.kind(node);
+  switch (test.kind) {
+    case NodeTestKind::kNode:
+      return true;
+    case NodeTestKind::kText:
+      return kind == NodeKind::kText;
+    case NodeTestKind::kComment:
+      return kind == NodeKind::kComment;
+    case NodeTestKind::kName: {
+      // The principal node kind of the attribute axis is attributes;
+      // of every other axis, elements.
+      NodeKind principal = axis == Axis::kAttribute ? NodeKind::kAttribute
+                                                    : NodeKind::kElement;
+      if (kind != principal) return false;
+      return test.name == "*" || tree.name(node) == test.name;
+    }
+  }
+  return false;
+}
+
+Result<bool> XPathEvaluator::MatchesPredicate(const Predicate& pred,
+                                              NodeId node, size_t position,
+                                              size_t set_size) const {
+  switch (pred.kind) {
+    case Predicate::Kind::kPosition:
+      return position == static_cast<size_t>(pred.position);
+    case Predicate::Kind::kLast:
+      return position == set_size;
+    case Predicate::Kind::kExists: {
+      XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> found,
+                             Evaluate(*pred.path, node));
+      return !found.empty();
+    }
+    case Predicate::Kind::kEquals: {
+      XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> found,
+                             Evaluate(*pred.path, node));
+      for (NodeId n : found) {
+        if (CompareValues(StringValue(n), pred.op, pred.literal)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+}  // namespace xmlup::xpath

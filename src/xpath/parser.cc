@@ -1,0 +1,313 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <map>
+
+namespace xmlup::xpath {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+const std::map<std::string, Axis>& AxisTable() {
+  static const auto& table = *new std::map<std::string, Axis>{
+      {"child", Axis::kChild},
+      {"descendant", Axis::kDescendant},
+      {"descendant-or-self", Axis::kDescendantOrSelf},
+      {"parent", Axis::kParent},
+      {"ancestor", Axis::kAncestor},
+      {"ancestor-or-self", Axis::kAncestorOrSelf},
+      {"self", Axis::kSelf},
+      {"following", Axis::kFollowing},
+      {"preceding", Axis::kPreceding},
+      {"following-sibling", Axis::kFollowingSibling},
+      {"preceding-sibling", Axis::kPrecedingSibling},
+      {"attribute", Axis::kAttribute},
+  };
+  return table;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<LocationPath> Parse() {
+    XMLUP_ASSIGN_OR_RETURN(LocationPath path, ParseLocationPath());
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::ParseError("unexpected trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    return path;
+  }
+
+  Result<UnionExpr> ParseUnionExpr() {
+    UnionExpr expr;
+    while (true) {
+      XMLUP_ASSIGN_OR_RETURN(LocationPath path, ParseLocationPath());
+      expr.branches.push_back(std::move(path));
+      SkipSpace();
+      if (!Consume('|')) break;
+    }
+    if (!AtEnd()) {
+      return Status::ParseError("unexpected trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    return expr;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    if (AtEnd() || (!std::isalpha(static_cast<unsigned char>(Peek())) &&
+                    Peek() != '_')) {
+      return Status::ParseError("expected a name at offset " +
+                                std::to_string(pos_));
+    }
+    std::string name;
+    // Names may contain '-' but an axis spec "name::" must not swallow
+    // the colons; handled by the axis lookahead in ParseStep.
+    while (!AtEnd() && IsNameChar(Peek()) && Peek() != ':') {
+      name.push_back(Peek());
+      ++pos_;
+    }
+    return name;
+  }
+
+  Result<LocationPath> ParseLocationPath() {
+    LocationPath path;
+    SkipSpace();
+    if (Peek() == '/') {
+      path.absolute = true;
+      if (PeekAt(1) == '/') {
+        pos_ += 2;
+        path.steps.push_back(DescendantOrSelfNode());
+      } else {
+        ++pos_;
+        SkipSpace();
+        if (AtEnd()) return path;  // "/" alone selects the root.
+      }
+    }
+    XMLUP_RETURN_NOT_OK(ParseSteps(&path));
+    return path;
+  }
+
+  Status ParseSteps(LocationPath* path) {
+    while (true) {
+      XMLUP_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+      SkipSpace();
+      if (Peek() != '/') return Status::Ok();
+      if (PeekAt(1) == '/') {
+        pos_ += 2;
+        path->steps.push_back(DescendantOrSelfNode());
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  static Step DescendantOrSelfNode() {
+    Step step;
+    step.axis = Axis::kDescendantOrSelf;
+    step.test.kind = NodeTestKind::kNode;
+    return step;
+  }
+
+  Result<Step> ParseStep() {
+    SkipSpace();
+    Step step;
+    if (ConsumeWord("..")) {
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTestKind::kNode;
+      return step;
+    }
+    if (Peek() == '.' ) {
+      ++pos_;
+      step.axis = Axis::kSelf;
+      step.test.kind = NodeTestKind::kNode;
+      return step;
+    }
+    if (Consume('@')) {
+      step.axis = Axis::kAttribute;
+      XMLUP_RETURN_NOT_OK(ParseNodeTest(&step.test));
+      XMLUP_RETURN_NOT_OK(ParsePredicates(&step.predicates));
+      return step;
+    }
+    // Axis lookahead: name '::'.
+    size_t save = pos_;
+    SkipSpace();
+    if (std::isalpha(static_cast<unsigned char>(Peek()))) {
+      std::string word;
+      size_t scan = pos_;
+      while (scan < text_.size() &&
+             (IsNameChar(text_[scan]) && text_[scan] != ':')) {
+        word.push_back(text_[scan++]);
+      }
+      if (scan + 1 < text_.size() && text_[scan] == ':' &&
+          text_[scan + 1] == ':') {
+        auto it = AxisTable().find(word);
+        if (it == AxisTable().end()) {
+          return Status::ParseError("unknown axis '" + word + "'");
+        }
+        step.axis = it->second;
+        pos_ = scan + 2;
+      } else {
+        pos_ = save;
+      }
+    }
+    XMLUP_RETURN_NOT_OK(ParseNodeTest(&step.test));
+    XMLUP_RETURN_NOT_OK(ParsePredicates(&step.predicates));
+    return step;
+  }
+
+  Status ParseNodeTest(NodeTest* test) {
+    SkipSpace();
+    if (Consume('*')) {
+      test->kind = NodeTestKind::kName;
+      test->name.assign(1, '*');
+      return Status::Ok();
+    }
+    XMLUP_ASSIGN_OR_RETURN(std::string name, ParseName());
+    if (Peek() == '(') {
+      if (name == "text" && ConsumeWord("()")) {
+        test->kind = NodeTestKind::kText;
+        return Status::Ok();
+      }
+      if (name == "node" && ConsumeWord("()")) {
+        test->kind = NodeTestKind::kNode;
+        return Status::Ok();
+      }
+      if (name == "comment" && ConsumeWord("()")) {
+        test->kind = NodeTestKind::kComment;
+        return Status::Ok();
+      }
+      return Status::ParseError("unknown node test '" + name + "()'");
+    }
+    test->kind = NodeTestKind::kName;
+    test->name = std::move(name);
+    return Status::Ok();
+  }
+
+  Status ParsePredicates(std::vector<Predicate>* predicates) {
+    while (Consume('[')) {
+      Predicate pred;
+      SkipSpace();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        pred.kind = Predicate::Kind::kPosition;
+        int value = 0;
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          value = value * 10 + (Peek() - '0');
+          ++pos_;
+        }
+        pred.position = value;
+      } else if (ConsumeWord("last()")) {
+        pred.kind = Predicate::Kind::kLast;
+      } else {
+        XMLUP_ASSIGN_OR_RETURN(LocationPath inner, ParsePredicatePath());
+        pred.path = std::make_unique<LocationPath>(std::move(inner));
+        SkipSpace();
+        bool has_op = true;
+        if (Consume('=')) {
+          pred.op = CompareOp::kEq;
+        } else if (ConsumeWord("!=")) {
+          pred.op = CompareOp::kNe;
+        } else if (ConsumeWord("<=")) {
+          pred.op = CompareOp::kLe;
+        } else if (ConsumeWord(">=")) {
+          pred.op = CompareOp::kGe;
+        } else if (Consume('<')) {
+          pred.op = CompareOp::kLt;
+        } else if (Consume('>')) {
+          pred.op = CompareOp::kGt;
+        } else {
+          has_op = false;
+        }
+        if (has_op) {
+          pred.kind = Predicate::Kind::kEquals;
+          XMLUP_ASSIGN_OR_RETURN(pred.literal, ParseLiteral());
+        } else {
+          pred.kind = Predicate::Kind::kExists;
+        }
+      }
+      SkipSpace();
+      if (!Consume(']')) {
+        return Status::ParseError("expected ']' at offset " +
+                                  std::to_string(pos_));
+      }
+      predicates->push_back(std::move(pred));
+    }
+    return Status::Ok();
+  }
+
+  // A relative path inside a predicate (no leading '/').
+  Result<LocationPath> ParsePredicatePath() {
+    LocationPath path;
+    XMLUP_RETURN_NOT_OK(ParseSteps(&path));
+    return path;
+  }
+
+  Result<std::string> ParseLiteral() {
+    SkipSpace();
+    char quote = Peek();
+    if (quote != '\'' && quote != '"') {
+      return Status::ParseError("expected a quoted literal at offset " +
+                                std::to_string(pos_));
+    }
+    ++pos_;
+    std::string out;
+    while (!AtEnd() && Peek() != quote) {
+      out.push_back(Peek());
+      ++pos_;
+    }
+    if (AtEnd()) return Status::ParseError("unterminated literal");
+    ++pos_;
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<LocationPath> ParsePath(std::string_view text) {
+  if (text.empty()) return Status::ParseError("empty XPath expression");
+  return Parser(text).Parse();
+}
+
+Result<UnionExpr> ParseUnion(std::string_view text) {
+  if (text.empty()) return Status::ParseError("empty XPath expression");
+  return Parser(text).ParseUnionExpr();
+}
+
+}  // namespace xmlup::xpath

@@ -1,0 +1,32 @@
+#ifndef XMLUP_XPATH_PARSER_H_
+#define XMLUP_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xmlup::xpath {
+
+/// Parses an XPath location path (abbreviated or unabbreviated syntax)
+/// into an AST.
+///
+/// Supported grammar:
+///   path       := '/'? relative | '//' relative
+///   relative   := step (('/' | '//') step)*
+///   step       := axis '::' nodetest preds | '@' name preds
+///               | nodetest preds | '.' | '..'
+///   nodetest   := NAME | '*' | 'text()' | 'node()' | 'comment()'
+///   preds      := ('[' predicate ']')*
+///   predicate  := INTEGER | 'last()' | path | path '=' STRING
+///
+/// '//' expands to /descendant-or-self::node()/ as in the spec.
+/// Predicates also accept the comparison operators != < <= > >=.
+common::Result<LocationPath> ParsePath(std::string_view text);
+
+/// Parses a union expression: `path ('|' path)*`.
+common::Result<UnionExpr> ParseUnion(std::string_view text);
+
+}  // namespace xmlup::xpath
+
+#endif  // XMLUP_XPATH_PARSER_H_

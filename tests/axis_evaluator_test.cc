@@ -1,0 +1,161 @@
+// The AxisEvaluator answers XPath axes from labels alone; these tests
+// compare every axis against tree ground truth for representative schemes
+// of each family (containment, prefix, prime).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/axis_evaluator.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+
+class AxisEvaluatorTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    auto scheme = labels::CreateScheme(GetParam());
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::move(*scheme);
+    workload::DocumentShape shape;
+    shape.target_nodes = 80;
+    shape.seed = 5;
+    auto tree = workload::GenerateDocument(shape);
+    ASSERT_TRUE(tree.ok());
+    auto doc = LabeledDocument::Build(std::move(*tree), scheme_.get());
+    ASSERT_TRUE(doc.ok());
+    doc_.emplace(std::move(*doc));
+  }
+
+  std::vector<NodeId> GroundTruthDescendants(NodeId node) const {
+    std::vector<NodeId> out;
+    for (NodeId n : doc_->tree().PreorderNodes()) {
+      if (doc_->tree().IsAncestor(node, n)) out.push_back(n);
+    }
+    return out;
+  }
+
+  std::vector<NodeId> GroundTruthAncestors(NodeId node) const {
+    std::vector<NodeId> out;
+    for (NodeId cur = doc_->tree().parent(node); cur != xml::kInvalidNode;
+         cur = doc_->tree().parent(cur)) {
+      out.push_back(cur);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<labels::LabelingScheme> scheme_;
+  std::optional<LabeledDocument> doc_;
+};
+
+TEST_P(AxisEvaluatorTest, DescendantAxisMatchesGroundTruth) {
+  AxisEvaluator eval(&*doc_);
+  for (NodeId n : doc_->tree().PreorderNodes()) {
+    EXPECT_EQ(eval.Descendants(n), GroundTruthDescendants(n)) << "node " << n;
+  }
+}
+
+TEST_P(AxisEvaluatorTest, AncestorAxisMatchesGroundTruth) {
+  AxisEvaluator eval(&*doc_);
+  for (NodeId n : doc_->tree().PreorderNodes()) {
+    EXPECT_EQ(eval.Ancestors(n), GroundTruthAncestors(n)) << "node " << n;
+  }
+}
+
+TEST_P(AxisEvaluatorTest, ChildAxisMatchesWhereSupported) {
+  AxisEvaluator eval(&*doc_);
+  for (NodeId n : doc_->tree().PreorderNodes()) {
+    auto children = eval.Children(n);
+    if (!scheme_->traits().supports_parent) {
+      EXPECT_FALSE(children.ok());
+      return;
+    }
+    ASSERT_TRUE(children.ok());
+    EXPECT_EQ(*children, doc_->tree().Children(n)) << "node " << n;
+  }
+}
+
+TEST_P(AxisEvaluatorTest, ParentAxisMatchesWhereSupported) {
+  if (!scheme_->traits().supports_parent) GTEST_SKIP();
+  AxisEvaluator eval(&*doc_);
+  for (NodeId n : doc_->tree().PreorderNodes()) {
+    auto parent = eval.Parent(n);
+    ASSERT_TRUE(parent.ok());
+    if (doc_->tree().parent(n) == xml::kInvalidNode) {
+      EXPECT_TRUE(parent->empty());
+    } else {
+      ASSERT_EQ(parent->size(), 1u) << "node " << n;
+      EXPECT_EQ((*parent)[0], doc_->tree().parent(n));
+    }
+  }
+}
+
+TEST_P(AxisEvaluatorTest, SiblingAxisMatchesWhereSupported) {
+  if (!scheme_->traits().supports_sibling) GTEST_SKIP();
+  AxisEvaluator eval(&*doc_);
+  for (NodeId n : doc_->tree().PreorderNodes()) {
+    auto siblings = eval.Siblings(n);
+    ASSERT_TRUE(siblings.ok());
+    std::vector<NodeId> truth;
+    NodeId parent = doc_->tree().parent(n);
+    if (parent != xml::kInvalidNode) {
+      for (NodeId c : doc_->tree().Children(parent)) {
+        if (c != n) truth.push_back(c);
+      }
+    }
+    EXPECT_EQ(*siblings, truth) << "node " << n;
+  }
+}
+
+TEST_P(AxisEvaluatorTest, FollowingAndPrecedingPartitionTheDocument) {
+  AxisEvaluator eval(&*doc_);
+  std::vector<NodeId> order = doc_->tree().PreorderNodes();
+  for (size_t i = 0; i < order.size(); i += 7) {
+    NodeId n = order[i];
+    std::vector<NodeId> following = eval.Following(n);
+    std::vector<NodeId> preceding = eval.Preceding(n);
+    // following(n) = nodes after n in document order minus descendants;
+    // preceding(n) = nodes before n minus ancestors.
+    std::vector<NodeId> expect_following, expect_preceding;
+    for (size_t j = 0; j < order.size(); ++j) {
+      if (j < i && !doc_->tree().IsAncestor(order[j], n)) {
+        expect_preceding.push_back(order[j]);
+      }
+      if (j > i && !doc_->tree().IsAncestor(n, order[j])) {
+        expect_following.push_back(order[j]);
+      }
+    }
+    EXPECT_EQ(following, expect_following) << "node " << n;
+    EXPECT_EQ(preceding, expect_preceding) << "node " << n;
+  }
+}
+
+TEST_P(AxisEvaluatorTest, SortDocumentOrderMatchesPreorder) {
+  AxisEvaluator eval(&*doc_);
+  std::vector<NodeId> shuffled = doc_->tree().PreorderNodes();
+  std::reverse(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(eval.SortDocumentOrder(shuffled), doc_->tree().PreorderNodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Representatives, AxisEvaluatorTest,
+    ::testing::Values("xpath-accelerator", "sector", "dewey", "ordpath",
+                      "qed", "vector", "prime", "dde", "prepost-gap",
+                      "dietz-om"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace xmlup::core

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "common/biguint.h"
+#include "common/op_counters.h"
+#include "common/primes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/varint.h"
+
+namespace xmlup::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOverflow), "Overflow");
+  EXPECT_EQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> in) {
+  XMLUP_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_EQ(Doubler(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(VarintTest, RoundTripsBoundaries) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{16383}, uint64_t{16384}, UINT64_MAX}) {
+    std::string buf;
+    AppendVarint(v, &buf);
+    EXPECT_EQ(buf.size(), VarintSize(v));
+    size_t pos = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(ReadVarint(buf, &pos, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  AppendVarint(300, &buf);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t out = 0;
+  EXPECT_FALSE(ReadVarint(buf, &pos, &out));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  SplitMix64 a(9), b(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+    uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, BoolProbabilityExtremes) {
+  SplitMix64 rng(3);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(BigUintTest, ConstructAndRender) {
+  EXPECT_EQ(BigUint().ToString(), "0");
+  EXPECT_EQ(BigUint(1).ToString(), "1");
+  EXPECT_EQ(BigUint(123456789).ToString(), "123456789");
+  EXPECT_EQ(BigUint(UINT64_MAX).ToString(), "18446744073709551615");
+}
+
+TEST(BigUintTest, MultiplyMatchesKnownProducts) {
+  BigUint a(1000000007ULL);
+  BigUint b = a.Multiply(a);
+  EXPECT_EQ(b.ToString(), "1000000014000000049");
+  // (2^64 - 1)^2 = 340282366920938463426481119284349108225
+  BigUint c = BigUint(UINT64_MAX).Multiply(BigUint(UINT64_MAX));
+  EXPECT_EQ(c.ToString(), "340282366920938463426481119284349108225");
+}
+
+TEST(BigUintTest, CompareOrdersValues) {
+  BigUint small(7), big(11);
+  EXPECT_LT(small.Compare(big), 0);
+  EXPECT_GT(big.Compare(small), 0);
+  EXPECT_EQ(small.Compare(BigUint(7)), 0);
+  BigUint wide = big.Multiply(big).Multiply(big).Multiply(big);
+  EXPECT_GT(wide.Compare(big), 0);
+}
+
+TEST(BigUintTest, DivisibilityOfPrimeProducts) {
+  BigUint product(2);
+  for (uint64_t p : {3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 1000003ULL}) {
+    product = product.MultiplySmall(p);
+  }
+  EXPECT_TRUE(product.DivisibleBy(BigUint(7)));
+  EXPECT_TRUE(product.DivisibleBy(BigUint(2 * 13)));
+  EXPECT_TRUE(product.DivisibleBy(BigUint(1000003)));
+  EXPECT_FALSE(product.DivisibleBy(BigUint(17)));
+  EXPECT_FALSE(product.DivisibleBy(BigUint(1000033)));
+}
+
+TEST(BigUintTest, ModAgainstLargerGivesSelf) {
+  BigUint a(5), b(100);
+  EXPECT_EQ(a.Mod(b).ToString(), "5");
+}
+
+TEST(BigUintTest, BytesRoundTrip) {
+  BigUint a = BigUint(987654321).Multiply(BigUint(123456789));
+  BigUint b = BigUint::FromBytes(a.ToBytes());
+  EXPECT_EQ(a.Compare(b), 0);
+  EXPECT_TRUE(BigUint::FromBytes("").is_zero());
+}
+
+TEST(BigUintTest, BitLength) {
+  EXPECT_EQ(BigUint().BitLength(), 0);
+  EXPECT_EQ(BigUint(1).BitLength(), 1);
+  EXPECT_EQ(BigUint(255).BitLength(), 8);
+  EXPECT_EQ(BigUint(256).BitLength(), 9);
+  EXPECT_EQ(BigUint(UINT64_MAX).BitLength(), 64);
+}
+
+TEST(PrimeSourceTest, GeneratesPrimesInOrder) {
+  PrimeSource source;
+  EXPECT_EQ(source.NthPrime(0), 2u);
+  EXPECT_EQ(source.NthPrime(1), 3u);
+  EXPECT_EQ(source.NthPrime(4), 11u);
+  EXPECT_EQ(source.NthPrime(24), 97u);
+  EXPECT_EQ(source.NthPrime(99), 541u);
+}
+
+TEST(PrimeSourceTest, TakeNextAdvances) {
+  PrimeSource source;
+  EXPECT_EQ(source.TakeNext(), 2u);
+  EXPECT_EQ(source.TakeNext(), 3u);
+  EXPECT_EQ(source.TakeNext(), 5u);
+  EXPECT_EQ(source.taken(), 3u);
+}
+
+TEST(OpCountersTest, AccumulateAndReset) {
+  OpCounters a, b;
+  a.divisions = 2;
+  a.relabels = 5;
+  b.divisions = 3;
+  b.overflows = 1;
+  a += b;
+  EXPECT_EQ(a.divisions, 5u);
+  EXPECT_EQ(a.relabels, 5u);
+  EXPECT_EQ(a.overflows, 1u);
+  a.Reset();
+  EXPECT_EQ(a.divisions, 0u);
+  EXPECT_NE(a.ToString().find("divisions=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlup::common

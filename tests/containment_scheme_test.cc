@@ -1,0 +1,129 @@
+// Unit tests of the ContainmentScheme host: begin/end label codec,
+// interval assignment, insertion boundaries and the full-relabel path.
+
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/containment_scheme.h"
+#include "labels/quaternary_codec.h"
+#include "labels/registry.h"
+#include "labels/vector_codec.h"
+#include "xml/tree.h"
+
+namespace xmlup::labels {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(ContainmentLabelCodecTest, SplitRoundTrip) {
+  Label label = ContainmentScheme::MakeLabel("begin-code", "end");
+  std::string begin, end;
+  ASSERT_TRUE(ContainmentScheme::Split(label, &begin, &end));
+  EXPECT_EQ(begin, "begin-code");
+  EXPECT_EQ(end, "end");
+  EXPECT_FALSE(ContainmentScheme::Split(Label("\x09x"), &begin, &end));
+  EXPECT_FALSE(ContainmentScheme::Split(Label(), &begin, &end));
+}
+
+std::unique_ptr<ContainmentScheme> MakeVectorScheme() {
+  SchemeTraits traits;
+  traits.name = "test-vector";
+  traits.display_name = "TestVector";
+  return std::make_unique<ContainmentScheme>(
+      traits, std::make_unique<VectorCodec>());
+}
+
+TEST(ContainmentSchemeTest, IntervalsNestCorrectly) {
+  auto scheme = MakeVectorScheme();
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  NodeId a1 = tree.AppendChild(a, NodeKind::kElement, "a1").value();
+  std::vector<Label> labels;
+  ASSERT_TRUE(scheme->LabelTree(tree, &labels).ok());
+
+  EXPECT_TRUE(scheme->IsAncestor(labels[root], labels[a]));
+  EXPECT_TRUE(scheme->IsAncestor(labels[root], labels[a1]));
+  EXPECT_TRUE(scheme->IsAncestor(labels[a], labels[a1]));
+  EXPECT_FALSE(scheme->IsAncestor(labels[a], labels[b]));
+  EXPECT_FALSE(scheme->IsAncestor(labels[b], labels[a1]));
+  EXPECT_FALSE(scheme->IsAncestor(labels[a], labels[a]));
+
+  EXPECT_LT(scheme->Compare(labels[root], labels[a]), 0);
+  EXPECT_LT(scheme->Compare(labels[a], labels[a1]), 0);
+  EXPECT_LT(scheme->Compare(labels[a1], labels[b]), 0);
+}
+
+TEST(ContainmentSchemeTest, HostDisablesStructuralPredicates) {
+  auto scheme = MakeVectorScheme();
+  EXPECT_EQ(scheme->traits().family, "containment");
+  EXPECT_FALSE(scheme->traits().supports_parent);
+  EXPECT_FALSE(scheme->traits().supports_sibling);
+  EXPECT_FALSE(scheme->traits().supports_level);
+  EXPECT_FALSE(scheme->Level(Label("xx")).ok());
+}
+
+TEST(ContainmentSchemeTest, InsertUsesNeighbourBoundaries) {
+  auto scheme = MakeVectorScheme();
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  std::vector<Label> labels;
+  ASSERT_TRUE(scheme->LabelTree(tree, &labels).ok());
+
+  // Insert between a and b.
+  NodeId mid = tree.InsertChild(root, NodeKind::kElement, "m", "", b).value();
+  labels.resize(tree.arena_size());
+  auto outcome = scheme->LabelForInsert(tree, mid, labels);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->relabeled.empty());
+  labels[mid] = outcome->label;
+  EXPECT_LT(scheme->Compare(labels[a], labels[mid]), 0);
+  EXPECT_LT(scheme->Compare(labels[mid], labels[b]), 0);
+  EXPECT_TRUE(scheme->IsAncestor(labels[root], labels[mid]));
+  EXPECT_FALSE(scheme->IsAncestor(labels[a], labels[mid]));
+
+  // Insert under the (previously leaf) node m.
+  NodeId child = tree.AppendChild(mid, NodeKind::kElement, "c").value();
+  labels.resize(tree.arena_size());
+  auto child_outcome = scheme->LabelForInsert(tree, child, labels);
+  ASSERT_TRUE(child_outcome.ok());
+  labels[child] = child_outcome->label;
+  EXPECT_TRUE(scheme->IsAncestor(labels[mid], labels[child]));
+  EXPECT_FALSE(scheme->IsAncestor(labels[b], labels[child]));
+}
+
+TEST(ContainmentSchemeTest, RootInsertRejected) {
+  auto scheme = MakeVectorScheme();
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  std::vector<Label> labels(tree.arena_size());
+  EXPECT_FALSE(scheme->LabelForInsert(tree, root, labels).ok());
+}
+
+TEST(ContainmentSchemeTest, QedContainmentSharesCodecBehaviour) {
+  // The orthogonality ablation scheme: QED codes in interval pairs.
+  auto scheme = CreateScheme("qed-containment");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  for (int i = 0; i < 10; ++i) {
+    tree.AppendChild(root, NodeKind::kElement, "c").value();
+  }
+  auto doc = core::LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+  // Renders as a quaternary interval.
+  std::string rendered =
+      (*scheme)->Render(doc->label(doc->tree().first_child(root)));
+  EXPECT_EQ(rendered.front(), '[');
+  EXPECT_NE(rendered.find(','), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlup::labels

@@ -1,0 +1,154 @@
+// Scheme-specific behaviour of the standalone containment schemes:
+// XPath Accelerator (pre/post), XRel regions, Sector partitioning and QRS
+// floating-point intervals — including each scheme's §3.1.1 failure mode.
+
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/prepost_scheme.h"
+#include "labels/qrs_scheme.h"
+#include "labels/registry.h"
+#include "labels/sector_scheme.h"
+#include "labels/xrel_scheme.h"
+#include "workload/document_generator.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(XRelSchemeTest, RegionsComeFromEntryExitPositions) {
+  auto scheme = labels::CreateScheme("xrel");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  labels::XRelScheme::Region region;
+  ASSERT_TRUE(labels::XRelScheme::Decode(doc->label(root), &region));
+  EXPECT_EQ(region.start, 0u);
+  EXPECT_EQ(region.end, 5u);  // Six positions: r a /a b /b /r.
+  ASSERT_TRUE(labels::XRelScheme::Decode(doc->label(a), &region));
+  EXPECT_EQ(region.start, 1u);
+  EXPECT_EQ(region.end, 2u);
+  ASSERT_TRUE(labels::XRelScheme::Decode(doc->label(b), &region));
+  EXPECT_EQ(region.start, 3u);
+  EXPECT_EQ(region.end, 4u);
+}
+
+TEST(XRelSchemeTest, EveryInsertRenumbersFollowingRegions) {
+  auto scheme = labels::CreateScheme("xrel");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  UpdateStats stats;
+  // Append at the very end: only the ancestors' end positions move.
+  ASSERT_TRUE(doc->InsertNode(doc->tree().root(), NodeKind::kElement, "z",
+                              "", xml::kInvalidNode, &stats)
+                  .ok());
+  EXPECT_GT(stats.relabeled, 0u);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+}
+
+TEST(SectorSchemeTest, ChildSectorsNestStrictlyInsideParents) {
+  auto scheme = labels::CreateScheme("sector");
+  ASSERT_TRUE(scheme.ok());
+  workload::DocumentShape shape;
+  shape.target_nodes = 100;
+  shape.seed = 9;
+  auto tree = workload::GenerateDocument(shape);
+  ASSERT_TRUE(tree.ok());
+  auto doc = LabeledDocument::Build(std::move(*tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  for (NodeId n : doc->tree().PreorderNodes()) {
+    NodeId parent = doc->tree().parent(n);
+    if (parent == xml::kInvalidNode) continue;
+    labels::SectorScheme::Sector child, owner;
+    ASSERT_TRUE(labels::SectorScheme::Decode(doc->label(n), &child));
+    ASSERT_TRUE(labels::SectorScheme::Decode(doc->label(parent), &owner));
+    EXPECT_GT(child.lo, owner.lo);
+    EXPECT_LT(child.hi, owner.hi);
+    EXPECT_LT(child.lo, child.hi);
+  }
+}
+
+TEST(SectorSchemeTest, LocalisedInsertionExhaustsAndResectors) {
+  auto scheme = labels::CreateScheme("sector");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  (*scheme)->ResetCounters();
+  for (int i = 0; i < 80; ++i) {
+    auto node = doc->InsertNode(root, NodeKind::kElement, "s", "", b);
+    ASSERT_TRUE(node.ok()) << "insert " << i;
+  }
+  // The fixed 2^62 angle space between two siblings halves per insert and
+  // must have been re-sectored at least once.
+  EXPECT_GT((*scheme)->counters().overflows, 0u);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(QrsSchemeTest, FloatingPointPrecisionExhaustsAroundFiftySteps) {
+  // §3.1.1: "computers represent floating point numbers with a fixed
+  // number of bits and thus in practice the solution is similar to an
+  // integer representation with sparse allocation".
+  auto scheme = labels::CreateScheme("qrs");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  (*scheme)->ResetCounters();
+  int first_renumber = -1;
+  for (int i = 0; i < 120 && first_renumber < 0; ++i) {
+    UpdateStats stats;
+    ASSERT_TRUE(
+        doc->InsertNode(root, NodeKind::kElement, "s", "", b, &stats).ok());
+    if (stats.overflow) first_renumber = i;
+  }
+  EXPECT_GE(first_renumber, 20);
+  EXPECT_LE(first_renumber, 60)
+      << "double mantissa (52 bits) should exhaust around 50 halvings";
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+}
+
+TEST(QrsSchemeTest, IntervalsNest) {
+  auto scheme = labels::CreateScheme("qrs");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  labels::QrsScheme::Interval root_iv;
+  ASSERT_TRUE(labels::QrsScheme::Decode(doc->label(doc->tree().root()),
+                                        &root_iv));
+  EXPECT_EQ(root_iv.lo, 1.0);
+  EXPECT_EQ(root_iv.hi, 2.0);
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(PrePostSchemeTest, EncodeDecodeRejectsMalformed) {
+  labels::PrePostScheme::Ranks ranks;
+  EXPECT_FALSE(
+      labels::PrePostScheme::Decode(labels::Label("short"), &ranks));
+  labels::XRelScheme::Region region;
+  EXPECT_FALSE(labels::XRelScheme::Decode(labels::Label(), &region));
+  labels::SectorScheme::Sector sector;
+  EXPECT_FALSE(labels::SectorScheme::Decode(labels::Label("x"), &sector));
+  labels::QrsScheme::Interval interval;
+  EXPECT_FALSE(labels::QrsScheme::Decode(labels::Label("y"), &interval));
+}
+
+}  // namespace
+}  // namespace xmlup::core

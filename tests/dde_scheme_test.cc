@@ -1,0 +1,147 @@
+// DDE (Xu et al., SIGMOD 2009): the homogeneous-Dewey mechanics — initial
+// labels are plain Dewey, insertions are mediants, and all predicates are
+// division-free cross-multiplications.
+
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/dde_scheme.h"
+#include "labels/registry.h"
+#include "xml/tree.h"
+
+namespace xmlup::core {
+namespace {
+
+using labels::DdeScheme;
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(DdeSchemeTest, InitialLabelsAreDewey) {
+  auto scheme = labels::CreateScheme("dde");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  NodeId a2 = tree.AppendChild(a, NodeKind::kElement, "a2").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*scheme)->Render(doc->label(root)), "1");
+  EXPECT_EQ((*scheme)->Render(doc->label(a)), "1.1");
+  EXPECT_EQ((*scheme)->Render(doc->label(b)), "1.2");
+  EXPECT_EQ((*scheme)->Render(doc->label(a2)), "1.1.1");
+}
+
+TEST(DdeSchemeTest, MediantInsertionBetweenSiblings) {
+  auto scheme = labels::CreateScheme("dde");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+
+  // Between 1.1 and 1.2: the mediant 2.3 (ratio 1.5).
+  UpdateStats stats;
+  auto mid = doc->InsertNode(root, NodeKind::kElement, "m", "", b, &stats);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(doc->scheme().Render(doc->label(*mid)), "2.3");
+  EXPECT_EQ(stats.relabeled, 0u);
+  EXPECT_FALSE(stats.overflow);
+
+  // Between 1.1 and 2.3: mediant 3.4 (ratio 4/3, between 1 and 1.5).
+  auto deeper =
+      doc->InsertNode(root, NodeKind::kElement, "m2", "", *mid, &stats);
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_EQ(doc->scheme().Render(doc->label(*deeper)), "3.4");
+  EXPECT_EQ(stats.relabeled, 0u);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(DdeSchemeTest, InsertedNodesSupportFullXPathSurface) {
+  auto scheme = labels::CreateScheme("dde");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  auto mid = doc->InsertNode(root, NodeKind::kElement, "m", "", b);
+  ASSERT_TRUE(mid.ok());
+  // Children of the mediant-labelled node: parent/level/sibling tests must
+  // all work on the homogeneous labels.
+  auto c1 = doc->InsertNode(*mid, NodeKind::kElement, "c1", "");
+  auto c2 = doc->InsertNode(*mid, NodeKind::kElement, "c2", "");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  const labels::LabelingScheme& s = doc->scheme();
+  EXPECT_TRUE(s.IsParent(doc->label(*mid), doc->label(*c1)));
+  EXPECT_TRUE(s.IsAncestor(doc->label(root), doc->label(*c1)));
+  EXPECT_FALSE(s.IsAncestor(doc->label(b), doc->label(*c1)));
+  EXPECT_TRUE(s.IsSibling(doc->label(*c1), doc->label(*c2)));
+  EXPECT_EQ(s.Level(doc->label(*c1)).value(), 2);
+  EXPECT_TRUE(doc->VerifyAxes().ok()) << doc->VerifyAxes().message();
+}
+
+TEST(DdeSchemeTest, BeforeFirstPreservesParentPrefixRatios) {
+  auto scheme = labels::CreateScheme("dde");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  NodeId b1 = tree.AppendChild(b, NodeKind::kElement, "b1").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  // Insert before b's first child (label 1.2.1): the new node must stay
+  // inside b's subtree (after b, before b1 in document order).
+  auto fresh = doc->InsertNode(b, NodeKind::kElement, "nb", "", b1);
+  ASSERT_TRUE(fresh.ok());
+  const labels::LabelingScheme& s = doc->scheme();
+  EXPECT_TRUE(s.IsParent(doc->label(b), doc->label(*fresh)));
+  EXPECT_LT(s.Compare(doc->label(b), doc->label(*fresh)), 0);
+  EXPECT_LT(s.Compare(doc->label(*fresh), doc->label(b1)), 0);
+  // Repeated prepends keep working.
+  for (int i = 0; i < 20; ++i) {
+    auto again = doc->InsertNode(b, NodeKind::kElement, "p", "",
+                                 doc->tree().first_child(b));
+    ASSERT_TRUE(again.ok());
+  }
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(DdeSchemeTest, ComponentCodecRoundTrips) {
+  std::vector<uint64_t> components = {1, 7, 300, UINT64_MAX};
+  labels::Label label = DdeScheme::Encode(components);
+  EXPECT_EQ(DdeScheme::DecodeComponents(label), components);
+}
+
+TEST(DdeSchemeTest, SkewedGrowthIsLogarithmic) {
+  // DDE's selling point over QED-style codes: fixed-position insertions
+  // grow component values (log bits), not label length.
+  auto scheme = labels::CreateScheme("dde");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  size_t last_bits = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto node = doc->InsertNode(root, NodeKind::kElement, "s", "", b);
+    ASSERT_TRUE(node.ok());
+    last_bits = doc->scheme().StorageBits(doc->label(*node));
+  }
+  EXPECT_LE(last_bits, 48u) << "500 skewed inserts must stay in two "
+                               "small varint components";
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+}
+
+}  // namespace
+}  // namespace xmlup::core

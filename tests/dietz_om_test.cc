@@ -1,0 +1,113 @@
+// Dietz order-maintenance containment: local (not global) renumbering.
+
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/dietz_om_scheme.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+
+TEST(DietzOmTest, ModerateInsertionsNeverRelabel) {
+  auto scheme = labels::CreateScheme("dietz-om");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  (*scheme)->ResetCounters();
+  workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 13);
+  for (int i = 0; i < 30; ++i) {
+    auto pos = planner.Next(doc->tree());
+    ASSERT_TRUE(pos.ok());
+    UpdateStats stats;
+    ASSERT_TRUE(doc->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                pos->before, &stats)
+                    .ok());
+    EXPECT_EQ(stats.relabeled, 0u) << "insert " << i;
+  }
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(DietzOmTest, SkewedInsertionRenumbersOnlyALocalWindow) {
+  auto scheme = labels::CreateScheme("dietz-om");
+  ASSERT_TRUE(scheme.ok());
+  workload::DocumentShape shape;
+  shape.target_nodes = 400;
+  shape.seed = 15;
+  auto tree = workload::GenerateDocument(shape);
+  ASSERT_TRUE(tree.ok());
+  auto doc = LabeledDocument::Build(std::move(*tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  (*scheme)->ResetCounters();
+
+  workload::InsertionPlanner planner(
+      workload::InsertPattern::kSkewedFixed, 16);
+  size_t max_relabels_per_insert = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto pos = planner.Next(doc->tree());
+    ASSERT_TRUE(pos.ok());
+    UpdateStats stats;
+    ASSERT_TRUE(doc->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                pos->before, &stats)
+                    .ok());
+    max_relabels_per_insert =
+        std::max(max_relabels_per_insert, stats.relabeled);
+  }
+  EXPECT_GT((*scheme)->counters().overflows, 0u)
+      << "skewed inserts must exhaust local gaps";
+  // Local renumbering: even the worst respread touches far fewer nodes
+  // than the (800-node) document.
+  EXPECT_LT(max_relabels_per_insert, doc->tree().node_count() / 2);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(DietzOmTest, SurvivesDeletionsAndReuse) {
+  auto scheme = labels::CreateScheme("dietz-om");
+  ASSERT_TRUE(scheme.ok());
+  workload::DocumentShape shape;
+  shape.target_nodes = 120;
+  shape.seed = 17;
+  auto tree = workload::GenerateDocument(shape);
+  ASSERT_TRUE(tree.ok());
+  auto doc = LabeledDocument::Build(std::move(*tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  common::SplitMix64 rng(18);
+  workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 19);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<NodeId> nodes = doc->tree().PreorderNodes();
+    if (nodes.size() > 20) {
+      ASSERT_TRUE(
+          doc->RemoveSubtree(nodes[1 + rng.NextBelow(nodes.size() - 1)])
+              .ok());
+    }
+    auto pos = planner.Next(doc->tree());
+    ASSERT_TRUE(pos.ok());
+    ASSERT_TRUE(doc->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                pos->before)
+                    .ok());
+  }
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(DietzOmTest, EncodeDecode) {
+  labels::DietzOmScheme::Tags tags{42, 99, 3};
+  labels::DietzOmScheme::Tags out;
+  ASSERT_TRUE(labels::DietzOmScheme::Decode(
+      labels::DietzOmScheme::Encode(tags), &out));
+  EXPECT_EQ(out.begin, 42u);
+  EXPECT_EQ(out.end, 99u);
+  EXPECT_EQ(out.level, 3u);
+  EXPECT_FALSE(labels::DietzOmScheme::Decode(labels::Label("x"), &out));
+}
+
+}  // namespace
+}  // namespace xmlup::core

@@ -1,0 +1,126 @@
+// §2.3 / Figure 2: the encoding scheme built on the pre/post labelling,
+// and the requirement that it permits full reconstruction of the textual
+// document.
+
+#include <gtest/gtest.h>
+
+#include "core/encoding_table.h"
+#include "workload/document_generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(EncodingTableTest, Figure2RowsForTheSampleBook) {
+  Tree tree = workload::SampleBookDocument();
+  auto table = EncodingTable::FromTree(tree);
+  ASSERT_TRUE(table.ok());
+  const std::vector<EncodingRow>& rows = table->rows();
+  ASSERT_EQ(rows.size(), 10u);  // The paper's Figure 2 has 10 rows.
+
+  // Row 0: pre=0 post=9 Element book (no parent, no value).
+  EXPECT_EQ(rows[0].pre, 0u);
+  EXPECT_EQ(rows[0].post, 9u);
+  EXPECT_EQ(rows[0].kind, NodeKind::kElement);
+  EXPECT_FALSE(rows[0].parent_pre.has_value());
+  EXPECT_EQ(rows[0].name, "book");
+  EXPECT_EQ(rows[0].value, "");
+
+  // Row 1: pre=1 post=1 Element title, parent 0, value Wayfarer.
+  EXPECT_EQ(rows[1].pre, 1u);
+  EXPECT_EQ(rows[1].post, 1u);
+  EXPECT_EQ(rows[1].name, "title");
+  EXPECT_EQ(rows[1].value, "Wayfarer");
+  EXPECT_EQ(rows[1].parent_pre.value(), 0u);
+
+  // Row 2: pre=2 post=0 Attribute genre=Fantasy, parent 1.
+  EXPECT_EQ(rows[2].pre, 2u);
+  EXPECT_EQ(rows[2].post, 0u);
+  EXPECT_EQ(rows[2].kind, NodeKind::kAttribute);
+  EXPECT_EQ(rows[2].name, "genre");
+  EXPECT_EQ(rows[2].value, "Fantasy");
+  EXPECT_EQ(rows[2].parent_pre.value(), 1u);
+
+  // Row 3: author with its text folded in.
+  EXPECT_EQ(rows[3].pre, 3u);
+  EXPECT_EQ(rows[3].post, 2u);
+  EXPECT_EQ(rows[3].name, "author");
+  EXPECT_EQ(rows[3].value, "Matthew Dickens");
+
+  // Row 4: publisher pre=4 post=8.
+  EXPECT_EQ(rows[4].pre, 4u);
+  EXPECT_EQ(rows[4].post, 8u);
+
+  // Row 9: year attribute pre=9 post=6 parent 8 (edition).
+  EXPECT_EQ(rows[9].pre, 9u);
+  EXPECT_EQ(rows[9].post, 6u);
+  EXPECT_EQ(rows[9].kind, NodeKind::kAttribute);
+  EXPECT_EQ(rows[9].name, "year");
+  EXPECT_EQ(rows[9].value, "2004");
+  EXPECT_EQ(rows[9].parent_pre.value(), 8u);
+}
+
+TEST(EncodingTableTest, ToTextRendersAllRows) {
+  Tree tree = workload::SampleBookDocument();
+  auto table = EncodingTable::FromTree(tree);
+  ASSERT_TRUE(table.ok());
+  std::string text = table->ToText();
+  EXPECT_NE(text.find("book"), std::string::npos);
+  EXPECT_NE(text.find("Fantasy"), std::string::npos);
+  EXPECT_NE(text.find("Destiny Image"), std::string::npos);
+  EXPECT_NE(text.find("Attribute"), std::string::npos);
+}
+
+TEST(EncodingTableTest, ReconstructionRoundTripsTheSampleBook) {
+  Tree original = workload::SampleBookDocument();
+  auto table = EncodingTable::FromTree(original);
+  ASSERT_TRUE(table.ok());
+  auto rebuilt = table->ReconstructTree();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(xml::SerializeDocument(*rebuilt).value(),
+            xml::SerializeDocument(original).value());
+}
+
+TEST(EncodingTableTest, ReconstructionRoundTripsGeneratedDocuments) {
+  for (uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    workload::DocumentShape shape;
+    shape.target_nodes = 150;
+    shape.seed = seed;
+    Tree original = workload::GenerateDocument(shape).value();
+    auto table = EncodingTable::FromTree(original);
+    ASSERT_TRUE(table.ok());
+    auto rebuilt = table->ReconstructTree();
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(xml::SerializeDocument(*rebuilt).value(),
+              xml::SerializeDocument(original).value())
+        << "seed " << seed;
+  }
+}
+
+TEST(EncodingTableTest, MixedContentKeepsTextRows) {
+  auto tree = xml::ParseDocument("<a>one<b/>two</a>");
+  ASSERT_TRUE(tree.ok());
+  auto table = EncodingTable::FromTree(*tree);
+  ASSERT_TRUE(table.ok());
+  // a, text, b, text: mixed content is not foldable.
+  ASSERT_EQ(table->rows().size(), 4u);
+  EXPECT_EQ(table->rows()[1].kind, NodeKind::kText);
+  auto rebuilt = table->ReconstructTree();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(xml::SerializeDocument(*rebuilt).value(),
+            xml::SerializeDocument(*tree).value());
+}
+
+TEST(EncodingTableTest, EmptyInputsRejected) {
+  Tree tree;
+  EXPECT_FALSE(EncodingTable::FromTree(tree).ok());
+  EncodingTable empty;
+  EXPECT_FALSE(empty.ReconstructTree().ok());
+}
+
+}  // namespace
+}  // namespace xmlup::core

@@ -1,0 +1,146 @@
+// Integration tests of the evaluation framework (§5): probes grade the
+// schemes, and the mechanically derived matrix agrees with the published
+// Figure 7 on the behaviourally decidable columns.
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "core/property_probes.h"
+
+namespace xmlup::core {
+namespace {
+
+TEST(PropertyProbesTest, PersistenceGrades) {
+  PropertyProbes probes;
+  // Overflow-free schemes keep every existing label.
+  for (const char* scheme : {"ordpath", "improved-binary", "qed", "cdqs",
+                             "vector"}) {
+    auto result = probes.Persistence(scheme);
+    ASSERT_TRUE(result.ok()) << scheme;
+    EXPECT_EQ(result->compliance, Compliance::kFull)
+        << scheme << ": " << result->evidence;
+  }
+  // Gap-free, fixed and collision-prone schemes do not.
+  for (const char* scheme : {"xpath-accelerator", "xrel", "sector", "qrs",
+                             "dewey", "dln", "lsdx"}) {
+    auto result = probes.Persistence(scheme);
+    ASSERT_TRUE(result.ok()) << scheme;
+    EXPECT_EQ(result->compliance, Compliance::kNone)
+        << scheme << ": " << result->evidence;
+  }
+}
+
+TEST(PropertyProbesTest, OverflowGrades) {
+  PropertyProbes probes;
+  for (const char* scheme : {"qed", "cdqs", "vector"}) {
+    auto result = probes.Overflow(scheme);
+    ASSERT_TRUE(result.ok()) << scheme;
+    EXPECT_EQ(result->compliance, Compliance::kFull)
+        << scheme << ": " << result->evidence;
+  }
+  for (const char* scheme : {"dewey", "ordpath", "dln", "improved-binary",
+                             "lsdx", "cdbs", "xpath-accelerator"}) {
+    auto result = probes.Overflow(scheme);
+    ASSERT_TRUE(result.ok()) << scheme;
+    EXPECT_EQ(result->compliance, Compliance::kNone)
+        << scheme << ": " << result->evidence;
+  }
+}
+
+TEST(PropertyProbesTest, XPathGrades) {
+  PropertyProbes probes;
+  auto full = probes.XPathEvaluations("qed");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->compliance, Compliance::kFull);
+  auto partial = probes.XPathEvaluations("vector");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->compliance, Compliance::kPartial);
+}
+
+TEST(PropertyProbesTest, LevelGrades) {
+  PropertyProbes probes;
+  auto yes = probes.LevelEncoding("xpath-accelerator");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->compliance, Compliance::kFull);
+  auto no = probes.LevelEncoding("sector");
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->compliance, Compliance::kNone);
+}
+
+TEST(PropertyProbesTest, DivisionGrades) {
+  PropertyProbes probes;
+  for (const char* scheme : {"dewey", "vector", "xpath-accelerator"}) {
+    auto result = probes.DivisionComputation(scheme);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->compliance, Compliance::kFull) << scheme;
+  }
+  for (const char* scheme : {"ordpath", "improved-binary", "qed", "cdqs"}) {
+    auto result = probes.DivisionComputation(scheme);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->compliance, Compliance::kNone) << scheme;
+  }
+}
+
+TEST(PropertyProbesTest, RecursionGrades) {
+  PropertyProbes probes;
+  for (const char* scheme : {"dewey", "ordpath", "dln", "lsdx", "qrs",
+                             "xpath-accelerator"}) {
+    auto result = probes.RecursiveLabelling(scheme);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->compliance, Compliance::kFull) << scheme;
+  }
+  for (const char* scheme : {"sector", "improved-binary", "qed", "cdqs",
+                             "vector"}) {
+    auto result = probes.RecursiveLabelling(scheme);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->compliance, Compliance::kNone) << scheme;
+  }
+}
+
+TEST(PaperExpectationTest, AllTwelveRowsPresent) {
+  for (const char* scheme :
+       {"xpath-accelerator", "xrel", "sector", "qrs", "dewey", "ordpath",
+        "dln", "lsdx", "improved-binary", "qed", "cdqs", "vector"}) {
+    EXPECT_TRUE(PaperFigure7Row(scheme).has_value()) << scheme;
+  }
+  EXPECT_FALSE(PaperFigure7Row("prime").has_value());
+}
+
+TEST(FrameworkTest, CdqsEvaluationMatchesThePaperRow) {
+  // The paper singles out CDQS as satisfying the greatest number of
+  // properties (§5.2); verify its full row end-to-end.
+  EvaluationFramework framework;
+  auto eval = framework.Evaluate("cdqs");
+  ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+  EXPECT_EQ(eval->order_approach, labels::OrderApproach::kHybrid);
+  EXPECT_EQ(eval->encoding_rep, labels::EncodingRep::kVariable);
+  EXPECT_EQ(eval->persistent.compliance, Compliance::kFull);
+  EXPECT_EQ(eval->xpath.compliance, Compliance::kFull);
+  EXPECT_EQ(eval->level.compliance, Compliance::kFull);
+  EXPECT_EQ(eval->overflow.compliance, Compliance::kFull);
+  EXPECT_EQ(eval->orthogonal.compliance, Compliance::kFull);
+  EXPECT_EQ(eval->compact.compliance, Compliance::kFull);
+  EXPECT_EQ(eval->division.compliance, Compliance::kNone);
+  EXPECT_EQ(eval->recursion.compliance, Compliance::kNone);
+}
+
+TEST(FrameworkTest, FormatMatrixRendersRowsAndDiffMarks) {
+  EvaluationFramework framework;
+  auto eval = framework.Evaluate("xrel");
+  ASSERT_TRUE(eval.ok());
+  std::string matrix =
+      EvaluationFramework::FormatMatrix({*eval}, /*diff_against_paper=*/true);
+  EXPECT_NE(matrix.find("XRel"), std::string::npos);
+  EXPECT_NE(matrix.find("Global"), std::string::npos);
+  std::string evidence = EvaluationFramework::FormatEvidence({*eval});
+  EXPECT_NE(evidence.find("Persistent:"), std::string::npos);
+}
+
+TEST(ComplianceTest, Chars) {
+  EXPECT_EQ(ComplianceChar(Compliance::kFull), 'F');
+  EXPECT_EQ(ComplianceChar(Compliance::kPartial), 'P');
+  EXPECT_EQ(ComplianceChar(Compliance::kNone), 'N');
+}
+
+}  // namespace
+}  // namespace xmlup::core

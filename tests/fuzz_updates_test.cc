@@ -1,0 +1,138 @@
+// Randomised failure-injection sweep: long mixed sequences of structural
+// updates (leaf / internal / subtree inserts, subtree deletions, content
+// updates) against every scheme, across several seeds, with full
+// verification at checkpoints. Complements scheme_property_test's
+// pattern-driven batteries with arbitrary interleavings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+
+namespace xmlup::core {
+namespace {
+
+using common::SplitMix64;
+using common::Status;
+using xml::NodeId;
+using xml::NodeKind;
+
+struct FuzzCase {
+  std::string scheme;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<FuzzCase>& info) {
+  std::string name = info.param.scheme + "_seed" +
+                     std::to_string(info.param.seed);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+std::vector<FuzzCase> Cases() {
+  std::vector<FuzzCase> cases;
+  for (const std::string& scheme : labels::AllSchemeNames()) {
+    if (scheme == "lsdx" || scheme == "com-d") continue;  // Non-unique.
+    for (uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+      cases.push_back({scheme, seed});
+    }
+  }
+  return cases;
+}
+
+class FuzzUpdateTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzUpdateTest, LongMixedUpdateSequencesKeepInvariants) {
+  const FuzzCase& param = GetParam();
+  auto scheme = labels::CreateScheme(param.scheme);
+  ASSERT_TRUE(scheme.ok());
+  workload::DocumentShape shape;
+  shape.target_nodes = 80;
+  shape.seed = param.seed;
+  auto tree = workload::GenerateDocument(shape);
+  ASSERT_TRUE(tree.ok());
+  auto doc = LabeledDocument::Build(std::move(*tree), scheme->get());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  SplitMix64 rng(param.seed * 7919);
+  auto random_element = [&]() -> NodeId {
+    std::vector<NodeId> nodes = doc->tree().PreorderNodes();
+    for (int tries = 0; tries < 50; ++tries) {
+      NodeId n = nodes[rng.NextBelow(nodes.size())];
+      if (doc->tree().kind(n) == NodeKind::kElement) return n;
+    }
+    return doc->tree().root();
+  };
+
+  int performed = 0;
+  for (int op = 0; op < 300; ++op) {
+    uint64_t kind = rng.NextBelow(10);
+    if (kind < 5) {
+      // Leaf insert at a random gap.
+      NodeId parent = random_element();
+      std::vector<NodeId> kids = doc->tree().Children(parent);
+      NodeId before = kids.empty()
+                          ? xml::kInvalidNode
+                          : (rng.NextBool(0.5)
+                                 ? kids[rng.NextBelow(kids.size())]
+                                 : xml::kInvalidNode);
+      auto node = doc->InsertNode(parent, NodeKind::kElement, "f", "",
+                                  before);
+      if (!node.ok()) {
+        ASSERT_EQ(node.status().code(), common::StatusCode::kOverflow)
+            << node.status().ToString();
+        break;
+      }
+    } else if (kind < 7) {
+      // Subtree insert (internal-node update): graft a small fragment.
+      xml::Tree fragment;
+      NodeId froot =
+          fragment.CreateRoot(NodeKind::kElement, "frag").value();
+      fragment.AppendChild(froot, NodeKind::kAttribute, "k", "v").value();
+      NodeId mid = fragment.AppendChild(froot, NodeKind::kElement, "m")
+                       .value();
+      fragment.AppendChild(mid, NodeKind::kText, "", "t").value();
+      auto grafted =
+          doc->InsertSubtree(random_element(), fragment, froot);
+      if (!grafted.ok()) {
+        ASSERT_EQ(grafted.status().code(), common::StatusCode::kOverflow);
+        break;
+      }
+    } else if (kind < 9) {
+      // Subtree delete (keep the document from collapsing).
+      std::vector<NodeId> nodes = doc->tree().PreorderNodes();
+      if (nodes.size() > 30) {
+        NodeId victim = nodes[1 + rng.NextBelow(nodes.size() - 1)];
+        ASSERT_TRUE(doc->RemoveSubtree(victim).ok());
+      }
+    } else {
+      // Content update: labels must be untouched.
+      NodeId target = random_element();
+      labels::Label before_label = doc->label(target);
+      ASSERT_TRUE(doc->UpdateValue(target, "updated").ok());
+      ASSERT_EQ(doc->label(target), before_label);
+    }
+    ++performed;
+    if (op % 75 == 74) {
+      ASSERT_TRUE(doc->VerifyOrderAndUniqueness().ok())
+          << param.scheme << " after op " << op;
+    }
+  }
+  EXPECT_GT(performed, 20) << "battery ended too early";
+  Status order = doc->VerifyOrderAndUniqueness();
+  EXPECT_TRUE(order.ok()) << order.message();
+  Status axes = doc->VerifyAxes(param.seed);
+  EXPECT_TRUE(axes.ok()) << axes.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, FuzzUpdateTest, ::testing::ValuesIn(Cases()),
+                         CaseName);
+
+}  // namespace
+}  // namespace xmlup::core

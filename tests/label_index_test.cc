@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/label_index.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+
+class LabelIndexTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    auto scheme = labels::CreateScheme(GetParam());
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::move(*scheme);
+    workload::DocumentShape shape;
+    shape.target_nodes = 200;
+    shape.seed = 71;
+    auto tree = workload::GenerateDocument(shape);
+    ASSERT_TRUE(tree.ok());
+    auto doc = LabeledDocument::Build(std::move(*tree), scheme_.get());
+    ASSERT_TRUE(doc.ok());
+    doc_.emplace(std::move(*doc));
+  }
+
+  std::unique_ptr<labels::LabelingScheme> scheme_;
+  std::optional<LabeledDocument> doc_;
+};
+
+TEST_P(LabelIndexTest, BuildVerifiesAndOrders) {
+  auto index = LabelIndex::Build(&*doc_);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->size(), doc_->tree().node_count());
+  EXPECT_EQ(index->ordered_nodes(), doc_->tree().PreorderNodes());
+}
+
+TEST_P(LabelIndexTest, LookupAndRank) {
+  auto index = LabelIndex::Build(&*doc_);
+  ASSERT_TRUE(index.ok());
+  std::vector<NodeId> order = doc_->tree().PreorderNodes();
+  for (size_t i = 0; i < order.size(); i += 13) {
+    EXPECT_EQ(index->Lookup(doc_->label(order[i])), order[i]);
+    EXPECT_EQ(index->Rank(doc_->label(order[i])), i);
+  }
+  // A valid label that is no longer present (its node was removed) must
+  // not be found.
+  NodeId victim = doc_->tree().last_child(doc_->tree().root());
+  labels::Label absent = doc_->label(victim);
+  ASSERT_TRUE(doc_->RemoveSubtree(victim).ok());
+  ASSERT_TRUE(index->Refresh().ok());
+  EXPECT_EQ(index->Lookup(absent), xml::kInvalidNode);
+}
+
+TEST_P(LabelIndexTest, DescendantRangeScanMatchesGroundTruth) {
+  auto index = LabelIndex::Build(&*doc_);
+  ASSERT_TRUE(index.ok());
+  for (NodeId n : doc_->tree().PreorderNodes()) {
+    std::vector<NodeId> expected;
+    for (NodeId m : doc_->tree().PreorderNodes()) {
+      if (doc_->tree().IsAncestor(n, m)) expected.push_back(m);
+    }
+    EXPECT_EQ(index->Descendants(n), expected) << "node " << n;
+  }
+}
+
+TEST_P(LabelIndexTest, RangeQueries) {
+  auto index = LabelIndex::Build(&*doc_);
+  ASSERT_TRUE(index.ok());
+  std::vector<NodeId> order = doc_->tree().PreorderNodes();
+  // Everything strictly between the 3rd and 10th node.
+  auto range = index->Range(doc_->label(order[3]), doc_->label(order[10]));
+  std::vector<NodeId> expected(order.begin() + 4, order.begin() + 10);
+  EXPECT_EQ(range, expected);
+  // Open bounds.
+  EXPECT_EQ(index->Range(labels::Label(), labels::Label()), order);
+  auto tail = index->Range(doc_->label(order[order.size() - 3]),
+                           labels::Label());
+  EXPECT_EQ(tail.size(), 2u);
+}
+
+TEST_P(LabelIndexTest, IncrementalInsertKeepsConsistency) {
+  auto index = LabelIndex::Build(&*doc_);
+  ASSERT_TRUE(index.ok());
+  workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 9);
+  for (int i = 0; i < 40; ++i) {
+    auto pos = planner.Next(doc_->tree());
+    ASSERT_TRUE(pos.ok());
+    UpdateStats stats;
+    auto node = doc_->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                 pos->before, &stats);
+    ASSERT_TRUE(node.ok());
+    if (stats.relabeled > 0) {
+      ASSERT_TRUE(index->Refresh().ok());
+    } else {
+      index->Insert(*node);
+    }
+  }
+  EXPECT_TRUE(index->Verify().ok()) << index->Verify().message();
+}
+
+TEST_P(LabelIndexTest, EraseSubtreeKeepsConsistency) {
+  auto index = LabelIndex::Build(&*doc_);
+  ASSERT_TRUE(index.ok());
+  NodeId victim = doc_->tree().Children(doc_->tree().root())[0];
+  ASSERT_TRUE(doc_->RemoveSubtree(victim).ok());
+  index->EraseSubtree(victim);
+  EXPECT_TRUE(index->Verify().ok()) << index->Verify().message();
+  EXPECT_EQ(index->size(), doc_->tree().node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, LabelIndexTest,
+    ::testing::Values("xpath-accelerator", "dewey", "qed", "vector", "dde",
+                      "dietz-om"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace xmlup::core

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "xml/tree.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(LabeledDocumentTest, BuildLabelsEveryNode) {
+  auto scheme = labels::CreateScheme("qed");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  for (NodeId n : doc->tree().PreorderNodes()) {
+    EXPECT_FALSE(doc->label(n).empty());
+  }
+}
+
+TEST(LabeledDocumentTest, InsertReportsStats) {
+  auto scheme = labels::CreateScheme("dewey");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+
+  UpdateStats stats;
+  // Append: Dewey's free operation.
+  ASSERT_TRUE(
+      doc->InsertNode(root, NodeKind::kElement, "c", "", xml::kInvalidNode,
+                      &stats)
+          .ok());
+  EXPECT_EQ(stats.relabeled, 0u);
+  EXPECT_FALSE(stats.overflow);
+  // Prepend: shifts every sibling.
+  ASSERT_TRUE(doc->InsertNode(root, NodeKind::kElement, "z", "", a, &stats)
+                  .ok());
+  EXPECT_GT(stats.relabeled, 0u);
+  EXPECT_TRUE(stats.overflow);
+}
+
+TEST(LabeledDocumentTest, FailedInsertRollsBackTheTree) {
+  labels::SchemeOptions options;
+  options.dln_max_components = 2;
+  auto scheme = labels::CreateScheme("dln", options);
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  for (int i = 0; i < 40; ++i) {
+    tree.AppendChild(root, NodeKind::kElement, "c").value();
+  }
+  // 40 children cannot be labelled in 2 sub-values of 4 bits (capacity
+  // 30); Build fails with an overflow.
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), common::StatusCode::kOverflow);
+}
+
+TEST(LabeledDocumentTest, InsertSubtreeCopiesStructure) {
+  auto scheme = labels::CreateScheme("ordpath");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  size_t before = doc->tree().node_count();
+
+  // Graft a copy of another book's publisher under the root.
+  Tree fragment = workload::SampleBookDocument();
+  UpdateStats stats;
+  auto grafted = doc->InsertSubtree(doc->tree().root(), fragment,
+                                    fragment.root(), xml::kInvalidNode,
+                                    &stats);
+  ASSERT_TRUE(grafted.ok());
+  EXPECT_EQ(doc->tree().node_count(), before + fragment.node_count());
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+  // The grafted subtree mirrors the fragment.
+  EXPECT_EQ(doc->tree().name(*grafted), "book");
+  EXPECT_EQ(doc->tree().ChildCount(*grafted),
+            fragment.ChildCount(fragment.root()));
+}
+
+TEST(LabeledDocumentTest, InsertSubtreeRejectsBadFragmentRoot) {
+  auto scheme = labels::CreateScheme("qed");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  Tree fragment;
+  EXPECT_FALSE(doc->InsertSubtree(doc->tree().root(), fragment, 0).ok());
+}
+
+TEST(LabeledDocumentTest, RemoveThenVerifyStaysConsistent) {
+  auto scheme = labels::CreateScheme("cdqs");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  // Remove "publisher" (the third element child of book).
+  std::vector<NodeId> kids = doc->tree().Children(doc->tree().root());
+  ASSERT_TRUE(doc->RemoveSubtree(kids.back()).ok());
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(LabeledDocumentTest, ContentUpdateDoesNotTouchLabels) {
+  auto scheme = labels::CreateScheme("qed");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  NodeId title = doc->tree().Children(doc->tree().root())[0];
+  labels::Label before = doc->label(title);
+  ASSERT_TRUE(doc->UpdateValue(title, "renamed").ok());
+  EXPECT_EQ(doc->label(title), before);
+}
+
+TEST(LabeledDocumentTest, InsertIntoInvalidParentFails) {
+  auto scheme = labels::CreateScheme("qed");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(
+      doc->InsertNode(9999, NodeKind::kElement, "x", "").ok());
+}
+
+TEST(LabeledDocumentTest, AverageBitsConsistentWithTotal) {
+  auto scheme = labels::CreateScheme("vector");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  double avg = doc->AverageLabelBits();
+  size_t total = doc->TotalLabelBits();
+  EXPECT_NEAR(avg * static_cast<double>(doc->tree().node_count()),
+              static_cast<double>(total), 1e-6);
+}
+
+}  // namespace
+}  // namespace xmlup::core

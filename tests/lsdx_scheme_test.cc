@@ -1,0 +1,121 @@
+// E14: regression tests for the LSDX labelling collisions documented by
+// Sans & Laurent (PVLDB 2008) — the reason the survey deems LSDX (and its
+// derivatives) "unsuitable for use as dynamic labelling schemes".
+
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/lsdx_codec.h"
+#include "labels/registry.h"
+#include "xml/tree.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(LsdxCollisionTest, BetweenFirstChildAndItsSuccessorCollides) {
+  // Published rules: siblings "b" and "c"; inserting between them yields
+  // "bb". Inserting between "b" and "bb" yields... "bb" again: increment
+  // of "b" is "c" >= "bb", so the fallback appends, colliding with the
+  // right neighbour.
+  labels::LsdxCodec codec;
+  auto first = codec.Between("b", "c", nullptr);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "bb");
+  auto second = codec.Between("b", "bb", nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "bb") << "the documented LSDX duplicate";
+}
+
+TEST(LsdxCollisionTest, UniquenessProbeDetectsTheCollision) {
+  auto scheme = labels::CreateScheme("lsdx");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  (void)a;
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+
+  // Insert between a("b") and b("c") -> "bb"; then between a and the new
+  // node -> "bb" again: duplicate labels.
+  auto mid = doc->InsertNode(root, NodeKind::kElement, "m", "", b);
+  ASSERT_TRUE(mid.ok());
+  auto dup = doc->InsertNode(root, NodeKind::kElement, "d", "", *mid);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(doc->label(*mid), doc->label(*dup));
+  common::Status integrity = doc->VerifyOrderAndUniqueness();
+  EXPECT_FALSE(integrity.ok());
+  EXPECT_NE(integrity.message().find("duplicate"), std::string::npos)
+      << integrity.message();
+}
+
+TEST(LsdxCollisionTest, OrderViolationCase) {
+  // Between "b" and "bab": increment gives "c" >= "bab", so the rule
+  // appends -> "bb", which sorts *after* "bab": an order violation.
+  labels::LsdxCodec codec;
+  auto result = codec.Between("b", "bab", nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "bb");
+  EXPECT_GT(codec.Compare(*result, "bab"), 0)
+      << "the documented LSDX misordering";
+}
+
+TEST(LsdxCollisionTest, ComDInheritsTheCollision) {
+  labels::ComDCodec codec;
+  auto second = codec.Between("b", "bb", nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "bb");
+}
+
+TEST(LsdxSchemeTest, WellBehavedOutsideTheCornerCases) {
+  auto scheme = labels::CreateScheme("lsdx");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  for (int i = 0; i < 30; ++i) {
+    tree.AppendChild(root, NodeKind::kElement, "c").value();
+  }
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  // 30 initial children wrap past "z" into "zb".. style codes; appends and
+  // prepends keep order.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(doc->InsertNode(root, NodeKind::kElement, "app", "").ok());
+    ASSERT_TRUE(doc->InsertNode(root, NodeKind::kElement, "pre", "",
+                                doc->tree().first_child(root))
+                    .ok());
+  }
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(LsdxSchemeTest, LengthBudgetOverflowsLikeOtherVariableSchemes) {
+  labels::SchemeOptions options;
+  options.lsdx_length_field_bits = 3;  // Max 7 letters.
+  auto scheme = labels::CreateScheme("lsdx", options);
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  tree.AppendChild(root, NodeKind::kElement, "c").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  scheme->get()->ResetCounters();
+  for (int i = 0; i < 20; ++i) {
+    auto node = doc->InsertNode(root, NodeKind::kElement, "p", "",
+                                doc->tree().first_child(root));
+    ASSERT_TRUE(node.ok());
+  }
+  // Prepends prefix an "a" each time; the 8th exceeds the 7-letter budget
+  // and forces a sibling-range relabel.
+  EXPECT_GT(scheme->get()->counters().overflows, 0u);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+}
+
+}  // namespace
+}  // namespace xmlup::core

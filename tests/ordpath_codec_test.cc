@@ -1,0 +1,118 @@
+// ORDPATH codec internals: the odd/even careting rules of O'Neil et al.
+
+#include <gtest/gtest.h>
+
+#include "labels/ordpath_codec.h"
+
+namespace xmlup::labels {
+namespace {
+
+std::string Code(std::initializer_list<int64_t> components) {
+  return OrdpathCodec::Pack(std::vector<int64_t>(components));
+}
+
+class OrdpathCodecTest : public ::testing::Test {
+ protected:
+  OrdpathCodec codec_;
+};
+
+TEST_F(OrdpathCodecTest, InitialCodesAreOddIntegers) {
+  std::vector<std::string> codes;
+  ASSERT_TRUE(codec_.InitialCodes(4, &codes, nullptr).ok());
+  EXPECT_EQ(codec_.Render(codes[0]), "1");
+  EXPECT_EQ(codec_.Render(codes[1]), "3");
+  EXPECT_EQ(codec_.Render(codes[2]), "5");
+  EXPECT_EQ(codec_.Render(codes[3]), "7");
+}
+
+TEST_F(OrdpathCodecTest, AppendAddsTwoToTheRightmostOdd) {
+  auto code = codec_.Between(Code({5}), "", nullptr);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(codec_.Render(*code), "7");
+  // After a caret component, the next odd is one above the even.
+  auto after_caret = codec_.Between(Code({6, 1}), "", nullptr);
+  ASSERT_TRUE(after_caret.ok());
+  EXPECT_EQ(codec_.Render(*after_caret), "7");
+}
+
+TEST_F(OrdpathCodecTest, PrependSubtractsTwoAndGoesNegative) {
+  auto code = codec_.Between("", Code({1}), nullptr);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(codec_.Render(*code), "-1");
+  auto again = codec_.Between("", *code, nullptr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(codec_.Render(*again), "-3");
+}
+
+TEST_F(OrdpathCodecTest, CaretingBetweenConsecutiveOdds) {
+  auto code = codec_.Between(Code({1}), Code({3}), nullptr);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(codec_.Render(*code), "2.1");
+  // Careting again between the caret and its right neighbour descends.
+  auto deeper = codec_.Between(*code, Code({3}), nullptr);
+  ASSERT_TRUE(deeper.ok());
+  EXPECT_EQ(codec_.Render(*deeper), "2.3");
+  auto between_carets = codec_.Between(*code, *deeper, nullptr);
+  ASSERT_TRUE(between_carets.ok());
+  EXPECT_EQ(codec_.Render(*between_carets), "2.2.1");
+}
+
+TEST_F(OrdpathCodecTest, WideGapsPickAnOddWithoutCareting) {
+  auto code = codec_.Between(Code({1}), Code({7}), nullptr);
+  ASSERT_TRUE(code.ok());
+  // 4 is the midpoint; 5 is the odd above it and still below 7.
+  EXPECT_EQ(codec_.Render(*code), "5");
+}
+
+TEST_F(OrdpathCodecTest, DivisionCounterTracksCareting) {
+  common::OpCounters stats;
+  ASSERT_TRUE(codec_.Between(Code({1}), Code({3}), &stats).ok());
+  EXPECT_EQ(stats.divisions, 1u);
+}
+
+TEST_F(OrdpathCodecTest, ComparePrefixAndComponentOrder) {
+  EXPECT_LT(codec_.Compare(Code({1}), Code({2, 1})), 0);
+  EXPECT_LT(codec_.Compare(Code({2, 1}), Code({2, 3})), 0);
+  EXPECT_LT(codec_.Compare(Code({2, 3}), Code({3})), 0);
+  EXPECT_LT(codec_.Compare(Code({-1}), Code({1})), 0);
+  EXPECT_EQ(codec_.Compare(Code({2, 1}), Code({2, 1})), 0);
+}
+
+TEST_F(OrdpathCodecTest, StorageGrowsWithComponentCountAndMagnitude) {
+  EXPECT_LT(codec_.StorageBits(Code({1})), codec_.StorageBits(Code({2, 1})));
+  EXPECT_LT(codec_.StorageBits(Code({1})),
+            codec_.StorageBits(Code({1000001})));
+}
+
+TEST_F(OrdpathCodecTest, BudgetOverflow) {
+  OrdpathCodec tight(/*max_code_bits=*/16);
+  // Deepening caret chains exceed 16 bits quickly.
+  std::string left = Code({1});
+  std::string right = Code({3});
+  bool overflowed = false;
+  for (int i = 0; i < 10; ++i) {
+    auto mid = tight.Between(left, right, nullptr);
+    if (!mid.ok()) {
+      EXPECT_EQ(mid.status().code(), common::StatusCode::kOverflow);
+      overflowed = true;
+      break;
+    }
+    right = *mid;  // Keep bisecting toward `left`.
+    auto mid2 = tight.Between(left, right, nullptr);
+    if (!mid2.ok()) {
+      overflowed = true;
+      break;
+    }
+    left = *mid2;
+  }
+  EXPECT_TRUE(overflowed);
+}
+
+TEST_F(OrdpathCodecTest, PackUnpackRoundTrip) {
+  std::vector<int64_t> components = {1, -5, 1LL << 40, -(1LL << 40)};
+  EXPECT_EQ(OrdpathCodec::Unpack(OrdpathCodec::Pack(components)),
+            components);
+}
+
+}  // namespace
+}  // namespace xmlup::labels

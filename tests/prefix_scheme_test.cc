@@ -1,0 +1,143 @@
+// Unit tests of the PrefixScheme host: label component codec, relabelling
+// semantics (subtree prefix rewrite), render styles and predicate edge
+// cases.
+
+#include <gtest/gtest.h>
+
+#include "labels/dewey_codec.h"
+#include "labels/prefix_scheme.h"
+#include "labels/quaternary_codec.h"
+#include "labels/registry.h"
+#include "xml/tree.h"
+
+namespace xmlup::labels {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(PrefixLabelCodecTest, ComponentsRoundTrip) {
+  std::vector<std::string> components = {"a", "", "long-component",
+                                         std::string(3, '\0')};
+  Label label = PrefixScheme::MakeLabel(components);
+  EXPECT_EQ(PrefixScheme::Components(label), components);
+  EXPECT_TRUE(PrefixScheme::Components(PrefixScheme::MakeLabel({})).empty());
+  EXPECT_FALSE(PrefixScheme::MakeLabel({}).empty())
+      << "the root label must have a non-empty byte form";
+}
+
+TEST(PrefixLabelCodecTest, MalformedBytesDecodeToEmpty) {
+  // A truncated length prefix must not crash.
+  Label bogus(std::string("\x05"));
+  EXPECT_TRUE(PrefixScheme::Components(bogus).empty());
+}
+
+PrefixScheme MakeQedScheme() {
+  SchemeTraits traits;
+  traits.name = "test-qed";
+  traits.display_name = "TestQED";
+  return PrefixScheme(traits, std::make_unique<QedCodec>());
+}
+
+TEST(PrefixSchemeTest, PredicatesOnHandBuiltLabels) {
+  PrefixScheme scheme = MakeQedScheme();
+  Label root = PrefixScheme::MakeLabel({});
+  Label a = PrefixScheme::MakeLabel({"\x02"});
+  Label ab = PrefixScheme::MakeLabel({"\x02", "\x02"});
+  Label b = PrefixScheme::MakeLabel({"\x03"});
+
+  EXPECT_TRUE(scheme.IsAncestor(root, a));
+  EXPECT_TRUE(scheme.IsAncestor(root, ab));
+  EXPECT_TRUE(scheme.IsAncestor(a, ab));
+  EXPECT_FALSE(scheme.IsAncestor(ab, a));
+  EXPECT_FALSE(scheme.IsAncestor(a, a));
+  EXPECT_FALSE(scheme.IsAncestor(b, ab));
+
+  EXPECT_TRUE(scheme.IsParent(root, a));
+  EXPECT_FALSE(scheme.IsParent(root, ab));
+  EXPECT_TRUE(scheme.IsParent(a, ab));
+
+  EXPECT_TRUE(scheme.IsSibling(a, b));
+  EXPECT_FALSE(scheme.IsSibling(a, ab));
+  EXPECT_FALSE(scheme.IsSibling(a, a));
+  EXPECT_FALSE(scheme.IsSibling(root, root));
+
+  EXPECT_EQ(scheme.Level(root).value(), 0);
+  EXPECT_EQ(scheme.Level(ab).value(), 2);
+
+  EXPECT_LT(scheme.Compare(root, a), 0);
+  EXPECT_LT(scheme.Compare(a, ab), 0);
+  EXPECT_LT(scheme.Compare(ab, b), 0);
+}
+
+TEST(PrefixSchemeTest, RelabelRewritesDescendantPrefixes) {
+  // Dewey: inserting before the first child shifts following siblings and
+  // all their descendants, but descendants keep their own positional ids.
+  auto scheme = CreateScheme("dewey");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId a1 = tree.AppendChild(a, NodeKind::kElement, "a1").value();
+  NodeId a11 = tree.AppendChild(a1, NodeKind::kElement, "a11").value();
+  std::vector<Label> labels;
+  ASSERT_TRUE((*scheme)->LabelTree(tree, &labels).ok());
+  ASSERT_EQ((*scheme)->Render(labels[a11]), "1.1.1");
+
+  // Structural insert before 'a'.
+  NodeId fresh =
+      tree.InsertChild(root, NodeKind::kElement, "z", "", a).value();
+  labels.resize(tree.arena_size());
+  auto outcome = (*scheme)->LabelForInsert(tree, fresh, labels);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->overflow);
+  // a -> 2, a1 -> 2.1, a11 -> 2.1.1.
+  ASSERT_EQ(outcome->relabeled.size(), 3u);
+  for (const auto& [id, label] : outcome->relabeled) {
+    labels[id] = label;
+  }
+  labels[fresh] = outcome->label;
+  EXPECT_EQ((*scheme)->Render(labels[fresh]), "1");
+  EXPECT_EQ((*scheme)->Render(labels[a]), "2");
+  EXPECT_EQ((*scheme)->Render(labels[a1]), "2.1");
+  EXPECT_EQ((*scheme)->Render(labels[a11]), "2.1.1");
+}
+
+TEST(PrefixSchemeTest, InsertingARootIsRejected) {
+  PrefixScheme scheme = MakeQedScheme();
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  std::vector<Label> labels;
+  // Root not yet labelled; LabelForInsert on the root must fail cleanly.
+  labels.resize(tree.arena_size());
+  auto outcome = scheme.LabelForInsert(tree, root, labels);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(PrefixSchemeTest, StorageBitsSumComponents) {
+  PrefixScheme scheme = MakeQedScheme();
+  Label ab = PrefixScheme::MakeLabel({"\x02", "\x02\x03"});
+  // QED: (2 digits * 0 + ...) code1: 1 digit -> 4 bits; code2: 2 digits
+  // -> 6 bits.
+  EXPECT_EQ(scheme.StorageBits(ab), 10u);
+  EXPECT_EQ(scheme.StorageBits(PrefixScheme::MakeLabel({})), 0u);
+}
+
+TEST(PrefixSchemeTest, DottedRenderStyle) {
+  PrefixScheme scheme = MakeQedScheme();
+  EXPECT_EQ(scheme.Render(PrefixScheme::MakeLabel({})), "<root>");
+  EXPECT_EQ(scheme.Render(PrefixScheme::MakeLabel({"\x02", "\x03"})),
+            "2.3");
+}
+
+TEST(PrefixSchemeTest, TraitsForcePrefixCapabilities) {
+  PrefixScheme scheme = MakeQedScheme();
+  EXPECT_EQ(scheme.traits().family, "prefix");
+  EXPECT_TRUE(scheme.traits().supports_parent);
+  EXPECT_TRUE(scheme.traits().supports_sibling);
+  EXPECT_TRUE(scheme.traits().supports_level);
+}
+
+}  // namespace
+}  // namespace xmlup::labels

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/prepost_gap_scheme.h"
+#include "labels/registry.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace xmlup::core {
+namespace {
+
+using labels::PrePostGapScheme;
+using xml::NodeId;
+using xml::NodeKind;
+
+TEST(PrePostGapTest, ModerateInsertionsConsumeGapsWithoutRelabelling) {
+  auto scheme = labels::CreateScheme("prepost-gap");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  (*scheme)->ResetCounters();
+  workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 3);
+  for (int i = 0; i < 12; ++i) {
+    auto pos = planner.Next(doc->tree());
+    ASSERT_TRUE(pos.ok());
+    UpdateStats stats;
+    ASSERT_TRUE(doc->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                pos->before, &stats)
+                    .ok());
+    EXPECT_EQ(stats.relabeled, 0u) << "insert " << i;
+  }
+  EXPECT_EQ((*scheme)->counters().overflows, 0u);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(doc->VerifyAxes().ok());
+}
+
+TEST(PrePostGapTest, GapExhaustionOnlyPostponesRelabelling) {
+  // A tiny gap exhausts quickly: the §3.1.1 claim that gap extensions
+  // "only postpone the relabelling process".
+  labels::SchemeOptions options;
+  options.prepost_gap = 8;
+  auto scheme = labels::CreateScheme("prepost-gap", options);
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  (*scheme)->ResetCounters();
+  workload::InsertionPlanner planner(
+      workload::InsertPattern::kSkewedFixed, 5);
+  for (int i = 0; i < 30; ++i) {
+    auto pos = planner.Next(doc->tree());
+    ASSERT_TRUE(pos.ok());
+    ASSERT_TRUE(doc->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                pos->before)
+                    .ok());
+  }
+  EXPECT_GT((*scheme)->counters().overflows, 0u);
+  EXPECT_GT((*scheme)->counters().relabels, 0u);
+  EXPECT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+}
+
+TEST(PrePostGapTest, FarFewerRelabelsThanPlainPrePost) {
+  auto gapped = labels::CreateScheme("prepost-gap");
+  auto plain = labels::CreateScheme("xpath-accelerator");
+  ASSERT_TRUE(gapped.ok());
+  ASSERT_TRUE(plain.ok());
+  uint64_t relabels[2] = {0, 0};
+  labels::LabelingScheme* schemes[2] = {gapped->get(), plain->get()};
+  for (int s = 0; s < 2; ++s) {
+    workload::DocumentShape shape;
+    shape.target_nodes = 150;
+    shape.seed = 41;
+    auto tree = workload::GenerateDocument(shape);
+    ASSERT_TRUE(tree.ok());
+    auto doc = LabeledDocument::Build(std::move(*tree), schemes[s]);
+    ASSERT_TRUE(doc.ok());
+    schemes[s]->ResetCounters();
+    workload::InsertionPlanner planner(workload::InsertPattern::kRandom, 6);
+    for (int i = 0; i < 60; ++i) {
+      auto pos = planner.Next(doc->tree());
+      ASSERT_TRUE(pos.ok());
+      ASSERT_TRUE(doc->InsertNode(pos->parent, NodeKind::kElement, "n", "",
+                                  pos->before)
+                      .ok());
+    }
+    relabels[s] = schemes[s]->counters().relabels;
+  }
+  EXPECT_LT(relabels[0], relabels[1] / 10)
+      << "gapped=" << relabels[0] << " plain=" << relabels[1];
+}
+
+TEST(PrePostGapTest, EncodeDecodeRoundTrip) {
+  PrePostGapScheme::Ranks ranks{12345678901ULL, 98765432101ULL, 7};
+  labels::Label label = PrePostGapScheme::Encode(ranks);
+  PrePostGapScheme::Ranks out;
+  ASSERT_TRUE(PrePostGapScheme::Decode(label, &out));
+  EXPECT_EQ(out.pre, ranks.pre);
+  EXPECT_EQ(out.post, ranks.post);
+  EXPECT_EQ(out.level, ranks.level);
+  EXPECT_FALSE(PrePostGapScheme::Decode(labels::Label("short"), &out));
+}
+
+}  // namespace
+}  // namespace xmlup::core

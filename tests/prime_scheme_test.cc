@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/labeled_document.h"
+#include "labels/prime_scheme.h"
+#include "labels/registry.h"
+#include "xml/tree.h"
+
+namespace xmlup::core {
+namespace {
+
+using labels::PrimeScheme;
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+Tree Chain(int depth, NodeId* leaf) {
+  Tree tree;
+  NodeId cur = tree.CreateRoot(NodeKind::kElement, "r").value();
+  for (int i = 0; i < depth; ++i) {
+    cur = tree.AppendChild(cur, NodeKind::kElement, "c").value();
+  }
+  *leaf = cur;
+  return tree;
+}
+
+TEST(PrimeSchemeTest, LabelsAreProductsOfPathPrimes) {
+  PrimeScheme scheme;
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  NodeId c = tree.AppendChild(a, NodeKind::kElement, "c").value();
+  std::vector<labels::Label> labels;
+  ASSERT_TRUE(scheme.LabelTree(tree, &labels).ok());
+  PrimeScheme::Parts parts;
+  // Preorder: root=2, a=3, c=5, b=7.
+  ASSERT_TRUE(PrimeScheme::Decode(labels[root], &parts));
+  EXPECT_EQ(parts.product.ToString(), "2");
+  ASSERT_TRUE(PrimeScheme::Decode(labels[a], &parts));
+  EXPECT_EQ(parts.product.ToString(), "6");
+  ASSERT_TRUE(PrimeScheme::Decode(labels[c], &parts));
+  EXPECT_EQ(parts.product.ToString(), "30");
+  EXPECT_EQ(parts.level, 2u);
+  ASSERT_TRUE(PrimeScheme::Decode(labels[b], &parts));
+  EXPECT_EQ(parts.product.ToString(), "14");
+  EXPECT_EQ(parts.self_prime, 7u);
+}
+
+TEST(PrimeSchemeTest, AncestryIsDivisibility) {
+  auto scheme = labels::CreateScheme("prime");
+  ASSERT_TRUE(scheme.ok());
+  NodeId leaf;
+  Tree tree = Chain(20, &leaf);  // Products far beyond 64 bits.
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE((*scheme)->IsAncestor(doc->label(doc->tree().root()),
+                                    doc->label(leaf)));
+  EXPECT_FALSE((*scheme)->IsAncestor(doc->label(leaf),
+                                     doc->label(doc->tree().root())));
+  EXPECT_TRUE(doc->VerifyAxes().ok()) << doc->VerifyAxes().message();
+}
+
+TEST(PrimeSchemeTest, ParentAndSiblingUseMultiplicationOnly) {
+  auto scheme = labels::CreateScheme("prime");
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  NodeId b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  NodeId c = tree.AppendChild(a, NodeKind::kElement, "c").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE((*scheme)->IsParent(doc->label(root), doc->label(a)));
+  EXPECT_FALSE((*scheme)->IsParent(doc->label(root), doc->label(c)));
+  EXPECT_TRUE((*scheme)->IsSibling(doc->label(a), doc->label(b)));
+  EXPECT_FALSE((*scheme)->IsSibling(doc->label(a), doc->label(c)));
+  EXPECT_EQ((*scheme)->counters().divisions, 0u);
+}
+
+TEST(PrimeSchemeTest, InsertionKeepsPrimeLabelsButMayRenumberOrder) {
+  labels::SchemeOptions options;
+  options.prime_order_gap = 4;  // Tiny gaps to force SC recomputation.
+  auto scheme = labels::CreateScheme("prime", options);
+  ASSERT_TRUE(scheme.ok());
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId first = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  tree.AppendChild(root, NodeKind::kElement, "b").value();
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+
+  PrimeScheme::Parts before_parts;
+  ASSERT_TRUE(PrimeScheme::Decode(doc->label(first), &before_parts));
+
+  bool renumbered = false;
+  for (int i = 0; i < 10; ++i) {
+    UpdateStats stats;
+    auto node = doc->InsertNode(root, NodeKind::kElement, "n", "",
+                                doc->tree().next_sibling(first), &stats);
+    ASSERT_TRUE(node.ok());
+    renumbered |= stats.overflow;
+    ASSERT_TRUE(doc->VerifyOrderAndUniqueness().ok());
+  }
+  EXPECT_TRUE(renumbered) << "tiny gaps must trigger SC recomputation";
+  // The prime part of an existing label never changes.
+  PrimeScheme::Parts after_parts;
+  ASSERT_TRUE(PrimeScheme::Decode(doc->label(first), &after_parts));
+  EXPECT_EQ(before_parts.self_prime, after_parts.self_prime);
+  EXPECT_EQ(before_parts.product.Compare(after_parts.product), 0);
+}
+
+TEST(PrimeSchemeTest, LevelDecodes) {
+  auto scheme = labels::CreateScheme("prime");
+  ASSERT_TRUE(scheme.ok());
+  NodeId leaf;
+  Tree tree = Chain(5, &leaf);
+  auto doc = LabeledDocument::Build(std::move(tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+  auto level = (*scheme)->Level(doc->label(leaf));
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, 5);
+}
+
+}  // namespace
+}  // namespace xmlup::core

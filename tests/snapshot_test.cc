@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+#include "xml/serializer.h"
+
+namespace xmlup::core {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+
+TEST(SnapshotTest, RoundTripsTheSampleBook) {
+  auto scheme = labels::CreateScheme("cdqs");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  std::string bytes = SaveSnapshot(*doc);
+
+  std::unique_ptr<labels::LabelingScheme> restored_scheme;
+  auto restored = LoadSnapshot(bytes, &restored_scheme);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored_scheme->traits().name, "cdqs");
+  EXPECT_EQ(xml::SerializeDocument(restored->tree()).value(),
+            xml::SerializeDocument(doc->tree()).value());
+  // Labels are byte-identical, in document order.
+  std::vector<NodeId> a = doc->tree().PreorderNodes();
+  std::vector<NodeId> b = restored->tree().PreorderNodes();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(doc->label(a[i]), restored->label(b[i])) << i;
+  }
+}
+
+TEST(SnapshotTest, RestoredDocumentAcceptsFurtherUpdates) {
+  auto scheme = labels::CreateScheme("ordpath");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(),
+                                    scheme->get());
+  ASSERT_TRUE(doc.ok());
+  // Mutate before saving so the snapshot carries post-update labels.
+  ASSERT_TRUE(doc->InsertNode(doc->tree().root(), NodeKind::kElement,
+                              "appendix", "",
+                              doc->tree().first_child(doc->tree().root()))
+                  .ok());
+  std::string bytes = SaveSnapshot(*doc);
+
+  std::unique_ptr<labels::LabelingScheme> restored_scheme;
+  auto restored = LoadSnapshot(bytes, &restored_scheme);
+  ASSERT_TRUE(restored.ok());
+  UpdateStats stats;
+  auto node = restored->InsertNode(restored->tree().root(),
+                                   NodeKind::kElement, "extra", "",
+                                   xml::kInvalidNode, &stats);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(stats.relabeled, 0u);  // ORDPATH stays persistent post-restore.
+  EXPECT_TRUE(restored->VerifyOrderAndUniqueness().ok());
+  EXPECT_TRUE(restored->VerifyAxes().ok());
+}
+
+TEST(SnapshotTest, RoundTripsLargeGeneratedDocuments) {
+  for (const char* scheme_name : {"qed", "vector", "dewey"}) {
+    auto scheme = labels::CreateScheme(scheme_name);
+    ASSERT_TRUE(scheme.ok());
+    workload::DocumentShape shape;
+    shape.target_nodes = 500;
+    shape.seed = 31;
+    auto tree = workload::GenerateDocument(shape);
+    ASSERT_TRUE(tree.ok());
+    auto doc = LabeledDocument::Build(std::move(*tree), scheme->get());
+    ASSERT_TRUE(doc.ok());
+    std::string bytes = SaveSnapshot(*doc);
+    std::unique_ptr<labels::LabelingScheme> restored_scheme;
+    auto restored = LoadSnapshot(bytes, &restored_scheme);
+    ASSERT_TRUE(restored.ok()) << scheme_name;
+    EXPECT_EQ(restored->tree().node_count(), doc->tree().node_count());
+    EXPECT_TRUE(restored->VerifyOrderAndUniqueness().ok());
+  }
+}
+
+TEST(SnapshotTest, RejectsCorruptInput) {
+  EXPECT_FALSE(LoadSnapshot("", nullptr).ok());
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  EXPECT_FALSE(LoadSnapshot("NOPE", &scheme).ok());
+  EXPECT_FALSE(LoadSnapshot("XUP1", &scheme).ok());
+
+  // Build a valid snapshot and truncate/corrupt it.
+  auto s = labels::CreateScheme("qed");
+  ASSERT_TRUE(s.ok());
+  auto doc = LabeledDocument::Build(workload::SampleBookDocument(), s->get());
+  ASSERT_TRUE(doc.ok());
+  std::string bytes = SaveSnapshot(*doc);
+  EXPECT_FALSE(
+      LoadSnapshot(std::string_view(bytes).substr(0, bytes.size() / 2),
+                   &scheme)
+          .ok());
+  std::string trailing = bytes + "x";
+  EXPECT_FALSE(LoadSnapshot(trailing, &scheme).ok());
+
+  // Unknown scheme name.
+  std::string bogus = bytes;
+  bogus[5] = 'z';  // Corrupt the scheme name's first byte.
+  EXPECT_FALSE(LoadSnapshot(bogus, &scheme).ok());
+}
+
+TEST(SnapshotTest, RestoreRejectsInconsistentLabels) {
+  // Restore (the snapshot loader's last step) must reject label sets that
+  // violate order or uniqueness instead of silently accepting them.
+  auto s = labels::CreateScheme("qed");
+  ASSERT_TRUE(s.ok());
+  xml::Tree tree = workload::SampleBookDocument();
+  std::vector<labels::Label> good;
+  ASSERT_TRUE((*s)->LabelTree(tree, &good).ok());
+
+  // Duplicate: copy the second node's label onto the third.
+  std::vector<NodeId> order = tree.PreorderNodes();
+  std::vector<labels::Label> duplicated = good;
+  duplicated[order[2]] = duplicated[order[1]];
+  auto dup = LabeledDocument::Restore(workload::SampleBookDocument(),
+                                      s->get(), duplicated);
+  EXPECT_FALSE(dup.ok());
+
+  // Misordered: swap two labels.
+  std::vector<labels::Label> swapped = good;
+  std::swap(swapped[order[1]], swapped[order[2]]);
+  auto bad = LabeledDocument::Restore(workload::SampleBookDocument(),
+                                      s->get(), swapped);
+  EXPECT_FALSE(bad.ok());
+
+  // Under-sized label vector.
+  auto small = LabeledDocument::Restore(workload::SampleBookDocument(),
+                                        s->get(), {});
+  EXPECT_FALSE(small.ok());
+}
+
+}  // namespace
+}  // namespace xmlup::core

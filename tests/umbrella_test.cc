@@ -1,0 +1,52 @@
+// The umbrella header must be self-contained and expose the whole public
+// API; this test drives one end-to-end flow through it.
+
+#include "xmlup.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, EndToEndFlow) {
+  using namespace xmlup;
+  auto tree = xml::ParseDocument("<a><b>x</b><c>y</c></a>");
+  ASSERT_TRUE(tree.ok());
+  auto scheme = labels::CreateScheme("cdqs");
+  ASSERT_TRUE(scheme.ok());
+  auto doc = core::LabeledDocument::Build(std::move(*tree), scheme->get());
+  ASSERT_TRUE(doc.ok());
+
+  // Update.
+  auto node = doc->InsertNode(doc->tree().root(), xml::NodeKind::kElement,
+                              "d", "",
+                              doc->tree().Children(doc->tree().root())[1]);
+  ASSERT_TRUE(node.ok());
+
+  // Query.
+  xpath::XPathEvaluator eval(&*doc, xpath::EvalMode::kLabels);
+  auto result = eval.Query("//d/following-sibling::c");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+
+  // Index.
+  auto index = core::LabelIndex::Build(&*doc);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Descendants(doc->tree().root()).size(),
+            doc->tree().node_count() - 1);
+
+  // Persist and restore.
+  std::string snapshot = core::SaveSnapshot(*doc);
+  std::unique_ptr<labels::LabelingScheme> restored_scheme;
+  auto restored = core::LoadSnapshot(snapshot, &restored_scheme);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(xml::SerializeDocument(restored->tree()).value(),
+            xml::SerializeDocument(doc->tree()).value());
+
+  // Evaluate the scheme against the paper's framework.
+  core::EvaluationFramework framework;
+  auto eval_row = framework.Evaluate("cdqs");
+  ASSERT_TRUE(eval_row.ok());
+  EXPECT_EQ(eval_row->persistent.compliance, core::Compliance::kFull);
+}
+
+}  // namespace

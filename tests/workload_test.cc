@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "workload/document_generator.h"
+#include "workload/insertion_workload.h"
+
+namespace xmlup::workload {
+namespace {
+
+using xml::NodeId;
+using xml::NodeKind;
+using xml::Tree;
+
+TEST(DocumentGeneratorTest, HitsTargetSizeApproximately) {
+  DocumentShape shape;
+  shape.target_nodes = 500;
+  shape.seed = 1;
+  auto tree = GenerateDocument(shape);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GE(tree->node_count(), 450u);
+  EXPECT_LE(tree->node_count(), 600u);
+}
+
+TEST(DocumentGeneratorTest, DeterministicInSeed) {
+  DocumentShape shape;
+  shape.target_nodes = 120;
+  shape.seed = 9;
+  Tree a = GenerateDocument(shape).value();
+  Tree b = GenerateDocument(shape).value();
+  std::vector<NodeId> pa = a.PreorderNodes();
+  std::vector<NodeId> pb = b.PreorderNodes();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(a.name(pa[i]), b.name(pb[i]));
+    EXPECT_EQ(a.kind(pa[i]), b.kind(pb[i]));
+  }
+}
+
+TEST(DocumentGeneratorTest, RespectsMaxDepth) {
+  DocumentShape shape;
+  shape.target_nodes = 400;
+  shape.max_depth = 3;
+  shape.seed = 2;
+  Tree tree = GenerateDocument(shape).value();
+  for (NodeId n : tree.PreorderNodes()) {
+    EXPECT_LE(tree.Depth(n), 4);  // Elements to depth 3, +1 for leaves.
+  }
+}
+
+TEST(DocumentGeneratorTest, RejectsZeroTarget) {
+  DocumentShape shape;
+  shape.target_nodes = 0;
+  EXPECT_FALSE(GenerateDocument(shape).ok());
+}
+
+TEST(DocumentGeneratorTest, SampleBookMatchesThePaper) {
+  Tree tree = SampleBookDocument();
+  EXPECT_EQ(tree.name(tree.root()), "book");
+  EXPECT_EQ(tree.node_count(), 15u);  // 10 structural + 5 text nodes.
+  std::vector<NodeId> kids = tree.Children(tree.root());
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(tree.name(kids[0]), "title");
+  EXPECT_EQ(tree.name(kids[1]), "author");
+  EXPECT_EQ(tree.name(kids[2]), "publisher");
+}
+
+TEST(DocumentGeneratorTest, DeepDocumentReachesDepth) {
+  auto tree = GenerateDeepDocument(10, 2, 3);
+  ASSERT_TRUE(tree.ok());
+  int max_depth = 0;
+  for (NodeId n : tree->PreorderNodes()) {
+    max_depth = std::max(max_depth, tree->Depth(n));
+  }
+  EXPECT_GE(max_depth, 8);
+  EXPECT_FALSE(GenerateDeepDocument(0, 1, 1).ok());
+}
+
+TEST(InsertionPlannerTest, AppendAlwaysTargetsSameParentTail) {
+  Tree tree = SampleBookDocument();
+  InsertionPlanner planner(InsertPattern::kAppend, 1);
+  auto pos = planner.Next(tree);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos->parent, tree.root());
+  EXPECT_EQ(pos->before, xml::kInvalidNode);
+}
+
+TEST(InsertionPlannerTest, PrependTargetsFirstChild) {
+  Tree tree = SampleBookDocument();
+  InsertionPlanner planner(InsertPattern::kPrepend, 1);
+  auto pos = planner.Next(tree);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos->parent, tree.root());
+  EXPECT_EQ(pos->before, tree.first_child(tree.root()));
+}
+
+TEST(InsertionPlannerTest, SkewedFixedKeepsTheSameAnchor) {
+  Tree tree = SampleBookDocument();
+  InsertionPlanner planner(InsertPattern::kSkewedFixed, 1);
+  auto first = planner.Next(tree);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto next = planner.Next(tree);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(next->parent, first->parent);
+    EXPECT_EQ(next->before, first->before);
+  }
+}
+
+TEST(InsertionPlannerTest, SkewedRecoversWhenAnchorIsDeleted) {
+  Tree tree = SampleBookDocument();
+  InsertionPlanner planner(InsertPattern::kSkewedFixed, 1);
+  auto first = planner.Next(tree);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(tree.RemoveSubtree(first->before).ok());
+  auto next = planner.Next(tree);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->before == xml::kInvalidNode ||
+              tree.IsValid(next->before));
+}
+
+TEST(InsertionPlannerTest, RandomPositionsAreValid) {
+  Tree tree = SampleBookDocument();
+  InsertionPlanner planner(InsertPattern::kRandom, 3);
+  for (int i = 0; i < 50; ++i) {
+    auto pos = planner.Next(tree);
+    ASSERT_TRUE(pos.ok());
+    ASSERT_TRUE(tree.IsValid(pos->parent));
+    EXPECT_EQ(tree.kind(pos->parent), NodeKind::kElement);
+    if (pos->before != xml::kInvalidNode) {
+      EXPECT_EQ(tree.parent(pos->before), pos->parent);
+    }
+  }
+}
+
+TEST(InsertionPlannerTest, UniformPositionsAreValid) {
+  Tree tree = SampleBookDocument();
+  InsertionPlanner planner(InsertPattern::kUniform, 3);
+  for (int i = 0; i < 50; ++i) {
+    auto pos = planner.Next(tree);
+    ASSERT_TRUE(pos.ok());
+    ASSERT_TRUE(tree.IsValid(pos->parent));
+    if (pos->before != xml::kInvalidNode) {
+      EXPECT_EQ(tree.parent(pos->before), pos->parent);
+    }
+  }
+}
+
+TEST(InsertionPlannerTest, EmptyTreeRejected) {
+  Tree tree;
+  InsertionPlanner planner(InsertPattern::kRandom, 3);
+  EXPECT_FALSE(planner.Next(tree).ok());
+}
+
+TEST(InsertPatternTest, Names) {
+  EXPECT_EQ(InsertPatternName(InsertPattern::kRandom), "random");
+  EXPECT_EQ(InsertPatternName(InsertPattern::kUniform), "uniform");
+  EXPECT_EQ(InsertPatternName(InsertPattern::kSkewedFixed), "skewed");
+  EXPECT_EQ(InsertPatternName(InsertPattern::kAppend), "append");
+  EXPECT_EQ(InsertPatternName(InsertPattern::kPrepend), "prepend");
+}
+
+}  // namespace
+}  // namespace xmlup::workload

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "workload/document_generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/tree.h"
+
+namespace xmlup::xml {
+namespace {
+
+TEST(ParserTest, ParsesSimpleElement) {
+  auto tree = ParseDocument("<a/>");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->name(tree->root()), "a");
+  EXPECT_EQ(tree->node_count(), 1u);
+}
+
+TEST(ParserTest, ParsesNestedElementsAndText) {
+  auto tree = ParseDocument("<a><b>hello</b><c>world</c></a>");
+  ASSERT_TRUE(tree.ok());
+  std::vector<NodeId> kids = tree->Children(tree->root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(tree->name(kids[0]), "b");
+  NodeId text = tree->first_child(kids[0]);
+  EXPECT_EQ(tree->kind(text), NodeKind::kText);
+  EXPECT_EQ(tree->value(text), "hello");
+}
+
+TEST(ParserTest, AttributesBecomeLeadingChildren) {
+  auto tree = ParseDocument("<a x=\"1\" y='2'><b/></a>");
+  ASSERT_TRUE(tree.ok());
+  std::vector<NodeId> kids = tree->Children(tree->root());
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(tree->kind(kids[0]), NodeKind::kAttribute);
+  EXPECT_EQ(tree->name(kids[0]), "x");
+  EXPECT_EQ(tree->value(kids[0]), "1");
+  EXPECT_EQ(tree->kind(kids[1]), NodeKind::kAttribute);
+  EXPECT_EQ(tree->value(kids[1]), "2");
+  EXPECT_EQ(tree->kind(kids[2]), NodeKind::kElement);
+}
+
+TEST(ParserTest, DecodesEntities) {
+  auto tree = ParseDocument("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;</a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->value(tree->first_child(tree->root())), "<x> & \"y\" '");
+}
+
+TEST(ParserTest, DecodesCharacterReferences) {
+  auto tree = ParseDocument("<a>&#65;&#x42;&#x20AC;</a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->value(tree->first_child(tree->root())),
+            "AB\xE2\x82\xAC");  // 'A', 'B', euro sign.
+}
+
+TEST(ParserTest, RejectsUnknownEntity) {
+  auto tree = ParseDocument("<a>&nope;</a>");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), common::StatusCode::kParseError);
+}
+
+TEST(ParserTest, ParsesCommentsAndPis) {
+  auto tree = ParseDocument("<a><!--note--><?target data?></a>");
+  ASSERT_TRUE(tree.ok());
+  std::vector<NodeId> kids = tree->Children(tree->root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(tree->kind(kids[0]), NodeKind::kComment);
+  EXPECT_EQ(tree->value(kids[0]), "note");
+  EXPECT_EQ(tree->kind(kids[1]), NodeKind::kProcessingInstruction);
+  EXPECT_EQ(tree->name(kids[1]), "target");
+  EXPECT_EQ(tree->value(kids[1]), "data");
+}
+
+TEST(ParserTest, SkipsCommentsWhenConfigured) {
+  ParseOptions options;
+  options.keep_comments = false;
+  auto tree = ParseDocument("<a><!--note--><b/></a>", options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Children(tree->root()).size(), 1u);
+}
+
+TEST(ParserTest, ParsesCData) {
+  auto tree = ParseDocument("<a><![CDATA[<raw> & text]]></a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->value(tree->first_child(tree->root())), "<raw> & text");
+}
+
+TEST(ParserTest, HandlesDeclarationAndDoctype) {
+  auto tree = ParseDocument(
+      "<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<a>x</a>\n");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->name(tree->root()), "a");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  auto tree = ParseDocument("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Children(tree->root()).size(), 1u);
+  ParseOptions keep;
+  keep.skip_whitespace_text = false;
+  auto verbose = ParseDocument("<a>\n  <b/>\n</a>", keep);
+  ASSERT_TRUE(verbose.ok());
+  EXPECT_EQ(verbose->Children(verbose->root()).size(), 3u);
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  auto tree = ParseDocument("<a>\n<b></c></a>");
+  ASSERT_FALSE(tree.ok());
+  EXPECT_NE(tree.status().message().find("2:"), std::string::npos)
+      << tree.status().ToString();
+}
+
+TEST(ParserTest, RejectsMismatchedTags) {
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>").ok());
+}
+
+TEST(ParserTest, RejectsTrailingContent) {
+  EXPECT_FALSE(ParseDocument("<a/><b/>").ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedConstructs) {
+  EXPECT_FALSE(ParseDocument("<a>").ok());
+  EXPECT_FALSE(ParseDocument("<a x=\"1>").ok());
+  EXPECT_FALSE(ParseDocument("<a><!-- nope</a>").ok());
+  EXPECT_FALSE(ParseDocument("<a><![CDATA[x</a>").ok());
+  EXPECT_FALSE(ParseDocument("").ok());
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "a").value();
+  tree.AppendChild(root, NodeKind::kAttribute, "k", "x\"<>&").value();
+  tree.AppendChild(root, NodeKind::kText, "", "1 < 2 & 3 > 2").value();
+  auto text = SerializeDocument(tree);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "<a k=\"x&quot;&lt;&gt;&amp;\">1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(SerializerTest, EmptyElementUsesSelfClosingForm) {
+  Tree tree;
+  tree.CreateRoot(NodeKind::kElement, "a").value();
+  EXPECT_EQ(SerializeDocument(tree).value(), "<a/>");
+}
+
+TEST(SerializerTest, EmptyTreeFails) {
+  Tree tree;
+  EXPECT_FALSE(SerializeDocument(tree).ok());
+}
+
+TEST(RoundTripTest, SampleBookDocumentSurvivesRoundTrip) {
+  Tree original = workload::SampleBookDocument();
+  std::string text = SerializeDocument(original).value();
+  auto reparsed = ParseDocument(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(SerializeDocument(*reparsed).value(), text);
+  EXPECT_EQ(reparsed->node_count(), original.node_count());
+}
+
+TEST(RoundTripTest, GeneratedDocumentsSurviveRoundTrip) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    workload::DocumentShape shape;
+    shape.target_nodes = 200;
+    shape.seed = seed;
+    Tree original = workload::GenerateDocument(shape).value();
+    std::string text = SerializeDocument(original).value();
+    auto reparsed = ParseDocument(text);
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(SerializeDocument(*reparsed).value(), text) << "seed " << seed;
+  }
+}
+
+TEST(RoundTripTest, PrettyPrintingReparsesToSameDocument) {
+  Tree original = workload::SampleBookDocument();
+  SerializeOptions pretty;
+  pretty.pretty = true;
+  std::string text = SerializeDocument(original, pretty).value();
+  auto reparsed = ParseDocument(text);
+  ASSERT_TRUE(reparsed.ok());
+  // Compact serialization of both must agree.
+  EXPECT_EQ(SerializeDocument(*reparsed).value(),
+            SerializeDocument(original).value());
+}
+
+}  // namespace
+}  // namespace xmlup::xml

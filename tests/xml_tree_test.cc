@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "xml/tree.h"
+
+namespace xmlup::xml {
+namespace {
+
+Tree MakeSmallTree(NodeId* a, NodeId* b, NodeId* c) {
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "root").value();
+  *a = tree.AppendChild(root, NodeKind::kElement, "a").value();
+  *b = tree.AppendChild(root, NodeKind::kElement, "b").value();
+  *c = tree.AppendChild(*a, NodeKind::kElement, "c").value();
+  return tree;
+}
+
+TEST(TreeTest, CreateRootOnce) {
+  Tree tree;
+  ASSERT_TRUE(tree.CreateRoot(NodeKind::kElement, "root").ok());
+  EXPECT_TRUE(tree.has_root());
+  auto again = tree.CreateRoot(NodeKind::kElement, "other");
+  EXPECT_FALSE(again.ok());
+}
+
+TEST(TreeTest, AppendMaintainsSiblingLinks) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  NodeId root = tree.root();
+  EXPECT_EQ(tree.first_child(root), a);
+  EXPECT_EQ(tree.last_child(root), b);
+  EXPECT_EQ(tree.next_sibling(a), b);
+  EXPECT_EQ(tree.prev_sibling(b), a);
+  EXPECT_EQ(tree.parent(c), a);
+  EXPECT_EQ(tree.node_count(), 4u);
+}
+
+TEST(TreeTest, InsertBeforeFirstAndMiddle) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  NodeId root = tree.root();
+  NodeId front =
+      tree.InsertChild(root, NodeKind::kElement, "front", "", a).value();
+  NodeId mid =
+      tree.InsertChild(root, NodeKind::kElement, "mid", "", b).value();
+  std::vector<NodeId> kids = tree.Children(root);
+  ASSERT_EQ(kids.size(), 4u);
+  EXPECT_EQ(kids[0], front);
+  EXPECT_EQ(kids[1], a);
+  EXPECT_EQ(kids[2], mid);
+  EXPECT_EQ(kids[3], b);
+}
+
+TEST(TreeTest, InsertBeforeRejectsNonChild) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  // c is a child of a, not of root.
+  auto result = tree.InsertChild(tree.root(), NodeKind::kElement, "x", "", c);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TreeTest, InsertIntoInvalidParentFails) {
+  Tree tree;
+  auto result = tree.InsertChild(5, NodeKind::kElement, "x", "");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TreeTest, RemoveSubtreeUnlinksAndKillsDescendants) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  ASSERT_TRUE(tree.RemoveSubtree(a).ok());
+  EXPECT_FALSE(tree.IsValid(a));
+  EXPECT_FALSE(tree.IsValid(c));
+  EXPECT_TRUE(tree.IsValid(b));
+  EXPECT_EQ(tree.first_child(tree.root()), b);
+  EXPECT_EQ(tree.prev_sibling(b), kInvalidNode);
+  EXPECT_EQ(tree.node_count(), 2u);
+}
+
+TEST(TreeTest, RemoveMiddleChildRelinksSiblings) {
+  Tree tree;
+  NodeId root = tree.CreateRoot(NodeKind::kElement, "r").value();
+  NodeId x = tree.AppendChild(root, NodeKind::kElement, "x").value();
+  NodeId y = tree.AppendChild(root, NodeKind::kElement, "y").value();
+  NodeId z = tree.AppendChild(root, NodeKind::kElement, "z").value();
+  ASSERT_TRUE(tree.RemoveSubtree(y).ok());
+  EXPECT_EQ(tree.next_sibling(x), z);
+  EXPECT_EQ(tree.prev_sibling(z), x);
+}
+
+TEST(TreeTest, RemoveRootEmptiesTree) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  ASSERT_TRUE(tree.RemoveSubtree(tree.root()).ok());
+  EXPECT_FALSE(tree.has_root());
+  EXPECT_EQ(tree.node_count(), 0u);
+}
+
+TEST(TreeTest, NodeIdsAreStableAcrossRemoval) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  size_t arena = tree.arena_size();
+  ASSERT_TRUE(tree.RemoveSubtree(a).ok());
+  EXPECT_EQ(tree.arena_size(), arena);
+  EXPECT_EQ(tree.name(b), "b");  // b unaffected.
+}
+
+TEST(TreeTest, PreorderMatchesDocumentOrder) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  std::vector<NodeId> order = tree.PreorderNodes();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], tree.root());
+  EXPECT_EQ(order[1], a);
+  EXPECT_EQ(order[2], c);
+  EXPECT_EQ(order[3], b);
+}
+
+TEST(TreeTest, DepthAndAncestry) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  EXPECT_EQ(tree.Depth(tree.root()), 0);
+  EXPECT_EQ(tree.Depth(a), 1);
+  EXPECT_EQ(tree.Depth(c), 2);
+  EXPECT_TRUE(tree.IsAncestor(tree.root(), c));
+  EXPECT_TRUE(tree.IsAncestor(a, c));
+  EXPECT_FALSE(tree.IsAncestor(c, a));
+  EXPECT_FALSE(tree.IsAncestor(a, a));
+  EXPECT_FALSE(tree.IsAncestor(b, c));
+}
+
+TEST(TreeTest, CompareDocumentOrderAgreesWithPreorder) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  std::vector<NodeId> order = tree.PreorderNodes();
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = 0; j < order.size(); ++j) {
+      int expected = i < j ? -1 : (i > j ? 1 : 0);
+      EXPECT_EQ(tree.CompareDocumentOrder(order[i], order[j]), expected)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(TreeTest, ContentUpdates) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  ASSERT_TRUE(tree.SetValue(c, "hello").ok());
+  ASSERT_TRUE(tree.SetName(c, "renamed").ok());
+  EXPECT_EQ(tree.value(c), "hello");
+  EXPECT_EQ(tree.name(c), "renamed");
+  EXPECT_FALSE(tree.SetValue(9999, "x").ok());
+}
+
+TEST(TreeTest, ChildCountAndChildren) {
+  NodeId a, b, c;
+  Tree tree = MakeSmallTree(&a, &b, &c);
+  EXPECT_EQ(tree.ChildCount(tree.root()), 2u);
+  EXPECT_EQ(tree.ChildCount(b), 0u);
+  EXPECT_EQ(tree.Children(a), std::vector<NodeId>{c});
+}
+
+TEST(NodeKindTest, Names) {
+  EXPECT_EQ(NodeKindName(NodeKind::kElement), "Element");
+  EXPECT_EQ(NodeKindName(NodeKind::kAttribute), "Attribute");
+  EXPECT_EQ(NodeKindName(NodeKind::kText), "Text");
+  EXPECT_EQ(NodeKindName(NodeKind::kComment), "Comment");
+  EXPECT_EQ(NodeKindName(NodeKind::kProcessingInstruction), "PI");
+}
+
+}  // namespace
+}  // namespace xmlup::xml

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xmlup::xpath {
+namespace {
+
+TEST(XPathParserTest, SimpleChildPath) {
+  auto path = ParsePath("/book/title");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_TRUE(path->absolute);
+  ASSERT_EQ(path->steps.size(), 2u);
+  EXPECT_EQ(path->steps[0].axis, Axis::kChild);
+  EXPECT_EQ(path->steps[0].test.name, "book");
+  EXPECT_EQ(path->steps[1].test.name, "title");
+}
+
+TEST(XPathParserTest, RelativePath) {
+  auto path = ParsePath("title/text()");
+  ASSERT_TRUE(path.ok());
+  EXPECT_FALSE(path->absolute);
+  ASSERT_EQ(path->steps.size(), 2u);
+  EXPECT_EQ(path->steps[1].test.kind, NodeTestKind::kText);
+}
+
+TEST(XPathParserTest, DoubleSlashExpandsToDescendantOrSelf) {
+  auto path = ParsePath("//title");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps.size(), 2u);
+  EXPECT_EQ(path->steps[0].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(path->steps[0].test.kind, NodeTestKind::kNode);
+  EXPECT_EQ(path->steps[1].test.name, "title");
+
+  auto mid = ParsePath("/a//b");
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->steps.size(), 3u);
+  EXPECT_EQ(mid->steps[1].axis, Axis::kDescendantOrSelf);
+}
+
+TEST(XPathParserTest, ExplicitAxes) {
+  auto path = ParsePath("ancestor-or-self::node()/following-sibling::*");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps.size(), 2u);
+  EXPECT_EQ(path->steps[0].axis, Axis::kAncestorOrSelf);
+  EXPECT_EQ(path->steps[1].axis, Axis::kFollowingSibling);
+  EXPECT_EQ(path->steps[1].test.name, "*");
+}
+
+TEST(XPathParserTest, AttributeAbbreviation) {
+  auto path = ParsePath("/book/title/@genre");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps.size(), 3u);
+  EXPECT_EQ(path->steps[2].axis, Axis::kAttribute);
+  EXPECT_EQ(path->steps[2].test.name, "genre");
+}
+
+TEST(XPathParserTest, DotAndDotDot) {
+  auto path = ParsePath("./../book");
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->steps.size(), 3u);
+  EXPECT_EQ(path->steps[0].axis, Axis::kSelf);
+  EXPECT_EQ(path->steps[1].axis, Axis::kParent);
+}
+
+TEST(XPathParserTest, Predicates) {
+  auto path = ParsePath("/lib/book[2][@id='b2'][title]/title[last()]");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  const Step& book = path->steps[1];
+  ASSERT_EQ(book.predicates.size(), 3u);
+  EXPECT_EQ(book.predicates[0].kind, Predicate::Kind::kPosition);
+  EXPECT_EQ(book.predicates[0].position, 2);
+  EXPECT_EQ(book.predicates[1].kind, Predicate::Kind::kEquals);
+  EXPECT_EQ(book.predicates[1].literal, "b2");
+  ASSERT_NE(book.predicates[1].path, nullptr);
+  EXPECT_EQ(book.predicates[1].path->steps[0].axis, Axis::kAttribute);
+  EXPECT_EQ(book.predicates[2].kind, Predicate::Kind::kExists);
+  const Step& title = path->steps[2];
+  ASSERT_EQ(title.predicates.size(), 1u);
+  EXPECT_EQ(title.predicates[0].kind, Predicate::Kind::kLast);
+}
+
+TEST(XPathParserTest, RootOnly) {
+  auto path = ParsePath("/");
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->absolute);
+  EXPECT_TRUE(path->steps.empty());
+}
+
+TEST(XPathParserTest, CommentTest) {
+  auto path = ParsePath("//comment()");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->steps[1].test.kind, NodeTestKind::kComment);
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("/book/").ok());
+  EXPECT_FALSE(ParsePath("/book[").ok());
+  EXPECT_FALSE(ParsePath("/book[1").ok());
+  EXPECT_FALSE(ParsePath("/book[@id=]").ok());
+  EXPECT_FALSE(ParsePath("/book[@id='x]").ok());
+  EXPECT_FALSE(ParsePath("bogus-axis::a").ok());
+  EXPECT_FALSE(ParsePath("/a $ b").ok());
+  EXPECT_FALSE(ParsePath("/a/unknown()").ok());
+}
+
+TEST(XPathParserTest, ToStringCanonicalises) {
+  auto path = ParsePath("//book[@id='b1']/title[1]");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(ToString(*path),
+            "/descendant-or-self::node()/child::book[attribute::id='b1']"
+            "/child::title[1]");
+  // Canonical output reparses to the same canonical output.
+  auto again = ParsePath(ToString(*path));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(ToString(*again), ToString(*path));
+}
+
+TEST(XPathParserTest, ComparisonOperators) {
+  auto path = ParsePath("/book[@year>'1965'][@id!='x'][price<='10']");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  const Step& book = path->steps[0];
+  ASSERT_EQ(book.predicates.size(), 3u);
+  EXPECT_EQ(book.predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(book.predicates[0].literal, "1965");
+  EXPECT_EQ(book.predicates[1].op, CompareOp::kNe);
+  EXPECT_EQ(book.predicates[2].op, CompareOp::kLe);
+}
+
+TEST(XPathParserTest, UnionExpressions) {
+  auto expr = ParseUnion("//title | //author|/book");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  ASSERT_EQ(expr->branches.size(), 3u);
+  EXPECT_TRUE(expr->branches[2].absolute);
+  EXPECT_NE(ToString(*expr).find(" | "), std::string::npos);
+  EXPECT_FALSE(ParseUnion("//a |").ok());
+  EXPECT_FALSE(ParseUnion("").ok());
+}
+
+TEST(XPathParserTest, WhitespaceTolerated) {
+  auto path = ParsePath("  /book [ 1 ] / title ");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  ASSERT_EQ(path->steps.size(), 2u);
+}
+
+}  // namespace
+}  // namespace xmlup::xpath
