@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_axes.
+# This may be replaced when dependencies are built.

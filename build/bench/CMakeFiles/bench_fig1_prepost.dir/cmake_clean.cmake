@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_prepost.dir/bench_fig1_prepost.cc.o"
+  "CMakeFiles/bench_fig1_prepost.dir/bench_fig1_prepost.cc.o.d"
+  "bench_fig1_prepost"
+  "bench_fig1_prepost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_prepost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

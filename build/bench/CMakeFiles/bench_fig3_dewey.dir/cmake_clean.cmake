@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dewey.dir/bench_fig3_dewey.cc.o"
+  "CMakeFiles/bench_fig3_dewey.dir/bench_fig3_dewey.cc.o.d"
+  "bench_fig3_dewey"
+  "bench_fig3_dewey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dewey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ordpath.dir/bench_fig4_ordpath.cc.o"
+  "CMakeFiles/bench_fig4_ordpath.dir/bench_fig4_ordpath.cc.o.d"
+  "bench_fig4_ordpath"
+  "bench_fig4_ordpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ordpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

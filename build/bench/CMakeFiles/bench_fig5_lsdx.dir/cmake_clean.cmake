@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lsdx.dir/bench_fig5_lsdx.cc.o"
+  "CMakeFiles/bench_fig5_lsdx.dir/bench_fig5_lsdx.cc.o.d"
+  "bench_fig5_lsdx"
+  "bench_fig5_lsdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lsdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_improved_binary.dir/bench_fig6_improved_binary.cc.o"
+  "CMakeFiles/bench_fig6_improved_binary.dir/bench_fig6_improved_binary.cc.o.d"
+  "bench_fig6_improved_binary"
+  "bench_fig6_improved_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_improved_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_matrix.dir/bench_fig7_matrix.cc.o"
+  "CMakeFiles/bench_fig7_matrix.dir/bench_fig7_matrix.cc.o.d"
+  "bench_fig7_matrix"
+  "bench_fig7_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_index.cc" "bench/CMakeFiles/bench_index.dir/bench_index.cc.o" "gcc" "bench/CMakeFiles/bench_index.dir/bench_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xpath/CMakeFiles/xmlup_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xmlup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/labels/CMakeFiles/xmlup_labels.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlup_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmlup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xmlup_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

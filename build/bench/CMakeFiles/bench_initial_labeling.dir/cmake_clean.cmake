@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_initial_labeling.dir/bench_initial_labeling.cc.o"
+  "CMakeFiles/bench_initial_labeling.dir/bench_initial_labeling.cc.o.d"
+  "bench_initial_labeling"
+  "bench_initial_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_initial_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orthogonal.dir/bench_orthogonal.cc.o"
+  "CMakeFiles/bench_orthogonal.dir/bench_orthogonal.cc.o.d"
+  "bench_orthogonal"
+  "bench_orthogonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orthogonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

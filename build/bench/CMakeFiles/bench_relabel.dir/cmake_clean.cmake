@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relabel.dir/bench_relabel.cc.o"
+  "CMakeFiles/bench_relabel.dir/bench_relabel.cc.o.d"
+  "bench_relabel"
+  "bench_relabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_feed_ingest.dir/bulk_feed_ingest.cpp.o"
+  "CMakeFiles/bulk_feed_ingest.dir/bulk_feed_ingest.cpp.o.d"
+  "bulk_feed_ingest"
+  "bulk_feed_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_feed_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_repository.dir/versioned_repository.cpp.o"
+  "CMakeFiles/versioned_repository.dir/versioned_repository.cpp.o.d"
+  "versioned_repository"
+  "versioned_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlup_common.dir/biguint.cc.o"
+  "CMakeFiles/xmlup_common.dir/biguint.cc.o.d"
+  "CMakeFiles/xmlup_common.dir/op_counters.cc.o"
+  "CMakeFiles/xmlup_common.dir/op_counters.cc.o.d"
+  "CMakeFiles/xmlup_common.dir/primes.cc.o"
+  "CMakeFiles/xmlup_common.dir/primes.cc.o.d"
+  "CMakeFiles/xmlup_common.dir/status.cc.o"
+  "CMakeFiles/xmlup_common.dir/status.cc.o.d"
+  "libxmlup_common.a"
+  "libxmlup_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlup_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/axis_evaluator.cc" "src/core/CMakeFiles/xmlup_core.dir/axis_evaluator.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/axis_evaluator.cc.o.d"
+  "/root/repo/src/core/encoding_table.cc" "src/core/CMakeFiles/xmlup_core.dir/encoding_table.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/encoding_table.cc.o.d"
+  "/root/repo/src/core/framework.cc" "src/core/CMakeFiles/xmlup_core.dir/framework.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/framework.cc.o.d"
+  "/root/repo/src/core/label_index.cc" "src/core/CMakeFiles/xmlup_core.dir/label_index.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/label_index.cc.o.d"
+  "/root/repo/src/core/labeled_document.cc" "src/core/CMakeFiles/xmlup_core.dir/labeled_document.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/labeled_document.cc.o.d"
+  "/root/repo/src/core/property_probes.cc" "src/core/CMakeFiles/xmlup_core.dir/property_probes.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/property_probes.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/core/CMakeFiles/xmlup_core.dir/snapshot.cc.o" "gcc" "src/core/CMakeFiles/xmlup_core.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlup_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/labels/CMakeFiles/xmlup_labels.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xmlup_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

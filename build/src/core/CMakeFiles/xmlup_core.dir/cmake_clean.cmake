@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlup_core.dir/axis_evaluator.cc.o"
+  "CMakeFiles/xmlup_core.dir/axis_evaluator.cc.o.d"
+  "CMakeFiles/xmlup_core.dir/encoding_table.cc.o"
+  "CMakeFiles/xmlup_core.dir/encoding_table.cc.o.d"
+  "CMakeFiles/xmlup_core.dir/framework.cc.o"
+  "CMakeFiles/xmlup_core.dir/framework.cc.o.d"
+  "CMakeFiles/xmlup_core.dir/label_index.cc.o"
+  "CMakeFiles/xmlup_core.dir/label_index.cc.o.d"
+  "CMakeFiles/xmlup_core.dir/labeled_document.cc.o"
+  "CMakeFiles/xmlup_core.dir/labeled_document.cc.o.d"
+  "CMakeFiles/xmlup_core.dir/property_probes.cc.o"
+  "CMakeFiles/xmlup_core.dir/property_probes.cc.o.d"
+  "CMakeFiles/xmlup_core.dir/snapshot.cc.o"
+  "CMakeFiles/xmlup_core.dir/snapshot.cc.o.d"
+  "libxmlup_core.a"
+  "libxmlup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/labels/binary_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/binary_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/binary_codec.cc.o.d"
+  "/root/repo/src/labels/containment_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/containment_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/containment_scheme.cc.o.d"
+  "/root/repo/src/labels/dde_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/dde_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/dde_scheme.cc.o.d"
+  "/root/repo/src/labels/dewey_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/dewey_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/dewey_codec.cc.o.d"
+  "/root/repo/src/labels/dietz_om_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/dietz_om_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/dietz_om_scheme.cc.o.d"
+  "/root/repo/src/labels/digit_string.cc" "src/labels/CMakeFiles/xmlup_labels.dir/digit_string.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/digit_string.cc.o.d"
+  "/root/repo/src/labels/dln_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/dln_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/dln_codec.cc.o.d"
+  "/root/repo/src/labels/lsdx_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/lsdx_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/lsdx_codec.cc.o.d"
+  "/root/repo/src/labels/ordpath_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/ordpath_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/ordpath_codec.cc.o.d"
+  "/root/repo/src/labels/prefix_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/prefix_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/prefix_scheme.cc.o.d"
+  "/root/repo/src/labels/prepost_gap_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/prepost_gap_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/prepost_gap_scheme.cc.o.d"
+  "/root/repo/src/labels/prepost_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/prepost_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/prepost_scheme.cc.o.d"
+  "/root/repo/src/labels/prime_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/prime_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/prime_scheme.cc.o.d"
+  "/root/repo/src/labels/qrs_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/qrs_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/qrs_scheme.cc.o.d"
+  "/root/repo/src/labels/quaternary_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/quaternary_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/quaternary_codec.cc.o.d"
+  "/root/repo/src/labels/registry.cc" "src/labels/CMakeFiles/xmlup_labels.dir/registry.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/registry.cc.o.d"
+  "/root/repo/src/labels/scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/scheme.cc.o.d"
+  "/root/repo/src/labels/sector_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/sector_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/sector_scheme.cc.o.d"
+  "/root/repo/src/labels/vector_codec.cc" "src/labels/CMakeFiles/xmlup_labels.dir/vector_codec.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/vector_codec.cc.o.d"
+  "/root/repo/src/labels/xrel_scheme.cc" "src/labels/CMakeFiles/xmlup_labels.dir/xrel_scheme.cc.o" "gcc" "src/labels/CMakeFiles/xmlup_labels.dir/xrel_scheme.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlup_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/document_generator.cc" "src/workload/CMakeFiles/xmlup_workload.dir/document_generator.cc.o" "gcc" "src/workload/CMakeFiles/xmlup_workload.dir/document_generator.cc.o.d"
+  "/root/repo/src/workload/insertion_workload.cc" "src/workload/CMakeFiles/xmlup_workload.dir/insertion_workload.cc.o" "gcc" "src/workload/CMakeFiles/xmlup_workload.dir/insertion_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlup_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlup_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlup_workload.dir/document_generator.cc.o"
+  "CMakeFiles/xmlup_workload.dir/document_generator.cc.o.d"
+  "CMakeFiles/xmlup_workload.dir/insertion_workload.cc.o"
+  "CMakeFiles/xmlup_workload.dir/insertion_workload.cc.o.d"
+  "libxmlup_workload.a"
+  "libxmlup_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlup_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmlup_workload.a"
+)

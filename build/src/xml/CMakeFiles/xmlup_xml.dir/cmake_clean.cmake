@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlup_xml.dir/parser.cc.o"
+  "CMakeFiles/xmlup_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xmlup_xml.dir/serializer.cc.o"
+  "CMakeFiles/xmlup_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/xmlup_xml.dir/tree.cc.o"
+  "CMakeFiles/xmlup_xml.dir/tree.cc.o.d"
+  "libxmlup_xml.a"
+  "libxmlup_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlup_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

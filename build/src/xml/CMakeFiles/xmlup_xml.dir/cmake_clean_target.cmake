@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmlup_xml.a"
+)

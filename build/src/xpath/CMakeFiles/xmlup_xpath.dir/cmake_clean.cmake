@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlup_xpath.dir/ast.cc.o"
+  "CMakeFiles/xmlup_xpath.dir/ast.cc.o.d"
+  "CMakeFiles/xmlup_xpath.dir/evaluator.cc.o"
+  "CMakeFiles/xmlup_xpath.dir/evaluator.cc.o.d"
+  "CMakeFiles/xmlup_xpath.dir/parser.cc.o"
+  "CMakeFiles/xmlup_xpath.dir/parser.cc.o.d"
+  "libxmlup_xpath.a"
+  "libxmlup_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlup_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axis_evaluator_test.dir/axis_evaluator_test.cc.o"
+  "CMakeFiles/axis_evaluator_test.dir/axis_evaluator_test.cc.o.d"
+  "axis_evaluator_test"
+  "axis_evaluator_test.pdb"
+  "axis_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axis_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_scheme_test.dir/containment_scheme_test.cc.o"
+  "CMakeFiles/containment_scheme_test.dir/containment_scheme_test.cc.o.d"
+  "containment_scheme_test"
+  "containment_scheme_test.pdb"
+  "containment_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

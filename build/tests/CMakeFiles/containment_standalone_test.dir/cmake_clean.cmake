@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_standalone_test.dir/containment_standalone_test.cc.o"
+  "CMakeFiles/containment_standalone_test.dir/containment_standalone_test.cc.o.d"
+  "containment_standalone_test"
+  "containment_standalone_test.pdb"
+  "containment_standalone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_standalone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

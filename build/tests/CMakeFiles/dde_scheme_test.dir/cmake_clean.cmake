@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_scheme_test.dir/dde_scheme_test.cc.o"
+  "CMakeFiles/dde_scheme_test.dir/dde_scheme_test.cc.o.d"
+  "dde_scheme_test"
+  "dde_scheme_test.pdb"
+  "dde_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

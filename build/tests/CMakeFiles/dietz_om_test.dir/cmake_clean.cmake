@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dietz_om_test.dir/dietz_om_test.cc.o"
+  "CMakeFiles/dietz_om_test.dir/dietz_om_test.cc.o.d"
+  "dietz_om_test"
+  "dietz_om_test.pdb"
+  "dietz_om_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dietz_om_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

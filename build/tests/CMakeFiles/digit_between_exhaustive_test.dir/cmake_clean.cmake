@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_between_exhaustive_test.dir/digit_between_exhaustive_test.cc.o"
+  "CMakeFiles/digit_between_exhaustive_test.dir/digit_between_exhaustive_test.cc.o.d"
+  "digit_between_exhaustive_test"
+  "digit_between_exhaustive_test.pdb"
+  "digit_between_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_between_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_table_test.dir/encoding_table_test.cc.o"
+  "CMakeFiles/encoding_table_test.dir/encoding_table_test.cc.o.d"
+  "encoding_table_test"
+  "encoding_table_test.pdb"
+  "encoding_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_regression_test.dir/figure7_regression_test.cc.o"
+  "CMakeFiles/figure7_regression_test.dir/figure7_regression_test.cc.o.d"
+  "figure7_regression_test"
+  "figure7_regression_test.pdb"
+  "figure7_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_examples_test.dir/figure_examples_test.cc.o"
+  "CMakeFiles/figure_examples_test.dir/figure_examples_test.cc.o.d"
+  "figure_examples_test"
+  "figure_examples_test.pdb"
+  "figure_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_updates_test.dir/fuzz_updates_test.cc.o"
+  "CMakeFiles/fuzz_updates_test.dir/fuzz_updates_test.cc.o.d"
+  "fuzz_updates_test"
+  "fuzz_updates_test.pdb"
+  "fuzz_updates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_updates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fuzz_updates_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeled_document_test.dir/labeled_document_test.cc.o"
+  "CMakeFiles/labeled_document_test.dir/labeled_document_test.cc.o.d"
+  "labeled_document_test"
+  "labeled_document_test.pdb"
+  "labeled_document_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeled_document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

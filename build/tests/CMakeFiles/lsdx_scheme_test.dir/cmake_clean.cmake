@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsdx_scheme_test.dir/lsdx_scheme_test.cc.o"
+  "CMakeFiles/lsdx_scheme_test.dir/lsdx_scheme_test.cc.o.d"
+  "lsdx_scheme_test"
+  "lsdx_scheme_test.pdb"
+  "lsdx_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsdx_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

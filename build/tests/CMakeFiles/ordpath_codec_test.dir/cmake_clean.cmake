@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordpath_codec_test.dir/ordpath_codec_test.cc.o"
+  "CMakeFiles/ordpath_codec_test.dir/ordpath_codec_test.cc.o.d"
+  "ordpath_codec_test"
+  "ordpath_codec_test.pdb"
+  "ordpath_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordpath_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

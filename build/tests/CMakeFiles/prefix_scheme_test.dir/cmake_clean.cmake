@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_scheme_test.dir/prefix_scheme_test.cc.o"
+  "CMakeFiles/prefix_scheme_test.dir/prefix_scheme_test.cc.o.d"
+  "prefix_scheme_test"
+  "prefix_scheme_test.pdb"
+  "prefix_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepost_gap_test.dir/prepost_gap_test.cc.o"
+  "CMakeFiles/prepost_gap_test.dir/prepost_gap_test.cc.o.d"
+  "prepost_gap_test"
+  "prepost_gap_test.pdb"
+  "prepost_gap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepost_gap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_scheme_test.dir/prime_scheme_test.cc.o"
+  "CMakeFiles/prime_scheme_test.dir/prime_scheme_test.cc.o.d"
+  "prime_scheme_test"
+  "prime_scheme_test.pdb"
+  "prime_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

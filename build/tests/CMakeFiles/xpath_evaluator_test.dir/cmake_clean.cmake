@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_evaluator_test.dir/xpath_evaluator_test.cc.o"
+  "CMakeFiles/xpath_evaluator_test.dir/xpath_evaluator_test.cc.o.d"
+  "xpath_evaluator_test"
+  "xpath_evaluator_test.pdb"
+  "xpath_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

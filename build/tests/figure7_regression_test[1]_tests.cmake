@@ -1,0 +1,3 @@
+add_test([=[Figure7RegressionTest.MatrixMatchesThePaperModuloDocumentedCells]=]  /root/repo/build/tests/figure7_regression_test [==[--gtest_filter=Figure7RegressionTest.MatrixMatchesThePaperModuloDocumentedCells]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Figure7RegressionTest.MatrixMatchesThePaperModuloDocumentedCells]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  figure7_regression_test_TESTS Figure7RegressionTest.MatrixMatchesThePaperModuloDocumentedCells)
