@@ -1,13 +1,18 @@
 // E11 — the "XPath Evaluations" property as throughput: label-only axis
 // predicate evaluation (ancestor / parent / document order) per scheme,
-// measured with google-benchmark over a 2000-node document.
+// measured with google-benchmark over a 2000-node document; plus
+// naive-scan vs. index-backed axis queries over a 10k-node document,
+// with a self-timed sweep written to BENCH_axes.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/axis_evaluator.h"
 #include "core/labeled_document.h"
 #include "labels/registry.h"
 #include "workload/document_generator.h"
@@ -23,13 +28,13 @@ struct Fixture {
   std::vector<NodeId> nodes;
 };
 
-Fixture MakeFixture(const std::string& scheme_name) {
+Fixture MakeFixture(const std::string& scheme_name, size_t target_nodes = 2000) {
   Fixture f;
   auto scheme = labels::CreateScheme(scheme_name);
   if (!scheme.ok()) return f;
   f.scheme = std::move(*scheme);
   workload::DocumentShape shape;
-  shape.target_nodes = 2000;
+  shape.target_nodes = target_nodes;
   shape.seed = 13;
   auto tree = workload::GenerateDocument(shape);
   if (!tree.ok()) return f;
@@ -89,6 +94,116 @@ void BM_ParentPredicate(benchmark::State& state,
   }
 }
 
+// --- naive scan vs. index-backed axis queries (10k nodes) ----------------
+
+void BM_DescendantAxis(benchmark::State& state,
+                       const std::string& scheme_name, bool use_index) {
+  Fixture f = MakeFixture(scheme_name, 10000);
+  if (f.doc == nullptr) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  core::AxisEvaluator eval(f.doc.get(), use_index);
+  (void)eval.Descendants(f.nodes[0]);  // Prime the key cache and index.
+  size_t i = 0;
+  for (auto _ : state) {
+    i = (i + 17) % f.nodes.size();
+    benchmark::DoNotOptimize(eval.Descendants(f.nodes[i]));
+  }
+}
+
+void BM_FollowingAxis(benchmark::State& state,
+                      const std::string& scheme_name, bool use_index) {
+  Fixture f = MakeFixture(scheme_name, 10000);
+  if (f.doc == nullptr) {
+    state.SkipWithError("fixture failed");
+    return;
+  }
+  core::AxisEvaluator eval(f.doc.get(), use_index);
+  (void)eval.Descendants(f.nodes[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    i = (i + 17) % f.nodes.size();
+    benchmark::DoNotOptimize(eval.Following(f.nodes[i]));
+  }
+}
+
+// Average ns per axis query over a rotating node sample, wall-clocked
+// until `min_ms` has elapsed.
+template <typename QueryFn>
+double TimeNsPerQuery(QueryFn&& query, size_t node_count, double min_ms) {
+  using clock = std::chrono::steady_clock;
+  auto start = clock::now();
+  size_t queries = 0;
+  size_t i = 0;
+  double elapsed_ns = 0;
+  do {
+    i = (i + 17) % node_count;
+    query(i);
+    ++queries;
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start)
+            .count());
+  } while (elapsed_ns < min_ms * 1e6);
+  return elapsed_ns / static_cast<double>(queries);
+}
+
+// Sweeps descendant/following queries for both execution paths and
+// writes ns/query plus speedups to BENCH_axes.json in the working
+// directory.
+void WriteJsonSweep() {
+  const std::vector<std::string> schemes = {
+      "xpath-accelerator", "dewey", "ordpath", "dln",
+      "lsdx",              "qed",   "prime"};
+  FILE* out = std::fopen("BENCH_axes.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"document_nodes\": 10000,\n  \"schemes\": {\n");
+  bool first = true;
+  for (const std::string& name : schemes) {
+    Fixture f = MakeFixture(name, 10000);
+    if (f.doc == nullptr) continue;
+    core::AxisEvaluator indexed(f.doc.get(), /*use_index=*/true);
+    core::AxisEvaluator naive(f.doc.get(), /*use_index=*/false);
+    (void)indexed.Descendants(f.nodes[0]);  // Prime cache + index.
+    size_t n = f.nodes.size();
+    double desc_naive = TimeNsPerQuery(
+        [&](size_t i) { benchmark::DoNotOptimize(naive.Descendants(f.nodes[i])); },
+        n, 200.0);
+    double desc_indexed = TimeNsPerQuery(
+        [&](size_t i) { benchmark::DoNotOptimize(indexed.Descendants(f.nodes[i])); },
+        n, 200.0);
+    double foll_naive = TimeNsPerQuery(
+        [&](size_t i) { benchmark::DoNotOptimize(naive.Following(f.nodes[i])); },
+        n, 200.0);
+    double foll_indexed = TimeNsPerQuery(
+        [&](size_t i) { benchmark::DoNotOptimize(indexed.Following(f.nodes[i])); },
+        n, 200.0);
+    std::fprintf(
+        out,
+        "%s    \"%s\": {\n"
+        "      \"descendant_ns_naive\": %.0f,\n"
+        "      \"descendant_ns_indexed\": %.0f,\n"
+        "      \"descendant_speedup\": %.2f,\n"
+        "      \"following_ns_naive\": %.0f,\n"
+        "      \"following_ns_indexed\": %.0f,\n"
+        "      \"following_speedup\": %.2f\n"
+        "    }",
+        first ? "" : ",\n", name.c_str(), desc_naive, desc_indexed,
+        desc_naive / desc_indexed, foll_naive, foll_indexed,
+        foll_naive / foll_indexed);
+    first = false;
+    std::fprintf(stderr,
+                 "%-18s descendant %9.0f -> %7.0f ns (%.1fx)   "
+                 "following %9.0f -> %7.0f ns (%.1fx)\n",
+                 name.c_str(), desc_naive, desc_indexed,
+                 desc_naive / desc_indexed, foll_naive, foll_indexed,
+                 foll_naive / foll_indexed);
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
+}
+
 void RegisterAll() {
   for (const std::string& name : labels::AllSchemeNames()) {
     benchmark::RegisterBenchmark(("ancestor/" + name).c_str(),
@@ -104,11 +219,28 @@ void RegisterAll() {
           ->MinTime(0.05);
     }
   }
+  for (const std::string& name :
+       {std::string("xpath-accelerator"), std::string("dewey"),
+        std::string("ordpath"), std::string("qed")}) {
+    benchmark::RegisterBenchmark(("descendants-naive/" + name).c_str(),
+                                 BM_DescendantAxis, name, false)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("descendants-indexed/" + name).c_str(),
+                                 BM_DescendantAxis, name, true)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("following-naive/" + name).c_str(),
+                                 BM_FollowingAxis, name, false)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("following-indexed/" + name).c_str(),
+                                 BM_FollowingAxis, name, true)
+        ->MinTime(0.05);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  WriteJsonSweep();
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

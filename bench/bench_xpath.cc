@@ -1,10 +1,14 @@
 // XPath query throughput over the labelled document: the practical face
 // of the paper's §2 motivation. Measures representative queries in
 // label-evaluation mode for a full-support scheme (QED) and a containment
-// scheme (XPath Accelerator), against the tree-walking baseline.
+// scheme (XPath Accelerator), against the tree-walking baseline — each
+// label-mode query in both the index-backed and the naive-scan execution
+// path, with a self-timed sweep written to BENCH_xpath.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -39,13 +43,14 @@ Fixture MakeFixture(const std::string& scheme_name) {
 }
 
 void BM_Query(benchmark::State& state, const std::string& scheme_name,
-              xpath::EvalMode mode, const std::string& query) {
+              xpath::EvalMode mode, const std::string& query,
+              bool use_index = true) {
   Fixture f = MakeFixture(scheme_name);
   if (f.doc == nullptr) {
     state.SkipWithError("fixture failed");
     return;
   }
-  xpath::XPathEvaluator eval(f.doc.get(), mode);
+  xpath::XPathEvaluator eval(f.doc.get(), mode, use_index);
   // Fail fast if the query is unsupported for this scheme/mode.
   auto probe = eval.Query(query);
   if (!probe.ok()) {
@@ -71,22 +76,80 @@ void RegisterAll() {
   for (const QueryCase& q : queries) {
     benchmark::RegisterBenchmark(
         (std::string("labels/qed/") + q.name).c_str(), BM_Query, "qed",
-        xpath::EvalMode::kLabels, q.query)
+        xpath::EvalMode::kLabels, q.query, true)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        (std::string("labels-naive/qed/") + q.name).c_str(), BM_Query, "qed",
+        xpath::EvalMode::kLabels, q.query, false)
         ->MinTime(0.05);
     benchmark::RegisterBenchmark(
         (std::string("labels/prepost/") + q.name).c_str(), BM_Query,
-        "xpath-accelerator", xpath::EvalMode::kLabels, q.query)
+        "xpath-accelerator", xpath::EvalMode::kLabels, q.query, true)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(
+        (std::string("labels-naive/prepost/") + q.name).c_str(), BM_Query,
+        "xpath-accelerator", xpath::EvalMode::kLabels, q.query, false)
         ->MinTime(0.05);
     benchmark::RegisterBenchmark(
         (std::string("tree-baseline/") + q.name).c_str(), BM_Query, "qed",
-        xpath::EvalMode::kTree, q.query)
+        xpath::EvalMode::kTree, q.query, true)
         ->MinTime(0.05);
   }
+}
+
+// Times each query for both label-mode execution paths and writes
+// ns/query plus speedups to BENCH_xpath.json in the working directory.
+void WriteJsonSweep() {
+  const char* queries[] = {"descendant::item", "//record/ancestor::*",
+                           "//item[@id]"};
+  const char* names[] = {"descendant_name", "deep_path", "predicate"};
+  const std::string schemes[] = {"xpath-accelerator", "qed"};
+  using clock = std::chrono::steady_clock;
+  FILE* out = std::fopen("BENCH_xpath.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"document_nodes\": 1500,\n  \"queries\": {\n");
+  bool first = true;
+  for (const std::string& scheme : schemes) {
+    Fixture f = MakeFixture(scheme);
+    if (f.doc == nullptr) continue;
+    xpath::XPathEvaluator indexed(f.doc.get(), xpath::EvalMode::kLabels,
+                                  true);
+    xpath::XPathEvaluator naive(f.doc.get(), xpath::EvalMode::kLabels,
+                                false);
+    for (size_t qi = 0; qi < 3; ++qi) {
+      auto time_one = [&](const xpath::XPathEvaluator& eval) {
+        (void)eval.Query(queries[qi]);  // Warm the key cache / index.
+        auto start = clock::now();
+        size_t reps = 0;
+        double elapsed_ns = 0;
+        do {
+          benchmark::DoNotOptimize(eval.Query(queries[qi]));
+          ++reps;
+          elapsed_ns = static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - start)
+                  .count());
+        } while (elapsed_ns < 100e6);
+        return elapsed_ns / static_cast<double>(reps);
+      };
+      double ns_naive = time_one(naive);
+      double ns_indexed = time_one(indexed);
+      std::fprintf(out,
+                   "%s    \"%s/%s\": {\"ns_naive\": %.0f, "
+                   "\"ns_indexed\": %.0f, \"speedup\": %.2f}",
+                   first ? "" : ",\n", scheme.c_str(), names[qi], ns_naive,
+                   ns_indexed, ns_naive / ns_indexed);
+      first = false;
+    }
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  WriteJsonSweep();
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

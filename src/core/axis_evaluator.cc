@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/label_index.h"
+
 namespace xmlup::core {
 
 using common::Result;
@@ -12,8 +14,20 @@ std::vector<NodeId> AxisEvaluator::LiveNodes() const {
   return doc_->tree().PreorderNodes();
 }
 
+const LabelIndex* AxisEvaluator::Index() const {
+  if (!use_index_) return nullptr;
+  Result<const LabelIndex*> index = doc_->query_index();
+  return index.ok() ? index.value() : nullptr;
+}
+
 std::vector<NodeId> AxisEvaluator::SortDocumentOrder(
     std::vector<NodeId> nodes) const {
+  if (use_index_) {
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return doc_->order_key(a) < doc_->order_key(b);
+    });
+    return nodes;
+  }
   const labels::LabelingScheme& scheme = doc_->scheme();
   std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
     return scheme.Compare(doc_->label(a), doc_->label(b)) < 0;
@@ -22,6 +36,10 @@ std::vector<NodeId> AxisEvaluator::SortDocumentOrder(
 }
 
 std::vector<NodeId> AxisEvaluator::Descendants(NodeId node) const {
+  if (const LabelIndex* index = Index()) {
+    // Binary search to the subtree's interval, then a contiguous copy.
+    return index->Descendants(node);
+  }
   const labels::LabelingScheme& scheme = doc_->scheme();
   std::vector<NodeId> out;
   for (NodeId n : LiveNodes()) {
@@ -34,6 +52,19 @@ std::vector<NodeId> AxisEvaluator::Descendants(NodeId node) const {
 
 std::vector<NodeId> AxisEvaluator::Ancestors(NodeId node) const {
   const labels::LabelingScheme& scheme = doc_->scheme();
+  if (const LabelIndex* index = Index()) {
+    // Ancestors precede the node in document order: filter the prefix,
+    // which arrives already sorted.
+    const std::vector<NodeId>& ordered = index->ordered_nodes();
+    size_t pos = index->PositionOf(node);
+    std::vector<NodeId> out;
+    for (size_t i = 0; i < pos && i < ordered.size(); ++i) {
+      if (scheme.IsAncestor(doc_->label(ordered[i]), doc_->label(node))) {
+        out.push_back(ordered[i]);
+      }
+    }
+    return out;
+  }
   std::vector<NodeId> out;
   for (NodeId n : LiveNodes()) {
     if (n != node && scheme.IsAncestor(doc_->label(n), doc_->label(node))) {
@@ -48,6 +79,19 @@ Result<std::vector<NodeId>> AxisEvaluator::Children(NodeId node) const {
   if (!scheme.traits().supports_parent) {
     return Status::Unsupported(scheme.traits().display_name +
                                " cannot evaluate parent-child from labels");
+  }
+  if (const LabelIndex* index = Index()) {
+    // Children are descendants: test IsParent over the subtree interval
+    // only, not the whole document.
+    const std::vector<NodeId>& ordered = index->ordered_nodes();
+    auto [begin, end] = index->DescendantRange(node);
+    std::vector<NodeId> out;
+    for (size_t i = begin; i < end; ++i) {
+      if (scheme.IsParent(doc_->label(node), doc_->label(ordered[i]))) {
+        out.push_back(ordered[i]);
+      }
+    }
+    return out;
   }
   std::vector<NodeId> out;
   for (NodeId n : LiveNodes()) {
@@ -64,13 +108,29 @@ Result<std::vector<NodeId>> AxisEvaluator::Parent(NodeId node) const {
     return Status::Unsupported(scheme.traits().display_name +
                                " cannot evaluate parent-child from labels");
   }
+  if (const LabelIndex* index = Index()) {
+    // The parent is an ancestor; the nearest one satisfying IsParent.
+    // Walk the (sorted) ancestor prefix from the node backwards.
+    const std::vector<NodeId>& ordered = index->ordered_nodes();
+    size_t pos = index->PositionOf(node);
+    std::vector<NodeId> out;
+    for (size_t i = pos; i-- > 0;) {
+      if (scheme.IsParent(doc_->label(ordered[i]), doc_->label(node))) {
+        out.push_back(ordered[i]);
+        break;
+      }
+    }
+    return out;
+  }
   std::vector<NodeId> out;
   for (NodeId n : LiveNodes()) {
     if (n != node && scheme.IsParent(doc_->label(n), doc_->label(node))) {
       out.push_back(n);
     }
   }
-  return out;
+  // A node has at most one parent, but keep the document-order contract
+  // every other axis honours even if a scheme's IsParent over-matches.
+  return SortDocumentOrder(std::move(out));
 }
 
 Result<std::vector<NodeId>> AxisEvaluator::Siblings(NodeId node) const {
@@ -80,6 +140,14 @@ Result<std::vector<NodeId>> AxisEvaluator::Siblings(NodeId node) const {
                                " cannot evaluate siblings from labels");
   }
   std::vector<NodeId> out;
+  if (const LabelIndex* index = Index()) {
+    for (NodeId n : index->ordered_nodes()) {
+      if (n != node && scheme.IsSibling(doc_->label(node), doc_->label(n))) {
+        out.push_back(n);
+      }
+    }
+    return out;  // Scanned in document order already.
+  }
   for (NodeId n : LiveNodes()) {
     if (n != node && scheme.IsSibling(doc_->label(node), doc_->label(n))) {
       out.push_back(n);
@@ -89,6 +157,14 @@ Result<std::vector<NodeId>> AxisEvaluator::Siblings(NodeId node) const {
 }
 
 std::vector<NodeId> AxisEvaluator::Following(NodeId node) const {
+  if (const LabelIndex* index = Index()) {
+    // Everything after the subtree interval, contiguous in index order.
+    const std::vector<NodeId>& ordered = index->ordered_nodes();
+    auto [begin, end] = index->FollowingRange(node);
+    return std::vector<NodeId>(
+        ordered.begin() + static_cast<long>(begin),
+        ordered.begin() + static_cast<long>(end));
+  }
   const labels::LabelingScheme& scheme = doc_->scheme();
   std::vector<NodeId> out;
   for (NodeId n : LiveNodes()) {
@@ -103,6 +179,19 @@ std::vector<NodeId> AxisEvaluator::Following(NodeId node) const {
 
 std::vector<NodeId> AxisEvaluator::Preceding(NodeId node) const {
   const labels::LabelingScheme& scheme = doc_->scheme();
+  if (const LabelIndex* index = Index()) {
+    // The sorted prefix before the node, minus its (few) ancestors.
+    const std::vector<NodeId>& ordered = index->ordered_nodes();
+    size_t pos = index->PositionOf(node);
+    std::vector<NodeId> out;
+    out.reserve(pos);
+    for (size_t i = 0; i < pos && i < ordered.size(); ++i) {
+      if (!scheme.IsAncestor(doc_->label(ordered[i]), doc_->label(node))) {
+        out.push_back(ordered[i]);
+      }
+    }
+    return out;
+  }
   std::vector<NodeId> out;
   for (NodeId n : LiveNodes()) {
     if (n == node) continue;

@@ -10,12 +10,23 @@ namespace xmlup::core {
 
 /// Evaluates the major XPath axes *from labels alone* — the "XPath
 /// Evaluations" property of the survey's framework. The evaluator never
-/// consults tree structure (parent pointers etc.); it scans the live label
-/// set and applies the scheme's label predicates, returning node sets in
-/// document order. Tests compare each axis against tree ground truth.
+/// consults tree structure (parent pointers etc.); it applies the
+/// scheme's label predicates and returns node sets in document order.
+///
+/// Two execution paths share one contract:
+///
+///   * indexed (default): the document's cached LabelIndex locates a
+///     node's position by binary search over memcmp order keys, then
+///     reads descendant/following answers off contiguous ranges —
+///     O(log n + k) per query (Grust's XPath Accelerator region query,
+///     generalised to every scheme).
+///   * naive (`use_index = false`): a full scan of the live label set
+///     using only the scheme's virtual predicates. Kept as the test
+///     oracle; differential tests assert both paths agree.
 class AxisEvaluator {
  public:
-  explicit AxisEvaluator(const LabeledDocument* doc) : doc_(doc) {}
+  explicit AxisEvaluator(const LabeledDocument* doc, bool use_index = true)
+      : doc_(doc), use_index_(use_index) {}
 
   /// descendant axis: nodes whose label marks them below `node`.
   std::vector<xml::NodeId> Descendants(xml::NodeId node) const;
@@ -33,14 +44,20 @@ class AxisEvaluator {
   /// preceding axis: before `node` in document order, not an ancestor.
   std::vector<xml::NodeId> Preceding(xml::NodeId node) const;
 
-  /// Sorts a node set into document order using labels only.
+  /// Sorts a node set into document order using labels only. The indexed
+  /// path sorts by cached memcmp keys; the naive path by virtual Compare.
   std::vector<xml::NodeId> SortDocumentOrder(
       std::vector<xml::NodeId> nodes) const;
 
  private:
   std::vector<xml::NodeId> LiveNodes() const;
+  // The document's cached index, or nullptr when the evaluator runs in
+  // naive mode (or the index failed to build) — callers fall back to the
+  // scan path.
+  const LabelIndex* Index() const;
 
   const LabeledDocument* doc_;
+  bool use_index_;
 };
 
 }  // namespace xmlup::core

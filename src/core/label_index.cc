@@ -17,16 +17,31 @@ Result<LabelIndex> LabelIndex::Build(const LabeledDocument* doc) {
 
 Status LabelIndex::Refresh() {
   entries_ = doc_->tree().PreorderNodes();
-  const labels::LabelingScheme& scheme = doc_->scheme();
-  // Preorder already is document order; sorting by label both validates
-  // that and produces the invariant the queries rely on.
+  // Bulk sort over the document's cached memcmp keys — no virtual Compare
+  // on the hot path. (Preorder already is document order, so for a
+  // correct scheme this is a validated no-op pass.)
   std::sort(entries_.begin(), entries_.end(), [&](NodeId a, NodeId b) {
-    return scheme.Compare(doc_->label(a), doc_->label(b)) < 0;
+    return doc_->order_key(a) < doc_->order_key(b);
   });
-  return Verify();
+  return Status::Ok();
 }
 
 size_t LabelIndex::LowerBound(const Label& label) const {
+  std::string key;
+  if (doc_->order_keys_native() && doc_->scheme().OrderKey(label, &key)) {
+    size_t lo = 0, hi = entries_.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (doc_->order_key(entries_[mid]) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  // Rank-fallback keys cannot be derived for an arbitrary label; compare
+  // through the scheme instead.
   const labels::LabelingScheme& scheme = doc_->scheme();
   size_t lo = 0, hi = entries_.size();
   while (lo < hi) {
@@ -38,6 +53,46 @@ size_t LabelIndex::LowerBound(const Label& label) const {
     }
   }
   return lo;
+}
+
+size_t LabelIndex::PositionOf(NodeId node) const {
+  // The node's own key is always cached (either mode), so this stays a
+  // pure memcmp binary search.
+  const std::string& key = doc_->order_key(node);
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (doc_->order_key(entries_[mid]) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < entries_.size() && entries_[lo] == node) return lo;
+  return entries_.size();
+}
+
+std::pair<size_t, size_t> LabelIndex::DescendantRange(NodeId node) const {
+  size_t pos = PositionOf(node);
+  if (pos >= entries_.size()) return {entries_.size(), entries_.size()};
+  const labels::LabelingScheme& scheme = doc_->scheme();
+  const Label& top = doc_->label(node);
+  // IsAncestor(top, entry) holds on a contiguous prefix of the entries
+  // after `pos`; binary-search its right edge.
+  size_t lo = pos + 1, hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (scheme.IsAncestor(top, doc_->label(entries_[mid]))) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {pos + 1, lo};
+}
+
+std::pair<size_t, size_t> LabelIndex::FollowingRange(NodeId node) const {
+  return {DescendantRange(node).second, entries_.size()};
 }
 
 NodeId LabelIndex::Lookup(const Label& label) const {
@@ -54,15 +109,9 @@ size_t LabelIndex::Rank(const Label& label) const {
 }
 
 std::vector<NodeId> LabelIndex::Descendants(NodeId node) const {
-  const labels::LabelingScheme& scheme = doc_->scheme();
-  const Label& top = doc_->label(node);
-  std::vector<NodeId> out;
-  // Descendants are contiguous immediately after `node` in label order.
-  for (size_t pos = LowerBound(top) + 1; pos < entries_.size(); ++pos) {
-    if (!scheme.IsAncestor(top, doc_->label(entries_[pos]))) break;
-    out.push_back(entries_[pos]);
-  }
-  return out;
+  auto [begin, end] = DescendantRange(node);
+  return std::vector<NodeId>(entries_.begin() + static_cast<long>(begin),
+                             entries_.begin() + static_cast<long>(end));
 }
 
 std::vector<NodeId> LabelIndex::Range(const Label& after,
@@ -86,8 +135,18 @@ std::vector<NodeId> LabelIndex::Range(const Label& after,
 }
 
 void LabelIndex::Insert(NodeId node) {
-  size_t pos = LowerBound(doc_->label(node));
-  entries_.insert(entries_.begin() + static_cast<long>(pos), node);
+  // Lower bound over the node's cached key (valid in both key modes).
+  const std::string& key = doc_->order_key(node);
+  size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (doc_->order_key(entries_[mid]) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  entries_.insert(entries_.begin() + static_cast<long>(lo), node);
 }
 
 void LabelIndex::EraseSubtree(NodeId node) {
@@ -117,6 +176,12 @@ Status LabelIndex::Verify() const {
                                 doc_->label(entries_[i])) >= 0) {
       return Status::Internal("index labels not strictly increasing at " +
                               std::to_string(i));
+    }
+    if (i > 0 &&
+        !(doc_->order_key(entries_[i - 1]) < doc_->order_key(entries_[i]))) {
+      return Status::Internal(
+          "cached order keys disagree with label order at " +
+          std::to_string(i));
     }
   }
   return Status::Ok();

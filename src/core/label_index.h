@@ -1,6 +1,7 @@
 #ifndef XMLUP_CORE_LABEL_INDEX_H_
 #define XMLUP_CORE_LABEL_INDEX_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -43,6 +44,22 @@ class LabelIndex {
   /// All indexed nodes in document order.
   const std::vector<xml::NodeId>& ordered_nodes() const { return entries_; }
 
+  /// Position of `node` in the ordered sequence (== its document-order
+  /// rank); size() if the node is not indexed. O(log n) memcmp
+  /// comparisons over the document's cached order keys.
+  size_t PositionOf(xml::NodeId node) const;
+
+  /// Half-open interval [begin, end) of positions in ordered_nodes()
+  /// holding `node`'s descendants. Descendants are contiguous after the
+  /// node in document order, so the right edge is found by binary search
+  /// on the monotone IsAncestor predicate: O(log n) label predicates,
+  /// no scan.
+  std::pair<size_t, size_t> DescendantRange(xml::NodeId node) const;
+
+  /// Half-open interval [begin, end) of positions holding the nodes of
+  /// the `following` axis: everything after `node`'s subtree.
+  std::pair<size_t, size_t> FollowingRange(xml::NodeId node) const;
+
   /// Descendants of `node` via binary search + contiguous scan.
   std::vector<xml::NodeId> Descendants(xml::NodeId node) const;
 
@@ -69,6 +86,8 @@ class LabelIndex {
   explicit LabelIndex(const LabeledDocument* doc) : doc_(doc) {}
 
   // Index of the first entry whose label is >= label (lower bound).
+  // Binary search over cached memcmp keys when the scheme provides them,
+  // over virtual Compare calls otherwise.
   size_t LowerBound(const labels::Label& label) const;
 
   const LabeledDocument* doc_;

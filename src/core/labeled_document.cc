@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/rng.h"
+#include "core/label_index.h"
+#include "labels/order_key.h"
 
 namespace xmlup::core {
 
@@ -11,6 +14,34 @@ using common::Result;
 using common::Status;
 using labels::Label;
 using xml::NodeId;
+
+LabeledDocument::LabeledDocument(xml::Tree tree,
+                                 const labels::LabelingScheme* scheme,
+                                 std::vector<Label> labels)
+    : tree_(std::move(tree)), scheme_(scheme), labels_(std::move(labels)) {}
+
+LabeledDocument::LabeledDocument(LabeledDocument&& other) noexcept
+    : tree_(std::move(other.tree_)),
+      scheme_(other.scheme_),
+      labels_(std::move(other.labels_)),
+      version_(other.version_),
+      order_keys_(std::move(other.order_keys_)),
+      order_keys_built_(other.order_keys_built_),
+      order_keys_native_(other.order_keys_native_) {}
+
+LabeledDocument& LabeledDocument::operator=(LabeledDocument&& other) noexcept {
+  tree_ = std::move(other.tree_);
+  scheme_ = other.scheme_;
+  labels_ = std::move(other.labels_);
+  version_ = other.version_;
+  order_keys_ = std::move(other.order_keys_);
+  order_keys_built_ = other.order_keys_built_;
+  order_keys_native_ = other.order_keys_native_;
+  query_index_.reset();
+  return *this;
+}
+
+LabeledDocument::~LabeledDocument() = default;
 
 Result<LabeledDocument> LabeledDocument::Build(
     xml::Tree tree, const labels::LabelingScheme* scheme) {
@@ -51,6 +82,7 @@ Result<NodeId> LabeledDocument::InsertNode(NodeId parent, xml::NodeKind kind,
   for (const auto& [id, fresh] : outcome->relabeled) {
     labels_[id] = fresh;
   }
+  NoteInsert(node, outcome->relabeled);
   if (stats != nullptr) {
     stats->relabeled = outcome->relabeled.size();
     stats->overflow = outcome->overflow;
@@ -97,7 +129,79 @@ Result<NodeId> LabeledDocument::InsertSubtree(NodeId parent,
 }
 
 Status LabeledDocument::RemoveSubtree(NodeId node) {
-  return tree_.RemoveSubtree(node);
+  XMLUP_RETURN_NOT_OK(tree_.RemoveSubtree(node));
+  // Cached keys of surviving nodes remain valid: native keys depend only
+  // on each node's own label, and rank-fallback keys keep their relative
+  // order when entries disappear. Only the version moves.
+  ++version_;
+  return Status::Ok();
+}
+
+void LabeledDocument::NoteInsert(
+    NodeId node, const std::vector<std::pair<NodeId, Label>>& relabeled) {
+  ++version_;
+  if (!order_keys_built_) return;
+  if (!order_keys_native_) {
+    // Rank keys shift on any insertion; rebuild lazily on next access.
+    order_keys_built_ = false;
+    return;
+  }
+  order_keys_.resize(labels_.size());
+  bool ok = RefreshOrderKey(node);
+  for (const auto& [id, fresh] : relabeled) {
+    (void)fresh;
+    ok = ok && RefreshOrderKey(id);
+  }
+  if (!ok) order_keys_built_ = false;
+}
+
+bool LabeledDocument::RefreshOrderKey(NodeId node) const {
+  std::string* key = &order_keys_[node];
+  key->clear();
+  return scheme_->OrderKey(labels_[node], key);
+}
+
+void LabeledDocument::EnsureOrderKeys() const {
+  if (order_keys_built_) return;
+  std::vector<NodeId> order = tree_.PreorderNodes();
+  order_keys_.assign(labels_.size(), std::string());
+  order_keys_native_ = true;
+  for (NodeId n : order) {
+    if (!RefreshOrderKey(n)) {
+      order_keys_native_ = false;
+      break;
+    }
+  }
+  if (!order_keys_native_) {
+    // The scheme has no memcmp encoding (e.g. rational compares): fall
+    // back to big-endian preorder ranks, sound because label order equals
+    // document order by system invariant (VerifyOrderAndUniqueness).
+    for (size_t i = 0; i < order.size(); ++i) {
+      std::string* key = &order_keys_[order[i]];
+      key->clear();
+      labels::AppendBigEndian(i, 8, key);
+    }
+  }
+  order_keys_built_ = true;
+}
+
+const std::string& LabeledDocument::order_key(NodeId node) const {
+  EnsureOrderKeys();
+  return order_keys_[node];
+}
+
+bool LabeledDocument::order_keys_native() const {
+  EnsureOrderKeys();
+  return order_keys_native_;
+}
+
+Result<const LabelIndex*> LabeledDocument::query_index() const {
+  if (query_index_ == nullptr || query_index_version_ != version_) {
+    XMLUP_ASSIGN_OR_RETURN(LabelIndex index, LabelIndex::Build(this));
+    query_index_ = std::make_unique<LabelIndex>(std::move(index));
+    query_index_version_ = version_;
+  }
+  return query_index_.get();
 }
 
 Status LabeledDocument::VerifyOrderAndUniqueness() const {

@@ -1,6 +1,8 @@
 #ifndef XMLUP_CORE_LABELED_DOCUMENT_H_
 #define XMLUP_CORE_LABELED_DOCUMENT_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,8 @@
 #include "xml/tree.h"
 
 namespace xmlup::core {
+
+class LabelIndex;
 
 /// Statistics for one structural update.
 struct UpdateStats {
@@ -40,8 +44,10 @@ class LabeledDocument {
       xml::Tree tree, const labels::LabelingScheme* scheme,
       std::vector<labels::Label> labels);
 
-  LabeledDocument(LabeledDocument&&) = default;
-  LabeledDocument& operator=(LabeledDocument&&) = default;
+  // Moves drop the cached query index (it back-references the document).
+  LabeledDocument(LabeledDocument&& other) noexcept;
+  LabeledDocument& operator=(LabeledDocument&& other) noexcept;
+  ~LabeledDocument();
 
   const xml::Tree& tree() const { return tree_; }
   const labels::LabelingScheme& scheme() const { return *scheme_; }
@@ -90,14 +96,54 @@ class LabeledDocument {
   /// Average storage bits per live label.
   double AverageLabelBits() const;
 
+  // --- Order-key cache and query index -----------------------------------
+
+  /// Bumped on every structural update; consumers (e.g. the cached query
+  /// index) use it to detect staleness.
+  uint64_t version() const { return version_; }
+
+  /// Memcmp-comparable sort key for `node`'s label: byte-wise comparison
+  /// of two keys equals scheme().Compare() on the underlying labels. Built
+  /// lazily for all live nodes on first use and kept in sync across
+  /// updates — relabel and overflow events from InsertOutcome invalidate
+  /// exactly the affected entries, so a returned key is never stale.
+  const std::string& order_key(xml::NodeId node) const;
+
+  /// True when keys come from the scheme's own OrderKey encoding (and can
+  /// therefore be derived for arbitrary labels, not just cached nodes).
+  /// False means the rank fallback: big-endian preorder ranks, valid only
+  /// for live nodes and rebuilt wholesale after any insertion.
+  bool order_keys_native() const;
+
+  /// The document's cached LabelIndex, built on first use and rebuilt
+  /// lazily after structural updates. The pointer is owned by the document
+  /// and stays valid until the next structural update (or move).
+  common::Result<const LabelIndex*> query_index() const;
+
  private:
   LabeledDocument(xml::Tree tree, const labels::LabelingScheme* scheme,
-                  std::vector<labels::Label> labels)
-      : tree_(std::move(tree)), scheme_(scheme), labels_(std::move(labels)) {}
+                  std::vector<labels::Label> labels);
+
+  void EnsureOrderKeys() const;
+  // Recomputes the cached key for one node; false if the scheme failed to
+  // produce one (forces a full rebuild on next access).
+  bool RefreshOrderKey(xml::NodeId node) const;
+  // Applies cache invalidation for an insert that assigned `node` and
+  // relabelled `relabeled`.
+  void NoteInsert(xml::NodeId node,
+                  const std::vector<std::pair<xml::NodeId, labels::Label>>&
+                      relabeled);
 
   xml::Tree tree_;
   const labels::LabelingScheme* scheme_;
   std::vector<labels::Label> labels_;
+
+  uint64_t version_ = 0;
+  mutable std::vector<std::string> order_keys_;
+  mutable bool order_keys_built_ = false;
+  mutable bool order_keys_native_ = false;
+  mutable std::unique_ptr<LabelIndex> query_index_;
+  mutable uint64_t query_index_version_ = 0;
 };
 
 }  // namespace xmlup::core

@@ -86,6 +86,12 @@ int ImprovedBinaryCodec::Compare(std::string_view a,
   return DigitCompare(a, b);
 }
 
+bool ImprovedBinaryCodec::OrderKey(std::string_view code, std::string* out) const {
+  // DigitCompare is plain lexicographic order over the raw digits.
+  out->append(code);
+  return true;
+}
+
 size_t ImprovedBinaryCodec::StorageBits(std::string_view code) const {
   return code.size() + length_field_bits_;
 }
@@ -136,6 +142,12 @@ Result<std::string> CdbsCodec::Between(std::string_view left,
 
 int CdbsCodec::Compare(std::string_view a, std::string_view b) const {
   return DigitCompare(a, b);
+}
+
+bool CdbsCodec::OrderKey(std::string_view code, std::string* out) const {
+  // DigitCompare is plain lexicographic order over the raw digits.
+  out->append(code);
+  return true;
 }
 
 size_t CdbsCodec::StorageBits(std::string_view code) const {

@@ -1,5 +1,7 @@
 #include "labels/dewey_codec.h"
 
+#include "labels/order_key.h"
+
 namespace xmlup::labels {
 
 using common::OpCounters;
@@ -60,6 +62,13 @@ int DeweyCodec::Compare(std::string_view a, std::string_view b) const {
     return a.compare(b) < 0 ? -1 : (a == b ? 0 : 1);
   }
   return va < vb ? -1 : (va > vb ? 1 : 0);
+}
+
+bool DeweyCodec::OrderKey(std::string_view code, std::string* out) const {
+  uint32_t v = 0;
+  if (!Unpack(code, &v)) return false;
+  AppendBigEndian(v, 4, out);
+  return true;
 }
 
 size_t DeweyCodec::StorageBits(std::string_view /*code*/) const { return 32; }

@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "labels/order_key.h"
+
 namespace xmlup::labels {
 
 using common::Result;
@@ -254,6 +256,13 @@ int DietzOmScheme::Compare(const Label& a, const Label& b) const {
   Tags ta, tb;
   if (!Decode(a, &ta) || !Decode(b, &tb)) return a.bytes().compare(b.bytes());
   return ta.begin < tb.begin ? -1 : (ta.begin > tb.begin ? 1 : 0);
+}
+
+bool DietzOmScheme::OrderKey(const Label& label, std::string* out) const {
+  Tags t;
+  if (!Decode(label, &t)) return false;
+  AppendBigEndian(t.begin, 8, out);
+  return true;
 }
 
 bool DietzOmScheme::IsAncestor(const Label& ancestor,

@@ -47,6 +47,15 @@ class OrderCodec {
   /// Order comparison of two codes: <0, 0, >0.
   virtual int Compare(std::string_view a, std::string_view b) const = 0;
 
+  /// Appends to `*out` a byte string whose plain lexicographic order agrees
+  /// with Compare(), with a proper byte-prefix sorting before its
+  /// extensions. Returns false when the codec has no such key (the
+  /// default); hosts then fall back to the virtual Compare.
+  virtual bool OrderKey(std::string_view /*code*/,
+                        std::string* /*out*/) const {
+    return false;
+  }
+
   /// Storage cost of one code in bits under the scheme's own encoding
   /// (e.g. QED: 2 bits per quaternary number plus a 2-bit separator).
   virtual size_t StorageBits(std::string_view code) const = 0;

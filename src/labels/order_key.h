@@ -1,0 +1,40 @@
+#ifndef XMLUP_LABELS_ORDER_KEY_H_
+#define XMLUP_LABELS_ORDER_KEY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlup::labels {
+
+/// Helpers for building memcmp-comparable order keys (the
+/// LabelingScheme::OrderKey / OrderCodec::OrderKey contract): byte strings
+/// whose plain lexicographic comparison reproduces the scheme's document
+/// order without decoding labels.
+
+/// Appends `v`'s lowest `bytes` bytes big-endian, so that unsigned numeric
+/// order equals lexicographic byte order at a fixed width.
+inline void AppendBigEndian(uint64_t v, size_t bytes, std::string* out) {
+  for (size_t i = bytes; i-- > 0;) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Appends one component key followed by a terminator, escaping embedded
+/// zero bytes (0x00 -> 0x00 0xFF, terminator 0x00 0x01). The encoding
+/// preserves lexicographic order per component and makes a label that is a
+/// proper component-prefix of another sort first — document order for
+/// prefix labelling schemes, where an ancestor precedes its descendants.
+inline void AppendOrderKeyComponent(std::string_view component_key,
+                                    std::string* out) {
+  for (char c : component_key) {
+    out->push_back(c);
+    if (c == '\0') out->push_back('\xFF');
+  }
+  out->push_back('\0');
+  out->push_back('\x01');
+}
+
+}  // namespace xmlup::labels
+
+#endif  // XMLUP_LABELS_ORDER_KEY_H_

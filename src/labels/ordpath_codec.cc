@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "labels/order_key.h"
+
 namespace xmlup::labels {
 
 using common::OpCounters;
@@ -147,6 +149,16 @@ int OrdpathCodec::Compare(std::string_view a, std::string_view b) const {
   }
   if (ca.size() == cb.size()) return 0;
   return ca.size() < cb.size() ? -1 : 1;
+}
+
+bool OrdpathCodec::OrderKey(std::string_view code, std::string* out) const {
+  // Sign-flipped big-endian per component: memcmp over the concatenation
+  // reproduces the componentwise signed comparison, with a shorter
+  // (caret-prefix) code sorting first.
+  for (int64_t c : Unpack(code)) {
+    AppendBigEndian(static_cast<uint64_t>(c) ^ (1ULL << 63), 8, out);
+  }
+  return true;
 }
 
 size_t OrdpathCodec::StorageBits(std::string_view code) const {

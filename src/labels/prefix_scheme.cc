@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/varint.h"
+#include "labels/order_key.h"
 
 namespace xmlup::labels {
 
@@ -217,6 +218,21 @@ int PrefixScheme::Compare(const Label& a, const Label& b) const {
     int c = codec_->Compare(xa, xb);
     if (c != 0) return c;
   }
+}
+
+bool PrefixScheme::OrderKey(const Label& label, std::string* out) const {
+  // One escaped-and-terminated codec key per component: memcmp over the
+  // concatenation walks the components exactly as Compare() does, and an
+  // ancestor (component-prefix) sorts before its descendants.
+  ComponentCursor cursor(label);
+  std::string_view component;
+  std::string component_key;
+  while (cursor.Next(&component)) {
+    component_key.clear();
+    if (!codec_->OrderKey(component, &component_key)) return false;
+    AppendOrderKeyComponent(component_key, out);
+  }
+  return true;
 }
 
 bool PrefixScheme::IsAncestor(const Label& ancestor,

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "labels/order_key.h"
+
 namespace xmlup::labels {
 
 using common::Result;
@@ -108,6 +110,13 @@ int PrePostScheme::Compare(const Label& a, const Label& b) const {
   Ranks ra, rb;
   if (!Decode(a, &ra) || !Decode(b, &rb)) return a.bytes().compare(b.bytes());
   return ra.pre < rb.pre ? -1 : (ra.pre > rb.pre ? 1 : 0);
+}
+
+bool PrePostScheme::OrderKey(const Label& label, std::string* out) const {
+  Ranks r;
+  if (!Decode(label, &r)) return false;
+  AppendBigEndian(r.pre, 4, out);
+  return true;
 }
 
 bool PrePostScheme::IsAncestor(const Label& ancestor,

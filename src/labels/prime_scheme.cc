@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/varint.h"
+#include "labels/order_key.h"
 
 namespace xmlup::labels {
 
@@ -175,6 +176,13 @@ int PrimeScheme::Compare(const Label& a, const Label& b) const {
     return pa.order_key < pb.order_key ? -1 : 1;
   }
   return 0;
+}
+
+bool PrimeScheme::OrderKey(const Label& label, std::string* out) const {
+  Parts p;
+  if (!Decode(label, &p)) return false;
+  AppendBigEndian(p.order_key, 8, out);
+  return true;
 }
 
 bool PrimeScheme::IsAncestor(const Label& ancestor,

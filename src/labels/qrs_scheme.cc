@@ -1,7 +1,10 @@
 #include "labels/qrs_scheme.h"
 
+#include <bit>
 #include <cstring>
 #include <sstream>
+
+#include "labels/order_key.h"
 
 namespace xmlup::labels {
 
@@ -135,6 +138,17 @@ int QrsScheme::Compare(const Label& a, const Label& b) const {
   if (ia.lo != ib.lo) return ia.lo < ib.lo ? -1 : 1;
   if (ia.hi != ib.hi) return ia.hi > ib.hi ? -1 : 1;  // Ancestor first.
   return 0;
+}
+
+bool QrsScheme::OrderKey(const Label& label, std::string* out) const {
+  Interval iv;
+  // The bit pattern of a non-negative IEEE-754 double is order-preserving
+  // as an unsigned integer; negative bounds (never produced by this
+  // scheme) would break that, so fall back instead of risking a bad key.
+  if (!Decode(label, &iv) || iv.lo < 0.0 || iv.hi < 0.0) return false;
+  AppendBigEndian(std::bit_cast<uint64_t>(iv.lo), 8, out);
+  AppendBigEndian(~std::bit_cast<uint64_t>(iv.hi), 8, out);  // Ancestor first.
+  return true;
 }
 
 bool QrsScheme::IsAncestor(const Label& ancestor,

@@ -83,6 +83,12 @@ int QedCodec::Compare(std::string_view a, std::string_view b) const {
   return DigitCompare(a, b);
 }
 
+bool QedCodec::OrderKey(std::string_view code, std::string* out) const {
+  // DigitCompare is plain lexicographic order over the raw digits.
+  out->append(code);
+  return true;
+}
+
 size_t QedCodec::StorageBits(std::string_view code) const {
   return QuaternaryStorageBits(code);
 }
@@ -157,6 +163,12 @@ Result<std::string> CdqsCodec::Between(std::string_view left,
 
 int CdqsCodec::Compare(std::string_view a, std::string_view b) const {
   return DigitCompare(a, b);
+}
+
+bool CdqsCodec::OrderKey(std::string_view code, std::string* out) const {
+  // DigitCompare is plain lexicographic order over the raw digits.
+  out->append(code);
+  return true;
 }
 
 size_t CdqsCodec::StorageBits(std::string_view code) const {

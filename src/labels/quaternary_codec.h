@@ -34,6 +34,7 @@ class QedCodec final : public OrderCodec {
                                       std::string_view right,
                                       common::OpCounters* stats) const override;
   int Compare(std::string_view a, std::string_view b) const override;
+  bool OrderKey(std::string_view code, std::string* out) const override;
   size_t StorageBits(std::string_view code) const override;
   std::string Render(std::string_view code) const override;
 
@@ -65,6 +66,7 @@ class CdqsCodec final : public OrderCodec {
                                       std::string_view right,
                                       common::OpCounters* stats) const override;
   int Compare(std::string_view a, std::string_view b) const override;
+  bool OrderKey(std::string_view code, std::string* out) const override;
   size_t StorageBits(std::string_view code) const override;
   std::string Render(std::string_view code) const override;
 

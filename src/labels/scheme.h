@@ -91,6 +91,14 @@ class LabelingScheme {
   /// Document-order comparison of two labels: <0, 0, >0.
   virtual int Compare(const Label& a, const Label& b) const = 0;
 
+  /// Appends to `*out` a memcmp-comparable document-order key for `label`:
+  /// plain lexicographic byte comparison of two keys agrees with Compare()
+  /// on the labels they were derived from. Returns false when the scheme
+  /// cannot derive such a key from the label alone (the default); callers
+  /// then fall back to rank keys computed once per document (see
+  /// core::LabeledDocument::order_key).
+  virtual bool OrderKey(const Label& label, std::string* out) const;
+
   /// Label-only ancestor-descendant test (supported by every surveyed
   /// scheme). A label is not its own ancestor.
   virtual bool IsAncestor(const Label& ancestor,

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "labels/order_key.h"
+
 namespace xmlup::labels {
 
 using common::Result;
@@ -151,6 +153,14 @@ int SectorScheme::Compare(const Label& a, const Label& b) const {
   // Wider sector (ancestor) first on equal starts; equal only for self.
   if (sa.hi != sb.hi) return sa.hi > sb.hi ? -1 : 1;
   return 0;
+}
+
+bool SectorScheme::OrderKey(const Label& label, std::string* out) const {
+  Sector s;
+  if (!Decode(label, &s)) return false;
+  AppendBigEndian(s.lo, 8, out);
+  AppendBigEndian(~s.hi, 8, out);  // Descending: wider sector first.
+  return true;
 }
 
 bool SectorScheme::IsAncestor(const Label& ancestor,

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "labels/order_key.h"
+
 namespace xmlup::labels {
 
 using common::Result;
@@ -104,6 +106,13 @@ int XRelScheme::Compare(const Label& a, const Label& b) const {
   Region ra, rb;
   if (!Decode(a, &ra) || !Decode(b, &rb)) return a.bytes().compare(b.bytes());
   return ra.start < rb.start ? -1 : (ra.start > rb.start ? 1 : 0);
+}
+
+bool XRelScheme::OrderKey(const Label& label, std::string* out) const {
+  Region r;
+  if (!Decode(label, &r)) return false;
+  AppendBigEndian(r.start, 4, out);
+  return true;
 }
 
 bool XRelScheme::IsAncestor(const Label& ancestor,

@@ -97,7 +97,12 @@ bool XPathEvaluator::CompareValues(const std::string& lhs, CompareOp op,
 std::vector<NodeId> XPathEvaluator::SortUnique(
     std::vector<NodeId> nodes) const {
   const labels::LabelingScheme& scheme = doc_->scheme();
-  if (mode_ == EvalMode::kLabels) {
+  if (mode_ == EvalMode::kLabels && use_index_) {
+    // Cached memcmp keys replace virtual Compare in the merge sort.
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return doc_->order_key(a) < doc_->order_key(b);
+    });
+  } else if (mode_ == EvalMode::kLabels) {
     std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
       return scheme.Compare(doc_->label(a), doc_->label(b)) < 0;
     });
@@ -245,7 +250,7 @@ std::vector<NodeId> XPathEvaluator::AxisNodesFromTree(Axis axis,
 Result<std::vector<NodeId>> XPathEvaluator::AxisNodesFromLabels(
     Axis axis, NodeId node) const {
   const labels::SchemeTraits& traits = doc_->scheme().traits();
-  core::AxisEvaluator eval(doc_);
+  core::AxisEvaluator eval(doc_, use_index_);
   switch (axis) {
     case Axis::kSelf:
       return std::vector<NodeId>{node};

@@ -30,8 +30,13 @@ enum class EvalMode {
 /// nodes ... based on node identity" and results are in document order).
 class XPathEvaluator {
  public:
-  XPathEvaluator(const core::LabeledDocument* doc, EvalMode mode)
-      : doc_(doc), mode_(mode) {}
+  /// `use_index` selects the index-backed axis path for label mode
+  /// (binary search over the document's cached order keys); pass false to
+  /// force the naive full-scan path, the oracle the benchmarks and
+  /// differential tests compare against.
+  XPathEvaluator(const core::LabeledDocument* doc, EvalMode mode,
+                 bool use_index = true)
+      : doc_(doc), mode_(mode), use_index_(use_index) {}
 
   /// Parses and evaluates `expression` with the document root as context.
   /// There is no separate document node in the tree model: absolute paths
@@ -69,6 +74,7 @@ class XPathEvaluator {
 
   const core::LabeledDocument* doc_;
   EvalMode mode_;
+  bool use_index_;
 };
 
 }  // namespace xmlup::xpath

@@ -56,16 +56,22 @@ class AxisEvaluatorTest : public ::testing::TestWithParam<std::string> {
 };
 
 TEST_P(AxisEvaluatorTest, DescendantAxisMatchesGroundTruth) {
-  AxisEvaluator eval(&*doc_);
-  for (NodeId n : doc_->tree().PreorderNodes()) {
-    EXPECT_EQ(eval.Descendants(n), GroundTruthDescendants(n)) << "node " << n;
+  for (bool use_index : {true, false}) {
+    AxisEvaluator eval(&*doc_, use_index);
+    for (NodeId n : doc_->tree().PreorderNodes()) {
+      EXPECT_EQ(eval.Descendants(n), GroundTruthDescendants(n))
+          << "node " << n << (use_index ? " (indexed)" : " (naive)");
+    }
   }
 }
 
 TEST_P(AxisEvaluatorTest, AncestorAxisMatchesGroundTruth) {
-  AxisEvaluator eval(&*doc_);
-  for (NodeId n : doc_->tree().PreorderNodes()) {
-    EXPECT_EQ(eval.Ancestors(n), GroundTruthAncestors(n)) << "node " << n;
+  for (bool use_index : {true, false}) {
+    AxisEvaluator eval(&*doc_, use_index);
+    for (NodeId n : doc_->tree().PreorderNodes()) {
+      EXPECT_EQ(eval.Ancestors(n), GroundTruthAncestors(n))
+          << "node " << n << (use_index ? " (indexed)" : " (naive)");
+    }
   }
 }
 
@@ -84,15 +90,23 @@ TEST_P(AxisEvaluatorTest, ChildAxisMatchesWhereSupported) {
 
 TEST_P(AxisEvaluatorTest, ParentAxisMatchesWhereSupported) {
   if (!scheme_->traits().supports_parent) GTEST_SKIP();
-  AxisEvaluator eval(&*doc_);
-  for (NodeId n : doc_->tree().PreorderNodes()) {
-    auto parent = eval.Parent(n);
-    ASSERT_TRUE(parent.ok());
-    if (doc_->tree().parent(n) == xml::kInvalidNode) {
-      EXPECT_TRUE(parent->empty());
-    } else {
-      ASSERT_EQ(parent->size(), 1u) << "node " << n;
-      EXPECT_EQ((*parent)[0], doc_->tree().parent(n));
+  // Both execution paths: indexed (default) and naive scan.
+  for (bool use_index : {true, false}) {
+    AxisEvaluator eval(&*doc_, use_index);
+    for (NodeId n : doc_->tree().PreorderNodes()) {
+      auto parent = eval.Parent(n);
+      ASSERT_TRUE(parent.ok());
+      // The parent contract includes document order, like every axis.
+      EXPECT_TRUE(std::is_sorted(
+          parent->begin(), parent->end(), [&](NodeId a, NodeId b) {
+            return scheme_->Compare(doc_->label(a), doc_->label(b)) < 0;
+          }));
+      if (doc_->tree().parent(n) == xml::kInvalidNode) {
+        EXPECT_TRUE(parent->empty());
+      } else {
+        ASSERT_EQ(parent->size(), 1u) << "node " << n;
+        EXPECT_EQ((*parent)[0], doc_->tree().parent(n));
+      }
     }
   }
 }
