@@ -1,0 +1,269 @@
+// Durability cost of the write-ahead journal: raw frame append
+// throughput (records/s, bytes/s), store-level journaled insert rates,
+// and recovery time as a function of journal length, with a self-timed
+// sweep written to BENCH_journal.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/document_store.h"
+#include "store/file.h"
+#include "store/journal.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace xmlup;
+using store::DocumentStore;
+using store::JournalRecord;
+using store::JournalWriter;
+using store::MemFileSystem;
+using store::StoreOptions;
+using xml::NodeId;
+
+constexpr char kBaseDoc[] =
+    "<library><shelf id=\"a\"><book><title>Iliad</title></book></shelf>"
+    "</library>";
+
+JournalRecord SampleRecord() {
+  JournalRecord record;
+  record.op = JournalRecord::Op::kInsertNode;
+  record.node = 12345;
+  record.parent = 678;
+  record.before = xml::kInvalidNode;
+  record.kind = xml::NodeKind::kElement;
+  record.name = "chapter";
+  record.value = "a modest run of element content";
+  record.relabeled = 2;
+  record.overflow = false;
+  return record;
+}
+
+// --- raw journal frame append (encode + CRC + buffered write) -------------
+
+void BM_JournalAppend(benchmark::State& state) {
+  MemFileSystem fs;
+  auto writer = JournalWriter::Create(&fs, "j");
+  if (!writer.ok()) {
+    state.SkipWithError("writer create failed");
+    return;
+  }
+  JournalRecord record = SampleRecord();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer->Append(record));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(writer->records()));
+  state.SetBytesProcessed(static_cast<int64_t>(writer->bytes()));
+}
+BENCHMARK(BM_JournalAppend)->MinTime(0.2);
+
+void BM_JournalScan(benchmark::State& state) {
+  MemFileSystem fs;
+  auto writer = JournalWriter::Create(&fs, "j");
+  if (!writer.ok()) {
+    state.SkipWithError("writer create failed");
+    return;
+  }
+  JournalRecord record = SampleRecord();
+  for (int i = 0; i < 10000; ++i) {
+    if (!writer->Append(record).ok()) {
+      state.SkipWithError("append failed");
+      return;
+    }
+  }
+  std::string bytes = *fs.GetFile("j");
+  for (auto _ : state) {
+    auto scan = store::ScanJournal(bytes);
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_JournalScan)->MinTime(0.2);
+
+// --- store-level journaled inserts ----------------------------------------
+
+void BM_StoreInsert(benchmark::State& state, const std::string& scheme,
+                    bool sync_each_update) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.sync_each_update = sync_each_update;
+  options.auto_checkpoint = false;
+  auto tree = xml::ParseDocument(kBaseDoc);
+  if (!tree.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  auto st = DocumentStore::Create("db", std::move(*tree), scheme, options);
+  if (!st.ok()) {
+    state.SkipWithError("store create failed");
+    return;
+  }
+  NodeId root = (*st)->document().tree().root();
+  for (auto _ : state) {
+    auto node =
+        (*st)->InsertNode(root, xml::NodeKind::kElement, "item", "");
+    benchmark::DoNotOptimize(node);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>((*st)->stats().journal_records));
+  state.SetBytesProcessed(static_cast<int64_t>((*st)->stats().journal_bytes));
+}
+
+// --- self-timed JSON sweep -------------------------------------------------
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1000.0;
+}
+
+// Builds a store with `records` journaled inserts and reports the time to
+// recover it (snapshot load + full journal replay).
+struct RecoveryPoint {
+  size_t records = 0;
+  size_t journal_bytes = 0;
+  double build_ms = 0;
+  double recover_ms = 0;
+};
+
+RecoveryPoint MeasureRecovery(const std::string& scheme, size_t records) {
+  RecoveryPoint point;
+  point.records = records;
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.sync_each_update = false;
+  options.auto_checkpoint = false;
+  auto tree = xml::ParseDocument(kBaseDoc);
+  if (!tree.ok()) return point;
+  auto build_start = std::chrono::steady_clock::now();
+  {
+    auto st = DocumentStore::Create("db", std::move(*tree), scheme, options);
+    if (!st.ok()) return point;
+    NodeId root = (*st)->document().tree().root();
+    for (size_t i = 0; i < records; ++i) {
+      auto node =
+          (*st)->InsertNode(root, xml::NodeKind::kElement, "item", "");
+      if (!node.ok()) return point;
+    }
+    if (!(*st)->Sync().ok()) return point;
+    point.journal_bytes = (*st)->stats().journal_bytes;
+  }
+  point.build_ms = MsSince(build_start);
+
+  auto recover_start = std::chrono::steady_clock::now();
+  auto st = DocumentStore::Open("db", options);
+  if (!st.ok()) return point;
+  point.recover_ms = MsSince(recover_start);
+  if ((*st)->stats().recovered_records != records) {
+    point.recover_ms = -1;  // flag a broken run rather than lie
+  }
+  return point;
+}
+
+struct AppendRates {
+  double records_per_s = 0;
+  double bytes_per_s = 0;
+};
+
+AppendRates MeasureAppendRate() {
+  AppendRates rates;
+  MemFileSystem fs;
+  auto writer = JournalWriter::Create(&fs, "j");
+  if (!writer.ok()) return rates;
+  JournalRecord record = SampleRecord();
+  auto start = std::chrono::steady_clock::now();
+  double elapsed_ms = 0;
+  do {
+    for (int i = 0; i < 1000; ++i) {
+      if (!writer->Append(record).ok()) return rates;
+    }
+    elapsed_ms = MsSince(start);
+  } while (elapsed_ms < 300.0);
+  rates.records_per_s =
+      static_cast<double>(writer->records()) / (elapsed_ms / 1000.0);
+  rates.bytes_per_s =
+      static_cast<double>(writer->bytes()) / (elapsed_ms / 1000.0);
+  return rates;
+}
+
+void WriteJsonSweep() {
+  const std::vector<std::string> schemes = {"ordpath", "dewey",
+                                            "xpath-accelerator"};
+  const std::vector<size_t> lengths = {1000, 2000, 5000, 10000};
+
+  FILE* out = std::fopen("BENCH_journal.json", "w");
+  if (out == nullptr) return;
+
+  AppendRates rates = MeasureAppendRate();
+  std::fprintf(out,
+               "{\n  \"append\": {\n"
+               "    \"records_per_s\": %.0f,\n"
+               "    \"bytes_per_s\": %.0f\n  },\n",
+               rates.records_per_s, rates.bytes_per_s);
+  std::fprintf(stderr, "journal append: %.0f records/s, %.1f MB/s\n",
+               rates.records_per_s, rates.bytes_per_s / 1e6);
+
+  std::fprintf(out, "  \"recovery\": {\n");
+  bool first_scheme = true;
+  for (const std::string& scheme : schemes) {
+    std::fprintf(out, "%s    \"%s\": [\n", first_scheme ? "" : ",\n",
+                 scheme.c_str());
+    first_scheme = false;
+    bool first_point = true;
+    for (size_t n : lengths) {
+      RecoveryPoint point = MeasureRecovery(scheme, n);
+      std::fprintf(out,
+                   "%s      {\"records\": %zu, \"journal_bytes\": %zu, "
+                   "\"recover_ms\": %.2f, \"records_per_s\": %.0f}",
+                   first_point ? "" : ",\n", point.records,
+                   point.journal_bytes, point.recover_ms,
+                   point.recover_ms > 0
+                       ? static_cast<double>(point.records) /
+                             (point.recover_ms / 1000.0)
+                       : 0.0);
+      first_point = false;
+      std::fprintf(stderr,
+                   "%-18s %6zu records (%7zu B journal): recover %8.2f ms\n",
+                   scheme.c_str(), point.records, point.journal_bytes,
+                   point.recover_ms);
+    }
+    std::fprintf(out, "\n    ]");
+  }
+  std::fprintf(out, "\n  }\n}\n");
+  std::fclose(out);
+}
+
+void RegisterAll() {
+  for (const std::string& name :
+       {std::string("ordpath"), std::string("dewey"),
+        std::string("xpath-accelerator")}) {
+    benchmark::RegisterBenchmark(("store-insert-buffered/" + name).c_str(),
+                                 BM_StoreInsert, name, false)
+        ->MinTime(0.1);
+    benchmark::RegisterBenchmark(("store-insert-synced/" + name).c_str(),
+                                 BM_StoreInsert, name, true)
+        ->MinTime(0.1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WriteJsonSweep();
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

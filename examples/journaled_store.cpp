@@ -1,0 +1,112 @@
+// A durable XML document store in four acts: open, edit, crash, recover.
+//
+// The DocumentStore pairs a labelled document (any scheme from the
+// registry) with a write-ahead journal: every structural update is
+// framed, checksummed, and fsync'd before it is acknowledged, so a crash
+// at ANY byte of the journal loses at most the unacknowledged tail. The
+// crash here is simulated with the fault-injection file system: a write
+// cap makes the "kernel" silently drop bytes past a chosen offset, the
+// process "dies" (the store object is destroyed), and recovery reopens
+// the same directory.
+
+#include <cstdio>
+#include <string>
+
+#include "store/document_store.h"
+#include "store/file.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace xmlup;
+using store::DocumentStore;
+using store::MemFileSystem;
+using store::StoreOptions;
+using xml::NodeId;
+
+void PrintDocument(const char* heading, const core::LabeledDocument& doc) {
+  auto text = xml::SerializeDocument(doc.tree());
+  std::printf("%s\n  %s\n", heading,
+              text.ok() ? text->c_str() : text.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  MemFileSystem fs;  // swap for store::PosixFileSystem() to hit real disk
+  StoreOptions options;
+  options.fs = &fs;
+
+  // Act 1: create the store. The initial document becomes snapshot-000001
+  // and an empty journal-000001 is opened for appends.
+  auto tree = xml::ParseDocument(
+      "<library><shelf id=\"a\"><book><title>Iliad</title></book></shelf>"
+      "</library>");
+  if (!tree.ok()) return 1;
+  auto created =
+      DocumentStore::Create("db", std::move(*tree), "ordpath", options);
+  if (!created.ok()) {
+    std::printf("create failed: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  PrintDocument("initial document:", (*created)->document());
+
+  // Act 2: edit. Each update is journalled and fsync'd before InsertNode
+  // returns; the journal, not the snapshot, is the durable truth.
+  {
+    DocumentStore& st = **created;
+    NodeId root = st.document().tree().root();
+    auto shelf = st.InsertNode(root, xml::NodeKind::kElement, "shelf", "");
+    if (!shelf.ok()) return 1;
+    auto book = st.InsertNode(*shelf, xml::NodeKind::kElement, "book", "");
+    if (!book.ok()) return 1;
+    auto title =
+        st.InsertNode(*book, xml::NodeKind::kElement, "title", "");
+    if (!title.ok()) return 1;
+    if (!st.InsertNode(*title, xml::NodeKind::kText, "", "Odyssey").ok()) {
+      return 1;
+    }
+    PrintDocument("after four edits:", st.document());
+    std::printf("  journal: %llu records, %llu bytes\n",
+                static_cast<unsigned long long>(st.stats().journal_records),
+                static_cast<unsigned long long>(st.stats().journal_bytes));
+  }
+
+  // Act 3: crash. Cap the journal file at its current durable size, then
+  // apply one more edit: the store believes the write succeeded (as a
+  // kernel page cache would claim), but the bytes never reach "disk".
+  std::string journal_path = "db/" + store::JournalFileName(1);
+  fs.SetWriteLimit(journal_path, fs.FileSize(journal_path) + 7);
+  {
+    DocumentStore& st = **created;
+    NodeId root = st.document().tree().root();
+    auto lost = st.InsertNode(root, xml::NodeKind::kElement, "lost", "");
+    std::printf("\ncrashing with a torn record%s...\n",
+                lost.ok() ? " (the store saw a successful write)" : "");
+  }
+  created->reset();  // the process dies here
+
+  // Act 4: recover. Open scans the journal, drops the torn tail at the
+  // first bad frame, replays the durable prefix against the snapshot,
+  // and verifies labels match what the original session assigned.
+  auto recovered = DocumentStore::Open("db", options);
+  if (!recovered.ok()) {
+    std::printf("recovery failed: %s\n",
+                recovered.status().ToString().c_str());
+    return 1;
+  }
+  const auto& stats = (*recovered)->stats();
+  std::printf("recovered %llu records, truncated %llu torn bytes\n",
+              static_cast<unsigned long long>(stats.recovered_records),
+              static_cast<unsigned long long>(stats.truncated_bytes));
+  PrintDocument("after recovery (the <lost/> edit is gone):",
+                (*recovered)->document());
+
+  // The recovered store is fully writable; a checkpoint folds the journal
+  // into a fresh snapshot generation.
+  if (!(*recovered)->Checkpoint().ok()) return 1;
+  std::printf("checkpointed to generation %llu\n",
+              static_cast<unsigned long long>((*recovered)->stats().sequence));
+  return 0;
+}

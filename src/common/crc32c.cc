@@ -1,0 +1,57 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace xmlup::common {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78;  // 0x1EDC6F41 bit-reflected.
+
+struct Tables {
+  // tables[k][b]: CRC of byte b followed by k zero bytes; slicing-by-4.
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][b] = crc;
+    }
+    for (uint32_t b = 0; b < 256; ++b) {
+      for (size_t k = 1; k < 4; ++k) {
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const Tables& tab = tables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+    crc = tab.t[3][crc & 0xFF] ^ tab.t[2][(crc >> 8) & 0xFF] ^
+          tab.t[1][(crc >> 16) & 0xFF] ^ tab.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace xmlup::common

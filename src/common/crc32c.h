@@ -1,0 +1,22 @@
+#ifndef XMLUP_COMMON_CRC32C_H_
+#define XMLUP_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xmlup::common {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected), the checksum
+/// used to frame journal records in the durable store. Software
+/// slicing-by-4 implementation; `seed` allows incremental computation over
+/// split buffers (pass the previous result).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace xmlup::common
+
+#endif  // XMLUP_COMMON_CRC32C_H_

@@ -24,6 +24,7 @@ LabeledDocument::LabeledDocument(LabeledDocument&& other) noexcept
     : tree_(std::move(other.tree_)),
       scheme_(other.scheme_),
       labels_(std::move(other.labels_)),
+      observers_(std::move(other.observers_)),
       version_(other.version_),
       order_keys_(std::move(other.order_keys_)),
       order_keys_built_(other.order_keys_built_),
@@ -33,6 +34,7 @@ LabeledDocument& LabeledDocument::operator=(LabeledDocument&& other) noexcept {
   tree_ = std::move(other.tree_);
   scheme_ = other.scheme_;
   labels_ = std::move(other.labels_);
+  observers_ = std::move(other.observers_);
   version_ = other.version_;
   order_keys_ = std::move(other.order_keys_);
   order_keys_built_ = other.order_keys_built_;
@@ -83,9 +85,12 @@ Result<NodeId> LabeledDocument::InsertNode(NodeId parent, xml::NodeKind kind,
     labels_[id] = fresh;
   }
   NoteInsert(node, outcome->relabeled);
-  if (stats != nullptr) {
-    stats->relabeled = outcome->relabeled.size();
-    stats->overflow = outcome->overflow;
+  UpdateStats applied;
+  applied.relabeled = outcome->relabeled.size();
+  applied.overflow = outcome->overflow;
+  if (stats != nullptr) *stats = applied;
+  for (UpdateObserver* observer : observers_) {
+    observer->OnInsertNode(*this, node, applied);
   }
   return node;
 }
@@ -134,7 +139,27 @@ Status LabeledDocument::RemoveSubtree(NodeId node) {
   // on each node's own label, and rank-fallback keys keep their relative
   // order when entries disappear. Only the version moves.
   ++version_;
+  for (UpdateObserver* observer : observers_) {
+    observer->OnRemoveSubtree(*this, node);
+  }
   return Status::Ok();
+}
+
+Status LabeledDocument::UpdateValue(NodeId node, std::string value) {
+  XMLUP_RETURN_NOT_OK(tree_.SetValue(node, std::move(value)));
+  for (UpdateObserver* observer : observers_) {
+    observer->OnUpdateValue(*this, node);
+  }
+  return Status::Ok();
+}
+
+void LabeledDocument::AddUpdateObserver(UpdateObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void LabeledDocument::RemoveUpdateObserver(UpdateObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
 }
 
 void LabeledDocument::NoteInsert(

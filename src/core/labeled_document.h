@@ -22,6 +22,30 @@ struct UpdateStats {
   bool overflow = false;
 };
 
+class LabeledDocument;
+
+/// Observes primitive updates applied to a LabeledDocument. Callbacks fire
+/// after the update succeeded, with the document already in its new state;
+/// subtree insertion fires one OnInsertNode per serialised node insertion
+/// (the exact execution replaying the update must retrace). The durable
+/// store's journal hangs off this interface; tests use it to record
+/// reference update sequences.
+class UpdateObserver {
+ public:
+  virtual ~UpdateObserver() = default;
+
+  /// `node` was inserted and labelled; its parent/position/content are
+  /// readable from the document (`before` == tree().next_sibling(node)).
+  virtual void OnInsertNode(const LabeledDocument& doc, xml::NodeId node,
+                            const UpdateStats& stats) = 0;
+  /// `node`'s subtree was removed (`node` is already dead).
+  virtual void OnRemoveSubtree(const LabeledDocument& doc,
+                               xml::NodeId node) = 0;
+  /// `node`'s text/value was replaced (content update).
+  virtual void OnUpdateValue(const LabeledDocument& doc,
+                             xml::NodeId node) = 0;
+};
+
 /// An XML tree labelled under a dynamic labelling scheme: the update
 /// engine of the library. Structural updates (insert leaf / internal node
 /// / subtree, delete subtree) are applied to the tree and the scheme is
@@ -75,9 +99,15 @@ class LabeledDocument {
   common::Status RemoveSubtree(xml::NodeId node);
 
   /// Replaces a node's text/value (content update; labels untouched).
-  common::Status UpdateValue(xml::NodeId node, std::string value) {
-    return tree_.SetValue(node, std::move(value));
-  }
+  common::Status UpdateValue(xml::NodeId node, std::string value);
+
+  // --- Update observation -------------------------------------------------
+
+  /// Registers an observer for subsequent updates. Observers are not owned
+  /// and must outlive the document (or be removed first); they transfer
+  /// with moves.
+  void AddUpdateObserver(UpdateObserver* observer);
+  void RemoveUpdateObserver(UpdateObserver* observer);
 
   // --- Verification (used by tests and the evaluation probes) -----------
 
@@ -137,6 +167,7 @@ class LabeledDocument {
   xml::Tree tree_;
   const labels::LabelingScheme* scheme_;
   std::vector<labels::Label> labels_;
+  std::vector<UpdateObserver*> observers_;
 
   uint64_t version_ = 0;
   mutable std::vector<std::string> order_keys_;

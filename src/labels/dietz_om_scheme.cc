@@ -213,6 +213,22 @@ void DietzOmScheme::RefreshLabels(const std::vector<NodeId>& nodes,
   }
 }
 
+void DietzOmScheme::RebuildFromLabels(const xml::Tree& tree, NodeId fresh,
+                                      const std::vector<Label>& labels) const {
+  list_.clear();
+  levels_.assign(tree.arena_size(), 0);
+  for (NodeId n : tree.PreorderNodes()) {
+    if (n == fresh || n >= labels.size()) continue;
+    Tags t;
+    if (!Decode(labels[n], &t)) continue;
+    levels_[n] = t.level;
+    list_.push_back({t.begin, n, /*is_begin=*/true});
+    list_.push_back({t.end, n, /*is_begin=*/false});
+  }
+  std::sort(list_.begin(), list_.end(),
+            [](const Endpoint& a, const Endpoint& b) { return a.tag < b.tag; });
+}
+
 Result<InsertOutcome> DietzOmScheme::LabelForInsert(
     const xml::Tree& tree, NodeId node,
     const std::vector<Label>& labels) const {
@@ -225,6 +241,13 @@ Result<InsertOutcome> DietzOmScheme::LabelForInsert(
                                return !tree.IsValid(e.node);
                              }),
               list_.end());
+
+  // A document restored from a snapshot has labels but an empty endpoint
+  // list (the list is internal scheme state, not part of the snapshot).
+  // Rebuild it from the decoded labels whenever it is out of step.
+  size_t live = 0;
+  for (NodeId n : tree.PreorderNodes()) live += (n != node) ? 1 : 0;
+  if (list_.size() != 2 * live) RebuildFromLabels(tree, node, labels);
 
   size_t pos = FindInsertPosition(tree, node);
   uint16_t level = static_cast<uint16_t>(tree.Depth(node));

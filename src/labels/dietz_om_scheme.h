@@ -78,6 +78,12 @@ class DietzOmScheme final : public LabelingScheme {
                      const xml::Tree& tree,
                      std::vector<Label>* labels) const;
 
+  // Rebuilds the endpoint list from decoded labels, skipping `fresh`
+  // (the not-yet-labeled insert). A document restored from a snapshot
+  // carries labels but not this internal state.
+  void RebuildFromLabels(const xml::Tree& tree, xml::NodeId fresh,
+                         const std::vector<Label>& labels) const;
+
   size_t FindInsertPosition(const xml::Tree& tree, xml::NodeId node) const;
 
   SchemeTraits traits_;

@@ -1,0 +1,350 @@
+#include "store/document_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/snapshot.h"
+
+namespace xmlup::store {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+
+std::string SnapshotFileName(uint64_t sequence) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snapshot-%06" PRIu64, sequence);
+  return buf;
+}
+
+std::string JournalFileName(uint64_t sequence) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%06" PRIu64, sequence);
+  return buf;
+}
+
+namespace {
+
+std::string Join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+Result<uint64_t> ParseCurrent(const std::string& contents) {
+  uint64_t seq = 0;
+  bool any = false;
+  for (char c : contents) {
+    if (c == '\n') break;
+    if (c < '0' || c > '9') {
+      return Status::ParseError("malformed CURRENT file");
+    }
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+    any = true;
+  }
+  if (!any) return Status::ParseError("empty CURRENT file");
+  return seq;
+}
+
+// Applies one journalled update to `doc` and cross-checks the recorded
+// outcome. Schemes are deterministic, so replay must retrace the original
+// execution exactly; divergence means the journal and snapshot do not
+// belong together.
+Status ReplayRecord(const JournalRecord& record, core::LabeledDocument* doc) {
+  switch (record.op) {
+    case JournalRecord::Op::kInsertNode: {
+      core::UpdateStats stats;
+      XMLUP_ASSIGN_OR_RETURN(
+          NodeId node,
+          doc->InsertNode(record.parent, record.kind, record.name,
+                          record.value, record.before, &stats));
+      if (node != record.node || stats.relabeled != record.relabeled ||
+          stats.overflow != record.overflow) {
+        return Status::Internal(
+            "journal replay diverged from recorded outcome (journal does "
+            "not match snapshot)");
+      }
+      return Status::Ok();
+    }
+    case JournalRecord::Op::kRemoveSubtree:
+      return doc->RemoveSubtree(record.node);
+    case JournalRecord::Op::kSetValue:
+      return doc->UpdateValue(record.node, record.value);
+  }
+  return Status::Internal("unknown journal op");
+}
+
+}  // namespace
+
+DocumentStore::DocumentStore(std::string dir, FileSystem* fs,
+                             StoreOptions options)
+    : dir_(std::move(dir)), fs_(fs), options_(options) {}
+
+DocumentStore::~DocumentStore() {
+  if (doc_ != nullptr) doc_->RemoveUpdateObserver(this);
+}
+
+Status DocumentStore::AdoptDocument(
+    core::LabeledDocument doc, std::unique_ptr<labels::LabelingScheme> scheme) {
+  if (doc_ != nullptr) doc_->RemoveUpdateObserver(this);
+  doc_ = std::make_unique<core::LabeledDocument>(std::move(doc));
+  scheme_ = std::move(scheme);
+  doc_->AddUpdateObserver(this);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::Create(
+    const std::string& dir, xml::Tree tree, std::string_view scheme_name,
+    const StoreOptions& options) {
+  FileSystem* fs = options.fs != nullptr ? options.fs : PosixFileSystem();
+  XMLUP_RETURN_NOT_OK(fs->CreateDir(dir));
+  if (fs->FileExists(Join(dir, kCurrentFileName))) {
+    return Status::InvalidArgument("a store already exists at " + dir);
+  }
+  XMLUP_ASSIGN_OR_RETURN(std::unique_ptr<labels::LabelingScheme> scheme,
+                         labels::CreateScheme(scheme_name,
+                                              options.scheme_options));
+  XMLUP_ASSIGN_OR_RETURN(
+      core::LabeledDocument doc,
+      core::LabeledDocument::Build(std::move(tree), scheme.get()));
+
+  std::unique_ptr<DocumentStore> store(
+      new DocumentStore(dir, fs, options));
+  store->stats_.sequence = 1;
+  XMLUP_RETURN_NOT_OK(store->WriteFileAtomic(SnapshotFileName(1),
+                                             core::SaveSnapshot(doc)));
+  XMLUP_ASSIGN_OR_RETURN(
+      JournalWriter journal,
+      JournalWriter::Create(fs, Join(dir, JournalFileName(1))));
+  store->journal_.emplace(std::move(journal));
+  // The CURRENT rename is the commit point: before it, the directory does
+  // not name a store; after it, snapshot + journal are durable.
+  XMLUP_RETURN_NOT_OK(store->WriteFileAtomic(kCurrentFileName, "1\n"));
+  XMLUP_RETURN_NOT_OK(
+      store->AdoptDocument(std::move(doc), std::move(scheme)));
+  store->stats_.journal_bytes = store->journal_->bytes();
+  return store;
+}
+
+Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
+    const std::string& dir, const StoreOptions& options) {
+  FileSystem* fs = options.fs != nullptr ? options.fs : PosixFileSystem();
+  Result<std::string> current = fs->ReadFile(Join(dir, kCurrentFileName));
+  if (!current.ok()) {
+    return Status::NotFound("no document store at " + dir);
+  }
+  XMLUP_ASSIGN_OR_RETURN(uint64_t sequence, ParseCurrent(*current));
+
+  XMLUP_ASSIGN_OR_RETURN(std::string snapshot_bytes,
+                         fs->ReadFile(Join(dir, SnapshotFileName(sequence))));
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  XMLUP_ASSIGN_OR_RETURN(
+      core::LabeledDocument doc,
+      core::LoadSnapshot(snapshot_bytes, &scheme, options.scheme_options));
+
+  std::unique_ptr<DocumentStore> store(
+      new DocumentStore(dir, fs, options));
+  store->stats_.sequence = sequence;
+
+  const std::string journal_path = Join(dir, JournalFileName(sequence));
+  std::string journal_bytes;
+  if (fs->FileExists(journal_path)) {
+    XMLUP_ASSIGN_OR_RETURN(journal_bytes, fs->ReadFile(journal_path));
+  }
+  XMLUP_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(journal_bytes));
+  for (const JournalRecord& record : scan.records) {
+    XMLUP_RETURN_NOT_OK(ReplayRecord(record, &doc));
+  }
+  store->stats_.recovered_records = scan.records.size();
+  store->stats_.truncated_bytes = journal_bytes.size() - scan.valid_bytes;
+
+  if (scan.truncated || journal_bytes.empty()) {
+    if (scan.valid_bytes == 0) {
+      // Even the header was torn (or the journal is missing): start fresh.
+      XMLUP_ASSIGN_OR_RETURN(JournalWriter journal,
+                             JournalWriter::Create(fs, journal_path));
+      store->journal_.emplace(std::move(journal));
+    } else {
+      // Drop the torn tail durably before appending after it.
+      XMLUP_RETURN_NOT_OK(store->WriteFileAtomic(
+          JournalFileName(sequence),
+          std::string_view(journal_bytes).substr(0, scan.valid_bytes)));
+      XMLUP_ASSIGN_OR_RETURN(
+          JournalWriter journal,
+          JournalWriter::OpenExisting(fs, journal_path, scan.valid_bytes,
+                                      scan.records.size()));
+      store->journal_.emplace(std::move(journal));
+    }
+  } else {
+    XMLUP_ASSIGN_OR_RETURN(
+        JournalWriter journal,
+        JournalWriter::OpenExisting(fs, journal_path, scan.valid_bytes,
+                                    scan.records.size()));
+    store->journal_.emplace(std::move(journal));
+  }
+  XMLUP_RETURN_NOT_OK(store->AdoptDocument(std::move(doc), std::move(scheme)));
+  store->stats_.journal_bytes = store->journal_->bytes();
+  store->stats_.journal_records = store->journal_->records();
+  return store;
+}
+
+// --- Journalling observer -------------------------------------------------
+
+void DocumentStore::AppendRecord(const JournalRecord& record) {
+  if (!pending_error_.ok()) return;
+  Status st = journal_->Append(record);
+  if (!st.ok()) {
+    pending_error_ = st;
+    return;
+  }
+  stats_.journal_bytes = journal_->bytes();
+  stats_.journal_records = journal_->records();
+}
+
+void DocumentStore::OnInsertNode(const core::LabeledDocument& doc,
+                                 NodeId node,
+                                 const core::UpdateStats& update_stats) {
+  JournalRecord record;
+  record.op = JournalRecord::Op::kInsertNode;
+  record.node = node;
+  record.parent = doc.tree().parent(node);
+  record.before = doc.tree().next_sibling(node);
+  record.kind = doc.tree().kind(node);
+  record.name = doc.tree().name(node);
+  record.value = doc.tree().value(node);
+  record.relabeled = static_cast<uint32_t>(update_stats.relabeled);
+  record.overflow = update_stats.overflow;
+  AppendRecord(record);
+}
+
+void DocumentStore::OnRemoveSubtree(const core::LabeledDocument&,
+                                    NodeId node) {
+  JournalRecord record;
+  record.op = JournalRecord::Op::kRemoveSubtree;
+  record.node = node;
+  AppendRecord(record);
+}
+
+void DocumentStore::OnUpdateValue(const core::LabeledDocument& doc,
+                                  NodeId node) {
+  JournalRecord record;
+  record.op = JournalRecord::Op::kSetValue;
+  record.node = node;
+  record.value = doc.tree().value(node);
+  AppendRecord(record);
+}
+
+// --- Mutations ------------------------------------------------------------
+
+Status DocumentStore::PreUpdate() {
+  XMLUP_RETURN_NOT_OK(pending_error_);
+  if (options_.auto_checkpoint) return MaybeCheckpoint();
+  return Status::Ok();
+}
+
+Status DocumentStore::PostUpdate() {
+  XMLUP_RETURN_NOT_OK(pending_error_);
+  if (options_.sync_each_update) return Sync();
+  return Status::Ok();
+}
+
+Result<NodeId> DocumentStore::InsertNode(NodeId parent, xml::NodeKind kind,
+                                         std::string name, std::string value,
+                                         NodeId before,
+                                         core::UpdateStats* update_stats) {
+  XMLUP_RETURN_NOT_OK(PreUpdate());
+  XMLUP_ASSIGN_OR_RETURN(
+      NodeId node, doc_->InsertNode(parent, kind, std::move(name),
+                                    std::move(value), before, update_stats));
+  XMLUP_RETURN_NOT_OK(PostUpdate());
+  return node;
+}
+
+Result<NodeId> DocumentStore::InsertSubtree(NodeId parent,
+                                            const xml::Tree& fragment,
+                                            NodeId fragment_root,
+                                            NodeId before,
+                                            core::UpdateStats* update_stats) {
+  XMLUP_RETURN_NOT_OK(PreUpdate());
+  XMLUP_ASSIGN_OR_RETURN(
+      NodeId node, doc_->InsertSubtree(parent, fragment, fragment_root,
+                                       before, update_stats));
+  XMLUP_RETURN_NOT_OK(PostUpdate());
+  return node;
+}
+
+Status DocumentStore::RemoveSubtree(NodeId node) {
+  XMLUP_RETURN_NOT_OK(PreUpdate());
+  XMLUP_RETURN_NOT_OK(doc_->RemoveSubtree(node));
+  return PostUpdate();
+}
+
+Status DocumentStore::UpdateValue(NodeId node, std::string value) {
+  XMLUP_RETURN_NOT_OK(PreUpdate());
+  XMLUP_RETURN_NOT_OK(doc_->UpdateValue(node, std::move(value)));
+  return PostUpdate();
+}
+
+Status DocumentStore::Sync() {
+  XMLUP_RETURN_NOT_OK(pending_error_);
+  Status st = journal_->Sync();
+  if (!st.ok()) {
+    // An fsync failure leaves durability unknown; poison the store rather
+    // than retry (the fsync-gate lesson: the failed range may be dropped
+    // from the page cache, so a later "successful" sync proves nothing).
+    pending_error_ = st;
+  }
+  return st;
+}
+
+Status DocumentStore::MaybeCheckpoint() {
+  if (journal_->bytes() < options_.checkpoint.max_journal_bytes &&
+      journal_->records() < options_.checkpoint.max_journal_records) {
+    return Status::Ok();
+  }
+  return Checkpoint();
+}
+
+Status DocumentStore::Checkpoint() {
+  XMLUP_RETURN_NOT_OK(pending_error_);
+  const uint64_t next = stats_.sequence + 1;
+  std::string snapshot_bytes = core::SaveSnapshot(*doc_);
+  XMLUP_RETURN_NOT_OK(
+      WriteFileAtomic(SnapshotFileName(next), snapshot_bytes));
+  XMLUP_ASSIGN_OR_RETURN(
+      JournalWriter journal,
+      JournalWriter::Create(fs_, Join(dir_, JournalFileName(next))));
+  // Commit: CURRENT now names the new generation; a crash on either side
+  // of the rename recovers from a complete snapshot+journal pair.
+  XMLUP_RETURN_NOT_OK(WriteFileAtomic(kCurrentFileName,
+                                      std::to_string(next) + "\n"));
+  (void)fs_->DeleteFile(Join(dir_, JournalFileName(stats_.sequence)));
+  (void)fs_->DeleteFile(Join(dir_, SnapshotFileName(stats_.sequence)));
+  journal_.emplace(std::move(journal));
+  stats_.sequence = next;
+  stats_.journal_bytes = journal_->bytes();
+  stats_.journal_records = 0;
+  ++stats_.checkpoints;
+
+  // Reload from the image just written: the snapshot compacts the node
+  // arena, and subsequent journal records must use the compacted ids —
+  // the same id space recovery will rebuild.
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  XMLUP_ASSIGN_OR_RETURN(
+      core::LabeledDocument doc,
+      core::LoadSnapshot(snapshot_bytes, &scheme, options_.scheme_options));
+  return AdoptDocument(std::move(doc), std::move(scheme));
+}
+
+Status DocumentStore::WriteFileAtomic(const std::string& name,
+                                      std::string_view contents) {
+  const std::string path = Join(dir_, name);
+  const std::string tmp = path + ".tmp";
+  XMLUP_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      fs_->OpenWritable(tmp, FileSystem::WriteMode::kTruncate));
+  XMLUP_RETURN_NOT_OK(file->Append(contents));
+  XMLUP_RETURN_NOT_OK(file->Sync());
+  XMLUP_RETURN_NOT_OK(file->Close());
+  return fs_->RenameFile(tmp, path);
+}
+
+}  // namespace xmlup::store

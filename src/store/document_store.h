@@ -1,0 +1,164 @@
+#ifndef XMLUP_STORE_DOCUMENT_STORE_H_
+#define XMLUP_STORE_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "store/file.h"
+#include "store/journal.h"
+
+namespace xmlup::store {
+
+/// When to roll the journal into a fresh snapshot. Checkpointing is
+/// checked at the *start* of each store-level mutation, so NodeIds
+/// returned by one call stay valid until the next mutating call.
+struct CheckpointPolicy {
+  uint64_t max_journal_bytes = 4ull << 20;
+  uint64_t max_journal_records = 100000;
+};
+
+struct StoreOptions {
+  /// File system to operate on; nullptr = the real POSIX one. Tests pass a
+  /// MemFileSystem with fault injection. Not owned; must outlive the store.
+  FileSystem* fs = nullptr;
+  /// Scheme construction knobs, applied when (re)creating the scheme named
+  /// in the snapshot. Must match across sessions of the same store.
+  labels::SchemeOptions scheme_options;
+  CheckpointPolicy checkpoint;
+  /// Sync the journal before every mutating call returns (the durability
+  /// contract: an acknowledged update survives any later crash). Turn off
+  /// for bulk loads and call Sync() at batch boundaries.
+  bool sync_each_update = true;
+  /// Check CheckpointPolicy automatically before each mutation. Turn off
+  /// to control rolling explicitly via MaybeCheckpoint()/Checkpoint()
+  /// (e.g. the CLI checkpoints only between whole edit scripts, and crash
+  /// tests pin the journal in place).
+  bool auto_checkpoint = true;
+};
+
+/// Observability for recovery and journal growth.
+struct StoreStats {
+  uint64_t sequence = 0;         ///< Current snapshot/journal generation.
+  uint64_t journal_bytes = 0;
+  uint64_t journal_records = 0;
+  uint64_t recovered_records = 0;  ///< Records replayed by the last Open.
+  uint64_t truncated_bytes = 0;    ///< Torn/corrupt tail dropped by Open.
+  uint64_t checkpoints = 0;        ///< Checkpoints taken by this instance.
+};
+
+/// File names inside a store directory (exposed for tools and tests).
+std::string SnapshotFileName(uint64_t sequence);
+std::string JournalFileName(uint64_t sequence);
+inline constexpr char kCurrentFileName[] = "CURRENT";
+
+/// A durable labelled document: a directory holding the latest
+/// core/snapshot image plus a write-ahead journal of structural updates.
+///
+///   dir/CURRENT           current generation number (text), updated by
+///                         atomic rename
+///   dir/snapshot-NNNNNN   core::SaveSnapshot image at generation start
+///   dir/journal-NNNNNN    CRC32C-framed update records since the snapshot
+///
+/// Recovery (`Open`) loads the snapshot, replays the journal's valid
+/// prefix — truncating at the first torn or corrupt frame — and verifies
+/// each replayed update reproduces the journalled outcome (assigned node
+/// id, relabel count, overflow flag) exactly; schemes are deterministic,
+/// so any divergence is surfaced as corruption rather than silently
+/// accepted.
+///
+/// All mutations — the convenience methods below or direct calls on
+/// mutable_document() — are journalled through the document's
+/// UpdateObserver hook, so there is no unjournalled mutation path.
+/// Checkpoint() compacts the node arena (it round-trips the document
+/// through a snapshot), invalidating previously returned NodeIds; with
+/// auto_checkpoint this can happen at the start of any mutating call.
+class DocumentStore : private core::UpdateObserver {
+ public:
+  /// Creates a new store at `dir` from a labelled build of `tree` under
+  /// the registry scheme `scheme_name`. Fails if `dir` already contains a
+  /// store.
+  static common::Result<std::unique_ptr<DocumentStore>> Create(
+      const std::string& dir, xml::Tree tree, std::string_view scheme_name,
+      const StoreOptions& options = {});
+
+  /// Opens an existing store, running crash recovery.
+  static common::Result<std::unique_ptr<DocumentStore>> Open(
+      const std::string& dir, const StoreOptions& options = {});
+
+  ~DocumentStore() override;
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  const core::LabeledDocument& document() const { return *doc_; }
+  /// Mutations through this pointer are journalled exactly like the
+  /// convenience methods (the observer hook covers both); what they bypass
+  /// is only auto-checkpointing and per-update sync.
+  core::LabeledDocument* mutable_document() { return doc_.get(); }
+
+  const std::string& dir() const { return dir_; }
+  const StoreStats& stats() const { return stats_; }
+  const labels::LabelingScheme& scheme() const { return *scheme_; }
+
+  // --- Journalled mutations ----------------------------------------------
+
+  common::Result<xml::NodeId> InsertNode(
+      xml::NodeId parent, xml::NodeKind kind, std::string name,
+      std::string value, xml::NodeId before = xml::kInvalidNode,
+      core::UpdateStats* update_stats = nullptr);
+
+  common::Result<xml::NodeId> InsertSubtree(
+      xml::NodeId parent, const xml::Tree& fragment, xml::NodeId fragment_root,
+      xml::NodeId before = xml::kInvalidNode,
+      core::UpdateStats* update_stats = nullptr);
+
+  common::Status RemoveSubtree(xml::NodeId node);
+  common::Status UpdateValue(xml::NodeId node, std::string value);
+
+  /// Durability barrier for sync_each_update == false sessions.
+  common::Status Sync();
+
+  /// Rolls the journal into a fresh snapshot generation and compacts the
+  /// document (NodeIds change; observers other than the store itself must
+  /// re-register on mutable_document()).
+  common::Status Checkpoint();
+  /// Checkpoint() iff the policy thresholds are exceeded.
+  common::Status MaybeCheckpoint();
+
+ private:
+  DocumentStore(std::string dir, FileSystem* fs, StoreOptions options);
+
+  // UpdateObserver: journal every primitive update.
+  void OnInsertNode(const core::LabeledDocument& doc, xml::NodeId node,
+                    const core::UpdateStats& stats) override;
+  void OnRemoveSubtree(const core::LabeledDocument& doc,
+                       xml::NodeId node) override;
+  void OnUpdateValue(const core::LabeledDocument& doc,
+                     xml::NodeId node) override;
+
+  void AppendRecord(const JournalRecord& record);
+  common::Status WriteFileAtomic(const std::string& name,
+                                 std::string_view contents);
+  common::Status PreUpdate();   // auto-checkpoint + surface pending errors
+  common::Status PostUpdate();  // per-update sync + surface append errors
+  common::Status AdoptDocument(core::LabeledDocument doc,
+                               std::unique_ptr<labels::LabelingScheme> scheme);
+
+  std::string dir_;
+  FileSystem* fs_;
+  StoreOptions options_;
+  std::unique_ptr<labels::LabelingScheme> scheme_;
+  std::unique_ptr<core::LabeledDocument> doc_;
+  std::optional<JournalWriter> journal_;
+  StoreStats stats_;
+  /// First journal-append failure observed inside an observer callback
+  /// (which cannot return a Status); surfaced by the next store call.
+  common::Status pending_error_;
+};
+
+}  // namespace xmlup::store
+
+#endif  // XMLUP_STORE_DOCUMENT_STORE_H_

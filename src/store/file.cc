@@ -1,0 +1,246 @@
+#include "store/file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#ifdef _WIN32
+#error "the posix file system is, as the name says, posix-only"
+#endif
+#include <unistd.h>
+
+namespace xmlup::store {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+// --- POSIX --------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::Internal("append on closed file");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Errno("short write to", path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::Internal("sync on closed file");
+    if (std::fflush(file_) != 0) return Errno("fflush", path_);
+    if (::fsync(::fileno(file_)) != 0) return Errno("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    FILE* f = file_;
+    file_ = nullptr;
+    if (std::fclose(f) != 0) return Errno("fclose", path_);
+    return Status::Ok();
+  }
+
+ private:
+  FILE* file_;
+  std::string path_;
+};
+
+class PosixFileSystemImpl : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) override {
+    FILE* f = std::fopen(path.c_str(),
+                         mode == WriteMode::kTruncate ? "wb" : "ab");
+    if (f == nullptr) return Errno("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(f, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::NotFound("no such file: " + path);
+    }
+    std::string out;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      out.append(buf, n);
+    }
+    bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad) return Errno("read", path);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename", from + " -> " + to);
+    }
+    return Status::Ok();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return Errno("remove", path);
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::Internal("mkdir " + path + ": " + ec.message());
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+FileSystem* PosixFileSystem() {
+  static PosixFileSystemImpl* fs = new PosixFileSystemImpl();
+  return fs;
+}
+
+// --- In-memory with fault injection --------------------------------------
+
+class MemFileSystem::MemFile : public WritableFile {
+ public:
+  MemFile(MemFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    std::string& contents = fs_->files_[path_];
+    auto limit = fs_->write_limits_.find(path_);
+    if (limit != fs_->write_limits_.end()) {
+      // Crash simulation: accept the write but only a prefix (possibly
+      // none) of it becomes durable.
+      if (contents.size() < limit->second) {
+        size_t room = limit->second - contents.size();
+        contents.append(data.substr(0, std::min<size_t>(room, data.size())));
+      }
+      return Status::Ok();
+    }
+    contents.append(data);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    ++fs_->sync_count_;
+    if (fs_->fail_syncs_ > 0) {
+      --fs_->fail_syncs_;
+      return Status::Internal("injected fsync failure on " + path_);
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override { return Status::Ok(); }
+
+ private:
+  MemFileSystem* fs_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> MemFileSystem::OpenWritable(
+    const std::string& path, WriteMode mode) {
+  if (mode == WriteMode::kTruncate) {
+    files_[path].clear();
+  } else {
+    files_.try_emplace(path);
+  }
+  return std::unique_ptr<WritableFile>(std::make_unique<MemFile>(this, path));
+}
+
+Result<std::string> MemFileSystem::ReadFile(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+bool MemFileSystem::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Status MemFileSystem::RenameFile(const std::string& from,
+                                 const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemFileSystem::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::Ok();
+}
+
+Status MemFileSystem::CreateDir(const std::string&) { return Status::Ok(); }
+
+void MemFileSystem::SetWriteLimit(const std::string& path, uint64_t bytes) {
+  write_limits_[path] = bytes;
+}
+
+void MemFileSystem::ClearWriteLimit(const std::string& path) {
+  write_limits_.erase(path);
+}
+
+void MemFileSystem::FailNextSyncs(size_t count) { fail_syncs_ = count; }
+
+Status MemFileSystem::FlipBit(const std::string& path, uint64_t offset,
+                              int bit) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (offset >= it->second.size() || bit < 0 || bit > 7) {
+    return Status::OutOfRange("flip target outside file");
+  }
+  it->second[offset] = static_cast<char>(
+      static_cast<uint8_t>(it->second[offset]) ^ (1u << bit));
+  return Status::Ok();
+}
+
+Result<std::string> MemFileSystem::GetFile(const std::string& path) {
+  return ReadFile(path);
+}
+
+void MemFileSystem::SetFile(const std::string& path, std::string contents) {
+  files_[path] = std::move(contents);
+}
+
+uint64_t MemFileSystem::FileSize(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> MemFileSystem::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, contents] : files_) {
+    (void)contents;
+    out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace xmlup::store

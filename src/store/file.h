@@ -1,0 +1,109 @@
+#ifndef XMLUP_STORE_FILE_H_
+#define XMLUP_STORE_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlup::store {
+
+/// An append-only output file. `Append` buffers or writes data; `Sync` is
+/// the durability barrier: data is guaranteed to survive a crash only
+/// after a successful Sync (mirroring POSIX write/fsync semantics, which
+/// the fault-injection file system exploits to simulate torn tails).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual common::Status Append(std::string_view data) = 0;
+  virtual common::Status Sync() = 0;
+  virtual common::Status Close() = 0;
+};
+
+/// Minimal file-system surface the durable store needs. Two
+/// implementations: the real POSIX one and a deterministic in-memory one
+/// with fault injection (crash truncation, fsync failures, bitflips) so
+/// crash-consistency is testable without actually killing processes.
+class FileSystem {
+ public:
+  enum class WriteMode {
+    kTruncate,  ///< Replace any existing file.
+    kAppend,    ///< Append to an existing file (create if absent).
+  };
+
+  virtual ~FileSystem() = default;
+
+  virtual common::Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) = 0;
+  virtual common::Result<std::string> ReadFile(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  /// Atomic replace (rename(2) semantics): after a crash either the old or
+  /// the new content of `to` is visible, never a mix.
+  virtual common::Status RenameFile(const std::string& from,
+                                    const std::string& to) = 0;
+  virtual common::Status DeleteFile(const std::string& path) = 0;
+  /// Creates a directory (and parents). Ok if it already exists.
+  virtual common::Status CreateDir(const std::string& path) = 0;
+};
+
+/// The process-wide real file system (stdio + fsync). Never deleted.
+FileSystem* PosixFileSystem();
+
+/// Deterministic in-memory file system with fault injection, for crash
+/// and corruption tests. Distinguishes *accepted* bytes (returned Ok to
+/// the writer) from *durable* bytes: a write limit on a path silently
+/// drops bytes beyond the limit while still reporting success — exactly
+/// the lie a kernel page cache tells before a crash. Reads observe the
+/// durable image, so "crash and recover" is: write through the limit,
+/// drop the store object, reopen from the same MemFileSystem.
+class MemFileSystem : public FileSystem {
+ public:
+  common::Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path, WriteMode mode) override;
+  common::Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  common::Status RenameFile(const std::string& from,
+                            const std::string& to) override;
+  common::Status DeleteFile(const std::string& path) override;
+  common::Status CreateDir(const std::string& path) override;
+
+  // --- Fault injection ----------------------------------------------------
+
+  /// Caps the durable size of `path` at `bytes`: appends past the cap are
+  /// silently discarded (short write at the byte level, reported as
+  /// success). Simulates a crash with a torn tail at exactly `bytes`.
+  void SetWriteLimit(const std::string& path, uint64_t bytes);
+  void ClearWriteLimit(const std::string& path);
+
+  /// The next `count` Sync() calls on any file fail with kInternal.
+  void FailNextSyncs(size_t count);
+
+  /// Flips bit `bit` (0..7) of the byte at `offset` in `path` — a stored
+  /// corruption the journal's CRC framing must catch.
+  common::Status FlipBit(const std::string& path, uint64_t offset, int bit);
+
+  /// Direct access for tests: durable contents / explicit seeding.
+  common::Result<std::string> GetFile(const std::string& path);
+  void SetFile(const std::string& path, std::string contents);
+  uint64_t FileSize(const std::string& path);
+  std::vector<std::string> ListFiles() const;
+  size_t sync_count() const { return sync_count_; }
+
+ private:
+  class MemFile;
+  friend class MemFile;
+
+  std::map<std::string, std::string> files_;
+  std::map<std::string, uint64_t> write_limits_;
+  size_t fail_syncs_ = 0;
+  size_t sync_count_ = 0;
+};
+
+}  // namespace xmlup::store
+
+#endif  // XMLUP_STORE_FILE_H_

@@ -1,0 +1,198 @@
+#include "store/journal.h"
+
+#include "common/crc32c.h"
+#include "common/varint.h"
+
+namespace xmlup::store {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+
+namespace {
+
+// NodeIds are journalled +1 so kInvalidNode (UINT32_MAX) packs as 0.
+void AppendNodeId(NodeId id, std::string* out) {
+  common::AppendVarint(id == xml::kInvalidNode ? 0 : uint64_t{id} + 1, out);
+}
+
+bool ReadNodeId(std::string_view data, size_t* pos, NodeId* out) {
+  uint64_t v = 0;
+  if (!common::ReadVarint(data, pos, &v)) return false;
+  if (v > uint64_t{xml::kInvalidNode}) return false;
+  *out = v == 0 ? xml::kInvalidNode : static_cast<NodeId>(v - 1);
+  return true;
+}
+
+void AppendString(std::string_view s, std::string* out) {
+  common::AppendVarint(s.size(), out);
+  out->append(s);
+}
+
+bool ReadString(std::string_view data, size_t* pos, std::string* out) {
+  uint64_t len = 0;
+  if (!common::ReadVarint(data, pos, &len)) return false;
+  if (len > data.size() - *pos) return false;
+  out->assign(data.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+void AppendLE32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t ReadLE32(std::string_view data, size_t pos) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(data[pos])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 3])) << 24;
+}
+
+std::string JournalHeader() {
+  std::string h(kJournalMagic, sizeof(kJournalMagic));
+  h.push_back(1);  // version
+  h.append(3, '\0');
+  return h;
+}
+
+}  // namespace
+
+std::string EncodeRecord(const JournalRecord& record) {
+  std::string out;
+  out.push_back(static_cast<char>(record.op));
+  AppendNodeId(record.node, &out);
+  switch (record.op) {
+    case JournalRecord::Op::kInsertNode:
+      AppendNodeId(record.parent, &out);
+      AppendNodeId(record.before, &out);
+      out.push_back(static_cast<char>(record.kind));
+      AppendString(record.name, &out);
+      AppendString(record.value, &out);
+      common::AppendVarint(record.relabeled, &out);
+      out.push_back(record.overflow ? 1 : 0);
+      break;
+    case JournalRecord::Op::kRemoveSubtree:
+      break;
+    case JournalRecord::Op::kSetValue:
+      AppendString(record.value, &out);
+      break;
+  }
+  return out;
+}
+
+bool DecodeRecord(std::string_view payload, JournalRecord* out) {
+  *out = JournalRecord{};
+  size_t pos = 0;
+  if (payload.empty()) return false;
+  uint8_t op = static_cast<uint8_t>(payload[pos++]);
+  if (op < 1 || op > 3) return false;
+  out->op = static_cast<JournalRecord::Op>(op);
+  if (!ReadNodeId(payload, &pos, &out->node)) return false;
+  switch (out->op) {
+    case JournalRecord::Op::kInsertNode: {
+      if (!ReadNodeId(payload, &pos, &out->parent)) return false;
+      if (!ReadNodeId(payload, &pos, &out->before)) return false;
+      if (pos >= payload.size()) return false;
+      uint8_t kind = static_cast<uint8_t>(payload[pos++]);
+      if (kind > static_cast<uint8_t>(
+                     xml::NodeKind::kProcessingInstruction)) {
+        return false;
+      }
+      out->kind = static_cast<xml::NodeKind>(kind);
+      if (!ReadString(payload, &pos, &out->name)) return false;
+      if (!ReadString(payload, &pos, &out->value)) return false;
+      uint64_t relabeled = 0;
+      if (!common::ReadVarint(payload, &pos, &relabeled) ||
+          relabeled > UINT32_MAX) {
+        return false;
+      }
+      out->relabeled = static_cast<uint32_t>(relabeled);
+      if (pos >= payload.size()) return false;
+      uint8_t overflow = static_cast<uint8_t>(payload[pos++]);
+      if (overflow > 1) return false;
+      out->overflow = overflow == 1;
+      break;
+    }
+    case JournalRecord::Op::kRemoveSubtree:
+      break;
+    case JournalRecord::Op::kSetValue:
+      if (!ReadString(payload, &pos, &out->value)) return false;
+      break;
+  }
+  return pos == payload.size();
+}
+
+Result<JournalWriter> JournalWriter::Create(FileSystem* fs,
+                                            const std::string& path) {
+  XMLUP_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      fs->OpenWritable(path, FileSystem::WriteMode::kTruncate));
+  std::string header = JournalHeader();
+  XMLUP_RETURN_NOT_OK(file->Append(header));
+  XMLUP_RETURN_NOT_OK(file->Sync());
+  return JournalWriter(std::move(file), header.size(), 0);
+}
+
+Result<JournalWriter> JournalWriter::OpenExisting(FileSystem* fs,
+                                                  const std::string& path,
+                                                  uint64_t size,
+                                                  uint64_t records) {
+  XMLUP_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      fs->OpenWritable(path, FileSystem::WriteMode::kAppend));
+  return JournalWriter(std::move(file), size, records);
+}
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  std::string payload = EncodeRecord(record);
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  AppendLE32(static_cast<uint32_t>(payload.size()), &frame);
+  AppendLE32(common::Crc32c(payload), &frame);
+  frame.append(payload);
+  XMLUP_RETURN_NOT_OK(file_->Append(frame));
+  bytes_ += frame.size();
+  ++records_;
+  return Status::Ok();
+}
+
+Status JournalWriter::Sync() { return file_->Sync(); }
+
+Result<JournalScan> ScanJournal(std::string_view bytes) {
+  JournalScan scan;
+  if (bytes.size() < kJournalHeaderSize) {
+    // A header torn mid-write: an empty journal.
+    scan.valid_bytes = 0;
+    scan.truncated = true;
+    return scan;
+  }
+  if (bytes.substr(0, sizeof(kJournalMagic)) !=
+      std::string_view(kJournalMagic, sizeof(kJournalMagic))) {
+    return Status::ParseError("not an xmlup journal (bad magic)");
+  }
+  if (bytes[4] != 1) {
+    return Status::ParseError("unsupported journal version");
+  }
+  size_t pos = kJournalHeaderSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderSize) break;  // torn frame header
+    uint32_t length = ReadLE32(bytes, pos);
+    uint32_t crc = ReadLE32(bytes, pos + 4);
+    if (length > bytes.size() - pos - kFrameHeaderSize) break;  // torn payload
+    std::string_view payload = bytes.substr(pos + kFrameHeaderSize, length);
+    if (common::Crc32c(payload) != crc) break;  // corrupt frame
+    JournalRecord record;
+    if (!DecodeRecord(payload, &record)) break;  // CRC-valid but undecodable
+    scan.records.push_back(std::move(record));
+    pos += kFrameHeaderSize + length;
+  }
+  scan.valid_bytes = pos;
+  scan.truncated = pos != bytes.size();
+  return scan;
+}
+
+}  // namespace xmlup::store

@@ -1,0 +1,115 @@
+#ifndef XMLUP_STORE_JOURNAL_H_
+#define XMLUP_STORE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "store/file.h"
+#include "xml/node.h"
+
+namespace xmlup::store {
+
+/// One structural update, as logged. The journal records *primitive*
+/// updates — subtree insertion is logged as its serialised sequence of
+/// node insertions, which is exactly how LabeledDocument applies it, so
+/// replay retraces the original execution step by step.
+///
+/// `node` is the arena id the update produced (insert) or targeted
+/// (remove / set-value); `relabeled` and `overflow` are the scheme's
+/// outcome for the insert. Replay re-derives all three and treats any
+/// divergence as corruption: labelling schemes are deterministic, so a
+/// mismatch means the journal does not belong to this snapshot.
+struct JournalRecord {
+  enum class Op : uint8_t {
+    kInsertNode = 1,
+    kRemoveSubtree = 2,
+    kSetValue = 3,
+  };
+
+  Op op = Op::kInsertNode;
+  xml::NodeId node = xml::kInvalidNode;
+  // Insert fields.
+  xml::NodeId parent = xml::kInvalidNode;
+  xml::NodeId before = xml::kInvalidNode;  ///< kInvalidNode = appended last.
+  xml::NodeKind kind = xml::NodeKind::kElement;
+  std::string name;
+  std::string value;  ///< Also the new value for kSetValue.
+  uint32_t relabeled = 0;
+  bool overflow = false;
+
+  friend bool operator==(const JournalRecord&, const JournalRecord&) = default;
+};
+
+/// Serialises a record payload (no framing).
+std::string EncodeRecord(const JournalRecord& record);
+/// Parses a record payload. False on any truncation or trailing garbage.
+bool DecodeRecord(std::string_view payload, JournalRecord* out);
+
+/// Journal file layout:
+///
+///   header   := "XUPJ" version(1 byte, = 1) zero(3 bytes)
+///   frame    := length(uint32 LE) crc32c-of-payload(uint32 LE) payload
+///
+/// The fixed 8-byte frame header makes torn tails unambiguous: a partial
+/// header, a payload shorter than its declared length, or a CRC mismatch
+/// each mark the end of the valid prefix.
+inline constexpr char kJournalMagic[4] = {'X', 'U', 'P', 'J'};
+inline constexpr size_t kJournalHeaderSize = 8;
+inline constexpr size_t kFrameHeaderSize = 8;
+
+/// Appends CRC-framed records to a journal file. Sync() is the durability
+/// barrier; with `sync_each_record`, every Append syncs before returning.
+class JournalWriter {
+ public:
+  /// Creates a fresh journal at `path` (truncating), writes and syncs the
+  /// file header.
+  static common::Result<JournalWriter> Create(FileSystem* fs,
+                                              const std::string& path);
+  /// Opens an existing journal of known clean size for appending. The
+  /// caller (recovery) is responsible for having truncated any torn tail.
+  static common::Result<JournalWriter> OpenExisting(FileSystem* fs,
+                                                    const std::string& path,
+                                                    uint64_t size,
+                                                    uint64_t records);
+
+  common::Status Append(const JournalRecord& record);
+  common::Status Sync();
+
+  /// Current file size in bytes (header + complete frames).
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+
+ private:
+  JournalWriter(std::unique_ptr<WritableFile> file, uint64_t bytes,
+                uint64_t records)
+      : file_(std::move(file)), bytes_(bytes), records_(records) {}
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
+/// Result of scanning a journal image: the decodable record prefix plus
+/// where (and whether) the scan stopped short of the end.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  /// Length of the valid prefix (file offset of the first bad frame, or
+  /// the file size when the whole journal is clean).
+  uint64_t valid_bytes = 0;
+  /// True when a torn or corrupt tail was dropped.
+  bool truncated = false;
+};
+
+/// Walks `bytes` frame by frame, stopping at the first torn or corrupt
+/// frame (which a crash-interrupted append legitimately produces — not an
+/// error). Only a well-formed header with wrong magic/version is a hard
+/// ParseError; a journal shorter than the header scans as empty+truncated.
+common::Result<JournalScan> ScanJournal(std::string_view bytes);
+
+}  // namespace xmlup::store
+
+#endif  // XMLUP_STORE_JOURNAL_H_

@@ -1,0 +1,268 @@
+// DocumentStore behaviour: create/open round-trips, journalled edits
+// surviving restart, checkpoint rotation, fsync-failure poisoning, and
+// the observer-driven journalling of direct document mutations.
+
+#include "store/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlup {
+namespace {
+
+using core::LabeledDocument;
+using store::DocumentStore;
+using store::MemFileSystem;
+using store::StoreOptions;
+using xml::NodeId;
+
+constexpr char kDoc[] =
+    "<library><shelf id=\"a\"><book><title>Iliad</title></book></shelf>"
+    "</library>";
+
+xml::Tree ParseOrDie(std::string_view text) {
+  auto tree = xml::ParseDocument(text);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+std::string Serialize(const LabeledDocument& doc) {
+  auto text = xml::SerializeDocument(doc.tree());
+  EXPECT_TRUE(text.ok());
+  return *text;
+}
+
+// All live labels in preorder, as raw bytes — the bit-identical currency
+// the recovery tests compare in.
+std::vector<std::string> LabelBytes(const LabeledDocument& doc) {
+  std::vector<std::string> out;
+  for (NodeId n : doc.tree().PreorderNodes()) {
+    out.push_back(doc.label(n).bytes());
+  }
+  return out;
+}
+
+TEST(DocumentStoreTest, CreateThenOpenRestoresDocumentAndLabels) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  auto created =
+      DocumentStore::Create("db", ParseOrDie(kDoc), "ordpath", options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::string xml = Serialize((*created)->document());
+  std::vector<std::string> labels = LabelBytes((*created)->document());
+
+  auto opened = DocumentStore::Open("db", options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(Serialize((*opened)->document()), xml);
+  EXPECT_EQ(LabelBytes((*opened)->document()), labels);
+  EXPECT_EQ((*opened)->stats().recovered_records, 0u);
+}
+
+TEST(DocumentStoreTest, CreateRefusesExistingStore) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  ASSERT_TRUE(
+      DocumentStore::Create("db", ParseOrDie(kDoc), "ordpath", options).ok());
+  EXPECT_FALSE(
+      DocumentStore::Create("db", ParseOrDie(kDoc), "ordpath", options).ok());
+}
+
+TEST(DocumentStoreTest, EditsSurviveRestart) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  std::string xml, value_xml;
+  std::vector<std::string> labels;
+  {
+    auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "dewey", options);
+    ASSERT_TRUE(st.ok());
+    NodeId root = (*st)->document().tree().root();
+    auto shelf = (*st)->InsertNode(root, xml::NodeKind::kElement, "shelf", "");
+    ASSERT_TRUE(shelf.ok()) << shelf.status().ToString();
+    auto book =
+        (*st)->InsertNode(*shelf, xml::NodeKind::kElement, "book", "");
+    ASSERT_TRUE(book.ok());
+    // Insert before an existing node, delete a subtree, update a value.
+    auto front = (*st)->InsertNode(
+        root, xml::NodeKind::kComment, "", "front matter",
+        (*st)->document().tree().first_child(root));
+    ASSERT_TRUE(front.ok());
+    ASSERT_TRUE((*st)->RemoveSubtree(*book).ok());
+    NodeId title_text = xml::kInvalidNode;
+    for (NodeId n : (*st)->document().tree().PreorderNodes()) {
+      if ((*st)->document().tree().kind(n) == xml::NodeKind::kText) {
+        title_text = n;
+      }
+    }
+    ASSERT_NE(title_text, xml::kInvalidNode);
+    ASSERT_TRUE((*st)->UpdateValue(title_text, "Odyssey").ok());
+    xml = Serialize((*st)->document());
+    labels = LabelBytes((*st)->document());
+    EXPECT_GT((*st)->stats().journal_records, 0u);
+  }
+  auto st = DocumentStore::Open("db", options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_EQ((*st)->stats().recovered_records, 5u);
+  EXPECT_EQ(Serialize((*st)->document()), xml);
+  EXPECT_EQ(LabelBytes((*st)->document()), labels);
+  ASSERT_TRUE((*st)->document().VerifyOrderAndUniqueness().ok());
+}
+
+TEST(DocumentStoreTest, SubtreeInsertIsJournalledAsItsSerialisedSequence) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  std::string xml;
+  std::vector<std::string> labels;
+  {
+    auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "lsdx", options);
+    ASSERT_TRUE(st.ok());
+    xml::Tree fragment = ParseOrDie(
+        "<appendix><section>notes</section><section>errata</section>"
+        "</appendix>");
+    auto inserted = (*st)->InsertSubtree(
+        (*st)->document().tree().root(), fragment, fragment.root());
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+    // 1 appendix + 2 sections + 2 text nodes = 5 primitive records.
+    EXPECT_EQ((*st)->stats().journal_records, 5u);
+    xml = Serialize((*st)->document());
+    labels = LabelBytes((*st)->document());
+  }
+  auto st = DocumentStore::Open("db", options);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ((*st)->stats().recovered_records, 5u);
+  EXPECT_EQ(Serialize((*st)->document()), xml);
+  EXPECT_EQ(LabelBytes((*st)->document()), labels);
+}
+
+TEST(DocumentStoreTest, DirectDocumentMutationsAreJournalledToo) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  std::string xml;
+  {
+    auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "qed", options);
+    ASSERT_TRUE(st.ok());
+    // Mutate through the document, bypassing the store's convenience API:
+    // the observer hook must journal it all the same.
+    core::LabeledDocument* doc = (*st)->mutable_document();
+    auto node = doc->InsertNode(doc->tree().root(), xml::NodeKind::kElement,
+                                "direct", "");
+    ASSERT_TRUE(node.ok());
+    EXPECT_EQ((*st)->stats().journal_records, 1u);
+    ASSERT_TRUE((*st)->Sync().ok());
+    xml = Serialize((*st)->document());
+  }
+  auto st = DocumentStore::Open("db", options);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ((*st)->stats().recovered_records, 1u);
+  EXPECT_EQ(Serialize((*st)->document()), xml);
+}
+
+TEST(DocumentStoreTest, CheckpointRollsGenerationAndCompacts) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.checkpoint.max_journal_records = 4;
+  auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "ordpath", options);
+  ASSERT_TRUE(st.ok());
+  std::string xml_before;
+  for (int i = 0; i < 10; ++i) {
+    NodeId root = (*st)->document().tree().root();
+    std::string name = "n";
+    name += std::to_string(i);
+    auto node = (*st)->InsertNode(root, xml::NodeKind::kElement, name, "");
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+  }
+  EXPECT_GT((*st)->stats().checkpoints, 0u);
+  EXPECT_GT((*st)->stats().sequence, 1u);
+  // Old generation files are gone; current ones exist.
+  uint64_t seq = (*st)->stats().sequence;
+  EXPECT_TRUE(fs.FileExists("db/" + store::SnapshotFileName(seq)));
+  EXPECT_TRUE(fs.FileExists("db/" + store::JournalFileName(seq)));
+  EXPECT_FALSE(fs.FileExists("db/" + store::SnapshotFileName(1)));
+  EXPECT_FALSE(fs.FileExists("db/" + store::JournalFileName(1)));
+  xml_before = Serialize((*st)->document());
+
+  auto reopened = DocumentStore::Open("db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(Serialize((*reopened)->document()), xml_before);
+  ASSERT_TRUE((*reopened)->document().VerifyOrderAndUniqueness().ok());
+}
+
+TEST(DocumentStoreTest, ExplicitCheckpointEmptiesJournal) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "dln", options);
+  ASSERT_TRUE(st.ok());
+  NodeId root = (*st)->document().tree().root();
+  ASSERT_TRUE((*st)->InsertNode(root, xml::NodeKind::kElement, "x", "").ok());
+  EXPECT_EQ((*st)->stats().journal_records, 1u);
+  ASSERT_TRUE((*st)->Checkpoint().ok());
+  EXPECT_EQ((*st)->stats().journal_records, 0u);
+  EXPECT_EQ((*st)->stats().sequence, 2u);
+  // The journal after a checkpoint holds only the header.
+  EXPECT_EQ(fs.FileSize("db/" + store::JournalFileName(2)),
+            store::kJournalHeaderSize);
+}
+
+TEST(DocumentStoreTest, SyncFailurePoisonsTheStore) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "ordpath", options);
+  ASSERT_TRUE(st.ok());
+  NodeId root = (*st)->document().tree().root();
+  fs.FailNextSyncs(1);
+  auto node = (*st)->InsertNode(root, xml::NodeKind::kElement, "x", "");
+  EXPECT_FALSE(node.ok());
+  // Durability is unknown from here on: every further mutation must fail.
+  auto again = (*st)->InsertNode(root, xml::NodeKind::kElement, "y", "");
+  EXPECT_FALSE(again.ok());
+  EXPECT_FALSE((*st)->Checkpoint().ok());
+}
+
+TEST(DocumentStoreTest, OpenOfMissingStoreFails) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  EXPECT_FALSE(DocumentStore::Open("nowhere", options).ok());
+}
+
+TEST(DocumentStoreTest, PosixRoundTrip) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("xmlup_store_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::string xml;
+  std::vector<std::string> labels;
+  {
+    auto st = DocumentStore::Create(dir.string(), ParseOrDie(kDoc), "vector");
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    NodeId root = (*st)->document().tree().root();
+    for (int i = 0; i < 5; ++i) {
+      std::string name = "n";
+      name += std::to_string(i);
+      auto node = (*st)->InsertNode(root, xml::NodeKind::kElement, name, "");
+      ASSERT_TRUE(node.ok());
+    }
+    xml = Serialize((*st)->document());
+    labels = LabelBytes((*st)->document());
+  }
+  auto st = DocumentStore::Open(dir.string());
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_EQ((*st)->stats().recovered_records, 5u);
+  EXPECT_EQ(Serialize((*st)->document()), xml);
+  EXPECT_EQ(LabelBytes((*st)->document()), labels);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace xmlup

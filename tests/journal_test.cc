@@ -1,0 +1,268 @@
+// Unit tests for the write-ahead journal layer: CRC32C, record
+// encode/decode, frame scanning with torn tails and bitflips, and the
+// fault-injection file system itself.
+
+#include "store/journal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "store/file.h"
+
+namespace xmlup {
+namespace {
+
+using store::FileSystem;
+using store::JournalRecord;
+using store::JournalScan;
+using store::JournalWriter;
+using store::MemFileSystem;
+
+// --- CRC32C ---------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 §B.4 test vectors.
+  EXPECT_EQ(common::Crc32c("", 0), 0u);
+  EXPECT_EQ(common::Crc32c("123456789"), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(common::Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(common::Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = common::Crc32c(data);
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t first = common::Crc32c(data.substr(0, split));
+    uint32_t both = common::Crc32c(data.substr(split), first);
+    EXPECT_EQ(both, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "journal payload bytes";
+  uint32_t crc = common::Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[i] = static_cast<char>(
+          static_cast<uint8_t>(flipped[i]) ^ (1u << bit));
+      EXPECT_NE(common::Crc32c(flipped), crc);
+    }
+  }
+}
+
+// --- Record codec ---------------------------------------------------------
+
+std::vector<JournalRecord> SampleRecords() {
+  JournalRecord insert;
+  insert.op = JournalRecord::Op::kInsertNode;
+  insert.node = 7;
+  insert.parent = 2;
+  insert.before = xml::kInvalidNode;
+  insert.kind = xml::NodeKind::kElement;
+  insert.name = "chapter";
+  insert.value = "";
+  insert.relabeled = 3;
+  insert.overflow = true;
+
+  JournalRecord text = insert;
+  text.node = 8;
+  text.parent = 7;
+  text.before = 5;
+  text.kind = xml::NodeKind::kText;
+  text.name = "";
+  text.value = std::string("some text with \0 inside", 23);
+  text.relabeled = 0;
+  text.overflow = false;
+
+  JournalRecord remove;
+  remove.op = JournalRecord::Op::kRemoveSubtree;
+  remove.node = 4;
+
+  JournalRecord set_value;
+  set_value.op = JournalRecord::Op::kSetValue;
+  set_value.node = 9;
+  set_value.value = "updated";
+
+  return {insert, text, remove, set_value};
+}
+
+TEST(JournalRecordTest, EncodeDecodeRoundTrip) {
+  for (const JournalRecord& record : SampleRecords()) {
+    std::string payload = store::EncodeRecord(record);
+    JournalRecord decoded;
+    ASSERT_TRUE(store::DecodeRecord(payload, &decoded));
+    EXPECT_EQ(decoded, record);
+  }
+}
+
+TEST(JournalRecordTest, RejectsTruncatedPayloads) {
+  for (const JournalRecord& record : SampleRecords()) {
+    std::string payload = store::EncodeRecord(record);
+    JournalRecord decoded;
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(
+          store::DecodeRecord(std::string_view(payload).substr(0, len),
+                              &decoded))
+          << "accepted a " << len << "-byte prefix of a " << payload.size()
+          << "-byte record";
+    }
+    // Trailing garbage is rejected too.
+    EXPECT_FALSE(store::DecodeRecord(payload + "x", &decoded));
+  }
+}
+
+// --- Writer + scan --------------------------------------------------------
+
+std::string WriteSampleJournal(MemFileSystem* fs, const std::string& path) {
+  auto writer = JournalWriter::Create(fs, path);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const JournalRecord& record : SampleRecords()) {
+    EXPECT_TRUE(writer->Append(record).ok());
+  }
+  EXPECT_TRUE(writer->Sync().ok());
+  auto bytes = fs->GetFile(path);
+  EXPECT_TRUE(bytes.ok());
+  EXPECT_EQ(writer->bytes(), bytes->size());
+  EXPECT_EQ(writer->records(), SampleRecords().size());
+  return *bytes;
+}
+
+TEST(JournalScanTest, CleanJournalScansFully) {
+  MemFileSystem fs;
+  std::string bytes = WriteSampleJournal(&fs, "j");
+  auto scan = store::ScanJournal(bytes);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->truncated);
+  EXPECT_EQ(scan->valid_bytes, bytes.size());
+  ASSERT_EQ(scan->records.size(), SampleRecords().size());
+  EXPECT_EQ(scan->records, SampleRecords());
+}
+
+TEST(JournalScanTest, TornTailAtEveryByteYieldsFramePrefix) {
+  MemFileSystem fs;
+  std::string bytes = WriteSampleJournal(&fs, "j");
+  // Frame end offsets, computed independently of the scanner.
+  std::vector<size_t> ends;
+  size_t pos = store::kJournalHeaderSize;
+  for (const JournalRecord& record : SampleRecords()) {
+    pos += store::kFrameHeaderSize + store::EncodeRecord(record).size();
+    ends.push_back(pos);
+  }
+  ASSERT_EQ(pos, bytes.size());
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    auto scan = store::ScanJournal(std::string_view(bytes).substr(0, cut));
+    ASSERT_TRUE(scan.ok()) << "cut at " << cut;
+    size_t expected_records = 0;
+    size_t expected_valid = cut < store::kJournalHeaderSize
+                                ? 0
+                                : store::kJournalHeaderSize;
+    for (size_t e : ends) {
+      if (e <= cut) {
+        ++expected_records;
+        expected_valid = e;
+      }
+    }
+    EXPECT_EQ(scan->records.size(), expected_records) << "cut at " << cut;
+    EXPECT_EQ(scan->valid_bytes, expected_valid) << "cut at " << cut;
+    // Anything short of a full header counts as truncated, including an
+    // empty file (a crash before the header reached the disk).
+    EXPECT_EQ(scan->truncated,
+              cut < store::kJournalHeaderSize || cut != expected_valid)
+        << "cut at " << cut;
+  }
+}
+
+TEST(JournalScanTest, EveryBitflipIsContained) {
+  MemFileSystem fs;
+  std::string clean = WriteSampleJournal(&fs, "j");
+  // Frame start offsets.
+  std::vector<size_t> starts;
+  size_t pos = store::kJournalHeaderSize;
+  for (const JournalRecord& record : SampleRecords()) {
+    starts.push_back(pos);
+    pos += store::kFrameHeaderSize + store::EncodeRecord(record).size();
+  }
+
+  for (size_t offset = store::kJournalHeaderSize; offset < clean.size();
+       ++offset) {
+    std::string bytes = clean;
+    bytes[offset] = static_cast<char>(
+        static_cast<uint8_t>(bytes[offset]) ^ 0x10);
+    // The frame containing the flip.
+    size_t victim = 0;
+    while (victim + 1 < starts.size() && starts[victim + 1] <= offset) {
+      ++victim;
+    }
+    auto scan = store::ScanJournal(bytes);
+    ASSERT_TRUE(scan.ok()) << "flip at " << offset;
+    // All frames before the victim must survive intact; the victim and
+    // everything after must be dropped (a flipped length field may claim
+    // an arbitrary frame size, so nothing past it is trustworthy).
+    ASSERT_EQ(scan->records.size(), victim) << "flip at " << offset;
+    EXPECT_TRUE(scan->truncated) << "flip at " << offset;
+    for (size_t i = 0; i < scan->records.size(); ++i) {
+      EXPECT_EQ(scan->records[i], SampleRecords()[i]);
+    }
+  }
+}
+
+TEST(JournalScanTest, BadMagicIsAHardError) {
+  std::string bytes = "NOPE\x01\0\0\0";
+  bytes.resize(16, '\0');
+  EXPECT_FALSE(store::ScanJournal(bytes).ok());
+}
+
+TEST(JournalScanTest, ShortHeaderScansAsEmptyTruncated) {
+  auto scan = store::ScanJournal("XUPJ");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_TRUE(scan->truncated);
+}
+
+// --- Fault-injection file system -----------------------------------------
+
+TEST(MemFileSystemTest, WriteLimitTearsSilently) {
+  MemFileSystem fs;
+  auto file = fs.OpenWritable("f", FileSystem::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  fs.SetWriteLimit("f", 10);
+  EXPECT_TRUE((*file)->Append("0123456789ABCDEF").ok());  // lies, like a crash
+  EXPECT_TRUE((*file)->Append("more").ok());
+  EXPECT_EQ(*fs.GetFile("f"), "0123456789");
+}
+
+TEST(MemFileSystemTest, SyncFailuresAreInjected) {
+  MemFileSystem fs;
+  auto file = fs.OpenWritable("f", FileSystem::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  fs.FailNextSyncs(2);
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+}
+
+TEST(MemFileSystemTest, RenameIsAtomicReplace) {
+  MemFileSystem fs;
+  fs.SetFile("a", "new");
+  fs.SetFile("b", "old");
+  EXPECT_TRUE(fs.RenameFile("a", "b").ok());
+  EXPECT_FALSE(fs.FileExists("a"));
+  EXPECT_EQ(*fs.GetFile("b"), "new");
+}
+
+TEST(MemFileSystemTest, FlipBitCorruptsStoredBytes) {
+  MemFileSystem fs;
+  fs.SetFile("f", std::string("\x00", 1));
+  EXPECT_TRUE(fs.FlipBit("f", 0, 3).ok());
+  EXPECT_EQ(*fs.GetFile("f"), std::string("\x08", 1));
+  EXPECT_FALSE(fs.FlipBit("f", 1, 0).ok());
+  EXPECT_FALSE(fs.FlipBit("f", 0, 8).ok());
+}
+
+}  // namespace
+}  // namespace xmlup

@@ -1,0 +1,401 @@
+// xmlup — command-line front end for the durable document store.
+//
+// An xmlstar-style `ed` command set (SNIPPETS §1) over a journaled
+// labelled document: open a store, apply structural edits by XPath, crash
+// it (or damage the journal deliberately), and recover — all from the
+// shell. Every edit is one or more CRC-framed journal records; `cat`
+// after a process restart replays them on top of the latest snapshot.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+#include "store/document_store.h"
+#include "store/file.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+
+namespace {
+
+using namespace xmlup;
+using store::DocumentStore;
+using store::StoreOptions;
+using xml::NodeId;
+
+int Usage() {
+  std::fprintf(stderr, R"(xmlup — durable XML document store
+
+usage:
+  xmlup init <dir> --scheme <name> [--xml <file>]
+      create a store at <dir> labelling <file> (default: an empty <root/>)
+  xmlup ed <dir> [--print] [--labels] [--no-sync] {<action>}...
+      apply structural edits; actions are executed in order:
+        -i <xpath> -t elem|attr|text|comment -n <name> [-v <value>]
+            insert a new sibling before each match
+        -a <xpath> -t <type> -n <name> [-v <value>]
+            insert a new sibling after each match
+        -s <xpath> -t <type> -n <name> [-v <value>]
+            insert as a child of each match (attrs before element children)
+        -d <xpath>
+            delete each matched subtree
+        -u <xpath> -v <value>
+            replace the value/text of each match
+      --print / --labels echo the resulting XML / node labels afterwards
+  xmlup cat <dir> [--pretty]
+      recover the document and serialize it to stdout
+  xmlup labels <dir>
+      recover and list every node with its label (preorder, indented)
+  xmlup info <dir>
+      recovery and journal statistics
+  xmlup checkpoint <dir>
+      roll the journal into a fresh snapshot
+  xmlup damage <dir> --truncate <n> | --flip <byte>[:<bit>]
+      deliberately tear or corrupt the live journal (crash simulation)
+  xmlup schemes
+      list registered labelling schemes
+)");
+  return 2;
+}
+
+int Fail(const common::Status& status) {
+  std::fprintf(stderr, "xmlup: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+common::Result<std::string> ReadInputFile(const std::string& path) {
+  return store::PosixFileSystem()->ReadFile(path);
+}
+
+void PrintLabels(const core::LabeledDocument& doc) {
+  for (NodeId n : doc.tree().PreorderNodes()) {
+    int depth = doc.tree().Depth(n);
+    std::string name = doc.tree().name(n);
+    if (name.empty()) {
+      name.push_back('#');
+      name.append(xml::NodeKindName(doc.tree().kind(n)));
+    }
+    std::printf("%*s%-16s %s\n", depth * 2, "", name.c_str(),
+                doc.scheme().Render(doc.label(n)).c_str());
+  }
+}
+
+int PrintXml(const core::LabeledDocument& doc, bool pretty) {
+  xml::SerializeOptions opts;
+  opts.pretty = pretty;
+  auto text = xml::SerializeDocument(doc.tree(), opts);
+  if (!text.ok()) return Fail(text.status());
+  std::fputs(text->c_str(), stdout);
+  if (text->empty() || text->back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
+
+// --- ed -------------------------------------------------------------------
+
+struct EditAction {
+  char op = 0;  // 'i', 'a', 's', 'd', 'u'
+  std::string xpath;
+  std::string type = "elem";
+  std::string name;
+  std::string value;
+  bool has_value = false;
+};
+
+common::Result<xml::NodeKind> KindForType(const std::string& type) {
+  if (type == "elem") return xml::NodeKind::kElement;
+  if (type == "attr") return xml::NodeKind::kAttribute;
+  if (type == "text") return xml::NodeKind::kText;
+  if (type == "comment") return xml::NodeKind::kComment;
+  return common::Status::InvalidArgument("unknown node type: " + type);
+}
+
+common::Status ApplyAction(DocumentStore* st, const EditAction& action) {
+  const core::LabeledDocument& doc = st->document();
+  xpath::XPathEvaluator eval(&doc, xpath::EvalMode::kTree);
+  XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> matches,
+                         eval.Query(action.xpath));
+  if (matches.empty()) {
+    return common::Status::NotFound("no match for " + action.xpath);
+  }
+
+  if (action.op == 'd') {
+    // Reverse document order, so a match inside an already-deleted
+    // subtree is simply skipped.
+    for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
+      if (!doc.tree().IsValid(*it)) continue;
+      XMLUP_RETURN_NOT_OK(st->RemoveSubtree(*it));
+    }
+    return common::Status::Ok();
+  }
+  if (action.op == 'u') {
+    for (NodeId target : matches) {
+      XMLUP_RETURN_NOT_OK(st->UpdateValue(target, action.value));
+    }
+    return common::Status::Ok();
+  }
+
+  XMLUP_ASSIGN_OR_RETURN(xml::NodeKind kind, KindForType(action.type));
+  if ((kind == xml::NodeKind::kElement || kind == xml::NodeKind::kAttribute) &&
+      action.name.empty()) {
+    return common::Status::InvalidArgument(
+        "-t " + action.type + " requires -n <name>");
+  }
+  for (NodeId target : matches) {
+    NodeId parent, before;
+    if (action.op == 's') {
+      parent = target;
+      before = xml::kInvalidNode;
+      if (kind == xml::NodeKind::kAttribute) {
+        // Attributes order before element children (Figure 1(b) layout):
+        // insert before the first non-attribute child.
+        before = doc.tree().first_child(target);
+        while (before != xml::kInvalidNode &&
+               doc.tree().kind(before) == xml::NodeKind::kAttribute) {
+          before = doc.tree().next_sibling(before);
+        }
+      }
+    } else {
+      parent = doc.tree().parent(target);
+      if (parent == xml::kInvalidNode) {
+        return common::Status::InvalidArgument(
+            "cannot insert a sibling of the document root");
+      }
+      before = action.op == 'i' ? target : doc.tree().next_sibling(target);
+    }
+    XMLUP_RETURN_NOT_OK(
+        st->InsertNode(parent, kind, action.name, action.value, before)
+            .status());
+  }
+  return common::Status::Ok();
+}
+
+int CmdEd(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  bool print = false, labels = false, no_sync = false;
+  std::vector<EditAction> actions;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--print") {
+      print = true;
+    } else if (arg == "--labels") {
+      labels = true;
+    } else if (arg == "--no-sync") {
+      no_sync = true;
+    } else if (arg == "-i" || arg == "-a" || arg == "-s" || arg == "-d" ||
+               arg == "-u") {
+      if (i + 1 >= argc) return Usage();
+      EditAction action;
+      action.op = arg[1];
+      action.xpath = argv[++i];
+      actions.push_back(action);
+    } else if (arg == "-t" || arg == "-n" || arg == "-v") {
+      if (actions.empty() || i + 1 >= argc) return Usage();
+      EditAction& action = actions.back();
+      if (arg == "-t") {
+        action.type = argv[++i];
+      } else if (arg == "-n") {
+        action.name = argv[++i];
+      } else {
+        action.value = argv[++i];
+        action.has_value = true;
+      }
+    } else {
+      std::fprintf(stderr, "xmlup ed: unknown argument %s\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (actions.empty()) {
+    std::fprintf(stderr, "xmlup ed: no actions given\n");
+    return Usage();
+  }
+
+  StoreOptions options;
+  options.sync_each_update = !no_sync;
+  // Checkpoints compact NodeIds; roll only between whole edit scripts.
+  options.auto_checkpoint = false;
+  auto st = DocumentStore::Open(dir, options);
+  if (!st.ok()) return Fail(st.status());
+  for (const EditAction& action : actions) {
+    common::Status status = ApplyAction(st->get(), action);
+    if (!status.ok()) return Fail(status);
+  }
+  if (no_sync) {
+    // One barrier for the whole script.
+    common::Status status = (*st)->Sync();
+    if (!status.ok()) return Fail(status);
+  }
+  common::Status rolled = (*st)->MaybeCheckpoint();
+  if (!rolled.ok()) return Fail(rolled);
+  if (print) {
+    int rc = PrintXml((*st)->document(), /*pretty=*/false);
+    if (rc != 0) return rc;
+  }
+  if (labels) PrintLabels((*st)->document());
+  return 0;
+}
+
+// --- other commands -------------------------------------------------------
+
+int CmdInit(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  std::string scheme_name, xml_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--scheme" && i + 1 < argc) {
+      scheme_name = argv[++i];
+    } else if (arg == "--xml" && i + 1 < argc) {
+      xml_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (scheme_name.empty()) {
+    std::fprintf(stderr, "xmlup init: --scheme is required\n");
+    return Usage();
+  }
+  xml::Tree tree;
+  if (xml_path.empty()) {
+    auto root = tree.CreateRoot(xml::NodeKind::kElement, "root");
+    if (!root.ok()) return Fail(root.status());
+  } else {
+    auto text = ReadInputFile(xml_path);
+    if (!text.ok()) return Fail(text.status());
+    auto parsed = xml::ParseDocument(*text);
+    if (!parsed.ok()) return Fail(parsed.status());
+    tree = std::move(*parsed);
+  }
+  auto st = DocumentStore::Create(dir, std::move(tree), scheme_name);
+  if (!st.ok()) return Fail(st.status());
+  std::printf("created %s: scheme=%s nodes=%zu\n", dir.c_str(),
+              scheme_name.c_str(), (*st)->document().tree().node_count());
+  return 0;
+}
+
+int CmdCat(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  bool pretty = argc > 1 && std::strcmp(argv[1], "--pretty") == 0;
+  auto st = DocumentStore::Open(argv[0]);
+  if (!st.ok()) return Fail(st.status());
+  return PrintXml((*st)->document(), pretty);
+}
+
+int CmdLabels(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto st = DocumentStore::Open(argv[0]);
+  if (!st.ok()) return Fail(st.status());
+  PrintLabels((*st)->document());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto st = DocumentStore::Open(argv[0]);
+  if (!st.ok()) return Fail(st.status());
+  const store::StoreStats& stats = (*st)->stats();
+  const core::LabeledDocument& doc = (*st)->document();
+  std::printf("scheme:             %s\n", doc.scheme().traits().name.c_str());
+  std::printf("nodes:              %zu\n", doc.tree().node_count());
+  std::printf("avg label bits:     %.1f\n", doc.AverageLabelBits());
+  std::printf("generation:         %llu\n",
+              static_cast<unsigned long long>(stats.sequence));
+  std::printf("journal bytes:      %llu\n",
+              static_cast<unsigned long long>(stats.journal_bytes));
+  std::printf("journal records:    %llu\n",
+              static_cast<unsigned long long>(stats.journal_records));
+  std::printf("recovered records:  %llu\n",
+              static_cast<unsigned long long>(stats.recovered_records));
+  std::printf("truncated bytes:    %llu\n",
+              static_cast<unsigned long long>(stats.truncated_bytes));
+  return 0;
+}
+
+int CmdCheckpoint(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto st = DocumentStore::Open(argv[0]);
+  if (!st.ok()) return Fail(st.status());
+  common::Status status = (*st)->Checkpoint();
+  if (!status.ok()) return Fail(status);
+  std::printf("checkpointed %s at generation %llu\n", argv[0],
+              static_cast<unsigned long long>((*st)->stats().sequence));
+  return 0;
+}
+
+int CmdDamage(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string dir = argv[0];
+  store::FileSystem* fs = store::PosixFileSystem();
+  auto current = fs->ReadFile(dir + "/" + store::kCurrentFileName);
+  if (!current.ok()) return Fail(current.status());
+  uint64_t sequence = std::strtoull(current->c_str(), nullptr, 10);
+  std::string journal_path = dir + "/" + store::JournalFileName(sequence);
+  auto bytes = fs->ReadFile(journal_path);
+  if (!bytes.ok()) return Fail(bytes.status());
+
+  std::string arg = argv[1];
+  if (arg == "--truncate" && argc > 2) {
+    uint64_t n = std::strtoull(argv[2], nullptr, 10);
+    size_t keep = n >= bytes->size() ? 0 : bytes->size() - n;
+    bytes->resize(keep);
+    std::printf("tore %llu bytes off %s (now %zu bytes)\n",
+                static_cast<unsigned long long>(n), journal_path.c_str(),
+                bytes->size());
+  } else if (arg == "--flip" && argc > 2) {
+    char* colon = nullptr;
+    uint64_t offset = std::strtoull(argv[2], &colon, 10);
+    int bit = (colon != nullptr && *colon == ':')
+                  ? std::atoi(colon + 1)
+                  : 0;
+    if (offset >= bytes->size() || bit < 0 || bit > 7) {
+      return Fail(common::Status::OutOfRange("flip target outside journal"));
+    }
+    (*bytes)[offset] = static_cast<char>(
+        static_cast<uint8_t>((*bytes)[offset]) ^ (1u << bit));
+    std::printf("flipped bit %d of byte %llu in %s\n", bit,
+                static_cast<unsigned long long>(offset),
+                journal_path.c_str());
+  } else {
+    return Usage();
+  }
+  auto file = fs->OpenWritable(journal_path,
+                               store::FileSystem::WriteMode::kTruncate);
+  if (!file.ok()) return Fail(file.status());
+  common::Status status = (*file)->Append(*bytes);
+  if (status.ok()) status = (*file)->Sync();
+  if (status.ok()) status = (*file)->Close();
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
+int CmdSchemes() {
+  for (const std::string& name : labels::AllSchemeNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "init") return CmdInit(argc - 2, argv + 2);
+  if (cmd == "ed") return CmdEd(argc - 2, argv + 2);
+  if (cmd == "cat") return CmdCat(argc - 2, argv + 2);
+  if (cmd == "labels") return CmdLabels(argc - 2, argv + 2);
+  if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
+  if (cmd == "checkpoint") return CmdCheckpoint(argc - 2, argv + 2);
+  if (cmd == "damage") return CmdDamage(argc - 2, argv + 2);
+  if (cmd == "schemes") return CmdSchemes();
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    Usage();
+    return 0;
+  }
+  std::fprintf(stderr, "xmlup: unknown command '%s'\n", cmd.c_str());
+  return Usage();
+}
