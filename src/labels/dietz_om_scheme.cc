@@ -59,8 +59,12 @@ Status DietzOmScheme::LabelTree(const xml::Tree& tree,
                                 std::vector<Label>* labels) const {
   labels->assign(tree.arena_size(), Label());
   list_.clear();
+  list_valid_ = false;
   levels_.assign(tree.arena_size(), 0);
-  if (!tree.has_root()) return Status::Ok();
+  if (!tree.has_root()) {
+    list_valid_ = true;
+    return Status::Ok();
+  }
 
   // Depth-first endpoint sequence.
   struct Frame {
@@ -109,6 +113,7 @@ Status DietzOmScheme::LabelTree(const xml::Tree& tree,
     ++counters_.labels_assigned;
     counters_.bits_allocated += 144;
   }
+  list_valid_ = true;
   return Status::Ok();
 }
 
@@ -213,20 +218,28 @@ void DietzOmScheme::RefreshLabels(const std::vector<NodeId>& nodes,
   }
 }
 
-void DietzOmScheme::RebuildFromLabels(const xml::Tree& tree, NodeId fresh,
-                                      const std::vector<Label>& labels) const {
+Status DietzOmScheme::RebuildFromLabels(
+    const xml::Tree& tree, NodeId fresh,
+    const std::vector<Label>& labels) const {
   list_.clear();
+  list_valid_ = false;
   levels_.assign(tree.arena_size(), 0);
   for (NodeId n : tree.PreorderNodes()) {
-    if (n == fresh || n >= labels.size()) continue;
+    if (n == fresh) continue;
     Tags t;
-    if (!Decode(labels[n], &t)) continue;
+    if (n >= labels.size() || !Decode(labels[n], &t)) {
+      return Status::InvalidArgument(
+          "dietz-om: undecodable label for node " + std::to_string(n) +
+          " while rebuilding the endpoint list");
+    }
     levels_[n] = t.level;
     list_.push_back({t.begin, n, /*is_begin=*/true});
     list_.push_back({t.end, n, /*is_begin=*/false});
   }
   std::sort(list_.begin(), list_.end(),
             [](const Endpoint& a, const Endpoint& b) { return a.tag < b.tag; });
+  list_valid_ = true;
+  return Status::Ok();
 }
 
 Result<InsertOutcome> DietzOmScheme::LabelForInsert(
@@ -244,10 +257,10 @@ Result<InsertOutcome> DietzOmScheme::LabelForInsert(
 
   // A document restored from a snapshot has labels but an empty endpoint
   // list (the list is internal scheme state, not part of the snapshot).
-  // Rebuild it from the decoded labels whenever it is out of step.
-  size_t live = 0;
-  for (NodeId n : tree.PreorderNodes()) live += (n != node) ? 1 : 0;
-  if (list_.size() != 2 * live) RebuildFromLabels(tree, node, labels);
+  // Rebuild it from the decoded labels once, on the first insert.
+  if (!list_valid_) {
+    XMLUP_RETURN_NOT_OK(RebuildFromLabels(tree, node, labels));
+  }
 
   size_t pos = FindInsertPosition(tree, node);
   uint16_t level = static_cast<uint16_t>(tree.Depth(node));

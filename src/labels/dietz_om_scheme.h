@@ -80,9 +80,11 @@ class DietzOmScheme final : public LabelingScheme {
 
   // Rebuilds the endpoint list from decoded labels, skipping `fresh`
   // (the not-yet-labeled insert). A document restored from a snapshot
-  // carries labels but not this internal state.
-  void RebuildFromLabels(const xml::Tree& tree, xml::NodeId fresh,
-                         const std::vector<Label>& labels) const;
+  // carries labels but not this internal state. Fails if any live node's
+  // label does not decode — silently dropping one would corrupt document
+  // order for good.
+  common::Status RebuildFromLabels(const xml::Tree& tree, xml::NodeId fresh,
+                                   const std::vector<Label>& labels) const;
 
   size_t FindInsertPosition(const xml::Tree& tree, xml::NodeId node) const;
 
@@ -93,6 +95,10 @@ class DietzOmScheme final : public LabelingScheme {
   // renumbering, is what the experiments measure).
   mutable std::vector<Endpoint> list_;
   mutable std::vector<uint16_t> levels_;
+  // False until LabelTree or RebuildFromLabels has populated `list_` for
+  // the current document — a scheme created for a snapshot restore starts
+  // with labels but no endpoint list, and rebuilds it on first insert.
+  mutable bool list_valid_ = false;
 };
 
 }  // namespace xmlup::labels

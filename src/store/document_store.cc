@@ -31,17 +31,35 @@ std::string Join(const std::string& dir, const std::string& name) {
 
 Result<uint64_t> ParseCurrent(const std::string& contents) {
   uint64_t seq = 0;
-  bool any = false;
+  size_t digits = 0;
   for (char c : contents) {
     if (c == '\n') break;
     if (c < '0' || c > '9') {
       return Status::ParseError("malformed CURRENT file");
     }
+    // 19 digits can never overflow uint64; anything longer is not a
+    // generation this store ever wrote.
+    if (++digits > 19) {
+      return Status::ParseError("CURRENT generation out of range");
+    }
     seq = seq * 10 + static_cast<uint64_t>(c - '0');
-    any = true;
   }
-  if (!any) return Status::ParseError("empty CURRENT file");
+  if (digits == 0) return Status::ParseError("empty CURRENT file");
   return seq;
+}
+
+// Maps a node of `from` to the node at the same document-order position
+// of `to`. Used after a checkpoint reload: the two trees are structurally
+// identical (one is the other's snapshot round-trip), only arena ids
+// differ.
+NodeId MapByPreorder(const xml::Tree& from, NodeId target,
+                     const xml::Tree& to) {
+  std::vector<NodeId> old_order = from.PreorderNodes();
+  std::vector<NodeId> new_order = to.PreorderNodes();
+  for (size_t i = 0; i < old_order.size() && i < new_order.size(); ++i) {
+    if (old_order[i] == target) return new_order[i];
+  }
+  return xml::kInvalidNode;
 }
 
 // Applies one journalled update to `doc` and cross-checks the recorded
@@ -116,7 +134,9 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Create(
       JournalWriter::Create(fs, Join(dir, JournalFileName(1))));
   store->journal_.emplace(std::move(journal));
   // The CURRENT rename is the commit point: before it, the directory does
-  // not name a store; after it, snapshot + journal are durable.
+  // not name a store; after it, snapshot + journal are durable. The
+  // directory sync inside WriteFileAtomic also covers the journal file
+  // created just above — its entry is durable before the store exists.
   XMLUP_RETURN_NOT_OK(store->WriteFileAtomic(kCurrentFileName, "1\n"));
   XMLUP_RETURN_NOT_OK(
       store->AdoptDocument(std::move(doc), std::move(scheme)));
@@ -158,9 +178,13 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
 
   if (scan.truncated || journal_bytes.empty()) {
     if (scan.valid_bytes == 0) {
-      // Even the header was torn (or the journal is missing): start fresh.
+      // Even the header was torn (or the journal is missing): start
+      // fresh. The creation must be directory-synced before any update
+      // is acknowledged — fsync on a file whose directory entry never
+      // reached disk does not make its data reachable after a crash.
       XMLUP_ASSIGN_OR_RETURN(JournalWriter journal,
                              JournalWriter::Create(fs, journal_path));
+      XMLUP_RETURN_NOT_OK(fs->SyncDir(dir));
       store->journal_.emplace(std::move(journal));
     } else {
       // Drop the torn tail durably before appending after it.
@@ -234,15 +258,18 @@ void DocumentStore::OnUpdateValue(const core::LabeledDocument& doc,
 
 // --- Mutations ------------------------------------------------------------
 
-Status DocumentStore::PreUpdate() {
-  XMLUP_RETURN_NOT_OK(pending_error_);
-  if (options_.auto_checkpoint) return MaybeCheckpoint();
-  return Status::Ok();
-}
+Status DocumentStore::PreUpdate() { return pending_error_; }
 
-Status DocumentStore::PostUpdate() {
+// Runs after the update is applied: per-update sync first (the update is
+// acknowledged durable), then the checkpoint policy. Checkpointing here —
+// never before the update — means a call's own parent/before/node
+// arguments are applied against the id space they were minted in; only
+// ids from *earlier* calls are invalidated, and the one id this call
+// returns is remapped into the compacted space via `node`.
+Status DocumentStore::PostUpdate(NodeId* node) {
   XMLUP_RETURN_NOT_OK(pending_error_);
-  if (options_.sync_each_update) return Sync();
+  if (options_.sync_each_update) XMLUP_RETURN_NOT_OK(Sync());
+  if (options_.auto_checkpoint) return MaybeCheckpointImpl(node);
   return Status::Ok();
 }
 
@@ -254,7 +281,7 @@ Result<NodeId> DocumentStore::InsertNode(NodeId parent, xml::NodeKind kind,
   XMLUP_ASSIGN_OR_RETURN(
       NodeId node, doc_->InsertNode(parent, kind, std::move(name),
                                     std::move(value), before, update_stats));
-  XMLUP_RETURN_NOT_OK(PostUpdate());
+  XMLUP_RETURN_NOT_OK(PostUpdate(&node));
   return node;
 }
 
@@ -267,20 +294,20 @@ Result<NodeId> DocumentStore::InsertSubtree(NodeId parent,
   XMLUP_ASSIGN_OR_RETURN(
       NodeId node, doc_->InsertSubtree(parent, fragment, fragment_root,
                                        before, update_stats));
-  XMLUP_RETURN_NOT_OK(PostUpdate());
+  XMLUP_RETURN_NOT_OK(PostUpdate(&node));
   return node;
 }
 
 Status DocumentStore::RemoveSubtree(NodeId node) {
   XMLUP_RETURN_NOT_OK(PreUpdate());
   XMLUP_RETURN_NOT_OK(doc_->RemoveSubtree(node));
-  return PostUpdate();
+  return PostUpdate(nullptr);
 }
 
 Status DocumentStore::UpdateValue(NodeId node, std::string value) {
   XMLUP_RETURN_NOT_OK(PreUpdate());
   XMLUP_RETURN_NOT_OK(doc_->UpdateValue(node, std::move(value)));
-  return PostUpdate();
+  return PostUpdate(nullptr);
 }
 
 Status DocumentStore::Sync() {
@@ -295,15 +322,19 @@ Status DocumentStore::Sync() {
   return st;
 }
 
-Status DocumentStore::MaybeCheckpoint() {
+Status DocumentStore::MaybeCheckpoint() { return MaybeCheckpointImpl(nullptr); }
+
+Status DocumentStore::MaybeCheckpointImpl(NodeId* remap) {
   if (journal_->bytes() < options_.checkpoint.max_journal_bytes &&
       journal_->records() < options_.checkpoint.max_journal_records) {
     return Status::Ok();
   }
-  return Checkpoint();
+  return CheckpointImpl(remap);
 }
 
-Status DocumentStore::Checkpoint() {
+Status DocumentStore::Checkpoint() { return CheckpointImpl(nullptr); }
+
+Status DocumentStore::CheckpointImpl(NodeId* remap) {
   XMLUP_RETURN_NOT_OK(pending_error_);
   const uint64_t next = stats_.sequence + 1;
   std::string snapshot_bytes = core::SaveSnapshot(*doc_);
@@ -313,7 +344,11 @@ Status DocumentStore::Checkpoint() {
       JournalWriter journal,
       JournalWriter::Create(fs_, Join(dir_, JournalFileName(next))));
   // Commit: CURRENT now names the new generation; a crash on either side
-  // of the rename recovers from a complete snapshot+journal pair.
+  // of the rename recovers from a complete snapshot+journal pair. The
+  // directory sync inside WriteFileAtomic makes the rename — and the
+  // journal file created above — durable; only after it is it safe to
+  // unlink the old generation (an unlink written back before a
+  // non-durable rename would leave CURRENT pointing at deleted files).
   XMLUP_RETURN_NOT_OK(WriteFileAtomic(kCurrentFileName,
                                       std::to_string(next) + "\n"));
   (void)fs_->DeleteFile(Join(dir_, JournalFileName(stats_.sequence)));
@@ -328,10 +363,21 @@ Status DocumentStore::Checkpoint() {
   // arena, and subsequent journal records must use the compacted ids —
   // the same id space recovery will rebuild.
   std::unique_ptr<labels::LabelingScheme> scheme;
-  XMLUP_ASSIGN_OR_RETURN(
-      core::LabeledDocument doc,
-      core::LoadSnapshot(snapshot_bytes, &scheme, options_.scheme_options));
-  return AdoptDocument(std::move(doc), std::move(scheme));
+  Result<core::LabeledDocument> doc =
+      core::LoadSnapshot(snapshot_bytes, &scheme, options_.scheme_options);
+  if (!doc.ok()) {
+    // The new generation is already committed but doc_ still carries the
+    // old, uncompacted id space; a mutation from here would journal ids
+    // recovery must reject. Refuse all further mutations.
+    pending_error_ = doc.status();
+    return doc.status();
+  }
+  if (remap != nullptr && *remap != xml::kInvalidNode) {
+    *remap = MapByPreorder(doc_->tree(), *remap, doc->tree());
+  }
+  Status adopted = AdoptDocument(std::move(*doc), std::move(scheme));
+  if (!adopted.ok()) pending_error_ = adopted;
+  return adopted;
 }
 
 Status DocumentStore::WriteFileAtomic(const std::string& name,
@@ -344,7 +390,16 @@ Status DocumentStore::WriteFileAtomic(const std::string& name,
   XMLUP_RETURN_NOT_OK(file->Append(contents));
   XMLUP_RETURN_NOT_OK(file->Sync());
   XMLUP_RETURN_NOT_OK(file->Close());
-  return fs_->RenameFile(tmp, path);
+  XMLUP_RETURN_NOT_OK(fs_->RenameFile(tmp, path));
+  Status synced = fs_->SyncDir(dir_);
+  if (!synced.ok()) {
+    // The rename was issued but its durability (and ordering against
+    // later directory ops) is unknown — same fsync-gate reasoning as the
+    // journal: poison the store rather than let callers keep mutating on
+    // top of an indeterminate commit point.
+    pending_error_ = synced;
+  }
+  return synced;
 }
 
 }  // namespace xmlup::store

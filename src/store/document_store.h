@@ -14,8 +14,9 @@
 namespace xmlup::store {
 
 /// When to roll the journal into a fresh snapshot. Checkpointing is
-/// checked at the *start* of each store-level mutation, so NodeIds
-/// returned by one call stay valid until the next mutating call.
+/// checked *after* each store-level mutation is applied and synced, so a
+/// call's own arguments are never invalidated mid-call; the NodeId the
+/// call returns is remapped into the compacted id space.
 struct CheckpointPolicy {
   uint64_t max_journal_bytes = 4ull << 20;
   uint64_t max_journal_records = 100000;
@@ -33,10 +34,11 @@ struct StoreOptions {
   /// contract: an acknowledged update survives any later crash). Turn off
   /// for bulk loads and call Sync() at batch boundaries.
   bool sync_each_update = true;
-  /// Check CheckpointPolicy automatically before each mutation. Turn off
+  /// Check CheckpointPolicy automatically after each mutation. Turn off
   /// to control rolling explicitly via MaybeCheckpoint()/Checkpoint()
-  /// (e.g. the CLI checkpoints only between whole edit scripts, and crash
-  /// tests pin the journal in place).
+  /// (e.g. the CLI resolves many XPath targets up front and checkpoints
+  /// only between whole edit scripts, and crash tests pin the journal in
+  /// place).
   bool auto_checkpoint = true;
 };
 
@@ -75,7 +77,10 @@ inline constexpr char kCurrentFileName[] = "CURRENT";
 /// UpdateObserver hook, so there is no unjournalled mutation path.
 /// Checkpoint() compacts the node arena (it round-trips the document
 /// through a snapshot), invalidating previously returned NodeIds; with
-/// auto_checkpoint this can happen at the start of any mutating call.
+/// auto_checkpoint this happens at the *end* of a mutating call, after
+/// the update has been applied — the call's arguments are always
+/// interpreted in the id space they came from, and the id the call
+/// returns is remapped into the compacted space before returning.
 class DocumentStore : private core::UpdateObserver {
  public:
   /// Creates a new store at `dir` from a labelled build of `tree` under
@@ -142,8 +147,12 @@ class DocumentStore : private core::UpdateObserver {
   void AppendRecord(const JournalRecord& record);
   common::Status WriteFileAtomic(const std::string& name,
                                  std::string_view contents);
-  common::Status PreUpdate();   // auto-checkpoint + surface pending errors
-  common::Status PostUpdate();  // per-update sync + surface append errors
+  common::Status PreUpdate();  // surface pending errors
+  // Per-update sync, then auto-checkpoint; `node` (may be null) is the id
+  // the mutating call is about to return, remapped if a checkpoint runs.
+  common::Status PostUpdate(xml::NodeId* node);
+  common::Status MaybeCheckpointImpl(xml::NodeId* remap);
+  common::Status CheckpointImpl(xml::NodeId* remap);
   common::Status AdoptDocument(core::LabeledDocument doc,
                                std::unique_ptr<labels::LabelingScheme> scheme);
 

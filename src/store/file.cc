@@ -8,6 +8,7 @@
 #ifdef _WIN32
 #error "the posix file system is, as the name says, posix-only"
 #endif
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace xmlup::store {
@@ -19,6 +20,11 @@ namespace {
 
 Status Errno(const std::string& what, const std::string& path) {
   return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string Dirname(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
 }
 
 // --- POSIX --------------------------------------------------------------
@@ -112,6 +118,19 @@ class PosixFileSystemImpl : public FileSystem {
     }
     return Status::Ok();
   }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.empty() ? "." : path.c_str(),
+                    O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("open dir", path);
+    if (::fsync(fd) != 0) {
+      Status st = Errno("fsync dir", path);
+      ::close(fd);
+      return st;
+    }
+    if (::close(fd) != 0) return Errno("close dir", path);
+    return Status::Ok();
+  }
 };
 
 }  // namespace
@@ -125,11 +144,11 @@ FileSystem* PosixFileSystem() {
 
 class MemFileSystem::MemFile : public WritableFile {
  public:
-  MemFile(MemFileSystem* fs, std::string path)
-      : fs_(fs), path_(std::move(path)) {}
+  MemFile(MemFileSystem* fs, InodePtr inode, std::string path)
+      : fs_(fs), inode_(std::move(inode)), path_(std::move(path)) {}
 
   Status Append(std::string_view data) override {
-    std::string& contents = fs_->files_[path_];
+    std::string& contents = inode_->data;
     auto limit = fs_->write_limits_.find(path_);
     if (limit != fs_->write_limits_.end()) {
       // Crash simulation: accept the write but only a prefix (possibly
@@ -144,59 +163,122 @@ class MemFileSystem::MemFile : public WritableFile {
     return Status::Ok();
   }
 
-  Status Sync() override {
-    ++fs_->sync_count_;
-    if (fs_->fail_syncs_ > 0) {
-      --fs_->fail_syncs_;
-      return Status::Internal("injected fsync failure on " + path_);
-    }
-    return Status::Ok();
-  }
+  Status Sync() override { return fs_->SyncImpl(path_); }
 
   Status Close() override { return Status::Ok(); }
 
  private:
   MemFileSystem* fs_;
+  InodePtr inode_;
   std::string path_;
 };
 
+Status MemFileSystem::SyncImpl(const std::string& what) {
+  ++sync_count_;
+  if (skip_syncs_ > 0) {
+    --skip_syncs_;
+    return Status::Ok();
+  }
+  if (fail_syncs_ > 0) {
+    --fail_syncs_;
+    return Status::Internal("injected fsync failure on " + what);
+  }
+  return Status::Ok();
+}
+
+void MemFileSystem::ApplyOp(const MetaOp& op, Dir* dir) {
+  switch (op.kind) {
+    case MetaOp::Kind::kCreate:
+      (*dir)[op.path] = op.inode;
+      break;
+    case MetaOp::Kind::kRename: {
+      auto it = dir->find(op.path);
+      // Source missing (e.g. its pending creation was not written back
+      // before the crash): the rename never reached disk either.
+      if (it == dir->end()) break;
+      (*dir)[op.to] = std::move(it->second);
+      dir->erase(op.path);
+      break;
+    }
+    case MetaOp::Kind::kDelete:
+      dir->erase(op.path);
+      break;
+  }
+}
+
 Result<std::unique_ptr<WritableFile>> MemFileSystem::OpenWritable(
     const std::string& path, WriteMode mode) {
-  if (mode == WriteMode::kTruncate) {
-    files_[path].clear();
+  auto it = live_.find(path);
+  InodePtr inode;
+  if (it != live_.end()) {
+    inode = it->second;
+    // O_TRUNC clears the inode in place; file data durability is governed
+    // by write limits, so truncation is visible in both views at once.
+    if (mode == WriteMode::kTruncate) inode->data.clear();
   } else {
-    files_.try_emplace(path);
+    inode = std::make_shared<Inode>();
+    live_[path] = inode;
+    pending_.push_back({MetaOp::Kind::kCreate, path, {}, inode});
   }
-  return std::unique_ptr<WritableFile>(std::make_unique<MemFile>(this, path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemFile>(this, std::move(inode), path));
 }
 
 Result<std::string> MemFileSystem::ReadFile(const std::string& path) {
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: " + path);
-  return it->second;
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->data;
 }
 
 bool MemFileSystem::FileExists(const std::string& path) {
-  return files_.count(path) > 0;
+  return live_.count(path) > 0;
 }
 
 Status MemFileSystem::RenameFile(const std::string& from,
                                  const std::string& to) {
-  auto it = files_.find(from);
-  if (it == files_.end()) return Status::NotFound("no such file: " + from);
-  files_[to] = std::move(it->second);
-  files_.erase(it);
+  auto it = live_.find(from);
+  if (it == live_.end()) return Status::NotFound("no such file: " + from);
+  live_[to] = std::move(it->second);
+  live_.erase(it);
+  pending_.push_back({MetaOp::Kind::kRename, from, to, nullptr});
   return Status::Ok();
 }
 
 Status MemFileSystem::DeleteFile(const std::string& path) {
-  if (files_.erase(path) == 0) {
+  if (live_.erase(path) == 0) {
     return Status::NotFound("no such file: " + path);
   }
+  pending_.push_back({MetaOp::Kind::kDelete, path, {}, nullptr});
   return Status::Ok();
 }
 
 Status MemFileSystem::CreateDir(const std::string&) { return Status::Ok(); }
+
+Status MemFileSystem::SyncDir(const std::string& path) {
+  XMLUP_RETURN_NOT_OK(SyncImpl(path));
+  std::vector<MetaOp> kept;
+  for (MetaOp& op : pending_) {
+    bool in_dir = Dirname(op.path) == path ||
+                  (op.kind == MetaOp::Kind::kRename && Dirname(op.to) == path);
+    if (in_dir) {
+      ApplyOp(op, &durable_);
+    } else {
+      kept.push_back(std::move(op));
+    }
+  }
+  pending_ = std::move(kept);
+  return Status::Ok();
+}
+
+void MemFileSystem::Crash(uint64_t mask) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (i < 64 && (mask & (uint64_t{1} << i)) != 0) {
+      ApplyOp(pending_[i], &durable_);
+    }
+  }
+  pending_.clear();
+  live_ = durable_;
+}
 
 void MemFileSystem::SetWriteLimit(const std::string& path, uint64_t bytes) {
   write_limits_[path] = bytes;
@@ -206,17 +288,23 @@ void MemFileSystem::ClearWriteLimit(const std::string& path) {
   write_limits_.erase(path);
 }
 
-void MemFileSystem::FailNextSyncs(size_t count) { fail_syncs_ = count; }
+void MemFileSystem::FailNextSyncs(size_t count) { FailSyncs(0, count); }
+
+void MemFileSystem::FailSyncs(size_t skip, size_t count) {
+  skip_syncs_ = skip;
+  fail_syncs_ = count;
+}
 
 Status MemFileSystem::FlipBit(const std::string& path, uint64_t offset,
                               int bit) {
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: " + path);
-  if (offset >= it->second.size() || bit < 0 || bit > 7) {
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("no such file: " + path);
+  std::string& data = it->second->data;
+  if (offset >= data.size() || bit < 0 || bit > 7) {
     return Status::OutOfRange("flip target outside file");
   }
-  it->second[offset] = static_cast<char>(
-      static_cast<uint8_t>(it->second[offset]) ^ (1u << bit));
+  data[offset] = static_cast<char>(static_cast<uint8_t>(data[offset]) ^
+                                   (1u << bit));
   return Status::Ok();
 }
 
@@ -225,19 +313,23 @@ Result<std::string> MemFileSystem::GetFile(const std::string& path) {
 }
 
 void MemFileSystem::SetFile(const std::string& path, std::string contents) {
-  files_[path] = std::move(contents);
+  // Test seeding: pre-existing state, durable by construction.
+  auto inode = std::make_shared<Inode>();
+  inode->data = std::move(contents);
+  live_[path] = inode;
+  durable_[path] = std::move(inode);
 }
 
 uint64_t MemFileSystem::FileSize(const std::string& path) {
-  auto it = files_.find(path);
-  return it == files_.end() ? 0 : it->second.size();
+  auto it = live_.find(path);
+  return it == live_.end() ? 0 : it->second->data.size();
 }
 
 std::vector<std::string> MemFileSystem::ListFiles() const {
   std::vector<std::string> out;
-  out.reserve(files_.size());
-  for (const auto& [path, contents] : files_) {
-    (void)contents;
+  out.reserve(live_.size());
+  for (const auto& [path, inode] : live_) {
+    (void)inode;
     out.push_back(path);
   }
   return out;

@@ -43,24 +43,41 @@ class FileSystem {
   virtual common::Result<std::string> ReadFile(const std::string& path) = 0;
   virtual bool FileExists(const std::string& path) = 0;
   /// Atomic replace (rename(2) semantics): after a crash either the old or
-  /// the new content of `to` is visible, never a mix.
+  /// the new content of `to` is visible, never a mix. Like rename(2), the
+  /// replacement is durable only after SyncDir on the parent directory.
   virtual common::Status RenameFile(const std::string& from,
                                     const std::string& to) = 0;
   virtual common::Status DeleteFile(const std::string& path) = 0;
   /// Creates a directory (and parents). Ok if it already exists.
   virtual common::Status CreateDir(const std::string& path) = 0;
+  /// Durability barrier for directory metadata (fsync on the directory):
+  /// file creations, renames and deletions inside `path` issued before a
+  /// successful SyncDir are guaranteed to survive a crash. Without it
+  /// they are unordered — a rename can hit disk after a later unlink, or
+  /// an fsync'd file can vanish because its directory entry never did.
+  virtual common::Status SyncDir(const std::string& path) = 0;
 };
 
 /// The process-wide real file system (stdio + fsync). Never deleted.
 FileSystem* PosixFileSystem();
 
 /// Deterministic in-memory file system with fault injection, for crash
-/// and corruption tests. Distinguishes *accepted* bytes (returned Ok to
-/// the writer) from *durable* bytes: a write limit on a path silently
-/// drops bytes beyond the limit while still reporting success — exactly
-/// the lie a kernel page cache tells before a crash. Reads observe the
-/// durable image, so "crash and recover" is: write through the limit,
-/// drop the store object, reopen from the same MemFileSystem.
+/// and corruption tests.
+///
+/// Data writes distinguish *accepted* bytes (returned Ok to the writer)
+/// from *durable* bytes: a write limit on a path silently drops bytes
+/// beyond the limit while still reporting success — exactly the lie a
+/// kernel page cache tells before a crash.
+///
+/// Directory metadata is modelled the same way: file creations, renames
+/// and deletions apply to the *live* view immediately (the running
+/// process observes its own operations) but stay pending until SyncDir,
+/// mirroring POSIX, where directory mutations reach disk in no particular
+/// order unless the directory is fsync'd. `Crash()` discards the live
+/// view and falls back to the durable one; `Crash(mask)` additionally
+/// applies an arbitrary subset of the pending operations first, modelling
+/// the kernel writing back some — but not all — dirty directory blocks
+/// before the crash.
 class MemFileSystem : public FileSystem {
  public:
   common::Result<std::unique_ptr<WritableFile>> OpenWritable(
@@ -71,6 +88,7 @@ class MemFileSystem : public FileSystem {
                             const std::string& to) override;
   common::Status DeleteFile(const std::string& path) override;
   common::Status CreateDir(const std::string& path) override;
+  common::Status SyncDir(const std::string& path) override;
 
   // --- Fault injection ----------------------------------------------------
 
@@ -80,14 +98,31 @@ class MemFileSystem : public FileSystem {
   void SetWriteLimit(const std::string& path, uint64_t bytes);
   void ClearWriteLimit(const std::string& path);
 
-  /// The next `count` Sync() calls on any file fail with kInternal.
+  /// The next `count` Sync()/SyncDir() calls fail with kInternal.
   void FailNextSyncs(size_t count);
+  /// Lets `skip` Sync()/SyncDir() calls succeed, then fails the following
+  /// `count` — pinpoints one sync in a longer deterministic sequence.
+  void FailSyncs(size_t skip, size_t count);
 
   /// Flips bit `bit` (0..7) of the byte at `offset` in `path` — a stored
   /// corruption the journal's CRC framing must catch.
   common::Status FlipBit(const std::string& path, uint64_t offset, int bit);
 
-  /// Direct access for tests: durable contents / explicit seeding.
+  // --- Crash simulation ---------------------------------------------------
+
+  /// Directory operations issued since the last successful SyncDir.
+  size_t pending_metadata_ops() const { return pending_.size(); }
+  /// Reverts the live view to the durable one: all pending directory
+  /// operations are lost. File *data* already accepted stays (data
+  /// durability is governed by write limits, not by Crash).
+  void Crash() { Crash(0); }
+  /// Like Crash(), but first applies the pending directory operations
+  /// whose bit is set in `mask` (bit i = i-th oldest), in issue order,
+  /// skipping any that no longer apply — the kernel may have written back
+  /// any subset of dirty directory blocks before the crash.
+  void Crash(uint64_t mask);
+
+  /// Direct access for tests: live contents / explicit durable seeding.
   common::Result<std::string> GetFile(const std::string& path);
   void SetFile(const std::string& path, std::string contents);
   uint64_t FileSize(const std::string& path);
@@ -98,8 +133,28 @@ class MemFileSystem : public FileSystem {
   class MemFile;
   friend class MemFile;
 
-  std::map<std::string, std::string> files_;
+  struct Inode {
+    std::string data;
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+  using Dir = std::map<std::string, InodePtr>;
+
+  struct MetaOp {
+    enum class Kind { kCreate, kRename, kDelete };
+    Kind kind;
+    std::string path;
+    std::string to;  ///< Rename target.
+    InodePtr inode;  ///< The created inode (kCreate).
+  };
+
+  common::Status SyncImpl(const std::string& what);
+  static void ApplyOp(const MetaOp& op, Dir* dir);
+
+  Dir live_;
+  Dir durable_;
+  std::vector<MetaOp> pending_;
   std::map<std::string, uint64_t> write_limits_;
+  size_t skip_syncs_ = 0;
   size_t fail_syncs_ = 0;
   size_t sync_count_ = 0;
 };

@@ -264,5 +264,99 @@ TEST(MemFileSystemTest, FlipBitCorruptsStoredBytes) {
   EXPECT_FALSE(fs.FlipBit("f", 0, 8).ok());
 }
 
+TEST(MemFileSystemTest, MetadataOpsAreNotDurableUntilSyncDir) {
+  MemFileSystem fs;
+  fs.SetFile("d/target", "v1");
+  // Temp-file-and-rename without the directory sync: the live view shows
+  // the replacement, the durable one does not.
+  auto file = fs.OpenWritable("d/target.tmp", FileSystem::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("v2").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(fs.RenameFile("d/target.tmp", "d/target").ok());
+  EXPECT_EQ(*fs.GetFile("d/target"), "v2");
+  EXPECT_EQ(fs.pending_metadata_ops(), 2u);  // create tmp + rename
+
+  fs.Crash();
+  EXPECT_EQ(*fs.GetFile("d/target"), "v1");
+  EXPECT_FALSE(fs.FileExists("d/target.tmp"));
+  EXPECT_EQ(fs.pending_metadata_ops(), 0u);
+}
+
+TEST(MemFileSystemTest, SyncDirMakesPendingOpsDurable) {
+  MemFileSystem fs;
+  fs.SetFile("d/target", "v1");
+  fs.SetFile("d/stale", "x");
+  auto file = fs.OpenWritable("d/target.tmp", FileSystem::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("v2").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(fs.RenameFile("d/target.tmp", "d/target").ok());
+  ASSERT_TRUE(fs.DeleteFile("d/stale").ok());
+  ASSERT_TRUE(fs.SyncDir("d").ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 0u);
+
+  fs.Crash();
+  EXPECT_EQ(*fs.GetFile("d/target"), "v2");
+  EXPECT_FALSE(fs.FileExists("d/stale"));
+}
+
+TEST(MemFileSystemTest, SyncDirOnlyFlushesOpsInThatDirectory) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.OpenWritable("a/f", FileSystem::WriteMode::kTruncate).ok());
+  ASSERT_TRUE(fs.OpenWritable("b/g", FileSystem::WriteMode::kTruncate).ok());
+  ASSERT_TRUE(fs.SyncDir("a").ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 1u);  // b/g still pending
+  fs.Crash();
+  EXPECT_TRUE(fs.FileExists("a/f"));
+  EXPECT_FALSE(fs.FileExists("b/g"));
+}
+
+TEST(MemFileSystemTest, CrashCanApplyAnySubsetOfPendingOps) {
+  // create tmp (bit 0), rename tmp -> f (bit 1). A crash that writes back
+  // the rename but not the creation must not invent a file: the rename's
+  // source never existed on disk.
+  auto setup = [](MemFileSystem* fs) {
+    fs->SetFile("d/f", "old");
+    auto file = fs->OpenWritable("d/f.tmp", FileSystem::WriteMode::kTruncate);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("new").ok());
+    ASSERT_TRUE(fs->RenameFile("d/f.tmp", "d/f").ok());
+    ASSERT_EQ(fs->pending_metadata_ops(), 2u);
+  };
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    fs.Crash(0b01);  // only the creation hits disk
+    EXPECT_EQ(*fs.GetFile("d/f"), "old");
+    EXPECT_TRUE(fs.FileExists("d/f.tmp"));
+  }
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    fs.Crash(0b10);  // only the rename: source missing, nothing happens
+    EXPECT_EQ(*fs.GetFile("d/f"), "old");
+    EXPECT_FALSE(fs.FileExists("d/f.tmp"));
+  }
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    fs.Crash(0b11);  // both: replacement is visible
+    EXPECT_EQ(*fs.GetFile("d/f"), "new");
+    EXPECT_FALSE(fs.FileExists("d/f.tmp"));
+  }
+}
+
+TEST(MemFileSystemTest, SyncDirFailuresAreInjected) {
+  MemFileSystem fs;
+  ASSERT_TRUE(fs.OpenWritable("d/f", FileSystem::WriteMode::kTruncate).ok());
+  fs.FailSyncs(0, 1);
+  EXPECT_FALSE(fs.SyncDir("d").ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 1u);  // failed sync flushed nothing
+  EXPECT_TRUE(fs.SyncDir("d").ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 0u);
+}
+
 }  // namespace
 }  // namespace xmlup
