@@ -2,6 +2,20 @@
 
 #include <array>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define XMLUP_CRC32C_X86 1
+#include <cpuid.h>
+#endif
+
+#if defined(__aarch64__) && defined(__linux__)
+#define XMLUP_CRC32C_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
 namespace xmlup::common {
 
 namespace {
@@ -33,9 +47,109 @@ const Tables& tables() {
   return instance;
 }
 
+#if XMLUP_CRC32C_X86
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cSse42(const void* data,
+                                                      size_t size,
+                                                      uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Align to 8 bytes so the wide loop never splits a cache line oddly.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --size;
+  }
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (size >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (size >= 4) {
+    uint32_t chunk;
+    __builtin_memcpy(&chunk, p, 4);
+    crc = __builtin_ia32_crc32si(crc, chunk);
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool HasSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & bit_SSE4_2) != 0;
+}
+
+#endif  // XMLUP_CRC32C_X86
+
+#if XMLUP_CRC32C_ARM
+
+__attribute__((target("+crc"))) uint32_t Crc32cArmv8(const void* data,
+                                                    size_t size,
+                                                    uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __crc32cb(crc, *p++);
+    --size;
+  }
+  while (size >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = __crc32cd(crc, chunk);
+    p += 8;
+    size -= 8;
+  }
+  while (size >= 4) {
+    uint32_t chunk;
+    __builtin_memcpy(&chunk, p, 4);
+    crc = __crc32cw(crc, chunk);
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return ~crc;
+}
+
+bool HasArmCrc() { return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0; }
+
+#endif  // XMLUP_CRC32C_ARM
+
+using Crc32cFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+struct Dispatch {
+  Crc32cFn fn;
+  const char* name;
+};
+
+// Probed once; thread-safe through static-local initialization.
+const Dispatch& dispatch() {
+  static const Dispatch chosen = [] {
+#if XMLUP_CRC32C_X86
+    if (HasSse42()) return Dispatch{&Crc32cSse42, "sse4.2"};
+#endif
+#if XMLUP_CRC32C_ARM
+    if (HasArmCrc()) return Dispatch{&Crc32cArmv8, "armv8-crc"};
+#endif
+    return Dispatch{&Crc32cSoftware, "software"};
+  }();
+  return chosen;
+}
+
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+uint32_t Crc32cSoftware(const void* data, size_t size, uint32_t seed) {
   const Tables& tab = tables();
   const uint8_t* p = static_cast<const uint8_t*>(data);
   uint32_t crc = ~seed;
@@ -53,5 +167,11 @@ uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
   }
   return ~crc;
 }
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  return dispatch().fn(data, size, seed);
+}
+
+const char* Crc32cImplementation() { return dispatch().name; }
 
 }  // namespace xmlup::common

@@ -8,14 +8,29 @@
 namespace xmlup::common {
 
 /// CRC-32C (Castagnoli, polynomial 0x1EDC6F41 reflected), the checksum
-/// used to frame journal records in the durable store. Software
-/// slicing-by-4 implementation; `seed` allows incremental computation over
-/// split buffers (pass the previous result).
+/// used to frame journal records in the durable store. Dispatches at
+/// runtime to a hardware implementation when the CPU has one (SSE4.2
+/// `crc32` on x86-64, the ARMv8 CRC32 extension on aarch64) and falls
+/// back to software slicing-by-4 otherwise. All implementations produce
+/// identical results; `seed` allows incremental computation over split
+/// buffers (pass the previous result).
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
 
 inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
   return Crc32c(data.data(), data.size(), seed);
 }
+
+/// The portable slicing-by-4 implementation, always available — the
+/// reference the hardware paths are differential-tested against.
+uint32_t Crc32cSoftware(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32cSoftware(std::string_view data, uint32_t seed = 0) {
+  return Crc32cSoftware(data.data(), data.size(), seed);
+}
+
+/// Name of the implementation Crc32c dispatches to on this machine:
+/// "sse4.2", "armv8-crc", or "software".
+const char* Crc32cImplementation();
 
 }  // namespace xmlup::common
 

@@ -1,0 +1,198 @@
+#include "concurrency/concurrent_store.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace xmlup::concurrency {
+
+using common::Result;
+using common::Status;
+
+ConcurrentStore::ConcurrentStore(std::unique_ptr<store::DocumentStore> store,
+                                 ConcurrentStoreOptions options)
+    : options_(std::move(options)), store_(std::move(store)) {}
+
+ConcurrentStore::~ConcurrentStore() { Stop(); }
+
+Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Create(
+    const std::string& dir, xml::Tree tree, std::string_view scheme_name,
+    const ConcurrentStoreOptions& options) {
+  ConcurrentStoreOptions opts = options;
+  opts.store.sync_each_update = false;  // group commit owns the barrier
+  opts.store.auto_checkpoint = false;   // checkpoints run between batches
+  XMLUP_ASSIGN_OR_RETURN(
+      std::unique_ptr<store::DocumentStore> st,
+      store::DocumentStore::Create(dir, std::move(tree), scheme_name,
+                                   opts.store));
+  return Start(std::move(st), opts);
+}
+
+Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Open(
+    const std::string& dir, const ConcurrentStoreOptions& options) {
+  ConcurrentStoreOptions opts = options;
+  opts.store.sync_each_update = false;
+  opts.store.auto_checkpoint = false;
+  XMLUP_ASSIGN_OR_RETURN(std::unique_ptr<store::DocumentStore> st,
+                         store::DocumentStore::Open(dir, opts.store));
+  return Start(std::move(st), opts);
+}
+
+Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Start(
+    std::unique_ptr<store::DocumentStore> store,
+    const ConcurrentStoreOptions& options) {
+  std::unique_ptr<ConcurrentStore> engine(
+      new ConcurrentStore(std::move(store), options));
+  // The first view is published before the writer thread exists, so
+  // PinView never observes a null view.
+  XMLUP_RETURN_NOT_OK(engine->PublishView());
+  engine->writer_ = std::thread([raw = engine.get()] { raw->WriterLoop(); });
+  return engine;
+}
+
+std::shared_ptr<const ReadView> ConcurrentStore::PinView() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_;
+}
+
+Status ConcurrentStore::PublishView() {
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    epoch = stats_.current_epoch + 1;
+  }
+  XMLUP_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ReadView> view,
+      ReadView::FromSnapshot(core::SaveSnapshot(store_->document()), epoch,
+                             options_.store.scheme_options));
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view_ = std::move(view);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.current_epoch = epoch;
+  ++stats_.views_published;
+  return Status::Ok();
+}
+
+std::future<UpdateResult> ConcurrentStore::SubmitUpdate(
+    UpdateRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<UpdateResult> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_space_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      UpdateResult result;
+      result.status = Status::Unsupported("store is shutting down");
+      pending.promise.set_value(std::move(result));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_ready_.notify_one();
+  return future;
+}
+
+UpdateResult ConcurrentStore::Update(UpdateRequest request) {
+  return SubmitUpdate(std::move(request)).get();
+}
+
+void ConcurrentStore::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  queue_space_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+ConcurrentStoreStats ConcurrentStore::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ConcurrentStore::WriterLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained
+      size_t n = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    queue_space_.notify_all();
+
+    // Apply the whole batch against the live document. Journal records
+    // are appended (buffered) as each update applies; nothing is durable
+    // — or acknowledged — yet.
+    std::vector<UpdateResult> results(batch.size());
+    size_t applied = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      results[i].status =
+          ApplyUpdate(store_.get(), batch[i].request, &results[i].matched);
+      if (results[i].status.ok()) ++applied;
+    }
+
+    // Group commit: one fsync makes every journal append of this batch
+    // durable at once.
+    Status commit = store_->CommitBatch();
+    if (!commit.ok()) {
+      // Durability of the whole batch is unknown (and the store is now
+      // poisoned): fail every waiter, including requests whose apply
+      // succeeded — they were never acknowledged.
+      for (UpdateResult& result : results) result.status = commit;
+    } else if (applied > 0) {
+      // Publish before acknowledging, so a writer that sees its future
+      // resolve and immediately pins a view reads its own write.
+      Status published = PublishView();
+      if (!published.ok()) {
+        for (UpdateResult& result : results) {
+          if (result.status.ok()) result.status = published;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      for (const UpdateResult& result : results) {
+        if (result.status.ok()) {
+          ++stats_.updates_applied;
+        } else {
+          ++stats_.updates_failed;
+        }
+      }
+      ++stats_.batches;
+      stats_.largest_batch = std::max(stats_.largest_batch,
+                                      static_cast<uint64_t>(batch.size()));
+      for (UpdateResult& result : results) {
+        if (result.status.ok()) result.epoch = stats_.current_epoch;
+      }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+
+    // Roll the journal if the policy says so — after acknowledging, so
+    // compaction cost never sits on the ack path. Checkpointing only
+    // rewrites the writer's private arena; pinned views are immutable.
+    if (commit.ok()) {
+      (void)store_->MaybeCheckpoint();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.checkpoints = store_->stats().checkpoints;
+    }
+  }
+}
+
+}  // namespace xmlup::concurrency

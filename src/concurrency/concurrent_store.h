@@ -1,0 +1,143 @@
+#ifndef XMLUP_CONCURRENCY_CONCURRENT_STORE_H_
+#define XMLUP_CONCURRENCY_CONCURRENT_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "concurrency/read_view.h"
+#include "concurrency/update.h"
+#include "store/document_store.h"
+
+namespace xmlup::concurrency {
+
+struct ConcurrentStoreOptions {
+  /// Options for the underlying DocumentStore. sync_each_update and
+  /// auto_checkpoint are overridden by the pipeline (group commit owns
+  /// the sync barrier; checkpoints run between batches); everything else
+  /// — file system, scheme knobs, checkpoint thresholds — applies as
+  /// given.
+  store::StoreOptions store;
+  /// Capacity of the bounded submission queue; SubmitUpdate blocks when
+  /// the queue is full (backpressure, not unbounded memory).
+  size_t queue_capacity = 1024;
+  /// Most requests drained into one group commit. Bounds both ack
+  /// latency under sustained load and the work a crash can lose.
+  size_t max_batch = 256;
+};
+
+/// Counters for the update pipeline, all maintained by the writer thread
+/// and snapshotted under a mutex by stats().
+struct ConcurrentStoreStats {
+  uint64_t updates_applied = 0;  ///< Requests applied successfully.
+  uint64_t updates_failed = 0;   ///< Requests rejected (bad XPath, ...).
+  uint64_t batches = 0;          ///< Group commits (one fsync each).
+  uint64_t largest_batch = 0;    ///< Most requests in a single commit.
+  uint64_t views_published = 0;
+  uint64_t checkpoints = 0;
+  uint64_t current_epoch = 0;
+};
+
+/// Multi-client engine over a DocumentStore: snapshot-isolated readers,
+/// one writer, group commit.
+///
+/// Concurrency protocol (see DESIGN.md "Concurrent access"):
+///
+///   * Readers call PinView() — a mutex-protected shared_ptr copy, a few
+///     nanoseconds — and then evaluate any number of queries against the
+///     immutable ReadView with no further synchronization. Readers never
+///     take the write path's locks and never block, or are blocked by,
+///     the writer; they simply keep the epoch they pinned.
+///
+///   * Writers call SubmitUpdate() from any thread. Requests enter a
+///     bounded MPSC queue; the single internal writer thread drains up
+///     to max_batch of them, applies each through the journalled store,
+///     appends all journal records, issues ONE fsync for the whole batch
+///     (group commit), and only then completes the waiting futures —
+///     so an acknowledged update is always durable, exactly as with
+///     per-update fsync, at a fraction of the fsync count.
+///
+///   * After the commit, the writer publishes a fresh ReadView (epoch+1)
+///     and checks the checkpoint policy. Pinned views are untouched by
+///     either; a checkpoint only compacts the writer's private arena.
+class ConcurrentStore {
+ public:
+  /// Creates a new durable store at `dir` (see DocumentStore::Create)
+  /// and starts the writer thread.
+  static common::Result<std::unique_ptr<ConcurrentStore>> Create(
+      const std::string& dir, xml::Tree tree, std::string_view scheme_name,
+      const ConcurrentStoreOptions& options = {});
+
+  /// Opens an existing store (running crash recovery) and starts the
+  /// writer thread.
+  static common::Result<std::unique_ptr<ConcurrentStore>> Open(
+      const std::string& dir, const ConcurrentStoreOptions& options = {});
+
+  /// Stops the pipeline: drains the queue, commits, joins the writer.
+  ~ConcurrentStore();
+  ConcurrentStore(const ConcurrentStore&) = delete;
+  ConcurrentStore& operator=(const ConcurrentStore&) = delete;
+
+  /// Pins the latest published view. Never returns null once construction
+  /// succeeded; the caller keeps the snapshot alive for as long as it
+  /// holds the pointer.
+  std::shared_ptr<const ReadView> PinView() const;
+
+  /// Enqueues one update; blocks while the queue is full. The future
+  /// resolves after the batch containing the request is durable (or with
+  /// the failure). Safe from any thread.
+  std::future<UpdateResult> SubmitUpdate(UpdateRequest request);
+
+  /// Convenience: submit and wait.
+  UpdateResult Update(UpdateRequest request);
+
+  /// Drains outstanding requests, commits them, and stops the writer
+  /// thread. Subsequent submissions fail immediately. Idempotent.
+  void Stop();
+
+  ConcurrentStoreStats stats() const;
+
+ private:
+  struct Pending {
+    UpdateRequest request;
+    std::promise<UpdateResult> promise;
+  };
+
+  ConcurrentStore(std::unique_ptr<store::DocumentStore> store,
+                  ConcurrentStoreOptions options);
+
+  static common::Result<std::unique_ptr<ConcurrentStore>> Start(
+      std::unique_ptr<store::DocumentStore> store,
+      const ConcurrentStoreOptions& options);
+
+  void WriterLoop();
+  common::Status PublishView();
+
+  ConcurrentStoreOptions options_;
+  /// Touched only by the writer thread once Start() returns.
+  std::unique_ptr<store::DocumentStore> store_;
+
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ReadView> view_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_ready_;  // writer waits: work or stop
+  std::condition_variable queue_space_;  // submitters wait: room
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  ConcurrentStoreStats stats_;
+
+  std::thread writer_;
+};
+
+}  // namespace xmlup::concurrency
+
+#endif  // XMLUP_CONCURRENCY_CONCURRENT_STORE_H_

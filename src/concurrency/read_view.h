@@ -1,0 +1,76 @@
+#ifndef XMLUP_CONCURRENCY_READ_VIEW_H_
+#define XMLUP_CONCURRENCY_READ_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/labeled_document.h"
+#include "labels/registry.h"
+
+namespace xmlup::concurrency {
+
+/// An immutable, shareable snapshot of a labelled document — the unit of
+/// snapshot isolation. The writer builds one from its live document after
+/// each committed batch and publishes it; any number of reader threads may
+/// then evaluate queries against it concurrently, without locks, while
+/// the writer keeps mutating its own copy.
+///
+/// Why this is cheap here: the paper's persistence property means a
+/// label, once assigned, keeps ordering correctly against every other
+/// label — so a reader holding a frozen label set can answer order and
+/// axis predicates with no coordination whatsoever. The view pre-builds
+/// the order-key cache and the LabelIndex at construction (on the writer
+/// thread), after which every read path through the document is
+/// const-pure: no lazy cache fills, no data races.
+///
+/// Views are handed out as shared_ptr<const ReadView>; the reference
+/// count *is* the pin. A reader that still holds a superseded view keeps
+/// reading its frozen state bit-for-bit; the memory is reclaimed when the
+/// last pin drops.
+class ReadView {
+ public:
+  /// Builds a view from a core::SaveSnapshot image. The scheme named in
+  /// the image is instantiated privately for this view, so view reads
+  /// never share scheme state with the writer.
+  static common::Result<std::shared_ptr<const ReadView>> FromSnapshot(
+      std::string_view snapshot_bytes, uint64_t epoch,
+      const labels::SchemeOptions& options = {});
+
+  const core::LabeledDocument& document() const { return *doc_; }
+
+  /// Publication counter of the store this view came from; monotonically
+  /// increasing across published views.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Evaluates an XPath location path against the frozen document.
+  /// Label-driven, index-backed evaluation is tried first (the fast path
+  /// this subsystem exists for); axes the scheme cannot answer from
+  /// labels alone fall back to the frozen tree structure.
+  common::Result<std::vector<xml::NodeId>> Query(
+      std::string_view expression) const;
+
+  /// Concatenated text content of `node` (XPath string-value).
+  std::string StringValue(xml::NodeId node) const;
+
+  /// Serialized XML of the whole frozen document.
+  common::Result<std::string> SerializeXml() const;
+
+ private:
+  ReadView(std::unique_ptr<labels::LabelingScheme> scheme,
+           core::LabeledDocument doc, uint64_t epoch);
+
+  // Order: scheme_ must outlive doc_ (doc_ holds a raw pointer to it).
+  std::unique_ptr<labels::LabelingScheme> scheme_;
+  std::unique_ptr<core::LabeledDocument> doc_;
+  uint64_t epoch_ = 0;
+  // Whether the LabelIndex could be prewarmed (some schemes cannot build
+  // one); when false, Query skips the label path entirely.
+  bool indexed_ = false;
+};
+
+}  // namespace xmlup::concurrency
+
+#endif  // XMLUP_CONCURRENCY_READ_VIEW_H_

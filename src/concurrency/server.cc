@@ -1,0 +1,223 @@
+#include "concurrency/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "concurrency/wire.h"
+
+namespace xmlup::concurrency {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::vector<std::string> ErrorResponse(const Status& status) {
+  return {"err", status.ToString()};
+}
+
+}  // namespace
+
+bool Server::HandleRequest(const std::vector<std::string>& request,
+                           std::vector<std::string>* response) {
+  if (request.empty() || request[0].empty()) {
+    *response = ErrorResponse(Status::InvalidArgument("empty request"));
+    return false;
+  }
+  const std::string& verb = request[0];
+
+  if (verb == "--ping") {
+    *response = {"ok"};
+    return false;
+  }
+  if (verb == "--shutdown") {
+    *response = {"ok"};
+    return true;
+  }
+  if (verb == "--epoch") {
+    std::shared_ptr<const ReadView> view = store_->PinView();
+    *response = {"ok", std::to_string(view->epoch())};
+    return false;
+  }
+  if (verb == "--xml") {
+    std::shared_ptr<const ReadView> view = store_->PinView();
+    Result<std::string> xml = view->SerializeXml();
+    if (!xml.ok()) {
+      *response = ErrorResponse(xml.status());
+      return false;
+    }
+    *response = {"ok", *std::move(xml)};
+    return false;
+  }
+  if (verb == "--stats") {
+    ConcurrentStoreStats stats = store_->stats();
+    *response = {
+        "ok",
+        "updates_applied=" + std::to_string(stats.updates_applied),
+        "updates_failed=" + std::to_string(stats.updates_failed),
+        "batches=" + std::to_string(stats.batches),
+        "largest_batch=" + std::to_string(stats.largest_batch),
+        "views_published=" + std::to_string(stats.views_published),
+        "checkpoints=" + std::to_string(stats.checkpoints),
+        "epoch=" + std::to_string(stats.current_epoch),
+    };
+    return false;
+  }
+  if (verb == "-q") {
+    if (request.size() != 2) {
+      *response =
+          ErrorResponse(Status::InvalidArgument("-q takes exactly one XPath"));
+      return false;
+    }
+    // The whole query runs against one pinned snapshot: no locks, and a
+    // concurrent batch commit cannot shear the result set.
+    std::shared_ptr<const ReadView> view = store_->PinView();
+    Result<std::vector<xml::NodeId>> matches = view->Query(request[1]);
+    if (!matches.ok()) {
+      *response = ErrorResponse(matches.status());
+      return false;
+    }
+    response->clear();
+    response->push_back("ok");
+    response->push_back(std::to_string(matches->size()));
+    for (xml::NodeId node : *matches) {
+      response->push_back(view->StringValue(node));
+    }
+    return false;
+  }
+
+  // Anything else is an action script in the CLI grammar.
+  Result<std::vector<UpdateRequest>> actions = ParseActionTokens(request);
+  if (!actions.ok()) {
+    *response = ErrorResponse(actions.status());
+    return false;
+  }
+  if (actions->empty()) {
+    *response = ErrorResponse(Status::InvalidArgument("no actions given"));
+    return false;
+  }
+  // Pipeline the whole frame into the submission queue at once (they
+  // usually ride one group commit), then collect in order.
+  std::vector<std::future<UpdateResult>> futures;
+  futures.reserve(actions->size());
+  for (UpdateRequest& action : *actions) {
+    futures.push_back(store_->SubmitUpdate(std::move(action)));
+  }
+  size_t matched = 0;
+  uint64_t epoch = 0;
+  for (std::future<UpdateResult>& future : futures) {
+    UpdateResult result = future.get();
+    if (!result.status.ok()) {
+      *response = ErrorResponse(result.status);
+      return false;
+    }
+    matched += result.matched;
+    epoch = result.epoch;
+  }
+  *response = {"ok", std::to_string(matched), std::to_string(epoch)};
+  return false;
+}
+
+bool Server::ServeConnection(int in_fd, int out_fd) {
+  for (;;) {
+    Result<std::optional<std::vector<std::string>>> frame = ReadFrame(in_fd);
+    if (!frame.ok()) return false;          // torn frame or IO error
+    if (!frame->has_value()) return false;  // clean EOF
+    std::vector<std::string> response;
+    bool shutdown = HandleRequest(**frame, &response);
+    if (!WriteFrame(out_fd, response).ok()) return shutdown;
+    if (shutdown) return true;
+  }
+}
+
+Status Server::ServeUnixSocket(const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ::unlink(socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    Status status =
+        Status::Internal(socket_path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_.store(fd);
+
+  std::mutex threads_mu;
+  std::vector<std::thread> threads;
+  while (!shutdown_.load()) {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (or a hard accept failure)
+    }
+    std::lock_guard<std::mutex> lock(threads_mu);
+    threads.emplace_back([this, conn] {
+      if (ServeConnection(conn, conn)) {
+        // A --shutdown request: wake the accept loop by shutting the
+        // listening socket down (close alone does not unblock accept).
+        shutdown_.store(true);
+        ::shutdown(listen_fd_.load(), SHUT_RDWR);
+      }
+      ::close(conn);
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mu);
+    for (std::thread& t : threads) t.join();
+  }
+  ::close(fd);
+  ::unlink(socket_path.c_str());
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> UnixSocketRequest(
+    const std::string& socket_path, const std::vector<std::string>& request) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::Internal(socket_path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  Status written = WriteFrame(fd, request);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  Result<std::optional<std::vector<std::string>>> response = ReadFrame(fd);
+  ::close(fd);
+  if (!response.ok()) return response.status();
+  if (!response->has_value()) {
+    return Status::Internal("server closed the connection without replying");
+  }
+  return std::move(**response);
+}
+
+}  // namespace xmlup::concurrency

@@ -1,0 +1,65 @@
+#ifndef XMLUP_CONCURRENCY_SERVER_H_
+#define XMLUP_CONCURRENCY_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "concurrency/concurrent_store.h"
+
+namespace xmlup::concurrency {
+
+/// Request server for `xmlup serve`: speaks the wire.h framed protocol
+/// over a Unix-domain socket (one thread per connection) or a single
+/// stdin/stdout pipe pair, and maps requests onto a ConcurrentStore —
+/// queries pin a snapshot view on the connection thread, updates go
+/// through the group-commit pipeline.
+///
+/// Request forms (argv-style fields):
+///
+///   -q <xpath>               evaluate on the latest view; response
+///                            "ok" <count> <string-value>...
+///   --xml                    serialized XML of the latest view
+///   --epoch                  epoch of the latest view
+///   --stats                  pipeline counters as key=value fields
+///   --ping                   liveness probe
+///   --shutdown               stop the server (acknowledged first)
+///   <actions...>             one or more -i/-a/-s/-d/-u CLI actions,
+///                            applied in order; response
+///                            "ok" <matched> <epoch> after the whole
+///                            frame is durable, or "err" <message>
+///
+/// Every error is a one-line "err" <message> response; the connection
+/// stays usable afterwards.
+class Server {
+ public:
+  explicit Server(ConcurrentStore* store) : store_(store) {}
+
+  /// Handles one parsed request. Appends the response fields; returns
+  /// true when the request asked for server shutdown.
+  bool HandleRequest(const std::vector<std::string>& request,
+                     std::vector<std::string>* response);
+
+  /// Serves framed requests from `in_fd`/`out_fd` until EOF or a
+  /// shutdown request; returns true if shutdown was requested.
+  bool ServeConnection(int in_fd, int out_fd);
+
+  /// Binds `socket_path` (replacing a stale socket file), accepts
+  /// connections, one thread each, until a client sends --shutdown.
+  common::Status ServeUnixSocket(const std::string& socket_path);
+
+ private:
+  ConcurrentStore* store_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> listen_fd_{-1};
+};
+
+/// Client helper (xmlup req, tests): connects to `socket_path`, sends
+/// `request` as one frame, returns the response fields.
+common::Result<std::vector<std::string>> UnixSocketRequest(
+    const std::string& socket_path, const std::vector<std::string>& request);
+
+}  // namespace xmlup::concurrency
+
+#endif  // XMLUP_CONCURRENCY_SERVER_H_

@@ -1,0 +1,146 @@
+#include "concurrency/update.h"
+
+#include "xpath/evaluator.h"
+
+namespace xmlup::concurrency {
+
+using common::Result;
+using common::Status;
+using xml::NodeId;
+
+Result<xml::NodeKind> NodeKindForToken(const std::string& type) {
+  if (type == "elem") return xml::NodeKind::kElement;
+  if (type == "attr") return xml::NodeKind::kAttribute;
+  if (type == "text") return xml::NodeKind::kText;
+  if (type == "comment") return xml::NodeKind::kComment;
+  return Status::InvalidArgument("unknown node type: " + type);
+}
+
+Result<std::vector<UpdateRequest>> ParseActionTokens(
+    const std::vector<std::string>& tokens) {
+  std::vector<UpdateRequest> requests;
+  std::vector<bool> has_value;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok == "-i" || tok == "-a" || tok == "-s" || tok == "-d" ||
+        tok == "-u") {
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument(tok + " requires an XPath operand");
+      }
+      UpdateRequest request;
+      switch (tok[1]) {
+        case 'i': request.op = UpdateRequest::Op::kInsertBefore; break;
+        case 'a': request.op = UpdateRequest::Op::kInsertAfter; break;
+        case 's': request.op = UpdateRequest::Op::kInsertChild; break;
+        case 'd': request.op = UpdateRequest::Op::kDelete; break;
+        default: request.op = UpdateRequest::Op::kSetValue; break;
+      }
+      request.xpath = tokens[++i];
+      requests.push_back(std::move(request));
+      has_value.push_back(false);
+    } else if (tok == "-t" || tok == "-n" || tok == "-v") {
+      if (requests.empty()) {
+        return Status::InvalidArgument(tok + " before any action");
+      }
+      if (i + 1 >= tokens.size()) {
+        return Status::InvalidArgument(tok + " requires an operand");
+      }
+      UpdateRequest& request = requests.back();
+      if (tok == "-t") {
+        XMLUP_ASSIGN_OR_RETURN(request.kind, NodeKindForToken(tokens[++i]));
+      } else if (tok == "-n") {
+        request.name = tokens[++i];
+      } else {
+        request.value = tokens[++i];
+        has_value.back() = true;
+      }
+    } else {
+      return Status::InvalidArgument("unknown action token: " + tok);
+    }
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const UpdateRequest& request = requests[i];
+    if (request.op == UpdateRequest::Op::kSetValue && !has_value[i]) {
+      return Status::InvalidArgument("-u " + request.xpath +
+                                     " requires -v <value>");
+    }
+    bool inserts = request.op == UpdateRequest::Op::kInsertBefore ||
+                   request.op == UpdateRequest::Op::kInsertAfter ||
+                   request.op == UpdateRequest::Op::kInsertChild;
+    if (inserts &&
+        (request.kind == xml::NodeKind::kElement ||
+         request.kind == xml::NodeKind::kAttribute) &&
+        request.name.empty()) {
+      return Status::InvalidArgument("insert at " + request.xpath +
+                                     " requires -n <name> for this -t");
+    }
+  }
+  return requests;
+}
+
+Status ApplyUpdate(store::DocumentStore* store, const UpdateRequest& request,
+                   size_t* matched) {
+  if (matched != nullptr) *matched = 0;
+  const core::LabeledDocument& doc = store->document();
+  // Resolve the target set completely before the first mutation: a
+  // malformed or unmatched XPath must not leave a partially applied
+  // request in the journal.
+  xpath::XPathEvaluator eval(&doc, xpath::EvalMode::kTree);
+  XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> matches,
+                         eval.Query(request.xpath));
+  if (matches.empty()) {
+    return Status::NotFound("no match for " + request.xpath);
+  }
+  if (matched != nullptr) *matched = matches.size();
+
+  switch (request.op) {
+    case UpdateRequest::Op::kDelete:
+      // Reverse document order, so a match inside an already-deleted
+      // subtree is simply skipped.
+      for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
+        if (!doc.tree().IsValid(*it)) continue;
+        XMLUP_RETURN_NOT_OK(store->RemoveSubtree(*it));
+      }
+      return Status::Ok();
+    case UpdateRequest::Op::kSetValue:
+      for (NodeId target : matches) {
+        XMLUP_RETURN_NOT_OK(store->UpdateValue(target, request.value));
+      }
+      return Status::Ok();
+    default:
+      break;
+  }
+
+  for (NodeId target : matches) {
+    NodeId parent, before;
+    if (request.op == UpdateRequest::Op::kInsertChild) {
+      parent = target;
+      before = xml::kInvalidNode;
+      if (request.kind == xml::NodeKind::kAttribute) {
+        // Attributes order before element children (Figure 1(b) layout):
+        // insert before the first non-attribute child.
+        before = doc.tree().first_child(target);
+        while (before != xml::kInvalidNode &&
+               doc.tree().kind(before) == xml::NodeKind::kAttribute) {
+          before = doc.tree().next_sibling(before);
+        }
+      }
+    } else {
+      parent = doc.tree().parent(target);
+      if (parent == xml::kInvalidNode) {
+        return Status::InvalidArgument(
+            "cannot insert a sibling of the document root");
+      }
+      before = request.op == UpdateRequest::Op::kInsertBefore
+                   ? target
+                   : doc.tree().next_sibling(target);
+    }
+    XMLUP_RETURN_NOT_OK(
+        store->InsertNode(parent, request.kind, request.name, request.value,
+                          before)
+            .status());
+  }
+  return Status::Ok();
+}
+
+}  // namespace xmlup::concurrency

@@ -1,0 +1,114 @@
+#include "concurrency/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xmlup::concurrency {
+
+using common::Result;
+using common::Status;
+
+Result<std::string> JoinFields(const std::vector<std::string>& fields) {
+  std::string payload;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].find(kFieldSeparator) != std::string::npos) {
+      return Status::InvalidArgument(
+          "wire field contains the separator byte 0x1F");
+    }
+    if (i > 0) payload.push_back(kFieldSeparator);
+    payload.append(fields[i]);
+  }
+  return payload;
+}
+
+std::vector<std::string> SplitFields(std::string_view payload) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    size_t sep = payload.find(kFieldSeparator, start);
+    if (sep == std::string_view::npos) {
+      fields.emplace_back(payload.substr(start));
+      return fields;
+    }
+    fields.emplace_back(payload.substr(start, sep - start));
+    start = sep + 1;
+  }
+}
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// 1 = ok, 0 = clean EOF before the first byte, error otherwise.
+Result<int> ReadAll(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return 0;
+      return Status::Internal("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::vector<std::string>& fields) {
+  XMLUP_ASSIGN_OR_RETURN(std::string payload, JoinFields(fields));
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame exceeds the 16 MiB limit");
+  }
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(length & 0xFF),
+                    static_cast<char>((length >> 8) & 0xFF),
+                    static_cast<char>((length >> 16) & 0xFF),
+                    static_cast<char>((length >> 24) & 0xFF)};
+  // One buffer, one stream of writes: the prefix and payload must not
+  // interleave with another thread's frame, so callers serialize per fd.
+  std::string frame(prefix, sizeof(prefix));
+  frame.append(payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<std::optional<std::vector<std::string>>> ReadFrame(int fd) {
+  char prefix[4];
+  XMLUP_ASSIGN_OR_RETURN(int got, ReadAll(fd, prefix, sizeof(prefix)));
+  if (got == 0) return std::optional<std::vector<std::string>>();
+  uint32_t length = static_cast<uint32_t>(static_cast<uint8_t>(prefix[0])) |
+                    static_cast<uint32_t>(static_cast<uint8_t>(prefix[1]))
+                        << 8 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(prefix[2]))
+                        << 16 |
+                    static_cast<uint32_t>(static_cast<uint8_t>(prefix[3]))
+                        << 24;
+  if (length > kMaxFrameBytes) {
+    return Status::ParseError("frame length exceeds the 16 MiB limit");
+  }
+  std::string payload(length, '\0');
+  if (length > 0) {
+    XMLUP_ASSIGN_OR_RETURN(got, ReadAll(fd, payload.data(), length));
+    if (got == 0) return Status::Internal("connection closed mid-frame");
+  }
+  return std::optional<std::vector<std::string>>(SplitFields(payload));
+}
+
+}  // namespace xmlup::concurrency

@@ -1,0 +1,46 @@
+#ifndef XMLUP_CONCURRENCY_WIRE_H_
+#define XMLUP_CONCURRENCY_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlup::concurrency {
+
+/// Wire framing for `xmlup serve`: each message is a length-prefixed
+/// field list —
+///
+///   frame   := length(uint32 LE) payload
+///   payload := field *(0x1F field)        ; 0x1F = ASCII unit separator
+///
+/// Requests are argv-style token lists in the CLI action grammar
+/// (`-s <xpath> -t elem -n name`, `-q <xpath>`, `--shutdown`, ...);
+/// responses lead with "ok" or "err". The fixed 4-byte prefix makes
+/// message boundaries unambiguous over any byte stream (Unix socket or a
+/// stdin/stdout pipe pair).
+inline constexpr char kFieldSeparator = '\x1f';
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Joins fields into a payload. Fails if any field contains the
+/// separator byte (control characters do not appear in well-formed XML
+/// names, XPath expressions, or the CLI verbs).
+common::Result<std::string> JoinFields(const std::vector<std::string>& fields);
+
+/// Splits a payload back into fields (the empty payload is one empty
+/// field, matching JoinFields of {""}).
+std::vector<std::string> SplitFields(std::string_view payload);
+
+/// Writes one frame to `fd`, handling short writes and EINTR.
+common::Status WriteFrame(int fd, const std::vector<std::string>& fields);
+
+/// Reads one frame from `fd`. Returns nullopt on clean EOF at a frame
+/// boundary; errors on truncated frames, oversized lengths, or IO
+/// failure.
+common::Result<std::optional<std::vector<std::string>>> ReadFrame(int fd);
+
+}  // namespace xmlup::concurrency
+
+#endif  // XMLUP_CONCURRENCY_WIRE_H_

@@ -113,13 +113,15 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Create(
     const std::string& dir, xml::Tree tree, std::string_view scheme_name,
     const StoreOptions& options) {
   FileSystem* fs = options.fs != nullptr ? options.fs : PosixFileSystem();
+  // Validate the scheme before touching the file system so a typo'd
+  // scheme name leaves no half-created directory behind.
+  XMLUP_ASSIGN_OR_RETURN(std::unique_ptr<labels::LabelingScheme> scheme,
+                         labels::CreateScheme(scheme_name,
+                                              options.scheme_options));
   XMLUP_RETURN_NOT_OK(fs->CreateDir(dir));
   if (fs->FileExists(Join(dir, kCurrentFileName))) {
     return Status::InvalidArgument("a store already exists at " + dir);
   }
-  XMLUP_ASSIGN_OR_RETURN(std::unique_ptr<labels::LabelingScheme> scheme,
-                         labels::CreateScheme(scheme_name,
-                                              options.scheme_options));
   XMLUP_ASSIGN_OR_RETURN(
       core::LabeledDocument doc,
       core::LabeledDocument::Build(std::move(tree), scheme.get()));
@@ -207,6 +209,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
   XMLUP_RETURN_NOT_OK(store->AdoptDocument(std::move(doc), std::move(scheme)));
   store->stats_.journal_bytes = store->journal_->bytes();
   store->stats_.journal_records = store->journal_->records();
+  store->records_at_last_commit_ = store->journal_->records();
   return store;
 }
 
@@ -318,8 +321,19 @@ Status DocumentStore::Sync() {
     // than retry (the fsync-gate lesson: the failed range may be dropped
     // from the page cache, so a later "successful" sync proves nothing).
     pending_error_ = st;
+    return st;
   }
+  ++stats_.syncs;
   return st;
+}
+
+Status DocumentStore::CommitBatch() {
+  const uint64_t records_before = records_at_last_commit_;
+  records_at_last_commit_ = journal_->records();
+  XMLUP_RETURN_NOT_OK(Sync());
+  ++stats_.group_commits;
+  stats_.group_committed_records += journal_->records() - records_before;
+  return Status::Ok();
 }
 
 Status DocumentStore::MaybeCheckpoint() { return MaybeCheckpointImpl(nullptr); }
@@ -357,6 +371,7 @@ Status DocumentStore::CheckpointImpl(NodeId* remap) {
   stats_.sequence = next;
   stats_.journal_bytes = journal_->bytes();
   stats_.journal_records = 0;
+  records_at_last_commit_ = 0;
   ++stats_.checkpoints;
 
   // Reload from the image just written: the snapshot compacts the node

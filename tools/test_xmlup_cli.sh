@@ -67,4 +67,91 @@ for scheme in ordpath dewey xpath-accelerator; do
     || fail "$scheme: checkpoint changed the document"
 done
 
+# --- error paths -----------------------------------------------------------
+# Every malformed invocation must exit nonzero with a one-line diagnostic
+# and leave the store byte-for-byte unchanged: a failing edit script never
+# leaves partial journal records behind.
+
+DIR="$WORK/store-errors"
+"$XMLUP" init "$DIR" --scheme dewey --xml "$WORK/in.xml" > /dev/null
+"$XMLUP" cat "$DIR" > "$WORK/pristine.xml"
+JOURNAL_SIZE() { wc -c < "$(ls "$DIR"/journal-*)"; }
+SIZE_BEFORE="$(JOURNAL_SIZE)"
+
+expect_error() {
+  msg="$1"; shift
+  if out="$("$@" 2>&1)"; then
+    fail "$msg: expected nonzero exit, got success"
+  fi
+  [ -n "$out" ] || fail "$msg: no diagnostic printed"
+  [ "$(printf '%s\n' "$out" | wc -l)" -eq 1 ] \
+    || fail "$msg: diagnostic is not one line: $out"
+}
+
+# Malformed XPath.
+expect_error "malformed xpath" "$XMLUP" ed "$DIR" -d '///[['
+# Unmatched target.
+expect_error "unmatched target" "$XMLUP" ed "$DIR" -d '/no/such/node'
+# Unknown node type.
+expect_error "unknown node type" "$XMLUP" ed "$DIR" -s '.' -t blob -n x
+# -u without a value.
+expect_error "-u without -v" "$XMLUP" ed "$DIR" -u '/shelf'
+# Element insert without a name.
+expect_error "elem insert without -n" "$XMLUP" ed "$DIR" -s '.' -t elem
+# A script that fails mid-way (first action fine, second unmatched) must
+# roll back the first action too: all-or-nothing.
+expect_error "mid-script failure" "$XMLUP" ed "$DIR" \
+  -s '.' -t elem -n halfway -d '/no/such/node'
+"$XMLUP" cat "$DIR" | grep -q "<halfway/>" \
+  && fail "mid-script failure left a partial edit applied"
+
+[ "$(JOURNAL_SIZE)" -eq "$SIZE_BEFORE" ] \
+  || fail "failed edits grew the journal (partial records persisted)"
+"$XMLUP" cat "$DIR" > "$WORK/after-errors.xml"
+cmp -s "$WORK/pristine.xml" "$WORK/after-errors.xml" \
+  || fail "failed edits changed the recovered document"
+
+# Unknown scheme on init: diagnostic, nonzero exit, nothing created.
+expect_error "unknown scheme" "$XMLUP" init "$WORK/store-bogus" --scheme bogus
+[ ! -e "$WORK/store-bogus" ] \
+  || fail "failed init left a store directory behind"
+
+# --- serve / req -----------------------------------------------------------
+# Socket round trip: a server process, edits and queries through the wire
+# protocol, clean shutdown, durable state visible to a fresh process.
+
+DIR="$WORK/store-serve"
+SOCK="$WORK/serve.sock"
+"$XMLUP" init "$DIR" --scheme dewey --xml "$WORK/in.xml" > /dev/null
+"$XMLUP" serve "$DIR" --socket "$SOCK" &
+SERVER_PID=$!
+
+i=0
+until "$XMLUP" req --socket "$SOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || fail "serve: server did not come up"
+  sleep 0.1
+done
+
+"$XMLUP" req --socket "$SOCK" \
+  -s '.' -t elem -n wing -a '/shelf[1]' -t comment -v "via socket" \
+  > /dev/null || fail "serve: edit request failed"
+COUNT="$("$XMLUP" req --socket "$SOCK" -q '/wing' | head -1)"
+[ "$COUNT" = "1" ] || fail "serve: query did not see the edit (got $COUNT)"
+"$XMLUP" req --socket "$SOCK" --xml | grep -q "via socket" \
+  || fail "serve: serialized XML misses the comment"
+# Errors come back as err frames -> nonzero exit, server keeps running.
+"$XMLUP" req --socket "$SOCK" -d '/no/such/node' > /dev/null 2>&1 \
+  && fail "serve: unmatched delete reported success"
+"$XMLUP" req --socket "$SOCK" --ping > /dev/null \
+  || fail "serve: server died after a failed request"
+
+"$XMLUP" req --socket "$SOCK" --shutdown > /dev/null \
+  || fail "serve: shutdown request failed"
+wait "$SERVER_PID" || fail "serve: server exited nonzero"
+
+# Acknowledged socket edits survive the restart.
+"$XMLUP" cat "$DIR" | grep -q "<wing/>" \
+  || fail "serve: acknowledged edit lost after shutdown"
+
 echo "PASS"

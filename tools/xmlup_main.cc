@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "concurrency/update.h"
 #include "core/labeled_document.h"
 #include "labels/registry.h"
 #include "store/document_store.h"
@@ -45,6 +48,9 @@ usage:
             delete each matched subtree
         -u <xpath> -v <value>
             replace the value/text of each match
+      the script is applied all-or-nothing with one fsync at the end
+      (group commit): a failing action rolls the journal back, leaving
+      the store exactly as before the invocation
       --print / --labels echo the resulting XML / node labels afterwards
   xmlup cat <dir> [--pretty]
       recover the document and serialize it to stdout
@@ -56,6 +62,14 @@ usage:
       roll the journal into a fresh snapshot
   xmlup damage <dir> --truncate <n> | --flip <byte>[:<bit>]
       deliberately tear or corrupt the live journal (crash simulation)
+  xmlup serve <dir> --socket <path> | --stdio [--queue <n>] [--batch <n>]
+      serve the store to concurrent clients: snapshot-isolated reads,
+      single-writer group commit; requests use the wire protocol
+      (length-prefixed action/query frames — see `xmlup req`)
+  xmlup req --socket <path> {<token>}...
+      send one request frame to a running server and print the reply:
+      the ed action grammar above, or -q <xpath>, --xml, --epoch,
+      --stats, --ping, --shutdown
   xmlup schemes
       list registered labelling schemes
 )");
@@ -96,88 +110,30 @@ int PrintXml(const core::LabeledDocument& doc, bool pretty) {
 
 // --- ed -------------------------------------------------------------------
 
-struct EditAction {
-  char op = 0;  // 'i', 'a', 's', 'd', 'u'
-  std::string xpath;
-  std::string type = "elem";
-  std::string name;
-  std::string value;
-  bool has_value = false;
-};
-
-common::Result<xml::NodeKind> KindForType(const std::string& type) {
-  if (type == "elem") return xml::NodeKind::kElement;
-  if (type == "attr") return xml::NodeKind::kAttribute;
-  if (type == "text") return xml::NodeKind::kText;
-  if (type == "comment") return xml::NodeKind::kComment;
-  return common::Status::InvalidArgument("unknown node type: " + type);
-}
-
-common::Status ApplyAction(DocumentStore* st, const EditAction& action) {
-  const core::LabeledDocument& doc = st->document();
-  xpath::XPathEvaluator eval(&doc, xpath::EvalMode::kTree);
-  XMLUP_ASSIGN_OR_RETURN(std::vector<NodeId> matches,
-                         eval.Query(action.xpath));
-  if (matches.empty()) {
-    return common::Status::NotFound("no match for " + action.xpath);
+// Truncates the live journal back to `bytes` — the roll-back path for a
+// failed edit script. Nothing past `bytes` was ever acknowledged (the
+// script commits with a single sync at the end), so dropping the tail
+// restores exactly the pre-invocation store.
+void RollBackJournal(const std::string& dir, uint64_t sequence,
+                     uint64_t bytes) {
+  store::FileSystem* fs = store::PosixFileSystem();
+  const std::string path = dir + "/" + store::JournalFileName(sequence);
+  auto contents = fs->ReadFile(path);
+  if (!contents.ok() || contents->size() <= bytes) return;
+  contents->resize(bytes);
+  auto file = fs->OpenWritable(path, store::FileSystem::WriteMode::kTruncate);
+  if (!file.ok()) return;
+  if ((*file)->Append(*contents).ok() && (*file)->Sync().ok()) {
+    (void)(*file)->Close();
+    (void)fs->SyncDir(dir);
   }
-
-  if (action.op == 'd') {
-    // Reverse document order, so a match inside an already-deleted
-    // subtree is simply skipped.
-    for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
-      if (!doc.tree().IsValid(*it)) continue;
-      XMLUP_RETURN_NOT_OK(st->RemoveSubtree(*it));
-    }
-    return common::Status::Ok();
-  }
-  if (action.op == 'u') {
-    for (NodeId target : matches) {
-      XMLUP_RETURN_NOT_OK(st->UpdateValue(target, action.value));
-    }
-    return common::Status::Ok();
-  }
-
-  XMLUP_ASSIGN_OR_RETURN(xml::NodeKind kind, KindForType(action.type));
-  if ((kind == xml::NodeKind::kElement || kind == xml::NodeKind::kAttribute) &&
-      action.name.empty()) {
-    return common::Status::InvalidArgument(
-        "-t " + action.type + " requires -n <name>");
-  }
-  for (NodeId target : matches) {
-    NodeId parent, before;
-    if (action.op == 's') {
-      parent = target;
-      before = xml::kInvalidNode;
-      if (kind == xml::NodeKind::kAttribute) {
-        // Attributes order before element children (Figure 1(b) layout):
-        // insert before the first non-attribute child.
-        before = doc.tree().first_child(target);
-        while (before != xml::kInvalidNode &&
-               doc.tree().kind(before) == xml::NodeKind::kAttribute) {
-          before = doc.tree().next_sibling(before);
-        }
-      }
-    } else {
-      parent = doc.tree().parent(target);
-      if (parent == xml::kInvalidNode) {
-        return common::Status::InvalidArgument(
-            "cannot insert a sibling of the document root");
-      }
-      before = action.op == 'i' ? target : doc.tree().next_sibling(target);
-    }
-    XMLUP_RETURN_NOT_OK(
-        st->InsertNode(parent, kind, action.name, action.value, before)
-            .status());
-  }
-  return common::Status::Ok();
 }
 
 int CmdEd(int argc, char** argv) {
   if (argc < 1) return Usage();
   std::string dir = argv[0];
-  bool print = false, labels = false, no_sync = false;
-  std::vector<EditAction> actions;
+  bool print = false, labels = false;
+  std::vector<std::string> tokens;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--print") {
@@ -185,50 +141,42 @@ int CmdEd(int argc, char** argv) {
     } else if (arg == "--labels") {
       labels = true;
     } else if (arg == "--no-sync") {
-      no_sync = true;
-    } else if (arg == "-i" || arg == "-a" || arg == "-s" || arg == "-d" ||
-               arg == "-u") {
-      if (i + 1 >= argc) return Usage();
-      EditAction action;
-      action.op = arg[1];
-      action.xpath = argv[++i];
-      actions.push_back(action);
-    } else if (arg == "-t" || arg == "-n" || arg == "-v") {
-      if (actions.empty() || i + 1 >= argc) return Usage();
-      EditAction& action = actions.back();
-      if (arg == "-t") {
-        action.type = argv[++i];
-      } else if (arg == "-n") {
-        action.name = argv[++i];
-      } else {
-        action.value = argv[++i];
-        action.has_value = true;
-      }
+      // Historical flag: scripts now always commit with one sync at the
+      // end (group commit), which is what --no-sync used to request.
     } else {
-      std::fprintf(stderr, "xmlup ed: unknown argument %s\n", arg.c_str());
-      return Usage();
+      tokens.push_back(std::move(arg));
     }
   }
-  if (actions.empty()) {
+  auto actions = concurrency::ParseActionTokens(tokens);
+  if (!actions.ok()) return Fail(actions.status());
+  if (actions->empty()) {
     std::fprintf(stderr, "xmlup ed: no actions given\n");
     return Usage();
   }
 
   StoreOptions options;
-  options.sync_each_update = !no_sync;
+  // One barrier for the whole script; a mid-script failure rolls back.
+  options.sync_each_update = false;
   // Checkpoints compact NodeIds; roll only between whole edit scripts.
   options.auto_checkpoint = false;
   auto st = DocumentStore::Open(dir, options);
   if (!st.ok()) return Fail(st.status());
-  for (const EditAction& action : actions) {
-    common::Status status = ApplyAction(st->get(), action);
-    if (!status.ok()) return Fail(status);
+  const uint64_t sequence = (*st)->stats().sequence;
+  const uint64_t journal_bytes = (*st)->stats().journal_bytes;
+  for (const concurrency::UpdateRequest& action : *actions) {
+    common::Status status =
+        concurrency::ApplyUpdate(st->get(), action, nullptr);
+    if (!status.ok()) {
+      // Unwind the unsynced tail this invocation appended: the journal —
+      // and therefore the next recovery — must not contain a partially
+      // applied script.
+      st->reset();
+      RollBackJournal(dir, sequence, journal_bytes);
+      return Fail(status);
+    }
   }
-  if (no_sync) {
-    // One barrier for the whole script.
-    common::Status status = (*st)->Sync();
-    if (!status.ok()) return Fail(status);
-  }
+  common::Status committed = (*st)->CommitBatch();
+  if (!committed.ok()) return Fail(committed);
   common::Status rolled = (*st)->MaybeCheckpoint();
   if (!rolled.ok()) return Fail(rolled);
   if (print) {
@@ -236,6 +184,74 @@ int CmdEd(int argc, char** argv) {
     if (rc != 0) return rc;
   }
   if (labels) PrintLabels((*st)->document());
+  return 0;
+}
+
+// --- serve / req ----------------------------------------------------------
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  std::string socket_path;
+  bool stdio = false;
+  concurrency::ConcurrentStoreOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.queue_capacity =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--batch" && i + 1 < argc) {
+      options.max_batch =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      return Usage();
+    }
+  }
+  if (socket_path.empty() == !stdio) {
+    std::fprintf(stderr,
+                 "xmlup serve: exactly one of --socket/--stdio required\n");
+    return Usage();
+  }
+  auto st = concurrency::ConcurrentStore::Open(dir, options);
+  if (!st.ok()) return Fail(st.status());
+  concurrency::Server server(st->get());
+  if (stdio) {
+    server.ServeConnection(/*in_fd=*/0, /*out_fd=*/1);
+  } else {
+    common::Status served = server.ServeUnixSocket(socket_path);
+    if (!served.ok()) return Fail(served);
+  }
+  (*st)->Stop();
+  return 0;
+}
+
+int CmdReq(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> request;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      request.push_back(std::move(arg));
+    }
+  }
+  if (socket_path.empty() || request.empty()) return Usage();
+  auto response = concurrency::UnixSocketRequest(socket_path, request);
+  if (!response.ok()) return Fail(response.status());
+  if (response->empty() || (*response)[0] == "err") {
+    std::fprintf(stderr, "xmlup req: %s\n",
+                 response->size() > 1 ? (*response)[1].c_str()
+                                      : "malformed reply");
+    return 1;
+  }
+  for (size_t i = 1; i < response->size(); ++i) {
+    std::printf("%s\n", (*response)[i].c_str());
+  }
   return 0;
 }
 
@@ -386,6 +402,8 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "init") return CmdInit(argc - 2, argv + 2);
   if (cmd == "ed") return CmdEd(argc - 2, argv + 2);
+  if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
+  if (cmd == "req") return CmdReq(argc - 2, argv + 2);
   if (cmd == "cat") return CmdCat(argc - 2, argv + 2);
   if (cmd == "labels") return CmdLabels(argc - 2, argv + 2);
   if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
