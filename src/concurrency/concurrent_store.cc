@@ -43,8 +43,13 @@ Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Open(
 Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Start(
     std::unique_ptr<store::DocumentStore> store,
     const ConcurrentStoreOptions& options) {
+  ConcurrentStoreOptions opts = options;
+  // A zero-capacity queue would block every submitter forever; a zero
+  // batch would make the writer spin without ever draining.
+  opts.queue_capacity = std::max<size_t>(opts.queue_capacity, 1);
+  opts.max_batch = std::max<size_t>(opts.max_batch, 1);
   std::unique_ptr<ConcurrentStore> engine(
-      new ConcurrentStore(std::move(store), options));
+      new ConcurrentStore(std::move(store), opts));
   // The first view is published before the writer thread exists, so
   // PinView never observes a null view.
   XMLUP_RETURN_NOT_OK(engine->PublishView());
@@ -79,9 +84,22 @@ Status ConcurrentStore::PublishView() {
 
 std::future<UpdateResult> ConcurrentStore::SubmitUpdate(
     UpdateRequest request) {
+  std::vector<UpdateRequest> one;
+  one.push_back(std::move(request));
+  return SubmitTransaction(std::move(one));
+}
+
+std::future<UpdateResult> ConcurrentStore::SubmitTransaction(
+    std::vector<UpdateRequest> requests) {
   Pending pending;
-  pending.request = std::move(request);
+  pending.requests = std::move(requests);
   std::future<UpdateResult> future = pending.promise.get_future();
+  if (pending.requests.empty()) {
+    UpdateResult result;
+    result.status = Status::InvalidArgument("empty transaction");
+    pending.promise.set_value(std::move(result));
+    return future;
+  }
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
     queue_space_.wait(lock, [this] {
@@ -136,14 +154,39 @@ void ConcurrentStore::WriterLoop() {
     queue_space_.notify_all();
 
     // Apply the whole batch against the live document. Journal records
-    // are appended (buffered) as each update applies; nothing is durable
-    // — or acknowledged — yet.
+    // are appended (buffered) as each transaction applies; nothing is
+    // durable — or acknowledged — yet. A transaction that fails partway
+    // (say the second action of a frame, or a later match of a multi-match
+    // action) is rolled back to the mark taken before its first mutation,
+    // so the commit below never makes a failed request's partial effects
+    // durable — "a request that fails writes nothing" holds across the
+    // whole pipeline, not just XPath resolution.
     std::vector<UpdateResult> results(batch.size());
     size_t applied = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
-      results[i].status =
-          ApplyUpdate(store_.get(), batch[i].request, &results[i].matched);
-      if (results[i].status.ok()) ++applied;
+      const store::DocumentStore::BatchMark mark = store_->Mark();
+      Status status;
+      size_t matched = 0;
+      for (const UpdateRequest& request : batch[i].requests) {
+        size_t step = 0;
+        status = ApplyUpdate(store_.get(), request, &step);
+        if (!status.ok()) break;
+        matched += step;
+      }
+      if (status.ok()) {
+        results[i].status = status;
+        results[i].matched = matched;
+        ++applied;
+        continue;
+      }
+      Status rolled = store_->RollbackTail(mark);
+      if (!rolled.ok()) {
+        // The store is poisoned; the failed commit below fails the whole
+        // batch. Report both causes to this transaction's waiter.
+        status = Status::Internal(status.ToString() +
+                                  "; rollback failed: " + rolled.ToString());
+      }
+      results[i].status = status;
     }
 
     // Group commit: one fsync makes every journal append of this batch

@@ -25,10 +25,12 @@ struct ConcurrentStoreOptions {
   /// given.
   store::StoreOptions store;
   /// Capacity of the bounded submission queue; SubmitUpdate blocks when
-  /// the queue is full (backpressure, not unbounded memory).
+  /// the queue is full (backpressure, not unbounded memory). Clamped to
+  /// >= 1 (a zero-capacity queue could never admit a request).
   size_t queue_capacity = 1024;
   /// Most requests drained into one group commit. Bounds both ack
-  /// latency under sustained load and the work a crash can lose.
+  /// latency under sustained load and the work a crash can lose. Clamped
+  /// to >= 1 (a zero batch could never drain the queue).
   size_t max_batch = 256;
 };
 
@@ -94,6 +96,15 @@ class ConcurrentStore {
   /// the failure). Safe from any thread.
   std::future<UpdateResult> SubmitUpdate(UpdateRequest request);
 
+  /// Enqueues several updates as one all-or-nothing transaction: either
+  /// every request applies (matched sums them) or none does — a failure
+  /// partway through rolls the earlier requests' journal records back
+  /// before the batch commits, so a failed transaction is never partially
+  /// durable or partially visible. The unit a serve-mode frame maps to,
+  /// matching `xmlup ed` script semantics.
+  std::future<UpdateResult> SubmitTransaction(
+      std::vector<UpdateRequest> requests);
+
   /// Convenience: submit and wait.
   UpdateResult Update(UpdateRequest request);
 
@@ -105,7 +116,7 @@ class ConcurrentStore {
 
  private:
   struct Pending {
-    UpdateRequest request;
+    std::vector<UpdateRequest> requests;  ///< One all-or-nothing unit.
     std::promise<UpdateResult> promise;
   };
 

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
 #include <future>
 #include <mutex>
@@ -103,25 +104,17 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
     *response = ErrorResponse(Status::InvalidArgument("no actions given"));
     return false;
   }
-  // Pipeline the whole frame into the submission queue at once (they
-  // usually ride one group commit), then collect in order.
-  std::vector<std::future<UpdateResult>> futures;
-  futures.reserve(actions->size());
-  for (UpdateRequest& action : *actions) {
-    futures.push_back(store_->SubmitUpdate(std::move(action)));
+  // The whole frame is one transaction: it applies all-or-nothing (the
+  // same contract as an `xmlup ed` script), so a failure partway through
+  // never leaves earlier actions durably applied behind an "err" reply —
+  // clients can safely retry the frame.
+  UpdateResult result = store_->SubmitTransaction(std::move(*actions)).get();
+  if (!result.status.ok()) {
+    *response = ErrorResponse(result.status);
+    return false;
   }
-  size_t matched = 0;
-  uint64_t epoch = 0;
-  for (std::future<UpdateResult>& future : futures) {
-    UpdateResult result = future.get();
-    if (!result.status.ok()) {
-      *response = ErrorResponse(result.status);
-      return false;
-    }
-    matched += result.matched;
-    epoch = result.epoch;
-  }
-  *response = {"ok", std::to_string(matched), std::to_string(epoch)};
+  *response = {"ok", std::to_string(result.matched),
+               std::to_string(result.epoch)};
   return false;
 }
 
@@ -159,16 +152,24 @@ Status Server::ServeUnixSocket(const std::string& socket_path) {
   }
   listen_fd_.store(fd);
 
-  std::mutex threads_mu;
-  std::vector<std::thread> threads;
+  // Connection threads are detached, so finished connections release
+  // their thread handles immediately instead of accumulating join handles
+  // for the server's lifetime; the active count gates return, which keeps
+  // every local below (and `this`) alive until the last thread is done.
+  std::mutex conns_mu;
+  std::condition_variable conns_done;
+  size_t active_conns = 0;
   while (!shutdown_.load()) {
     int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket shut down (or a hard accept failure)
     }
-    std::lock_guard<std::mutex> lock(threads_mu);
-    threads.emplace_back([this, conn] {
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      ++active_conns;
+    }
+    std::thread([this, conn, &conns_mu, &conns_done, &active_conns] {
       if (ServeConnection(conn, conn)) {
         // A --shutdown request: wake the accept loop by shutting the
         // listening socket down (close alone does not unblock accept).
@@ -176,11 +177,16 @@ Status Server::ServeUnixSocket(const std::string& socket_path) {
         ::shutdown(listen_fd_.load(), SHUT_RDWR);
       }
       ::close(conn);
-    });
+      // Notify under the lock: the waiter's locals must not be destroyed
+      // between the predicate turning true and the notify call.
+      std::lock_guard<std::mutex> lock(conns_mu);
+      --active_conns;
+      conns_done.notify_all();
+    }).detach();
   }
   {
-    std::lock_guard<std::mutex> lock(threads_mu);
-    for (std::thread& t : threads) t.join();
+    std::unique_lock<std::mutex> lock(conns_mu);
+    conns_done.wait(lock, [&active_conns] { return active_conns == 0; });
   }
   ::close(fd);
   ::unlink(socket_path.c_str());

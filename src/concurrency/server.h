@@ -26,9 +26,10 @@ namespace xmlup::concurrency {
 ///   --ping                   liveness probe
 ///   --shutdown               stop the server (acknowledged first)
 ///   <actions...>             one or more -i/-a/-s/-d/-u CLI actions,
-///                            applied in order; response
-///                            "ok" <matched> <epoch> after the whole
-///                            frame is durable, or "err" <message>
+///                            applied in order as one all-or-nothing
+///                            transaction; response "ok" <matched>
+///                            <epoch> after the whole frame is durable,
+///                            or "err" <message> with nothing applied
 ///
 /// Every error is a one-line "err" <message> response; the connection
 /// stays usable afterwards.

@@ -61,6 +61,11 @@ common::Result<std::vector<UpdateRequest>> ParseActionTokens(
 /// the edit to every match, journalling through the store. The XPath is
 /// fully resolved before the first mutation, so a request that fails to
 /// parse or match writes nothing; `*matched` reports the match count.
+/// A failure *after* the first mutation (a later match rejected, a
+/// journal append error) leaves partial records in the unsynced journal
+/// tail — callers that promise all-or-nothing (the group-commit writer,
+/// `xmlup ed`) take a DocumentStore::Mark() first and RollbackTail() to
+/// it on failure, before any sync barrier.
 common::Status ApplyUpdate(store::DocumentStore* store,
                            const UpdateRequest& request, size_t* matched);
 

@@ -321,10 +321,83 @@ Status DocumentStore::Sync() {
     // than retry (the fsync-gate lesson: the failed range may be dropped
     // from the page cache, so a later "successful" sync proves nothing).
     pending_error_ = st;
+    sync_poisoned_ = true;
     return st;
   }
   ++stats_.syncs;
   return st;
+}
+
+DocumentStore::BatchMark DocumentStore::Mark() const {
+  return {journal_->bytes(), journal_->records()};
+}
+
+Status DocumentStore::RollbackTail(const BatchMark& mark) {
+  if (sync_poisoned_) return pending_error_;
+  if (pending_error_.ok() && journal_.has_value() &&
+      journal_->bytes() == mark.bytes && journal_->records() == mark.records) {
+    // Nothing was journalled past the mark, and every journalled mutation
+    // also applied in memory (appends happen in the post-apply observer),
+    // so the store already is the marked state.
+    return Status::Ok();
+  }
+  const std::string path = Join(dir_, JournalFileName(stats_.sequence));
+  // Close the writer first so its buffered tail is flushed (growing the
+  // file, never rewriting it) before the truncate measures the cut.
+  journal_.reset();
+  Status truncated = fs_->TruncateFile(path, mark.bytes);
+  if (!truncated.ok()) {
+    // TruncateFile's barrier is an fsync: its failure leaves the journal
+    // length — like any unsynced state after a failed fsync — unknown.
+    pending_error_ = truncated;
+    sync_poisoned_ = true;
+    return truncated;
+  }
+  Result<JournalWriter> journal =
+      JournalWriter::OpenExisting(fs_, path, mark.bytes, mark.records);
+  if (!journal.ok()) {
+    pending_error_ = journal.status();
+    return journal.status();
+  }
+  journal_.emplace(std::move(*journal));
+  // The in-memory document may carry rolled-back mutations (or, after an
+  // append failure, mutations the journal never saw): rebuild it from the
+  // disk state the truncate just restored.
+  Status reloaded = ReloadFromDisk(mark.records);
+  if (!reloaded.ok()) {
+    pending_error_ = reloaded;
+    return reloaded;
+  }
+  stats_.journal_bytes = mark.bytes;
+  stats_.journal_records = mark.records;
+  if (records_at_last_commit_ > mark.records) {
+    records_at_last_commit_ = mark.records;
+  }
+  // A pending append failure belonged entirely to the tail just removed;
+  // the rebuilt state is clean. (Sync failures never reach here.)
+  pending_error_ = Status::Ok();
+  return Status::Ok();
+}
+
+Status DocumentStore::ReloadFromDisk(uint64_t expect_records) {
+  XMLUP_ASSIGN_OR_RETURN(
+      std::string snapshot_bytes,
+      fs_->ReadFile(Join(dir_, SnapshotFileName(stats_.sequence))));
+  std::unique_ptr<labels::LabelingScheme> scheme;
+  XMLUP_ASSIGN_OR_RETURN(
+      core::LabeledDocument doc,
+      core::LoadSnapshot(snapshot_bytes, &scheme, options_.scheme_options));
+  XMLUP_ASSIGN_OR_RETURN(
+      std::string journal_bytes,
+      fs_->ReadFile(Join(dir_, JournalFileName(stats_.sequence))));
+  XMLUP_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(journal_bytes));
+  if (scan.truncated || scan.records.size() != expect_records) {
+    return Status::Internal("journal does not match the rollback mark");
+  }
+  for (const JournalRecord& record : scan.records) {
+    XMLUP_RETURN_NOT_OK(ReplayRecord(record, &doc));
+  }
+  return AdoptDocument(std::move(doc), std::move(scheme));
 }
 
 Status DocumentStore::CommitBatch() {
@@ -413,6 +486,7 @@ Status DocumentStore::WriteFileAtomic(const std::string& name,
     // journal: poison the store rather than let callers keep mutating on
     // top of an indeterminate commit point.
     pending_error_ = synced;
+    sync_poisoned_ = true;
   }
   return synced;
 }

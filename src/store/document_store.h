@@ -136,6 +136,28 @@ class DocumentStore : private core::UpdateObserver {
   /// callers and benchmarks can observe the fsync amortisation directly.
   common::Status CommitBatch();
 
+  /// A journal position updates can be rolled back to, as long as nothing
+  /// past it has been acknowledged (synced).
+  struct BatchMark {
+    uint64_t bytes = 0;
+    uint64_t records = 0;
+  };
+  BatchMark Mark() const;
+
+  /// Rolls the store back to `mark`: shrinks the journal to the marked
+  /// length in place (never rewriting the prefix — records acknowledged
+  /// before the mark cannot be destroyed, whatever happens mid-rollback)
+  /// and rebuilds the in-memory document from snapshot + surviving
+  /// journal. The all-or-nothing lever for `xmlup ed` scripts and for
+  /// failed requests inside a group-commit batch. Preconditions: `mark`
+  /// came from Mark() on this instance in the current journal generation
+  /// (no checkpoint in between), and nothing past it was synced. Fails —
+  /// and leaves the store poisoned — if the truncate, its fsync, or the
+  /// reload fails, or if a previous sync failure already poisoned the
+  /// store (a failed fsync leaves unsynced page state indeterminate, so
+  /// no journal position after it is trustworthy).
+  common::Status RollbackTail(const BatchMark& mark);
+
   /// Rolls the journal into a fresh snapshot generation and compacts the
   /// document (NodeIds change; observers other than the store itself must
   /// re-register on mutable_document()).
@@ -165,6 +187,9 @@ class DocumentStore : private core::UpdateObserver {
   common::Status CheckpointImpl(xml::NodeId* remap);
   common::Status AdoptDocument(core::LabeledDocument doc,
                                std::unique_ptr<labels::LabelingScheme> scheme);
+  /// Rebuilds doc_/scheme_ from the on-disk snapshot plus the journal,
+  /// which must scan clean and hold exactly `expect_records` records.
+  common::Status ReloadFromDisk(uint64_t expect_records);
 
   std::string dir_;
   FileSystem* fs_;
@@ -179,6 +204,10 @@ class DocumentStore : private core::UpdateObserver {
   /// First journal-append failure observed inside an observer callback
   /// (which cannot return a Status); surfaced by the next store call.
   common::Status pending_error_;
+  /// True once an fsync (journal or directory) has failed: the page-cache
+  /// state of unsynced data is indeterminate from then on, so rollback —
+  /// which must trust the unsynced prefix it keeps — refuses to run.
+  bool sync_poisoned_ = false;
 };
 
 }  // namespace xmlup::store

@@ -9,6 +9,7 @@
 #error "the posix file system is, as the name says, posix-only"
 #endif
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 namespace xmlup::store {
@@ -107,6 +108,33 @@ class PosixFileSystemImpl : public FileSystem {
 
   Status DeleteFile(const std::string& path) override {
     if (std::remove(path.c_str()) != 0) return Errno("remove", path);
+    return Status::Ok();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) return Errno("open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status status = Errno("fstat", path);
+      ::close(fd);
+      return status;
+    }
+    if (static_cast<uint64_t>(st.st_size) <= size) {
+      ::close(fd);
+      return Status::Ok();
+    }
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      Status status = Errno("ftruncate", path);
+      ::close(fd);
+      return status;
+    }
+    if (::fsync(fd) != 0) {
+      Status status = Errno("fsync", path);
+      ::close(fd);
+      return status;
+    }
+    if (::close(fd) != 0) return Errno("close", path);
     return Status::Ok();
   }
 
@@ -250,6 +278,17 @@ Status MemFileSystem::DeleteFile(const std::string& path) {
   }
   pending_.push_back({MetaOp::Kind::kDelete, path, {}, nullptr});
   return Status::Ok();
+}
+
+Status MemFileSystem::TruncateFile(const std::string& path, uint64_t size) {
+  auto it = live_.find(path);
+  if (it == live_.end()) return Status::NotFound("no such file: " + path);
+  std::string& data = it->second->data;
+  // Like O_TRUNC in OpenWritable, the resize hits the shared inode, so it
+  // is visible in both views at once; the injectable sync below models the
+  // fsync that makes the new length durable.
+  if (data.size() > size) data.resize(size);
+  return SyncImpl(path);
 }
 
 Status MemFileSystem::CreateDir(const std::string&) { return Status::Ok(); }

@@ -48,6 +48,12 @@ class FileSystem {
   virtual common::Status RenameFile(const std::string& from,
                                     const std::string& to) = 0;
   virtual common::Status DeleteFile(const std::string& path) = 0;
+  /// Shrinks `path` to `size` bytes in place and syncs the new length
+  /// durably (ftruncate + fsync). Bytes before `size` are never rewritten,
+  /// so a crash at any point leaves at worst the old tail — never a
+  /// destroyed prefix. No-op if the file is already at or below `size`.
+  virtual common::Status TruncateFile(const std::string& path,
+                                      uint64_t size) = 0;
   /// Creates a directory (and parents). Ok if it already exists.
   virtual common::Status CreateDir(const std::string& path) = 0;
   /// Durability barrier for directory metadata (fsync on the directory):
@@ -87,6 +93,8 @@ class MemFileSystem : public FileSystem {
   common::Status RenameFile(const std::string& from,
                             const std::string& to) override;
   common::Status DeleteFile(const std::string& path) override;
+  common::Status TruncateFile(const std::string& path,
+                              uint64_t size) override;
   common::Status CreateDir(const std::string& path) override;
   common::Status SyncDir(const std::string& path) override;
 

@@ -158,6 +158,107 @@ TEST(ConcurrentStoreTest, FailedUpdateResolvesWithErrorAndStoreKeepsGoing) {
   EXPECT_EQ(stats.updates_applied, 1u);
 }
 
+TEST(ConcurrentStoreTest, FailedTransactionLeavesNothingBehind) {
+  MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  auto st = ConcurrentStore::Create("db", BaseTree(), "dewey", options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  // First action applies (and journals) before the second fails: the
+  // transaction must roll back to nothing — not commit the first half.
+  std::vector<UpdateRequest> txn;
+  txn.push_back(InsertChild(".", "c"));
+  UpdateRequest bad;
+  bad.op = UpdateRequest::Op::kDelete;
+  bad.xpath = "/no/such/node";
+  txn.push_back(bad);
+  UpdateResult result = (*st)->SubmitTransaction(std::move(txn)).get();
+  EXPECT_FALSE(result.status.ok());
+
+  auto view = (*st)->PinView();
+  auto hits = view->Query("/c");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty()) << "failed transaction left a partial edit";
+
+  // The store keeps working, and a successful transaction sums matches.
+  std::vector<UpdateRequest> good;
+  good.push_back(InsertChild(".", "c"));
+  good.push_back(InsertChild(".", "d"));
+  result = (*st)->SubmitTransaction(std::move(good)).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.matched, 2u);
+
+  EXPECT_FALSE((*st)->SubmitTransaction({}).get().status.ok());
+
+  // Restart: only the successful transaction is durable.
+  (*st)->Stop();
+  fs.Crash();
+  auto reopened = ConcurrentStore::Open("db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto after = (*reopened)->PinView();
+  EXPECT_EQ((*after->Query("/c")).size(), 1u);
+  EXPECT_EQ((*after->Query("/d")).size(), 1u);
+  EXPECT_EQ((*after->Query("/*")).size(), 4u);  // a, b + c, d
+}
+
+TEST(ConcurrentStoreTest, RolledBackTransactionDoesNotSinkItsBatch) {
+  MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  options.max_batch = 64;  // let good requests co-batch with the bad one
+  auto st = ConcurrentStore::Create("db", BaseTree(), "dewey", options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  constexpr int kGood = 10;
+  std::vector<std::future<UpdateResult>> good;
+  for (int i = 0; i < kGood / 2; ++i) {
+    good.push_back((*st)->SubmitUpdate(InsertChild(".", Name("g", i))));
+  }
+  std::vector<UpdateRequest> txn;
+  txn.push_back(InsertChild(".", "half"));
+  UpdateRequest bad;
+  bad.op = UpdateRequest::Op::kDelete;
+  bad.xpath = "/no/such/node";
+  txn.push_back(bad);
+  std::future<UpdateResult> failed = (*st)->SubmitTransaction(std::move(txn));
+  for (int i = kGood / 2; i < kGood; ++i) {
+    good.push_back((*st)->SubmitUpdate(InsertChild(".", Name("g", i))));
+  }
+
+  // However the writer batched them, every good request commits and the
+  // bad transaction alone fails, leaving no trace.
+  for (auto& f : good) {
+    UpdateResult result = f.get();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  }
+  EXPECT_FALSE(failed.get().status.ok());
+  auto view = (*st)->PinView();
+  EXPECT_TRUE((*view->Query("/half")).empty());
+  EXPECT_EQ((*view->Query("/*")).size(), 2u + kGood);
+
+  // And the same picture after recovery.
+  (*st)->Stop();
+  fs.Crash();
+  auto reopened = ConcurrentStore::Open("db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto after = (*reopened)->PinView();
+  EXPECT_TRUE((*after->Query("/half")).empty());
+  EXPECT_EQ((*after->Query("/*")).size(), 2u + kGood);
+}
+
+TEST(ConcurrentStoreTest, ZeroQueueAndBatchAreClamped) {
+  MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  options.queue_capacity = 0;  // would otherwise block every submitter
+  options.max_batch = 0;       // would otherwise never drain the queue
+  auto st = ConcurrentStore::Create("db", BaseTree(), "dewey", options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  UpdateResult result = (*st)->Update(InsertChild(".", "c"));
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+}
+
 TEST(ConcurrentStoreTest, ManyThreadsThroughATinyQueue) {
   MemFileSystem fs;
   ConcurrentStoreOptions options;

@@ -229,6 +229,152 @@ TEST(DocumentStoreTest, SyncFailurePoisonsTheStore) {
   EXPECT_FALSE((*st)->Checkpoint().ok());
 }
 
+TEST(DocumentStoreTest, RollbackTailRestoresMarkedState) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.sync_each_update = false;
+  options.auto_checkpoint = false;
+  auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "dewey", options);
+  ASSERT_TRUE(st.ok());
+  NodeId root = (*st)->document().tree().root();
+  // An acknowledged (group-committed) prefix the rollback must preserve.
+  ASSERT_TRUE((*st)->InsertNode(root, xml::NodeKind::kElement, "kept", "").ok());
+  ASSERT_TRUE((*st)->CommitBatch().ok());
+
+  const DocumentStore::BatchMark mark = (*st)->Mark();
+  const std::string journal_path =
+      "db/" + store::JournalFileName((*st)->stats().sequence);
+  const std::string journal_at_mark = *fs.GetFile(journal_path);
+  const std::string xml = Serialize((*st)->document());
+  const std::vector<std::string> labels = LabelBytes((*st)->document());
+
+  // An unsynced tail: two inserts and a delete past the mark.
+  root = (*st)->document().tree().root();
+  auto doomed =
+      (*st)->InsertNode(root, xml::NodeKind::kElement, "doomed", "");
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_TRUE(
+      (*st)->InsertNode(*doomed, xml::NodeKind::kText, "", "gone").ok());
+  ASSERT_TRUE(
+      (*st)->RemoveSubtree((*st)->document().tree().first_child(root)).ok());
+
+  ASSERT_TRUE((*st)->RollbackTail(mark).ok());
+  // In-memory state, journal bytes and stats are exactly the marked state.
+  EXPECT_EQ(Serialize((*st)->document()), xml);
+  EXPECT_EQ(LabelBytes((*st)->document()), labels);
+  EXPECT_EQ(*fs.GetFile(journal_path), journal_at_mark);
+  EXPECT_EQ((*st)->stats().journal_bytes, mark.bytes);
+  EXPECT_EQ((*st)->stats().journal_records, mark.records);
+  // Rolling back to the current position is a no-op.
+  ASSERT_TRUE((*st)->RollbackTail((*st)->Mark()).ok());
+
+  // The store stays fully usable: edit, commit, recover.
+  root = (*st)->document().tree().root();
+  ASSERT_TRUE(
+      (*st)->InsertNode(root, xml::NodeKind::kElement, "after", "").ok());
+  ASSERT_TRUE((*st)->CommitBatch().ok());
+  std::string final_xml = Serialize((*st)->document());
+  st->reset();
+  auto reopened = DocumentStore::Open("db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(Serialize((*reopened)->document()), final_xml);
+  ASSERT_TRUE((*reopened)->document().VerifyOrderAndUniqueness().ok());
+}
+
+TEST(DocumentStoreTest, RollbackTailFailurePropagatesAndKeepsAckedPrefix) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.sync_each_update = false;
+  options.auto_checkpoint = false;
+  auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "ordpath", options);
+  ASSERT_TRUE(st.ok());
+  NodeId root = (*st)->document().tree().root();
+  ASSERT_TRUE((*st)->InsertNode(root, xml::NodeKind::kElement, "kept", "").ok());
+  ASSERT_TRUE((*st)->CommitBatch().ok());
+  const DocumentStore::BatchMark mark = (*st)->Mark();
+  const std::string journal_path =
+      "db/" + store::JournalFileName((*st)->stats().sequence);
+  const std::string journal_at_mark = *fs.GetFile(journal_path);
+
+  root = (*st)->document().tree().root();
+  ASSERT_TRUE(
+      (*st)->InsertNode(root, xml::NodeKind::kElement, "doomed", "").ok());
+
+  // The truncate's durability barrier fails: the rollback must report it
+  // (not swallow it) and poison the store — but at no point may the
+  // acknowledged prefix be rewritten or lost.
+  fs.FailNextSyncs(1);
+  EXPECT_FALSE((*st)->RollbackTail(mark).ok());
+  std::string journal_now = *fs.GetFile(journal_path);
+  EXPECT_EQ(journal_now.substr(0, journal_at_mark.size()), journal_at_mark);
+  EXPECT_FALSE(
+      (*st)->InsertNode(root, xml::NodeKind::kElement, "z", "").ok());
+
+  // Recovery still yields at least the acknowledged prefix.
+  st->reset();
+  auto reopened = DocumentStore::Open("db", options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  bool found_kept = false;
+  for (NodeId n : (*reopened)->document().tree().PreorderNodes()) {
+    if ((*reopened)->document().tree().name(n) == "kept") found_kept = true;
+  }
+  EXPECT_TRUE(found_kept);
+}
+
+TEST(DocumentStoreTest, RollbackTailRefusesAfterSyncPoisoning) {
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.sync_each_update = false;
+  options.auto_checkpoint = false;
+  auto st = DocumentStore::Create("db", ParseOrDie(kDoc), "dewey", options);
+  ASSERT_TRUE(st.ok());
+  const DocumentStore::BatchMark mark = (*st)->Mark();
+  NodeId root = (*st)->document().tree().root();
+  ASSERT_TRUE((*st)->InsertNode(root, xml::NodeKind::kElement, "x", "").ok());
+  fs.FailNextSyncs(1);
+  ASSERT_FALSE((*st)->CommitBatch().ok());
+  // After a failed fsync no unsynced journal position is trustworthy;
+  // rollback must refuse rather than pretend to restore the mark.
+  EXPECT_FALSE((*st)->RollbackTail(mark).ok());
+}
+
+TEST(DocumentStoreTest, RollbackTailPosix) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("xmlup_rollback_test_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  StoreOptions options;
+  options.sync_each_update = false;
+  options.auto_checkpoint = false;
+  std::string xml;
+  {
+    auto st =
+        DocumentStore::Create(dir.string(), ParseOrDie(kDoc), "dewey", options);
+    ASSERT_TRUE(st.ok()) << st.status().ToString();
+    NodeId root = (*st)->document().tree().root();
+    ASSERT_TRUE(
+        (*st)->InsertNode(root, xml::NodeKind::kElement, "kept", "").ok());
+    ASSERT_TRUE((*st)->CommitBatch().ok());
+    const DocumentStore::BatchMark mark = (*st)->Mark();
+    xml = Serialize((*st)->document());
+    // The real-file path exercises stdio buffering: the tail below sits in
+    // the FILE* buffer until the rollback's close flushes it — the
+    // truncate must still cut it off.
+    root = (*st)->document().tree().root();
+    ASSERT_TRUE(
+        (*st)->InsertNode(root, xml::NodeKind::kElement, "doomed", "").ok());
+    ASSERT_TRUE((*st)->RollbackTail(mark).ok());
+    EXPECT_EQ(Serialize((*st)->document()), xml);
+  }
+  auto st = DocumentStore::Open(dir.string(), options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_EQ(Serialize((*st)->document()), xml);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(DocumentStoreTest, OpenOfMissingStoreFails) {
   MemFileSystem fs;
   StoreOptions options;

@@ -123,7 +123,14 @@ expect_error "unknown scheme" "$XMLUP" init "$WORK/store-bogus" --scheme bogus
 DIR="$WORK/store-serve"
 SOCK="$WORK/serve.sock"
 "$XMLUP" init "$DIR" --scheme dewey --xml "$WORK/in.xml" > /dev/null
-"$XMLUP" serve "$DIR" --socket "$SOCK" &
+
+# Bad pipeline knobs are rejected up front (a zero queue would deadlock
+# every submitter; strtoull's 0-on-junk must not sneak through either).
+expect_error "--queue 0" "$XMLUP" serve "$DIR" --socket "$SOCK" --queue 0
+expect_error "--batch 0" "$XMLUP" serve "$DIR" --socket "$SOCK" --batch 0
+expect_error "bad --queue" "$XMLUP" serve "$DIR" --socket "$SOCK" --queue x
+
+"$XMLUP" serve "$DIR" --socket "$SOCK" --queue 64 --batch 16 &
 SERVER_PID=$!
 
 i=0
@@ -145,6 +152,13 @@ COUNT="$("$XMLUP" req --socket "$SOCK" -q '/wing' | head -1)"
   && fail "serve: unmatched delete reported success"
 "$XMLUP" req --socket "$SOCK" --ping > /dev/null \
   || fail "serve: server died after a failed request"
+# A frame is one all-or-nothing transaction, exactly like an ed script:
+# the first action must not survive the second action's failure.
+"$XMLUP" req --socket "$SOCK" \
+  -s '.' -t elem -n orphan -d '/no/such/node' > /dev/null 2>&1 \
+  && fail "serve: partial frame reported success"
+COUNT="$("$XMLUP" req --socket "$SOCK" -q '/orphan' | head -1)"
+[ "$COUNT" = "0" ] || fail "serve: failed frame left a partial edit applied"
 
 "$XMLUP" req --socket "$SOCK" --shutdown > /dev/null \
   || fail "serve: shutdown request failed"

@@ -6,6 +6,7 @@
 // shell. Every edit is one or more CRC-framed journal records; `cat`
 // after a process restart replays them on top of the latest snapshot.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -110,25 +111,6 @@ int PrintXml(const core::LabeledDocument& doc, bool pretty) {
 
 // --- ed -------------------------------------------------------------------
 
-// Truncates the live journal back to `bytes` — the roll-back path for a
-// failed edit script. Nothing past `bytes` was ever acknowledged (the
-// script commits with a single sync at the end), so dropping the tail
-// restores exactly the pre-invocation store.
-void RollBackJournal(const std::string& dir, uint64_t sequence,
-                     uint64_t bytes) {
-  store::FileSystem* fs = store::PosixFileSystem();
-  const std::string path = dir + "/" + store::JournalFileName(sequence);
-  auto contents = fs->ReadFile(path);
-  if (!contents.ok() || contents->size() <= bytes) return;
-  contents->resize(bytes);
-  auto file = fs->OpenWritable(path, store::FileSystem::WriteMode::kTruncate);
-  if (!file.ok()) return;
-  if ((*file)->Append(*contents).ok() && (*file)->Sync().ok()) {
-    (void)(*file)->Close();
-    (void)fs->SyncDir(dir);
-  }
-}
-
 int CmdEd(int argc, char** argv) {
   if (argc < 1) return Usage();
   std::string dir = argv[0];
@@ -161,8 +143,10 @@ int CmdEd(int argc, char** argv) {
   options.auto_checkpoint = false;
   auto st = DocumentStore::Open(dir, options);
   if (!st.ok()) return Fail(st.status());
-  const uint64_t sequence = (*st)->stats().sequence;
-  const uint64_t journal_bytes = (*st)->stats().journal_bytes;
+  // Nothing this invocation appends is synced until CommitBatch below, so
+  // a mid-script failure rolls the journal back to this mark — in place,
+  // never rewriting (and so never endangering) the committed prefix.
+  const DocumentStore::BatchMark mark = (*st)->Mark();
   for (const concurrency::UpdateRequest& action : *actions) {
     common::Status status =
         concurrency::ApplyUpdate(st->get(), action, nullptr);
@@ -170,8 +154,13 @@ int CmdEd(int argc, char** argv) {
       // Unwind the unsynced tail this invocation appended: the journal —
       // and therefore the next recovery — must not contain a partially
       // applied script.
-      st->reset();
-      RollBackJournal(dir, sequence, journal_bytes);
+      common::Status rolled = (*st)->RollbackTail(mark);
+      if (!rolled.ok()) {
+        std::fprintf(stderr,
+                     "xmlup ed: rollback failed, a partial script may "
+                     "remain in the journal: %s\n",
+                     rolled.ToString().c_str());
+      }
       return Fail(status);
     }
   }
@@ -189,6 +178,24 @@ int CmdEd(int argc, char** argv) {
 
 // --- serve / req ----------------------------------------------------------
 
+// Strict positive-count parser for --queue/--batch: strtoull's 0-on-junk
+// would otherwise turn a typo into a queue no request can ever enter (or
+// a batch size the writer can never drain).
+bool ParseCount(const char* flag, const char* text, size_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  size_t narrowed = static_cast<size_t>(value);
+  if (errno != 0 || end == text || *end != '\0' || value == 0 ||
+      narrowed != value) {
+    std::fprintf(stderr, "xmlup serve: %s needs a positive integer, got '%s'\n",
+                 flag, text);
+    return false;
+  }
+  *out = narrowed;
+  return true;
+}
+
 int CmdServe(int argc, char** argv) {
   if (argc < 1) return Usage();
   std::string dir = argv[0];
@@ -202,11 +209,9 @@ int CmdServe(int argc, char** argv) {
     } else if (arg == "--stdio") {
       stdio = true;
     } else if (arg == "--queue" && i + 1 < argc) {
-      options.queue_capacity =
-          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (!ParseCount("--queue", argv[++i], &options.queue_capacity)) return 2;
     } else if (arg == "--batch" && i + 1 < argc) {
-      options.max_batch =
-          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (!ParseCount("--batch", argv[++i], &options.max_batch)) return 2;
     } else {
       return Usage();
     }
