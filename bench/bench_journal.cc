@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "observability/metrics.h"
 #include "store/document_store.h"
 #include "store/file.h"
 #include "store/journal.h"
@@ -197,6 +198,68 @@ AppendRates MeasureAppendRate() {
   return rates;
 }
 
+// p50/p95/p99 of one registry histogram, read after a measurement run.
+struct LatencyQuantiles {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+LatencyQuantiles ReadQuantiles(const char* name) {
+  LatencyQuantiles q;
+  obs::Histogram* h = obs::GlobalMetrics().GetHistogram(name);
+  q.count = h->count();
+  q.p50 = h->ValueAtPercentile(50);
+  q.p95 = h->ValueAtPercentile(95);
+  q.p99 = h->ValueAtPercentile(99);
+  return q;
+}
+
+void PrintQuantiles(FILE* out, const char* key, const LatencyQuantiles& q,
+                    const char* trailer) {
+  std::fprintf(out,
+               "    \"%s\": {\"count\": %llu, \"p50\": %llu, "
+               "\"p95\": %llu, \"p99\": %llu}%s\n",
+               key, static_cast<unsigned long long>(q.count),
+               static_cast<unsigned long long>(q.p50),
+               static_cast<unsigned long long>(q.p95),
+               static_cast<unsigned long long>(q.p99), trailer);
+}
+
+// Per-record append and fsync latency distributions, from the store's own
+// "store.journal.*" histograms: a run of per-update-fsync inserts, with
+// the registry reset first so the quantiles cover exactly this run.
+// All-zero when the metrics layer is compiled out.
+struct StoreLatencies {
+  LatencyQuantiles append_ns;
+  LatencyQuantiles fsync_ns;
+};
+
+StoreLatencies MeasureStoreLatencies(size_t inserts) {
+  StoreLatencies lat;
+  if (!obs::kMetricsEnabled) return lat;
+  obs::GlobalMetrics().Reset();
+  MemFileSystem fs;
+  StoreOptions options;
+  options.fs = &fs;
+  options.sync_each_update = true;
+  options.auto_checkpoint = false;
+  auto tree = xml::ParseDocument(kBaseDoc);
+  if (!tree.ok()) return lat;
+  auto st = DocumentStore::Create("db", std::move(*tree), "ordpath", options);
+  if (!st.ok()) return lat;
+  NodeId root = (*st)->document().tree().root();
+  for (size_t i = 0; i < inserts; ++i) {
+    if (!(*st)->InsertNode(root, xml::NodeKind::kElement, "item", "").ok()) {
+      return lat;
+    }
+  }
+  lat.append_ns = ReadQuantiles("store.journal.append_ns");
+  lat.fsync_ns = ReadQuantiles("store.journal.fsync_ns");
+  return lat;
+}
+
 void WriteJsonSweep() {
   const std::vector<std::string> schemes = {"ordpath", "dewey",
                                             "xpath-accelerator"};
@@ -213,6 +276,20 @@ void WriteJsonSweep() {
                rates.records_per_s, rates.bytes_per_s);
   std::fprintf(stderr, "journal append: %.0f records/s, %.1f MB/s\n",
                rates.records_per_s, rates.bytes_per_s / 1e6);
+
+  StoreLatencies lat = MeasureStoreLatencies(5000);
+  std::fprintf(out, "  \"latency_ns\": {\n");
+  PrintQuantiles(out, "journal_append", lat.append_ns, ",");
+  PrintQuantiles(out, "journal_fsync", lat.fsync_ns, "");
+  std::fprintf(out, "  },\n");
+  std::fprintf(stderr,
+               "append latency: p50=%llu ns p99=%llu ns; "
+               "fsync latency: p50=%llu ns p99=%llu ns (%llu records)\n",
+               static_cast<unsigned long long>(lat.append_ns.p50),
+               static_cast<unsigned long long>(lat.append_ns.p99),
+               static_cast<unsigned long long>(lat.fsync_ns.p50),
+               static_cast<unsigned long long>(lat.fsync_ns.p99),
+               static_cast<unsigned long long>(lat.append_ns.count));
 
   std::fprintf(out, "  \"recovery\": {\n");
   bool first_scheme = true;

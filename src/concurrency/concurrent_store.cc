@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/snapshot.h"
+#include "observability/trace.h"
 
 namespace xmlup::concurrency {
 
@@ -13,7 +14,20 @@ using common::Status;
 
 ConcurrentStore::ConcurrentStore(std::unique_ptr<store::DocumentStore> store,
                                  ConcurrentStoreOptions options)
-    : options_(std::move(options)), store_(std::move(store)) {}
+    : options_(std::move(options)), store_(std::move(store)) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.submitted = reg.GetCounter("cstore.submitted");
+  metrics_.acked = reg.GetCounter("cstore.acked");
+  metrics_.failed = reg.GetCounter("cstore.failed");
+  metrics_.queue_depth = reg.GetGauge("cstore.queue_depth");
+  metrics_.backpressure_stalls = reg.GetCounter("cstore.backpressure_stalls");
+  metrics_.backpressure_wait_ns =
+      reg.GetHistogram("cstore.backpressure_wait_ns");
+  metrics_.batch_size = reg.GetHistogram("cstore.batch_size",
+                                         obs::Unit::kCount);
+  metrics_.commit_ns = reg.GetHistogram("cstore.commit_ns");
+  metrics_.txn_rollbacks = reg.GetCounter("cstore.txn_rollbacks");
+}
 
 ConcurrentStore::~ConcurrentStore() { Stop(); }
 
@@ -102,9 +116,16 @@ std::future<UpdateResult> ConcurrentStore::SubmitTransaction(
   }
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_space_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
-    });
+    if (!stopping_ && queue_.size() >= options_.queue_capacity) {
+      // The queue is full: this submitter stalls until the writer drains
+      // (bounded-queue backpressure). Only genuine stalls are counted and
+      // timed — the fast path records nothing.
+      metrics_.backpressure_stalls->Add(1);
+      XMLUP_SCOPED_TIMER(metrics_.backpressure_wait_ns);
+      queue_space_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+      });
+    }
     if (stopping_) {
       UpdateResult result;
       result.status = Status::Unsupported("store is shutting down");
@@ -112,6 +133,8 @@ std::future<UpdateResult> ConcurrentStore::SubmitTransaction(
       return future;
     }
     queue_.push_back(std::move(pending));
+    metrics_.submitted->Add(1);
+    metrics_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
   }
   queue_ready_.notify_one();
   return future;
@@ -150,8 +173,10 @@ void ConcurrentStore::WriterLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      metrics_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
     queue_space_.notify_all();
+    metrics_.batch_size->Record(batch.size());
 
     // Apply the whole batch against the live document. Journal records
     // are appended (buffered) as each transaction applies; nothing is
@@ -179,6 +204,7 @@ void ConcurrentStore::WriterLoop() {
         ++applied;
         continue;
       }
+      metrics_.txn_rollbacks->Add(1);
       Status rolled = store_->RollbackTail(mark);
       if (!rolled.ok()) {
         // The store is poisoned; the failed commit below fails the whole
@@ -191,7 +217,12 @@ void ConcurrentStore::WriterLoop() {
 
     // Group commit: one fsync makes every journal append of this batch
     // durable at once.
-    Status commit = store_->CommitBatch();
+    Status commit;
+    {
+      XMLUP_TRACE_SPAN("cstore.commit");
+      XMLUP_SCOPED_TIMER(metrics_.commit_ns);
+      commit = store_->CommitBatch();
+    }
     if (!commit.ok()) {
       // Durability of the whole batch is unknown (and the store is now
       // poisoned): fail every waiter, including requests whose apply
@@ -212,8 +243,10 @@ void ConcurrentStore::WriterLoop() {
       for (const UpdateResult& result : results) {
         if (result.status.ok()) {
           ++stats_.updates_applied;
+          metrics_.acked->Add(1);
         } else {
           ++stats_.updates_failed;
+          metrics_.failed->Add(1);
         }
       }
       ++stats_.batches;

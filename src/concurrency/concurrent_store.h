@@ -13,6 +13,7 @@
 
 #include "concurrency/read_view.h"
 #include "concurrency/update.h"
+#include "observability/metrics.h"
 #include "store/document_store.h"
 
 namespace xmlup::concurrency {
@@ -130,7 +131,23 @@ class ConcurrentStore {
   void WriterLoop();
   common::Status PublishView();
 
+  /// Registry cells ("cstore.*"). Submitter-side cells (submitted,
+  /// queue_depth, backpressure) are touched under queue_mu_; writer-side
+  /// cells only by the writer thread.
+  struct MetricCells {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* acked = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* backpressure_stalls = nullptr;
+    obs::Histogram* backpressure_wait_ns = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* commit_ns = nullptr;
+    obs::Counter* txn_rollbacks = nullptr;
+  };
+
   ConcurrentStoreOptions options_;
+  MetricCells metrics_;
   /// Touched only by the writer thread once Start() returns.
   std::unique_ptr<store::DocumentStore> store_;
 

@@ -35,19 +35,23 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
   const std::string& verb = request[0];
 
   if (verb == "--ping") {
+    metrics_.admin->Add(1);
     *response = {"ok"};
     return false;
   }
   if (verb == "--shutdown") {
+    metrics_.admin->Add(1);
     *response = {"ok"};
     return true;
   }
   if (verb == "--epoch") {
+    metrics_.admin->Add(1);
     std::shared_ptr<const ReadView> view = store_->PinView();
     *response = {"ok", std::to_string(view->epoch())};
     return false;
   }
   if (verb == "--xml") {
+    metrics_.queries->Add(1);
     std::shared_ptr<const ReadView> view = store_->PinView();
     Result<std::string> xml = view->SerializeXml();
     if (!xml.ok()) {
@@ -58,6 +62,22 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
     return false;
   }
   if (verb == "--stats") {
+    metrics_.admin->Add(1);
+    // Optional mode field: "json" returns the registry as one JSON field;
+    // "timing" adds wall-clock histogram values (sum/percentiles) to the
+    // key=value form. The default reply is deterministic — identical
+    // request histories render identical bytes (see obs::Registry).
+    std::string mode;
+    if (request.size() >= 2) mode = request[1];
+    if (!mode.empty() && mode != "json" && mode != "timing") {
+      *response = ErrorResponse(
+          Status::InvalidArgument("--stats takes 'json' or 'timing'"));
+      return false;
+    }
+    if (mode == "json") {
+      *response = {"ok", obs::GlobalMetrics().RenderJson(false)};
+      return false;
+    }
     ConcurrentStoreStats stats = store_->stats();
     *response = {
         "ok",
@@ -69,9 +89,16 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
         "checkpoints=" + std::to_string(stats.checkpoints),
         "epoch=" + std::to_string(stats.current_epoch),
     };
+    // Registry fields ride behind the legacy pipeline counters so existing
+    // clients keep parsing by prefix.
+    for (const auto& [name, value] :
+         obs::GlobalMetrics().TextFields(mode == "timing")) {
+      response->push_back(name + "=" + value);
+    }
     return false;
   }
   if (verb == "-q") {
+    metrics_.queries->Add(1);
     if (request.size() != 2) {
       *response =
           ErrorResponse(Status::InvalidArgument("-q takes exactly one XPath"));
@@ -95,6 +122,7 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
   }
 
   // Anything else is an action script in the CLI grammar.
+  metrics_.updates->Add(1);
   Result<std::vector<UpdateRequest>> actions = ParseActionTokens(request);
   if (!actions.ok()) {
     *response = ErrorResponse(actions.status());
@@ -123,9 +151,16 @@ bool Server::ServeConnection(int in_fd, int out_fd) {
     Result<std::optional<std::vector<std::string>>> frame = ReadFrame(in_fd);
     if (!frame.ok()) return false;          // torn frame or IO error
     if (!frame->has_value()) return false;  // clean EOF
+    metrics_.frames_in->Add(1);
     std::vector<std::string> response;
-    bool shutdown = HandleRequest(**frame, &response);
+    bool shutdown;
+    {
+      XMLUP_SCOPED_TIMER(metrics_.request_ns);
+      shutdown = HandleRequest(**frame, &response);
+    }
+    if (!response.empty() && response[0] == "err") metrics_.errors->Add(1);
     if (!WriteFrame(out_fd, response).ok()) return shutdown;
+    metrics_.frames_out->Add(1);
     if (shutdown) return true;
   }
 }

@@ -35,7 +35,16 @@ namespace xmlup::concurrency {
 /// stays usable afterwards.
 class Server {
  public:
-  explicit Server(ConcurrentStore* store) : store_(store) {}
+  explicit Server(ConcurrentStore* store) : store_(store) {
+    obs::Registry& reg = obs::GlobalMetrics();
+    metrics_.frames_in = reg.GetCounter("server.frames_in");
+    metrics_.frames_out = reg.GetCounter("server.frames_out");
+    metrics_.errors = reg.GetCounter("server.errors");
+    metrics_.request_ns = reg.GetHistogram("server.request_ns");
+    metrics_.queries = reg.GetCounter("server.verb.query");
+    metrics_.updates = reg.GetCounter("server.verb.update");
+    metrics_.admin = reg.GetCounter("server.verb.admin");
+  }
 
   /// Handles one parsed request. Appends the response fields; returns
   /// true when the request asked for server shutdown.
@@ -51,7 +60,20 @@ class Server {
   common::Status ServeUnixSocket(const std::string& socket_path);
 
  private:
+  /// Registry cells ("server.*"), shared by every connection thread (the
+  /// cells are atomic; no per-connection state).
+  struct MetricCells {
+    obs::Counter* frames_in = nullptr;
+    obs::Counter* frames_out = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* request_ns = nullptr;
+    obs::Counter* queries = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* admin = nullptr;
+  };
+
   ConcurrentStore* store_;
+  MetricCells metrics_;
   std::atomic<bool> shutdown_{false};
   std::atomic<int> listen_fd_{-1};
 };

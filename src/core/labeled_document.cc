@@ -18,13 +18,24 @@ using xml::NodeId;
 LabeledDocument::LabeledDocument(xml::Tree tree,
                                  const labels::LabelingScheme* scheme,
                                  std::vector<Label> labels)
-    : tree_(std::move(tree)), scheme_(scheme), labels_(std::move(labels)) {}
+    : tree_(std::move(tree)), scheme_(scheme), labels_(std::move(labels)) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  const std::string prefix = "doc." + std::string(scheme_->traits().name);
+  metrics_.inserts = reg.GetCounter(prefix + ".inserts");
+  metrics_.removes = reg.GetCounter(prefix + ".removes");
+  metrics_.value_updates = reg.GetCounter(prefix + ".value_updates");
+  metrics_.relabels = reg.GetCounter(prefix + ".relabels");
+  metrics_.overflows = reg.GetCounter(prefix + ".overflows");
+  metrics_.label_bits =
+      reg.GetCounter(prefix + ".label_bits_assigned", obs::Unit::kCount);
+}
 
 LabeledDocument::LabeledDocument(LabeledDocument&& other) noexcept
     : tree_(std::move(other.tree_)),
       scheme_(other.scheme_),
       labels_(std::move(other.labels_)),
       observers_(std::move(other.observers_)),
+      metrics_(other.metrics_),
       version_(other.version_),
       order_keys_(std::move(other.order_keys_)),
       order_keys_built_(other.order_keys_built_),
@@ -35,6 +46,7 @@ LabeledDocument& LabeledDocument::operator=(LabeledDocument&& other) noexcept {
   scheme_ = other.scheme_;
   labels_ = std::move(other.labels_);
   observers_ = std::move(other.observers_);
+  metrics_ = other.metrics_;
   version_ = other.version_;
   order_keys_ = std::move(other.order_keys_);
   order_keys_built_ = other.order_keys_built_;
@@ -88,6 +100,15 @@ Result<NodeId> LabeledDocument::InsertNode(NodeId parent, xml::NodeKind kind,
   UpdateStats applied;
   applied.relabeled = outcome->relabeled.size();
   applied.overflow = outcome->overflow;
+  metrics_.inserts->Add(1);
+  metrics_.relabels->Add(static_cast<int64_t>(applied.relabeled));
+  if (applied.overflow) metrics_.overflows->Add(1);
+  int64_t bits = static_cast<int64_t>(scheme_->StorageBits(outcome->label));
+  for (const auto& [id, fresh] : outcome->relabeled) {
+    (void)id;
+    bits += static_cast<int64_t>(scheme_->StorageBits(fresh));
+  }
+  metrics_.label_bits->Add(bits);
   if (stats != nullptr) *stats = applied;
   for (UpdateObserver* observer : observers_) {
     observer->OnInsertNode(*this, node, applied);
@@ -139,6 +160,7 @@ Status LabeledDocument::RemoveSubtree(NodeId node) {
   // on each node's own label, and rank-fallback keys keep their relative
   // order when entries disappear. Only the version moves.
   ++version_;
+  metrics_.removes->Add(1);
   for (UpdateObserver* observer : observers_) {
     observer->OnRemoveSubtree(*this, node);
   }
@@ -147,6 +169,7 @@ Status LabeledDocument::RemoveSubtree(NodeId node) {
 
 Status LabeledDocument::UpdateValue(NodeId node, std::string value) {
   XMLUP_RETURN_NOT_OK(tree_.SetValue(node, std::move(value)));
+  metrics_.value_updates->Add(1);
   for (UpdateObserver* observer : observers_) {
     observer->OnUpdateValue(*this, node);
   }

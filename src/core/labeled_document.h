@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "labels/scheme.h"
+#include "observability/metrics.h"
 #include "xml/tree.h"
 
 namespace xmlup::core {
@@ -23,6 +24,20 @@ struct UpdateStats {
 };
 
 class LabeledDocument;
+
+/// Per-scheme update metric cells, resolved once per document from the
+/// global registry (names "doc.<scheme>.<event>") so the hot path is one
+/// relaxed atomic add per event. Counts cover every label-assignment
+/// event, including snapshot/journal recovery replays — which is exactly
+/// what lets recovery be cross-checked against the original run.
+struct DocMetricCells {
+  obs::Counter* inserts = nullptr;
+  obs::Counter* removes = nullptr;
+  obs::Counter* value_updates = nullptr;
+  obs::Counter* relabels = nullptr;
+  obs::Counter* overflows = nullptr;
+  obs::Counter* label_bits = nullptr;
+};
 
 /// Observes primitive updates applied to a LabeledDocument. Callbacks fire
 /// after the update succeeded, with the document already in its new state;
@@ -168,6 +183,7 @@ class LabeledDocument {
   const labels::LabelingScheme* scheme_;
   std::vector<labels::Label> labels_;
   std::vector<UpdateObserver*> observers_;
+  DocMetricCells metrics_;
 
   uint64_t version_ = 0;
   mutable std::vector<std::string> order_keys_;

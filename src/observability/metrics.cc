@@ -1,0 +1,251 @@
+#include "observability/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace xmlup::obs {
+
+#ifndef XMLUP_METRICS_DISABLED
+
+namespace {
+
+std::string FormatUint(uint64_t v) { return std::to_string(v); }
+std::string FormatInt(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (cum + c >= rank) {
+      if (i == 0) return 0;
+      const uint64_t lo = uint64_t{1} << (i - 1);
+      const uint64_t hi =
+          i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+      // Linear interpolation inside the bucket: deterministic for a given
+      // sample multiset, monotone in p.
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(c);
+      return lo + static_cast<uint64_t>(static_cast<double>(hi - lo) * frac);
+    }
+    cum += c;
+  }
+  return 0;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: cell addresses are stable for the registry lifetime.
+  std::map<std::string, std::pair<std::unique_ptr<Counter>, Unit>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::pair<std::unique_ptr<Histogram>, Unit>>
+      histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter* Registry::GetCounter(std::string_view name, Unit unit) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(std::string(name));
+  if (it != impl_->counters.end()) return it->second.first.get();
+  if (impl_->gauges.count(std::string(name)) != 0 ||
+      impl_->histograms.count(std::string(name)) != 0) {
+    static Counter dummy;
+    return &dummy;
+  }
+  auto& slot = impl_->counters[std::string(name)];
+  slot = {std::make_unique<Counter>(), unit};
+  return slot.first.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(std::string(name));
+  if (it != impl_->gauges.end()) return it->second.get();
+  if (impl_->counters.count(std::string(name)) != 0 ||
+      impl_->histograms.count(std::string(name)) != 0) {
+    static Gauge dummy;
+    return &dummy;
+  }
+  auto& slot = impl_->gauges[std::string(name)];
+  slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, Unit unit) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(std::string(name));
+  if (it != impl_->histograms.end()) return it->second.first.get();
+  if (impl_->counters.count(std::string(name)) != 0 ||
+      impl_->gauges.count(std::string(name)) != 0) {
+    static Histogram dummy;
+    return &dummy;
+  }
+  auto& slot = impl_->histograms[std::string(name)];
+  slot = {std::make_unique<Histogram>(), unit};
+  return slot.first.get();
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, cell] : impl_->counters) cell.first->Reset();
+  for (auto& [name, cell] : impl_->gauges) cell->Reset();
+  for (auto& [name, cell] : impl_->histograms) cell.first->Reset();
+}
+
+std::vector<std::pair<std::string, std::string>> Registry::TextFields(
+    bool include_timing) const {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  // The three maps are each sorted; merge by name so the output is one
+  // sorted sequence regardless of cell kind.
+  auto c = impl_->counters.begin();
+  auto g = impl_->gauges.begin();
+  auto h = impl_->histograms.begin();
+  auto next_name = [&]() -> const std::string* {
+    const std::string* best = nullptr;
+    if (c != impl_->counters.end()) best = &c->first;
+    if (g != impl_->gauges.end() && (best == nullptr || g->first < *best)) {
+      best = &g->first;
+    }
+    if (h != impl_->histograms.end() &&
+        (best == nullptr || h->first < *best)) {
+      best = &h->first;
+    }
+    return best;
+  };
+  for (const std::string* name = next_name(); name != nullptr;
+       name = next_name()) {
+    if (c != impl_->counters.end() && &c->first == name) {
+      fields.emplace_back(c->first, FormatUint(c->second.first->value()));
+      ++c;
+    } else if (g != impl_->gauges.end() && &g->first == name) {
+      fields.emplace_back(g->first, FormatInt(g->second->value()));
+      ++g;
+    } else {
+      const Histogram& hist = *h->second.first;
+      const bool timing = h->second.second == Unit::kNanos;
+      fields.emplace_back(h->first + ".count", FormatUint(hist.count()));
+      if (!timing || include_timing) {
+        fields.emplace_back(h->first + ".sum", FormatUint(hist.sum()));
+        fields.emplace_back(h->first + ".p50",
+                            FormatUint(hist.ValueAtPercentile(50)));
+        fields.emplace_back(h->first + ".p95",
+                            FormatUint(hist.ValueAtPercentile(95)));
+        fields.emplace_back(h->first + ".p99",
+                            FormatUint(hist.ValueAtPercentile(99)));
+      }
+      ++h;
+    }
+  }
+  return fields;
+}
+
+std::string Registry::RenderText(bool include_timing) const {
+  std::string out;
+  for (const auto& [name, value] : TextFields(include_timing)) {
+    out += name;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::RenderJson(bool include_timing) const {
+  // Histogram sub-fields fold back into nested objects by splitting the
+  // TextFields suffix; every name this library mints is JSON-safe
+  // ([a-z0-9._-]), so no string escaping is needed.
+  std::string out = "{";
+  bool first = true;
+  std::string open_hist;  // histogram currently being emitted
+  auto close_hist = [&] {
+    if (!open_hist.empty()) {
+      out += '}';
+      open_hist.clear();
+    }
+  };
+  for (const auto& [name, value] : TextFields(include_timing)) {
+    const size_t dot = name.rfind('.');
+    std::string base, leaf;
+    if (dot != std::string::npos) {
+      base = name.substr(0, dot);
+      leaf = name.substr(dot + 1);
+    }
+    const bool hist_field = leaf == "count" || leaf == "sum" ||
+                            leaf == "p50" || leaf == "p95" || leaf == "p99";
+    if (hist_field && base == open_hist) {
+      out += ", \"" + leaf + "\": " + value;
+      continue;
+    }
+    close_hist();
+    if (!first) out += ",\n ";
+    first = false;
+    if (hist_field) {
+      out += '"' + base + "\": {\"" + leaf + "\": " + value;
+      open_hist = base;
+    } else {
+      out += '"' + name + "\": " + value;
+    }
+  }
+  close_hist();
+  out += "}\n";
+  return out;
+}
+
+#else  // XMLUP_METRICS_DISABLED
+
+// Disabled build: the registry hands out shared no-op cells and renders
+// nothing, so a disabled binary cannot accidentally report zeros as data.
+struct Registry::Impl {};
+
+Registry::Registry() : impl_(nullptr) {}
+Registry::~Registry() = default;
+
+Counter* Registry::GetCounter(std::string_view, Unit) {
+  static Counter cell;
+  return &cell;
+}
+
+Gauge* Registry::GetGauge(std::string_view) {
+  static Gauge cell;
+  return &cell;
+}
+
+Histogram* Registry::GetHistogram(std::string_view, Unit) {
+  static Histogram cell;
+  return &cell;
+}
+
+void Registry::Reset() {}
+
+std::vector<std::pair<std::string, std::string>> Registry::TextFields(
+    bool) const {
+  return {};
+}
+
+std::string Registry::RenderText(bool) const { return std::string(); }
+
+std::string Registry::RenderJson(bool) const { return "{}\n"; }
+
+#endif  // XMLUP_METRICS_DISABLED
+
+Registry& GlobalMetrics() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace xmlup::obs

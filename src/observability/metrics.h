@@ -1,0 +1,254 @@
+#ifndef XMLUP_OBSERVABILITY_METRICS_H_
+#define XMLUP_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// Low-overhead metrics for the store/server pipeline.
+///
+/// Design constraints (see DESIGN.md "Observability"):
+///
+///   * The hot path is a single relaxed atomic RMW per event. Call sites
+///     resolve their cells ONCE (construction, static init) and then only
+///     touch the cell — the registry's mutex is never on the update path.
+///   * Everything compiles out: building with -DXMLUP_METRICS=OFF defines
+///     XMLUP_METRICS_DISABLED, which turns every cell into an empty inline
+///     no-op the optimiser deletes. Call sites are written once and work
+///     in both builds (kMetricsEnabled tells tests which one they got).
+///   * Snapshots must be REPRODUCIBLE: two identical runs must render the
+///     same bytes. Counters, gauges and value histograms are deterministic
+///     by construction; wall-clock histograms (Unit::kNanos) are not, so
+///     the default render emits only their sample counts — timing data is
+///     opt-in via include_timing.
+namespace xmlup::obs {
+
+#ifdef XMLUP_METRICS_DISABLED
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// What a metric's value measures; decides how it renders and whether it
+/// is part of the deterministic snapshot (kNanos values are not).
+enum class Unit : uint8_t {
+  kCount,
+  kBytes,
+  kNanos,
+};
+
+/// Steady-clock nanoseconds; the time base for every histogram and span.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Geometric buckets: index i holds values with bit_width(v) == i, i.e.
+/// [2^(i-1), 2^i - 1]; bucket 0 holds exactly 0. 65 buckets cover the
+/// full uint64 range at ~2x resolution, enough for latency tails.
+inline constexpr size_t kHistogramBuckets = 65;
+
+#ifndef XMLUP_METRICS_DISABLED
+
+/// Monotonic event counter. Relaxed atomics: per-cell totals are exact,
+/// cross-cell ordering is not promised (snapshots are taken at quiescent
+/// points or compared as totals).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-writer-wins instantaneous level (queue depth, live views).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram, lock-free on the record path (one relaxed RMW
+/// per bucket/sum/count). Percentiles interpolate linearly inside the
+/// winning geometric bucket — ~2x worst-case error, plenty for p50/p95/p99
+/// trend lines.
+class Histogram {
+ public:
+  void Record(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Approximate value at percentile p in [0, 100].
+  uint64_t ValueAtPercentile(double p) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketIndex(uint64_t v) {
+    return static_cast<size_t>(std::bit_width(v));
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kHistogramBuckets]{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// RAII wall-clock timer: records elapsed nanoseconds into `hist` on
+/// destruction. Use via XMLUP_SCOPED_TIMER so the object itself compiles
+/// out with the layer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(MonotonicNanos()) {}
+  ~ScopedTimer() { hist_->Record(MonotonicNanos() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+#else  // XMLUP_METRICS_DISABLED
+
+// No-op cells: same API, empty bodies, no state. Every call site
+// disappears at -O1; the classes exist so the call sites still compile.
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  int64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t) {}
+  uint64_t count() const { return 0; }
+  uint64_t sum() const { return 0; }
+  uint64_t bucket(size_t) const { return 0; }
+  uint64_t ValueAtPercentile(double) const { return 0; }
+  void Reset() {}
+  static size_t BucketIndex(uint64_t) { return 0; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+};
+
+#endif  // XMLUP_METRICS_DISABLED
+
+/// Point-in-time reading of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+inline HistogramSnapshot Snapshot(const Histogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.p50 = h.ValueAtPercentile(50);
+  s.p95 = h.ValueAtPercentile(95);
+  s.p99 = h.ValueAtPercentile(99);
+  return s;
+}
+
+/// Named collection of cells. Get-or-create is mutex-protected and
+/// returns stable pointers (cells never move or die) — resolve once, then
+/// update lock-free. Snapshots render sorted by name, so identical
+/// histories produce identical bytes.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. Requesting an existing name with a different
+  /// cell kind returns a detached dummy cell rather than corrupting the
+  /// registry (a programming error, surfaced by the missing metric).
+  Counter* GetCounter(std::string_view name, Unit unit = Unit::kCount);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name, Unit unit = Unit::kNanos);
+
+  /// Zeroes every cell, keeping registrations (test/bench epoch marker).
+  void Reset();
+
+  /// Sorted (name, value) pairs. Counters/gauges render their value;
+  /// histograms expand to name.count / name.sum / name.p50/p95/p99 —
+  /// except Unit::kNanos histograms, which contribute only name.count
+  /// unless `include_timing` (wall-clock values are not reproducible).
+  std::vector<std::pair<std::string, std::string>> TextFields(
+      bool include_timing = false) const;
+
+  /// TextFields joined as "name=value\n" lines.
+  std::string RenderText(bool include_timing = false) const;
+
+  /// One flat JSON object keyed by metric name; histograms are nested
+  /// objects. Same determinism contract as RenderText.
+  std::string RenderJson(bool include_timing = false) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// The process-wide registry every subsystem records into. Leaked on
+/// purpose: detached server threads may record during static teardown.
+Registry& GlobalMetrics();
+
+}  // namespace xmlup::obs
+
+// Timer macro: compiles to nothing when the layer is disabled (no object,
+// no clock reads). `hist` must be a Histogram* resolved at init time.
+#define XMLUP_OBS_CONCAT_INNER(a, b) a##b
+#define XMLUP_OBS_CONCAT(a, b) XMLUP_OBS_CONCAT_INNER(a, b)
+#ifndef XMLUP_METRICS_DISABLED
+#define XMLUP_SCOPED_TIMER(hist) \
+  ::xmlup::obs::ScopedTimer XMLUP_OBS_CONCAT(xmlup_scoped_timer_, \
+                                             __LINE__)(hist)
+#else
+#define XMLUP_SCOPED_TIMER(hist) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // XMLUP_OBSERVABILITY_METRICS_H_

@@ -1,0 +1,95 @@
+#include "observability/trace.h"
+
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace xmlup::obs {
+
+#ifndef XMLUP_METRICS_DISABLED
+
+struct TraceRing::Impl {
+  explicit Impl(size_t capacity) : ring(capacity) {}
+
+  mutable std::mutex mu;
+  std::vector<Span> ring;
+  uint64_t next_seq = 0;
+};
+
+TraceRing::TraceRing(size_t capacity)
+    : impl_(new Impl(capacity == 0 ? 1 : capacity)) {}
+
+TraceRing::~TraceRing() { delete impl_; }
+
+void TraceRing::Record(const char* name, uint64_t start_ns,
+                       uint64_t dur_ns) {
+  const uint64_t tid =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Span& slot = impl_->ring[impl_->next_seq % impl_->ring.size()];
+  slot.name = name;
+  slot.seq = impl_->next_seq++;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.tid = tid;
+}
+
+std::vector<Span> TraceRing::Spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<Span> out;
+  const size_t cap = impl_->ring.size();
+  const uint64_t total = impl_->next_seq;
+  const uint64_t first = total > cap ? total - cap : 0;
+  out.reserve(static_cast<size_t>(total - first));
+  for (uint64_t seq = first; seq < total; ++seq) {
+    out.push_back(impl_->ring[seq % cap]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->next_seq;
+}
+
+size_t TraceRing::capacity() const { return impl_->ring.size(); }
+
+void TraceRing::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->next_seq = 0;
+}
+
+std::string TraceRing::RenderText() const {
+  std::string out;
+  for (const Span& span : Spans()) {
+    out += span.name;
+    out += " dur_ns=";
+    out += std::to_string(span.dur_ns);
+    out += " seq=";
+    out += std::to_string(span.seq);
+    out += '\n';
+  }
+  return out;
+}
+
+#else  // XMLUP_METRICS_DISABLED
+
+struct TraceRing::Impl {};
+
+TraceRing::TraceRing(size_t) : impl_(nullptr) {}
+TraceRing::~TraceRing() = default;
+void TraceRing::Record(const char*, uint64_t, uint64_t) {}
+std::vector<Span> TraceRing::Spans() const { return {}; }
+uint64_t TraceRing::recorded() const { return 0; }
+size_t TraceRing::capacity() const { return 0; }
+void TraceRing::Reset() {}
+std::string TraceRing::RenderText() const { return std::string(); }
+
+#endif  // XMLUP_METRICS_DISABLED
+
+TraceRing& GlobalTrace() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+}  // namespace xmlup::obs

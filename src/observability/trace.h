@@ -1,0 +1,97 @@
+#ifndef XMLUP_OBSERVABILITY_TRACE_H_
+#define XMLUP_OBSERVABILITY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "observability/metrics.h"
+
+/// Scoped-span tracing with a bounded in-memory ring buffer.
+///
+/// Spans are coarse-grained (one per request, batch, checkpoint,
+/// recovery — never per journal record), so a mutex-protected ring is
+/// fine: the contention budget is thousands of spans per second, not
+/// millions. The ring holds the most recent `capacity` spans; older ones
+/// are overwritten and counted as dropped. Like the metrics cells, the
+/// whole layer compiles to nothing under XMLUP_METRICS_DISABLED.
+namespace xmlup::obs {
+
+/// One completed span. `name` must be a string with static storage
+/// duration (the ring stores the pointer, not a copy).
+struct Span {
+  const char* name = "";
+  uint64_t seq = 0;       ///< Monotonic record index (ring position proof).
+  uint64_t start_ns = 0;  ///< MonotonicNanos at span open.
+  uint64_t dur_ns = 0;
+  uint64_t tid = 0;       ///< Hashed thread id.
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 2048);
+  ~TraceRing();
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Retained spans, oldest first.
+  std::vector<Span> Spans() const;
+  /// Total spans ever recorded (retained + overwritten).
+  uint64_t recorded() const;
+  size_t capacity() const;
+
+  void Reset();
+
+  /// One line per span: "name dur_ns=N seq=N". Ordered oldest-first;
+  /// wall-clock start times are deliberately omitted so two traces of the
+  /// same execution differ only where durations do.
+  std::string RenderText() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Process-wide ring every subsystem records into (leaked, like
+/// GlobalMetrics, so detached threads can record during teardown).
+TraceRing& GlobalTrace();
+
+#ifndef XMLUP_METRICS_DISABLED
+
+/// RAII span: records [construction, destruction) into GlobalTrace().
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name)
+      : name_(name), start_(MonotonicNanos()) {}
+  ~ScopedSpan() { GlobalTrace().Record(name_, start_, MonotonicNanos() - start_); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_;
+};
+
+#else
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+};
+
+#endif  // XMLUP_METRICS_DISABLED
+
+}  // namespace xmlup::obs
+
+#ifndef XMLUP_METRICS_DISABLED
+#define XMLUP_TRACE_SPAN(name) \
+  ::xmlup::obs::ScopedSpan XMLUP_OBS_CONCAT(xmlup_trace_span_, __LINE__)(name)
+#else
+#define XMLUP_TRACE_SPAN(name) \
+  do {                         \
+  } while (false)
+#endif
+
+#endif  // XMLUP_OBSERVABILITY_TRACE_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/snapshot.h"
+#include "observability/trace.h"
 
 namespace xmlup::store {
 
@@ -94,7 +95,21 @@ Status ReplayRecord(const JournalRecord& record, core::LabeledDocument* doc) {
 
 DocumentStore::DocumentStore(std::string dir, FileSystem* fs,
                              StoreOptions options)
-    : dir_(std::move(dir)), fs_(fs), options_(options) {}
+    : dir_(std::move(dir)), fs_(fs), options_(options) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.appends = reg.GetCounter("store.journal.appends");
+  metrics_.append_bytes =
+      reg.GetCounter("store.journal.append_bytes", obs::Unit::kBytes);
+  metrics_.append_ns = reg.GetHistogram("store.journal.append_ns");
+  metrics_.fsync_ns = reg.GetHistogram("store.journal.fsync_ns");
+  metrics_.checkpoint_ns = reg.GetHistogram("store.checkpoint_ns");
+  metrics_.checkpoints = reg.GetCounter("store.checkpoints");
+  metrics_.batch_records =
+      reg.GetHistogram("store.commit.batch_records", obs::Unit::kCount);
+  metrics_.rollbacks = reg.GetCounter("store.rollbacks");
+  metrics_.rollback_records_dropped =
+      reg.GetCounter("store.rollback_records_dropped");
+}
 
 DocumentStore::~DocumentStore() {
   if (doc_ != nullptr) doc_->RemoveUpdateObserver(this);
@@ -140,14 +155,24 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Create(
   // directory sync inside WriteFileAtomic also covers the journal file
   // created just above — its entry is durable before the store exists.
   XMLUP_RETURN_NOT_OK(store->WriteFileAtomic(kCurrentFileName, "1\n"));
-  XMLUP_RETURN_NOT_OK(
-      store->AdoptDocument(std::move(doc), std::move(scheme)));
+  // Adopt the document by round-tripping it through the snapshot just
+  // written, not by keeping the caller's build: snapshot restore assigns
+  // arena ids in document order, and journal records reference live ids —
+  // if the caller's tree was not built in document order (generated or
+  // hand-assembled trees), keeping it would journal ids a future Open
+  // could never retrace.
+  XMLUP_RETURN_NOT_OK(store->ReloadFromDisk(0));
   store->stats_.journal_bytes = store->journal_->bytes();
   return store;
 }
 
 Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
     const std::string& dir, const StoreOptions& options) {
+  // Recovery cells are resolved here, not in the constructor: they fire
+  // once per Open, and Create() must not count as a recovery.
+  obs::Registry& reg = obs::GlobalMetrics();
+  XMLUP_TRACE_SPAN("store.open");
+  XMLUP_SCOPED_TIMER(reg.GetHistogram("store.recovery.open_ns"));
   FileSystem* fs = options.fs != nullptr ? options.fs : PosixFileSystem();
   Result<std::string> current = fs->ReadFile(Join(dir, kCurrentFileName));
   if (!current.ok()) {
@@ -177,6 +202,11 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
   }
   store->stats_.recovered_records = scan.records.size();
   store->stats_.truncated_bytes = journal_bytes.size() - scan.valid_bytes;
+  reg.GetCounter("store.recovery.opens")->Add(1);
+  reg.GetCounter("store.recovery.replayed_records")
+      ->Add(scan.records.size());
+  reg.GetCounter("store.recovery.truncated_bytes", obs::Unit::kBytes)
+      ->Add(store->stats_.truncated_bytes);
 
   if (scan.truncated || journal_bytes.empty()) {
     if (scan.valid_bytes == 0) {
@@ -217,11 +247,18 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
 
 void DocumentStore::AppendRecord(const JournalRecord& record) {
   if (!pending_error_.ok()) return;
-  Status st = journal_->Append(record);
+  const uint64_t bytes_before = journal_->bytes();
+  Status st;
+  {
+    XMLUP_SCOPED_TIMER(metrics_.append_ns);
+    st = journal_->Append(record);
+  }
   if (!st.ok()) {
     pending_error_ = st;
     return;
   }
+  metrics_.appends->Add(1);
+  metrics_.append_bytes->Add(journal_->bytes() - bytes_before);
   stats_.journal_bytes = journal_->bytes();
   stats_.journal_records = journal_->records();
 }
@@ -315,7 +352,11 @@ Status DocumentStore::UpdateValue(NodeId node, std::string value) {
 
 Status DocumentStore::Sync() {
   XMLUP_RETURN_NOT_OK(pending_error_);
-  Status st = journal_->Sync();
+  Status st;
+  {
+    XMLUP_SCOPED_TIMER(metrics_.fsync_ns);
+    st = journal_->Sync();
+  }
   if (!st.ok()) {
     // An fsync failure leaves durability unknown; poison the store rather
     // than retry (the fsync-gate lesson: the failed range may be dropped
@@ -341,7 +382,12 @@ Status DocumentStore::RollbackTail(const BatchMark& mark) {
     // so the store already is the marked state.
     return Status::Ok();
   }
+  XMLUP_TRACE_SPAN("store.rollback");
   const std::string path = Join(dir_, JournalFileName(stats_.sequence));
+  const uint64_t dropped_records =
+      journal_.has_value() && journal_->records() > mark.records
+          ? journal_->records() - mark.records
+          : 0;
   // Close the writer first so its buffered tail is flushed (growing the
   // file, never rewriting it) before the truncate measures the cut.
   journal_.reset();
@@ -373,6 +419,8 @@ Status DocumentStore::RollbackTail(const BatchMark& mark) {
   if (records_at_last_commit_ > mark.records) {
     records_at_last_commit_ = mark.records;
   }
+  metrics_.rollbacks->Add(1);
+  metrics_.rollback_records_dropped->Add(dropped_records);
   // A pending append failure belonged entirely to the tail just removed;
   // the rebuilt state is clean. (Sync failures never reach here.)
   pending_error_ = Status::Ok();
@@ -401,11 +449,14 @@ Status DocumentStore::ReloadFromDisk(uint64_t expect_records) {
 }
 
 Status DocumentStore::CommitBatch() {
+  XMLUP_TRACE_SPAN("store.commit_batch");
   const uint64_t records_before = records_at_last_commit_;
   records_at_last_commit_ = journal_->records();
   XMLUP_RETURN_NOT_OK(Sync());
   ++stats_.group_commits;
-  stats_.group_committed_records += journal_->records() - records_before;
+  const uint64_t batch = journal_->records() - records_before;
+  stats_.group_committed_records += batch;
+  metrics_.batch_records->Record(batch);
   return Status::Ok();
 }
 
@@ -423,6 +474,8 @@ Status DocumentStore::Checkpoint() { return CheckpointImpl(nullptr); }
 
 Status DocumentStore::CheckpointImpl(NodeId* remap) {
   XMLUP_RETURN_NOT_OK(pending_error_);
+  XMLUP_TRACE_SPAN("store.checkpoint");
+  XMLUP_SCOPED_TIMER(metrics_.checkpoint_ns);
   const uint64_t next = stats_.sequence + 1;
   std::string snapshot_bytes = core::SaveSnapshot(*doc_);
   XMLUP_RETURN_NOT_OK(
@@ -446,6 +499,7 @@ Status DocumentStore::CheckpointImpl(NodeId* remap) {
   stats_.journal_records = 0;
   records_at_last_commit_ = 0;
   ++stats_.checkpoints;
+  metrics_.checkpoints->Add(1);
 
   // Reload from the image just written: the snapshot compacts the node
   // arena, and subsequent journal records must use the compacted ids —

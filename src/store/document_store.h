@@ -8,6 +8,7 @@
 
 #include "core/labeled_document.h"
 #include "labels/registry.h"
+#include "observability/metrics.h"
 #include "store/file.h"
 #include "store/journal.h"
 
@@ -191,9 +192,26 @@ class DocumentStore : private core::UpdateObserver {
   /// which must scan clean and hold exactly `expect_records` records.
   common::Status ReloadFromDisk(uint64_t expect_records);
 
+  /// Registry cells ("store.*"), resolved once at construction so the
+  /// journal hot path (AppendRecord/Sync) never takes the registry mutex.
+  /// Recovery-side cells live in Open() since they fire once per process
+  /// per store, not per update.
+  struct MetricCells {
+    obs::Counter* appends = nullptr;
+    obs::Counter* append_bytes = nullptr;
+    obs::Histogram* append_ns = nullptr;
+    obs::Histogram* fsync_ns = nullptr;
+    obs::Histogram* checkpoint_ns = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Histogram* batch_records = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* rollback_records_dropped = nullptr;
+  };
+
   std::string dir_;
   FileSystem* fs_;
   StoreOptions options_;
+  MetricCells metrics_;
   std::unique_ptr<labels::LabelingScheme> scheme_;
   std::unique_ptr<core::LabeledDocument> doc_;
   std::optional<JournalWriter> journal_;

@@ -1,0 +1,261 @@
+// Observability primitives: counter/gauge/histogram semantics, percentile
+// approximation bounds, registry get-or-create and render determinism,
+// and the trace ring's bounded-overwrite behaviour. Everything here uses
+// local Registry/TraceRing instances, not the process globals, so the
+// assertions are independent of what other code recorded.
+
+#include "observability/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "observability/trace.h"
+
+namespace xmlup {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Registry;
+using obs::TraceRing;
+using obs::Unit;
+
+// With the layer compiled out every cell is a stateless no-op; the tests
+// below assert real behaviour, so they skip. DisabledBuildContract covers
+// the no-op side.
+#define SKIP_IF_DISABLED()                                       \
+  if (!obs::kMetricsEnabled) {                                   \
+    GTEST_SKIP() << "metrics compiled out (XMLUP_METRICS=OFF)"; \
+  }
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  SKIP_IF_DISABLED();
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(1);
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAddReset) {
+  SKIP_IF_DISABLED();
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsTest, HistogramBucketIndexIsBitWidth) {
+  SKIP_IF_DISABLED();
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), 64u);
+}
+
+TEST(MetricsTest, HistogramCountSumAndPercentileBounds) {
+  SKIP_IF_DISABLED();
+  Histogram h;
+  // 90 values of 100 (bucket [64,127]) and 10 of 5000 (bucket
+  // [4096,8191]): p50 must land in the low bucket, p99 in the high one.
+  for (int i = 0; i < 90; ++i) h.Record(100);
+  for (int i = 0; i < 10; ++i) h.Record(5000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u * 100 + 10u * 5000);
+  uint64_t p50 = h.ValueAtPercentile(50);
+  EXPECT_GE(p50, 64u);
+  EXPECT_LE(p50, 127u);
+  uint64_t p99 = h.ValueAtPercentile(99);
+  EXPECT_GE(p99, 4096u);
+  EXPECT_LE(p99, 8191u);
+  // Degenerate percentiles stay inside the recorded range's buckets.
+  EXPECT_LE(h.ValueAtPercentile(0), 127u);
+  EXPECT_LE(h.ValueAtPercentile(100), 8191u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+}
+
+TEST(MetricsTest, HistogramZeroValuesLandInBucketZero) {
+  SKIP_IF_DISABLED();
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+}
+
+TEST(MetricsTest, ConcurrentCounterUpdatesAreExact) {
+  SKIP_IF_DISABLED();
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  SKIP_IF_DISABLED();
+  Registry reg;
+  Counter* a = reg.GetCounter("a");
+  Counter* b = reg.GetCounter("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.GetCounter("a"), a);
+  // Creating many more cells must not move the earlier ones.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("a"), a);
+}
+
+TEST(MetricsTest, RegistryKindCollisionYieldsDetachedCell) {
+  SKIP_IF_DISABLED();
+  Registry reg;
+  Counter* c = reg.GetCounter("same");
+  c->Add(3);
+  Gauge* g = reg.GetGauge("same");  // wrong kind: detached dummy
+  g->Set(99);
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("same=3\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("99"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, RenderTextIsSortedAndDeterministic) {
+  SKIP_IF_DISABLED();
+  Registry reg;
+  reg.GetCounter("z.last")->Add(2);
+  reg.GetCounter("a.first")->Add(1);
+  reg.GetGauge("m.middle")->Set(-5);
+  std::string text = reg.RenderText();
+  EXPECT_EQ(text, "a.first=1\nm.middle=-5\nz.last=2\n");
+  EXPECT_EQ(reg.RenderText(), text);
+}
+
+TEST(MetricsTest, NanosHistogramHidesValuesUnlessTimingRequested) {
+  SKIP_IF_DISABLED();
+  Registry reg;
+  Histogram* wall = reg.GetHistogram("lat_ns", Unit::kNanos);
+  wall->Record(12345);  // a wall-clock-ish, non-reproducible value
+  Histogram* sizes = reg.GetHistogram("batch", Unit::kCount);
+  sizes->Record(4);
+
+  std::string text = reg.RenderText(/*include_timing=*/false);
+  EXPECT_NE(text.find("lat_ns.count=1\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("lat_ns.sum"), std::string::npos) << text;
+  EXPECT_EQ(text.find("lat_ns.p50"), std::string::npos) << text;
+  // Value histograms are deterministic and always render fully.
+  EXPECT_NE(text.find("batch.count=1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("batch.sum=4\n"), std::string::npos) << text;
+
+  std::string timed = reg.RenderText(/*include_timing=*/true);
+  EXPECT_NE(timed.find("lat_ns.sum=12345\n"), std::string::npos) << timed;
+  EXPECT_NE(timed.find("lat_ns.p50="), std::string::npos) << timed;
+}
+
+TEST(MetricsTest, RenderJsonShape) {
+  SKIP_IF_DISABLED();
+  Registry reg;
+  reg.GetCounter("c")->Add(7);
+  reg.GetGauge("g")->Set(-1);
+  reg.GetHistogram("h", Unit::kCount)->Record(3);
+  std::string json = reg.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  ASSERT_GE(json.size(), 2u);
+  EXPECT_EQ(json.substr(json.size() - 2), "}\n");
+  EXPECT_NE(json.find("\"c\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\": -1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h\": {\"count\": 1"), std::string::npos) << json;
+  EXPECT_EQ(reg.RenderJson(), json);
+}
+
+TEST(MetricsTest, RegistryResetZeroesButKeepsRegistrations) {
+  SKIP_IF_DISABLED();
+  Registry reg;
+  Counter* c = reg.GetCounter("kept");
+  c->Add(5);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.GetCounter("kept"), c);
+  EXPECT_NE(reg.RenderText().find("kept=0\n"), std::string::npos);
+}
+
+TEST(MetricsTest, ScopedTimerRecordsElapsed) {
+  SKIP_IF_DISABLED();
+  Histogram h;
+  { XMLUP_SCOPED_TIMER(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(TraceTest, RingKeepsMostRecentSpansOldestFirst) {
+  SKIP_IF_DISABLED();
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Record("span", /*start_ns=*/i, /*dur_ns=*/i * 10);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  std::vector<obs::Span> spans = ring.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].seq, 6u + i);  // oldest retained first
+    EXPECT_EQ(spans[i].dur_ns, (6u + i) * 10);
+  }
+  ring.Reset();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.Spans().empty());
+}
+
+TEST(TraceTest, RenderTextOmitsWallClockStart) {
+  SKIP_IF_DISABLED();
+  TraceRing ring(8);
+  ring.Record("alpha", /*start_ns=*/123456789, /*dur_ns=*/5);
+  std::string text = ring.RenderText();
+  EXPECT_NE(text.find("alpha"), std::string::npos) << text;
+  EXPECT_NE(text.find("dur_ns=5"), std::string::npos) << text;
+  EXPECT_EQ(text.find("123456789"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, DisabledBuildContract) {
+  if (obs::kMetricsEnabled) {
+    GTEST_SKIP() << "covers the XMLUP_METRICS=OFF build only";
+  }
+  // The whole layer is inert: cells read zero whatever was recorded, and
+  // renders are empty — but every call site still compiles and runs.
+  Registry reg;
+  Counter* c = reg.GetCounter("x");
+  c->Add(100);
+  EXPECT_EQ(c->value(), 0u);
+  Histogram* h = reg.GetHistogram("y");
+  h->Record(5);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.RenderText(), "");
+  TraceRing ring(4);
+  ring.Record("s", 0, 1);
+  EXPECT_EQ(ring.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace xmlup

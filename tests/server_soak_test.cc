@@ -1,0 +1,187 @@
+// Server soak: several client threads hammer a live ServeUnixSocket
+// endpoint with a mix of update, query, and admin frames — including
+// deliberately failing updates — then a final --stats frame must
+// reconcile exactly with the client-side tallies: every acknowledged
+// update is counted once, every rejected one shows up as a failure, and
+// the frame counters account for every request the clients got a reply
+// to. Runs under TSan in CI (suite name carries "ServerSoak").
+
+#include "concurrency/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/concurrent_store.h"
+#include "observability/metrics.h"
+#include "store/file.h"
+#include "xml/parser.h"
+
+namespace xmlup::concurrency {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 24;  // multiple of the 6-way op mix
+
+xml::Tree ParseOrDie(std::string_view text) {
+  auto tree = xml::ParseDocument(text);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+std::map<std::string, uint64_t> ParseStats(
+    const std::vector<std::string>& reply) {
+  std::map<std::string, uint64_t> out;
+  for (size_t i = 1; i < reply.size(); ++i) {
+    size_t eq = reply[i].find('=');
+    if (eq == std::string::npos) continue;
+    out[reply[i].substr(0, eq)] = std::stoull(reply[i].substr(eq + 1));
+  }
+  return out;
+}
+
+TEST(ServerSoakTest, ConcurrentClientsReconcileWithStats) {
+  obs::GlobalMetrics().Reset();
+  store::MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  auto st = ConcurrentStore::Create("db", ParseOrDie("<root><seed/></root>"),
+                                    "ordpath", options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  // The store lives on the in-memory file system; only the socket needs a
+  // real path (and a short one — sun_path is ~108 bytes).
+  char dir_template[] = "/tmp/xmlup_soak_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string socket_path = std::string(dir_template) + "/s";
+
+  Server server(st->get());
+  std::thread server_thread([&] {
+    common::Status served = server.ServeUnixSocket(socket_path);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+
+  // Every successful request below is exactly one frame in and one out.
+  std::atomic<uint64_t> frames{0};
+  bool up = false;
+  for (int i = 0; i < 5000 && !up; ++i) {
+    if (UnixSocketRequest(socket_path, {"--ping"}).ok()) {
+      up = true;
+      ++frames;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(up) << "server socket never came up";
+
+  std::atomic<uint64_t> updates_sent{0};
+  std::atomic<uint64_t> updates_acked{0};
+  std::atomic<uint64_t> updates_rejected{0};
+  std::atomic<uint64_t> transport_errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        std::vector<std::string> request;
+        bool is_update = false;
+        switch (i % 6) {
+          case 0:
+          case 1:
+          case 2: {
+            // Insert a uniquely named child under the root.
+            std::string name = "n";
+            name += std::to_string(c);
+            name += '_';
+            name += std::to_string(i);
+            request = {"-s", ".", "-t", "elem", "-n", name};
+            is_update = true;
+            break;
+          }
+          case 3:
+            // Deliberate failure: the target never matches (NotFound).
+            request = {"-d", "never_there"};
+            is_update = true;
+            break;
+          case 4:
+            request = {"-q", "."};
+            break;
+          default:
+            request = {"--epoch"};
+            break;
+        }
+        auto reply = UnixSocketRequest(socket_path, request);
+        if (!reply.ok() || reply->empty()) {
+          ++transport_errors;
+          continue;
+        }
+        ++frames;
+        if (is_update) {
+          ++updates_sent;
+          if ((*reply)[0] == "ok") {
+            ++updates_acked;
+          } else {
+            ++updates_rejected;
+          }
+        } else {
+          EXPECT_EQ((*reply)[0], "ok");
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(transport_errors.load(), 0u);
+  ASSERT_EQ(updates_sent.load(),
+            static_cast<uint64_t>(kClients) * kRequestsPerClient * 4 / 6);
+
+  // frames_out is bumped *after* the reply bytes go out, so a client can
+  // observe its reply a beat before the server counts it; poll --stats
+  // until the write-side counter settles. Each poll is itself a frame:
+  // during poll k the server has seen base+k frames in and written
+  // base+k-1 replies out.
+  const uint64_t base = frames.load();
+  uint64_t polls = 0;
+  std::map<std::string, uint64_t> fields;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    auto stats_reply = UnixSocketRequest(socket_path, {"--stats"});
+    ASSERT_TRUE(stats_reply.ok()) << stats_reply.status().ToString();
+    ASSERT_GE(stats_reply->size(), 2u);
+    ASSERT_EQ((*stats_reply)[0], "ok");
+    ++polls;
+    fields = ParseStats(*stats_reply);
+    if (!obs::kMetricsEnabled ||
+        fields["server.frames_out"] == base + polls - 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Server-side totals must reconcile with the client-side tallies.
+  EXPECT_EQ(fields["updates_applied"], updates_acked.load());
+  EXPECT_EQ(fields["updates_failed"], updates_rejected.load());
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(fields["server.frames_in"], base + polls);
+    EXPECT_EQ(fields["server.frames_out"], base + polls - 1);
+    EXPECT_EQ(fields["server.verb.update"], updates_sent.load());
+    EXPECT_EQ(fields["server.errors"], updates_rejected.load());
+    EXPECT_EQ(fields["cstore.acked"], updates_acked.load());
+    EXPECT_EQ(fields["cstore.failed"], updates_rejected.load());
+    EXPECT_EQ(fields["cstore.submitted"], updates_sent.load());
+  }
+  // Each acknowledged insert is exactly one applied update on the store.
+  EXPECT_EQ((*st)->stats().updates_applied, updates_acked.load());
+
+  EXPECT_TRUE(UnixSocketRequest(socket_path, {"--shutdown"}).ok());
+  server_thread.join();
+  (*st)->Stop();
+  ::rmdir(dir_template);
+}
+
+}  // namespace
+}  // namespace xmlup::concurrency

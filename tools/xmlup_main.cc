@@ -18,6 +18,8 @@
 #include "concurrency/update.h"
 #include "core/labeled_document.h"
 #include "labels/registry.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "store/document_store.h"
 #include "store/file.h"
 #include "xml/parser.h"
@@ -59,6 +61,11 @@ usage:
       recover and list every node with its label (preorder, indented)
   xmlup info <dir>
       recovery and journal statistics
+  xmlup stats <dir> [--json] [--timing] [--trace]
+      open the store (running recovery) and dump the metrics registry;
+      the default snapshot is deterministic — identical stores render
+      identical bytes. --timing adds wall-clock histogram values,
+      --trace appends the recovery trace spans
   xmlup checkpoint <dir>
       roll the journal into a fresh snapshot
   xmlup damage <dir> --truncate <n> | --flip <byte>[:<bit>]
@@ -336,6 +343,45 @@ int CmdInfo(int argc, char** argv) {
   return 0;
 }
 
+// Opens the store — recovery populates doc.* and store.recovery.* cells —
+// and dumps the registry. With metrics compiled out this still recovers
+// (so it validates the store) but reports the layer as disabled.
+int CmdStats(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string dir = argv[0];
+  bool json = false, timing = false, trace = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else {
+      return Usage();
+    }
+  }
+  auto st = DocumentStore::Open(dir);
+  if (!st.ok()) return Fail(st.status());
+  if (!obs::kMetricsEnabled) {
+    std::fprintf(stderr,
+                 "xmlup stats: metrics are compiled out "
+                 "(build with -DXMLUP_METRICS=ON)\n");
+    return 1;
+  }
+  obs::Registry& reg = obs::GlobalMetrics();
+  if (json) {
+    std::fputs(reg.RenderJson(timing).c_str(), stdout);
+  } else {
+    std::fputs(reg.RenderText(timing).c_str(), stdout);
+  }
+  if (trace) {
+    std::fputs(obs::GlobalTrace().RenderText().c_str(), stdout);
+  }
+  return 0;
+}
+
 int CmdCheckpoint(int argc, char** argv) {
   if (argc < 1) return Usage();
   auto st = DocumentStore::Open(argv[0]);
@@ -412,6 +458,7 @@ int main(int argc, char** argv) {
   if (cmd == "cat") return CmdCat(argc - 2, argv + 2);
   if (cmd == "labels") return CmdLabels(argc - 2, argv + 2);
   if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
+  if (cmd == "stats") return CmdStats(argc - 2, argv + 2);
   if (cmd == "checkpoint") return CmdCheckpoint(argc - 2, argv + 2);
   if (cmd == "damage") return CmdDamage(argc - 2, argv + 2);
   if (cmd == "schemes") return CmdSchemes();
