@@ -67,6 +67,12 @@ Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Start(
   // The first view is published before the writer thread exists, so
   // PinView never observes a null view.
   XMLUP_RETURN_NOT_OK(engine->PublishView());
+  // Prime the commit hook while the store is still single-threaded: it
+  // sees the recovered state (snapshot + committed journal) before any
+  // pipeline batch can move the commit point.
+  if (opts.commit_hook != nullptr) {
+    opts.commit_hook->OnCommit(engine->store_.get());
+  }
   engine->writer_ = std::thread([raw = engine.get()] { raw->WriterLoop(); });
   return engine;
 }
@@ -256,6 +262,13 @@ void ConcurrentStore::WriterLoop() {
         if (result.status.ok()) result.epoch = stats_.current_epoch;
       }
     }
+    // Hook before acknowledging: once a waiter sees its future resolve,
+    // its records are already buffered for shipping (acknowledged implies
+    // shipped eventually). The hook only copies the committed tail into
+    // memory — cheap next to the fsync that preceded it.
+    if (commit.ok() && options_.commit_hook != nullptr) {
+      options_.commit_hook->OnCommit(store_.get());
+    }
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i].promise.set_value(std::move(results[i]));
     }
@@ -263,8 +276,17 @@ void ConcurrentStore::WriterLoop() {
     // Roll the journal if the policy says so — after acknowledging, so
     // compaction cost never sits on the ack path. Checkpointing only
     // rewrites the writer's private arena; pinned views are immutable.
+    // Hook order matters here too: the pre-checkpoint call above already
+    // drained this generation's committed tail, so MaybeCheckpoint may
+    // delete its files; the post-roll call hands the tailer the new
+    // generation.
     if (commit.ok()) {
+      const uint64_t generation_before = store_->stats().sequence;
       (void)store_->MaybeCheckpoint();
+      if (options_.commit_hook != nullptr &&
+          store_->stats().sequence != generation_before) {
+        options_.commit_hook->OnCommit(store_.get());
+      }
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.checkpoints = store_->stats().checkpoints;
     }

@@ -18,6 +18,20 @@
 
 namespace xmlup::concurrency {
 
+/// Hook invoked on the writer thread at commit boundaries: once before
+/// the writer starts (priming — the store is quiescent and fully
+/// recovered), after every successful group commit, and again after a
+/// checkpoint rolls the generation. The store's LastCommitPoint() is
+/// up to date at each call, and — because the post-commit call precedes
+/// MaybeCheckpoint — a hook that tails the journal (ReplicationSource)
+/// always drains a generation's committed tail before the checkpoint
+/// deletes its files.
+class CommitHook {
+ public:
+  virtual ~CommitHook() = default;
+  virtual void OnCommit(store::DocumentStore* store) = 0;
+};
+
 struct ConcurrentStoreOptions {
   /// Options for the underlying DocumentStore. sync_each_update and
   /// auto_checkpoint are overridden by the pipeline (group commit owns
@@ -25,6 +39,9 @@ struct ConcurrentStoreOptions {
   /// — file system, scheme knobs, checkpoint thresholds — applies as
   /// given.
   store::StoreOptions store;
+  /// Observes commit boundaries on the writer thread (see CommitHook).
+  /// Not owned; must outlive the store. Null = no hook.
+  CommitHook* commit_hook = nullptr;
   /// Capacity of the bounded submission queue; SubmitUpdate blocks when
   /// the queue is full (backpressure, not unbounded memory). Clamped to
   /// >= 1 (a zero-capacity queue could never admit a request).
@@ -69,7 +86,7 @@ struct ConcurrentStoreStats {
 ///   * After the commit, the writer publishes a fresh ReadView (epoch+1)
 ///     and checks the checkpoint policy. Pinned views are untouched by
 ///     either; a checkpoint only compacts the writer's private arena.
-class ConcurrentStore {
+class ConcurrentStore : public ViewProvider {
  public:
   /// Creates a new durable store at `dir` (see DocumentStore::Create)
   /// and starts the writer thread.
@@ -83,14 +100,14 @@ class ConcurrentStore {
       const std::string& dir, const ConcurrentStoreOptions& options = {});
 
   /// Stops the pipeline: drains the queue, commits, joins the writer.
-  ~ConcurrentStore();
+  ~ConcurrentStore() override;
   ConcurrentStore(const ConcurrentStore&) = delete;
   ConcurrentStore& operator=(const ConcurrentStore&) = delete;
 
   /// Pins the latest published view. Never returns null once construction
   /// succeeded; the caller keeps the snapshot alive for as long as it
   /// holds the pointer.
-  std::shared_ptr<const ReadView> PinView() const;
+  std::shared_ptr<const ReadView> PinView() const override;
 
   /// Enqueues one update; blocks while the queue is full. The future
   /// resolves after the batch containing the request is durable (or with

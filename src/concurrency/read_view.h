@@ -71,6 +71,20 @@ class ReadView {
   bool indexed_ = false;
 };
 
+/// Anything that publishes ReadViews: the local write pipeline
+/// (ConcurrentStore) or a replication applier feeding off a remote
+/// primary. The server reads through this interface, so read-only
+/// replicas serve `-q`/`--xml`/`--epoch` exactly like a primary.
+class ViewProvider {
+ public:
+  virtual ~ViewProvider() = default;
+
+  /// Pins the latest published snapshot. May return null while a replica
+  /// is still bootstrapping (no snapshot installed yet); the local write
+  /// pipeline never returns null once constructed.
+  virtual std::shared_ptr<const ReadView> PinView() const = 0;
+};
+
 }  // namespace xmlup::concurrency
 
 #endif  // XMLUP_CONCURRENCY_READ_VIEW_H_

@@ -1,14 +1,14 @@
 #include "concurrency/server.h"
 
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <condition_variable>
+#include <chrono>
 #include <cstring>
 #include <future>
-#include <mutex>
 #include <thread>
 
 #include "concurrency/wire.h"
@@ -25,6 +25,18 @@ std::vector<std::string> ErrorResponse(const Status& status) {
 }
 
 }  // namespace
+
+Server::Server(ConcurrentStore* store, ViewProvider* views)
+    : store_(store), views_(views) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.frames_in = reg.GetCounter("server.frames_in");
+  metrics_.frames_out = reg.GetCounter("server.frames_out");
+  metrics_.errors = reg.GetCounter("server.errors");
+  metrics_.request_ns = reg.GetHistogram("server.request_ns");
+  metrics_.queries = reg.GetCounter("server.verb.query");
+  metrics_.updates = reg.GetCounter("server.verb.update");
+  metrics_.admin = reg.GetCounter("server.verb.admin");
+}
 
 bool Server::HandleRequest(const std::vector<std::string>& request,
                            std::vector<std::string>* response) {
@@ -44,21 +56,63 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
     *response = {"ok"};
     return true;
   }
-  if (verb == "--epoch") {
+  if (verb == "--repl-status") {
     metrics_.admin->Add(1);
-    std::shared_ptr<const ReadView> view = store_->PinView();
-    *response = {"ok", std::to_string(view->epoch())};
-    return false;
-  }
-  if (verb == "--xml") {
-    metrics_.queries->Add(1);
-    std::shared_ptr<const ReadView> view = store_->PinView();
-    Result<std::string> xml = view->SerializeXml();
-    if (!xml.ok()) {
-      *response = ErrorResponse(xml.status());
+    if (!repl_status_) {
+      *response =
+          ErrorResponse(Status::Unsupported("replication is not enabled"));
       return false;
     }
-    *response = {"ok", *std::move(xml)};
+    *response = {"ok"};
+    for (std::string& field : repl_status_()) {
+      response->push_back(std::move(field));
+    }
+    return false;
+  }
+  if (verb == "--epoch" || verb == "--xml" || verb == "-q") {
+    // All read verbs run against one pinned snapshot: no locks, and a
+    // concurrent batch commit (or replica catch-up step) cannot shear the
+    // result set. A replica that has not yet installed its first snapshot
+    // has nothing to answer from.
+    std::shared_ptr<const ReadView> view = views_->PinView();
+    if (view == nullptr) {
+      metrics_.admin->Add(1);
+      *response = ErrorResponse(Status::Unsupported(
+          "replica has no view yet (still catching up with the primary)"));
+      return false;
+    }
+    if (verb == "--epoch") {
+      metrics_.admin->Add(1);
+      *response = {"ok", std::to_string(view->epoch())};
+      return false;
+    }
+    if (verb == "--xml") {
+      metrics_.queries->Add(1);
+      Result<std::string> xml = view->SerializeXml();
+      if (!xml.ok()) {
+        *response = ErrorResponse(xml.status());
+        return false;
+      }
+      *response = {"ok", *std::move(xml)};
+      return false;
+    }
+    metrics_.queries->Add(1);
+    if (request.size() != 2) {
+      *response =
+          ErrorResponse(Status::InvalidArgument("-q takes exactly one XPath"));
+      return false;
+    }
+    Result<std::vector<xml::NodeId>> matches = view->Query(request[1]);
+    if (!matches.ok()) {
+      *response = ErrorResponse(matches.status());
+      return false;
+    }
+    response->clear();
+    response->push_back("ok");
+    response->push_back(std::to_string(matches->size()));
+    for (xml::NodeId node : *matches) {
+      response->push_back(view->StringValue(node));
+    }
     return false;
   }
   if (verb == "--stats") {
@@ -78,17 +132,21 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
       *response = {"ok", obs::GlobalMetrics().RenderJson(false)};
       return false;
     }
-    ConcurrentStoreStats stats = store_->stats();
-    *response = {
-        "ok",
-        "updates_applied=" + std::to_string(stats.updates_applied),
-        "updates_failed=" + std::to_string(stats.updates_failed),
-        "batches=" + std::to_string(stats.batches),
-        "largest_batch=" + std::to_string(stats.largest_batch),
-        "views_published=" + std::to_string(stats.views_published),
-        "checkpoints=" + std::to_string(stats.checkpoints),
-        "epoch=" + std::to_string(stats.current_epoch),
-    };
+    *response = {"ok"};
+    if (store_ != nullptr) {
+      ConcurrentStoreStats stats = store_->stats();
+      response->push_back("updates_applied=" +
+                          std::to_string(stats.updates_applied));
+      response->push_back("updates_failed=" +
+                          std::to_string(stats.updates_failed));
+      response->push_back("batches=" + std::to_string(stats.batches));
+      response->push_back("largest_batch=" +
+                          std::to_string(stats.largest_batch));
+      response->push_back("views_published=" +
+                          std::to_string(stats.views_published));
+      response->push_back("checkpoints=" + std::to_string(stats.checkpoints));
+      response->push_back("epoch=" + std::to_string(stats.current_epoch));
+    }
     // Registry fields ride behind the legacy pipeline counters so existing
     // clients keep parsing by prefix.
     for (const auto& [name, value] :
@@ -97,32 +155,14 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
     }
     return false;
   }
-  if (verb == "-q") {
-    metrics_.queries->Add(1);
-    if (request.size() != 2) {
-      *response =
-          ErrorResponse(Status::InvalidArgument("-q takes exactly one XPath"));
-      return false;
-    }
-    // The whole query runs against one pinned snapshot: no locks, and a
-    // concurrent batch commit cannot shear the result set.
-    std::shared_ptr<const ReadView> view = store_->PinView();
-    Result<std::vector<xml::NodeId>> matches = view->Query(request[1]);
-    if (!matches.ok()) {
-      *response = ErrorResponse(matches.status());
-      return false;
-    }
-    response->clear();
-    response->push_back("ok");
-    response->push_back(std::to_string(matches->size()));
-    for (xml::NodeId node : *matches) {
-      response->push_back(view->StringValue(node));
-    }
-    return false;
-  }
 
   // Anything else is an action script in the CLI grammar.
   metrics_.updates->Add(1);
+  if (store_ == nullptr) {
+    *response = ErrorResponse(Status::Unsupported(
+        "read-only replica: send updates to the primary"));
+    return false;
+  }
   Result<std::vector<UpdateRequest>> actions = ParseActionTokens(request);
   if (!actions.ok()) {
     *response = ErrorResponse(actions.status());
@@ -152,6 +192,21 @@ bool Server::ServeConnection(int in_fd, int out_fd) {
     if (!frame.ok()) return false;          // torn frame or IO error
     if (!frame->has_value()) return false;  // clean EOF
     metrics_.frames_in->Add(1);
+    if (!(*frame)->empty() && (**frame)[0] == kReplicationHelloVerb) {
+      // The connection becomes a one-way replication stream; the streamer
+      // writes the reply and every message after it. When it returns the
+      // subscription is over — so is the connection.
+      metrics_.admin->Add(1);
+      if (streamer_ == nullptr) {
+        (void)WriteFrame(
+            out_fd, ErrorResponse(Status::Unsupported(
+                        "this server does not accept replica subscriptions")));
+        metrics_.errors->Add(1);
+        return false;
+      }
+      streamer_->ServeReplica(**frame, out_fd, shutdown_);
+      return false;
+    }
     std::vector<std::string> response;
     bool shutdown;
     {
@@ -166,6 +221,9 @@ bool Server::ServeConnection(int in_fd, int out_fd) {
 }
 
 Status Server::ServeUnixSocket(const std::string& socket_path) {
+  // A replica disconnecting mid-stream must surface as a write error on
+  // its connection thread, not kill the whole server process.
+  ::signal(SIGPIPE, SIG_IGN);
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -189,11 +247,8 @@ Status Server::ServeUnixSocket(const std::string& socket_path) {
 
   // Connection threads are detached, so finished connections release
   // their thread handles immediately instead of accumulating join handles
-  // for the server's lifetime; the active count gates return, which keeps
-  // every local below (and `this`) alive until the last thread is done.
-  std::mutex conns_mu;
-  std::condition_variable conns_done;
-  size_t active_conns = 0;
+  // for the server's lifetime; the drain below gates return, which keeps
+  // `this` alive until the last thread is done.
   while (!shutdown_.load()) {
     int conn = ::accept(fd, nullptr, nullptr);
     if (conn < 0) {
@@ -201,27 +256,42 @@ Status Server::ServeUnixSocket(const std::string& socket_path) {
       break;  // listen socket shut down (or a hard accept failure)
     }
     {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      ++active_conns;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_conns_.insert(conn);
     }
-    std::thread([this, conn, &conns_mu, &conns_done, &active_conns] {
+    std::thread([this, conn] {
       if (ServeConnection(conn, conn)) {
         // A --shutdown request: wake the accept loop by shutting the
         // listening socket down (close alone does not unblock accept).
         shutdown_.store(true);
         ::shutdown(listen_fd_.load(), SHUT_RDWR);
       }
+      // Unregister before closing: the drain only force-shuts fds still in
+      // the set, so an fd is never shut down after its number could have
+      // been reused. Notify under the lock: the waiter must not return
+      // (destroying `this`) between the predicate turning true and the
+      // notify call. The close after the lock touches only the local fd.
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        active_conns_.erase(conn);
+        conns_done_.notify_all();
+      }
       ::close(conn);
-      // Notify under the lock: the waiter's locals must not be destroyed
-      // between the predicate turning true and the notify call.
-      std::lock_guard<std::mutex> lock(conns_mu);
-      --active_conns;
-      conns_done.notify_all();
     }).detach();
   }
+
+  // Graceful drain: in-flight connections get drain_deadline_ms to finish
+  // their current request and disconnect on their own; whatever is still
+  // open after that — an idle client holding its socket, a replica
+  // subscription streaming forever — is forcibly shut down so its thread
+  // unblocks from read/write and exits. Waiting without the deadline
+  // would hang shutdown on the first idle connection.
   {
-    std::unique_lock<std::mutex> lock(conns_mu);
-    conns_done.wait(lock, [&active_conns] { return active_conns == 0; });
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    conns_done_.wait_for(lock, std::chrono::milliseconds(drain_deadline_ms_),
+                         [this] { return active_conns_.empty(); });
+    for (int conn : active_conns_) ::shutdown(conn, SHUT_RDWR);
+    conns_done_.wait(lock, [this] { return active_conns_.empty(); });
   }
   ::close(fd);
   ::unlink(socket_path.c_str());

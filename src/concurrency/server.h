@@ -2,6 +2,11 @@
 #define XMLUP_CONCURRENCY_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -10,11 +15,29 @@
 
 namespace xmlup::concurrency {
 
+/// First field of a replication handshake frame. A connection that opens
+/// with this verb is handed to the ReplicationStreamer and becomes a
+/// one-way journal stream instead of a request/response session.
+inline constexpr char kReplicationHelloVerb[] = "repl-hello";
+
+/// Serves one replica subscription: parses the hello `request`, writes
+/// the reply and then the snapshot/frames/commit-point stream to
+/// `out_fd`, returning when the connection breaks or `stop` turns true.
+/// Implemented by replication::ReplicationSource; the server only routes.
+class ReplicationStreamer {
+ public:
+  virtual ~ReplicationStreamer() = default;
+  virtual void ServeReplica(const std::vector<std::string>& request,
+                            int out_fd, const std::atomic<bool>& stop) = 0;
+};
+
 /// Request server for `xmlup serve`: speaks the wire.h framed protocol
 /// over a Unix-domain socket (one thread per connection) or a single
-/// stdin/stdout pipe pair, and maps requests onto a ConcurrentStore —
-/// queries pin a snapshot view on the connection thread, updates go
-/// through the group-commit pipeline.
+/// stdin/stdout pipe pair. On a primary it maps requests onto a
+/// ConcurrentStore — queries pin a snapshot view on the connection
+/// thread, updates go through the group-commit pipeline. Built over a
+/// bare ViewProvider instead (a replication applier), it serves the same
+/// read verbs from replicated snapshots and rejects every update.
 ///
 /// Request forms (argv-style fields):
 ///
@@ -24,7 +47,9 @@ namespace xmlup::concurrency {
 ///   --epoch                  epoch of the latest view
 ///   --stats                  pipeline counters as key=value fields
 ///   --ping                   liveness probe
+///   --repl-status            replication role/lag as key=value fields
 ///   --shutdown               stop the server (acknowledged first)
+///   repl-hello ...           subscribe as a replica (see above)
 ///   <actions...>             one or more -i/-a/-s/-d/-u CLI actions,
 ///                            applied in order as one all-or-nothing
 ///                            transaction; response "ok" <matched>
@@ -35,16 +60,27 @@ namespace xmlup::concurrency {
 /// stays usable afterwards.
 class Server {
  public:
-  explicit Server(ConcurrentStore* store) : store_(store) {
-    obs::Registry& reg = obs::GlobalMetrics();
-    metrics_.frames_in = reg.GetCounter("server.frames_in");
-    metrics_.frames_out = reg.GetCounter("server.frames_out");
-    metrics_.errors = reg.GetCounter("server.errors");
-    metrics_.request_ns = reg.GetHistogram("server.request_ns");
-    metrics_.queries = reg.GetCounter("server.verb.query");
-    metrics_.updates = reg.GetCounter("server.verb.update");
-    metrics_.admin = reg.GetCounter("server.verb.admin");
+  /// A primary: reads and writes.
+  explicit Server(ConcurrentStore* store) : Server(store, store) {}
+  /// A read-only replica front end: reads come from `views`, updates are
+  /// rejected with a pointer at the primary.
+  explicit Server(ViewProvider* views) : Server(nullptr, views) {}
+
+  /// Routes replication handshakes to `streamer` (primary side). Must be
+  /// set before serving; not owned.
+  void EnableReplication(ReplicationStreamer* streamer) {
+    streamer_ = streamer;
   }
+
+  /// Supplies the key=value fields --repl-status replies with (both
+  /// roles). Must be set before serving.
+  void SetReplStatus(std::function<std::vector<std::string>()> fn) {
+    repl_status_ = std::move(fn);
+  }
+
+  /// How long shutdown waits for in-flight connections to finish on their
+  /// own before forcibly shutting their sockets down (see ServeUnixSocket).
+  void set_drain_deadline_ms(uint64_t ms) { drain_deadline_ms_ = ms; }
 
   /// Handles one parsed request. Appends the response fields; returns
   /// true when the request asked for server shutdown.
@@ -57,9 +93,15 @@ class Server {
 
   /// Binds `socket_path` (replacing a stale socket file), accepts
   /// connections, one thread each, until a client sends --shutdown.
+  /// Shutdown drains gracefully: accepting stops at once, in-flight
+  /// connections get drain_deadline_ms to finish, and whatever is still
+  /// open after the deadline (an idle client, a replica subscription) is
+  /// forcibly shut down rather than waited on forever.
   common::Status ServeUnixSocket(const std::string& socket_path);
 
  private:
+  Server(ConcurrentStore* store, ViewProvider* views);
+
   /// Registry cells ("server.*"), shared by every connection thread (the
   /// cells are atomic; no per-connection state).
   struct MetricCells {
@@ -72,10 +114,21 @@ class Server {
     obs::Counter* admin = nullptr;
   };
 
-  ConcurrentStore* store_;
+  ConcurrentStore* store_;  ///< Null on a read-only replica.
+  ViewProvider* views_;     ///< Always set; == store_ on a primary.
+  ReplicationStreamer* streamer_ = nullptr;
+  std::function<std::vector<std::string>()> repl_status_;
   MetricCells metrics_;
   std::atomic<bool> shutdown_{false};
   std::atomic<int> listen_fd_{-1};
+  uint64_t drain_deadline_ms_ = 2000;
+
+  /// Open connection fds, for the shutdown drain. Connection threads
+  /// register/unregister themselves; ServeUnixSocket waits on the set
+  /// emptying and force-closes stragglers past the deadline.
+  std::mutex conns_mu_;
+  std::condition_variable conns_done_;
+  std::set<int> active_conns_;
 };
 
 /// Client helper (xmlup req, tests): connects to `socket_path`, sends

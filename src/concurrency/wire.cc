@@ -111,4 +111,54 @@ Result<std::optional<std::vector<std::string>>> ReadFrame(int fd) {
   return std::optional<std::vector<std::string>>(SplitFields(payload));
 }
 
+namespace {
+constexpr char kEscapeByte = '\x1e';
+}  // namespace
+
+std::string EscapeBinary(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == kEscapeByte) {
+      out.push_back(kEscapeByte);
+      out.push_back('e');
+    } else if (c == kFieldSeparator) {
+      out.push_back(kEscapeByte);
+      out.push_back('u');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeBinary(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c == kFieldSeparator) {
+      return Status::ParseError("bare separator byte in escaped field");
+    }
+    if (c != kEscapeByte) {
+      out.push_back(c);
+      continue;
+    }
+    if (++i == escaped.size()) {
+      return Status::ParseError("dangling escape byte in escaped field");
+    }
+    switch (escaped[i]) {
+      case 'e':
+        out.push_back(kEscapeByte);
+        break;
+      case 'u':
+        out.push_back(kFieldSeparator);
+        break;
+      default:
+        return Status::ParseError("unknown escape code in escaped field");
+    }
+  }
+  return out;
+}
+
 }  // namespace xmlup::concurrency

@@ -41,6 +41,16 @@ common::Status WriteFrame(int fd, const std::vector<std::string>& fields);
 /// failure.
 common::Result<std::optional<std::vector<std::string>>> ReadFrame(int fd);
 
+/// Escapes arbitrary binary so it can travel as one wire field: the field
+/// separator 0x1F and the escape byte 0x1E are replaced by two-byte
+/// escapes (0x1E 'u' and 0x1E 'e'), everything else passes through.
+/// Replication uses this to ship raw journal frames and snapshot chunks.
+std::string EscapeBinary(std::string_view raw);
+
+/// Inverse of EscapeBinary. Errors on a bare separator, a dangling escape
+/// byte, or an unknown escape code.
+common::Result<std::string> UnescapeBinary(std::string_view escaped);
+
 }  // namespace xmlup::concurrency
 
 #endif  // XMLUP_CONCURRENCY_WIRE_H_

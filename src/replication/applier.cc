@@ -1,0 +1,446 @@
+#include "replication/applier.h"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "concurrency/server.h"
+#include "concurrency/wire.h"
+#include "replication/protocol.h"
+
+namespace xmlup::replication {
+
+using common::Result;
+using common::Status;
+using concurrency::ReadFrame;
+using concurrency::UnescapeBinary;
+using concurrency::WriteFrame;
+
+namespace {
+
+Result<int> ConnectUnix(const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::Internal(socket_path + ": " +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+}  // namespace
+
+ReplicaApplier::ReplicaApplier(std::string dir, std::string primary_socket,
+                               ReplicaApplierOptions options)
+    : dir_(std::move(dir)),
+      primary_socket_(std::move(primary_socket)),
+      options_(std::move(options)) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.apply_ns = reg.GetHistogram("repl.apply_ns");
+  metrics_.frames_received = reg.GetCounter("repl.frames_received");
+  metrics_.bytes_received =
+      reg.GetCounter("repl.bytes_received", obs::Unit::kBytes);
+  metrics_.records_applied = reg.GetCounter("repl.records_applied");
+  metrics_.snapshots_installed = reg.GetCounter("repl.snapshots_installed");
+  metrics_.rolls = reg.GetCounter("repl.rolls");
+  metrics_.commit_points = reg.GetCounter("repl.commit_points");
+  metrics_.reconnects = reg.GetCounter("repl.reconnects");
+  metrics_.lag_bytes = reg.GetGauge("repl.lag_bytes");
+  metrics_.lag_records = reg.GetGauge("repl.lag_records");
+}
+
+Result<std::unique_ptr<ReplicaApplier>> ReplicaApplier::Start(
+    const std::string& dir, const std::string& primary_socket,
+    const ReplicaApplierOptions& options) {
+  // A primary vanishing mid-write must surface as an error on the applier
+  // thread, not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+  std::unique_ptr<ReplicaApplier> applier(
+      new ReplicaApplier(dir, primary_socket, options));
+  XMLUP_ASSIGN_OR_RETURN(applier->store_,
+                         ReplicaStore::Open(dir, options.store));
+  applier->status_.applied = applier->store_->position();
+  if (applier->store_->has_document()) {
+    // Serve stale-but-consistent reads from the recovered state right
+    // away; the stream will advance the view as catch-up progresses.
+    XMLUP_RETURN_NOT_OK(applier->PublishView());
+  }
+  applier->thread_ = std::thread([raw = applier.get()] { raw->Run(); });
+  return applier;
+}
+
+ReplicaApplier::~ReplicaApplier() { Stop(); }
+
+void ReplicaApplier::Stop() {
+  stopping_.store(true);
+  {
+    // Wake a backoff sleep; an in-flight read is woken by the shutdown.
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_changed_.notify_all();
+  }
+  const int fd = conn_fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (store_ != nullptr) (void)store_->Sync();
+}
+
+std::shared_ptr<const concurrency::ReadView> ReplicaApplier::PinView() const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  return view_;
+}
+
+ReplicaStatus ReplicaApplier::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+std::vector<std::string> ReplicaApplier::StatusFields() const {
+  ReplicaStatus s = status();
+  std::vector<std::string> fields;
+  fields.push_back("role=replica");
+  fields.push_back(std::string("connected=") + (s.connected ? "1" : "0"));
+  fields.push_back(std::string("has_view=") + (s.has_view ? "1" : "0"));
+  fields.push_back("generation=" + std::to_string(s.applied.generation));
+  fields.push_back("applied_bytes=" + std::to_string(s.applied.bytes));
+  fields.push_back("applied_records=" + std::to_string(s.applied.records));
+  fields.push_back("primary_generation=" +
+                   std::to_string(s.primary.generation));
+  fields.push_back("primary_bytes=" + std::to_string(s.primary.bytes));
+  fields.push_back("primary_records=" + std::to_string(s.primary.records));
+  fields.push_back("lag_bytes=" + std::to_string(s.lag_bytes));
+  fields.push_back("lag_records=" + std::to_string(s.lag_records));
+  fields.push_back("reconnects=" + std::to_string(s.reconnects));
+  fields.push_back("snapshots_installed=" +
+                   std::to_string(s.snapshots_installed));
+  fields.push_back("rolls=" + std::to_string(s.rolls));
+  fields.push_back("commit_points=" + std::to_string(s.commit_points));
+  if (!s.last_error.empty()) {
+    fields.push_back("last_error=" + s.last_error);
+  }
+  return fields;
+}
+
+bool ReplicaApplier::WaitForPosition(const store::CommitPoint& target,
+                                     uint64_t timeout_ms) const {
+  auto reached = [&] {
+    const store::CommitPoint& applied = status_.applied;
+    return applied.generation > target.generation ||
+           (applied.generation == target.generation &&
+            applied.bytes >= target.bytes);
+  };
+  std::unique_lock<std::mutex> lock(status_mu_);
+  return status_changed_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), reached);
+}
+
+void ReplicaApplier::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  status_.last_error = status.ToString();
+  status_changed_.notify_all();
+}
+
+void ReplicaApplier::ReopenStore() {
+  // Disk recovery is the one resync lever: whatever the session left —
+  // a torn journal tail, a half-received snapshot, a document ahead of
+  // its journal — reopening rebuilds the last consistent durable state,
+  // and the next hello tells the primary where that is.
+  snapshot_buffer_.clear();
+  store_.reset();
+  Result<std::unique_ptr<ReplicaStore>> reopened =
+      ReplicaStore::Open(dir_, options_.store);
+  if (!reopened.ok()) {
+    RecordError(reopened.status());
+    return;
+  }
+  store_ = std::move(*reopened);
+  std::lock_guard<std::mutex> lock(status_mu_);
+  status_.applied = store_->position();
+  status_changed_.notify_all();
+}
+
+void ReplicaApplier::Run() {
+  uint64_t backoff_ms = options_.backoff_initial_ms;
+  bool connected_once = false;
+  while (!stopping_.load()) {
+    if (store_ == nullptr) ReopenStore();
+    if (store_ != nullptr) {
+      session_progress_ = false;
+      RunSession(&connected_once);
+      if (session_progress_) backoff_ms = options_.backoff_initial_ms;
+    }
+    if (stopping_.load()) break;
+    {
+      std::unique_lock<std::mutex> lock(status_mu_);
+      status_changed_.wait_for(lock, std::chrono::milliseconds(backoff_ms),
+                               [this] { return stopping_.load(); });
+    }
+    backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+  }
+}
+
+void ReplicaApplier::RunSession(bool* connected_once) {
+  Result<int> connected = ConnectUnix(primary_socket_);
+  if (!connected.ok()) {
+    RecordError(connected.status());
+    return;
+  }
+  const int fd = *connected;
+  conn_fd_.store(fd);
+  if (*connected_once) {
+    metrics_.reconnects->Add(1);
+    std::lock_guard<std::mutex> lock(status_mu_);
+    ++status_.reconnects;
+  }
+  *connected_once = true;
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_.connected = true;
+    status_changed_.notify_all();
+  }
+
+  // Handshake with the recovered durable position; the primary decides
+  // between tailing frames and a full snapshot.
+  const store::CommitPoint position = store_->position();
+  const std::string scheme = store_->has_document()
+                                 ? store_->scheme_name()
+                                 : std::string(kReplNoScheme);
+  std::vector<std::string> hello = {
+      concurrency::kReplicationHelloVerb,
+      std::to_string(kReplProtocolVersion),
+      scheme,
+      std::to_string(position.generation),
+      std::to_string(position.bytes),
+      std::to_string(position.records)};
+  bool session_ok = WriteFrame(fd, hello).ok();
+  if (session_ok) {
+    Result<std::optional<std::vector<std::string>>> reply = ReadFrame(fd);
+    if (!reply.ok() || !reply->has_value() || (*reply)->empty() ||
+        (**reply)[0] != "ok") {
+      if (reply.ok() && reply->has_value() && (*reply)->size() >= 2 &&
+          (**reply)[0] == "err") {
+        RecordError(Status::Unsupported("primary rejected hello: " +
+                                        (**reply)[1]));
+      } else if (!reply.ok()) {
+        RecordError(reply.status());
+      } else {
+        RecordError(Status::Internal("primary closed during handshake"));
+      }
+      session_ok = false;
+    }
+  }
+  snapshot_buffer_.clear();
+  while (session_ok && !stopping_.load()) {
+    Result<std::optional<std::vector<std::string>>> frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      if (!stopping_.load()) RecordError(frame.status());
+      break;
+    }
+    if (!frame->has_value()) break;  // primary closed cleanly
+    if (!ApplyMessage(**frame)) break;
+  }
+  conn_fd_.store(-1);
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_.connected = false;
+    status_changed_.notify_all();
+  }
+}
+
+Status ReplicaApplier::PublishView() {
+  XMLUP_ASSIGN_OR_RETURN(std::shared_ptr<const concurrency::ReadView> view,
+                         store_->BuildView(next_epoch_));
+  ++next_epoch_;
+  {
+    std::lock_guard<std::mutex> lock(view_mu_);
+    view_ = std::move(view);
+  }
+  std::lock_guard<std::mutex> lock(status_mu_);
+  status_.has_view = true;
+  status_changed_.notify_all();
+  return Status::Ok();
+}
+
+bool ReplicaApplier::ApplyMessage(const std::vector<std::string>& message) {
+  if (message.empty()) {
+    RecordError(Status::ParseError("empty replication message"));
+    return false;
+  }
+  const std::string& verb = message[0];
+  // A local store/apply failure is handled the same way everywhere:
+  // record it, reopen from disk (recovering the last consistent state),
+  // and end the session so the next hello renegotiates.
+  auto fail_session = [this](const Status& status) {
+    RecordError(status);
+    ReopenStore();
+    return false;
+  };
+
+  if (verb == kReplVerbSnapshot) {
+    uint64_t generation, index, count;
+    if (message.size() != 5 || !ParseU64(message[1], &generation) ||
+        !ParseU64(message[2], &index) || !ParseU64(message[3], &count) ||
+        count == 0 || index >= count) {
+      RecordError(Status::ParseError("malformed snapshot message"));
+      return false;
+    }
+    Result<std::string> chunk = UnescapeBinary(message[4]);
+    if (!chunk.ok()) {
+      RecordError(chunk.status());
+      return false;
+    }
+    if (index == 0) snapshot_buffer_.clear();
+    snapshot_buffer_ += *chunk;
+    metrics_.bytes_received->Add(chunk->size());
+    if (index + 1 < count) return true;
+    Status installed;
+    {
+      XMLUP_SCOPED_TIMER(metrics_.apply_ns);
+      installed = store_->InstallSnapshot(generation, snapshot_buffer_);
+    }
+    snapshot_buffer_.clear();
+    if (!installed.ok()) return fail_session(installed);
+    metrics_.snapshots_installed->Add(1);
+    session_progress_ = true;
+    {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      status_.applied = store_->position();
+      ++status_.snapshots_installed;
+      status_changed_.notify_all();
+    }
+    Status published = PublishView();
+    if (!published.ok()) return fail_session(published);
+    return true;
+  }
+
+  if (verb == kReplVerbFrames) {
+    uint64_t generation, base_bytes, base_records, records;
+    if (message.size() != 6 || !ParseU64(message[1], &generation) ||
+        !ParseU64(message[2], &base_bytes) ||
+        !ParseU64(message[3], &base_records) ||
+        !ParseU64(message[4], &records)) {
+      RecordError(Status::ParseError("malformed frames message"));
+      return false;
+    }
+    Result<std::string> payload = UnescapeBinary(message[5]);
+    if (!payload.ok()) {
+      RecordError(payload.status());
+      return false;
+    }
+    Status applied;
+    {
+      XMLUP_SCOPED_TIMER(metrics_.apply_ns);
+      applied = store_->AppendFrames(generation, base_bytes, base_records,
+                                     *payload);
+    }
+    if (!applied.ok()) return fail_session(applied);
+    if (store_->position().records != base_records + records) {
+      return fail_session(Status::Internal(
+          "frames payload record count does not match its header"));
+    }
+    metrics_.frames_received->Add(1);
+    metrics_.bytes_received->Add(payload->size());
+    metrics_.records_applied->Add(records);
+    session_progress_ = true;
+    {
+      std::lock_guard<std::mutex> lock(status_mu_);
+      status_.applied = store_->position();
+      status_changed_.notify_all();
+    }
+    Status published = PublishView();
+    if (!published.ok()) return fail_session(published);
+    return true;
+  }
+
+  if (verb == kReplVerbRoll) {
+    uint64_t generation;
+    if (message.size() != 2 || !ParseU64(message[1], &generation)) {
+      RecordError(Status::ParseError("malformed roll message"));
+      return false;
+    }
+    Status rolled;
+    {
+      XMLUP_SCOPED_TIMER(metrics_.apply_ns);
+      rolled = store_->Roll(generation);
+    }
+    if (!rolled.ok()) return fail_session(rolled);
+    metrics_.rolls->Add(1);
+    session_progress_ = true;
+    // The document is unchanged by a roll (only its on-disk generation
+    // moved), so the published view stays valid as-is.
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_.applied = store_->position();
+    ++status_.rolls;
+    status_changed_.notify_all();
+    return true;
+  }
+
+  if (verb == kReplVerbCommitPoint) {
+    store::CommitPoint primary;
+    if (message.size() != 4 || !ParseU64(message[1], &primary.generation) ||
+        !ParseU64(message[2], &primary.bytes) ||
+        !ParseU64(message[3], &primary.records)) {
+      RecordError(Status::ParseError("malformed commit-point message"));
+      return false;
+    }
+    // The primary's durable position: make everything applied so far
+    // durable here too (the replica-side group-commit barrier).
+    Status synced = store_->Sync();
+    if (!synced.ok()) return fail_session(synced);
+    metrics_.commit_points->Add(1);
+    session_progress_ = true;
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status_.primary = primary;
+    ++status_.commit_points;
+    const store::CommitPoint& applied = status_.applied;
+    if (applied.generation == primary.generation) {
+      status_.lag_bytes =
+          primary.bytes > applied.bytes ? primary.bytes - applied.bytes : 0;
+      status_.lag_records = primary.records > applied.records
+                                ? primary.records - applied.records
+                                : 0;
+    } else if (applied.generation > primary.generation) {
+      // A stale heartbeat racing a roll; the next one catches up.
+      status_.lag_bytes = 0;
+      status_.lag_records = 0;
+    } else {
+      // Behind a roll: the local offset is not comparable, so report the
+      // primary's whole journal as outstanding until the roll applies.
+      status_.lag_bytes = primary.bytes;
+      status_.lag_records = primary.records;
+    }
+    metrics_.lag_bytes->Set(static_cast<int64_t>(status_.lag_bytes));
+    metrics_.lag_records->Set(static_cast<int64_t>(status_.lag_records));
+    status_changed_.notify_all();
+    return true;
+  }
+
+  if (verb == "err") {
+    RecordError(Status::Internal(
+        message.size() >= 2 ? "stream error from primary: " + message[1]
+                            : "stream error from primary"));
+    return false;
+  }
+
+  RecordError(Status::ParseError("unknown replication verb: " + verb));
+  return false;
+}
+
+}  // namespace xmlup::replication

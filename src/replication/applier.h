@@ -1,0 +1,151 @@
+#ifndef XMLUP_REPLICATION_APPLIER_H_
+#define XMLUP_REPLICATION_APPLIER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "concurrency/read_view.h"
+#include "observability/metrics.h"
+#include "replication/replica_store.h"
+#include "store/document_store.h"
+#include "store/file.h"
+
+namespace xmlup::replication {
+
+struct ReplicaApplierOptions {
+  /// Options for the ReplicaStore underneath (file system, scheme knobs).
+  ReplicaStoreOptions store;
+  /// Reconnect backoff: doubles from initial to max on every failed
+  /// attempt, resets after a successfully applied message.
+  uint64_t backoff_initial_ms = 10;
+  uint64_t backoff_max_ms = 1000;
+};
+
+/// A point-in-time picture of the applier, for `repl-status` and tests.
+struct ReplicaStatus {
+  bool connected = false;
+  bool has_view = false;
+  store::CommitPoint applied;  ///< Local position (durable after sync).
+  store::CommitPoint primary;  ///< Last commit-point heard from upstream.
+  uint64_t lag_bytes = 0;      ///< primary.bytes - applied.bytes (same gen).
+  uint64_t lag_records = 0;
+  uint64_t reconnects = 0;
+  uint64_t snapshots_installed = 0;
+  uint64_t rolls = 0;
+  uint64_t commit_points = 0;
+  std::string last_error;
+};
+
+/// The replica side of journal-shipping replication: a background thread
+/// that connects to the primary's Unix socket, handshakes with the
+/// durable position its ReplicaStore recovered to, and applies the
+/// snapshot/frames/roll/commit-point stream. After every applied message
+/// that changes the document it publishes a fresh ReadView, so reader
+/// threads (the replica's Server) always see a consistent snapshot —
+/// including DURING catch-up, when views advance batch by batch exactly
+/// as the primary's advance commit by commit.
+///
+/// Connection loss, a primary that checkpointed the subscribed
+/// generation away, or a local apply failure all funnel into the same
+/// recovery: reopen the store from disk (crash recovery truncates any
+/// torn tail), reconnect with exponential backoff, re-handshake from the
+/// recovered position. The primary decides frames-vs-snapshot; the
+/// applier carries no resync-specific state.
+class ReplicaApplier : public concurrency::ViewProvider {
+ public:
+  /// Opens (recovering) the replica store at `dir` and starts the
+  /// applier thread connecting to `primary_socket`. If the directory
+  /// already holds a replicated generation, an initial view is published
+  /// before Start returns — a restarting replica serves stale-but-
+  /// consistent reads immediately, catch-up freshness arrives behind it.
+  static common::Result<std::unique_ptr<ReplicaApplier>> Start(
+      const std::string& dir, const std::string& primary_socket,
+      const ReplicaApplierOptions& options = {});
+
+  ~ReplicaApplier() override;
+  ReplicaApplier(const ReplicaApplier&) = delete;
+  ReplicaApplier& operator=(const ReplicaApplier&) = delete;
+
+  /// ViewProvider: the latest published view, or null while an empty
+  /// replica is still waiting for its first snapshot.
+  std::shared_ptr<const concurrency::ReadView> PinView() const override;
+
+  ReplicaStatus status() const;
+  /// key=value fields for `--repl-status` on the replica.
+  std::vector<std::string> StatusFields() const;
+
+  /// Blocks until the applied position reaches `target` (same generation
+  /// and at least its bytes, or any later generation) or `timeout_ms`
+  /// expires. Returns whether the target was reached. Quiesce helper for
+  /// tests and the soak suite.
+  bool WaitForPosition(const store::CommitPoint& target,
+                       uint64_t timeout_ms) const;
+
+  /// Stops the applier thread (shutting down any open connection) and
+  /// syncs the store. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  ReplicaApplier(std::string dir, std::string primary_socket,
+                 ReplicaApplierOptions options);
+
+  void Run();
+  /// One connect + handshake + stream session. Returns when the
+  /// connection drops, an error forces a reopen, or stopping_.
+  /// `*connected_once` tracks whether any session ever connected, for
+  /// the reconnect counter.
+  void RunSession(bool* connected_once);
+  /// Applies one stream message; false = session over (reconnect).
+  bool ApplyMessage(const std::vector<std::string>& message);
+  common::Status PublishView();
+  void RecordError(const common::Status& status);
+  void ReopenStore();
+
+  struct MetricCells {
+    obs::Histogram* apply_ns = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* records_applied = nullptr;
+    obs::Counter* snapshots_installed = nullptr;
+    obs::Counter* rolls = nullptr;
+    obs::Counter* commit_points = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Gauge* lag_bytes = nullptr;
+    obs::Gauge* lag_records = nullptr;
+  };
+
+  const std::string dir_;
+  const std::string primary_socket_;
+  const ReplicaApplierOptions options_;
+  MetricCells metrics_;
+
+  /// Owned by the applier thread (and Start(), before the thread runs).
+  std::unique_ptr<ReplicaStore> store_;
+  /// Partial snapshot transfer: chunks received so far.
+  std::string snapshot_buffer_;
+  uint64_t next_epoch_ = 1;
+  /// Whether the current session applied anything (resets backoff).
+  bool session_progress_ = false;
+
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const concurrency::ReadView> view_;
+
+  mutable std::mutex status_mu_;
+  mutable std::condition_variable status_changed_;
+  ReplicaStatus status_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> conn_fd_{-1};
+  std::thread thread_;
+};
+
+}  // namespace xmlup::replication
+
+#endif  // XMLUP_REPLICATION_APPLIER_H_

@@ -1,0 +1,82 @@
+#ifndef XMLUP_REPLICATION_PROTOCOL_H_
+#define XMLUP_REPLICATION_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xmlup::replication {
+
+/// Journal-shipping replication, protocol version 1.
+///
+/// A replica opens a normal wire.h connection to the primary and sends
+/// one handshake frame:
+///
+///   repl-hello <version> <scheme|-> <generation> <bytes> <records>
+///
+/// where (generation, bytes, records) is the replica's durable position —
+/// the store::CommitPoint it recovered to — and <scheme> is its store's
+/// labelling scheme ("-" when the replica has no document yet). The
+/// primary replies "ok frames" (the offset is a live frame boundary it
+/// still retains) or "ok snapshot" (the replica is behind the oldest
+/// retained generation, mid-frame, or empty — full catch-up required), or
+/// "err <why>" (version/scheme mismatch). After the reply the connection
+/// is a one-way stream of messages from the primary:
+///
+///   snapshot <generation> <index> <count> <chunk>
+///       One chunk of the generation-opening snapshot image, chunked to
+///       stay under the wire frame cap. After chunk count-1 the replica
+///       installs the image and starts a fresh journal.
+///   frames <generation> <base_bytes> <base_records> <records> <payload>
+///       Raw CRC-framed journal bytes, cut at frame boundaries, starting
+///       at file offset base_bytes. Applied in memory first, then
+///       appended verbatim to the replica's journal — the replica's
+///       journal file is bit-identical to the primary's committed prefix.
+///   roll <generation>
+///       The primary checkpointed. The replica has (by stream order)
+///       applied every frame of the previous generation, so its document
+///       equals the primary's at the roll; it self-checkpoints — writes
+///       its own snapshot, which is deterministic and therefore
+///       bit-identical to the primary's — instead of downloading one.
+///   commit-point <generation> <bytes> <records>
+///       The primary's durable position: everything before it has been
+///       streamed. Sent when the stream catches up and as a periodic
+///       heartbeat; the replica fsyncs its journal and publishes the
+///       position, so `repl.lag == 0` is observable at quiesce.
+///   err <message>
+///       The stream cannot continue (e.g. the subscribed generation was
+///       checkpointed away mid-stream); reconnect and re-handshake.
+///
+/// Binary fields (snapshot chunks, frame payloads) travel through
+/// wire.h's EscapeBinary, since 0x1F bytes inside them would otherwise
+/// split fields.
+inline constexpr uint64_t kReplProtocolVersion = 1;
+
+inline constexpr char kReplVerbSnapshot[] = "snapshot";
+inline constexpr char kReplVerbFrames[] = "frames";
+inline constexpr char kReplVerbRoll[] = "roll";
+inline constexpr char kReplVerbCommitPoint[] = "commit-point";
+
+inline constexpr char kReplModeFrames[] = "frames";
+inline constexpr char kReplModeSnapshot[] = "snapshot";
+
+/// Scheme placeholder in a hello from a replica with no document yet.
+inline constexpr char kReplNoScheme[] = "-";
+
+/// Strict decimal uint64 parse (no sign, no leading '+', fits uint64).
+inline bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace xmlup::replication
+
+#endif  // XMLUP_REPLICATION_PROTOCOL_H_

@@ -1,0 +1,369 @@
+#include "replication/source.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "concurrency/wire.h"
+#include "replication/protocol.h"
+#include "store/journal.h"
+
+namespace xmlup::replication {
+
+using common::Result;
+using common::Status;
+using concurrency::EscapeBinary;
+using concurrency::WriteFrame;
+
+namespace {
+
+uint32_t ReadLe32(const std::string& bytes, uint64_t offset) {
+  uint32_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ReplicationSource::ReplicationSource() : ReplicationSource(Options()) {}
+
+ReplicationSource::ReplicationSource(Options options)
+    : options_(std::move(options)) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.subscribers = reg.GetGauge("repl.src.subscribers");
+  metrics_.snapshots_shipped = reg.GetCounter("repl.src.snapshots_shipped");
+  metrics_.frames_shipped = reg.GetCounter("repl.src.frames_shipped");
+  metrics_.bytes_shipped =
+      reg.GetCounter("repl.src.bytes_shipped", obs::Unit::kBytes);
+  metrics_.commit_points = reg.GetCounter("repl.src.commit_points");
+}
+
+void ReplicationSource::OnCommit(store::DocumentStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_.ok()) return;
+  if (cursor_ == nullptr) {
+    // Priming call: the store is quiescent and fully recovered. Capture
+    // the generation-opening snapshot; the cursor starts at the head of
+    // the current journal, so the first Poll below returns the whole
+    // committed body.
+    scheme_name_ = store->scheme().traits().name;
+    const uint64_t generation = store->LastCommitPoint().generation;
+    Result<std::string> snapshot = store->file_system()->ReadFile(
+        store->dir() + "/" + store::SnapshotFileName(generation));
+    if (!snapshot.ok()) {
+      error_ = snapshot.status();
+      data_ready_.notify_all();
+      return;
+    }
+    current_.generation = generation;
+    current_.snapshot = *std::move(snapshot);
+    current_.journal = store::JournalFileHeader();
+    current_.records = 0;
+    cursor_ = std::make_unique<store::JournalCursor>(store);
+  }
+  Result<store::JournalCursor::Batch> batch = cursor_->Poll();
+  if (!batch.ok()) {
+    // Committed bytes vanished under the cursor — nothing sane can be
+    // shipped from here on; subscribers are told to resync elsewhere.
+    error_ = batch.status();
+    data_ready_.notify_all();
+    return;
+  }
+  if (batch->rolled) {
+    // Keep the finished generation so a subscriber mid-stream can drain
+    // its tail and follow the roll instead of resyncing from scratch.
+    prev_ = std::move(current_);
+    prev_valid_ = true;
+    Result<std::string> snapshot = store->file_system()->ReadFile(
+        store->dir() + "/" + store::SnapshotFileName(batch->generation));
+    if (!snapshot.ok()) {
+      error_ = snapshot.status();
+      data_ready_.notify_all();
+      return;
+    }
+    current_.generation = batch->generation;
+    current_.snapshot = *std::move(snapshot);
+    current_.journal = store::JournalFileHeader();
+    current_.records = 0;
+  }
+  if (batch->base_bytes != current_.journal.size()) {
+    error_ = Status::Internal(
+        "journal cursor position diverged from the buffered image");
+    data_ready_.notify_all();
+    return;
+  }
+  current_.journal += batch->payload;
+  current_.records += batch->records;
+  committed_ = cursor_->position();
+  data_ready_.notify_all();
+}
+
+bool ReplicationSource::ValidBoundary(const GenerationImage& image,
+                                      uint64_t bytes, uint64_t records) {
+  if (bytes < store::kJournalHeaderSize) return false;
+  if (bytes > image.journal.size()) return false;
+  // Walk frame headers from the journal head; complete frames only (the
+  // image holds nothing but committed whole frames), so this terminates
+  // exactly at a boundary or overshoots a mid-frame offset.
+  uint64_t offset = store::kJournalHeaderSize;
+  uint64_t count = 0;
+  while (offset < bytes) {
+    const uint64_t frame =
+        store::kFrameHeaderSize + ReadLe32(image.journal, offset);
+    offset += frame;
+    ++count;
+  }
+  return offset == bytes && count == records;
+}
+
+void ReplicationSource::SliceFrames(const std::string& journal,
+                                    uint64_t begin, uint64_t max_batch_bytes,
+                                    uint64_t* end, uint64_t* records) {
+  uint64_t offset = begin;
+  uint64_t count = 0;
+  while (offset < journal.size()) {
+    const uint64_t frame =
+        store::kFrameHeaderSize + ReadLe32(journal, offset);
+    if (count > 0 && offset + frame - begin > max_batch_bytes) break;
+    offset += frame;
+    ++count;
+  }
+  *end = offset;
+  *records = count;
+}
+
+store::CommitPoint ReplicationSource::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+std::vector<std::string> ReplicationSource::StatusFields() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> fields;
+  fields.push_back("role=primary");
+  fields.push_back("scheme=" + scheme_name_);
+  fields.push_back("generation=" + std::to_string(committed_.generation));
+  fields.push_back("committed_bytes=" + std::to_string(committed_.bytes));
+  fields.push_back("committed_records=" +
+                   std::to_string(committed_.records));
+  fields.push_back("subscribers=" + std::to_string(subscribers_));
+  fields.push_back("snapshots_shipped=" +
+                   std::to_string(snapshots_shipped_));
+  if (!error_.ok()) fields.push_back("error=" + error_.ToString());
+  return fields;
+}
+
+void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
+                                     int out_fd,
+                                     const std::atomic<bool>& stop) {
+  auto fail = [out_fd](const std::string& message) {
+    (void)WriteFrame(out_fd, {"err", message});
+  };
+  if (request.size() != 6) {
+    fail("malformed hello: want <verb> <version> <scheme> <generation> "
+         "<bytes> <records>");
+    return;
+  }
+  uint64_t version, hello_gen, hello_bytes, hello_records;
+  if (!ParseU64(request[1], &version) || !ParseU64(request[3], &hello_gen) ||
+      !ParseU64(request[4], &hello_bytes) ||
+      !ParseU64(request[5], &hello_records)) {
+    fail("malformed hello: non-numeric position field");
+    return;
+  }
+  if (version != kReplProtocolVersion) {
+    fail("protocol version mismatch: primary speaks " +
+         std::to_string(kReplProtocolVersion));
+    return;
+  }
+  const std::string& hello_scheme = request[2];
+
+  // Decide the catch-up mode under the lock; copy what the snapshot path
+  // needs so the bulk transfer runs without holding it.
+  bool send_snapshot = false;
+  std::string snapshot_image;
+  // The subscriber's stream position (journal file offsets).
+  uint64_t pos_gen, pos_bytes, pos_records;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cursor_ == nullptr) {
+      lock.unlock();
+      fail("replication source is not attached to a store yet");
+      return;
+    }
+    if (!error_.ok()) {
+      const std::string message = error_.ToString();
+      lock.unlock();
+      fail(message);
+      return;
+    }
+    if (hello_scheme != kReplNoScheme && hello_scheme != scheme_name_) {
+      const std::string message =
+          "scheme mismatch: primary uses " + scheme_name_;
+      lock.unlock();
+      fail(message);
+      return;
+    }
+    if (hello_gen == current_.generation &&
+        ValidBoundary(current_, hello_bytes, hello_records)) {
+      pos_gen = current_.generation;
+      pos_bytes = hello_bytes;
+      pos_records = hello_records;
+    } else if (prev_valid_ && hello_gen == prev_.generation &&
+               ValidBoundary(prev_, hello_bytes, hello_records)) {
+      pos_gen = prev_.generation;
+      pos_bytes = hello_bytes;
+      pos_records = hello_records;
+    } else {
+      // Empty replica, a generation no longer retained, or an offset that
+      // is not a frame boundary we recognise: full snapshot catch-up.
+      send_snapshot = true;
+      snapshot_image = current_.snapshot;
+      pos_gen = current_.generation;
+      pos_bytes = store::kJournalHeaderSize;
+      pos_records = 0;
+    }
+    ++subscribers_;
+    if (send_snapshot) ++snapshots_shipped_;
+  }
+  metrics_.subscribers->Add(1);
+  struct SubscriberGuard {
+    ReplicationSource* source;
+    ~SubscriberGuard() {
+      source->metrics_.subscribers->Add(-1);
+      std::lock_guard<std::mutex> lock(source->mu_);
+      --source->subscribers_;
+    }
+  } guard{this};
+
+  if (!WriteFrame(out_fd, {"ok", send_snapshot ? kReplModeSnapshot
+                                               : kReplModeFrames})
+           .ok()) {
+    return;
+  }
+
+  if (send_snapshot) {
+    metrics_.snapshots_shipped->Add(1);
+    const uint64_t chunk_size = std::max<uint64_t>(
+        options_.snapshot_chunk_bytes, 1);
+    const uint64_t chunks =
+        std::max<uint64_t>((snapshot_image.size() + chunk_size - 1) /
+                               chunk_size,
+                           1);
+    for (uint64_t i = 0; i < chunks; ++i) {
+      if (stop.load()) return;
+      const uint64_t begin = i * chunk_size;
+      const uint64_t len =
+          std::min<uint64_t>(chunk_size, snapshot_image.size() - begin);
+      std::vector<std::string> message = {
+          kReplVerbSnapshot, std::to_string(pos_gen), std::to_string(i),
+          std::to_string(chunks),
+          EscapeBinary(std::string_view(snapshot_image).substr(begin, len))};
+      if (!WriteFrame(out_fd, message).ok()) return;
+      metrics_.bytes_shipped->Add(len);
+    }
+    snapshot_image.clear();
+  }
+
+  // The streaming loop: compose one message under the lock, send it
+  // outside. last_sent_commit suppresses duplicate commit-points while
+  // new data keeps arriving; the heartbeat timeout re-sends one anyway so
+  // an idle replica still observes a live, lag-zero primary.
+  store::CommitPoint last_sent_commit;
+  bool have_sent_commit = false;
+  while (!stop.load()) {
+    std::vector<std::string> message;
+    bool terminal = false;
+    uint64_t payload_bytes = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!error_.ok()) {
+        message = {"err", error_.ToString()};
+        terminal = true;
+      } else if (pos_gen == current_.generation) {
+        if (pos_bytes < current_.journal.size()) {
+          uint64_t end, records;
+          SliceFrames(current_.journal, pos_bytes, options_.max_batch_bytes,
+                      &end, &records);
+          message = {kReplVerbFrames,
+                     std::to_string(pos_gen),
+                     std::to_string(pos_bytes),
+                     std::to_string(pos_records),
+                     std::to_string(records),
+                     EscapeBinary(std::string_view(current_.journal)
+                                      .substr(pos_bytes, end - pos_bytes))};
+          payload_bytes = end - pos_bytes;
+          pos_bytes = end;
+          pos_records += records;
+        } else {
+          // Caught up: announce the commit point once per position, then
+          // heartbeat. The wait releases the lock until the writer thread
+          // commits more frames (or the heartbeat expires).
+          if (!have_sent_commit || !(last_sent_commit == committed_)) {
+            message = {kReplVerbCommitPoint,
+                       std::to_string(committed_.generation),
+                       std::to_string(committed_.bytes),
+                       std::to_string(committed_.records)};
+            last_sent_commit = committed_;
+            have_sent_commit = true;
+          } else {
+            data_ready_.wait_for(
+                lock, std::chrono::milliseconds(options_.heartbeat_ms));
+            if (pos_bytes >= current_.journal.size() &&
+                pos_gen == current_.generation && error_.ok()) {
+              // Nothing new: heartbeat the same commit point.
+              message = {kReplVerbCommitPoint,
+                         std::to_string(committed_.generation),
+                         std::to_string(committed_.bytes),
+                         std::to_string(committed_.records)};
+            } else {
+              continue;  // recompose against the new state
+            }
+          }
+        }
+      } else if (prev_valid_ && pos_gen == prev_.generation) {
+        if (pos_bytes < prev_.journal.size()) {
+          uint64_t end, records;
+          SliceFrames(prev_.journal, pos_bytes, options_.max_batch_bytes,
+                      &end, &records);
+          message = {kReplVerbFrames,
+                     std::to_string(pos_gen),
+                     std::to_string(pos_bytes),
+                     std::to_string(pos_records),
+                     std::to_string(records),
+                     EscapeBinary(std::string_view(prev_.journal)
+                                      .substr(pos_bytes, end - pos_bytes))};
+          payload_bytes = end - pos_bytes;
+          pos_bytes = end;
+          pos_records += records;
+        } else {
+          // The subscriber drained the finished generation: its document
+          // now equals the primary's at the checkpoint, so it can roll by
+          // writing its own (deterministic, bit-identical) snapshot.
+          message = {kReplVerbRoll, std::to_string(current_.generation)};
+          pos_gen = current_.generation;
+          pos_bytes = store::kJournalHeaderSize;
+          pos_records = 0;
+        }
+      } else {
+        // More than one checkpoint passed while this subscriber lagged;
+        // the bytes it needs are gone. Reconnecting gets it a snapshot.
+        message = {"err", "generation " + std::to_string(pos_gen) +
+                              " is no longer retained; reconnect for a "
+                              "snapshot"};
+        terminal = true;
+      }
+    }
+    if (!WriteFrame(out_fd, message).ok()) return;
+    if (message[0] == kReplVerbFrames) {
+      metrics_.frames_shipped->Add(1);
+      metrics_.bytes_shipped->Add(payload_bytes);
+    } else if (message[0] == kReplVerbCommitPoint) {
+      metrics_.commit_points->Add(1);
+    }
+    if (terminal) return;
+  }
+}
+
+}  // namespace xmlup::replication

@@ -1,0 +1,123 @@
+#ifndef XMLUP_REPLICATION_SOURCE_H_
+#define XMLUP_REPLICATION_SOURCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "observability/metrics.h"
+#include "store/document_store.h"
+#include "store/journal_cursor.h"
+
+namespace xmlup::replication {
+
+/// The primary side of journal-shipping replication.
+///
+/// Plugged into a ConcurrentStore as its CommitHook, the source tails the
+/// store's journal with a JournalCursor on the writer thread: after every
+/// group commit it copies the newly committed frame bytes into an
+/// in-memory image of the current generation's journal (offsets match the
+/// primary's file offsets exactly), and on a checkpoint roll it keeps the
+/// finished generation's image around so a subscriber mid-stream can
+/// drain it before following the roll. Because the cursor never reads
+/// past DocumentStore::LastCommitPoint(), nothing un-fsynced is ever
+/// buffered, let alone shipped — acknowledged implies durable implies
+/// (eventually) shipped, never the reverse.
+///
+/// Plugged into a Server as its ReplicationStreamer, each replica
+/// connection runs ServeReplica on its own connection thread: it
+/// validates the hello against the buffered images (frame-boundary
+/// check), streams `snapshot` chunks when the replica needs full
+/// catch-up, then `frames`/`roll`/`commit-point` messages composed under
+/// the source mutex and sent outside it — a slow replica never blocks the
+/// writer thread, only its own connection.
+class ReplicationSource : public concurrency::CommitHook,
+                          public concurrency::ReplicationStreamer {
+ public:
+  struct Options {
+    /// Largest `frames` payload per message (cut at a frame boundary; a
+    /// single oversized frame still ships whole).
+    uint64_t max_batch_bytes = 1u << 20;
+    /// Snapshot chunk size for catch-up transfers.
+    uint64_t snapshot_chunk_bytes = 1u << 20;
+    /// Caught-up subscribers get a commit-point heartbeat this often.
+    uint64_t heartbeat_ms = 500;
+  };
+
+  ReplicationSource();
+  explicit ReplicationSource(Options options);
+
+  /// CommitHook: called on the writer thread (prime, post-commit,
+  /// post-roll). Never blocks on subscribers.
+  void OnCommit(store::DocumentStore* store) override;
+
+  /// ReplicationStreamer: serves one replica subscription until the
+  /// connection breaks, `stop` turns true, or the stream position falls
+  /// off the retained images.
+  void ServeReplica(const std::vector<std::string>& request, int out_fd,
+                    const std::atomic<bool>& stop) override;
+
+  /// Latest commit point buffered (== shippable). Test/quiesce helper.
+  store::CommitPoint committed() const;
+
+  /// key=value fields for `--repl-status` on the primary.
+  std::vector<std::string> StatusFields() const;
+
+ private:
+  /// Everything a generation needs to feed a subscriber: the snapshot
+  /// that opens it and the journal image accumulated so far. `journal`
+  /// always starts with the 8-byte file header, so offsets within it are
+  /// the primary's journal *file* offsets.
+  struct GenerationImage {
+    uint64_t generation = 0;
+    std::string snapshot;
+    std::string journal;
+    uint64_t records = 0;
+  };
+
+  /// True iff (bytes, records) is a frame boundary of `image.journal`
+  /// with exactly `records` complete frames before it.
+  static bool ValidBoundary(const GenerationImage& image, uint64_t bytes,
+                            uint64_t records);
+
+  /// Extends [begin, *end) over whole frames of `journal` until adding
+  /// the next frame would exceed max_batch_bytes (always takes at least
+  /// one frame); counts the frames taken into *records.
+  static void SliceFrames(const std::string& journal, uint64_t begin,
+                          uint64_t max_batch_bytes, uint64_t* end,
+                          uint64_t* records);
+
+  struct MetricCells {
+    obs::Gauge* subscribers = nullptr;
+    obs::Counter* snapshots_shipped = nullptr;
+    obs::Counter* frames_shipped = nullptr;
+    obs::Counter* bytes_shipped = nullptr;
+    obs::Counter* commit_points = nullptr;
+  };
+
+  Options options_;
+  MetricCells metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable data_ready_;
+  std::unique_ptr<store::JournalCursor> cursor_;  ///< Null until primed.
+  std::string scheme_name_;
+  GenerationImage current_;
+  GenerationImage prev_;  ///< The last finished generation.
+  bool prev_valid_ = false;
+  store::CommitPoint committed_;
+  common::Status error_;  ///< First cursor/snapshot failure; terminal.
+  uint64_t subscribers_ = 0;
+  uint64_t snapshots_shipped_ = 0;
+};
+
+}  // namespace xmlup::replication
+
+#endif  // XMLUP_REPLICATION_SOURCE_H_

@@ -1,5 +1,6 @@
 #include "store/document_store.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -63,11 +64,10 @@ NodeId MapByPreorder(const xml::Tree& from, NodeId target,
   return xml::kInvalidNode;
 }
 
-// Applies one journalled update to `doc` and cross-checks the recorded
-// outcome. Schemes are deterministic, so replay must retrace the original
-// execution exactly; divergence means the journal and snapshot do not
-// belong together.
-Status ReplayRecord(const JournalRecord& record, core::LabeledDocument* doc) {
+}  // namespace
+
+Status ReplayJournalRecord(const JournalRecord& record,
+                           core::LabeledDocument* doc) {
   switch (record.op) {
     case JournalRecord::Op::kInsertNode: {
       core::UpdateStats stats;
@@ -90,8 +90,6 @@ Status ReplayRecord(const JournalRecord& record, core::LabeledDocument* doc) {
   }
   return Status::Internal("unknown journal op");
 }
-
-}  // namespace
 
 DocumentStore::DocumentStore(std::string dir, FileSystem* fs,
                              StoreOptions options)
@@ -163,6 +161,9 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Create(
   // could never retrace.
   XMLUP_RETURN_NOT_OK(store->ReloadFromDisk(0));
   store->stats_.journal_bytes = store->journal_->bytes();
+  // The header was written and synced by JournalWriter::Create.
+  store->committed_bytes_ = store->journal_->bytes();
+  store->committed_records_ = 0;
   return store;
 }
 
@@ -198,7 +199,7 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
   }
   XMLUP_ASSIGN_OR_RETURN(JournalScan scan, ScanJournal(journal_bytes));
   for (const JournalRecord& record : scan.records) {
-    XMLUP_RETURN_NOT_OK(ReplayRecord(record, &doc));
+    XMLUP_RETURN_NOT_OK(ReplayJournalRecord(record, &doc));
   }
   store->stats_.recovered_records = scan.records.size();
   store->stats_.truncated_bytes = journal_bytes.size() - scan.valid_bytes;
@@ -240,6 +241,10 @@ Result<std::unique_ptr<DocumentStore>> DocumentStore::Open(
   store->stats_.journal_bytes = store->journal_->bytes();
   store->stats_.journal_records = store->journal_->records();
   store->records_at_last_commit_ = store->journal_->records();
+  // Recovery read this state back from disk, so it is durable by
+  // construction (modulo the write-back the recovery itself just synced).
+  store->committed_bytes_ = store->journal_->bytes();
+  store->committed_records_ = store->journal_->records();
   return store;
 }
 
@@ -366,6 +371,8 @@ Status DocumentStore::Sync() {
     return st;
   }
   ++stats_.syncs;
+  committed_bytes_ = journal_->bytes();
+  committed_records_ = journal_->records();
   return st;
 }
 
@@ -419,6 +426,10 @@ Status DocumentStore::RollbackTail(const BatchMark& mark) {
   if (records_at_last_commit_ > mark.records) {
     records_at_last_commit_ = mark.records;
   }
+  // The precondition says nothing past the mark was synced, so these are
+  // already <= mark; clamp defensively all the same.
+  committed_bytes_ = std::min(committed_bytes_, mark.bytes);
+  committed_records_ = std::min(committed_records_, mark.records);
   metrics_.rollbacks->Add(1);
   metrics_.rollback_records_dropped->Add(dropped_records);
   // A pending append failure belonged entirely to the tail just removed;
@@ -443,7 +454,7 @@ Status DocumentStore::ReloadFromDisk(uint64_t expect_records) {
     return Status::Internal("journal does not match the rollback mark");
   }
   for (const JournalRecord& record : scan.records) {
-    XMLUP_RETURN_NOT_OK(ReplayRecord(record, &doc));
+    XMLUP_RETURN_NOT_OK(ReplayJournalRecord(record, &doc));
   }
   return AdoptDocument(std::move(doc), std::move(scheme));
 }
@@ -498,6 +509,10 @@ Status DocumentStore::CheckpointImpl(NodeId* remap) {
   stats_.journal_bytes = journal_->bytes();
   stats_.journal_records = 0;
   records_at_last_commit_ = 0;
+  // The new generation's header was synced by JournalWriter::Create and
+  // its directory entry by the CURRENT WriteFileAtomic above.
+  committed_bytes_ = journal_->bytes();
+  committed_records_ = 0;
   ++stats_.checkpoints;
   metrics_.checkpoints->Add(1);
 

@@ -61,6 +61,27 @@ std::string SnapshotFileName(uint64_t sequence);
 std::string JournalFileName(uint64_t sequence);
 inline constexpr char kCurrentFileName[] = "CURRENT";
 
+/// A durable position in a store's journal history: generation plus the
+/// journal file offset/record count covered by the last successful fsync.
+/// Everything at or before a commit point survives any crash; nothing
+/// after it may be shipped to a replica (it could still be rolled back or
+/// torn). This triple is also what the replication handshake exchanges.
+struct CommitPoint {
+  uint64_t generation = 0;
+  uint64_t bytes = 0;    ///< Journal file size at the barrier (incl. header).
+  uint64_t records = 0;  ///< Records at the barrier.
+
+  friend bool operator==(const CommitPoint&, const CommitPoint&) = default;
+};
+
+/// Applies one journalled update to `doc`, cross-checking the recorded
+/// outcome (assigned node id, relabel count, overflow flag). Schemes are
+/// deterministic, so replay must retrace the original execution exactly;
+/// divergence means the journal and the document state do not belong
+/// together. Shared by store recovery and replica apply.
+common::Status ReplayJournalRecord(const JournalRecord& record,
+                                   core::LabeledDocument* doc);
+
 /// A durable labelled document: a directory holding the latest
 /// core/snapshot image plus a write-ahead journal of structural updates.
 ///
@@ -111,6 +132,16 @@ class DocumentStore : private core::UpdateObserver {
   const std::string& dir() const { return dir_; }
   const StoreStats& stats() const { return stats_; }
   const labels::LabelingScheme& scheme() const { return *scheme_; }
+  FileSystem* file_system() const { return fs_; }
+
+  /// The latest durable journal position: advanced by every successful
+  /// fsync barrier (Sync/CommitBatch/Checkpoint), set by Create/Open to
+  /// the recovered state, clamped by RollbackTail. Replication ships
+  /// journal bytes only up to this point — acknowledged implies durable
+  /// implies (eventually) shipped, never the reverse.
+  CommitPoint LastCommitPoint() const {
+    return {stats_.sequence, committed_bytes_, committed_records_};
+  }
 
   // --- Journalled mutations ----------------------------------------------
 
@@ -219,6 +250,9 @@ class DocumentStore : private core::UpdateObserver {
   /// Journal record count at the last CommitBatch (or journal roll);
   /// the next CommitBatch charges the delta to group-commit accounting.
   uint64_t records_at_last_commit_ = 0;
+  /// Durable journal position (see LastCommitPoint).
+  uint64_t committed_bytes_ = 0;
+  uint64_t committed_records_ = 0;
   /// First journal-append failure observed inside an observer callback
   /// (which cannot return a Status); surfaced by the next store call.
   common::Status pending_error_;

@@ -1,5 +1,6 @@
 #include "store/file.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -191,7 +192,12 @@ class MemFileSystem::MemFile : public WritableFile {
     return Status::Ok();
   }
 
-  Status Sync() override { return fs_->SyncImpl(path_); }
+  Status Sync() override {
+    Status synced = fs_->SyncImpl(path_);
+    // fsync(fd) also flushes a prior ftruncate on the same file.
+    if (synced.ok()) fs_->CommitTruncates(path_);
+    return synced;
+  }
 
   Status Close() override { return Status::Ok(); }
 
@@ -231,6 +237,11 @@ void MemFileSystem::ApplyOp(const MetaOp& op, Dir* dir) {
     case MetaOp::Kind::kDelete:
       dir->erase(op.path);
       break;
+    case MetaOp::Kind::kTruncate:
+      // The shrink already hit the shared inode; "written back" means
+      // the cut tail stays gone — nothing to do. The NOT-written-back
+      // case (restore the tail) is handled in Crash().
+      break;
   }
 }
 
@@ -246,7 +257,7 @@ Result<std::unique_ptr<WritableFile>> MemFileSystem::OpenWritable(
   } else {
     inode = std::make_shared<Inode>();
     live_[path] = inode;
-    pending_.push_back({MetaOp::Kind::kCreate, path, {}, inode});
+    pending_.push_back({MetaOp::Kind::kCreate, path, {}, inode, {}, 0});
   }
   return std::unique_ptr<WritableFile>(
       std::make_unique<MemFile>(this, std::move(inode), path));
@@ -268,7 +279,7 @@ Status MemFileSystem::RenameFile(const std::string& from,
   if (it == live_.end()) return Status::NotFound("no such file: " + from);
   live_[to] = std::move(it->second);
   live_.erase(it);
-  pending_.push_back({MetaOp::Kind::kRename, from, to, nullptr});
+  pending_.push_back({MetaOp::Kind::kRename, from, to, nullptr, {}, 0});
   return Status::Ok();
 }
 
@@ -276,7 +287,7 @@ Status MemFileSystem::DeleteFile(const std::string& path) {
   if (live_.erase(path) == 0) {
     return Status::NotFound("no such file: " + path);
   }
-  pending_.push_back({MetaOp::Kind::kDelete, path, {}, nullptr});
+  pending_.push_back({MetaOp::Kind::kDelete, path, {}, nullptr, {}, 0});
   return Status::Ok();
 }
 
@@ -284,11 +295,27 @@ Status MemFileSystem::TruncateFile(const std::string& path, uint64_t size) {
   auto it = live_.find(path);
   if (it == live_.end()) return Status::NotFound("no such file: " + path);
   std::string& data = it->second->data;
-  // Like O_TRUNC in OpenWritable, the resize hits the shared inode, so it
-  // is visible in both views at once; the injectable sync below models the
-  // fsync that makes the new length durable.
-  if (data.size() > size) data.resize(size);
-  return SyncImpl(path);
+  if (data.size() <= size) return SyncImpl(path);
+  // The shrink hits the shared inode at once (the running process sees
+  // its own ftruncate), but like other metadata it is durable only after
+  // a successful fsync of the file: until then the cut tail stays
+  // pending so Crash() can decide whether the kernel wrote it back.
+  pending_.push_back({MetaOp::Kind::kTruncate, path, {}, nullptr,
+                      data.substr(size), size});
+  data.resize(size);
+  Status synced = SyncImpl(path);
+  if (synced.ok()) CommitTruncates(path);
+  return synced;
+}
+
+void MemFileSystem::CommitTruncates(const std::string& path) {
+  pending_.erase(
+      std::remove_if(pending_.begin(), pending_.end(),
+                     [&](const MetaOp& op) {
+                       return op.kind == MetaOp::Kind::kTruncate &&
+                              op.path == path;
+                     }),
+      pending_.end());
 }
 
 Status MemFileSystem::CreateDir(const std::string&) { return Status::Ok(); }
@@ -297,8 +324,12 @@ Status MemFileSystem::SyncDir(const std::string& path) {
   XMLUP_RETURN_NOT_OK(SyncImpl(path));
   std::vector<MetaOp> kept;
   for (MetaOp& op : pending_) {
-    bool in_dir = Dirname(op.path) == path ||
-                  (op.kind == MetaOp::Kind::kRename && Dirname(op.to) == path);
+    // A directory fsync orders directory entries, not file lengths: a
+    // pending truncate needs an fsync of the *file* to become durable.
+    bool in_dir = op.kind != MetaOp::Kind::kTruncate &&
+                  (Dirname(op.path) == path ||
+                   (op.kind == MetaOp::Kind::kRename &&
+                    Dirname(op.to) == path));
     if (in_dir) {
       ApplyOp(op, &durable_);
     } else {
@@ -313,6 +344,19 @@ void MemFileSystem::Crash(uint64_t mask) {
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (i < 64 && (mask & (uint64_t{1} << i)) != 0) {
       ApplyOp(pending_[i], &durable_);
+    }
+  }
+  // Truncates the kernel did NOT write back: the old tail is still on
+  // disk, so put it back — newest first, and only while the file is at
+  // exactly the size that truncate shrank it to (a mask that keeps a
+  // later truncate durable forecloses restoring an earlier one).
+  for (size_t i = pending_.size(); i-- > 0;) {
+    const MetaOp& op = pending_[i];
+    if (op.kind != MetaOp::Kind::kTruncate) continue;
+    if (i < 64 && (mask & (uint64_t{1} << i)) != 0) continue;
+    auto it = durable_.find(op.path);
+    if (it != durable_.end() && it->second->data.size() == op.trunc_size) {
+      it->second->data += op.tail;
     }
   }
   pending_.clear();

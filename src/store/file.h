@@ -148,14 +148,18 @@ class MemFileSystem : public FileSystem {
   using Dir = std::map<std::string, InodePtr>;
 
   struct MetaOp {
-    enum class Kind { kCreate, kRename, kDelete };
+    enum class Kind { kCreate, kRename, kDelete, kTruncate };
     Kind kind;
     std::string path;
     std::string to;  ///< Rename target.
     InodePtr inode;  ///< The created inode (kCreate).
+    std::string tail;         ///< The bytes a kTruncate cut off.
+    uint64_t trunc_size = 0;  ///< The size a kTruncate shrank to.
   };
 
   common::Status SyncImpl(const std::string& what);
+  /// A successful fsync of `path` makes its pending truncates durable.
+  void CommitTruncates(const std::string& path);
   static void ApplyOp(const MetaOp& op, Dir* dir);
 
   Dir live_;

@@ -52,14 +52,14 @@ uint32_t ReadLE32(std::string_view data, size_t pos) {
          static_cast<uint32_t>(static_cast<uint8_t>(data[pos + 3])) << 24;
 }
 
-std::string JournalHeader() {
+}  // namespace
+
+std::string JournalFileHeader() {
   std::string h(kJournalMagic, sizeof(kJournalMagic));
   h.push_back(1);  // version
   h.append(3, '\0');
   return h;
 }
-
-}  // namespace
 
 std::string EncodeRecord(const JournalRecord& record) {
   std::string out;
@@ -131,7 +131,7 @@ Result<JournalWriter> JournalWriter::Create(FileSystem* fs,
   XMLUP_ASSIGN_OR_RETURN(
       std::unique_ptr<WritableFile> file,
       fs->OpenWritable(path, FileSystem::WriteMode::kTruncate));
-  std::string header = JournalHeader();
+  std::string header = JournalFileHeader();
   XMLUP_RETURN_NOT_OK(file->Append(header));
   XMLUP_RETURN_NOT_OK(file->Sync());
   return JournalWriter(std::move(file), header.size(), 0);
@@ -177,7 +177,16 @@ Result<JournalScan> ScanJournal(std::string_view bytes) {
   if (bytes[4] != 1) {
     return Status::ParseError("unsupported journal version");
   }
-  size_t pos = kJournalHeaderSize;
+  JournalScan frames = ScanFrames(bytes.substr(kJournalHeaderSize));
+  scan.records = std::move(frames.records);
+  scan.valid_bytes = kJournalHeaderSize + frames.valid_bytes;
+  scan.truncated = frames.truncated;
+  return scan;
+}
+
+JournalScan ScanFrames(std::string_view bytes) {
+  JournalScan scan;
+  size_t pos = 0;
   while (pos < bytes.size()) {
     if (bytes.size() - pos < kFrameHeaderSize) break;  // torn frame header
     uint32_t length = ReadLE32(bytes, pos);

@@ -110,6 +110,16 @@ struct JournalScan {
 /// ParseError; a journal shorter than the header scans as empty+truncated.
 common::Result<JournalScan> ScanJournal(std::string_view bytes);
 
+/// Like ScanJournal but for a headerless run of frames — a slice of a
+/// journal file past the header, e.g. a replication `frames` payload.
+/// valid_bytes/truncated are relative to `bytes` itself.
+JournalScan ScanFrames(std::string_view bytes);
+
+/// The 8-byte file header a fresh journal starts with (magic + version).
+/// Replication uses it to rebuild a journal image whose offsets match the
+/// primary's file offsets.
+std::string JournalFileHeader();
+
 }  // namespace xmlup::store
 
 #endif  // XMLUP_STORE_JOURNAL_H_

@@ -1,0 +1,42 @@
+#include "store/journal_cursor.h"
+
+#include <utility>
+
+#include "store/journal.h"
+
+namespace xmlup::store {
+
+using common::Result;
+using common::Status;
+
+Result<JournalCursor::Batch> JournalCursor::Poll() {
+  const CommitPoint target = store_->LastCommitPoint();
+  Batch batch;
+  if (target.generation != position_.generation) {
+    batch.rolled = true;
+    position_ = {target.generation, kJournalHeaderSize, 0};
+  }
+  batch.generation = target.generation;
+  batch.base_bytes = position_.bytes;
+  batch.base_records = position_.records;
+  if (target.bytes < position_.bytes) {
+    return Status::Internal(
+        "journal commit point regressed below the cursor position");
+  }
+  if (target.bytes > position_.bytes) {
+    XMLUP_ASSIGN_OR_RETURN(
+        std::string journal,
+        store_->file_system()->ReadFile(
+            store_->dir() + "/" + JournalFileName(target.generation)));
+    if (journal.size() < target.bytes) {
+      return Status::Internal("journal is shorter than its commit point");
+    }
+    batch.payload = journal.substr(position_.bytes,
+                                   target.bytes - position_.bytes);
+    batch.records = target.records - position_.records;
+  }
+  position_ = target;
+  return batch;
+}
+
+}  // namespace xmlup::store

@@ -1,0 +1,59 @@
+#ifndef XMLUP_STORE_JOURNAL_CURSOR_H_
+#define XMLUP_STORE_JOURNAL_CURSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "store/document_store.h"
+
+namespace xmlup::store {
+
+/// Tails a DocumentStore's journal by (generation, file offset, record
+/// count), returning raw committed frame bytes — the feed a replication
+/// source ships to replicas. The cursor never reads past the store's
+/// LastCommitPoint(), so it only ever sees fsync'd frames, and it
+/// survives checkpoint rolls by re-pointing at the start of the new
+/// generation's journal (the caller ships the new snapshot for catch-up).
+///
+/// Threading: Poll() reads the journal file the store is appending to, so
+/// it must run on the thread that mutates the store — in practice the
+/// group-commit writer thread, between batches. A fresh cursor starts at
+/// the beginning of the store's current generation, so the first Poll()
+/// returns the whole committed journal body.
+class JournalCursor {
+ public:
+  explicit JournalCursor(const DocumentStore* store)
+      : store_(store),
+        position_{store->LastCommitPoint().generation, kJournalHeaderSize,
+                  0} {}
+
+  struct Batch {
+    /// The generation changed since the last Poll; `payload` (possibly
+    /// empty) belongs entirely to the new generation, starting at its
+    /// journal header boundary.
+    bool rolled = false;
+    uint64_t generation = 0;
+    uint64_t base_bytes = 0;    ///< File offset of payload's first byte.
+    uint64_t base_records = 0;  ///< Records preceding the payload.
+    uint64_t records = 0;       ///< Complete frames in payload.
+    std::string payload;        ///< Raw CRC-framed journal bytes.
+  };
+
+  /// Advances to the store's last commit point and returns the bytes in
+  /// between (empty payload and !rolled when nothing new committed).
+  /// Errors if the journal regressed below the cursor or is shorter than
+  /// its commit point — either means committed bytes were lost, which the
+  /// caller must treat as a resync-from-snapshot event.
+  common::Result<Batch> Poll();
+
+  CommitPoint position() const { return position_; }
+
+ private:
+  const DocumentStore* store_;
+  CommitPoint position_;
+};
+
+}  // namespace xmlup::store
+
+#endif  // XMLUP_STORE_JOURNAL_CURSOR_H_

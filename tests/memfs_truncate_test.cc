@@ -1,0 +1,146 @@
+// MemFileSystem fault-injection coverage for TruncateFile: like every
+// other metadata mutation, a shrink is visible to the running process at
+// once but durable only after a successful fsync of the *file* — and
+// Crash(mask) can model the kernel writing it back (or not) regardless
+// of what fsync reported.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "store/file.h"
+
+namespace xmlup::store {
+namespace {
+
+TEST(MemFsTruncateTest, SuccessfulTruncateIsDurable) {
+  MemFileSystem fs;
+  fs.SetFile("d/f", "0123456789");
+  ASSERT_TRUE(fs.TruncateFile("d/f", 4).ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 0u);  // its fsync committed it
+
+  fs.Crash();
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123");
+}
+
+TEST(MemFsTruncateTest, TruncateToLargerSizeIsANoOp) {
+  MemFileSystem fs;
+  fs.SetFile("d/f", "0123");
+  ASSERT_TRUE(fs.TruncateFile("d/f", 100).ok());
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123");
+  EXPECT_EQ(fs.pending_metadata_ops(), 0u);
+  EXPECT_FALSE(fs.TruncateFile("d/missing", 0).ok());
+}
+
+TEST(MemFsTruncateTest, TruncateWithFailedSyncIsLostOnCrash) {
+  MemFileSystem fs;
+  fs.SetFile("d/f", "0123456789");
+  fs.FailNextSyncs(1);
+  EXPECT_FALSE(fs.TruncateFile("d/f", 4).ok());
+  // The process still observes its own ftruncate...
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123");
+  EXPECT_EQ(fs.pending_metadata_ops(), 1u);
+
+  // ...but the kernel never wrote the new length back: the old tail is
+  // still on disk.
+  fs.Crash();
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123456789");
+}
+
+TEST(MemFsTruncateTest, CrashMaskCanMakeUnsyncedTruncateDurable) {
+  MemFileSystem fs;
+  fs.SetFile("d/f", "0123456789");
+  fs.FailNextSyncs(1);
+  EXPECT_FALSE(fs.TruncateFile("d/f", 4).ok());
+
+  // fsync failed, but the kernel may flush dirty metadata anyway.
+  fs.Crash(0b1);
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123");
+}
+
+TEST(MemFsTruncateTest, FileSyncCommitsAPendingTruncate) {
+  MemFileSystem fs;
+  fs.SetFile("d/f", "0123456789");
+  fs.FailNextSyncs(1);
+  EXPECT_FALSE(fs.TruncateFile("d/f", 4).ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 1u);
+
+  // A later successful fsync of the same file flushes the ftruncate too.
+  auto file = fs.OpenWritable("d/f", FileSystem::WriteMode::kAppend);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 0u);
+
+  fs.Crash();
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123");
+}
+
+TEST(MemFsTruncateTest, SyncDirDoesNotCommitAPendingTruncate) {
+  MemFileSystem fs;
+  fs.SetFile("d/f", "0123456789");
+  fs.FailNextSyncs(1);
+  EXPECT_FALSE(fs.TruncateFile("d/f", 4).ok());
+
+  // Directory fsync orders directory entries, not file lengths.
+  ASSERT_TRUE(fs.SyncDir("d").ok());
+  EXPECT_EQ(fs.pending_metadata_ops(), 1u);
+
+  fs.Crash();
+  EXPECT_EQ(*fs.GetFile("d/f"), "0123456789");
+}
+
+TEST(MemFsTruncateTest, StackedTruncatesRestoreConsistently) {
+  // Two unsynced shrinks of the same file: 10 -> 6 (bit 0), 6 -> 3
+  // (bit 1). Whatever subset the crash writes back, the surviving file
+  // must be a prefix the disk could actually have held.
+  auto setup = [](MemFileSystem* fs) {
+    fs->SetFile("d/f", "0123456789");
+    fs->FailNextSyncs(2);
+    EXPECT_FALSE(fs->TruncateFile("d/f", 6).ok());
+    EXPECT_FALSE(fs->TruncateFile("d/f", 3).ok());
+    EXPECT_EQ(*fs->GetFile("d/f"), "012");
+    EXPECT_EQ(fs->pending_metadata_ops(), 2u);
+  };
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    fs.Crash(0b00);  // neither: the original survives
+    EXPECT_EQ(*fs.GetFile("d/f"), "0123456789");
+  }
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    fs.Crash(0b01);  // only the first: disk saw length 6
+    EXPECT_EQ(*fs.GetFile("d/f"), "012345");
+  }
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    // Only the second: the disk length went straight to 3, so the first
+    // truncate's tail has nothing to attach to.
+    fs.Crash(0b10);
+    EXPECT_EQ(*fs.GetFile("d/f"), "012");
+  }
+  {
+    MemFileSystem fs;
+    setup(&fs);
+    fs.Crash(0b11);  // both
+    EXPECT_EQ(*fs.GetFile("d/f"), "012");
+  }
+}
+
+TEST(MemFsTruncateTest, TruncateOfAPendingCreationVanishesWithIt) {
+  MemFileSystem fs;
+  auto file = fs.OpenWritable("d/f", FileSystem::WriteMode::kTruncate);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  fs.FailNextSyncs(1);
+  EXPECT_FALSE(fs.TruncateFile("d/f", 4).ok());
+
+  // Neither the creation nor the truncate hit disk: no file at all, and
+  // no tail resurrected onto a ghost.
+  fs.Crash();
+  EXPECT_FALSE(fs.FileExists("d/f"));
+}
+
+}  // namespace
+}  // namespace xmlup::store

@@ -9,11 +9,14 @@
 #include "concurrency/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <thread>
@@ -179,6 +182,59 @@ TEST(ServerSoakTest, ConcurrentClientsReconcileWithStats) {
 
   EXPECT_TRUE(UnixSocketRequest(socket_path, {"--shutdown"}).ok());
   server_thread.join();
+  (*st)->Stop();
+  ::rmdir(dir_template);
+}
+
+TEST(ServerSoakTest, ShutdownForciblyDrainsIdleConnections) {
+  // A client that connects and then goes silent must not hold shutdown
+  // hostage: past the drain deadline the server shuts the connection
+  // down itself and ServeUnixSocket returns.
+  store::MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  auto st = ConcurrentStore::Create("db", ParseOrDie("<root/>"), "ordpath",
+                                    options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  char dir_template[] = "/tmp/xmlup_drain_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string socket_path = std::string(dir_template) + "/s";
+
+  Server server(st->get());
+  server.set_drain_deadline_ms(200);
+  std::thread server_thread([&] {
+    common::Status served = server.ServeUnixSocket(socket_path);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+  bool up = false;
+  for (int i = 0; i < 5000 && !up; ++i) {
+    up = UnixSocketRequest(socket_path, {"--ping"}).ok();
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(up) << "server socket never came up";
+
+  // The idle client: connected, never sends a frame.
+  int idle_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(idle_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(socket_path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ASSERT_EQ(::connect(idle_fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(UnixSocketRequest(socket_path, {"--shutdown"}).ok());
+  server_thread.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Well under test-timeout scale: the 200ms deadline plus slack, not
+  // an indefinite wait on the silent client.
+  EXPECT_LT(elapsed.count(), 5000);
+
+  ::close(idle_fd);
   (*st)->Stop();
   ::rmdir(dir_template);
 }

@@ -1,0 +1,183 @@
+// Wire framing boundary tests: the 16 MiB frame cap must behave
+// identically on both sides (a frame of exactly kMaxFrameBytes is the
+// largest that round-trips; one byte more is rejected by the writer
+// before any bytes hit the fd and by the reader before any allocation),
+// plus the degenerate zero-length frame and the binary escaping that
+// replication payloads ride on.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "concurrency/wire.h"
+#include "gtest/gtest.h"
+
+namespace xmlup::concurrency {
+namespace {
+
+// Frames big enough to blow a pipe buffer go through a temp file: write
+// the frame, rewind, read it back.
+class FrameFile {
+ public:
+  FrameFile() : file_(std::tmpfile()) {}
+  ~FrameFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  int fd() const { return ::fileno(file_); }
+  void Rewind() const { ::lseek(fd(), 0, SEEK_SET); }
+  off_t Size() const { return ::lseek(fd(), 0, SEEK_END); }
+
+ private:
+  FILE* file_;
+};
+
+TEST(WireFrameTest, ZeroLengthFrameIsOneEmptyField) {
+  FrameFile f;
+  ASSERT_TRUE(WriteFrame(f.fd(), {""}).ok());
+  EXPECT_EQ(f.Size(), 4);  // just the length prefix
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ(**frame, std::vector<std::string>{""});
+}
+
+TEST(WireFrameTest, EmptyFieldListReadsBackAsOneEmptyField) {
+  // JoinFields({}) and JoinFields({""}) both produce the empty payload:
+  // the framing cannot represent "no fields at all", and readers must
+  // not treat the 4-byte zero prefix as anything else.
+  FrameFile f;
+  ASSERT_TRUE(WriteFrame(f.fd(), {}).ok());
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ(**frame, std::vector<std::string>{""});
+}
+
+TEST(WireFrameTest, FrameOfExactlyMaxBytesRoundTrips) {
+  FrameFile f;
+  std::string field(kMaxFrameBytes, 'x');
+  field[0] = 'a';
+  field[kMaxFrameBytes - 1] = 'z';
+  ASSERT_TRUE(WriteFrame(f.fd(), {field}).ok());
+  EXPECT_EQ(f.Size(), static_cast<off_t>(4 + kMaxFrameBytes));
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  ASSERT_EQ((*frame)->size(), 1u);
+  EXPECT_EQ((**frame)[0], field);
+}
+
+TEST(WireFrameTest, SeparatorsCountTowardTheCap) {
+  // Two fields whose payload (field + separator + field) is exactly the
+  // cap: still fine. One more byte anywhere: rejected.
+  FrameFile f;
+  std::string big(kMaxFrameBytes - 2, 'x');
+  ASSERT_TRUE(WriteFrame(f.fd(), {big, "y"}).ok());
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->size(), 2u);
+
+  FrameFile over;
+  EXPECT_FALSE(WriteFrame(over.fd(), {big, "yz"}).ok());
+  EXPECT_EQ(over.Size(), 0);
+}
+
+TEST(WireFrameTest, FrameOneOverMaxIsRejectedBeforeAnyBytesAreWritten) {
+  FrameFile f;
+  std::string field(kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(WriteFrame(f.fd(), {field}).ok());
+  EXPECT_EQ(f.Size(), 0);  // nothing on the wire, stream still framed
+}
+
+TEST(WireFrameTest, ReaderRejectsALengthPrefixOneOverMax) {
+  // A writer that did not enforce the cap (or garbage on the wire): the
+  // reader must refuse before allocating or consuming the payload.
+  FrameFile f;
+  const uint32_t length = kMaxFrameBytes + 1;
+  char prefix[4] = {static_cast<char>(length & 0xFF),
+                    static_cast<char>((length >> 8) & 0xFF),
+                    static_cast<char>((length >> 16) & 0xFF),
+                    static_cast<char>((length >> 24) & 0xFF)};
+  ASSERT_EQ(::write(f.fd(), prefix, sizeof(prefix)),
+            static_cast<ssize_t>(sizeof(prefix)));
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  EXPECT_FALSE(frame.ok());
+}
+
+TEST(WireFrameTest, ReaderAcceptsALengthPrefixOfExactlyMax) {
+  FrameFile f;
+  std::string field(kMaxFrameBytes, 'q');
+  ASSERT_TRUE(WriteFrame(f.fd(), {field}).ok());
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+}
+
+TEST(WireFrameTest, CleanEofVersusTruncatedFrame) {
+  {
+    FrameFile f;  // empty stream: clean EOF
+    auto frame = ReadFrame(f.fd());
+    ASSERT_TRUE(frame.ok());
+    EXPECT_FALSE(frame->has_value());
+  }
+  {
+    FrameFile f;  // EOF inside the length prefix
+    ASSERT_EQ(::write(f.fd(), "\x08\x00", 2), 2);
+    f.Rewind();
+    EXPECT_FALSE(ReadFrame(f.fd()).ok());
+  }
+  {
+    FrameFile f;  // EOF inside the payload
+    ASSERT_TRUE(WriteFrame(f.fd(), {"hello"}).ok());
+    ASSERT_EQ(::ftruncate(f.fd(), 6), 0);
+    f.Rewind();
+    EXPECT_FALSE(ReadFrame(f.fd()).ok());
+  }
+}
+
+TEST(WireEscapeTest, EveryByteValueRoundTrips) {
+  std::string raw;
+  for (int round = 0; round < 2; ++round) {
+    for (int b = 0; b < 256; ++b) raw.push_back(static_cast<char>(b));
+  }
+  std::string escaped = EscapeBinary(raw);
+  EXPECT_EQ(escaped.find(kFieldSeparator), std::string::npos);
+  auto back = UnescapeBinary(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(WireEscapeTest, EscapedBinarySurvivesAFrame) {
+  std::string raw = {'\x1f', '\x1e', 'a', '\x00', '\x1f'};
+  FrameFile f;
+  ASSERT_TRUE(WriteFrame(f.fd(), {"frames", EscapeBinary(raw)}).ok());
+  f.Rewind();
+  auto frame = ReadFrame(f.fd());
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  ASSERT_EQ((*frame)->size(), 2u);
+  auto back = UnescapeBinary((**frame)[1]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(WireEscapeTest, MalformedEscapesAreRejected) {
+  EXPECT_FALSE(UnescapeBinary("\x1f").ok());    // bare separator
+  EXPECT_FALSE(UnescapeBinary("ab\x1e").ok());  // dangling escape
+  EXPECT_FALSE(UnescapeBinary("\x1ex").ok());   // unknown code
+  auto ok = UnescapeBinary("\x1e" "e" "\x1e" "u");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, std::string("\x1e\x1f"));
+}
+
+}  // namespace
+}  // namespace xmlup::concurrency

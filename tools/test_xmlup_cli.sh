@@ -49,6 +49,15 @@ for scheme in ordpath dewey xpath-accelerator; do
   # check info first (later opens see an already-clean journal).
   "$XMLUP" info "$DIR" | grep -q "truncated bytes:    [1-9]" \
     || fail "$scheme: info does not report the truncated tail"
+  # The durable-position triple: generation, record count, and the journal
+  # offset of the last commit — the offset must equal the (repaired)
+  # journal file size, since recovery truncated the torn tail in place.
+  COMMIT="$("$XMLUP" info "$DIR" | grep '^last commit:')"
+  echo "$COMMIT" | grep -q "gen=[0-9][0-9]* records=[0-9][0-9]* offset=[0-9][0-9]*" \
+    || fail "$scheme: info does not print the last-commit triple ($COMMIT)"
+  OFFSET="${COMMIT##*offset=}"
+  [ "$OFFSET" -eq "$(wc -c < "$(ls "$DIR"/journal-*)")" ] \
+    || fail "$scheme: last-commit offset does not match the journal size"
   "$XMLUP" cat "$DIR" > "$WORK/after.xml"
   cmp -s "$WORK/before.xml" "$WORK/after.xml" \
     || fail "$scheme: torn-tail recovery did not drop the partial record"
@@ -167,5 +176,83 @@ wait "$SERVER_PID" || fail "serve: server exited nonzero"
 # Acknowledged socket edits survive the restart.
 "$XMLUP" cat "$DIR" | grep -q "<wing/>" \
   || fail "serve: acknowledged edit lost after shutdown"
+
+# --- replication -----------------------------------------------------------
+# Primary + replica over two sockets: the replica bootstraps with a
+# snapshot, tails live edits, serves reads, rejects writes, and leaves a
+# normal store directory behind that a fresh process can `cat`.
+
+PRIMARY_DIR="$WORK/store-primary"
+REPLICA_DIR="$WORK/store-replica"
+PSOCK="$WORK/primary.sock"
+RSOCK="$WORK/replica.sock"
+"$XMLUP" init "$PRIMARY_DIR" --scheme ordpath --xml "$WORK/in.xml" > /dev/null
+
+"$XMLUP" serve "$PRIMARY_DIR" --socket "$PSOCK" &
+PRIMARY_PID=$!
+i=0
+until "$XMLUP" req --socket "$PSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "repl: primary did not come up"
+  sleep 0.1
+done
+
+# History before the replica exists, so bootstrap is a snapshot transfer.
+"$XMLUP" req --socket "$PSOCK" -s '.' -t elem -n archive > /dev/null \
+  || fail "repl: primary edit failed"
+
+"$XMLUP" serve "$REPLICA_DIR" --socket "$RSOCK" --replicate-from "$PSOCK" &
+REPLICA_PID=$!
+i=0
+until "$XMLUP" req --socket "$RSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "repl: replica did not come up"
+  sleep 0.1
+done
+
+# A live edit after the replica subscribed, then wait for it to arrive.
+"$XMLUP" req --socket "$PSOCK" -s '.' -t elem -n fresh > /dev/null \
+  || fail "repl: live edit failed"
+i=0
+until [ "$("$XMLUP" req --socket "$RSOCK" -q '/fresh' 2>/dev/null | head -1)" = "1" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "repl: replica never saw the live edit"
+  sleep 0.1
+done
+
+# Replica reads match the primary byte for byte.
+"$XMLUP" req --socket "$PSOCK" --xml > "$WORK/primary.xml"
+"$XMLUP" req --socket "$RSOCK" --xml > "$WORK/replica.xml"
+cmp -s "$WORK/primary.xml" "$WORK/replica.xml" \
+  || fail "repl: replica XML differs from primary"
+
+# Writes are for the primary only.
+"$XMLUP" req --socket "$RSOCK" -s '.' -t elem -n rogue > /dev/null 2>&1 \
+  && fail "repl: replica accepted a write"
+
+# Both roles answer repl-status with their role and zero replica lag.
+"$XMLUP" repl-status --socket "$PSOCK" | grep -q "role=primary" \
+  || fail "repl: primary repl-status misses role=primary"
+# The commit-point marker trails the frames by one message, so give the
+# lag gauge a moment to hit zero.
+i=0
+while :; do
+  "$XMLUP" repl-status --socket "$RSOCK" > "$WORK/rstatus.txt"
+  grep -q "role=replica" "$WORK/rstatus.txt" \
+    || fail "repl: replica repl-status misses role=replica"
+  grep -q "lag_bytes=0" "$WORK/rstatus.txt" && break
+  i=$((i + 1))
+  [ "$i" -lt 100 ] \
+    || fail "repl: replica still lagging at quiesce: $(cat "$WORK/rstatus.txt")"
+  sleep 0.1
+done
+
+"$XMLUP" req --socket "$RSOCK" --shutdown > /dev/null \
+  || fail "repl: replica shutdown failed"
+wait "$REPLICA_PID" || fail "repl: replica exited nonzero"
+"$XMLUP" req --socket "$PSOCK" --shutdown > /dev/null \
+  || fail "repl: primary shutdown failed"
+wait "$PRIMARY_PID" || fail "repl: primary exited nonzero"
+
+# The replica directory is a plain store: recovery reads it directly.
+"$XMLUP" cat "$REPLICA_DIR" | grep -q "<fresh/>" \
+  || fail "repl: replica store directory does not recover the edits"
 
 echo "PASS"

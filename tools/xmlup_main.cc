@@ -20,6 +20,8 @@
 #include "labels/registry.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
+#include "replication/applier.h"
+#include "replication/source.h"
 #include "store/document_store.h"
 #include "store/file.h"
 #include "xml/parser.h"
@@ -73,11 +75,19 @@ usage:
   xmlup serve <dir> --socket <path> | --stdio [--queue <n>] [--batch <n>]
       serve the store to concurrent clients: snapshot-isolated reads,
       single-writer group commit; requests use the wire protocol
-      (length-prefixed action/query frames — see `xmlup req`)
+      (length-prefixed action/query frames — see `xmlup req`); a
+      socket server is also a replication primary: replicas subscribe
+      over the same socket
+  xmlup serve <dir> --socket <path> --replicate-from <primary-socket>
+      run a read-scaling replica: tail the primary's journal stream
+      into <dir> (snapshot catch-up when too far behind) and serve
+      reads from replicated snapshots; updates are rejected
   xmlup req --socket <path> {<token>}...
       send one request frame to a running server and print the reply:
       the ed action grammar above, or -q <xpath>, --xml, --epoch,
-      --stats, --ping, --shutdown
+      --stats, --ping, --repl-status, --shutdown
+  xmlup repl-status --socket <path>
+      replication role, position, and lag of a running server
   xmlup schemes
       list registered labelling schemes
 )");
@@ -207,6 +217,7 @@ int CmdServe(int argc, char** argv) {
   if (argc < 1) return Usage();
   std::string dir = argv[0];
   std::string socket_path;
+  std::string replicate_from;
   bool stdio = false;
   concurrency::ConcurrentStoreOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -215,6 +226,8 @@ int CmdServe(int argc, char** argv) {
       socket_path = argv[++i];
     } else if (arg == "--stdio") {
       stdio = true;
+    } else if (arg == "--replicate-from" && i + 1 < argc) {
+      replicate_from = argv[++i];
     } else if (arg == "--queue" && i + 1 < argc) {
       if (!ParseCount("--queue", argv[++i], &options.queue_capacity)) return 2;
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -228,9 +241,37 @@ int CmdServe(int argc, char** argv) {
                  "xmlup serve: exactly one of --socket/--stdio required\n");
     return Usage();
   }
+
+  if (!replicate_from.empty()) {
+    // Replica: no local writer at all. The applier tails the primary into
+    // `dir` (a normal store directory — `xmlup cat`/`info` read it) and
+    // the server answers reads from replicated snapshots.
+    if (stdio) {
+      std::fprintf(stderr,
+                   "xmlup serve: --replicate-from needs --socket, "
+                   "not --stdio\n");
+      return Usage();
+    }
+    auto applier = replication::ReplicaApplier::Start(dir, replicate_from);
+    if (!applier.ok()) return Fail(applier.status());
+    concurrency::Server server(applier->get());
+    server.SetReplStatus(
+        [a = applier->get()] { return a->StatusFields(); });
+    common::Status served = server.ServeUnixSocket(socket_path);
+    (*applier)->Stop();
+    if (!served.ok()) return Fail(served);
+    return 0;
+  }
+
+  // Primary: the source tails every group commit so replicas can
+  // subscribe on the serving socket (no-op until one does).
+  replication::ReplicationSource source;
+  options.commit_hook = &source;
   auto st = concurrency::ConcurrentStore::Open(dir, options);
   if (!st.ok()) return Fail(st.status());
   concurrency::Server server(st->get());
+  server.EnableReplication(&source);
+  server.SetReplStatus([&source] { return source.StatusFields(); });
   if (stdio) {
     server.ServeConnection(/*in_fd=*/0, /*out_fd=*/1);
   } else {
@@ -257,6 +298,34 @@ int CmdReq(int argc, char** argv) {
   if (!response.ok()) return Fail(response.status());
   if (response->empty() || (*response)[0] == "err") {
     std::fprintf(stderr, "xmlup req: %s\n",
+                 response->size() > 1 ? (*response)[1].c_str()
+                                      : "malformed reply");
+    return 1;
+  }
+  for (size_t i = 1; i < response->size(); ++i) {
+    std::printf("%s\n", (*response)[i].c_str());
+  }
+  return 0;
+}
+
+// Sugar for `req --socket <path> --repl-status`: the same wire verb, a
+// memorable name.
+int CmdReplStatus(int argc, char** argv) {
+  std::string socket_path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (socket_path.empty()) return Usage();
+  auto response =
+      concurrency::UnixSocketRequest(socket_path, {"--repl-status"});
+  if (!response.ok()) return Fail(response.status());
+  if (response->empty() || (*response)[0] != "ok") {
+    std::fprintf(stderr, "xmlup repl-status: %s\n",
                  response->size() > 1 ? (*response)[1].c_str()
                                       : "malformed reply");
     return 1;
@@ -340,6 +409,12 @@ int CmdInfo(int argc, char** argv) {
               static_cast<unsigned long long>(stats.recovered_records));
   std::printf("truncated bytes:    %llu\n",
               static_cast<unsigned long long>(stats.truncated_bytes));
+  // The durable position triple — what a replica's handshake would send.
+  const store::CommitPoint commit = (*st)->LastCommitPoint();
+  std::printf("last commit:        gen=%llu records=%llu offset=%llu\n",
+              static_cast<unsigned long long>(commit.generation),
+              static_cast<unsigned long long>(commit.records),
+              static_cast<unsigned long long>(commit.bytes));
   return 0;
 }
 
@@ -455,6 +530,7 @@ int main(int argc, char** argv) {
   if (cmd == "ed") return CmdEd(argc - 2, argv + 2);
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
   if (cmd == "req") return CmdReq(argc - 2, argv + 2);
+  if (cmd == "repl-status") return CmdReplStatus(argc - 2, argv + 2);
   if (cmd == "cat") return CmdCat(argc - 2, argv + 2);
   if (cmd == "labels") return CmdLabels(argc - 2, argv + 2);
   if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
