@@ -1,9 +1,28 @@
 // Concurrency subsystem benchmarks: read scaling across 1..N reader
-// threads on pinned snapshot views (with and without a concurrent
-// writer), and update acknowledgement throughput under group commit
-// versus per-update fsync — the fsync amortisation the single-writer
-// pipeline exists for. The self-timed sweep writes BENCH_concurrency.json;
-// the registered microbenchmarks cover PinView and view-query cost.
+// threads on pinned snapshot views (with and without a rate-paced
+// concurrent writer), and update acknowledgement throughput under
+// pipelined group commit versus per-update fsync — the fsync
+// amortisation and overlap the two-stage write pipeline exists for. The
+// self-timed sweep writes BENCH_concurrency.json; the registered
+// microbenchmarks cover PinView and view-query cost.
+//
+// Methodology notes (hard-won):
+//   * Update throughput is driven by *windowed* submitters: each keeps a
+//     fixed number of asynchronous submissions in flight instead of
+//     waiting for every ack before sending the next. Closed-loop
+//     submitters cap offered load at submitters-per-fsync and can never
+//     show batches growing under load; a window is how a real client
+//     (replication feed, bulk loader, server session) actually drives a
+//     group-commit pipeline.
+//   * The concurrent writer in the read-scaling sweep is paced at a
+//     fixed rate. A closed-loop writer measures reader interference at
+//     "whatever the write path happens to sustain", so making the write
+//     path faster silently makes the read numbers worse — an artifact,
+//     not a regression.
+//   * Reader measurement starts after a warmup and the JSON records
+//     hardware_concurrency: on boxes with fewer cores than reader
+//     threads, the flat (or noisy-degrading) tail is oversubscription,
+//     not contention.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +30,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
@@ -33,6 +54,7 @@ using concurrency::ConcurrentStoreOptions;
 using concurrency::ConcurrentStoreStats;
 using concurrency::ReadView;
 using concurrency::UpdateRequest;
+using concurrency::UpdateResult;
 using store::DocumentStore;
 using store::MemFileSystem;
 using store::StoreOptions;
@@ -82,45 +104,56 @@ double MsSince(std::chrono::steady_clock::time_point start) {
 struct ReadPoint {
   int threads = 0;
   double queries_per_s = 0;         // readers alone
-  double queries_per_s_writer = 0;  // same, with a writer committing
+  double queries_per_s_writer = 0;  // same, with a writer paced at kWriterHz
 };
 
-double MeasureReaders(ConcurrentStore* st, int threads, double duration_ms,
-                      bool with_writer) {
+// Fixed offered write load for the interference measurement (see the
+// methodology note at the top of the file).
+constexpr double kWriterHz = 500.0;
+
+double MeasureReaders(ConcurrentStore* st, int threads, double warmup_ms,
+                      double duration_ms, bool with_writer) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> queries{0};
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
-      uint64_t local = 0;
       while (!stop.load(std::memory_order_acquire)) {
         std::shared_ptr<const ReadView> view = st->PinView();
         auto hits = view->Query("//book/title");
         if (!hits.ok()) std::abort();
         benchmark::DoNotOptimize(hits->size());
-        ++local;
+        queries.fetch_add(1, std::memory_order_relaxed);
       }
-      queries.fetch_add(local);
     });
   }
   std::thread writer;
   if (with_writer) {
     writer = std::thread([&] {
+      const auto tick =
+          std::chrono::microseconds(static_cast<long>(1e6 / kWriterHz));
+      auto next = std::chrono::steady_clock::now();
       int i = 0;
       while (!stop.load(std::memory_order_acquire)) {
+        next += tick;
+        std::this_thread::sleep_until(next);
         if (!st->Update(InsertBook(i++)).status.ok()) std::abort();
       }
     });
   }
-  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(warmup_ms)));
+  const uint64_t before = queries.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
   while (MsSince(start) < duration_ms) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  double elapsed_ms = MsSince(start);
+  const double elapsed_ms = MsSince(start);
+  const uint64_t after = queries.load(std::memory_order_relaxed);
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   if (writer.joinable()) writer.join();
-  return static_cast<double>(queries.load()) / (elapsed_ms / 1000.0);
+  return static_cast<double>(after - before) / (elapsed_ms / 1000.0);
 }
 
 std::vector<ReadPoint> MeasureReadScaling() {
@@ -141,7 +174,8 @@ std::vector<ReadPoint> MeasureReadScaling() {
       auto st = ConcurrentStore::Create("db", BuildTree(10, 20), kScheme,
                                         options);
       if (!st.ok()) std::abort();
-      point.queries_per_s = MeasureReaders(st->get(), threads, 250.0, false);
+      point.queries_per_s =
+          MeasureReaders(st->get(), threads, 100.0, 400.0, false);
     }
     {
       MemFileSystem fs;
@@ -151,7 +185,7 @@ std::vector<ReadPoint> MeasureReadScaling() {
                                         options);
       if (!st.ok()) std::abort();
       point.queries_per_s_writer =
-          MeasureReaders(st->get(), threads, 250.0, true);
+          MeasureReaders(st->get(), threads, 100.0, 400.0, true);
     }
     points.push_back(point);
   }
@@ -201,32 +235,41 @@ SyncedRates MeasurePerUpdateFsync(double duration_ms) {
 
 struct GroupCommitPoint {
   int submitters = 0;
+  size_t window = 1;  ///< In-flight submissions per submitter.
   double updates_per_s = 0;
   double fsyncs_per_s = 0;  // one per batch
   double mean_batch = 0;
-  // Whole-batch commit latency (journal append of the batch + one fsync +
-  // view publication), from the pipeline's own "cstore.commit_ns"
-  // histogram. Zero when the metrics layer is compiled out.
+  uint64_t views_delta = 0;    ///< Views published by O(delta) replay.
+  uint64_t views_rebuilt = 0;  ///< Views published by full rebuild.
+  // Stage-to-durable latency of a staged batch (queueing behind earlier
+  // barriers + the fsync), from "cstore.commit_ns"; plus the pipeline's
+  // per-stage attribution: writer-side view publication
+  // ("cstore.publish_ns") and flusher-side barrier ("cstore.fsync_ns").
+  // All zero when the metrics layer is compiled out.
   uint64_t commit_p50_ns = 0;
   uint64_t commit_p95_ns = 0;
   uint64_t commit_p99_ns = 0;
+  uint64_t publish_p50_ns = 0;
+  uint64_t fsync_p50_ns = 0;
 };
 
-// max_batch = 1 degrades the pipeline to one fsync per update — the
-// apples-to-apples baseline for the group-commit comparison (same queue,
-// same writer thread, same ack path; only the fsync amortisation
-// differs).
+// max_batch = 1 with window = 1 degrades the pipeline to one fsync per
+// update — the apples-to-apples baseline for the group-commit comparison
+// (same queue, same writer thread, same ack path; only the fsync
+// amortisation differs). The headline group-commit points use a window
+// so batches can actually grow under load.
 GroupCommitPoint MeasureGroupCommit(int submitters, size_t max_batch,
-                                    double duration_ms) {
+                                    size_t window, double duration_ms) {
   GroupCommitPoint point;
   point.submitters = submitters;
+  point.window = window;
   const std::string dir = MakeTempDir();
   ConcurrentStoreOptions options;
   options.max_batch = max_batch;
   auto st = ConcurrentStore::Create(dir + "/db", BuildTree(2, 4), kScheme,
                                     options);
   if (!st.ok()) std::abort();
-  // Reset so the commit-latency quantiles cover exactly this point's run.
+  // Reset so the latency quantiles cover exactly this point's run.
   obs::GlobalMetrics().Reset();
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> acked{0};
@@ -235,8 +278,18 @@ GroupCommitPoint MeasureGroupCommit(int submitters, size_t max_batch,
     threads.emplace_back([&, t] {
       int i = t * 1000000;
       uint64_t local = 0;
+      std::deque<std::future<UpdateResult>> inflight;
       while (!stop.load(std::memory_order_acquire)) {
-        if (!(*st)->Update(InsertBook(i++)).status.ok()) std::abort();
+        while (inflight.size() < window) {
+          inflight.push_back((*st)->SubmitUpdate(InsertBook(i++)));
+        }
+        if (!inflight.front().get().status.ok()) std::abort();
+        inflight.pop_front();
+        ++local;
+      }
+      while (!inflight.empty()) {
+        if (!inflight.front().get().status.ok()) std::abort();
+        inflight.pop_front();
         ++local;
       }
       acked.fetch_add(local);
@@ -246,9 +299,11 @@ GroupCommitPoint MeasureGroupCommit(int submitters, size_t max_batch,
   while (MsSince(start) < duration_ms) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
-  double elapsed_ms = MsSince(start);
   stop.store(true, std::memory_order_release);
   for (auto& th : threads) th.join();
+  // Elapsed includes the in-flight drain after `stop` — at most
+  // submitters*window acks, a few batches' worth.
+  double elapsed_ms = MsSince(start);
   ConcurrentStoreStats stats = (*st)->stats();
   point.updates_per_s =
       static_cast<double>(acked.load()) / (elapsed_ms / 1000.0);
@@ -258,12 +313,18 @@ GroupCommitPoint MeasureGroupCommit(int submitters, size_t max_batch,
       stats.batches > 0 ? static_cast<double>(stats.updates_applied) /
                               static_cast<double>(stats.batches)
                         : 0.0;
+  point.views_delta = stats.views_delta;
+  point.views_rebuilt = stats.views_rebuilt;
   if (obs::kMetricsEnabled) {
-    obs::Histogram* commit =
-        obs::GlobalMetrics().GetHistogram("cstore.commit_ns");
+    obs::Registry& reg = obs::GlobalMetrics();
+    obs::Histogram* commit = reg.GetHistogram("cstore.commit_ns");
     point.commit_p50_ns = commit->ValueAtPercentile(50);
     point.commit_p95_ns = commit->ValueAtPercentile(95);
     point.commit_p99_ns = commit->ValueAtPercentile(99);
+    point.publish_p50_ns =
+        reg.GetHistogram("cstore.publish_ns")->ValueAtPercentile(50);
+    point.fsync_p50_ns =
+        reg.GetHistogram("cstore.fsync_ns")->ValueAtPercentile(50);
   }
   return point;
 }
@@ -274,7 +335,10 @@ void WriteJsonSweep() {
   FILE* out = std::fopen("BENCH_concurrency.json", "w");
   if (out == nullptr) return;
 
-  std::fprintf(out, "{\n  \"read_scaling\": [\n");
+  std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"read_scaling_writer_hz\": %.0f,\n", kWriterHz);
+  std::fprintf(out, "  \"read_scaling\": [\n");
   std::vector<ReadPoint> reads = MeasureReadScaling();
   for (size_t i = 0; i < reads.size(); ++i) {
     std::fprintf(out,
@@ -301,36 +365,48 @@ void WriteJsonSweep() {
                "direct per-update fsync: %.0f updates/s (%.0f fsync/s)\n",
                per_update.updates_per_s, per_update.fsyncs_per_s);
 
-  // Pipeline comparison at equal offered load: max_batch=1 is one fsync
-  // per update through the same queue and writer; max_batch=256 is group
-  // commit proper.
+  // Pipeline comparison: max_batch=1/window=1 is one fsync per update
+  // through the same queue and writer; group commit proper runs windowed
+  // submitters so batches grow under load.
   const std::vector<int> submitter_counts = {1, 2, 4};
   for (int grouped = 0; grouped < 2; ++grouped) {
     std::fprintf(out, "  \"%s\": [\n",
                  grouped ? "group_commit" : "pipeline_per_update_fsync");
     for (size_t i = 0; i < submitter_counts.size(); ++i) {
       GroupCommitPoint point = MeasureGroupCommit(
-          submitter_counts[i], grouped ? 256 : 1, 500.0);
+          submitter_counts[i], grouped ? 256 : 1, grouped ? 32 : 1, 500.0);
       std::fprintf(out,
-                   "    {\"submitters\": %d, \"updates_per_s\": %.0f, "
+                   "    {\"submitters\": %d, \"window\": %zu, "
+                   "\"updates_per_s\": %.0f, "
                    "\"fsyncs_per_s\": %.0f, \"mean_batch\": %.1f, "
+                   "\"views_delta\": %llu, \"views_rebuilt\": %llu, "
                    "\"commit_ns_p50\": %llu, \"commit_ns_p95\": %llu, "
-                   "\"commit_ns_p99\": %llu}%s\n",
-                   point.submitters, point.updates_per_s, point.fsyncs_per_s,
-                   point.mean_batch,
+                   "\"commit_ns_p99\": %llu, \"publish_ns_p50\": %llu, "
+                   "\"fsync_ns_p50\": %llu}%s\n",
+                   point.submitters, point.window, point.updates_per_s,
+                   point.fsyncs_per_s, point.mean_batch,
+                   static_cast<unsigned long long>(point.views_delta),
+                   static_cast<unsigned long long>(point.views_rebuilt),
                    static_cast<unsigned long long>(point.commit_p50_ns),
                    static_cast<unsigned long long>(point.commit_p95_ns),
                    static_cast<unsigned long long>(point.commit_p99_ns),
+                   static_cast<unsigned long long>(point.publish_p50_ns),
+                   static_cast<unsigned long long>(point.fsync_p50_ns),
                    i + 1 < submitter_counts.size() ? "," : "");
       std::fprintf(stderr,
-                   "%s, %d submitters: %.0f updates/s "
-                   "(%.0f fsync/s, mean batch %.1f, "
-                   "commit p50=%llu ns p99=%llu ns)\n",
+                   "%s, %d submitters (window %zu): %.0f updates/s "
+                   "(%.0f fsync/s, mean batch %.1f, views %llu delta / "
+                   "%llu rebuilt, commit p50=%llu ns p99=%llu ns, "
+                   "publish p50=%llu ns, fsync p50=%llu ns)\n",
                    grouped ? "group commit" : "pipeline per-update fsync",
-                   point.submitters, point.updates_per_s, point.fsyncs_per_s,
-                   point.mean_batch,
+                   point.submitters, point.window, point.updates_per_s,
+                   point.fsyncs_per_s, point.mean_batch,
+                   static_cast<unsigned long long>(point.views_delta),
+                   static_cast<unsigned long long>(point.views_rebuilt),
                    static_cast<unsigned long long>(point.commit_p50_ns),
-                   static_cast<unsigned long long>(point.commit_p99_ns));
+                   static_cast<unsigned long long>(point.commit_p99_ns),
+                   static_cast<unsigned long long>(point.publish_p50_ns),
+                   static_cast<unsigned long long>(point.fsync_p50_ns));
     }
     std::fprintf(out, "  ]%s\n", grouped ? "" : ",");
   }
@@ -380,7 +456,7 @@ BENCHMARK(BM_ViewQuery)->MinTime(0.1);
 
 void BM_UpdateAckBuffered(benchmark::State& state) {
   // Acknowledgement round-trip through the queue + writer thread + view
-  // publication, with MemFS so no fsync dominates.
+  // publication + flusher ack, with MemFS so no fsync dominates.
   MemFileSystem fs;
   ConcurrentStoreOptions options;
   options.store.fs = &fs;

@@ -17,6 +17,14 @@ ReadView::ReadView(std::unique_ptr<labels::LabelingScheme> scheme,
       doc_(std::make_unique<core::LabeledDocument>(std::move(doc))),
       epoch_(epoch) {}
 
+void ReadView::Prewarm() {
+  // Prewarm every lazily built structure on this (the writer's) thread so
+  // concurrent readers only ever hit the already-built fast paths: the
+  // order-key cache first, then the LabelIndex on top of it. After this,
+  // all query entry points are const-pure.
+  indexed_ = doc_->PrewarmCaches().ok();
+}
+
 Result<std::shared_ptr<const ReadView>> ReadView::FromSnapshot(
     std::string_view snapshot_bytes, uint64_t epoch,
     const labels::SchemeOptions& options) {
@@ -25,16 +33,43 @@ Result<std::shared_ptr<const ReadView>> ReadView::FromSnapshot(
                          core::LoadSnapshot(snapshot_bytes, &scheme, options));
   std::shared_ptr<ReadView> view(
       new ReadView(std::move(scheme), std::move(doc), epoch));
-
-  // Prewarm every lazily built structure on this (the writer's) thread so
-  // concurrent readers only ever hit the already-built fast paths: the
-  // order-key cache first, then the LabelIndex on top of it. After this,
-  // all query entry points are const-pure.
-  for (NodeId n : view->doc_->tree().PreorderNodes()) {
-    (void)view->doc_->order_key(n);
-  }
-  view->indexed_ = view->doc_->query_index().ok();
+  view->Prewarm();
   return std::shared_ptr<const ReadView>(std::move(view));
+}
+
+Result<std::unique_ptr<ReadView>> ReadView::CloneFromLive(
+    const core::LabeledDocument& live, const labels::SchemeOptions& options) {
+  XMLUP_ASSIGN_OR_RETURN(
+      std::unique_ptr<labels::LabelingScheme> scheme,
+      labels::CreateScheme(live.scheme().traits().name, options));
+  core::LabeledDocument doc = live.CloneForView(scheme.get());
+  std::unique_ptr<ReadView> view(
+      new ReadView(std::move(scheme), std::move(doc), 0));
+  view->Prewarm();
+  return view;
+}
+
+Status ReadView::ApplyDelta(const std::deque<DeltaOp>& ops, size_t begin,
+                            size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    const DeltaOp& op = ops[i];
+    switch (op.kind) {
+      case DeltaOp::Kind::kInsert:
+        XMLUP_RETURN_NOT_OK(doc_->ApplyDeltaInsert(op.node, op.parent,
+                                                   op.node_kind, op.name,
+                                                   op.value, op.before,
+                                                   op.label));
+        break;
+      case DeltaOp::Kind::kRemove:
+        XMLUP_RETURN_NOT_OK(doc_->ApplyDeltaRemove(op.node));
+        break;
+      case DeltaOp::Kind::kSetValue:
+        XMLUP_RETURN_NOT_OK(doc_->ApplyDeltaValue(op.node, op.value));
+        break;
+    }
+  }
+  Prewarm();
+  return Status::Ok();
 }
 
 Result<std::vector<NodeId>> ReadView::Query(

@@ -1,12 +1,15 @@
 #ifndef XMLUP_CONCURRENCY_READ_VIEW_H_
 #define XMLUP_CONCURRENCY_READ_VIEW_H_
 
+#include <cstddef>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "concurrency/view_delta.h"
 #include "core/labeled_document.h"
 #include "labels/registry.h"
 
@@ -30,6 +33,16 @@ namespace xmlup::concurrency {
 /// count *is* the pin. A reader that still holds a superseded view keeps
 /// reading its frozen state bit-for-bit; the memory is reclaimed when the
 /// last pin drops.
+///
+/// Construction paths:
+///   * CloneFromLive — O(document) deep copy of the writer's document,
+///     preserving the node arena exactly. The write pipeline's base case
+///     and fallback; clones stay delta-applicable.
+///   * FromSnapshot — round-trips a SaveSnapshot image (compacted arena).
+///     Used by replicas and by the pipeline's differential cross-check.
+///   * ApplyDelta (pipeline-private) — advances a retired clone to the
+///     latest state by replaying captured DeltaOps: O(delta) instead of
+///     O(document), the publication fast path.
 class ReadView {
  public:
   /// Builds a view from a core::SaveSnapshot image. The scheme named in
@@ -38,6 +51,13 @@ class ReadView {
   static common::Result<std::shared_ptr<const ReadView>> FromSnapshot(
       std::string_view snapshot_bytes, uint64_t epoch,
       const labels::SchemeOptions& options = {});
+
+  /// Deep-copies `live` (arena preserved — future delta inserts allocate
+  /// the same NodeIds as the writer) with a private scheme instance, and
+  /// prewarms all read caches. Returned mutable so the write pipeline can
+  /// stamp and later delta-advance it; it is frozen by publication.
+  static common::Result<std::unique_ptr<ReadView>> CloneFromLive(
+      const core::LabeledDocument& live, const labels::SchemeOptions& options);
 
   const core::LabeledDocument& document() const { return *doc_; }
 
@@ -59,8 +79,28 @@ class ReadView {
   common::Result<std::string> SerializeXml() const;
 
  private:
+  friend class ConcurrentStore;
+
   ReadView(std::unique_ptr<labels::LabelingScheme> scheme,
            core::LabeledDocument doc, uint64_t epoch);
+
+  /// Replays retained delta ops [begin, end) onto the view document and
+  /// re-prewarms the read caches. Only the write pipeline calls this, on
+  /// a view no reader can reach (freshly recycled). Fails — leaving the
+  /// view unusable for publication — if replay diverges from the arena.
+  common::Status ApplyDelta(const std::deque<DeltaOp>& ops, size_t begin,
+                            size_t end);
+
+  /// Rebuilds lazily-invalidated caches after a delta and recomputes
+  /// indexed_; called by ApplyDelta and after construction.
+  void Prewarm();
+
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+  // Delta lineage stamps, owned by the publishing pipeline: usn_ counts
+  // the captured ops applied to this view; lineage_ identifies the arena
+  // generation (checkpoints compact arenas and bump it).
+  uint64_t usn_ = 0;
+  uint64_t lineage_ = 0;
 
   // Order: scheme_ must outlive doc_ (doc_ holds a raw pointer to it).
   std::unique_ptr<labels::LabelingScheme> scheme_;

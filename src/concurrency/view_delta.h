@@ -1,0 +1,98 @@
+#ifndef XMLUP_CONCURRENCY_VIEW_DELTA_H_
+#define XMLUP_CONCURRENCY_VIEW_DELTA_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/labeled_document.h"
+
+namespace xmlup::concurrency {
+
+/// One captured primitive update, carrying everything a read view needs
+/// to retrace it without consulting a labelling scheme: the structural
+/// parameters plus the label the writer's scheme actually assigned. The
+/// paper's persistence property is what makes the captured label safe to
+/// re-attach verbatim — once assigned it orders correctly against every
+/// other label forever, so a view that replays inserts with frozen labels
+/// stays order-consistent with the writer.
+struct DeltaOp {
+  enum class Kind { kInsert, kRemove, kSetValue };
+
+  Kind kind = Kind::kInsert;
+  xml::NodeId node = xml::kInvalidNode;
+  // Insert-only fields.
+  xml::NodeId parent = xml::kInvalidNode;
+  xml::NodeId before = xml::kInvalidNode;
+  xml::NodeKind node_kind = xml::NodeKind::kElement;
+  std::string name;
+  std::string value;  ///< Also the new value for kSetValue.
+  labels::Label label;
+};
+
+/// UpdateObserver that records the writer's primitive updates as DeltaOps
+/// — the same post-apply events the store's journal hangs off, so the
+/// capture is exactly the batch's journal tail plus assigned labels.
+/// Owned and driven by the write pipeline's writer thread only.
+class DeltaCapture : public core::UpdateObserver {
+ public:
+  void OnInsertNode(const core::LabeledDocument& doc, xml::NodeId node,
+                    const core::UpdateStats& stats) override {
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kInsert;
+    op.node = node;
+    op.parent = doc.tree().parent(node);
+    op.before = doc.tree().next_sibling(node);
+    op.node_kind = doc.tree().kind(node);
+    op.name = doc.tree().name(node);
+    op.value = doc.tree().value(node);
+    op.label = doc.label(node);
+    ops_.push_back(std::move(op));
+    // A relabel or overflow rewrote labels of *other* nodes, which this
+    // per-op capture does not carry: the batch cannot be delta-applied.
+    if (stats.relabeled > 0 || stats.overflow) dirty_ = true;
+  }
+
+  void OnRemoveSubtree(const core::LabeledDocument&,
+                       xml::NodeId node) override {
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kRemove;
+    op.node = node;
+    ops_.push_back(std::move(op));
+  }
+
+  void OnUpdateValue(const core::LabeledDocument& doc,
+                     xml::NodeId node) override {
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kSetValue;
+    op.node = node;
+    op.value = doc.tree().value(node);
+    ops_.push_back(std::move(op));
+  }
+
+  /// Current capture position; pair with TruncateTo to discard the ops of
+  /// a rolled-back transaction.
+  size_t Mark() const { return ops_.size(); }
+  void TruncateTo(size_t mark) { ops_.resize(mark); }
+
+  /// Drains the captured ops (the committed batch's delta).
+  std::vector<DeltaOp> TakeOps() { return std::exchange(ops_, {}); }
+  /// Whether any capture since the last TakeDirty saw a relabel/overflow;
+  /// reading clears the flag. Conservative across rollbacks: a truncated
+  /// transaction may leave it set, forcing one unnecessary fallback.
+  bool TakeDirty() { return std::exchange(dirty_, false); }
+
+  void Reset() {
+    ops_.clear();
+    dirty_ = false;
+  }
+
+ private:
+  std::vector<DeltaOp> ops_;
+  bool dirty_ = false;
+};
+
+}  // namespace xmlup::concurrency
+
+#endif  // XMLUP_CONCURRENCY_VIEW_DELTA_H_

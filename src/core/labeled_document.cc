@@ -57,6 +57,21 @@ LabeledDocument& LabeledDocument::operator=(LabeledDocument&& other) noexcept {
 
 LabeledDocument::~LabeledDocument() = default;
 
+LabeledDocument LabeledDocument::CloneForView(
+    const labels::LabelingScheme* scheme) const {
+  LabeledDocument copy(tree_.Clone(), scheme, labels_);
+  copy.version_ = version_;
+  copy.order_keys_ = order_keys_;
+  copy.order_keys_built_ = order_keys_built_;
+  copy.order_keys_native_ = order_keys_native_;
+  return copy;
+}
+
+Status LabeledDocument::PrewarmCaches() const {
+  EnsureOrderKeys();
+  return query_index().status();
+}
+
 Result<LabeledDocument> LabeledDocument::Build(
     xml::Tree tree, const labels::LabelingScheme* scheme) {
   std::vector<Label> labels;
@@ -174,6 +189,62 @@ Status LabeledDocument::UpdateValue(NodeId node, std::string value) {
     observer->OnUpdateValue(*this, node);
   }
   return Status::Ok();
+}
+
+Status LabeledDocument::ApplyDeltaInsert(NodeId expect_node, NodeId parent,
+                                         xml::NodeKind kind, std::string name,
+                                         std::string value, NodeId before,
+                                         const Label& label) {
+  // Whether the cached index was in sync *before* this update; decided up
+  // front because NoteInsert bumps version_.
+  const bool index_fresh =
+      query_index_ != nullptr && query_index_version_ == version_;
+  XMLUP_ASSIGN_OR_RETURN(
+      NodeId node, tree_.InsertChild(parent, kind, std::move(name),
+                                     std::move(value), before));
+  if (node != expect_node) {
+    Status undo = tree_.RemoveSubtree(node);
+    (void)undo;
+    return Status::Internal("delta replay diverged: arena assigned node " +
+                            std::to_string(node) + ", expected " +
+                            std::to_string(expect_node));
+  }
+  labels_.resize(tree_.arena_size());
+  labels_[node] = label;
+  NoteInsert(node, {});
+  if (index_fresh && order_keys_built_) {
+    // Native order keys were refreshed for the new node only; the ordered
+    // sequence admits an O(log n + moved) incremental insertion.
+    query_index_->Insert(node);
+    query_index_version_ = version_;
+  } else {
+    // Rank-fallback keys were invalidated wholesale; rebuild the index
+    // from scratch on the next query (or prewarm).
+    query_index_.reset();
+  }
+  return Status::Ok();
+}
+
+Status LabeledDocument::ApplyDeltaRemove(NodeId node) {
+  const bool index_fresh =
+      query_index_ != nullptr && query_index_version_ == version_;
+  XMLUP_RETURN_NOT_OK(tree_.RemoveSubtree(node));
+  ++version_;
+  if (index_fresh) {
+    // EraseSubtree filters out entries whose nodes died, so it must run
+    // after the tree removal.
+    query_index_->EraseSubtree(node);
+    query_index_version_ = version_;
+  } else {
+    query_index_.reset();
+  }
+  return Status::Ok();
+}
+
+Status LabeledDocument::ApplyDeltaValue(NodeId node, std::string value) {
+  // Content updates touch neither labels nor structure: version, order
+  // keys and the query index all stay valid.
+  return tree_.SetValue(node, std::move(value));
 }
 
 void LabeledDocument::AddUpdateObserver(UpdateObserver* observer) {

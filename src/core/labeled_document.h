@@ -88,6 +88,16 @@ class LabeledDocument {
   LabeledDocument& operator=(LabeledDocument&& other) noexcept;
   ~LabeledDocument();
 
+  /// Deep copy for read-view publication: same arena (NodeIds preserved),
+  /// same labels, same order-key cache. Observers and the cached query
+  /// index do not transfer; `scheme` must be behaviourally identical to
+  /// this document's scheme and outlive the clone.
+  LabeledDocument CloneForView(const labels::LabelingScheme* scheme) const;
+
+  /// Eagerly builds the order-key cache and the query index so the first
+  /// reader of a freshly published view never pays the O(n log n) build.
+  common::Status PrewarmCaches() const;
+
   const xml::Tree& tree() const { return tree_; }
   const labels::LabelingScheme& scheme() const { return *scheme_; }
   const std::vector<labels::Label>& all_labels() const { return labels_; }
@@ -115,6 +125,28 @@ class LabeledDocument {
 
   /// Replaces a node's text/value (content update; labels untouched).
   common::Status UpdateValue(xml::NodeId node, std::string value);
+
+  // --- Delta replay (read-view maintenance) -------------------------------
+  //
+  // Re-applies primitive updates captured on another document that evolved
+  // from the same arena. No scheme call is made (the captured label is
+  // attached verbatim), no observers fire, and no doc.* metrics count —
+  // the original application already journalled and counted the update.
+  // The order-key cache and query index are maintained incrementally
+  // where possible.
+
+  /// Inserts `expect_node` under `parent` before `before` and attaches
+  /// `label`. Fails with Internal (leaving the tree unchanged) if the
+  /// arena assigns a different id — the caller's arenas have diverged and
+  /// it must fall back to a full rebuild.
+  common::Status ApplyDeltaInsert(xml::NodeId expect_node, xml::NodeId parent,
+                                  xml::NodeKind kind, std::string name,
+                                  std::string value, xml::NodeId before,
+                                  const labels::Label& label);
+  /// Mirrors a captured subtree removal.
+  common::Status ApplyDeltaRemove(xml::NodeId node);
+  /// Mirrors a captured content update.
+  common::Status ApplyDeltaValue(xml::NodeId node, std::string value);
 
   // --- Update observation -------------------------------------------------
 

@@ -21,7 +21,9 @@ namespace xmlup::replication {
 /// The primary side of journal-shipping replication.
 ///
 /// Plugged into a ConcurrentStore as its CommitHook, the source tails the
-/// store's journal with a JournalCursor on the writer thread: after every
+/// store's journal with a JournalCursor on the store's pipeline threads
+/// (the flusher after every durable group commit, the writer around
+/// checkpoints — never concurrently): after every
 /// group commit it copies the newly committed frame bytes into an
 /// in-memory image of the current generation's journal (offsets match the
 /// primary's file offsets exactly), and on a checkpoint roll it keeps the
@@ -54,8 +56,10 @@ class ReplicationSource : public concurrency::CommitHook,
   ReplicationSource();
   explicit ReplicationSource(Options options);
 
-  /// CommitHook: called on the writer thread (prime, post-commit,
-  /// post-roll). Never blocks on subscribers.
+  /// CommitHook: called on the store's pipeline threads — priming and
+  /// post-roll on the writer (with the flusher drained), post-commit on
+  /// the flusher at the durability barrier — but never from two threads
+  /// at once. Never blocks on subscribers.
   void OnCommit(store::DocumentStore* store) override;
 
   /// ReplicationStreamer: serves one replica subscription until the

@@ -370,6 +370,7 @@ Status DocumentStore::Sync() {
     sync_poisoned_ = true;
     return st;
   }
+  std::lock_guard<std::mutex> lock(commit_mu_);
   ++stats_.syncs;
   committed_bytes_ = journal_->bytes();
   committed_records_ = journal_->records();
@@ -428,8 +429,11 @@ Status DocumentStore::RollbackTail(const BatchMark& mark) {
   }
   // The precondition says nothing past the mark was synced, so these are
   // already <= mark; clamp defensively all the same.
-  committed_bytes_ = std::min(committed_bytes_, mark.bytes);
-  committed_records_ = std::min(committed_records_, mark.records);
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    committed_bytes_ = std::min(committed_bytes_, mark.bytes);
+    committed_records_ = std::min(committed_records_, mark.records);
+  }
   metrics_.rollbacks->Add(1);
   metrics_.rollback_records_dropped->Add(dropped_records);
   // A pending append failure belonged entirely to the tail just removed;
@@ -461,14 +465,47 @@ Status DocumentStore::ReloadFromDisk(uint64_t expect_records) {
 
 Status DocumentStore::CommitBatch() {
   XMLUP_TRACE_SPAN("store.commit_batch");
-  const uint64_t records_before = records_at_last_commit_;
-  records_at_last_commit_ = journal_->records();
-  XMLUP_RETURN_NOT_OK(Sync());
+  XMLUP_RETURN_NOT_OK(pending_error_);
+  const StagedCommit staged = StageCommit();
+  Status st = CompleteCommit(staged);
+  if (!st.ok()) PoisonSync(st);
+  return st;
+}
+
+DocumentStore::StagedCommit DocumentStore::StageCommit() {
+  StagedCommit staged;
+  staged.bytes = journal_->bytes();
+  staged.records = journal_->records();
+  staged.records_before = records_at_last_commit_;
+  records_at_last_commit_ = staged.records;
+  return staged;
+}
+
+Status DocumentStore::CompleteCommit(const StagedCommit& staged) {
+  Status st;
+  {
+    XMLUP_SCOPED_TIMER(metrics_.fsync_ns);
+    st = journal_->Sync();
+  }
+  // Failure poisons durability, but pending_error_/sync_poisoned_ belong
+  // to the writer thread: the caller relays the error and poisons there.
+  XMLUP_RETURN_NOT_OK(st);
+  const uint64_t batch = staged.records - staged.records_before;
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  ++stats_.syncs;
+  // The fsync covered at least the staged position (appends past it only
+  // grow the file); advance monotonically, never backwards.
+  committed_bytes_ = std::max(committed_bytes_, staged.bytes);
+  committed_records_ = std::max(committed_records_, staged.records);
   ++stats_.group_commits;
-  const uint64_t batch = journal_->records() - records_before;
   stats_.group_committed_records += batch;
   metrics_.batch_records->Record(batch);
   return Status::Ok();
+}
+
+void DocumentStore::PoisonSync(Status error) {
+  pending_error_ = std::move(error);
+  sync_poisoned_ = true;
 }
 
 Status DocumentStore::MaybeCheckpoint() { return MaybeCheckpointImpl(nullptr); }
@@ -505,14 +542,17 @@ Status DocumentStore::CheckpointImpl(NodeId* remap) {
   (void)fs_->DeleteFile(Join(dir_, JournalFileName(stats_.sequence)));
   (void)fs_->DeleteFile(Join(dir_, SnapshotFileName(stats_.sequence)));
   journal_.emplace(std::move(journal));
-  stats_.sequence = next;
-  stats_.journal_bytes = journal_->bytes();
-  stats_.journal_records = 0;
-  records_at_last_commit_ = 0;
-  // The new generation's header was synced by JournalWriter::Create and
-  // its directory entry by the CURRENT WriteFileAtomic above.
-  committed_bytes_ = journal_->bytes();
-  committed_records_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    stats_.sequence = next;
+    stats_.journal_bytes = journal_->bytes();
+    stats_.journal_records = 0;
+    records_at_last_commit_ = 0;
+    // The new generation's header was synced by JournalWriter::Create and
+    // its directory entry by the CURRENT WriteFileAtomic above.
+    committed_bytes_ = journal_->bytes();
+    committed_records_ = 0;
+  }
   ++stats_.checkpoints;
   metrics_.checkpoints->Add(1);
 

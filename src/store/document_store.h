@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -140,6 +141,7 @@ class DocumentStore : private core::UpdateObserver {
   /// journal bytes only up to this point — acknowledged implies durable
   /// implies (eventually) shipped, never the reverse.
   CommitPoint LastCommitPoint() const {
+    std::lock_guard<std::mutex> lock(commit_mu_);
     return {stats_.sequence, committed_bytes_, committed_records_};
   }
 
@@ -167,6 +169,38 @@ class DocumentStore : private core::UpdateObserver {
   /// accounting in stats() (group_commits, group_committed_records), so
   /// callers and benchmarks can observe the fsync amortisation directly.
   common::Status CommitBatch();
+
+  // --- Pipelined commit (two-stage CommitBatch) --------------------------
+  //
+  // CommitBatch() == CompleteCommit(StageCommit()). The split lets a
+  // pipelined caller stage a batch on its writer thread and run the fsync
+  // barrier on a dedicated flusher thread while the writer appends the
+  // next batch. Thread contract: StageCommit, appends, RollbackTail and
+  // Checkpoint stay on the writer thread; CompleteCommit may run on one
+  // other thread, but never concurrently with RollbackTail/Checkpoint
+  // (the caller drains in-flight commits first). JournalWriter::Sync only
+  // fsyncs — it never touches the append-side byte/record counters — and
+  // both file systems serialise concurrent Append/Sync internally.
+
+  /// A batch barrier captured on the writer thread: the journal position
+  /// the matching CompleteCommit will make durable.
+  struct StagedCommit {
+    uint64_t bytes = 0;
+    uint64_t records = 0;
+    uint64_t records_before = 0;  ///< Position of the previous barrier.
+  };
+  /// Snapshots the current journal position and opens a new batch (the
+  /// next StageCommit charges records from here). Writer thread only.
+  StagedCommit StageCommit();
+  /// Runs the fsync barrier for a staged batch and, on success, advances
+  /// LastCommitPoint() and the sync/group-commit accounting. On failure
+  /// durability is unknown; the caller must PoisonSync() from the writer
+  /// thread before touching the store again.
+  common::Status CompleteCommit(const StagedCommit& staged);
+  /// Marks the store sync-poisoned after a CompleteCommit failure observed
+  /// on another thread (same effect as an in-line Sync() failure: every
+  /// later mutation or rollback refuses to run). Writer thread only.
+  void PoisonSync(common::Status error);
 
   /// A journal position updates can be rolled back to, as long as nothing
   /// past it has been acknowledged (synced).
@@ -250,6 +284,10 @@ class DocumentStore : private core::UpdateObserver {
   /// Journal record count at the last CommitBatch (or journal roll);
   /// the next CommitBatch charges the delta to group-commit accounting.
   uint64_t records_at_last_commit_ = 0;
+  /// Guards the durable position and sync/group-commit accounting, which
+  /// a pipelined CompleteCommit advances from the flusher thread while
+  /// other threads read LastCommitPoint().
+  mutable std::mutex commit_mu_;
   /// Durable journal position (see LastCommitPoint).
   uint64_t committed_bytes_ = 0;
   uint64_t committed_records_ = 0;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 
 #ifdef _WIN32
 #error "the posix file system is, as the name says, posix-only"
@@ -177,6 +178,7 @@ class MemFileSystem::MemFile : public WritableFile {
       : fs_(fs), inode_(std::move(inode)), path_(std::move(path)) {}
 
   Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
     std::string& contents = inode_->data;
     auto limit = fs_->write_limits_.find(path_);
     if (limit != fs_->write_limits_.end()) {
@@ -193,6 +195,7 @@ class MemFileSystem::MemFile : public WritableFile {
   }
 
   Status Sync() override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
     Status synced = fs_->SyncImpl(path_);
     // fsync(fd) also flushes a prior ftruncate on the same file.
     if (synced.ok()) fs_->CommitTruncates(path_);
@@ -247,6 +250,7 @@ void MemFileSystem::ApplyOp(const MetaOp& op, Dir* dir) {
 
 Result<std::unique_ptr<WritableFile>> MemFileSystem::OpenWritable(
     const std::string& path, WriteMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(path);
   InodePtr inode;
   if (it != live_.end()) {
@@ -264,17 +268,20 @@ Result<std::unique_ptr<WritableFile>> MemFileSystem::OpenWritable(
 }
 
 Result<std::string> MemFileSystem::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(path);
   if (it == live_.end()) return Status::NotFound("no such file: " + path);
   return it->second->data;
 }
 
 bool MemFileSystem::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   return live_.count(path) > 0;
 }
 
 Status MemFileSystem::RenameFile(const std::string& from,
                                  const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(from);
   if (it == live_.end()) return Status::NotFound("no such file: " + from);
   live_[to] = std::move(it->second);
@@ -284,6 +291,7 @@ Status MemFileSystem::RenameFile(const std::string& from,
 }
 
 Status MemFileSystem::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (live_.erase(path) == 0) {
     return Status::NotFound("no such file: " + path);
   }
@@ -292,6 +300,7 @@ Status MemFileSystem::DeleteFile(const std::string& path) {
 }
 
 Status MemFileSystem::TruncateFile(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(path);
   if (it == live_.end()) return Status::NotFound("no such file: " + path);
   std::string& data = it->second->data;
@@ -321,6 +330,7 @@ void MemFileSystem::CommitTruncates(const std::string& path) {
 Status MemFileSystem::CreateDir(const std::string&) { return Status::Ok(); }
 
 Status MemFileSystem::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   XMLUP_RETURN_NOT_OK(SyncImpl(path));
   std::vector<MetaOp> kept;
   for (MetaOp& op : pending_) {
@@ -341,6 +351,7 @@ Status MemFileSystem::SyncDir(const std::string& path) {
 }
 
 void MemFileSystem::Crash(uint64_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < pending_.size(); ++i) {
     if (i < 64 && (mask & (uint64_t{1} << i)) != 0) {
       ApplyOp(pending_[i], &durable_);
@@ -364,22 +375,26 @@ void MemFileSystem::Crash(uint64_t mask) {
 }
 
 void MemFileSystem::SetWriteLimit(const std::string& path, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   write_limits_[path] = bytes;
 }
 
 void MemFileSystem::ClearWriteLimit(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   write_limits_.erase(path);
 }
 
 void MemFileSystem::FailNextSyncs(size_t count) { FailSyncs(0, count); }
 
 void MemFileSystem::FailSyncs(size_t skip, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
   skip_syncs_ = skip;
   fail_syncs_ = count;
 }
 
 Status MemFileSystem::FlipBit(const std::string& path, uint64_t offset,
                               int bit) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(path);
   if (it == live_.end()) return Status::NotFound("no such file: " + path);
   std::string& data = it->second->data;
@@ -396,6 +411,7 @@ Result<std::string> MemFileSystem::GetFile(const std::string& path) {
 }
 
 void MemFileSystem::SetFile(const std::string& path, std::string contents) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Test seeding: pre-existing state, durable by construction.
   auto inode = std::make_shared<Inode>();
   inode->data = std::move(contents);
@@ -404,11 +420,23 @@ void MemFileSystem::SetFile(const std::string& path, std::string contents) {
 }
 
 uint64_t MemFileSystem::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(path);
   return it == live_.end() ? 0 : it->second->data.size();
 }
 
+size_t MemFileSystem::pending_metadata_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+size_t MemFileSystem::sync_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sync_count_;
+}
+
 std::vector<std::string> MemFileSystem::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(live_.size());
   for (const auto& [path, inode] : live_) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -84,6 +85,11 @@ FileSystem* PosixFileSystem();
 /// applies an arbitrary subset of the pending operations first, modelling
 /// the kernel writing back some — but not all — dirty directory blocks
 /// before the crash.
+///
+/// Thread-safe: all operations (including writes through files it
+/// returned) serialise on one internal mutex, matching the atomicity the
+/// POSIX implementation gets from stdio locking — the pipelined store
+/// appends from its writer thread while the flusher fsyncs the same file.
 class MemFileSystem : public FileSystem {
  public:
   common::Result<std::unique_ptr<WritableFile>> OpenWritable(
@@ -119,7 +125,7 @@ class MemFileSystem : public FileSystem {
   // --- Crash simulation ---------------------------------------------------
 
   /// Directory operations issued since the last successful SyncDir.
-  size_t pending_metadata_ops() const { return pending_.size(); }
+  size_t pending_metadata_ops() const;
   /// Reverts the live view to the durable one: all pending directory
   /// operations are lost. File *data* already accepted stays (data
   /// durability is governed by write limits, not by Crash).
@@ -135,7 +141,7 @@ class MemFileSystem : public FileSystem {
   void SetFile(const std::string& path, std::string contents);
   uint64_t FileSize(const std::string& path);
   std::vector<std::string> ListFiles() const;
-  size_t sync_count() const { return sync_count_; }
+  size_t sync_count() const;
 
  private:
   class MemFile;
@@ -157,11 +163,14 @@ class MemFileSystem : public FileSystem {
     uint64_t trunc_size = 0;  ///< The size a kTruncate shrank to.
   };
 
+  // Helpers: callers hold mu_.
   common::Status SyncImpl(const std::string& what);
   /// A successful fsync of `path` makes its pending truncates durable.
   void CommitTruncates(const std::string& path);
   static void ApplyOp(const MetaOp& op, Dir* dir);
 
+  /// Serialises every operation, including MemFile writes/syncs.
+  mutable std::mutex mu_;
   Dir live_;
   Dir durable_;
   std::vector<MetaOp> pending_;

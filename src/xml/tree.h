@@ -28,6 +28,18 @@ class Tree {
   Tree(const Tree&) = delete;
   Tree& operator=(const Tree&) = delete;
 
+  /// Explicit deep copy preserving the arena exactly: the clone has the
+  /// same NodeIds (live and dead), so label maps indexed by NodeId apply
+  /// to it unchanged and future insertions allocate the same ids as they
+  /// would on the original.
+  Tree Clone() const {
+    Tree copy;
+    copy.nodes_ = nodes_;
+    copy.root_ = root_;
+    copy.live_count_ = live_count_;
+    return copy;
+  }
+
   /// Creates the root element. Fails if a root already exists.
   common::Result<NodeId> CreateRoot(NodeKind kind, std::string name,
                                     std::string value = "");
