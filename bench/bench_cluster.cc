@@ -1,0 +1,264 @@
+// Cluster scaling benchmark: routed acknowledged update throughput at
+// 1/2/4 shards versus a direct single-store baseline, all over real
+// loopback TCP. The self-timed sweep writes BENCH_cluster.json.
+//
+// Methodology notes:
+//   * Both paths pay exactly one TCP hop per request. Baseline clients
+//     hold a persistent connection to a single-document Server; routed
+//     clients drive the Coordinator in process, and the coordinator's
+//     pooled connections carry the frame to the owning shard. What the
+//     sweep isolates is therefore the sharding, not a transport delta.
+//   * The single store serializes every update through one writer
+//     thread, however many clients offer load — that apply-path core is
+//     the ceiling the corpus exists to break. N shards run N independent
+//     single-writer pipelines (documents never coordinate), so acked
+//     throughput should scale until cores or fsync bandwidth run out.
+//   * Clients are synchronous (one frame in flight each); scaling comes
+//     from spreading client threads across documents, which is how real
+//     corpus traffic (many users, one document each) actually arrives.
+//   * hardware_concurrency is recorded: past it, the flat tail is
+//     oversubscription, not a sharding defect.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/router.h"
+#include "cluster/sharded_service.h"
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "concurrency/wire.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace xmlup;
+
+constexpr char kScheme[] = "ordpath";
+constexpr int kClients = 16;
+constexpr int kKeysPerShard = 4;
+constexpr double kPointMs = 1500.0;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1000.0;
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/xmlup_benchcl_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) std::abort();
+  return dir;
+}
+
+std::vector<std::string> InsertFrame(int step) {
+  std::string name = "n";
+  name += std::to_string(step);
+  return {"-s", ".", "-t", "elem", "-n", std::move(name)};
+}
+
+// One in-process shard endpoint: corpus directory + service + TCP
+// listener on an ephemeral loopback port.
+struct Shard {
+  std::string dir;
+  std::unique_ptr<cluster::ShardedService> service;
+  std::unique_ptr<concurrency::Listener> listener;
+  std::thread thread;
+
+  void Start() {
+    dir = MakeTempDir();
+    auto opened = cluster::ShardedService::Open(dir);
+    if (!opened.ok()) std::abort();
+    service = std::move(*opened);
+    listener = std::make_unique<concurrency::Listener>(service.get());
+    listener->set_drain_deadline_ms(200);
+    concurrency::Listener* raw = listener.get();
+    thread = std::thread([raw] {
+      if (!raw->ServeTcp("127.0.0.1", 0).ok()) std::abort();
+    });
+    while (listener->bound_port() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void Stop() {
+    listener->Shutdown();
+    thread.join();
+    service->Stop();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+// Acked updates/s through a coordinator fronting `shard_count` TCP
+// shards, kClients synchronous client threads spread over
+// kKeysPerShard documents per shard.
+double MeasureRouted(size_t shard_count) {
+  std::vector<Shard> shards(shard_count);
+  std::vector<cluster::ShardAddress> addresses;
+  for (auto& shard : shards) {
+    shard.Start();
+    addresses.push_back(cluster::ShardAddress{
+        "tcp:127.0.0.1:" + std::to_string(shard.listener->bound_port())});
+  }
+  cluster::CoordinatorOptions options;
+  options.max_pool_idle = kClients;  // no pool churn at full fan-in
+  cluster::Coordinator coordinator(
+      std::move(addresses), std::make_unique<cluster::HashRouter>(shard_count),
+      options);
+
+  // An exactly balanced key set: kKeysPerShard documents on every shard.
+  cluster::HashRouter placement(shard_count);
+  std::vector<std::string> keys;
+  std::vector<int> filled(shard_count, 0);
+  for (int i = 0; keys.size() < shard_count * kKeysPerShard; ++i) {
+    std::string key = "doc";
+    key += std::to_string(i);
+    int& count = filled[placement.ShardFor(key)];
+    if (count < kKeysPerShard) {
+      ++count;
+      keys.push_back(std::move(key));
+    }
+  }
+  for (const std::string& key : keys) {
+    std::vector<std::string> response;
+    coordinator.HandleRequest({"--doc", key, "--create", kScheme}, &response);
+    if (response.empty() || response[0] != "ok") std::abort();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      uint64_t local = 0;
+      for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        const std::string& key = keys[(c + i) % keys.size()];
+        std::vector<std::string> request = {"--doc", key};
+        const std::vector<std::string> action = InsertFrame(c * 1000000 + i);
+        request.insert(request.end(), action.begin(), action.end());
+        std::vector<std::string> response;
+        coordinator.HandleRequest(request, &response);
+        if (response.empty() || response[0] != "ok") std::abort();
+        ++local;
+      }
+      acked.fetch_add(local);
+    });
+  }
+  auto start = std::chrono::steady_clock::now();
+  while (MsSince(start) < kPointMs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double elapsed_ms = MsSince(start);
+
+  for (auto& shard : shards) shard.Stop();
+  return static_cast<double>(acked.load()) / (elapsed_ms / 1000.0);
+}
+
+// The baseline: the same client count and wire protocol against one
+// single-document Server over its own TCP listener — one pipeline, one
+// writer thread, persistent connections.
+double MeasureSingleStore() {
+  const std::string dir = MakeTempDir();
+  auto tree = xml::ParseDocument("<root/>");
+  if (!tree.ok()) std::abort();
+  auto st = concurrency::ConcurrentStore::Create(dir + "/db",
+                                                 std::move(*tree), kScheme);
+  if (!st.ok()) std::abort();
+  concurrency::Server server(st->get());
+  server.set_drain_deadline_ms(200);
+  std::thread server_thread([&] {
+    if (!server.ServeTcp("127.0.0.1", 0).ok()) std::abort();
+  });
+  while (server.bound_port() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint16_t port = server.bound_port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> acked{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto fd = concurrency::TcpConnect("127.0.0.1", port);
+      if (!fd.ok()) std::abort();
+      uint64_t local = 0;
+      for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        if (!concurrency::WriteFrame(*fd, InsertFrame(c * 1000000 + i))
+                 .ok()) {
+          break;
+        }
+        auto reply = concurrency::ReadFrame(*fd);
+        if (!reply.ok() || !reply->has_value() || (**reply)[0] != "ok") {
+          std::abort();
+        }
+        ++local;
+      }
+      ::close(*fd);
+      acked.fetch_add(local);
+    });
+  }
+  auto start = std::chrono::steady_clock::now();
+  while (MsSince(start) < kPointMs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double elapsed_ms = MsSince(start);
+
+  auto bye = concurrency::TcpRequest("127.0.0.1", port, {"--shutdown"});
+  if (!bye.ok()) std::abort();
+  server_thread.join();
+  (*st)->Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return static_cast<double>(acked.load()) / (elapsed_ms / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  FILE* out = std::fopen("BENCH_cluster.json", "w");
+  if (out == nullptr) return 1;
+
+  std::fprintf(out, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"clients\": %d,\n", kClients);
+  std::fprintf(out, "  \"keys_per_shard\": %d,\n", kKeysPerShard);
+
+  const double single = MeasureSingleStore();
+  std::fprintf(out, "  \"single_store\": {\"updates_per_s\": %.0f},\n",
+               single);
+  std::fprintf(stderr, "single store: %.0f acked updates/s\n", single);
+
+  std::fprintf(out, "  \"sharded\": [\n");
+  const std::vector<size_t> shard_counts = {1, 2, 4};
+  for (size_t i = 0; i < shard_counts.size(); ++i) {
+    const double routed = MeasureRouted(shard_counts[i]);
+    const double speedup = single > 0 ? routed / single : 0;
+    std::fprintf(out,
+                 "    {\"shards\": %zu, \"updates_per_s\": %.0f, "
+                 "\"speedup_vs_single\": %.2f}%s\n",
+                 shard_counts[i], routed, speedup,
+                 i + 1 < shard_counts.size() ? "," : "");
+    std::fprintf(stderr, "%zu shards: %.0f acked updates/s (%.2fx single)\n",
+                 shard_counts[i], routed, speedup);
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return 0;
+}

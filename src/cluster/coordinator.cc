@@ -1,0 +1,270 @@
+#include "cluster/coordinator.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "cluster/sharded_service.h"
+#include "concurrency/wire.h"
+
+namespace xmlup::cluster {
+
+using common::Result;
+using common::Status;
+using concurrency::ReadFrame;
+using concurrency::WriteFrame;
+
+namespace {
+
+std::vector<std::string> ErrorResponse(const Status& status) {
+  return {"err", status.ToString()};
+}
+
+/// One request/reply exchange on an already-open connection.
+Result<std::vector<std::string>> RoundTrip(
+    int fd, const std::vector<std::string>& frame) {
+  XMLUP_RETURN_NOT_OK(WriteFrame(fd, frame));
+  Result<std::optional<std::vector<std::string>>> reply = ReadFrame(fd);
+  if (!reply.ok()) return reply.status();
+  if (!reply->has_value()) {
+    return Status::Internal("shard closed the connection without replying");
+  }
+  return std::move(**reply);
+}
+
+bool IsUnknownDocumentReply(const std::vector<std::string>& reply) {
+  return reply.size() >= 2 && reply[0] == "err" &&
+         reply[1].rfind(kUnknownDocumentError, 0) == 0;
+}
+
+}  // namespace
+
+Result<std::vector<ShardAddress>> ParseShardList(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("--shards list is empty");
+  }
+  std::vector<ShardAddress> shards;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    const std::string element = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (element.empty()) {
+      return Status::InvalidArgument("--shards has an empty element");
+    }
+    std::string spec = element;
+    if (spec.rfind("tcp:", 0) != 0 &&
+        spec.find(':') != std::string::npos) {
+      spec = "tcp:" + spec;  // bare HOST:PORT is TCP
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+      std::string host;
+      uint16_t port = 0;
+      XMLUP_RETURN_NOT_OK(
+          concurrency::ParseHostPort(spec.substr(4), &host, &port));
+    }
+    shards.push_back(ShardAddress{std::move(spec)});
+  }
+  return shards;
+}
+
+Coordinator::Coordinator(std::vector<ShardAddress> shards,
+                         std::unique_ptr<ShardRouter> router,
+                         CoordinatorOptions options)
+    : shards_(std::move(shards)),
+      router_(std::move(router)),
+      options_(options) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.frames_routed = reg.GetCounter("cluster.frames_routed");
+  metrics_.route_misses = reg.GetCounter("cluster.route_misses");
+  metrics_.route_errors = reg.GetCounter("cluster.route_errors");
+  metrics_.connect_retries = reg.GetCounter("cluster.connect_retries");
+  pools_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto pool = std::make_unique<Pool>();
+    pool->inflight =
+        reg.GetGauge("cluster.shard" + std::to_string(i) + ".inflight");
+    pools_.push_back(std::move(pool));
+  }
+}
+
+Coordinator::~Coordinator() {
+  for (auto& pool : pools_) {
+    std::lock_guard<std::mutex> lock(pool->mu);
+    for (int fd : pool->idle) ::close(fd);
+    pool->idle.clear();
+  }
+}
+
+Result<int> Coordinator::Acquire(size_t index) {
+  {
+    Pool& pool = *pools_[index];
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (!pool.idle.empty()) {
+      int fd = pool.idle.back();
+      pool.idle.pop_back();
+      return fd;
+    }
+  }
+  return concurrency::DialEndpoint(shards_[index].spec);
+}
+
+void Coordinator::Release(size_t index, int fd) {
+  Pool& pool = *pools_[index];
+  {
+    std::lock_guard<std::mutex> lock(pool.mu);
+    if (pool.idle.size() < options_.max_pool_idle) {
+      pool.idle.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+Result<std::vector<std::string>> Coordinator::Forward(
+    size_t index, const std::vector<std::string>& frame) {
+  Pool& pool = *pools_[index];
+  pool.inflight->Add(1);
+  Status last = Status::Ok();
+  // Two attempts: the first may ride a pooled connection whose shard has
+  // since restarted (stale fd), so one failure buys one fresh dial. A
+  // second failure means the shard is actually unreachable.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) metrics_.connect_retries->Add(1);
+    Result<int> fd = Acquire(index);
+    if (!fd.ok()) {
+      last = fd.status();
+      continue;
+    }
+    Result<std::vector<std::string>> reply = RoundTrip(*fd, frame);
+    if (reply.ok()) {
+      Release(index, *fd);
+      pool.inflight->Add(-1);
+      return reply;
+    }
+    ::close(*fd);
+    last = reply.status();
+  }
+  pool.inflight->Add(-1);
+  return last;
+}
+
+bool Coordinator::HandleRequest(const std::vector<std::string>& request,
+                                std::vector<std::string>* response) {
+  if (request.empty() || request[0].empty()) {
+    *response = ErrorResponse(Status::InvalidArgument("empty request"));
+    return false;
+  }
+  const std::string& verb = request[0];
+
+  if (verb == "--ping") {
+    *response = {"ok"};
+    return false;
+  }
+  if (verb == "--shutdown") {
+    *response = {"ok"};
+    return true;
+  }
+  if (verb == "--cluster-status") {
+    *response = {"ok"};
+    for (std::string& field : ClusterStatusFields()) {
+      response->push_back(std::move(field));
+    }
+    return false;
+  }
+  if (verb == "--stats") {
+    // The router's own registry: cluster.* counters plus whatever else
+    // lives in this process. Per-shard pipeline numbers live on the
+    // shards (`--doc <key> --stats`, or --cluster-status for positions).
+    *response = {"ok", "shards=" + std::to_string(shards_.size())};
+    for (const auto& [name, value] :
+         obs::GlobalMetrics().TextFields(false)) {
+      response->push_back(name + "=" + value);
+    }
+    return false;
+  }
+  if (verb == "--doc") {
+    if (request.size() < 3) {
+      *response = ErrorResponse(Status::InvalidArgument(
+          "--doc takes a key and a request: --doc <key> <tokens...>"));
+      return false;
+    }
+    const std::string& key = request[1];
+    if (!ValidDocumentKey(key)) {
+      *response = ErrorResponse(Status::InvalidArgument(
+          "invalid document key '" + key +
+          "' (want [A-Za-z0-9_.-]{1,128}, not starting with '.')"));
+      return false;
+    }
+    const size_t shard = router_->ShardFor(key);
+    metrics_.frames_routed->Add(1);
+    Result<std::vector<std::string>> reply = Forward(shard, request);
+    if (!reply.ok()) {
+      metrics_.route_errors->Add(1);
+      *response = {"err", "routed: shard " + std::to_string(shard) + " (" +
+                              shards_[shard].spec +
+                              ") unavailable: " + reply.status().ToString()};
+      return false;
+    }
+    if (IsUnknownDocumentReply(*reply)) metrics_.route_misses->Add(1);
+    *response = *std::move(reply);
+    return false;
+  }
+  *response = ErrorResponse(Status::InvalidArgument(
+      "a router needs a document: --doc <key> <tokens...> (or "
+      "--cluster-status / --stats / --ping / --shutdown)"));
+  return false;
+}
+
+bool Coordinator::HandleConnection(int in_fd, int out_fd,
+                                   const std::atomic<bool>& stop) {
+  (void)stop;  // the router hosts no streams; frames are strict req/reply
+  for (;;) {
+    Result<std::optional<std::vector<std::string>>> frame = ReadFrame(in_fd);
+    if (!frame.ok()) return false;
+    if (!frame->has_value()) return false;
+    std::vector<std::string> response;
+    const bool shutdown = HandleRequest(**frame, &response);
+    if (!WriteFrame(out_fd, response).ok()) return shutdown;
+    if (shutdown) return true;
+  }
+}
+
+std::vector<std::string> Coordinator::ClusterStatusFields() {
+  std::vector<std::string> fields;
+  fields.push_back("role=router");
+  fields.push_back("shards=" + std::to_string(shards_.size()));
+  fields.push_back("frames_routed=" +
+                   std::to_string(metrics_.frames_routed->value()));
+  fields.push_back("route_misses=" +
+                   std::to_string(metrics_.route_misses->value()));
+  fields.push_back("route_errors=" +
+                   std::to_string(metrics_.route_errors->value()));
+  fields.push_back("connect_retries=" +
+                   std::to_string(metrics_.connect_retries->value()));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "shard" + std::to_string(i) + ".";
+    fields.push_back(prefix + "addr=" + shards_[i].spec);
+    Result<std::vector<std::string>> hello =
+        Forward(i, {kClusterHelloVerb});
+    if (!hello.ok()) {
+      fields.push_back(prefix + "healthy=0");
+      fields.push_back(prefix + "error=" + hello.status().ToString());
+      continue;
+    }
+    if (hello->empty() || (*hello)[0] != "ok") {
+      fields.push_back(prefix + "healthy=0");
+      fields.push_back(prefix + "error=" +
+                       (hello->size() > 1 ? (*hello)[1] : "malformed reply"));
+      continue;
+    }
+    fields.push_back(prefix + "healthy=1");
+    for (size_t f = 1; f < hello->size(); ++f) {
+      fields.push_back(prefix + (*hello)[f]);
+    }
+  }
+  return fields;
+}
+
+}  // namespace xmlup::cluster

@@ -1,0 +1,126 @@
+#ifndef XMLUP_CLUSTER_COORDINATOR_H_
+#define XMLUP_CLUSTER_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/router.h"
+#include "common/status.h"
+#include "concurrency/server.h"
+#include "observability/metrics.h"
+
+namespace xmlup::cluster {
+
+/// One shard endpoint a coordinator fronts: "tcp:HOST:PORT" or a Unix
+/// socket path (the DialEndpoint grammar).
+struct ShardAddress {
+  std::string spec;
+};
+
+/// Parses a comma-separated `--shards` list. Each element must dial-parse
+/// (TCP specs are host:port-validated up front; a Unix path is taken as
+/// given); an empty list or element is rejected with a one-line message.
+/// Bare HOST:PORT elements are normalised to "tcp:HOST:PORT" — a shard
+/// list is overwhelmingly TCP, and a Unix path never contains ':'.
+common::Result<std::vector<ShardAddress>> ParseShardList(
+    const std::string& text);
+
+struct CoordinatorOptions {
+  /// Most idle pooled connections kept per shard; extras are closed on
+  /// release. The pool exists so a hot key's frames do not pay a
+  /// connect() each — the shard's drain gate force-closes whatever the
+  /// router is holding at shutdown, so pooling never wedges a shard.
+  size_t max_pool_idle = 8;
+};
+
+/// The router/coordinator process (`xmlup route`): accepts client frames
+/// on its own Listener, forwards every `--doc <key> ...` frame to the
+/// owning shard over a pooled connection, and relays the reply verbatim.
+/// Routing is a pure function of the key (see ShardRouter): the
+/// coordinator keeps no per-document state, runs no transactions, and a
+/// dead shard takes down exactly the keys it owns — every other key
+/// routes on, which is the paper's per-document independence doing the
+/// work.
+///
+/// Request handling:
+///
+///   --doc <key> <tokens...>   forward to the owning shard; on transport
+///                             failure retry once on a fresh connection,
+///                             then reply "err" "routed: shard <i> ..."
+///   --cluster-status          fan out cluster-hello to every shard;
+///                             reply per-shard health, address, doc keys
+///                             and CommitPoint triples, plus router
+///                             counters
+///   --stats                   the router's own registry (cluster.*)
+///                             plus per-shard reachability
+///   --ping                    local liveness
+///   --shutdown                stop the router (shards keep running)
+///
+/// Metrics (cluster.*): frames_routed, route_misses (a shard answered
+/// unknown-document), route_errors (no shard reply at all),
+/// connect_retries (fresh dials after a failed attempt), and a
+/// per-shard inflight gauge.
+class Coordinator : public concurrency::ConnectionHandler {
+ public:
+  Coordinator(std::vector<ShardAddress> shards,
+              std::unique_ptr<ShardRouter> router,
+              CoordinatorOptions options = {});
+  ~Coordinator() override;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Handles one parsed frame; returns true on --shutdown.
+  bool HandleRequest(const std::vector<std::string>& request,
+                     std::vector<std::string>* response);
+
+  /// ConnectionHandler: the client-facing frame loop.
+  bool HandleConnection(int in_fd, int out_fd,
+                        const std::atomic<bool>& stop) override;
+
+  /// Sends cluster-hello to every shard and returns the aggregated
+  /// status fields (shard<i>.healthy/addr/docs/doc.<key>=...). Also the
+  /// startup discovery step: `xmlup route` calls it once and prints the
+  /// summary before serving.
+  std::vector<std::string> ClusterStatusFields();
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Pool {
+    std::mutex mu;
+    std::vector<int> idle;
+    obs::Gauge* inflight = nullptr;
+  };
+
+  /// One request/reply round trip to shard `index`, pooled and retried:
+  /// a pooled connection that fails (the shard restarted under it) is
+  /// replaced by one fresh dial before giving up.
+  common::Result<std::vector<std::string>> Forward(
+      size_t index, const std::vector<std::string>& frame);
+
+  /// Pops a pooled connection or dials a new one.
+  common::Result<int> Acquire(size_t index);
+  /// Returns a healthy connection to the pool (or closes it when full).
+  void Release(size_t index, int fd);
+
+  struct MetricCells {
+    obs::Counter* frames_routed = nullptr;
+    obs::Counter* route_misses = nullptr;
+    obs::Counter* route_errors = nullptr;
+    obs::Counter* connect_retries = nullptr;
+  };
+
+  const std::vector<ShardAddress> shards_;
+  const std::unique_ptr<ShardRouter> router_;
+  const CoordinatorOptions options_;
+  MetricCells metrics_;
+  std::vector<std::unique_ptr<Pool>> pools_;
+};
+
+}  // namespace xmlup::cluster
+
+#endif  // XMLUP_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,87 @@
+#include "cluster/router.h"
+
+namespace xmlup::cluster {
+
+using common::Result;
+using common::Status;
+
+PrefixRouter::PrefixRouter(std::vector<std::pair<std::string, size_t>> rules,
+                           size_t shard_count)
+    : rules_(std::move(rules)),
+      shard_count_(shard_count == 0 ? 1 : shard_count),
+      fallback_(shard_count) {
+  for (auto& [prefix, shard] : rules_) {
+    if (shard >= shard_count_) shard = shard % shard_count_;
+  }
+}
+
+size_t PrefixRouter::ShardFor(std::string_view key) const {
+  size_t best_len = 0;
+  size_t best_shard = 0;
+  bool matched = false;
+  for (const auto& [prefix, shard] : rules_) {
+    if (prefix.size() < best_len && matched) continue;
+    if (key.substr(0, prefix.size()) != prefix) continue;
+    if (!matched || prefix.size() > best_len) {
+      matched = true;
+      best_len = prefix.size();
+      best_shard = shard;
+    }
+  }
+  return matched ? best_shard : fallback_.ShardFor(key);
+}
+
+Result<std::vector<std::pair<std::string, size_t>>> ParsePrefixRules(
+    const std::string& text, size_t shard_count) {
+  std::vector<std::pair<std::string, size_t>> rules;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    const std::string rule = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (rule.empty()) {
+      return Status::InvalidArgument("--prefix has an empty rule");
+    }
+    size_t eq = rule.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("--prefix rule '" + rule +
+                                     "' is not PREFIX=SHARD");
+    }
+    const std::string prefix = rule.substr(0, eq);
+    const std::string index_text = rule.substr(eq + 1);
+    if (index_text.empty()) {
+      return Status::InvalidArgument("--prefix rule '" + rule +
+                                     "' has an empty shard index");
+    }
+    uint64_t index = 0;
+    for (char c : index_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("--prefix rule '" + rule +
+                                       "' has a non-numeric shard index");
+      }
+      index = index * 10 + static_cast<uint64_t>(c - '0');
+      if (index > shard_count) break;  // avoid overflow on absurd input
+    }
+    if (index >= shard_count) {
+      return Status::InvalidArgument(
+          "--prefix rule '" + rule + "' names shard " + index_text +
+          " but only " + std::to_string(shard_count) + " shard(s) exist");
+    }
+    rules.emplace_back(prefix, static_cast<size_t>(index));
+  }
+  return rules;
+}
+
+bool ValidDocumentKey(std::string_view key) {
+  if (key.empty() || key.size() > 128 || key[0] == '.') return false;
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace xmlup::cluster

@@ -1,0 +1,88 @@
+#ifndef XMLUP_CLUSTER_ROUTER_H_
+#define XMLUP_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlup::cluster {
+
+/// Maps a document key onto one of `shard_count` shards. Deterministic
+/// and stateless: every router process (and every client that wants to
+/// skip the router) computes the same placement from the same
+/// configuration — the paper's self-contained per-document stores are
+/// what make a pure function of the key sufficient; no shard ever needs
+/// to ask another shard anything.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  virtual size_t ShardFor(std::string_view key) const = 0;
+  virtual size_t shard_count() const = 0;
+};
+
+/// Default placement: FNV-1a of the key, mod N. Spreads unrelated keys
+/// uniformly; two corpora with the same shard count agree on placement.
+class HashRouter : public ShardRouter {
+ public:
+  explicit HashRouter(size_t shard_count)
+      : shard_count_(shard_count == 0 ? 1 : shard_count) {}
+
+  size_t ShardFor(std::string_view key) const override {
+    return static_cast<size_t>(Fnv1a(key) % shard_count_);
+  }
+  size_t shard_count() const override { return shard_count_; }
+
+  static uint64_t Fnv1a(std::string_view key) {
+    uint64_t h = 14695981039346656037ull;
+    for (char c : key) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+ private:
+  size_t shard_count_;
+};
+
+/// Placement by longest matching key prefix, falling back to hashing for
+/// keys no rule covers. The pluggable policy for corpora with natural
+/// locality (per-tenant prefixes, date-partitioned keys): "tenantA/"
+/// pinned to shard 2, everything else hash-spread.
+class PrefixRouter : public ShardRouter {
+ public:
+  /// Rules are (prefix, shard index) pairs; longest matching prefix
+  /// wins, ties broken by rule order.
+  PrefixRouter(std::vector<std::pair<std::string, size_t>> rules,
+               size_t shard_count);
+
+  size_t ShardFor(std::string_view key) const override;
+  size_t shard_count() const override { return shard_count_; }
+
+ private:
+  std::vector<std::pair<std::string, size_t>> rules_;
+  size_t shard_count_;
+  HashRouter fallback_;
+};
+
+/// Parses "prefix=shard,prefix=shard,..." into PrefixRouter rules.
+/// Rejects empty prefixes, non-numeric shard indices, and indices >=
+/// shard_count — the CLI's one-line-diagnostic contract.
+common::Result<std::vector<std::pair<std::string, size_t>>> ParsePrefixRules(
+    const std::string& text, size_t shard_count);
+
+/// Whether `key` can name a document directory: nonempty, at most 128
+/// bytes, characters from [A-Za-z0-9_.-], and not starting with '.'
+/// (which excludes "." and ".." and anything an ls would hide). Keys are
+/// directory names under the corpus root, so this is a security boundary,
+/// not a style check.
+bool ValidDocumentKey(std::string_view key);
+
+}  // namespace xmlup::cluster
+
+#endif  // XMLUP_CLUSTER_ROUTER_H_

@@ -1,0 +1,340 @@
+#include "cluster/sharded_service.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/router.h"
+#include "concurrency/wire.h"
+#include "store/document_store.h"
+#include "xml/tree.h"
+
+namespace xmlup::cluster {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::vector<std::string> ErrorResponse(const Status& status) {
+  return {"err", status.ToString()};
+}
+
+bool IsStoreDirectory(const std::string& corpus_dir, const std::string& key) {
+  struct stat st{};
+  const std::string current =
+      corpus_dir + "/" + key + "/" + store::kCurrentFileName;
+  return ::stat(current.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+ShardedService::ShardedService(std::string corpus_dir,
+                               ShardedServiceOptions options)
+    : corpus_dir_(std::move(corpus_dir)), options_(std::move(options)) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.frames = reg.GetCounter("shard.frames");
+  metrics_.unknown_doc = reg.GetCounter("shard.unknown_doc");
+  metrics_.creates = reg.GetCounter("shard.creates");
+  metrics_.docs = reg.GetGauge("shard.docs");
+}
+
+ShardedService::~ShardedService() { Stop(); }
+
+Result<std::unique_ptr<ShardedService>> ShardedService::Open(
+    const std::string& corpus_dir, const ShardedServiceOptions& options) {
+  struct stat st{};
+  if (::stat(corpus_dir.c_str(), &st) != 0) {
+    if (::mkdir(corpus_dir.c_str(), 0755) != 0) {
+      return Status::Internal("cannot create corpus directory " + corpus_dir);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument(corpus_dir + " is not a directory");
+  }
+
+  std::unique_ptr<ShardedService> service(
+      new ShardedService(corpus_dir, options));
+
+  // Discover the corpus: every valid-key subdirectory with a CURRENT
+  // file is a document. Anything else under the root is ignored (a
+  // half-created directory without CURRENT never recovers to a store
+  // anyway; the operator can inspect it).
+  DIR* dir = ::opendir(corpus_dir.c_str());
+  if (dir == nullptr) {
+    return Status::Internal("cannot list corpus directory " + corpus_dir);
+  }
+  std::vector<std::string> keys;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string key = entry->d_name;
+    if (!ValidDocumentKey(key)) continue;
+    if (IsStoreDirectory(corpus_dir, key)) keys.push_back(key);
+  }
+  ::closedir(dir);
+  std::sort(keys.begin(), keys.end());  // deterministic open order
+
+  for (const std::string& key : keys) {
+    XMLUP_ASSIGN_OR_RETURN(std::unique_ptr<DocEntry> entry,
+                           service->OpenEntry(key, /*create=*/false, ""));
+    service->docs_.emplace(key, std::move(entry));
+  }
+  service->metrics_.docs->Set(static_cast<int64_t>(service->docs_.size()));
+  return service;
+}
+
+Result<std::unique_ptr<ShardedService::DocEntry>> ShardedService::OpenEntry(
+    const std::string& key, bool create, const std::string& scheme) {
+  auto entry = std::make_unique<DocEntry>();
+  entry->source = std::make_unique<replication::ReplicationSource>();
+  concurrency::ConcurrentStoreOptions store_options = options_.store;
+  store_options.commit_hook = entry->source.get();
+  const std::string dir = corpus_dir_ + "/" + key;
+  if (create) {
+    xml::Tree tree;
+    XMLUP_RETURN_NOT_OK(
+        tree.CreateRoot(xml::NodeKind::kElement, "root").status());
+    XMLUP_ASSIGN_OR_RETURN(
+        entry->store, concurrency::ConcurrentStore::Create(
+                          dir, std::move(tree), scheme, store_options));
+  } else {
+    XMLUP_ASSIGN_OR_RETURN(
+        entry->store, concurrency::ConcurrentStore::Open(dir, store_options));
+  }
+  entry->server = std::make_unique<concurrency::Server>(entry->store.get());
+  entry->server->EnableReplication(entry->source.get());
+  entry->server->SetReplStatus(
+      [source = entry->source.get()] { return source->StatusFields(); });
+  return entry;
+}
+
+ShardedService::DocEntry* ShardedService::Find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(key);
+  return it == docs_.end() ? nullptr : it->second.get();
+}
+
+bool ShardedService::HandleRequest(const std::vector<std::string>& request,
+                                   std::vector<std::string>* response) {
+  metrics_.frames->Add(1);
+  if (request.empty() || request[0].empty()) {
+    *response = ErrorResponse(Status::InvalidArgument("empty request"));
+    return false;
+  }
+  const std::string& verb = request[0];
+
+  if (verb == "--ping") {
+    *response = {"ok"};
+    return false;
+  }
+  if (verb == "--shutdown") {
+    *response = {"ok"};
+    return true;
+  }
+  if (verb == kClusterHelloVerb || verb == "--cluster-status") {
+    *response = {"ok"};
+    for (std::string& field : StatusFields()) {
+      response->push_back(std::move(field));
+    }
+    return false;
+  }
+  if (verb == "--stats") {
+    // The corpus-level picture: pipeline counters summed across every
+    // document, then the (process-global) registry fields — the same
+    // shape as a single-document server's reply, so `xmlup req --stats`
+    // parsers keep working.
+    std::string mode;
+    if (request.size() >= 2) mode = request[1];
+    if (!mode.empty() && mode != "json" && mode != "timing") {
+      *response = ErrorResponse(
+          Status::InvalidArgument("--stats takes 'json' or 'timing'"));
+      return false;
+    }
+    if (mode == "json") {
+      *response = {"ok", obs::GlobalMetrics().RenderJson(false)};
+      return false;
+    }
+    concurrency::ConcurrentStoreStats total;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [key, entry] : docs_) {
+        concurrency::ConcurrentStoreStats s = entry->store->stats();
+        total.updates_applied += s.updates_applied;
+        total.updates_failed += s.updates_failed;
+        total.batches += s.batches;
+        total.largest_batch = std::max(total.largest_batch, s.largest_batch);
+        total.views_published += s.views_published;
+        total.checkpoints += s.checkpoints;
+      }
+      *response = {"ok", "docs=" + std::to_string(docs_.size())};
+    }
+    response->push_back("updates_applied=" +
+                        std::to_string(total.updates_applied));
+    response->push_back("updates_failed=" +
+                        std::to_string(total.updates_failed));
+    response->push_back("batches=" + std::to_string(total.batches));
+    response->push_back("largest_batch=" +
+                        std::to_string(total.largest_batch));
+    response->push_back("views_published=" +
+                        std::to_string(total.views_published));
+    response->push_back("checkpoints=" + std::to_string(total.checkpoints));
+    for (const auto& [name, value] :
+         obs::GlobalMetrics().TextFields(mode == "timing")) {
+      response->push_back(name + "=" + value);
+    }
+    return false;
+  }
+  if (verb == "--doc") {
+    if (request.size() < 3) {
+      *response = ErrorResponse(Status::InvalidArgument(
+          "--doc takes a key and a request: --doc <key> <tokens...>"));
+      return false;
+    }
+    const std::string& key = request[1];
+    if (!ValidDocumentKey(key)) {
+      *response = ErrorResponse(Status::InvalidArgument(
+          "invalid document key '" + key +
+          "' (want [A-Za-z0-9_.-]{1,128}, not starting with '.')"));
+      return false;
+    }
+    const std::vector<std::string> rest(request.begin() + 2, request.end());
+    if (rest[0] == "--create") {
+      if (rest.size() != 2) {
+        *response = ErrorResponse(Status::InvalidArgument(
+            "--create takes exactly one scheme name"));
+        return false;
+      }
+      if (!options_.allow_create) {
+        *response = ErrorResponse(
+            Status::Unsupported("this shard does not allow --create"));
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (docs_.count(key) != 0) {
+          *response = ErrorResponse(Status::InvalidArgument(
+              "document '" + key + "' already exists"));
+          return false;
+        }
+      }
+      Result<std::unique_ptr<DocEntry>> entry =
+          OpenEntry(key, /*create=*/true, rest[1]);
+      if (!entry.ok()) {
+        *response = ErrorResponse(entry.status());
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        docs_.emplace(key, std::move(entry).value());
+        metrics_.docs->Set(static_cast<int64_t>(docs_.size()));
+      }
+      metrics_.creates->Add(1);
+      *response = {"ok", "created", key};
+      return false;
+    }
+    DocEntry* entry = Find(key);
+    if (entry == nullptr) {
+      metrics_.unknown_doc->Add(1);
+      *response = {"err", std::string(kUnknownDocumentError) +
+                              ": no document '" + key + "' on this shard"};
+      return false;
+    }
+    if (rest[0] == "--shutdown") {
+      *response = ErrorResponse(Status::InvalidArgument(
+          "--shutdown is service-level; send it without --doc"));
+      return false;
+    }
+    entry->server->HandleRequest(rest, response);
+    return false;
+  }
+  *response = ErrorResponse(Status::InvalidArgument(
+      "a corpus endpoint needs a document: --doc <key> <tokens...>"));
+  return false;
+}
+
+bool ShardedService::HandleConnection(int in_fd, int out_fd,
+                                      const std::atomic<bool>& stop) {
+  using concurrency::ReadFrame;
+  using concurrency::WriteFrame;
+  for (;;) {
+    Result<std::optional<std::vector<std::string>>> frame = ReadFrame(in_fd);
+    if (!frame.ok()) return false;          // torn frame or IO error
+    if (!frame->has_value()) return false;  // clean EOF
+    const std::vector<std::string>& request = **frame;
+    // A replica subscribing to one document: hand the connection to that
+    // document's streamer, exactly as a single-document server routes a
+    // bare repl-hello. The streamer writes the reply and every message
+    // after it; when it returns, the subscription — and connection — is
+    // over.
+    if (request.size() >= 3 && request[0] == "--doc" &&
+        request[2] == concurrency::kReplicationHelloVerb) {
+      metrics_.frames->Add(1);
+      DocEntry* entry = Find(request[1]);
+      if (entry == nullptr) {
+        metrics_.unknown_doc->Add(1);
+        (void)WriteFrame(out_fd,
+                         {"err", std::string(kUnknownDocumentError) +
+                                     ": no document '" + request[1] +
+                                     "' on this shard"});
+        return false;
+      }
+      const std::vector<std::string> hello(request.begin() + 2,
+                                           request.end());
+      entry->source->ServeReplica(hello, out_fd, stop);
+      return false;
+    }
+    if (!request.empty() &&
+        request[0] == concurrency::kReplicationHelloVerb) {
+      metrics_.frames->Add(1);
+      (void)WriteFrame(
+          out_fd,
+          ErrorResponse(Status::InvalidArgument(
+              "a corpus endpoint needs a document: --doc <key> repl-hello")));
+      continue;
+    }
+    std::vector<std::string> response;
+    const bool shutdown = HandleRequest(request, &response);
+    if (!WriteFrame(out_fd, response).ok()) return shutdown;
+    if (shutdown) return true;
+  }
+}
+
+std::vector<std::string> ShardedService::StatusFields() const {
+  std::vector<std::string> fields;
+  fields.push_back("proto=" + std::to_string(kClusterProtocolVersion));
+  fields.push_back("role=shard");
+  std::lock_guard<std::mutex> lock(mu_);
+  fields.push_back("docs=" + std::to_string(docs_.size()));
+  for (const auto& [key, entry] : docs_) {
+    const store::CommitPoint commit = entry->source->committed();
+    const uint64_t epoch = entry->store->stats().current_epoch;
+    fields.push_back("doc." + key + "=" + std::to_string(commit.generation) +
+                     ":" + std::to_string(commit.records) + ":" +
+                     std::to_string(commit.bytes) + ":" +
+                     std::to_string(epoch));
+  }
+  return fields;
+}
+
+void ShardedService::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& [key, entry] : docs_) entry->store->Stop();
+}
+
+size_t ShardedService::document_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+std::vector<std::string> ShardedService::DocumentKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(docs_.size());
+  for (const auto& [key, entry] : docs_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace xmlup::cluster

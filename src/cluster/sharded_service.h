@@ -1,0 +1,147 @@
+#ifndef XMLUP_CLUSTER_SHARDED_SERVICE_H_
+#define XMLUP_CLUSTER_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "observability/metrics.h"
+#include "replication/source.h"
+
+namespace xmlup::cluster {
+
+/// Wire verb a router (or `xmlup cluster-status`) opens with to discover
+/// what a shard owns: the reply carries the protocol version, the
+/// document key set, and each document's CommitPoint triple — the same
+/// durable-position bookkeeping the repl-hello handshake ships, reused
+/// as the cluster's discovery currency.
+inline constexpr char kClusterHelloVerb[] = "cluster-hello";
+inline constexpr uint64_t kClusterProtocolVersion = 1;
+
+/// Marker prefix on the error field of a reply for a document this shard
+/// does not own. Routers count these as route misses (a misconfigured
+/// prefix map, or a client that bypassed the router with a stale
+/// placement), distinct from transport failures.
+inline constexpr char kUnknownDocumentError[] = "unknown-document";
+
+struct ShardedServiceOptions {
+  /// Per-document pipeline knobs (queue depth, batch size, checkpoint
+  /// thresholds). Each document gets its own single-writer pipeline
+  /// configured from this template; commit_hook is overridden per
+  /// document by the service's replication source.
+  concurrency::ConcurrentStoreOptions store;
+  /// Whether `--doc <key> --create <scheme>` may create documents at
+  /// runtime. Off, the corpus is exactly what Open() found on disk.
+  bool allow_create = true;
+};
+
+/// A corpus of independent documents behind one endpoint: the
+/// "millions of users" shape ROADMAP item 1 describes. Every request
+/// names its document (`--doc <key> <tokens...>`); the service routes it
+/// to that document's own ConcurrentStore — its own single-writer
+/// group-commit pipeline, ReadView publication, and replication source —
+/// and documents never coordinate, because the paper's self-contained
+/// label/key machinery leaves nothing to coordinate.
+///
+/// Layout: `<corpus_dir>/<key>/` is a plain single-document store
+/// directory (CURRENT/snapshot-N/journal-N); every existing tool
+/// (`xmlup cat/info/stats`) works on it unchanged.
+///
+/// Request forms, over any Listener transport (TCP or Unix socket):
+///
+///   --doc <key> <tokens...>   run <tokens...> against document <key>:
+///                             the full single-document grammar (actions,
+///                             -q/--xml/--epoch/--stats/--repl-status)
+///   --doc <key> --create <scheme>
+///                             create an empty document (root element
+///                             <root/>) labelled with <scheme>
+///   --doc <key> repl-hello ...
+///                             subscribe as a replica of one document
+///                             (each document has its own replica set)
+///   cluster-hello ... / --cluster-status
+///                             discovery/status: proto, role, doc keys,
+///                             per-document CommitPoint triples
+///   --ping / --stats / --shutdown
+///                             service-level admin; --stats aggregates
+///                             pipeline counters across the corpus
+class ShardedService : public concurrency::ConnectionHandler {
+ public:
+  /// Opens every document found under `corpus_dir` (creating the
+  /// directory if absent) and starts their pipelines. A subdirectory is
+  /// a document iff it holds a CURRENT file; anything else is ignored.
+  static common::Result<std::unique_ptr<ShardedService>> Open(
+      const std::string& corpus_dir, const ShardedServiceOptions& options = {});
+
+  ~ShardedService() override;
+  ShardedService(const ShardedService&) = delete;
+  ShardedService& operator=(const ShardedService&) = delete;
+
+  /// Handles one parsed frame; returns true when the frame asked for
+  /// service shutdown. The connection-loop body, exposed for tests.
+  bool HandleRequest(const std::vector<std::string>& request,
+                     std::vector<std::string>* response);
+
+  /// ConnectionHandler: frame loop with per-document dispatch; a
+  /// `--doc <key> repl-hello ...` frame hands the connection to that
+  /// document's replication streamer.
+  bool HandleConnection(int in_fd, int out_fd,
+                        const std::atomic<bool>& stop) override;
+
+  /// The cluster-hello / --cluster-status payload: proto, role, docs,
+  /// and one `doc.<key>=<gen>:<records>:<bytes>:<epoch>` field per
+  /// document (sorted by key, so identical corpora render identically).
+  std::vector<std::string> StatusFields() const;
+
+  /// Stops every document pipeline. Idempotent; the destructor calls it.
+  void Stop();
+
+  size_t document_count() const;
+  std::vector<std::string> DocumentKeys() const;
+
+ private:
+  /// One document: its replication source (the store's commit hook and
+  /// the streamer replicas subscribe to), its pipeline, and the Server
+  /// whose HandleRequest implements the single-document grammar.
+  struct DocEntry {
+    std::unique_ptr<replication::ReplicationSource> source;
+    std::unique_ptr<concurrency::ConcurrentStore> store;
+    std::unique_ptr<concurrency::Server> server;
+  };
+
+  ShardedService(std::string corpus_dir, ShardedServiceOptions options);
+
+  /// Builds a DocEntry over an opened/created store directory.
+  common::Result<std::unique_ptr<DocEntry>> OpenEntry(
+      const std::string& key, bool create, const std::string& scheme);
+
+  /// Looks up `key`; null when this shard does not own it.
+  DocEntry* Find(const std::string& key) const;
+
+  struct MetricCells {
+    obs::Counter* frames = nullptr;
+    obs::Counter* unknown_doc = nullptr;
+    obs::Counter* creates = nullptr;
+    obs::Gauge* docs = nullptr;
+  };
+
+  const std::string corpus_dir_;
+  const ShardedServiceOptions options_;
+  MetricCells metrics_;
+
+  /// Guards the map shape (document creation); per-document operations
+  /// take no service-level lock after lookup — each document's own
+  /// pipeline is the serialization point, which is the whole design.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<DocEntry>> docs_;
+  bool stopped_ = false;
+};
+
+}  // namespace xmlup::cluster
+
+#endif  // XMLUP_CLUSTER_SHARDED_SERVICE_H_

@@ -1,6 +1,9 @@
 #include "concurrency/server.h"
 
 #include <csignal>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -24,7 +27,147 @@ std::vector<std::string> ErrorResponse(const Status& status) {
   return {"err", status.ToString()};
 }
 
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
 }  // namespace
+
+// --- Listener ---------------------------------------------------------------
+
+Status Listener::ServeUnixSocket(const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ::unlink(socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    Status status =
+        Status::Internal(socket_path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  Status served = ServeLoop(fd);
+  ::unlink(socket_path.c_str());
+  return served;
+}
+
+Status Listener::ServeTcp(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve " + host + ": " +
+                                   ::gai_strerror(rc));
+  }
+  int fd = ::socket(result->ai_family, result->ai_socktype,
+                    result->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(result);
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  // A restarted shard must rebind its port without waiting out TIME_WAIT
+  // from its previous incarnation's connections.
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, result->ai_addr, result->ai_addrlen) < 0 ||
+      ::listen(fd, 64) < 0) {
+    Status status = Status::Internal(host + ":" + service + ": " +
+                                     std::strerror(errno));
+    ::freeaddrinfo(result);
+    ::close(fd);
+    return status;
+  }
+  ::freeaddrinfo(result);
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    bound_port_.store(ntohs(bound.sin_port));
+  }
+  return ServeLoop(fd);
+}
+
+void Listener::Shutdown() {
+  shutdown_.store(true);
+  int fd = listen_fd_.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Status Listener::ServeLoop(int listen_fd) {
+  // A client disconnecting mid-reply (or a replica mid-stream) must
+  // surface as a write error on its connection thread, not kill the whole
+  // server process.
+  ::signal(SIGPIPE, SIG_IGN);
+  listen_fd_.store(listen_fd);
+
+  // Connection threads are detached, so finished connections release
+  // their thread handles immediately instead of accumulating join handles
+  // for the listener's lifetime; the drain below gates return, which
+  // keeps `this` alive until the last thread is done.
+  while (!shutdown_.load()) {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (or a hard accept failure)
+    }
+    SetNoDelay(conn);  // no-op on AF_UNIX
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_conns_.insert(conn);
+    }
+    std::thread([this, conn] {
+      if (handler_->HandleConnection(conn, conn, shutdown_)) {
+        // A --shutdown request: wake the accept loop by shutting the
+        // listening socket down (close alone does not unblock accept).
+        Shutdown();
+      }
+      // Unregister before closing: the drain only force-shuts fds still in
+      // the set, so an fd is never shut down after its number could have
+      // been reused. Notify under the lock: the waiter must not return
+      // (destroying `this`) between the predicate turning true and the
+      // notify call. The close after the lock touches only the local fd.
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        active_conns_.erase(conn);
+        conns_done_.notify_all();
+      }
+      ::close(conn);
+    }).detach();
+  }
+
+  // Graceful drain: in-flight connections get drain_deadline_ms to finish
+  // their current request and disconnect on their own; whatever is still
+  // open after that — an idle client holding its socket, a router's
+  // pooled connection, a replica subscription streaming forever — is
+  // forcibly shut down so its thread unblocks from read/write and exits.
+  // Waiting without the deadline would hang shutdown on the first idle
+  // connection.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    conns_done_.wait_for(lock, std::chrono::milliseconds(drain_deadline_ms_),
+                         [this] { return active_conns_.empty(); });
+    for (int conn : active_conns_) ::shutdown(conn, SHUT_RDWR);
+    conns_done_.wait(lock, [this] { return active_conns_.empty(); });
+  }
+  ::close(listen_fd);
+  return Status::Ok();
+}
+
+// --- Server -----------------------------------------------------------------
 
 Server::Server(ConcurrentStore* store, ViewProvider* views)
     : store_(store), views_(views) {
@@ -186,7 +329,8 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
   return false;
 }
 
-bool Server::ServeConnection(int in_fd, int out_fd) {
+bool Server::HandleConnection(int in_fd, int out_fd,
+                              const std::atomic<bool>& stop) {
   for (;;) {
     Result<std::optional<std::vector<std::string>>> frame = ReadFrame(in_fd);
     if (!frame.ok()) return false;          // torn frame or IO error
@@ -204,7 +348,7 @@ bool Server::ServeConnection(int in_fd, int out_fd) {
         metrics_.errors->Add(1);
         return false;
       }
-      streamer_->ServeReplica(**frame, out_fd, shutdown_);
+      streamer_->ServeReplica(**frame, out_fd, stop);
       return false;
     }
     std::vector<std::string> response;
@@ -220,86 +364,71 @@ bool Server::ServeConnection(int in_fd, int out_fd) {
   }
 }
 
-Status Server::ServeUnixSocket(const std::string& socket_path) {
-  // A replica disconnecting mid-stream must surface as a write error on
-  // its connection thread, not kill the whole server process.
-  ::signal(SIGPIPE, SIG_IGN);
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return Status::InvalidArgument("socket path too long: " + socket_path);
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  ::unlink(socket_path.c_str());
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 64) < 0) {
-    Status status =
-        Status::Internal(socket_path + ": " + std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  listen_fd_.store(fd);
+// --- Client helpers ---------------------------------------------------------
 
-  // Connection threads are detached, so finished connections release
-  // their thread handles immediately instead of accumulating join handles
-  // for the server's lifetime; the drain below gates return, which keeps
-  // `this` alive until the last thread is done.
-  while (!shutdown_.load()) {
-    int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      break;  // listen socket shut down (or a hard accept failure)
-    }
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      active_conns_.insert(conn);
-    }
-    std::thread([this, conn] {
-      if (ServeConnection(conn, conn)) {
-        // A --shutdown request: wake the accept loop by shutting the
-        // listening socket down (close alone does not unblock accept).
-        shutdown_.store(true);
-        ::shutdown(listen_fd_.load(), SHUT_RDWR);
-      }
-      // Unregister before closing: the drain only force-shuts fds still in
-      // the set, so an fd is never shut down after its number could have
-      // been reused. Notify under the lock: the waiter must not return
-      // (destroying `this`) between the predicate turning true and the
-      // notify call. The close after the lock touches only the local fd.
-      {
-        std::lock_guard<std::mutex> lock(conns_mu_);
-        active_conns_.erase(conn);
-        conns_done_.notify_all();
-      }
-      ::close(conn);
-    }).detach();
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument("'" + spec +
+                                   "' is not HOST:PORT (missing host or ':')");
   }
-
-  // Graceful drain: in-flight connections get drain_deadline_ms to finish
-  // their current request and disconnect on their own; whatever is still
-  // open after that — an idle client holding its socket, a replica
-  // subscription streaming forever — is forcibly shut down so its thread
-  // unblocks from read/write and exits. Waiting without the deadline
-  // would hang shutdown on the first idle connection.
-  {
-    std::unique_lock<std::mutex> lock(conns_mu_);
-    conns_done_.wait_for(lock, std::chrono::milliseconds(drain_deadline_ms_),
-                         [this] { return active_conns_.empty(); });
-    for (int conn : active_conns_) ::shutdown(conn, SHUT_RDWR);
-    conns_done_.wait(lock, [this] { return active_conns_.empty(); });
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty()) {
+    return Status::InvalidArgument("'" + spec + "' has an empty port");
   }
-  ::close(fd);
-  ::unlink(socket_path.c_str());
+  uint64_t value = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("'" + spec +
+                                     "' has a non-numeric port '" +
+                                     port_text + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 65535) {
+      return Status::InvalidArgument("'" + spec + "' port is out of range " +
+                                     "(1-65535)");
+    }
+  }
+  if (value == 0) {
+    return Status::InvalidArgument(
+        "'" + spec + "' names port 0 (an ephemeral bind cannot be dialled)");
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
   return Status::Ok();
 }
 
-Result<std::vector<std::string>> UnixSocketRequest(
-    const std::string& socket_path, const std::vector<std::string>& request) {
+Result<int> TcpConnect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0) {
+    return Status::Internal("cannot resolve " + host + ": " +
+                            ::gai_strerror(rc));
+  }
+  int fd =
+      ::socket(result->ai_family, result->ai_socktype, result->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(result);
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, result->ai_addr, result->ai_addrlen) < 0) {
+    Status status = Status::Internal(host + ":" + service + ": " +
+                                     std::strerror(errno));
+    ::freeaddrinfo(result);
+    ::close(fd);
+    return status;
+  }
+  ::freeaddrinfo(result);
+  SetNoDelay(fd);
+  return fd;
+}
+
+Result<int> UnixConnect(const std::string& socket_path) {
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -317,6 +446,24 @@ Result<std::vector<std::string>> UnixSocketRequest(
     ::close(fd);
     return status;
   }
+  return fd;
+}
+
+Result<int> DialEndpoint(const std::string& spec) {
+  constexpr std::string_view kTcpPrefix = "tcp:";
+  if (spec.rfind(kTcpPrefix, 0) == 0) {
+    std::string host;
+    uint16_t port = 0;
+    XMLUP_RETURN_NOT_OK(
+        ParseHostPort(spec.substr(kTcpPrefix.size()), &host, &port));
+    return TcpConnect(host, port);
+  }
+  return UnixConnect(spec);
+}
+
+Result<std::vector<std::string>> EndpointRequest(
+    const std::string& spec, const std::vector<std::string>& request) {
+  XMLUP_ASSIGN_OR_RETURN(int fd, DialEndpoint(spec));
   Status written = WriteFrame(fd, request);
   if (!written.ok()) {
     ::close(fd);
@@ -329,6 +476,17 @@ Result<std::vector<std::string>> UnixSocketRequest(
     return Status::Internal("server closed the connection without replying");
   }
   return std::move(**response);
+}
+
+Result<std::vector<std::string>> UnixSocketRequest(
+    const std::string& socket_path, const std::vector<std::string>& request) {
+  return EndpointRequest(socket_path, request);
+}
+
+Result<std::vector<std::string>> TcpRequest(
+    const std::string& host, uint16_t port,
+    const std::vector<std::string>& request) {
+  return EndpointRequest("tcp:" + host + ":" + std::to_string(port), request);
 }
 
 }  // namespace xmlup::concurrency

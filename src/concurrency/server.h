@@ -31,13 +31,80 @@ class ReplicationStreamer {
                             int out_fd, const std::atomic<bool>& stop) = 0;
 };
 
+/// One endpoint's worth of request handling: a Listener accepts
+/// connections and runs HandleConnection on a thread per connection.
+/// Implementations loop ReadFrame/WriteFrame until EOF; returning true
+/// asks the listener to shut down (a --shutdown frame). `stop` is the
+/// listener's shutdown flag, for long-lived streams (replication
+/// subscriptions) that must notice a drain.
+class ConnectionHandler {
+ public:
+  virtual ~ConnectionHandler() = default;
+  virtual bool HandleConnection(int in_fd, int out_fd,
+                                const std::atomic<bool>& stop) = 0;
+};
+
+/// Accept loop shared by every frame-speaking endpoint (single-document
+/// Server, cluster::ShardedService, cluster::Coordinator): binds a Unix
+/// socket or a TCP listening socket, accepts connections one thread each,
+/// and on shutdown drains gracefully — accepting stops at once, in-flight
+/// connections get drain_deadline_ms to finish, and whatever is still
+/// open after the deadline (an idle client, a router's pooled connection,
+/// a replica subscription) is forcibly shut down rather than waited on
+/// forever. The same active-connection gate covers both transports, so a
+/// wedged TCP client can no more hold up --shutdown than a Unix one.
+class Listener {
+ public:
+  explicit Listener(ConnectionHandler* handler) : handler_(handler) {}
+
+  /// How long shutdown waits for in-flight connections to finish on
+  /// their own before forcibly shutting their sockets down.
+  void set_drain_deadline_ms(uint64_t ms) { drain_deadline_ms_ = ms; }
+
+  /// Binds `socket_path` (replacing a stale socket file) and serves until
+  /// a handler requests shutdown.
+  common::Status ServeUnixSocket(const std::string& socket_path);
+
+  /// Binds host:port (IPv4; port 0 binds an ephemeral port — see
+  /// bound_port) and serves until a handler requests shutdown. Accepted
+  /// connections get TCP_NODELAY: frames are small and latency-bound.
+  common::Status ServeTcp(const std::string& host, uint16_t port);
+
+  /// The port actually bound, once serving (nonzero after the listening
+  /// socket is up). The way tests and in-process clusters bind port 0 and
+  /// discover where they landed.
+  uint16_t bound_port() const { return bound_port_.load(); }
+
+  /// Requests shutdown from outside a connection (tests, signal
+  /// handlers): stops accepting and wakes the accept loop; the serve call
+  /// then runs its normal drain.
+  void Shutdown();
+
+ private:
+  common::Status ServeLoop(int listen_fd);
+
+  ConnectionHandler* handler_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<uint16_t> bound_port_{0};
+  uint64_t drain_deadline_ms_ = 2000;
+
+  /// Open connection fds, for the shutdown drain. Connection threads
+  /// register/unregister themselves; ServeLoop waits on the set emptying
+  /// and force-closes stragglers past the deadline.
+  std::mutex conns_mu_;
+  std::condition_variable conns_done_;
+  std::set<int> active_conns_;
+};
+
 /// Request server for `xmlup serve`: speaks the wire.h framed protocol
-/// over a Unix-domain socket (one thread per connection) or a single
-/// stdin/stdout pipe pair. On a primary it maps requests onto a
-/// ConcurrentStore — queries pin a snapshot view on the connection
-/// thread, updates go through the group-commit pipeline. Built over a
-/// bare ViewProvider instead (a replication applier), it serves the same
-/// read verbs from replicated snapshots and rejects every update.
+/// over a Unix-domain socket, a TCP socket (one thread per connection
+/// either way), or a single stdin/stdout pipe pair. On a primary it maps
+/// requests onto a ConcurrentStore — queries pin a snapshot view on the
+/// connection thread, updates go through the group-commit pipeline. Built
+/// over a bare ViewProvider instead (a replication applier), it serves
+/// the same read verbs from replicated snapshots and rejects every
+/// update.
 ///
 /// Request forms (argv-style fields):
 ///
@@ -58,7 +125,7 @@ class ReplicationStreamer {
 ///
 /// Every error is a one-line "err" <message> response; the connection
 /// stays usable afterwards.
-class Server {
+class Server : public ConnectionHandler {
  public:
   /// A primary: reads and writes.
   explicit Server(ConcurrentStore* store) : Server(store, store) {}
@@ -78,26 +145,37 @@ class Server {
     repl_status_ = std::move(fn);
   }
 
-  /// How long shutdown waits for in-flight connections to finish on their
-  /// own before forcibly shutting their sockets down (see ServeUnixSocket).
-  void set_drain_deadline_ms(uint64_t ms) { drain_deadline_ms_ = ms; }
+  /// See Listener::set_drain_deadline_ms.
+  void set_drain_deadline_ms(uint64_t ms) {
+    listener_.set_drain_deadline_ms(ms);
+  }
 
   /// Handles one parsed request. Appends the response fields; returns
   /// true when the request asked for server shutdown.
   bool HandleRequest(const std::vector<std::string>& request,
                      std::vector<std::string>* response);
 
-  /// Serves framed requests from `in_fd`/`out_fd` until EOF or a
-  /// shutdown request; returns true if shutdown was requested.
-  bool ServeConnection(int in_fd, int out_fd);
+  /// ConnectionHandler: serves framed requests from `in_fd`/`out_fd`
+  /// until EOF or a shutdown request; returns true if shutdown was
+  /// requested. `stop` is forwarded to replication streams.
+  bool HandleConnection(int in_fd, int out_fd,
+                        const std::atomic<bool>& stop) override;
 
-  /// Binds `socket_path` (replacing a stale socket file), accepts
-  /// connections, one thread each, until a client sends --shutdown.
-  /// Shutdown drains gracefully: accepting stops at once, in-flight
-  /// connections get drain_deadline_ms to finish, and whatever is still
-  /// open after the deadline (an idle client, a replica subscription) is
-  /// forcibly shut down rather than waited on forever.
-  common::Status ServeUnixSocket(const std::string& socket_path);
+  /// The stdio form of HandleConnection (`xmlup serve --stdio`): no
+  /// listener, so streams watch a flag nothing ever sets.
+  bool ServeConnection(int in_fd, int out_fd) {
+    return HandleConnection(in_fd, out_fd, stdio_stop_);
+  }
+
+  /// Serves on a Unix socket / TCP socket via an internal Listener (see
+  /// Listener for the bind/drain contract).
+  common::Status ServeUnixSocket(const std::string& socket_path) {
+    return listener_.ServeUnixSocket(socket_path);
+  }
+  common::Status ServeTcp(const std::string& host, uint16_t port) {
+    return listener_.ServeTcp(host, port);
+  }
+  uint16_t bound_port() const { return listener_.bound_port(); }
 
  private:
   Server(ConcurrentStore* store, ViewProvider* views);
@@ -119,22 +197,44 @@ class Server {
   ReplicationStreamer* streamer_ = nullptr;
   std::function<std::vector<std::string>()> repl_status_;
   MetricCells metrics_;
-  std::atomic<bool> shutdown_{false};
-  std::atomic<int> listen_fd_{-1};
-  uint64_t drain_deadline_ms_ = 2000;
-
-  /// Open connection fds, for the shutdown drain. Connection threads
-  /// register/unregister themselves; ServeUnixSocket waits on the set
-  /// emptying and force-closes stragglers past the deadline.
-  std::mutex conns_mu_;
-  std::condition_variable conns_done_;
-  std::set<int> active_conns_;
+  std::atomic<bool> stdio_stop_{false};
+  Listener listener_{this};
 };
 
-/// Client helper (xmlup req, tests): connects to `socket_path`, sends
-/// `request` as one frame, returns the response fields.
+/// Splits "HOST:PORT" at the last colon. Rejects a missing colon, an
+/// empty host, and a port that is non-numeric, 0 (an ephemeral bind makes
+/// no sense in a spec a client dials), or out of range — each with a
+/// one-line message naming the offending spec.
+common::Status ParseHostPort(const std::string& spec, std::string* host,
+                             uint16_t* port);
+
+/// Connects to host:port (IPv4, numeric or resolvable name) with
+/// TCP_NODELAY set. The caller owns the fd.
+common::Result<int> TcpConnect(const std::string& host, uint16_t port);
+
+/// Connects to a Unix-domain socket path. The caller owns the fd.
+common::Result<int> UnixConnect(const std::string& socket_path);
+
+/// Dials an endpoint spec: "tcp:HOST:PORT" opens a TCP connection,
+/// anything else is a Unix socket path. The one parser every client-side
+/// feature (replication --replicate-from, router shard lists, xmlup req)
+/// shares, so a store can move from a local socket to a TCP shard by
+/// changing only its address string.
+common::Result<int> DialEndpoint(const std::string& spec);
+
+/// Client helper (xmlup req, tests): dials `spec` (see DialEndpoint),
+/// sends `request` as one frame, returns the response fields.
+common::Result<std::vector<std::string>> EndpointRequest(
+    const std::string& spec, const std::vector<std::string>& request);
+
+/// EndpointRequest over a Unix socket path (the historical form).
 common::Result<std::vector<std::string>> UnixSocketRequest(
     const std::string& socket_path, const std::vector<std::string>& request);
+
+/// EndpointRequest over TCP.
+common::Result<std::vector<std::string>> TcpRequest(
+    const std::string& host, uint16_t port,
+    const std::vector<std::string>& request);
 
 }  // namespace xmlup::concurrency
 

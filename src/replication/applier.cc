@@ -2,12 +2,9 @@
 
 #include <csignal>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <utility>
 
 #include "concurrency/server.h"
@@ -21,31 +18,6 @@ using common::Status;
 using concurrency::ReadFrame;
 using concurrency::UnescapeBinary;
 using concurrency::WriteFrame;
-
-namespace {
-
-Result<int> ConnectUnix(const std::string& socket_path) {
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return Status::InvalidArgument("socket path too long: " + socket_path);
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status status = Status::Internal(socket_path + ": " +
-                                     std::strerror(errno));
-    ::close(fd);
-    return status;
-  }
-  return fd;
-}
-
-}  // namespace
 
 ReplicaApplier::ReplicaApplier(std::string dir, std::string primary_socket,
                                ReplicaApplierOptions options)
@@ -196,7 +168,7 @@ void ReplicaApplier::Run() {
 }
 
 void ReplicaApplier::RunSession(bool* connected_once) {
-  Result<int> connected = ConnectUnix(primary_socket_);
+  Result<int> connected = concurrency::DialEndpoint(primary_socket_);
   if (!connected.ok()) {
     RecordError(connected.status());
     return;
@@ -221,13 +193,13 @@ void ReplicaApplier::RunSession(bool* connected_once) {
   const std::string scheme = store_->has_document()
                                  ? store_->scheme_name()
                                  : std::string(kReplNoScheme);
-  std::vector<std::string> hello = {
-      concurrency::kReplicationHelloVerb,
-      std::to_string(kReplProtocolVersion),
-      scheme,
-      std::to_string(position.generation),
-      std::to_string(position.bytes),
-      std::to_string(position.records)};
+  std::vector<std::string> hello = options_.hello_prefix;
+  hello.insert(hello.end(),
+               {concurrency::kReplicationHelloVerb,
+                std::to_string(kReplProtocolVersion), scheme,
+                std::to_string(position.generation),
+                std::to_string(position.bytes),
+                std::to_string(position.records)});
   bool session_ok = WriteFrame(fd, hello).ok();
   if (session_ok) {
     Result<std::optional<std::vector<std::string>>> reply = ReadFrame(fd);
@@ -319,14 +291,16 @@ bool ReplicaApplier::ApplyMessage(const std::vector<std::string>& message) {
     if (!installed.ok()) return fail_session(installed);
     metrics_.snapshots_installed->Add(1);
     session_progress_ = true;
+    // Publish before advertising the position: a WaitForPosition waiter
+    // that wakes at this position must be able to pin a view covering it.
+    Status published = PublishView();
+    if (!published.ok()) return fail_session(published);
     {
       std::lock_guard<std::mutex> lock(status_mu_);
       status_.applied = store_->position();
       ++status_.snapshots_installed;
       status_changed_.notify_all();
     }
-    Status published = PublishView();
-    if (!published.ok()) return fail_session(published);
     return true;
   }
 
@@ -359,13 +333,14 @@ bool ReplicaApplier::ApplyMessage(const std::vector<std::string>& message) {
     metrics_.bytes_received->Add(payload->size());
     metrics_.records_applied->Add(records);
     session_progress_ = true;
+    // Publish before advertising the position (see the snapshot branch).
+    Status published = PublishView();
+    if (!published.ok()) return fail_session(published);
     {
       std::lock_guard<std::mutex> lock(status_mu_);
       status_.applied = store_->position();
       status_changed_.notify_all();
     }
-    Status published = PublishView();
-    if (!published.ok()) return fail_session(published);
     return true;
   }
 

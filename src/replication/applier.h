@@ -26,6 +26,11 @@ struct ReplicaApplierOptions {
   /// attempt, resets after a successfully applied message.
   uint64_t backoff_initial_ms = 10;
   uint64_t backoff_max_ms = 1000;
+  /// Tokens prepended to the repl-hello frame on every (re)connect.
+  /// A replica of one document on a sharded corpus endpoint subscribes
+  /// with {"--doc", "<key>"} so the shard can route the handshake to
+  /// that document's streamer. Empty for a single-document primary.
+  std::vector<std::string> hello_prefix;
 };
 
 /// A point-in-time picture of the applier, for `repl-status` and tests.
@@ -61,7 +66,8 @@ struct ReplicaStatus {
 class ReplicaApplier : public concurrency::ViewProvider {
  public:
   /// Opens (recovering) the replica store at `dir` and starts the
-  /// applier thread connecting to `primary_socket`. If the directory
+  /// applier thread connecting to `primary_socket` — a Unix socket path
+  /// or "tcp:HOST:PORT" (the DialEndpoint grammar). If the directory
   /// already holds a replicated generation, an initial view is published
   /// before Start returns — a restarting replica serves stale-but-
   /// consistent reads immediately, catch-up freshness arrives behind it.

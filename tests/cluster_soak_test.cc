@@ -1,0 +1,348 @@
+// Cluster soak: concurrent clients hammer a router serving four TCP
+// shards, then the router's cluster.* counters must reconcile exactly
+// with the client-side tallies — every --doc frame routed is one a
+// client sent, every route miss is an unknown-document error a client
+// observed, every route error is a "routed:" failure a client read. The
+// chaos half kills one shard mid-workload and restarts it on the same
+// port: only that shard's keys may error, and after the restart every
+// key (including the dead shard's) serves recovered content. Runs under
+// TSan in CI (suite name carries "ClusterSoak").
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/router.h"
+#include "cluster/sharded_service.h"
+#include "concurrency/server.h"
+#include "observability/metrics.h"
+
+namespace xmlup::cluster {
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 48;  // multiple of the 6-way op mix
+
+class TempDir {
+ public:
+  TempDir() {
+    char dir_template[] = "/tmp/xmlup_clsoak_XXXXXX";
+    EXPECT_NE(::mkdtemp(dir_template), nullptr);
+    path_ = dir_template;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// One in-process shard over TCP, restartable on its original port.
+struct ShardProcess {
+  std::unique_ptr<TempDir> dir = std::make_unique<TempDir>();
+  std::unique_ptr<ShardedService> service;
+  std::unique_ptr<concurrency::Listener> listener;
+  std::thread thread;
+  uint16_t port = 0;
+
+  void Start() {
+    auto opened = ShardedService::Open(dir->path());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    service = std::move(*opened);
+    listener = std::make_unique<concurrency::Listener>(service.get());
+    listener->set_drain_deadline_ms(200);
+    const uint16_t bind_port = port;
+    concurrency::Listener* raw = listener.get();
+    thread = std::thread([raw, bind_port] {
+      common::Status served = raw->ServeTcp("127.0.0.1", bind_port);
+      EXPECT_TRUE(served.ok()) << served.ToString();
+    });
+    for (int i = 0; i < 5000 && listener->bound_port() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_NE(listener->bound_port(), 0) << "shard listener never bound";
+    port = listener->bound_port();
+  }
+
+  void Kill() {
+    listener->Shutdown();
+    thread.join();
+    service->Stop();
+    service.reset();
+    listener.reset();
+  }
+};
+
+// Four shards, a coordinator, and the coordinator's own Unix-socket
+// listener — clients speak the full wire path end to end.
+class ClusterSoak : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::GlobalMetrics().Reset();
+    char dir_template[] = "/tmp/xmlup_clsoak_rt_XXXXXX";
+    ASSERT_NE(::mkdtemp(dir_template), nullptr);
+    router_dir_ = dir_template;
+    router_socket_ = router_dir_ + "/r";
+
+    shards_.resize(kShards);
+    std::vector<ShardAddress> addresses;
+    for (auto& shard : shards_) {
+      shard.Start();
+      if (HasFatalFailure()) return;
+      addresses.push_back(
+          ShardAddress{"tcp:127.0.0.1:" + std::to_string(shard.port)});
+    }
+    coordinator_ = std::make_unique<Coordinator>(
+        std::move(addresses), std::make_unique<HashRouter>(kShards));
+    router_listener_ =
+        std::make_unique<concurrency::Listener>(coordinator_.get());
+    router_listener_->set_drain_deadline_ms(200);
+    router_thread_ = std::thread([this] {
+      common::Status served =
+          router_listener_->ServeUnixSocket(router_socket_);
+      EXPECT_TRUE(served.ok()) << served.ToString();
+    });
+    for (int i = 0; i < 5000; ++i) {
+      if (concurrency::UnixSocketRequest(router_socket_, {"--ping"}).ok()) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "router socket never came up";
+  }
+
+  void TearDown() override {
+    if (router_listener_ != nullptr) {
+      router_listener_->Shutdown();
+      router_thread_.join();
+    }
+    coordinator_.reset();
+    for (auto& shard : shards_) {
+      if (shard.service != nullptr) shard.Kill();
+    }
+    ::rmdir(router_dir_.c_str());
+  }
+
+  // One routed request over the socket; empty reply = transport failure.
+  std::vector<std::string> Route(const std::vector<std::string>& request) {
+    auto reply = concurrency::UnixSocketRequest(router_socket_, request);
+    if (!reply.ok()) return {};
+    return *reply;
+  }
+
+  std::map<std::string, uint64_t> RouterStats() {
+    std::map<std::string, uint64_t> out;
+    auto reply = Route({"--stats"});
+    EXPECT_GE(reply.size(), 2u);
+    for (size_t i = 1; i < reply.size(); ++i) {
+      const size_t eq = reply[i].find('=');
+      if (eq == std::string::npos) continue;
+      out[reply[i].substr(0, eq)] = std::stoull(reply[i].substr(eq + 1));
+    }
+    return out;
+  }
+
+  std::string router_dir_;
+  std::string router_socket_;
+  std::vector<ShardProcess> shards_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<concurrency::Listener> router_listener_;
+  std::thread router_thread_;
+};
+
+TEST_F(ClusterSoak, ConcurrentClientsReconcileWithRouterMetrics) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back("soak" + std::to_string(i));
+  // Every --doc frame the router ever sees is tallied here, creates
+  // included — cluster.frames_routed must match it exactly at the end.
+  std::atomic<uint64_t> doc_frames_sent{0};
+  std::atomic<uint64_t> unknown_doc_errors{0};
+  std::atomic<uint64_t> routed_errors{0};
+  std::atomic<uint64_t> transport_errors{0};
+
+  for (const std::string& key : keys) {
+    auto created = Route({"--doc", key, "--create", "ordpath"});
+    ASSERT_GE(created.size(), 1u);
+    ASSERT_EQ(created[0], "ok") << created[1];
+    ++doc_frames_sent;
+  }
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string& key = keys[(c + i) % keys.size()];
+        std::vector<std::string> request;
+        bool expect_miss = false;
+        switch (i % 6) {
+          case 0:
+          case 1:
+          case 2:
+            request = {"--doc", key, "-s", ".", "-t", "elem", "-n",
+                       "c" + std::to_string(c) + "_" + std::to_string(i)};
+            break;
+          case 3:
+            request = {"--doc", key, "-q", "."};
+            break;
+          case 4:
+            request = {"--doc", key, "--epoch"};
+            break;
+          default:
+            // A key no one ever created: the shard answers
+            // unknown-document and the router counts a route miss.
+            request = {"--doc", "ghost" + std::to_string(i), "--xml"};
+            expect_miss = true;
+            break;
+        }
+        auto reply = Route(request);
+        if (reply.empty()) {
+          ++transport_errors;
+          continue;
+        }
+        ++doc_frames_sent;
+        if (expect_miss) {
+          EXPECT_EQ(reply[0], "err");
+          EXPECT_EQ(reply[1].rfind(kUnknownDocumentError, 0), 0u) << reply[1];
+          ++unknown_doc_errors;
+        } else if (reply[0] != "ok") {
+          if (reply[1].rfind("routed:", 0) == 0) ++routed_errors;
+          ADD_FAILURE() << "healthy-cluster request failed: " << reply[1];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(transport_errors.load(), 0u);
+
+  if (obs::kMetricsEnabled) {
+    std::map<std::string, uint64_t> stats = RouterStats();
+    EXPECT_EQ(stats["cluster.frames_routed"], doc_frames_sent.load());
+    EXPECT_EQ(stats["cluster.route_misses"], unknown_doc_errors.load());
+    EXPECT_EQ(stats["cluster.route_errors"], routed_errors.load());
+    EXPECT_EQ(stats["cluster.connect_retries"], 0u)
+        << "no shard restarted, so no pooled connection went stale";
+  }
+
+  // --cluster-status agrees: four healthy shards, eight documents total.
+  auto status = Route({"--cluster-status"});
+  ASSERT_GE(status.size(), 1u);
+  ASSERT_EQ(status[0], "ok");
+  int healthy = 0;
+  uint64_t docs_total = 0;
+  for (const std::string& field : status) {
+    if (field.find(".healthy=1") != std::string::npos) ++healthy;
+    const size_t docs_at = field.find(".docs=");
+    if (docs_at != std::string::npos) {
+      docs_total += std::stoull(field.substr(docs_at + 6));
+    }
+  }
+  EXPECT_EQ(healthy, kShards);
+  EXPECT_EQ(docs_total, keys.size());
+}
+
+TEST_F(ClusterSoak, KillAndRestartChaosDegradesOnlyTheDeadShardsKeys) {
+  HashRouter placement(kShards);
+  std::vector<std::string> shard_key(kShards);
+  for (int i = 0;; ++i) {
+    ASSERT_LT(i, 10000);
+    std::string key = "chaos" + std::to_string(i);
+    std::string& slot = shard_key[placement.ShardFor(key)];
+    if (slot.empty()) slot = std::move(key);
+    bool done = true;
+    for (const std::string& k : shard_key) done = done && !k.empty();
+    if (done) break;
+  }
+  std::atomic<uint64_t> doc_frames_sent{0};
+  for (const std::string& key : shard_key) {
+    ASSERT_EQ(Route({"--doc", key, "--create", "ordpath"})[0], "ok");
+    ++doc_frames_sent;
+  }
+
+  constexpr int kVictim = 2;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> routed_errors{0};
+  std::atomic<uint64_t> wrong_key_errors{0};
+  std::atomic<uint64_t> acked_updates{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; !stop.load(); ++i) {
+        const int shard = (c + i) % kShards;
+        const std::string& key = shard_key[shard];
+        auto reply = Route({"--doc", key, "-s", ".", "-t", "elem", "-n",
+                            "u" + std::to_string(c) + "_" +
+                                std::to_string(i)});
+        if (reply.empty()) continue;  // router drain can race test exit
+        ++doc_frames_sent;
+        if (reply[0] == "ok") {
+          ++acked_updates;
+        } else if (reply[1].rfind("routed:", 0) == 0) {
+          ++routed_errors;
+          // Only the victim's keys may see routed errors.
+          if (shard != kVictim) ++wrong_key_errors;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  // Let the healthy cluster absorb some load, then the chaos: kill the
+  // victim, hold the outage long enough for clients to hit it, restart
+  // it on the same port, let it recover.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  shards_[kVictim].Kill();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  shards_[kVictim].Start();
+  ASSERT_FALSE(HasFatalFailure());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(wrong_key_errors.load(), 0u)
+      << "a healthy shard's key saw a routed error";
+  EXPECT_GT(routed_errors.load(), 0u)
+      << "the outage window never surfaced a routed error (timing too "
+         "tight to observe the kill)";
+  EXPECT_GT(acked_updates.load(), 0u);
+
+  // After recovery every key serves, including the victim's.
+  for (int shard = 0; shard < kShards; ++shard) {
+    auto reply = Route({"--doc", shard_key[shard], "--xml"});
+    ASSERT_GE(reply.size(), 2u);
+    ++doc_frames_sent;
+    EXPECT_EQ(reply[0], "ok") << "shard " << shard << ": " << reply[1];
+  }
+
+  // Metrics reconciliation holds across the chaos: the router counted
+  // exactly the frames the clients sent and exactly the errors they read.
+  if (obs::kMetricsEnabled) {
+    std::map<std::string, uint64_t> stats = RouterStats();
+    EXPECT_EQ(stats["cluster.frames_routed"], doc_frames_sent.load());
+    EXPECT_EQ(stats["cluster.route_errors"], routed_errors.load());
+    EXPECT_EQ(stats["cluster.route_misses"], 0u);
+  }
+
+  auto status = Route({"--cluster-status"});
+  ASSERT_GE(status.size(), 1u);
+  ASSERT_EQ(status[0], "ok");
+  for (const std::string& field : status) {
+    EXPECT_EQ(field.find(".healthy=0"), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace xmlup::cluster

@@ -1,0 +1,525 @@
+// Cluster subsystem tests: routing policy units (hash and longest-prefix
+// placement, shard-list and prefix-rule parsing, document-key
+// validation), the ShardedService corpus contract (create / dispatch /
+// rediscovery on restart), and an end-to-end pass routing a seeded
+// workload across four TCP shards — every document's final XML must be
+// bit-identical to a standalone single-document store replaying that
+// key's subsequence. Plus the failure half: killing one shard degrades
+// exactly the keys it owns, and a restart on the same port recovers
+// them. A replica can subscribe to one document of a corpus shard over
+// TCP with a --doc hello prefix.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/router.h"
+#include "cluster/sharded_service.h"
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "replication/applier.h"
+#include "store/file.h"
+#include "xml/parser.h"
+
+namespace xmlup::cluster {
+namespace {
+
+using concurrency::ConcurrentStore;
+using concurrency::ConcurrentStoreOptions;
+
+xml::Tree ParseOrDie(std::string_view text) {
+  auto tree = xml::ParseDocument(text);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+// --- Routing policy ------------------------------------------------------
+
+TEST(HashRouterTest, IsDeterministicAndCoversEveryShard) {
+  HashRouter router(4);
+  EXPECT_EQ(router.shard_count(), 4u);
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "doc" + std::to_string(i);
+    const size_t shard = router.ShardFor(key);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(router.ShardFor(key), shard);  // stable
+    ++hits[shard];
+  }
+  for (int shard = 0; shard < 4; ++shard) {
+    EXPECT_GT(hits[shard], 0) << "shard " << shard << " never chosen";
+  }
+  // Placement is a pure function of (key, shard_count): a second router
+  // with the same count agrees on every key.
+  HashRouter again(4);
+  for (int i = 0; i < 32; ++i) {
+    const std::string key = "doc" + std::to_string(i);
+    EXPECT_EQ(again.ShardFor(key), router.ShardFor(key));
+  }
+}
+
+TEST(PrefixRouterTest, LongestPrefixWinsAndUnmatchedKeysHash) {
+  PrefixRouter router({{"tenantA/", 2}, {"tenantA/hot", 0}, {"b", 1}}, 4);
+  EXPECT_EQ(router.ShardFor("tenantA/doc1"), 2u);
+  EXPECT_EQ(router.ShardFor("tenantA/hot17"), 0u);  // longer rule wins
+  EXPECT_EQ(router.ShardFor("bills"), 1u);
+  HashRouter fallback(4);
+  EXPECT_EQ(router.ShardFor("unruled"), fallback.ShardFor("unruled"));
+}
+
+TEST(PrefixRouterTest, ParsePrefixRulesRejectsMalformedRules) {
+  ASSERT_TRUE(ParsePrefixRules("a=0,b=1", 2).ok());
+  EXPECT_FALSE(ParsePrefixRules("=0", 2).ok());        // empty prefix
+  EXPECT_FALSE(ParsePrefixRules("a", 2).ok());         // no '='
+  EXPECT_FALSE(ParsePrefixRules("a=x", 2).ok());       // non-numeric shard
+  EXPECT_FALSE(ParsePrefixRules("a=2", 2).ok());       // index >= count
+  EXPECT_FALSE(ParsePrefixRules("a=0,,b=1", 2).ok());  // empty element
+}
+
+TEST(ParseShardListTest, NormalisesAndValidates) {
+  auto shards = ParseShardList("127.0.0.1:7001,tcp:10.0.0.1:7002,/tmp/s");
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  ASSERT_EQ(shards->size(), 3u);
+  EXPECT_EQ((*shards)[0].spec, "tcp:127.0.0.1:7001");  // bare HOST:PORT
+  EXPECT_EQ((*shards)[1].spec, "tcp:10.0.0.1:7002");
+  EXPECT_EQ((*shards)[2].spec, "/tmp/s");  // a Unix path, taken as given
+
+  EXPECT_FALSE(ParseShardList("").ok());
+  EXPECT_FALSE(ParseShardList("host:1,,host:2").ok());
+  EXPECT_FALSE(ParseShardList("tcp:host:0").ok());     // port 0
+  EXPECT_FALSE(ParseShardList("tcp:host:abc").ok());   // non-numeric
+  EXPECT_FALSE(ParseShardList("tcp:host").ok());       // missing port
+}
+
+TEST(ValidDocumentKeyTest, KeysAreDirectoryNamesSoTheRulesAreStrict) {
+  EXPECT_TRUE(ValidDocumentKey("orders"));
+  EXPECT_TRUE(ValidDocumentKey("tenant-a_2026.08"));
+  EXPECT_FALSE(ValidDocumentKey(""));
+  EXPECT_FALSE(ValidDocumentKey("."));
+  EXPECT_FALSE(ValidDocumentKey(".."));
+  EXPECT_FALSE(ValidDocumentKey(".hidden"));
+  EXPECT_FALSE(ValidDocumentKey("a/b"));   // no traversal
+  EXPECT_FALSE(ValidDocumentKey("a b"));   // no spaces
+  EXPECT_FALSE(ValidDocumentKey(std::string(129, 'k')));
+  EXPECT_TRUE(ValidDocumentKey(std::string(128, 'k')));
+}
+
+// --- ShardedService ------------------------------------------------------
+
+class TempDir {
+ public:
+  TempDir() {
+    char dir_template[] = "/tmp/xmlup_cluster_XXXXXX";
+    EXPECT_NE(::mkdtemp(dir_template), nullptr);
+    path_ = dir_template;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> Req(ShardedService* service,
+                             std::vector<std::string> request) {
+  std::vector<std::string> response;
+  service->HandleRequest(request, &response);
+  return response;
+}
+
+TEST(ShardedServiceTest, CreatesDispatchesAndRediscoversOnRestart) {
+  TempDir corpus;
+  {
+    auto service = ShardedService::Open(corpus.path());
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_EQ((*service)->document_count(), 0u);
+
+    auto created = Req(service->get(), {"--doc", "alpha", "--create",
+                                        "ordpath"});
+    ASSERT_EQ(created[0], "ok") << created[1];
+    created = Req(service->get(), {"--doc", "beta", "--create", "ordpath"});
+    ASSERT_EQ(created[0], "ok") << created[1];
+    EXPECT_EQ((*service)->document_count(), 2u);
+
+    // The full single-document grammar rides behind --doc.
+    auto update = Req(service->get(), {"--doc", "alpha", "-s", ".", "-t",
+                                       "elem", "-n", "only_in_alpha"});
+    ASSERT_EQ(update[0], "ok") << update[1];
+    auto alpha = Req(service->get(), {"--doc", "alpha", "--xml"});
+    ASSERT_EQ(alpha[0], "ok");
+    EXPECT_NE(alpha[1].find("only_in_alpha"), std::string::npos);
+    auto beta = Req(service->get(), {"--doc", "beta", "--xml"});
+    ASSERT_EQ(beta[0], "ok");
+    EXPECT_EQ(beta[1].find("only_in_alpha"), std::string::npos)
+        << "documents must be isolated";
+
+    (*service)->Stop();
+  }
+  // Restart: the corpus scan finds both documents, content intact.
+  auto reopened = ShardedService::Open(corpus.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->document_count(), 2u);
+  EXPECT_EQ((*reopened)->DocumentKeys(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  auto alpha = Req(reopened->get(), {"--doc", "alpha", "--xml"});
+  ASSERT_EQ(alpha[0], "ok");
+  EXPECT_NE(alpha[1].find("only_in_alpha"), std::string::npos);
+  (*reopened)->Stop();
+}
+
+TEST(ShardedServiceTest, RejectsUnknownDocumentsBadKeysAndDuplicates) {
+  TempDir corpus;
+  auto service = ShardedService::Open(corpus.path());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  auto unknown = Req(service->get(), {"--doc", "nosuch", "--xml"});
+  ASSERT_EQ(unknown[0], "err");
+  EXPECT_EQ(unknown[1].rfind(kUnknownDocumentError, 0), 0u)
+      << "unknown-document replies must carry the marker prefix: "
+      << unknown[1];
+
+  auto traversal = Req(service->get(), {"--doc", "../etc", "--xml"});
+  EXPECT_EQ(traversal[0], "err");
+  EXPECT_EQ(traversal[1].rfind(kUnknownDocumentError, 0),
+            std::string::npos)
+      << "an invalid key is a client error, not a route miss";
+
+  ASSERT_EQ(Req(service->get(),
+                {"--doc", "alpha", "--create", "ordpath"})[0],
+            "ok");
+  auto duplicate =
+      Req(service->get(), {"--doc", "alpha", "--create", "ordpath"});
+  EXPECT_EQ(duplicate[0], "err");
+
+  // Service-level shutdown must not hide behind a document.
+  auto nested = Req(service->get(), {"--doc", "alpha", "--shutdown"});
+  EXPECT_EQ(nested[0], "err");
+  (*service)->Stop();
+}
+
+TEST(ShardedServiceTest, StatsAggregateAcrossTheCorpus) {
+  TempDir corpus;
+  auto service = ShardedService::Open(corpus.path());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_EQ(Req(service->get(), {"--doc", "a", "--create", "ordpath"})[0],
+            "ok");
+  ASSERT_EQ(Req(service->get(), {"--doc", "b", "--create", "ordpath"})[0],
+            "ok");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(Req(service->get(), {"--doc", "a", "-s", ".", "-t", "elem",
+                                   "-n", "x" + std::to_string(i)})[0],
+              "ok");
+  }
+  ASSERT_EQ(Req(service->get(),
+                {"--doc", "b", "-s", ".", "-t", "elem", "-n", "y"})[0],
+            "ok");
+
+  auto stats = Req(service->get(), {"--stats"});
+  ASSERT_EQ(stats[0], "ok");
+  std::map<std::string, std::string> fields;
+  for (size_t i = 1; i < stats.size(); ++i) {
+    const size_t eq = stats[i].find('=');
+    if (eq != std::string::npos) {
+      fields[stats[i].substr(0, eq)] = stats[i].substr(eq + 1);
+    }
+  }
+  EXPECT_EQ(fields["docs"], "2");
+  EXPECT_EQ(fields["updates_applied"], "4");  // summed across documents
+
+  auto hello = Req(service->get(), {kClusterHelloVerb});
+  ASSERT_EQ(hello[0], "ok");
+  int doc_fields = 0;
+  for (const std::string& field : hello) {
+    if (field.rfind("doc.", 0) == 0) ++doc_fields;
+  }
+  EXPECT_EQ(doc_fields, 2);
+  (*service)->Stop();
+}
+
+// --- End to end: coordinator over TCP shards -----------------------------
+
+// One in-process shard: a corpus directory, its service, and a TCP
+// listener on an ephemeral port (rebound to the SAME port on restart, so
+// a coordinator's shard list stays valid across the kill).
+struct ShardProcess {
+  std::unique_ptr<TempDir> dir = std::make_unique<TempDir>();
+  std::unique_ptr<ShardedService> service;
+  std::unique_ptr<concurrency::Listener> listener;
+  std::thread thread;
+  uint16_t port = 0;  // fixed after the first Start()
+
+  void Start() {
+    auto opened = ShardedService::Open(dir->path());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    service = std::move(*opened);
+    listener = std::make_unique<concurrency::Listener>(service.get());
+    listener->set_drain_deadline_ms(200);
+    const uint16_t bind_port = port;  // 0 first time, pinned after
+    concurrency::Listener* raw = listener.get();
+    thread = std::thread([raw, bind_port] {
+      common::Status served = raw->ServeTcp("127.0.0.1", bind_port);
+      EXPECT_TRUE(served.ok()) << served.ToString();
+    });
+    for (int i = 0; i < 5000 && listener->bound_port() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_NE(listener->bound_port(), 0) << "shard listener never bound";
+    port = listener->bound_port();
+  }
+
+  void Kill() {
+    listener->Shutdown();
+    thread.join();
+    service->Stop();
+    service.reset();
+    listener.reset();
+  }
+
+  std::string spec() const {
+    return "tcp:127.0.0.1:" + std::to_string(port);
+  }
+};
+
+class ClusterEndToEnd : public ::testing::Test {
+ protected:
+  static constexpr int kShards = 4;
+
+  void SetUp() override {
+    shards_.resize(kShards);
+    std::vector<ShardAddress> addresses;
+    for (auto& shard : shards_) {
+      shard.Start();
+      if (HasFatalFailure()) return;
+      addresses.push_back(ShardAddress{shard.spec()});
+    }
+    coordinator_ = std::make_unique<Coordinator>(
+        std::move(addresses), std::make_unique<HashRouter>(kShards));
+  }
+
+  void TearDown() override {
+    coordinator_.reset();  // closes pooled connections before the drain
+    for (auto& shard : shards_) {
+      if (shard.service != nullptr) shard.Kill();
+    }
+  }
+
+  std::vector<std::string> Route(std::vector<std::string> request) {
+    std::vector<std::string> response;
+    coordinator_->HandleRequest(request, &response);
+    return response;
+  }
+
+  std::vector<ShardProcess> shards_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+TEST_F(ClusterEndToEnd, RoutedWorkloadMatchesStandaloneReplay) {
+  // A seeded workload over 8 keys: every action routed through the
+  // coordinator is also recorded per key, and at the end each document
+  // must serialize bit-identically to a standalone single-document
+  // server replaying exactly that key's subsequence.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back("doc" + std::to_string(i));
+  std::map<std::string, std::vector<std::vector<std::string>>> per_key;
+
+  for (const std::string& key : keys) {
+    auto created = Route({"--doc", key, "--create", "ordpath"});
+    ASSERT_EQ(created[0], "ok") << created[1];
+  }
+  uint64_t seed = 0x9e3779b97f4a7c15ull;  // fixed: the test is a replay
+  for (int step = 0; step < 200; ++step) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    const std::string& key = keys[(seed >> 33) % keys.size()];
+    std::vector<std::string> action;
+    switch ((seed >> 13) % 3) {
+      case 0:
+        action = {"-s", ".", "-t", "elem",
+                  "-n", "n" + std::to_string(step)};
+        break;
+      case 1:
+        action = {"-s", ".", "-t", "attr", "-n",
+                  "a" + std::to_string(step), "-v", std::to_string(step)};
+        break;
+      default:
+        action = {"-a", "*[1]", "-t", "comment", "-n", "c",
+                  "-v", "step " + std::to_string(step)};
+        break;
+    }
+    std::vector<std::string> request = {"--doc", key};
+    request.insert(request.end(), action.begin(), action.end());
+    auto reply = Route(request);
+    if (reply[0] == "ok") {
+      per_key[key].push_back(action);
+    }
+    // "err" replies (e.g. -a with no children yet) must leave the
+    // document untouched — the oracle replays only acknowledged actions.
+  }
+
+  const std::vector<std::string> statuses =
+      coordinator_->ClusterStatusFields();
+  size_t healthy = 0;
+  for (const std::string& field : statuses) {
+    if (field.find(".healthy=1") != std::string::npos) ++healthy;
+  }
+  EXPECT_EQ(healthy, static_cast<size_t>(kShards));
+
+  for (const std::string& key : keys) {
+    auto routed = Route({"--doc", key, "--xml"});
+    ASSERT_EQ(routed[0], "ok") << key << ": " << routed[1];
+
+    // The standalone oracle: same empty <root/>, same scheme, same
+    // acknowledged subsequence, one single-document pipeline.
+    store::MemFileSystem fs;
+    ConcurrentStoreOptions options;
+    options.store.fs = &fs;
+    auto oracle = ConcurrentStore::Create("oracle", ParseOrDie("<root/>"),
+                                          "ordpath", options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    concurrency::Server oracle_server(oracle->get());
+    for (const std::vector<std::string>& action : per_key[key]) {
+      std::vector<std::string> response;
+      oracle_server.HandleRequest(action, &response);
+      ASSERT_EQ(response[0], "ok")
+          << key << ": oracle rejected an acknowledged action";
+    }
+    std::vector<std::string> oracle_xml;
+    oracle_server.HandleRequest({"--xml"}, &oracle_xml);
+    ASSERT_EQ(oracle_xml[0], "ok");
+    EXPECT_EQ(routed[1], oracle_xml[1]) << "document " << key;
+    (*oracle)->Stop();
+  }
+}
+
+TEST_F(ClusterEndToEnd, KillingOneShardDegradesOnlyItsKeys) {
+  HashRouter placement(kShards);
+  // One key per shard, so every side of the failure is observable.
+  std::vector<std::string> shard_key(kShards);
+  for (int i = 0; shard_key[0].empty() || shard_key[1].empty() ||
+                  shard_key[2].empty() || shard_key[3].empty();
+       ++i) {
+    ASSERT_LT(i, 10000);
+    std::string key = "k";
+    key += std::to_string(i);
+    std::string& slot = shard_key[placement.ShardFor(key)];
+    if (slot.empty()) slot = key;
+  }
+  for (const std::string& key : shard_key) {
+    ASSERT_EQ(Route({"--doc", key, "--create", "ordpath"})[0], "ok");
+    ASSERT_EQ(Route({"--doc", key, "-s", ".", "-t", "elem", "-n",
+                     "before_kill"})[0],
+              "ok");
+  }
+
+  shards_[2].Kill();
+
+  // The dead shard's key: a routed-error frame naming the shard.
+  auto dead = Route({"--doc", shard_key[2], "--xml"});
+  ASSERT_EQ(dead[0], "err");
+  EXPECT_EQ(dead[1].rfind("routed: shard 2", 0), 0u) << dead[1];
+  // Every other key is untouched: reads and writes keep flowing.
+  for (int shard = 0; shard < kShards; ++shard) {
+    if (shard == 2) continue;
+    auto read = Route({"--doc", shard_key[shard], "--xml"});
+    ASSERT_EQ(read[0], "ok") << "shard " << shard << " degraded: " << read[1];
+    EXPECT_NE(read[1].find("before_kill"), std::string::npos);
+    ASSERT_EQ(Route({"--doc", shard_key[shard], "-s", ".", "-t", "elem",
+                     "-n", "during_outage"})[0],
+              "ok");
+  }
+  // Health reflects the outage.
+  std::vector<std::string> statuses = coordinator_->ClusterStatusFields();
+  bool saw_unhealthy = false;
+  for (const std::string& field : statuses) {
+    if (field == "shard2.healthy=0") saw_unhealthy = true;
+    EXPECT_NE(field, "shard0.healthy=0");
+  }
+  EXPECT_TRUE(saw_unhealthy);
+
+  // Restart on the same port: recovery re-opens the corpus from disk and
+  // the coordinator's next dial succeeds (the pooled stale fd costs one
+  // retry, not an error).
+  shards_[2].Start();
+  auto recovered = Route({"--doc", shard_key[2], "--xml"});
+  ASSERT_EQ(recovered[0], "ok") << recovered[1];
+  EXPECT_NE(recovered[1].find("before_kill"), std::string::npos)
+      << "the restarted shard must recover its documents";
+  ASSERT_EQ(Route({"--doc", shard_key[2], "-s", ".", "-t", "elem", "-n",
+                   "after_restart"})[0],
+            "ok");
+}
+
+TEST_F(ClusterEndToEnd, ReplicaSubscribesToOneDocumentOverTcp) {
+  HashRouter placement(kShards);
+  const std::string key = "replicated_doc";
+  ASSERT_EQ(Route({"--doc", key, "--create", "ordpath"})[0], "ok");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(Route({"--doc", key, "-s", ".", "-t", "elem", "-n",
+                     "r" + std::to_string(i)})[0],
+              "ok");
+  }
+  ShardProcess& owner = shards_[placement.ShardFor(key)];
+
+  // The owning shard's advertised position for this document is the
+  // replica's catch-up target (doc.<key>=<gen>:<records>:<bytes>:<epoch>).
+  auto ReadTarget = [&]() -> store::CommitPoint {
+    store::CommitPoint target;
+    auto hello = concurrency::EndpointRequest(owner.spec(),
+                                              {kClusterHelloVerb});
+    EXPECT_TRUE(hello.ok()) << hello.status().ToString();
+    const std::string prefix = "doc." + key + "=";
+    for (const std::string& field : *hello) {
+      if (field.rfind(prefix, 0) != 0) continue;
+      unsigned long long generation = 0, records = 0, bytes = 0;
+      EXPECT_EQ(std::sscanf(field.c_str() + prefix.size(),
+                            "%llu:%llu:%llu", &generation, &records, &bytes),
+                3)
+          << field;
+      target.generation = generation;
+      target.records = records;
+      target.bytes = bytes;
+    }
+    EXPECT_NE(target.generation, 0u) << "shard never advertised " << key;
+    return target;
+  };
+  const store::CommitPoint target = ReadTarget();
+
+  store::MemFileSystem replica_fs;
+  replication::ReplicaApplierOptions options;
+  options.store.fs = &replica_fs;
+  options.hello_prefix = {"--doc", key};
+  auto applier = replication::ReplicaApplier::Start(
+      "replica", owner.spec(), options);
+  ASSERT_TRUE(applier.ok()) << applier.status().ToString();
+  ASSERT_TRUE((*applier)->WaitForPosition(target, 10000))
+      << "replica never reached the shard's advertised position";
+
+  auto view = (*applier)->PinView();
+  ASSERT_NE(view, nullptr);
+  auto replica_xml = view->SerializeXml();
+  ASSERT_TRUE(replica_xml.ok());
+  auto primary_xml = Route({"--doc", key, "--xml"});
+  ASSERT_EQ(primary_xml[0], "ok");
+  EXPECT_EQ(*replica_xml, primary_xml[1]);
+
+  // The stream keeps flowing: one more routed update reaches the replica.
+  ASSERT_EQ(Route({"--doc", key, "-s", ".", "-t", "elem", "-n", "tail"})[0],
+            "ok");
+  ASSERT_TRUE((*applier)->WaitForPosition(ReadTarget(), 10000));
+  (*applier)->Stop();
+}
+
+}  // namespace
+}  // namespace xmlup::cluster

@@ -239,5 +239,44 @@ TEST(ServerSoakTest, ShutdownForciblyDrainsIdleConnections) {
   ::rmdir(dir_template);
 }
 
+TEST(ServerSoakTest, ShutdownForciblyDrainsIdleTcpConnections) {
+  // The same drain gate covers the TCP transport: a router's pooled
+  // connection (connected, idle, never sending) must not hold --shutdown
+  // hostage any more than a silent Unix client does.
+  store::MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  auto st = ConcurrentStore::Create("db", ParseOrDie("<root/>"), "ordpath",
+                                    options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  Server server(st->get());
+  server.set_drain_deadline_ms(200);
+  std::thread server_thread([&] {
+    common::Status served = server.ServeTcp("127.0.0.1", 0);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+  uint16_t port = 0;
+  for (int i = 0; i < 5000 && port == 0; ++i) {
+    port = server.bound_port();
+    if (port == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(port, 0) << "TCP listener never bound";
+
+  // The idle "pooled" connection: connected, never sends a frame.
+  auto idle = TcpConnect("127.0.0.1", port);
+  ASSERT_TRUE(idle.ok()) << idle.status().ToString();
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(TcpRequest("127.0.0.1", port, {"--shutdown"}).ok());
+  server_thread.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 5000);
+
+  ::close(*idle);
+  (*st)->Stop();
+}
+
 }  // namespace
 }  // namespace xmlup::concurrency

@@ -1,0 +1,242 @@
+// TCP transport tests: the framed wire protocol must behave identically
+// over a loopback TCP connection as over pipes and Unix sockets — the
+// 16 MiB cap, the zero-length frame, binary escaping, and torn-frame
+// detection — plus the HOST:PORT spec parser's one-line-diagnostic
+// contract and a live Server::ServeTcp end-to-end pass on an ephemeral
+// port.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "concurrency/wire.h"
+#include "store/file.h"
+#include "xml/parser.h"
+
+namespace xmlup::concurrency {
+namespace {
+
+xml::Tree ParseOrDie(std::string_view text) {
+  auto tree = xml::ParseDocument(text);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+// A connected loopback TCP pair: bind an ephemeral listener, dial it,
+// accept. Frames written on either end are read from the other, so the
+// boundary tests exercise real socket semantics (partial reads, kernel
+// buffering) instead of a rewound file.
+class TcpPair {
+ public:
+  TcpPair() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+
+    auto dialed = TcpConnect("127.0.0.1", port_);
+    EXPECT_TRUE(dialed.ok()) << dialed.status().ToString();
+    client_fd_ = dialed.ok() ? *dialed : -1;
+    server_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    EXPECT_GE(server_fd_, 0);
+  }
+
+  ~TcpPair() {
+    CloseClient();
+    if (server_fd_ >= 0) ::close(server_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  int client() const { return client_fd_; }
+  int server() const { return server_fd_; }
+  uint16_t port() const { return port_; }
+
+  void CloseClient() {
+    if (client_fd_ >= 0) ::close(client_fd_);
+    client_fd_ = -1;
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int client_fd_ = -1;
+  int server_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+TEST(TcpWireTest, MaxFrameRoundTripsOverLoopback) {
+  // A frame of exactly kMaxFrameBytes blows any socket buffer, so the
+  // writer must survive partial writes and the reader partial reads.
+  TcpPair pair;
+  std::string field(kMaxFrameBytes, 'x');
+  field[0] = 'a';
+  field[kMaxFrameBytes - 1] = 'z';
+  std::thread writer([&] {
+    EXPECT_TRUE(WriteFrame(pair.client(), {field}).ok());
+  });
+  auto frame = ReadFrame(pair.server());
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  ASSERT_EQ((*frame)->size(), 1u);
+  EXPECT_EQ((**frame)[0], field);
+}
+
+TEST(TcpWireTest, OneOverMaxIsRejectedAndTheStreamStaysFramed) {
+  TcpPair pair;
+  std::string over(kMaxFrameBytes + 1, 'x');
+  EXPECT_FALSE(WriteFrame(pair.client(), {over}).ok());
+  // Nothing hit the wire: the next well-formed frame still parses.
+  ASSERT_TRUE(WriteFrame(pair.client(), {"still", "framed"}).ok());
+  auto frame = ReadFrame(pair.server());
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  EXPECT_EQ(**frame, (std::vector<std::string>{"still", "framed"}));
+}
+
+TEST(TcpWireTest, ZeroLengthFrameRoundTrips) {
+  TcpPair pair;
+  ASSERT_TRUE(WriteFrame(pair.client(), {""}).ok());
+  auto frame = ReadFrame(pair.server());
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  EXPECT_EQ(**frame, std::vector<std::string>{""});
+}
+
+TEST(TcpWireTest, EscapedBinarySurvivesTheSocket) {
+  TcpPair pair;
+  std::string raw;
+  for (int b = 0; b < 256; ++b) raw.push_back(static_cast<char>(b));
+  ASSERT_TRUE(WriteFrame(pair.client(), {"frames", EscapeBinary(raw)}).ok());
+  auto frame = ReadFrame(pair.server());
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  ASSERT_EQ((*frame)->size(), 2u);
+  auto back = UnescapeBinary((**frame)[1]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(TcpWireTest, CleanCloseVersusTornFrame) {
+  {
+    TcpPair pair;  // peer closes between frames: clean EOF
+    pair.CloseClient();
+    auto frame = ReadFrame(pair.server());
+    ASSERT_TRUE(frame.ok());
+    EXPECT_FALSE(frame->has_value());
+  }
+  {
+    TcpPair pair;  // peer dies mid-payload: an error, not a short frame
+    const uint32_t claimed = 8;
+    char prefix[4];
+    std::memcpy(prefix, &claimed, sizeof(prefix));
+    ASSERT_EQ(::write(pair.client(), prefix, sizeof(prefix)), 4);
+    ASSERT_EQ(::write(pair.client(), "abc", 3), 3);
+    pair.CloseClient();
+    EXPECT_FALSE(ReadFrame(pair.server()).ok());
+  }
+}
+
+// --- ParseHostPort -------------------------------------------------------
+
+TEST(ParseHostPortTest, AcceptsWellFormedSpecs) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("127.0.0.1:8080", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  ASSERT_TRUE(ParseHostPort("localhost:65535", &host, &port).ok());
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 65535);
+}
+
+TEST(ParseHostPortTest, RejectsMalformedSpecsWithOneLineDiagnostics) {
+  std::string host;
+  uint16_t port = 0;
+  // Each rejection names the offending spec (the CLI prints it verbatim).
+  for (const char* bad : {
+           "nohostport",      // no colon at all
+           ":8080",           // empty host
+           "host:",           // empty port
+           "host:http",       // non-numeric port
+           "host:0",          // port 0: not dialable
+           "host:65536",      // out of range
+           "host:12x",        // trailing junk
+           "host:-1",         // sign
+       }) {
+    common::Status status = ParseHostPort(bad, &host, &port);
+    EXPECT_FALSE(status.ok()) << bad;
+    EXPECT_NE(status.ToString().find(bad), std::string::npos)
+        << "diagnostic for '" << bad << "' should quote the spec: "
+        << status.ToString();
+  }
+}
+
+// --- Server over TCP -----------------------------------------------------
+
+TEST(TcpServerTest, ServesTheWireGrammarOnAnEphemeralPort) {
+  store::MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  auto st = ConcurrentStore::Create("db", ParseOrDie("<root/>"), "ordpath",
+                                    options);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+
+  Server server(st->get());
+  server.set_drain_deadline_ms(200);
+  std::thread server_thread([&] {
+    common::Status served = server.ServeTcp("127.0.0.1", 0);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+  uint16_t port = 0;
+  for (int i = 0; i < 5000 && port == 0; ++i) {
+    port = server.bound_port();
+    if (port == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(port, 0) << "TCP listener never bound";
+
+  auto ping = TcpRequest("127.0.0.1", port, {"--ping"});
+  ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+  EXPECT_EQ((*ping)[0], "ok");
+
+  // An update and a query, through the same pipeline as Unix clients.
+  auto update = TcpRequest("127.0.0.1", port,
+                           {"-s", ".", "-t", "elem", "-n", "via_tcp"});
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_EQ((*update)[0], "ok");
+  auto xml = TcpRequest("127.0.0.1", port, {"--xml"});
+  ASSERT_TRUE(xml.ok());
+  ASSERT_EQ((*xml)[0], "ok");
+  EXPECT_NE((*xml)[1].find("via_tcp"), std::string::npos);
+
+  // The DialEndpoint grammar reaches the same server.
+  auto dialed = EndpointRequest(
+      "tcp:127.0.0.1:" + std::to_string(port), {"--epoch"});
+  ASSERT_TRUE(dialed.ok()) << dialed.status().ToString();
+  EXPECT_EQ((*dialed)[0], "ok");
+
+  EXPECT_TRUE(TcpRequest("127.0.0.1", port, {"--shutdown"}).ok());
+  server_thread.join();
+  (*st)->Stop();
+}
+
+}  // namespace
+}  // namespace xmlup::concurrency

@@ -13,6 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/coordinator.h"
+#include "cluster/router.h"
+#include "cluster/sharded_service.h"
 #include "concurrency/concurrent_store.h"
 #include "concurrency/server.h"
 #include "concurrency/update.h"
@@ -72,22 +75,40 @@ usage:
       roll the journal into a fresh snapshot
   xmlup damage <dir> --truncate <n> | --flip <byte>[:<bit>]
       deliberately tear or corrupt the live journal (crash simulation)
-  xmlup serve <dir> --socket <path> | --stdio [--queue <n>] [--batch <n>]
+  xmlup serve <dir> --socket <path> | --tcp <host:port> | --stdio
+              [--queue <n>] [--batch <n>]
       serve the store to concurrent clients: snapshot-isolated reads,
       single-writer group commit; requests use the wire protocol
       (length-prefixed action/query frames — see `xmlup req`); a
       socket server is also a replication primary: replicas subscribe
       over the same socket
-  xmlup serve <dir> --socket <path> --replicate-from <primary-socket>
+  xmlup serve <dir> --corpus --socket <path> | --tcp <host:port>
+      serve a corpus of documents (one store per subdirectory) as a
+      cluster shard: every request names its document with
+      --doc <key> <tokens...>; --doc <key> --create <scheme> adds one
+  xmlup serve <dir> (--socket|--tcp ...) --replicate-from <endpoint>
+              [--replicate-doc <key>]
       run a read-scaling replica: tail the primary's journal stream
       into <dir> (snapshot catch-up when too far behind) and serve
-      reads from replicated snapshots; updates are rejected
-  xmlup req --socket <path> {<token>}...
+      reads from replicated snapshots; updates are rejected.
+      <endpoint> is a socket path or tcp:HOST:PORT; --replicate-doc
+      subscribes to one document of a corpus shard
+  xmlup route --shards <ep>[,<ep>...] --socket <path> | --tcp <host:port>
+              [--prefix <key-prefix>=<shard>,...]
+      run a cluster router: forward each --doc <key> frame to the shard
+      owning <key> (hash placement, or longest-prefix rules with hash
+      fallback) over pooled connections; --cluster-status aggregates
+      every shard's health and positions
+  xmlup req --socket <path> | --tcp <host:port> {<token>}...
       send one request frame to a running server and print the reply:
       the ed action grammar above, or -q <xpath>, --xml, --epoch,
       --stats, --ping, --repl-status, --shutdown
-  xmlup repl-status --socket <path>
+  xmlup repl-status --socket <path> | --tcp <host:port>
       replication role, position, and lag of a running server
+  xmlup cluster-status --socket <path> | --tcp <host:port>
+      cluster health: per-shard reachability, document keys, and
+      CommitPoint triples (via a router), or one shard's corpus when
+      pointed at the shard directly
   xmlup schemes
       list registered labelling schemes
 )");
@@ -213,21 +234,43 @@ bool ParseCount(const char* flag, const char* text, size_t* out) {
   return true;
 }
 
+// Validates a --tcp HOST:PORT spec with the command's one-line-diagnostic
+// contract (same spirit as ParseCount above: a typo'd port must not bind
+// some other port, it must fail loudly).
+bool ParseTcpSpec(const char* cmd, const std::string& spec, std::string* host,
+                  uint16_t* port) {
+  common::Status status = concurrency::ParseHostPort(spec, host, port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "xmlup %s: %s\n", cmd, status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
 int CmdServe(int argc, char** argv) {
   if (argc < 1) return Usage();
   std::string dir = argv[0];
   std::string socket_path;
+  std::string tcp_spec;
   std::string replicate_from;
+  std::string replicate_doc;
   bool stdio = false;
+  bool corpus = false;
   concurrency::ConcurrentStoreOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
     } else if (arg == "--stdio") {
       stdio = true;
+    } else if (arg == "--corpus") {
+      corpus = true;
     } else if (arg == "--replicate-from" && i + 1 < argc) {
       replicate_from = argv[++i];
+    } else if (arg == "--replicate-doc" && i + 1 < argc) {
+      replicate_doc = argv[++i];
     } else if (arg == "--queue" && i + 1 < argc) {
       if (!ParseCount("--queue", argv[++i], &options.queue_capacity)) return 2;
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -236,10 +279,45 @@ int CmdServe(int argc, char** argv) {
       return Usage();
     }
   }
-  if (socket_path.empty() == !stdio) {
+  if ((socket_path.empty() ? 0 : 1) + (tcp_spec.empty() ? 0 : 1) +
+          (stdio ? 1 : 0) !=
+      1) {
+    std::fprintf(
+        stderr, "xmlup serve: exactly one of --socket/--tcp/--stdio required\n");
+    return 2;
+  }
+  std::string tcp_host;
+  uint16_t tcp_port = 0;
+  if (!tcp_spec.empty() &&
+      !ParseTcpSpec("serve", tcp_spec, &tcp_host, &tcp_port)) {
+    return 2;
+  }
+  if (!replicate_doc.empty() && replicate_from.empty()) {
     std::fprintf(stderr,
-                 "xmlup serve: exactly one of --socket/--stdio required\n");
-    return Usage();
+                 "xmlup serve: --replicate-doc needs --replicate-from\n");
+    return 2;
+  }
+
+  if (corpus) {
+    // A cluster shard: one store per subdirectory of `dir`, each with its
+    // own pipeline and replication source, multiplexed by --doc <key>.
+    if (stdio || !replicate_from.empty()) {
+      std::fprintf(stderr,
+                   "xmlup serve: --corpus needs --socket or --tcp and no "
+                   "--replicate-from\n");
+      return 2;
+    }
+    cluster::ShardedServiceOptions service_options;
+    service_options.store = options;
+    auto service = cluster::ShardedService::Open(dir, service_options);
+    if (!service.ok()) return Fail(service.status());
+    concurrency::Listener listener(service->get());
+    common::Status served = tcp_spec.empty()
+                                ? listener.ServeUnixSocket(socket_path)
+                                : listener.ServeTcp(tcp_host, tcp_port);
+    (*service)->Stop();
+    if (!served.ok()) return Fail(served);
+    return 0;
   }
 
   if (!replicate_from.empty()) {
@@ -248,16 +326,23 @@ int CmdServe(int argc, char** argv) {
     // the server answers reads from replicated snapshots.
     if (stdio) {
       std::fprintf(stderr,
-                   "xmlup serve: --replicate-from needs --socket, "
+                   "xmlup serve: --replicate-from needs --socket or --tcp, "
                    "not --stdio\n");
-      return Usage();
+      return 2;
     }
-    auto applier = replication::ReplicaApplier::Start(dir, replicate_from);
+    replication::ReplicaApplierOptions applier_options;
+    if (!replicate_doc.empty()) {
+      applier_options.hello_prefix = {"--doc", replicate_doc};
+    }
+    auto applier = replication::ReplicaApplier::Start(dir, replicate_from,
+                                                      applier_options);
     if (!applier.ok()) return Fail(applier.status());
     concurrency::Server server(applier->get());
     server.SetReplStatus(
         [a = applier->get()] { return a->StatusFields(); });
-    common::Status served = server.ServeUnixSocket(socket_path);
+    common::Status served = tcp_spec.empty()
+                                ? server.ServeUnixSocket(socket_path)
+                                : server.ServeTcp(tcp_host, tcp_port);
     (*applier)->Stop();
     if (!served.ok()) return Fail(served);
     return 0;
@@ -275,26 +360,54 @@ int CmdServe(int argc, char** argv) {
   if (stdio) {
     server.ServeConnection(/*in_fd=*/0, /*out_fd=*/1);
   } else {
-    common::Status served = server.ServeUnixSocket(socket_path);
+    common::Status served = tcp_spec.empty()
+                                ? server.ServeUnixSocket(socket_path)
+                                : server.ServeTcp(tcp_host, tcp_port);
     if (!served.ok()) return Fail(served);
   }
   (*st)->Stop();
   return 0;
 }
 
+// Shared by req/repl-status/cluster-status: exactly one of --socket
+// <path> / --tcp HOST:PORT, folded into the DialEndpoint spec grammar.
+// Returns false (after its one-line diagnostic) on a malformed flag set.
+bool ParseEndpointFlags(const char* cmd, const std::string& socket_path,
+                        const std::string& tcp_spec, std::string* endpoint) {
+  if (socket_path.empty() == tcp_spec.empty()) {
+    std::fprintf(stderr, "xmlup %s: exactly one of --socket/--tcp required\n",
+                 cmd);
+    return false;
+  }
+  if (!tcp_spec.empty()) {
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseTcpSpec(cmd, tcp_spec, &host, &port)) return false;
+    *endpoint = "tcp:" + tcp_spec;
+    return true;
+  }
+  *endpoint = socket_path;
+  return true;
+}
+
 int CmdReq(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_spec;
   std::vector<std::string> request;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
     } else {
       request.push_back(std::move(arg));
     }
   }
-  if (socket_path.empty() || request.empty()) return Usage();
-  auto response = concurrency::UnixSocketRequest(socket_path, request);
+  std::string endpoint;
+  if (!ParseEndpointFlags("req", socket_path, tcp_spec, &endpoint)) return 2;
+  if (request.empty()) return Usage();
+  auto response = concurrency::EndpointRequest(endpoint, request);
   if (!response.ok()) return Fail(response.status());
   if (response->empty() || (*response)[0] == "err") {
     std::fprintf(stderr, "xmlup req: %s\n",
@@ -308,24 +421,29 @@ int CmdReq(int argc, char** argv) {
   return 0;
 }
 
-// Sugar for `req --socket <path> --repl-status`: the same wire verb, a
-// memorable name.
-int CmdReplStatus(int argc, char** argv) {
+// Sugar for `req ... <verb>`: the same wire verb, a memorable name.
+// repl-status asks one server for its replication role/lag;
+// cluster-status asks a router (or a shard directly) for per-shard
+// health, document keys, and CommitPoint triples.
+int CmdStatusVerb(const char* cmd, const char* verb, int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_spec;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
     } else {
       return Usage();
     }
   }
-  if (socket_path.empty()) return Usage();
-  auto response =
-      concurrency::UnixSocketRequest(socket_path, {"--repl-status"});
+  std::string endpoint;
+  if (!ParseEndpointFlags(cmd, socket_path, tcp_spec, &endpoint)) return 2;
+  auto response = concurrency::EndpointRequest(endpoint, {verb});
   if (!response.ok()) return Fail(response.status());
   if (response->empty() || (*response)[0] != "ok") {
-    std::fprintf(stderr, "xmlup repl-status: %s\n",
+    std::fprintf(stderr, "xmlup %s: %s\n", cmd,
                  response->size() > 1 ? (*response)[1].c_str()
                                       : "malformed reply");
     return 1;
@@ -333,6 +451,75 @@ int CmdReplStatus(int argc, char** argv) {
   for (size_t i = 1; i < response->size(); ++i) {
     std::printf("%s\n", (*response)[i].c_str());
   }
+  return 0;
+}
+
+// --- route ------------------------------------------------------------------
+
+int CmdRoute(int argc, char** argv) {
+  std::string shards_text;
+  std::string socket_path;
+  std::string tcp_spec;
+  std::string prefix_text;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      shards_text = argv[++i];
+    } else if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
+    } else if (arg == "--prefix" && i + 1 < argc) {
+      prefix_text = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (shards_text.empty()) {
+    std::fprintf(stderr, "xmlup route: --shards is required\n");
+    return 2;
+  }
+  auto shards = cluster::ParseShardList(shards_text);
+  if (!shards.ok()) {
+    std::fprintf(stderr, "xmlup route: %s\n",
+                 shards.status().ToString().c_str());
+    return 2;
+  }
+  if ((socket_path.empty() ? 0 : 1) + (tcp_spec.empty() ? 0 : 1) != 1) {
+    std::fprintf(stderr,
+                 "xmlup route: exactly one of --socket/--tcp required\n");
+    return 2;
+  }
+  std::string tcp_host;
+  uint16_t tcp_port = 0;
+  if (!tcp_spec.empty() &&
+      !ParseTcpSpec("route", tcp_spec, &tcp_host, &tcp_port)) {
+    return 2;
+  }
+  std::unique_ptr<cluster::ShardRouter> router;
+  if (prefix_text.empty()) {
+    router = std::make_unique<cluster::HashRouter>(shards->size());
+  } else {
+    auto rules = cluster::ParsePrefixRules(prefix_text, shards->size());
+    if (!rules.ok()) {
+      std::fprintf(stderr, "xmlup route: %s\n",
+                   rules.status().ToString().c_str());
+      return 2;
+    }
+    router = std::make_unique<cluster::PrefixRouter>(std::move(*rules),
+                                                     shards->size());
+  }
+  cluster::Coordinator coordinator(std::move(*shards), std::move(router));
+  // Startup discovery: one cluster-hello sweep, printed before serving so
+  // an operator sees immediately which shards answered and what they own.
+  for (const std::string& field : coordinator.ClusterStatusFields()) {
+    std::fprintf(stderr, "%s\n", field.c_str());
+  }
+  concurrency::Listener listener(&coordinator);
+  common::Status served = tcp_spec.empty()
+                              ? listener.ServeUnixSocket(socket_path)
+                              : listener.ServeTcp(tcp_host, tcp_port);
+  if (!served.ok()) return Fail(served);
   return 0;
 }
 
@@ -529,8 +716,15 @@ int main(int argc, char** argv) {
   if (cmd == "init") return CmdInit(argc - 2, argv + 2);
   if (cmd == "ed") return CmdEd(argc - 2, argv + 2);
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
+  if (cmd == "route") return CmdRoute(argc - 2, argv + 2);
   if (cmd == "req") return CmdReq(argc - 2, argv + 2);
-  if (cmd == "repl-status") return CmdReplStatus(argc - 2, argv + 2);
+  if (cmd == "repl-status") {
+    return CmdStatusVerb("repl-status", "--repl-status", argc - 2, argv + 2);
+  }
+  if (cmd == "cluster-status") {
+    return CmdStatusVerb("cluster-status", "--cluster-status", argc - 2,
+                         argv + 2);
+  }
   if (cmd == "cat") return CmdCat(argc - 2, argv + 2);
   if (cmd == "labels") return CmdLabels(argc - 2, argv + 2);
   if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
