@@ -1,0 +1,440 @@
+#include "workload/engine/engine.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "concurrency/server.h"
+#include "concurrency/wire.h"
+
+namespace xmlup::workload {
+
+namespace {
+
+using common::Result;
+using common::SplitMix64;
+using common::Status;
+
+/// Workload variables after overrides, with ${choice:VAR} lists
+/// pre-split so the per-op path never re-parses.
+struct VariableTable {
+  std::map<std::string, std::string> values;
+  std::map<std::string, std::vector<std::string>> choice_lists;
+};
+
+Result<VariableTable> BuildVariables(const WorkloadSpec& spec,
+                                     const EngineOptions& options) {
+  VariableTable table;
+  for (const auto& [name, value] : spec.variables) {
+    table.values[name] = value;
+  }
+  for (const auto& [name, value] : options.overrides) {
+    auto it = table.values.find(name);
+    if (it == table.values.end()) {
+      return Status::InvalidArgument(
+          "override names a variable the spec does not define: " + name);
+    }
+    it->second = value;
+  }
+  for (const auto& [name, value] : table.values) {
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream in(value);
+    while (std::getline(in, item, ',')) {
+      // trim
+      size_t b = item.find_first_not_of(" \t");
+      size_t e = item.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      items.push_back(item.substr(b, e - b + 1));
+    }
+    if (!items.empty()) table.choice_lists[name] = std::move(items);
+  }
+  return table;
+}
+
+/// Expands one template. The spec was statically validated, so every
+/// reference resolves; RNG draws happen in textual order (part of the
+/// determinism contract).
+std::string Expand(std::string_view tpl, const VariableTable& vars,
+                   uint64_t thread, uint64_t op, SplitMix64& rng) {
+  std::string out;
+  out.reserve(tpl.size());
+  size_t i = 0;
+  while (i < tpl.size()) {
+    if (tpl[i] != '$' || i + 1 >= tpl.size() || tpl[i + 1] != '{') {
+      out.push_back(tpl[i]);
+      ++i;
+      continue;
+    }
+    size_t close = tpl.find('}', i + 2);
+    std::string_view ref = tpl.substr(i + 2, close - i - 2);
+    if (ref == "thread") {
+      out.append(std::to_string(thread));
+    } else if (ref == "op") {
+      out.append(std::to_string(op));
+    } else if (ref.rfind("rand:", 0) == 0) {
+      uint64_t bound = std::strtoull(std::string(ref.substr(5)).c_str(),
+                                     nullptr, 10);
+      out.append(std::to_string(rng.NextBelow(bound)));
+    } else if (ref.rfind("choice:", 0) == 0) {
+      const auto& list = vars.choice_lists.at(std::string(ref.substr(7)));
+      out.append(list[rng.NextBelow(list.size())]);
+    } else {
+      out.append(vars.values.at(std::string(ref)));
+    }
+    i = close + 1;
+  }
+  return out;
+}
+
+/// Shared per-node cells: registry histogram + counters (resolved once,
+/// before any worker starts — the hot path is lock-free), plus exact
+/// engine-side totals that survive a metrics-off build.
+struct NodeRuntime {
+  obs::Histogram* latency_ns = nullptr;
+  obs::Counter* ops_cell = nullptr;
+  obs::Counter* errors_cell = nullptr;
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+};
+
+/// One worker's persistent connection: a transport failure buys exactly
+/// one fresh dial (the server may have restarted under us); a second
+/// failure aborts the run loudly.
+class WireClient {
+ public:
+  explicit WireClient(std::string target) : target_(std::move(target)) {}
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<std::vector<std::string>> Request(
+      const std::vector<std::string>& frame) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (fd_ < 0) {
+        auto dialed = concurrency::DialEndpoint(target_);
+        if (!dialed.ok()) {
+          if (attempt == 0) continue;
+          return dialed.status();
+        }
+        fd_ = *dialed;
+      }
+      Status wrote = concurrency::WriteFrame(fd_, frame);
+      if (wrote.ok()) {
+        auto reply = concurrency::ReadFrame(fd_);
+        if (reply.ok() && reply->has_value()) return std::move(**reply);
+      }
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return Status::Internal("workload: connection to " + target_ +
+                            " failed twice");
+  }
+
+ private:
+  std::string target_;
+  int fd_ = -1;
+};
+
+struct SharedRun {
+  const WorkloadSpec* spec;
+  const EngineOptions* options;
+  const VariableTable* vars;
+  std::vector<NodeRuntime>* nodes;
+  std::chrono::steady_clock::time_point start;
+  std::chrono::steady_clock::time_point deadline;  // meaningful iff timed
+  bool timed = false;
+  bool single_pass = false;
+};
+
+Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
+                 std::vector<std::string>* trace) {
+  const WorkloadSpec& spec = *run.spec;
+  const EngineOptions& options = *run.options;
+  SplitMix64 rng(rng_seed);
+  WireClient client(options.target);
+  uint64_t ops_done = 0;
+
+  // (for-n node, iterations remaining) — `end` pops back here.
+  std::vector<std::pair<const SpecNode*, uint64_t>> loops;
+
+  int node_index = spec.start;
+  while (true) {
+    // Follow a chain of `end` edges through finished loop frames.
+    while (node_index == kNextEnd) {
+      auto& [forn, remaining] = loops.back();
+      if (--remaining > 0) {
+        node_index = forn->body;
+      } else {
+        node_index = forn->next;
+        loops.pop_back();
+      }
+    }
+    const SpecNode& node = spec.nodes[node_index];
+    switch (node.type) {
+      case SpecNodeType::kFinish:
+        if (run.single_pass) return Status::Ok();
+        loops.clear();
+        node_index = spec.start;
+        continue;
+      case SpecNodeType::kForN:
+        loops.emplace_back(&node, node.count);
+        node_index = node.body;
+        continue;
+      case SpecNodeType::kRandomChoice: {
+        double total = 0;
+        for (const auto& [weight, target] : node.choices) total += weight;
+        // 53 uniform bits, the SplitMix64 double idiom.
+        double u = static_cast<double>(rng.Next() >> 11) *
+                   (1.0 / 9007199254740992.0) * total;
+        node_index = node.choices.back().second;
+        for (const auto& [weight, target] : node.choices) {
+          if (u < weight) {
+            node_index = target;
+            break;
+          }
+          u -= weight;
+        }
+        continue;
+      }
+      case SpecNodeType::kThinkTime: {
+        NodeRuntime& cells = (*run.nodes)[node_index];
+        uint64_t ms = node.think_min_ms;
+        if (node.think_max_ms > node.think_min_ms) {
+          ms = rng.NextInRange(node.think_min_ms, node.think_max_ms);
+        }
+        const uint64_t t0 = obs::MonotonicNanos();
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        cells.latency_ns->Record(obs::MonotonicNanos() - t0);
+        cells.ops_cell->Add();
+        cells.ops.fetch_add(1, std::memory_order_relaxed);
+        node_index = node.next;
+        continue;
+      }
+      case SpecNodeType::kEdit:
+      case SpecNodeType::kQuery:
+        break;  // a client op, handled below
+    }
+
+    // Stop checks happen only at client-op boundaries, so an ops quota
+    // cuts every worker at exactly the same op count on every run.
+    if (options.ops_per_thread > 0 && ops_done >= options.ops_per_thread) {
+      return Status::Ok();
+    }
+    if (run.timed && std::chrono::steady_clock::now() >= run.deadline) {
+      return Status::Ok();
+    }
+    if (options.rate_hz > 0) {
+      // Open loop: op k is scheduled at start + k/rate, independent of
+      // how long earlier ops took (coordinated-omission-free pacing).
+      auto due = run.start + std::chrono::nanoseconds(static_cast<uint64_t>(
+                                 static_cast<double>(ops_done) * 1e9 /
+                                 options.rate_hz));
+      std::this_thread::sleep_until(due);
+    }
+
+    NodeRuntime& cells = (*run.nodes)[node_index];
+    std::string doc_key;
+    std::vector<std::string> frame;
+    if (!node.doc_template.empty()) {
+      doc_key = Expand(node.doc_template, *run.vars, thread_index, ops_done,
+                       rng);
+      frame = {"--doc", doc_key};
+    }
+    if (node.type == SpecNodeType::kEdit) {
+      for (const std::string& token : node.script) {
+        frame.push_back(
+            Expand(token, *run.vars, thread_index, ops_done, rng));
+      }
+    } else {
+      frame.push_back("-q");
+      frame.push_back(Expand(node.xpath, *run.vars, thread_index, ops_done,
+                             rng));
+    }
+    if (trace != nullptr) {
+      std::string line = node.name;
+      if (!doc_key.empty()) {
+        line += " doc=";
+        line += doc_key;
+      }
+      for (size_t i = doc_key.empty() ? 0 : 2; i < frame.size(); ++i) {
+        line += ' ';
+        line += frame[i];
+      }
+      trace->push_back(std::move(line));
+    }
+
+    const uint64_t t0 = obs::MonotonicNanos();
+    auto reply = client.Request(frame);
+    if (!reply.ok()) return reply.status();
+    cells.latency_ns->Record(obs::MonotonicNanos() - t0);
+    cells.ops_cell->Add();
+    cells.ops.fetch_add(1, std::memory_order_relaxed);
+    if (reply->empty() || (*reply)[0] != "ok") {
+      cells.errors_cell->Add();
+      cells.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++ops_done;
+    node_index = node.next;
+  }
+}
+
+}  // namespace
+
+common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
+                                           const EngineOptions& options) {
+  if (options.threads == 0) {
+    return Status::InvalidArgument("workload: --threads must be positive");
+  }
+  if (options.ops_per_thread > 0 && options.duration_ms > 0) {
+    return Status::InvalidArgument(
+        "workload: --ops and --duration are mutually exclusive");
+  }
+  auto vars = BuildVariables(spec, options);
+  if (!vars.ok()) return vars.status();
+  // Overridden ${choice:...} lists must stay non-empty (the parser only
+  // saw the spec's own values).
+  for (const SpecNode& node : spec.nodes) {
+    auto recheck = [&](const std::string& tpl) -> Status {
+      size_t at = 0;
+      while ((at = tpl.find("${choice:", at)) != std::string::npos) {
+        size_t close = tpl.find('}', at);
+        std::string var = tpl.substr(at + 9, close - at - 9);
+        if (vars->choice_lists.count(var) == 0) {
+          return Status::InvalidArgument(
+              "workload: override empties ${choice:" + var + "}");
+        }
+        at = close;
+      }
+      return Status::Ok();
+    };
+    XMLUP_RETURN_NOT_OK(recheck(node.doc_template));
+    for (const std::string& token : node.script) {
+      XMLUP_RETURN_NOT_OK(recheck(token));
+    }
+    XMLUP_RETURN_NOT_OK(recheck(node.xpath));
+  }
+
+  obs::Registry& reg = obs::GlobalMetrics();
+  std::vector<NodeRuntime> nodes(spec.nodes.size());
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    const SpecNode& node = spec.nodes[i];
+    if (node.type != SpecNodeType::kEdit &&
+        node.type != SpecNodeType::kQuery &&
+        node.type != SpecNodeType::kThinkTime) {
+      continue;
+    }
+    const std::string base = "workload.node." + node.name;
+    nodes[i].latency_ns = reg.GetHistogram(base + ".ns", obs::Unit::kNanos);
+    nodes[i].ops_cell = reg.GetCounter(base + ".ops");
+    nodes[i].errors_cell = reg.GetCounter(base + ".errors");
+  }
+
+  SharedRun run;
+  run.spec = &spec;
+  run.options = &options;
+  run.vars = &*vars;
+  run.nodes = &nodes;
+  run.start = std::chrono::steady_clock::now();
+  run.timed = options.duration_ms > 0;
+  run.deadline = run.start + std::chrono::milliseconds(options.duration_ms);
+  run.single_pass = options.ops_per_thread == 0 && options.duration_ms == 0;
+
+  // Thread t's RNG stream depends only on (seed, t): reseeding through
+  // one SplitMix64 stream decorrelates neighbouring seeds.
+  std::vector<uint64_t> worker_seeds(options.threads);
+  SplitMix64 seeder(options.seed);
+  for (auto& s : worker_seeds) s = seeder.Next();
+
+  std::vector<std::vector<std::string>> traces(
+      options.collect_trace ? options.threads : 0);
+  std::vector<Status> outcomes(options.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+  for (size_t t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      outcomes[t] = RunWorker(run, t, worker_seeds[t],
+                              options.collect_trace ? &traces[t] : nullptr);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed_ms =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - run.start)
+              .count()) /
+      1000.0;
+  for (const Status& outcome : outcomes) {
+    if (!outcome.ok()) return outcome;
+  }
+
+  WorkloadReport report;
+  report.elapsed_ms = elapsed_ms;
+  report.trace = std::move(traces);
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    const SpecNode& node = spec.nodes[i];
+    if (nodes[i].latency_ns == nullptr) continue;
+    NodeReport nr;
+    nr.name = node.name;
+    nr.type = std::string(SpecNodeTypeName(node.type));
+    nr.ops = nodes[i].ops.load();
+    nr.errors = nodes[i].errors.load();
+    nr.latency = obs::Snapshot(*nodes[i].latency_ns);
+    if (node.type != SpecNodeType::kThinkTime) {
+      report.ops_total += nr.ops;
+      report.errors_total += nr.errors;
+    }
+    report.nodes.push_back(std::move(nr));
+  }
+  report.ops_per_s = elapsed_ms > 0
+                         ? static_cast<double>(report.ops_total) /
+                               (elapsed_ms / 1000.0)
+                         : 0;
+  return report;
+}
+
+std::string RenderWorkloadJson(const WorkloadSpec& spec,
+                               const EngineOptions& options,
+                               const WorkloadReport& report) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"workload\": \"" << spec.name << "\",\n";
+  out << "  \"target\": \"" << options.target << "\",\n";
+  out << "  \"threads\": " << options.threads << ",\n";
+  out << "  \"seed\": " << options.seed << ",\n";
+  const char* mode = options.ops_per_thread > 0
+                         ? "ops"
+                         : (options.duration_ms > 0 ? "duration"
+                                                    : "single-pass");
+  out << "  \"mode\": \"" << mode << "\",\n";
+  out << "  \"ops_per_thread\": " << options.ops_per_thread << ",\n";
+  out << "  \"duration_ms\": " << options.duration_ms << ",\n";
+  out << "  \"rate_hz\": " << options.rate_hz << ",\n";
+  out << "  \"metrics_enabled\": "
+      << (obs::kMetricsEnabled ? "true" : "false") << ",\n";
+  out << "  \"elapsed_ms\": " << report.elapsed_ms << ",\n";
+  out << "  \"ops_total\": " << report.ops_total << ",\n";
+  out << "  \"errors_total\": " << report.errors_total << ",\n";
+  out << "  \"ops_per_s\": " << report.ops_per_s << ",\n";
+  out << "  \"nodes\": [\n";
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeReport& node = report.nodes[i];
+    out << "    {\"name\": \"" << node.name << "\", \"type\": \""
+        << node.type << "\", \"ops\": " << node.ops
+        << ", \"errors\": " << node.errors
+        << ", \"p50_ns\": " << node.latency.p50
+        << ", \"p95_ns\": " << node.latency.p95
+        << ", \"p99_ns\": " << node.latency.p99 << "}"
+        << (i + 1 < report.nodes.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace xmlup::workload

@@ -1,0 +1,93 @@
+#ifndef XMLUP_WORKLOAD_ENGINE_ENGINE_H_
+#define XMLUP_WORKLOAD_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "observability/metrics.h"
+#include "workload/engine/spec.h"
+
+namespace xmlup::workload {
+
+/// How a run decides it is done. Exactly one of `ops_per_thread` and
+/// `duration_ms` may be nonzero; with both zero every worker runs the
+/// graph start→finish once ("single pass").
+///
+/// Determinism contract: with `ops_per_thread` set, the client-side op
+/// sequence of every worker — node order, document keys, expanded
+/// tokens — is a pure function of (spec, seed, thread count). Each
+/// worker owns a SplitMix64 seeded from `seed` and its thread index and
+/// stops after exactly `ops_per_thread` client ops, so two runs against
+/// fresh stores produce bit-identical traces and server-side counters.
+/// Duration-based runs are for throughput measurement and are not
+/// reproducible op-for-op.
+struct EngineOptions {
+  /// DialEndpoint spec: a Unix socket path or "tcp:HOST:PORT" — a
+  /// single-document server, a corpus shard, or a router.
+  std::string target;
+  size_t threads = 1;
+  uint64_t seed = 1;
+  /// Client ops (edit + query frames) per worker; 0 = unlimited.
+  uint64_t ops_per_thread = 0;
+  /// Wall-clock stop; 0 = no time limit.
+  uint64_t duration_ms = 0;
+  /// Open-loop pacing: client ops per second per worker. 0 = closed
+  /// loop (each worker keeps exactly one frame in flight, as fast as
+  /// the server acknowledges).
+  double rate_hz = 0.0;
+  /// Collect the per-thread client-side op trace (one line per client
+  /// op) into the report. The trace is server-independent, so it is the
+  /// bit-reproducibility witness.
+  bool collect_trace = false;
+  /// Variable overrides applied over the spec's `var` lines. Every
+  /// override must name a variable the spec defines (the static
+  /// template validation stays sound).
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/// Per-node outcome. Latency percentiles come from the node's
+/// obs::Registry bit-width histogram ("workload.node.<name>.ns"), so
+/// they are zero in a -DXMLUP_METRICS=OFF build; op and error counts
+/// are engine-side and exact in every build.
+struct NodeReport {
+  std::string name;
+  std::string type;
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  obs::HistogramSnapshot latency;  ///< nanoseconds
+};
+
+struct WorkloadReport {
+  uint64_t ops_total = 0;     ///< client ops (edit + query frames)
+  uint64_t errors_total = 0;  ///< "err" replies across client nodes
+  double elapsed_ms = 0;
+  double ops_per_s = 0;
+  /// edit/query/think-time nodes in spec order (control nodes —
+  /// random-choice, for-n, finish — have no operation to measure).
+  std::vector<NodeReport> nodes;
+  /// Per-thread client op traces (EngineOptions::collect_trace).
+  std::vector<std::vector<std::string>> trace;
+};
+
+/// Runs `spec` against `options.target` with `options.threads` workers,
+/// each holding one persistent wire-protocol connection (redialed once
+/// on transport failure). Server-side "err" replies are counted per
+/// node and the run continues; transport failure after a redial fails
+/// the whole run. Per-node latency is recorded into the global
+/// obs::Registry ("workload.node.<name>.ns" plus ".ops"/".errors"
+/// counters), alongside the engine-side exact counts in the report.
+common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
+                                           const EngineOptions& options);
+
+/// Renders the report as the BENCH_workload.json document: run
+/// configuration, totals, throughput, and per-node p50/p95/p99.
+std::string RenderWorkloadJson(const WorkloadSpec& spec,
+                               const EngineOptions& options,
+                               const WorkloadReport& report);
+
+}  // namespace xmlup::workload
+
+#endif  // XMLUP_WORKLOAD_ENGINE_ENGINE_H_

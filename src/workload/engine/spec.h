@@ -1,0 +1,126 @@
+#ifndef XMLUP_WORKLOAD_ENGINE_SPEC_H_
+#define XMLUP_WORKLOAD_ENGINE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlup::workload {
+
+/// A declarative workload: a graph of operation nodes driven against a
+/// running server over the wire protocol (Genny-style — see DESIGN.md
+/// §11). The spec is a small line-oriented text format with no external
+/// dependencies:
+///
+///   # comment
+///   workload <name>                    optional title
+///   var <name> <value...>              workload variable (rest of line)
+///   start <node>                       entry node (default: first node)
+///   node <name> <type>                 starts a node block; fields follow
+///     <field> <value...>
+///
+/// Node types and their fields:
+///
+///   edit           doc <template>?  script <action tokens...>  next <node>
+///                  one wire frame in the CLI action grammar
+///                  (-i/-a/-s/-d/-u), all-or-nothing server side
+///   query          doc <template>?  xpath <expr>  next <node>
+///                  one -q frame evaluated on the latest snapshot view
+///   random-choice  choice <weight> <node>  (repeated)
+///                  picks the next node with probability weight/sum
+///   for-n          count <n>  do <node>  next <node>
+///                  runs the chain starting at `do` n times (a body chain
+///                  ends with `next end`), then proceeds to `next`
+///   think-time     ms <n> | ms <lo> <hi>  next <node>
+///                  sleeps a fixed or uniformly drawn duration
+///   finish         ends one pass through the graph
+///
+/// Two node names are built in: `finish` (an implicit finish node, so
+/// every spec can say `next finish`) and `end` (valid only as a `next`
+/// target inside a for-n body: return to the loop). Templates in doc
+/// keys, script tokens and xpaths expand per operation:
+///
+///   ${thread}      worker thread index
+///   ${op}          per-thread count of client ops issued so far
+///   ${rand:N}      uniform integer in [0, N) from the thread's RNG
+///   ${choice:VAR}  uniform element of the comma-separated variable VAR
+///   ${VAR}         the workload variable VAR
+///
+/// Every structural error — unknown node type, weights that do not
+/// normalize, a dangling next-node reference, an unreachable finish, an
+/// `end` outside any for-n body, a malformed edit script — is rejected
+/// at parse time with a one-line diagnostic quoting the offending spec
+/// line, so `xmlup workload check` can gate a spec before any traffic.
+enum class SpecNodeType : uint8_t {
+  kEdit,
+  kQuery,
+  kRandomChoice,
+  kForN,
+  kThinkTime,
+  kFinish,
+};
+
+std::string_view SpecNodeTypeName(SpecNodeType type);
+
+/// `next` sentinel meaning "return to the innermost enclosing for-n".
+inline constexpr int kNextEnd = -2;
+
+struct SpecNode {
+  std::string name;
+  SpecNodeType type = SpecNodeType::kFinish;
+
+  /// edit/query: document key template; empty targets a single-document
+  /// server (no --doc prefix on the frame).
+  std::string doc_template;
+  /// edit: templated tokens in the CLI action grammar.
+  std::vector<std::string> script;
+  /// query: templated XPath expression.
+  std::string xpath;
+  /// think-time: uniform sleep range in milliseconds (min == max for a
+  /// fixed sleep).
+  uint64_t think_min_ms = 0;
+  uint64_t think_max_ms = 0;
+  /// for-n: iteration count.
+  uint64_t count = 0;
+
+  /// Resolved successor indices into WorkloadSpec::nodes. `next` is
+  /// kNextEnd for an `end` reference; -1 where the type has no such edge.
+  int next = -1;
+  int body = -1;
+  /// random-choice: (weight, node index), weights > 0 summing > 0.
+  std::vector<std::pair<double, int>> choices;
+
+  /// The `node` declaration line (1-based) and its text, for diagnostics.
+  size_t line = 0;
+  std::string line_text;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  /// Ordered (name, value) pairs; later definitions override earlier.
+  std::vector<std::pair<std::string, std::string>> variables;
+  int start = -1;
+  std::vector<SpecNode> nodes;
+
+  const std::string* FindVariable(std::string_view var) const;
+};
+
+/// Parses and validates a workload spec. The returned spec is fully
+/// resolved (indices, not names) and safe to hand to the engine; any
+/// defect fails with a one-line diagnostic quoting the spec.
+common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text);
+
+/// Expands `${...}` template references (see the grammar above) that can
+/// be checked statically: variable references must name a defined
+/// variable, `${choice:VAR}` additionally a non-empty one. Used by the
+/// parser; exposed for tests.
+common::Status ValidateTemplate(const WorkloadSpec& spec,
+                                std::string_view tpl);
+
+}  // namespace xmlup::workload
+
+#endif  // XMLUP_WORKLOAD_ENGINE_SPEC_H_

@@ -1,0 +1,267 @@
+// Workload engine soak: drives the spec interpreter against a live
+// ServeUnixSocket endpoint and pins the two contracts the engine
+// promises. (1) Determinism: with an ops quota, the client-side op
+// sequence — and therefore every deterministic server-side counter —
+// is a pure function of (spec, seed, thread count); two runs against
+// fresh stores must be bit-identical. (2) Reconciliation: engine-side
+// per-node op/error counts must match the server's --stats exactly.
+// Runs under TSan in CI (suite name carries "WorkloadSoak").
+
+#include "workload/engine/engine.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/concurrent_store.h"
+#include "concurrency/server.h"
+#include "observability/metrics.h"
+#include "store/file.h"
+#include "workload/engine/spec.h"
+#include "xml/parser.h"
+
+namespace xmlup::workload {
+namespace {
+
+// Edits insert uniquely tagged elements (so re-running against a fresh
+// store rebuilds the same document), queries mix hits and misses, and
+// `probe` deletes a never-matching target so server-side rejections are
+// exercised on every run.
+constexpr char kSoakSpec[] = R"(workload soak
+var tag = alpha,beta
+
+node loop for-n
+  count 1000000
+  do pick
+  next finish
+
+node pick random-choice
+  choice 60 ins
+  choice 25 read
+  choice 15 probe
+
+node ins edit
+  script -s . -t elem -n i${thread}x${op}${choice:tag}r${rand:97}
+  next end
+
+node read query
+  xpath //i${thread}x${rand:8}${choice:tag}r${rand:97}
+  next end
+
+node probe edit
+  script -d gone${rand:13}
+  next end
+)";
+
+xml::Tree ParseOrDie(std::string_view text) {
+  auto tree = xml::ParseDocument(text);
+  EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+  return std::move(*tree);
+}
+
+std::map<std::string, uint64_t> ParseStats(
+    const std::vector<std::string>& reply) {
+  std::map<std::string, uint64_t> out;
+  for (size_t i = 1; i < reply.size(); ++i) {
+    size_t eq = reply[i].find('=');
+    if (eq == std::string::npos) continue;
+    out[reply[i].substr(0, eq)] = std::stoull(reply[i].substr(eq + 1));
+  }
+  return out;
+}
+
+struct RunOutcome {
+  WorkloadReport report;
+  // The deterministic slice of --stats: request-mix counters, not
+  // timing-dependent ones (batches, frame pacing).
+  std::map<std::string, uint64_t> counters;
+};
+
+/// One full run against a fresh store + server on a fresh socket, with
+/// the global registry reset first so registry-backed counters start
+/// from zero each time.
+RunOutcome RunOnce(const WorkloadSpec& spec, uint64_t seed, size_t threads,
+                   uint64_t ops_per_thread) {
+  using concurrency::ConcurrentStore;
+  using concurrency::ConcurrentStoreOptions;
+  using concurrency::Server;
+  using concurrency::UnixSocketRequest;
+
+  RunOutcome outcome;
+  obs::GlobalMetrics().Reset();
+
+  store::MemFileSystem fs;
+  ConcurrentStoreOptions options;
+  options.store.fs = &fs;
+  auto st = ConcurrentStore::Create("db", ParseOrDie("<root/>"), "ordpath",
+                                    options);
+  EXPECT_TRUE(st.ok()) << st.status().ToString();
+  if (!st.ok()) return outcome;
+
+  char dir_template[] = "/tmp/xmlup_wl_XXXXXX";
+  EXPECT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string socket_path = std::string(dir_template) + "/s";
+
+  Server server(st->get());
+  std::thread server_thread([&] {
+    common::Status served = server.ServeUnixSocket(socket_path);
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  });
+  bool up = false;
+  for (int i = 0; i < 5000 && !up; ++i) {
+    up = UnixSocketRequest(socket_path, {"--ping"}).ok();
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(up) << "server socket never came up";
+
+  EngineOptions engine;
+  engine.target = socket_path;
+  engine.threads = threads;
+  engine.seed = seed;
+  engine.ops_per_thread = ops_per_thread;
+  engine.collect_trace = true;
+  auto report = RunWorkload(spec, engine);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  if (report.ok()) outcome.report = std::move(*report);
+
+  auto stats_reply = UnixSocketRequest(socket_path, {"--stats"});
+  EXPECT_TRUE(stats_reply.ok()) << stats_reply.status().ToString();
+  if (stats_reply.ok()) {
+    auto fields = ParseStats(*stats_reply);
+    for (const char* key :
+         {"updates_applied", "updates_failed", "server.verb.update",
+          "server.verb.query", "server.errors", "cstore.submitted",
+          "cstore.acked", "cstore.failed"}) {
+      auto it = fields.find(key);
+      if (it != fields.end()) outcome.counters[key] = it->second;
+    }
+  }
+
+  EXPECT_TRUE(UnixSocketRequest(socket_path, {"--shutdown"}).ok());
+  server_thread.join();
+  (*st)->Stop();
+  ::rmdir(dir_template);
+  return outcome;
+}
+
+WorkloadSpec ParseSpecOrDie(std::string_view text) {
+  auto spec = ParseWorkloadSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(*spec);
+}
+
+TEST(WorkloadSoakTest, SameSeedIsBitReproducible) {
+  const WorkloadSpec spec = ParseSpecOrDie(kSoakSpec);
+  RunOutcome first = RunOnce(spec, /*seed=*/42, /*threads=*/3,
+                             /*ops_per_thread=*/20);
+  RunOutcome second = RunOnce(spec, 42, 3, 20);
+
+  // The client-side trace is the bit-reproducibility witness: node
+  // order, expanded tokens, everything.
+  ASSERT_EQ(first.report.trace.size(), 3u);
+  EXPECT_EQ(first.report.trace, second.report.trace);
+  for (const auto& thread_trace : first.report.trace) {
+    EXPECT_EQ(thread_trace.size(), 20u);
+  }
+
+  // Same op mix → same per-node counts and same deterministic
+  // server-side counters, even though the interleaving differs.
+  ASSERT_EQ(first.report.nodes.size(), second.report.nodes.size());
+  for (size_t i = 0; i < first.report.nodes.size(); ++i) {
+    EXPECT_EQ(first.report.nodes[i].name, second.report.nodes[i].name);
+    EXPECT_EQ(first.report.nodes[i].ops, second.report.nodes[i].ops);
+    EXPECT_EQ(first.report.nodes[i].errors, second.report.nodes[i].errors);
+  }
+  EXPECT_EQ(first.report.ops_total, 60u);
+  EXPECT_EQ(first.report.ops_total, second.report.ops_total);
+  EXPECT_EQ(first.report.errors_total, second.report.errors_total);
+  EXPECT_FALSE(first.counters.empty());
+  EXPECT_EQ(first.counters, second.counters);
+
+  // And a different seed is a genuinely different run.
+  RunOutcome other = RunOnce(spec, 43, 3, 20);
+  EXPECT_NE(first.report.trace, other.report.trace);
+}
+
+TEST(WorkloadSoakTest, ReconcilesExactlyWithServerStats) {
+  const WorkloadSpec spec = ParseSpecOrDie(kSoakSpec);
+  const uint64_t threads = 4;
+  const uint64_t ops_per_thread = 25;
+  RunOutcome outcome = RunOnce(spec, 7, threads, ops_per_thread);
+
+  // Every client op is accounted to exactly one node; the quota cuts
+  // each worker at exactly ops_per_thread client ops.
+  uint64_t edit_ops = 0, edit_errors = 0, query_ops = 0, query_errors = 0;
+  for (const NodeReport& node : outcome.report.nodes) {
+    if (node.type == "edit") {
+      edit_ops += node.ops;
+      edit_errors += node.errors;
+    } else if (node.type == "query") {
+      query_ops += node.ops;
+      query_errors += node.errors;
+    }
+    if (obs::kMetricsEnabled) {
+      // The registry histogram saw every op the engine counted.
+      EXPECT_EQ(node.latency.count, node.ops) << node.name;
+    }
+  }
+  EXPECT_EQ(edit_ops + query_ops, threads * ops_per_thread);
+  EXPECT_EQ(outcome.report.ops_total, threads * ops_per_thread);
+  EXPECT_EQ(outcome.report.errors_total, edit_errors + query_errors);
+  EXPECT_EQ(query_errors, 0u);  // queries can miss, but never error
+
+  // `probe` rejections are the only failures, and every edit frame is
+  // exactly one submitted update on the server.
+  EXPECT_GT(edit_errors, 0u);  // the probe node fired at least once
+  EXPECT_EQ(outcome.counters["updates_applied"], edit_ops - edit_errors);
+  EXPECT_EQ(outcome.counters["updates_failed"], edit_errors);
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(outcome.counters["server.verb.update"], edit_ops);
+    EXPECT_EQ(outcome.counters["server.verb.query"], query_ops);
+    EXPECT_EQ(outcome.counters["server.errors"], edit_errors);
+    EXPECT_EQ(outcome.counters["cstore.submitted"], edit_ops);
+    EXPECT_EQ(outcome.counters["cstore.acked"], edit_ops - edit_errors);
+    EXPECT_EQ(outcome.counters["cstore.failed"], edit_errors);
+  }
+
+  // The JSON report carries the same exact totals.
+  EngineOptions engine;
+  engine.target = "unused";
+  engine.threads = threads;
+  engine.seed = 7;
+  engine.ops_per_thread = ops_per_thread;
+  const std::string json = RenderWorkloadJson(spec, engine, outcome.report);
+  EXPECT_NE(json.find("\"workload\": \"soak\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"ops_total\": " +
+                      std::to_string(outcome.report.ops_total)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"probe\""), std::string::npos);
+}
+
+TEST(WorkloadSoakTest, OverridesMustNameSpecVariables) {
+  const WorkloadSpec spec = ParseSpecOrDie(kSoakSpec);
+  EngineOptions engine;
+  engine.target = "/nonexistent";
+  engine.overrides = {{"nope", "x"}};
+  auto report = RunWorkload(spec, engine);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("does not define"),
+            std::string::npos);
+
+  // Emptying a ${choice:...} list is caught before any worker starts.
+  engine.overrides = {{"tag", ""}};
+  report = RunWorkload(spec, engine);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().ToString().find("empties ${choice:tag}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlup::workload

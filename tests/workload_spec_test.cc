@@ -1,0 +1,249 @@
+// Parser and validation tests for the declarative workload spec
+// (src/workload/engine/spec.h). The error-path cases pin the CLI
+// contract: every structural defect is rejected up front with a
+// one-line diagnostic that quotes the offending spec line.
+
+#include "workload/engine/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xmlup::workload {
+namespace {
+
+constexpr char kMixedSpec[] = R"(# exercise every node type
+workload mixed
+var keys = a,b,c
+var depth = 3
+
+start warm
+
+node warm edit
+  doc ${choice:keys}
+  script -s . -t elem -n w${thread}
+  next loop
+
+node loop for-n
+  count 10
+  do pick
+  next done
+
+node pick random-choice
+  choice 3 write
+  choice 2 read
+  choice 1 pause
+
+node write edit
+  doc ${choice:keys}
+  script -s . -t elem -n n${thread}x${op} -u //n${thread}x${op} -v "two words"
+  next end
+
+node read query
+  doc ${choice:keys}
+  xpath //n${rand:8}x${rand:4}
+  next end
+
+node pause think-time
+  ms 1 5
+  next end
+
+node done finish
+)";
+
+TEST(WorkloadSpec, ParsesEveryNodeType) {
+  auto spec = ParseWorkloadSpec(kMixedSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "mixed");
+  // 7 declared + the implicit finish.
+  ASSERT_EQ(spec->nodes.size(), 8u);
+  EXPECT_EQ(spec->nodes[spec->start].name, "warm");
+  ASSERT_EQ(spec->variables.size(), 2u);
+  EXPECT_EQ(*spec->FindVariable("keys"), "a,b,c");
+
+  const SpecNode* loop = nullptr;
+  const SpecNode* pick = nullptr;
+  const SpecNode* write = nullptr;
+  const SpecNode* pause = nullptr;
+  for (const SpecNode& node : spec->nodes) {
+    if (node.name == "loop") loop = &node;
+    if (node.name == "pick") pick = &node;
+    if (node.name == "write") write = &node;
+    if (node.name == "pause") pause = &node;
+  }
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->type, SpecNodeType::kForN);
+  EXPECT_EQ(loop->count, 10u);
+  EXPECT_EQ(spec->nodes[loop->body].name, "pick");
+  EXPECT_EQ(spec->nodes[loop->next].name, "done");
+
+  ASSERT_NE(pick, nullptr);
+  ASSERT_EQ(pick->choices.size(), 3u);
+  EXPECT_DOUBLE_EQ(pick->choices[0].first, 3.0);
+  EXPECT_EQ(spec->nodes[pick->choices[0].second].name, "write");
+
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->next, kNextEnd);
+  EXPECT_EQ(write->doc_template, "${choice:keys}");
+  // The quoted token survives as one field.
+  ASSERT_FALSE(write->script.empty());
+  EXPECT_EQ(write->script.back(), "two words");
+
+  ASSERT_NE(pause, nullptr);
+  EXPECT_EQ(pause->think_min_ms, 1u);
+  EXPECT_EQ(pause->think_max_ms, 5u);
+}
+
+TEST(WorkloadSpec, StartDefaultsToFirstNode) {
+  auto spec = ParseWorkloadSpec(
+      "node only edit\n  script -s . -t elem -n x\n  next finish\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->nodes[spec->start].name, "only");
+}
+
+TEST(WorkloadSpec, ImplicitFinishIsAlwaysATarget) {
+  auto spec = ParseWorkloadSpec(
+      "node a query\n  xpath //x\n  next finish\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->nodes[spec->nodes[spec->start].next].type,
+            SpecNodeType::kFinish);
+}
+
+// --- error paths: each defect rejected with a one-line spec-quoting
+// diagnostic, the contract `xmlup workload check` surfaces as exit 2.
+
+void ExpectRejected(const std::string& text, const std::string& must_quote,
+                    const std::string& must_mention) {
+  auto spec = ParseWorkloadSpec(text);
+  ASSERT_FALSE(spec.ok()) << "accepted: " << text;
+  const std::string message = spec.status().ToString();
+  EXPECT_EQ(message.find('\n'), std::string::npos)
+      << "not one line: " << message;
+  EXPECT_NE(message.find(must_quote), std::string::npos)
+      << "does not quote the spec: " << message;
+  EXPECT_NE(message.find(must_mention), std::string::npos) << message;
+}
+
+TEST(WorkloadSpecErrors, UnknownNodeType) {
+  ExpectRejected("node a blob\n  next finish\n", "node a blob",
+                 "unknown node type 'blob'");
+}
+
+TEST(WorkloadSpecErrors, WeightsNotNormalizable) {
+  ExpectRejected(
+      "node a random-choice\n  choice 0 a\n  choice 0 a\n",
+      "node a random-choice", "not normalizable");
+}
+
+TEST(WorkloadSpecErrors, NegativeWeightRejected) {
+  ExpectRejected("node a random-choice\n  choice -1 a\n", "choice -1 a",
+                 "choice needs");
+}
+
+TEST(WorkloadSpecErrors, DanglingNextReference) {
+  ExpectRejected(
+      "node a edit\n  script -s . -t elem -n x\n  next nowhere\n",
+      "next nowhere", "dangling reference: node 'nowhere'");
+}
+
+TEST(WorkloadSpecErrors, DanglingChoiceReference) {
+  ExpectRejected("node a random-choice\n  choice 1 ghost\n",
+                 "choice 1 ghost", "dangling reference: node 'ghost'");
+}
+
+TEST(WorkloadSpecErrors, DanglingStartReference) {
+  ExpectRejected(
+      "start ghost\nnode a edit\n  script -s . -t elem -n x\n"
+      "  next finish\n",
+      "start ghost", "dangling reference");
+}
+
+TEST(WorkloadSpecErrors, UnreachableFinish) {
+  // A self-loop that can never absorb.
+  ExpectRejected(
+      "node a edit\n  script -s . -t elem -n x\n  next a\n", "node a edit",
+      "no finish node is reachable");
+}
+
+TEST(WorkloadSpecErrors, EndOutsideForNBody) {
+  ExpectRejected(
+      "node a edit\n  script -s . -t elem -n x\n  next end\n",
+      "node a edit", "outside any for-n body");
+}
+
+TEST(WorkloadSpecErrors, EndReachableBothInsideAndOutsideIsRejected) {
+  // `shared` is the loop body AND the loop's continuation, so one of its
+  // executions would hit `end` with no enclosing loop.
+  ExpectRejected(
+      "node loop for-n\n  count 2\n  do shared\n  next shared\n"
+      "node shared edit\n  script -s . -t elem -n x\n  next end\n",
+      "node shared edit", "outside any for-n body");
+}
+
+TEST(WorkloadSpecErrors, BadEditScriptCaughtStatically) {
+  ExpectRejected(
+      "node a edit\n  script -s . -t blob -n x\n  next finish\n",
+      "node a edit", "unknown node type: blob");
+}
+
+TEST(WorkloadSpecErrors, EditScriptMissingNameCaughtStatically) {
+  ExpectRejected("node a edit\n  script -s . -t elem\n  next finish\n",
+                 "node a edit", "script");
+}
+
+TEST(WorkloadSpecErrors, BadQueryXPathCaughtStatically) {
+  ExpectRejected("node a query\n  xpath ///[[\n  next finish\n",
+                 "node a query", "xpath");
+}
+
+TEST(WorkloadSpecErrors, UndefinedTemplateVariable) {
+  ExpectRejected(
+      "node a edit\n  doc ${nokeys}\n  script -s . -t elem -n x\n"
+      "  next finish\n",
+      "node a edit", "undefined variable ${nokeys}");
+}
+
+TEST(WorkloadSpecErrors, ChoiceOfUndefinedVariable) {
+  ExpectRejected(
+      "node a edit\n  doc ${choice:nokeys}\n  script -s . -t elem -n x\n"
+      "  next finish\n",
+      "node a edit", "undefined or empty variable");
+}
+
+TEST(WorkloadSpecErrors, RandNeedsPositiveBound) {
+  ExpectRejected(
+      "node a edit\n  script -s . -t elem -n x${rand:0}\n  next finish\n",
+      "node a edit", "rand:N");
+}
+
+TEST(WorkloadSpecErrors, MissingRequiredFields) {
+  ExpectRejected("node a edit\n  next finish\n", "node a edit",
+                 "needs a script");
+  ExpectRejected("node a query\n  next finish\n", "node a query",
+                 "needs an xpath");
+  ExpectRejected("node a for-n\n  do a\n  next finish\n", "node a for-n",
+                 "needs a count");
+  ExpectRejected("node a edit\n  script -s . -t elem -n x\n", "node a edit",
+                 "needs a next");
+}
+
+TEST(WorkloadSpecErrors, ReservedAndDuplicateNames) {
+  ExpectRejected("node end edit\n  script -d .\n  next finish\n",
+                 "node end edit", "reserved");
+  ExpectRejected("node finish finish\n", "node finish finish", "reserved");
+  ExpectRejected(
+      "node a finish\nnode a finish\n", "node a finish", "duplicate");
+}
+
+TEST(WorkloadSpecErrors, UnknownFieldForType) {
+  ExpectRejected("node a finish\n  count 3\n", "count 3", "unknown field");
+}
+
+TEST(WorkloadSpecErrors, EmptySpec) {
+  auto spec = ParseWorkloadSpec("# nothing but comments\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().ToString().find("no nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlup::workload

@@ -6,6 +6,9 @@
 set -eu
 
 XMLUP="$1"
+# Bundled workload specs; CMake passes the source-tree path, a manual run
+# finds them relative to this script.
+EXAMPLES="${2:-$(dirname "$0")/../examples/workloads}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -254,5 +257,104 @@ wait "$PRIMARY_PID" || fail "repl: primary exited nonzero"
 # The replica directory is a plain store: recovery reads it directly.
 "$XMLUP" cat "$REPLICA_DIR" | grep -q "<fresh/>" \
   || fail "repl: replica store directory does not recover the edits"
+
+# --- workload --------------------------------------------------------------
+# Declarative workload engine round trip: every bundled spec validates,
+# malformed specs are rejected with exit 2 and a one-line spec-quoting
+# diagnostic, and a run against a live server is bit-reproducible (same
+# spec + seed + threads -> byte-identical client-side trace).
+
+for spec in "$EXAMPLES"/*.workload; do
+  [ -f "$spec" ] || fail "workload: no bundled specs found in $EXAMPLES"
+  "$XMLUP" workload check "$spec" > /dev/null \
+    || fail "workload: bundled spec $spec does not validate"
+done
+
+expect_exit2() {
+  msg="$1"; shift
+  if out="$("$@" 2>&1)"; then
+    fail "$msg: expected exit 2, got success"
+  else
+    code=$?
+  fi
+  [ "$code" -eq 2 ] || fail "$msg: expected exit 2, got $code"
+  [ "$(printf '%s\n' "$out" | wc -l)" -eq 1 ] \
+    || fail "$msg: diagnostic is not one line: $out"
+  echo "$out" | grep -q 'spec line' \
+    || fail "$msg: diagnostic does not quote the spec: $out"
+}
+
+printf 'node a blob\n  next finish\n' > "$WORK/bad.workload"
+expect_exit2 "workload: unknown node type" \
+  "$XMLUP" workload check "$WORK/bad.workload"
+printf 'node a query\n  xpath //x\n  next nowhere\n' > "$WORK/bad.workload"
+expect_exit2 "workload: dangling next" \
+  "$XMLUP" workload check "$WORK/bad.workload"
+printf 'node a random-choice\n  choice 0 a\n' > "$WORK/bad.workload"
+expect_exit2 "workload: zero weights" \
+  "$XMLUP" workload check "$WORK/bad.workload"
+printf 'node a query\n  xpath //x\n  next a\n' > "$WORK/bad.workload"
+expect_exit2 "workload: unreachable finish" \
+  "$XMLUP" workload check "$WORK/bad.workload"
+
+cat > "$WORK/mix.workload" <<'EOF'
+workload cli-mix
+node turn for-n
+  count 1000000
+  do pick
+  next finish
+node pick random-choice
+  choice 70 grow
+  choice 30 look
+node grow edit
+  script -s . -t elem -n g${thread}x${op}r${rand:31}
+  next end
+node look query
+  xpath //g${thread}x${rand:6}r${rand:31}
+  next end
+EOF
+"$XMLUP" workload check "$WORK/mix.workload" > /dev/null \
+  || fail "workload: inline mix spec does not validate"
+
+WLDIR="$WORK/store-workload"
+WLSOCK="$WORK/wl.sock"
+"$XMLUP" init "$WLDIR" --scheme ordpath > /dev/null
+"$XMLUP" serve "$WLDIR" --socket "$WLSOCK" &
+WL_PID=$!
+i=0
+until "$XMLUP" req --socket "$WLSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "workload: server did not come up"
+  sleep 0.1
+done
+
+# --ops and --duration are mutually exclusive, rejected before any traffic.
+code=0
+"$XMLUP" workload run "$WORK/mix.workload" --target "$WLSOCK" \
+  --ops 5 --duration 100 > /dev/null 2>&1 || code=$?
+[ "$code" -eq 2 ] || fail "workload: --ops with --duration not rejected"
+
+"$XMLUP" workload run "$WORK/mix.workload" --target "$WLSOCK" \
+  --threads 2 --seed 11 --ops 15 \
+  --out "$WORK/run1.json" --trace "$WORK/run1.trace" > "$WORK/run1.out" \
+  || fail "workload: run against serve failed"
+grep -q "^ops=30 errors=0 " "$WORK/run1.out" \
+  || fail "workload: totals line wrong: $(cat "$WORK/run1.out")"
+grep -q '"errors_total": 0' "$WORK/run1.json" \
+  || fail "workload: JSON reports errors"
+grep -q '"p99_ns"' "$WORK/run1.json" \
+  || fail "workload: JSON misses per-node percentiles"
+
+# Same seed, fresh server-side names are re-inserted (they already exist
+# now, but inserts still succeed), trace must be byte-identical.
+"$XMLUP" workload run "$WORK/mix.workload" --target "$WLSOCK" \
+  --threads 2 --seed 11 --ops 15 \
+  --out "$WORK/run2.json" --trace "$WORK/run2.trace" > /dev/null \
+  || fail "workload: second run failed"
+cmp -s "$WORK/run1.trace" "$WORK/run2.trace" \
+  || fail "workload: same seed produced different traces"
+
+"$XMLUP" req --socket "$WLSOCK" --shutdown > /dev/null \
+  || fail "workload: shutdown failed"
+wait "$WL_PID" || fail "workload: server exited nonzero"
 
 echo "PASS"

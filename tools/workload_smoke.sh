@@ -1,0 +1,104 @@
+#!/bin/sh
+# Workload-engine smoke: the bundled specs drive real traffic against
+# both deployment shapes — a single-document `xmlup serve` and a 2-shard
+# corpus behind `xmlup route` — and every acked op is accounted for: the
+# run must report nonzero ops, zero client-visible errors, and the
+# router must report zero route errors. CI uploads the resulting
+# BENCH_workload.json.
+#
+# Usage: workload_smoke.sh <xmlup-binary> [examples/workloads dir]
+set -eu
+
+XMLUP="$1"
+EXAMPLES="${2:-$(dirname "$0")/../examples/workloads}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# Every bundled spec must validate before anything is served.
+for spec in "$EXAMPLES"/*.workload; do
+  [ -f "$spec" ] || fail "no bundled specs found in $EXAMPLES"
+  "$XMLUP" workload check "$spec" || fail "bundled spec $spec does not validate"
+done
+
+assert_clean_run() {
+  json="$1"; what="$2"
+  grep -q '"errors_total": 0' "$json" \
+    || fail "$what: errored ops in $(cat "$json")"
+  grep -q '"ops_total": 0' "$json" \
+    && fail "$what: zero ops acked" || true
+}
+
+# --- shape 1: single-document serve ----------------------------------------
+DB="$WORK/db"
+DBSOCK="$WORK/db.sock"
+"$XMLUP" init "$DB" --scheme ordpath > /dev/null
+"$XMLUP" serve "$DB" --socket "$DBSOCK" &
+DB_PID=$!
+i=0
+until "$XMLUP" req --socket "$DBSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "serve did not come up"
+  sleep 0.1
+done
+
+"$XMLUP" workload run "$EXAMPLES/read-heavy.workload" \
+  --target "$DBSOCK" --threads 4 --seed 1 --ops 40 \
+  --out "$WORK/read-heavy.json" \
+  || fail "read-heavy run against serve failed"
+assert_clean_run "$WORK/read-heavy.json" "read-heavy"
+
+"$XMLUP" workload run "$EXAMPLES/write-heavy.workload" \
+  --target "$DBSOCK" --threads 4 --seed 1 --ops 40 \
+  --out "$WORK/write-heavy.json" \
+  || fail "write-heavy run against serve failed"
+assert_clean_run "$WORK/write-heavy.json" "write-heavy"
+
+"$XMLUP" req --socket "$DBSOCK" --shutdown > /dev/null || fail "serve shutdown"
+wait "$DB_PID" || fail "serve exited nonzero"
+
+# --- shape 2: 2-shard corpus behind a router -------------------------------
+ASOCK="$WORK/a.sock"
+BSOCK="$WORK/b.sock"
+RSOCK="$WORK/r.sock"
+mkdir -p "$WORK/shard-a" "$WORK/shard-b"
+"$XMLUP" serve "$WORK/shard-a" --corpus --socket "$ASOCK" &
+A_PID=$!
+"$XMLUP" serve "$WORK/shard-b" --corpus --socket "$BSOCK" &
+B_PID=$!
+"$XMLUP" route --shards "$ASOCK,$BSOCK" --socket "$RSOCK" &
+R_PID=$!
+i=0
+until "$XMLUP" req --socket "$RSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "router did not come up"
+  sleep 0.1
+done
+
+# The mixed-corpus keyspace; the router places each key on its shard.
+for key in alpha beta gamma delta; do
+  "$XMLUP" req --socket "$RSOCK" --doc "$key" --create ordpath > /dev/null \
+    || fail "creating document $key through the router failed"
+done
+
+"$XMLUP" workload run "$EXAMPLES/mixed-corpus.workload" \
+  --target "$RSOCK" --threads 4 --seed 1 --ops 60 \
+  --out BENCH_workload.json \
+  || fail "mixed-corpus run against the router failed"
+assert_clean_run BENCH_workload.json "mixed-corpus"
+
+# Every frame found its shard: the router counted no route errors.
+"$XMLUP" req --socket "$RSOCK" --stats > "$WORK/router-stats.txt" \
+  || fail "router --stats failed"
+grep -q '^cluster.route_errors=0$' "$WORK/router-stats.txt" \
+  || fail "router reports route errors: $(cat "$WORK/router-stats.txt")"
+grep -q '^cluster.route_misses=0$' "$WORK/router-stats.txt" \
+  || fail "router reports route misses: $(cat "$WORK/router-stats.txt")"
+
+"$XMLUP" req --socket "$RSOCK" --shutdown > /dev/null || fail "router shutdown"
+wait "$R_PID" || fail "router exited nonzero"
+"$XMLUP" req --socket "$ASOCK" --shutdown > /dev/null || fail "shard a shutdown"
+wait "$A_PID" || fail "shard a exited nonzero"
+"$XMLUP" req --socket "$BSOCK" --shutdown > /dev/null || fail "shard b shutdown"
+wait "$B_PID" || fail "shard b exited nonzero"
+
+echo "PASS: BENCH_workload.json written"

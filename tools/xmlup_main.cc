@@ -27,6 +27,8 @@
 #include "replication/source.h"
 #include "store/document_store.h"
 #include "store/file.h"
+#include "workload/engine/engine.h"
+#include "workload/engine/spec.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xpath/evaluator.h"
@@ -109,6 +111,23 @@ usage:
       cluster health: per-shard reachability, document keys, and
       CommitPoint triples (via a router), or one shard's corpus when
       pointed at the shard directly
+  xmlup workload check <spec>
+      parse and validate a declarative workload spec (graph of edit/
+      query/random-choice/for-n/think-time nodes — see DESIGN.md §11);
+      any structural defect exits 2 with a one-line diagnostic quoting
+      the offending spec line
+  xmlup workload run <spec> --target <endpoint> [--threads <n>]
+              [--seed <s>] [--ops <n> | --duration <ms>] [--rate <hz>]
+              [--set <name>=<value>]... [--out <file>] [--trace <file>]
+      drive the spec against a running server (socket path or
+      tcp:HOST:PORT — a single-document serve, a corpus shard, or a
+      router) with <n> worker threads, each bit-reproducibly seeded
+      from --seed; stops after --ops client ops per thread, after
+      --duration, or after one pass through the graph. --rate paces
+      each worker open-loop; --set overrides a spec variable. Per-node
+      latency lands in the metrics registry and the run writes per-node
+      p50/p95/p99, throughput, and error counts to --out (default
+      BENCH_workload.json); --trace dumps the client-side op sequence
   xmlup schemes
       list registered labelling schemes
 )");
@@ -216,18 +235,19 @@ int CmdEd(int argc, char** argv) {
 
 // --- serve / req ----------------------------------------------------------
 
-// Strict positive-count parser for --queue/--batch: strtoull's 0-on-junk
-// would otherwise turn a typo into a queue no request can ever enter (or
-// a batch size the writer can never drain).
-bool ParseCount(const char* flag, const char* text, size_t* out) {
+// Strict positive-count parser for --queue/--batch/--threads/...:
+// strtoull's 0-on-junk would otherwise turn a typo into a queue no
+// request can ever enter (or a batch size the writer can never drain).
+bool ParseCountFor(const char* cmd, const char* flag, const char* text,
+                   size_t* out) {
   char* end = nullptr;
   errno = 0;
   unsigned long long value = std::strtoull(text, &end, 10);
   size_t narrowed = static_cast<size_t>(value);
   if (errno != 0 || end == text || *end != '\0' || value == 0 ||
       narrowed != value) {
-    std::fprintf(stderr, "xmlup serve: %s needs a positive integer, got '%s'\n",
-                 flag, text);
+    std::fprintf(stderr, "xmlup %s: %s needs a positive integer, got '%s'\n",
+                 cmd, flag, text);
     return false;
   }
   *out = narrowed;
@@ -272,9 +292,9 @@ int CmdServe(int argc, char** argv) {
     } else if (arg == "--replicate-doc" && i + 1 < argc) {
       replicate_doc = argv[++i];
     } else if (arg == "--queue" && i + 1 < argc) {
-      if (!ParseCount("--queue", argv[++i], &options.queue_capacity)) return 2;
+      if (!ParseCountFor("serve", "--queue", argv[++i], &options.queue_capacity)) return 2;
     } else if (arg == "--batch" && i + 1 < argc) {
-      if (!ParseCount("--batch", argv[++i], &options.max_batch)) return 2;
+      if (!ParseCountFor("serve", "--batch", argv[++i], &options.max_batch)) return 2;
     } else {
       return Usage();
     }
@@ -523,6 +543,172 @@ int CmdRoute(int argc, char** argv) {
   return 0;
 }
 
+// --- workload ---------------------------------------------------------------
+
+// `workload check <spec>`: the validate-only gate. Exit 2 with the
+// parser's one-line spec-quoting diagnostic, matching the CLI's
+// bad-flag convention, so CI can vet a spec before opening any traffic.
+int CmdWorkloadCheck(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto text = ReadInputFile(argv[0]);
+  if (!text.ok()) {
+    std::fprintf(stderr, "xmlup workload check: %s\n",
+                 text.status().ToString().c_str());
+    return 2;
+  }
+  auto spec = workload::ParseWorkloadSpec(*text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "xmlup workload check: %s\n",
+                 spec.status().ToString().c_str());
+    return 2;
+  }
+  // nodes includes the implicit finish; report what the author wrote.
+  const std::string title = spec->name.empty() ? "" : spec->name + ", ";
+  std::printf("ok: %s%zu nodes, start=%s\n", title.c_str(),
+              spec->nodes.size() - 1,
+              spec->nodes[spec->start].name.c_str());
+  return 0;
+}
+
+int CmdWorkloadRun(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string spec_path = argv[0];
+  workload::EngineOptions options;
+  std::string out_path = "BENCH_workload.json";
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--target" && i + 1 < argc) {
+      options.target = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      if (!ParseCountFor("workload run", "--threads", argv[++i], &options.threads)) return 2;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--ops" && i + 1 < argc) {
+      size_t ops = 0;
+      if (!ParseCountFor("workload run", "--ops", argv[++i], &ops)) return 2;
+      options.ops_per_thread = ops;
+    } else if (arg == "--duration" && i + 1 < argc) {
+      size_t ms = 0;
+      if (!ParseCountFor("workload run", "--duration", argv[++i], &ms)) return 2;
+      options.duration_ms = ms;
+    } else if (arg == "--rate" && i + 1 < argc) {
+      options.rate_hz = std::strtod(argv[++i], nullptr);
+      if (!(options.rate_hz > 0)) {
+        std::fprintf(stderr,
+                     "xmlup workload run: --rate needs a positive number\n");
+        return 2;
+      }
+    } else if (arg == "--set" && i + 1 < argc) {
+      std::string kv = argv[++i];
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "xmlup workload run: --set needs <name>=<value>, got "
+                     "'%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      options.overrides.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+      options.collect_trace = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.target.empty()) {
+    std::fprintf(stderr, "xmlup workload run: --target is required\n");
+    return 2;
+  }
+  if (options.target.rfind("tcp:", 0) == 0) {
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseTcpSpec("workload run", options.target.substr(4), &host,
+                      &port)) {
+      return 2;
+    }
+  }
+  if (options.ops_per_thread > 0 && options.duration_ms > 0) {
+    std::fprintf(stderr,
+                 "xmlup workload run: --ops and --duration are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+
+  auto text = ReadInputFile(spec_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "xmlup workload run: %s\n",
+                 text.status().ToString().c_str());
+    return 2;
+  }
+  auto spec = workload::ParseWorkloadSpec(*text);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "xmlup workload run: %s\n",
+                 spec.status().ToString().c_str());
+    return 2;
+  }
+
+  auto report = workload::RunWorkload(*spec, options);
+  if (!report.ok()) return Fail(report.status());
+
+  // Summary to stderr (stdout stays parseable), JSON to --out.
+  for (const workload::NodeReport& node : report->nodes) {
+    std::fprintf(stderr,
+                 "node %-16s %-10s ops=%llu errors=%llu "
+                 "p50=%lluus p95=%lluus p99=%lluus\n",
+                 node.name.c_str(), node.type.c_str(),
+                 static_cast<unsigned long long>(node.ops),
+                 static_cast<unsigned long long>(node.errors),
+                 static_cast<unsigned long long>(node.latency.p50 / 1000),
+                 static_cast<unsigned long long>(node.latency.p95 / 1000),
+                 static_cast<unsigned long long>(node.latency.p99 / 1000));
+  }
+  std::printf("ops=%llu errors=%llu elapsed_ms=%.0f ops_per_s=%.0f\n",
+              static_cast<unsigned long long>(report->ops_total),
+              static_cast<unsigned long long>(report->errors_total),
+              report->elapsed_ms, report->ops_per_s);
+
+  std::string json = workload::RenderWorkloadJson(*spec, options, *report);
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "xmlup workload run: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+
+  if (!trace_path.empty()) {
+    FILE* trace = std::fopen(trace_path.c_str(), "w");
+    if (trace == nullptr) {
+      std::fprintf(stderr, "xmlup workload run: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    for (size_t t = 0; t < report->trace.size(); ++t) {
+      std::fprintf(trace, "# thread %zu\n", t);
+      for (const std::string& line : report->trace[t]) {
+        std::fprintf(trace, "%s\n", line.c_str());
+      }
+    }
+    std::fclose(trace);
+  }
+  return 0;
+}
+
+int CmdWorkload(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string sub = argv[0];
+  if (sub == "check") return CmdWorkloadCheck(argc - 1, argv + 1);
+  if (sub == "run") return CmdWorkloadRun(argc - 1, argv + 1);
+  std::fprintf(stderr, "xmlup workload: unknown subcommand '%s'\n",
+               sub.c_str());
+  return Usage();
+}
+
 // --- other commands -------------------------------------------------------
 
 int CmdInit(int argc, char** argv) {
@@ -725,6 +911,7 @@ int main(int argc, char** argv) {
     return CmdStatusVerb("cluster-status", "--cluster-status", argc - 2,
                          argv + 2);
   }
+  if (cmd == "workload") return CmdWorkload(argc - 2, argv + 2);
   if (cmd == "cat") return CmdCat(argc - 2, argv + 2);
   if (cmd == "labels") return CmdLabels(argc - 2, argv + 2);
   if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
