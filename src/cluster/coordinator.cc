@@ -72,7 +72,7 @@ Result<std::vector<ShardAddress>> ParseShardList(const std::string& text) {
 Coordinator::Coordinator(std::vector<ShardAddress> shards,
                          std::unique_ptr<ShardRouter> router,
                          CoordinatorOptions options)
-    : shards_(std::move(shards)),
+    : num_shards_(shards.size()),
       router_(std::move(router)),
       options_(options) {
   obs::Registry& reg = obs::GlobalMetrics();
@@ -80,42 +80,77 @@ Coordinator::Coordinator(std::vector<ShardAddress> shards,
   metrics_.route_misses = reg.GetCounter("cluster.route_misses");
   metrics_.route_errors = reg.GetCounter("cluster.route_errors");
   metrics_.connect_retries = reg.GetCounter("cluster.connect_retries");
-  pools_.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    auto pool = std::make_unique<Pool>();
-    pool->inflight =
-        reg.GetGauge("cluster.shard" + std::to_string(i) + ".inflight");
-    pools_.push_back(std::move(pool));
+  metrics_.repoints = reg.GetCounter("cluster.repoints");
+  endpoints_.reserve(shards.size());
+  for (ShardAddress& shard : shards) {
+    auto endpoint = std::make_unique<Endpoint>();
+    endpoint->addr = std::move(shard);
+    endpoint->pool.inflight = reg.GetGauge(
+        "cluster.shard" + std::to_string(endpoints_.size()) + ".inflight");
+    endpoints_.push_back(std::move(endpoint));
   }
 }
 
 Coordinator::~Coordinator() {
-  for (auto& pool : pools_) {
-    std::lock_guard<std::mutex> lock(pool->mu);
-    for (int fd : pool->idle) ::close(fd);
-    pool->idle.clear();
+  std::lock_guard<std::mutex> routes_lock(routes_mu_);
+  for (auto& endpoint : endpoints_) {
+    std::lock_guard<std::mutex> lock(endpoint->pool.mu);
+    for (int fd : endpoint->pool.idle) ::close(fd);
+    endpoint->pool.idle.clear();
   }
 }
 
-Result<int> Coordinator::Acquire(size_t index) {
+size_t Coordinator::InternEndpointLocked(const std::string& spec) {
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i]->addr.spec == spec) return i;
+  }
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->addr.spec = spec;
+  endpoint->pool.inflight = obs::GlobalMetrics().GetGauge(
+      "cluster.shard" + std::to_string(endpoints_.size()) + ".inflight");
+  endpoints_.push_back(std::move(endpoint));
+  return endpoints_.size() - 1;
+}
+
+void Coordinator::RepointDocument(const std::string& key,
+                                  const std::string& endpoint_spec) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  overrides_[key] = InternEndpointLocked(endpoint_spec);
+  metrics_.repoints->Add(1);
+}
+
+void Coordinator::SetExtraStatus(
+    std::function<std::vector<std::string>()> fn) {
+  std::lock_guard<std::mutex> lock(extra_status_mu_);
+  extra_status_ = std::move(fn);
+}
+
+size_t Coordinator::RouteFor(const std::string& key) {
   {
-    Pool& pool = *pools_[index];
-    std::lock_guard<std::mutex> lock(pool.mu);
-    if (!pool.idle.empty()) {
-      int fd = pool.idle.back();
-      pool.idle.pop_back();
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = overrides_.find(key);
+    if (it != overrides_.end()) return it->second;
+  }
+  return router_->ShardFor(key);
+}
+
+Result<int> Coordinator::Acquire(Endpoint* endpoint) {
+  {
+    std::lock_guard<std::mutex> lock(endpoint->pool.mu);
+    if (!endpoint->pool.idle.empty()) {
+      int fd = endpoint->pool.idle.back();
+      endpoint->pool.idle.pop_back();
       return fd;
     }
   }
-  return concurrency::DialEndpoint(shards_[index].spec);
+  return concurrency::DialEndpoint(endpoint->addr.spec);
 }
 
-void Coordinator::Release(size_t index, int fd) {
-  Pool& pool = *pools_[index];
+void Coordinator::Release(Endpoint* endpoint, int fd) {
   {
-    std::lock_guard<std::mutex> lock(pool.mu);
-    if (pool.idle.size() < options_.max_pool_idle) {
-      pool.idle.push_back(fd);
+    std::lock_guard<std::mutex> lock(endpoint->pool.mu);
+    if (endpoint->pool.idle.size() < options_.max_pool_idle) {
+      endpoint->pool.idle.push_back(fd);
       return;
     }
   }
@@ -124,29 +159,33 @@ void Coordinator::Release(size_t index, int fd) {
 
 Result<std::vector<std::string>> Coordinator::Forward(
     size_t index, const std::vector<std::string>& frame) {
-  Pool& pool = *pools_[index];
-  pool.inflight->Add(1);
+  Endpoint* endpoint = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    endpoint = endpoints_[index].get();
+  }
+  endpoint->pool.inflight->Add(1);
   Status last = Status::Ok();
   // Two attempts: the first may ride a pooled connection whose shard has
   // since restarted (stale fd), so one failure buys one fresh dial. A
   // second failure means the shard is actually unreachable.
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (attempt > 0) metrics_.connect_retries->Add(1);
-    Result<int> fd = Acquire(index);
+    Result<int> fd = Acquire(endpoint);
     if (!fd.ok()) {
       last = fd.status();
       continue;
     }
     Result<std::vector<std::string>> reply = RoundTrip(*fd, frame);
     if (reply.ok()) {
-      Release(index, *fd);
-      pool.inflight->Add(-1);
+      Release(endpoint, *fd);
+      endpoint->pool.inflight->Add(-1);
       return reply;
     }
     ::close(*fd);
     last = reply.status();
   }
-  pool.inflight->Add(-1);
+  endpoint->pool.inflight->Add(-1);
   return last;
 }
 
@@ -177,7 +216,7 @@ bool Coordinator::HandleRequest(const std::vector<std::string>& request,
     // The router's own registry: cluster.* counters plus whatever else
     // lives in this process. Per-shard pipeline numbers live on the
     // shards (`--doc <key> --stats`, or --cluster-status for positions).
-    *response = {"ok", "shards=" + std::to_string(shards_.size())};
+    *response = {"ok", "shards=" + std::to_string(num_shards_)};
     for (const auto& [name, value] :
          obs::GlobalMetrics().TextFields(false)) {
       response->push_back(name + "=" + value);
@@ -197,13 +236,18 @@ bool Coordinator::HandleRequest(const std::vector<std::string>& request,
           "' (want [A-Za-z0-9_.-]{1,128}, not starting with '.')"));
       return false;
     }
-    const size_t shard = router_->ShardFor(key);
+    const size_t shard = RouteFor(key);
     metrics_.frames_routed->Add(1);
     Result<std::vector<std::string>> reply = Forward(shard, request);
     if (!reply.ok()) {
       metrics_.route_errors->Add(1);
+      std::string spec;
+      {
+        std::lock_guard<std::mutex> lock(routes_mu_);
+        spec = endpoints_[shard]->addr.spec;
+      }
       *response = {"err", "routed: shard " + std::to_string(shard) + " (" +
-                              shards_[shard].spec +
+                              spec +
                               ") unavailable: " + reply.status().ToString()};
       return false;
     }
@@ -234,7 +278,7 @@ bool Coordinator::HandleConnection(int in_fd, int out_fd,
 std::vector<std::string> Coordinator::ClusterStatusFields() {
   std::vector<std::string> fields;
   fields.push_back("role=router");
-  fields.push_back("shards=" + std::to_string(shards_.size()));
+  fields.push_back("shards=" + std::to_string(num_shards_));
   fields.push_back("frames_routed=" +
                    std::to_string(metrics_.frames_routed->value()));
   fields.push_back("route_misses=" +
@@ -243,9 +287,25 @@ std::vector<std::string> Coordinator::ClusterStatusFields() {
                    std::to_string(metrics_.route_errors->value()));
   fields.push_back("connect_retries=" +
                    std::to_string(metrics_.connect_retries->value()));
-  for (size_t i = 0; i < shards_.size(); ++i) {
+  std::vector<std::pair<std::string, std::string>> overrides;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    for (const auto& [key, index] : overrides_) {
+      overrides.emplace_back(key, endpoints_[index]->addr.spec);
+    }
+  }
+  fields.push_back("overrides=" + std::to_string(overrides.size()));
+  for (const auto& [key, spec] : overrides) {
+    fields.push_back("override." + key + "=" + spec);
+  }
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::string spec;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      spec = endpoints_[i]->addr.spec;
+    }
     const std::string prefix = "shard" + std::to_string(i) + ".";
-    fields.push_back(prefix + "addr=" + shards_[i].spec);
+    fields.push_back(prefix + "addr=" + spec);
     Result<std::vector<std::string>> hello =
         Forward(i, {kClusterHelloVerb});
     if (!hello.ok()) {
@@ -263,6 +323,14 @@ std::vector<std::string> Coordinator::ClusterStatusFields() {
     for (size_t f = 1; f < hello->size(); ++f) {
       fields.push_back(prefix + (*hello)[f]);
     }
+  }
+  std::function<std::vector<std::string>()> extra;
+  {
+    std::lock_guard<std::mutex> lock(extra_status_mu_);
+    extra = extra_status_;
+  }
+  if (extra) {
+    for (std::string& field : extra()) fields.push_back(std::move(field));
   }
   return fields;
 }

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,21 +42,27 @@ struct CoordinatorOptions {
 /// The router/coordinator process (`xmlup route`): accepts client frames
 /// on its own Listener, forwards every `--doc <key> ...` frame to the
 /// owning shard over a pooled connection, and relays the reply verbatim.
-/// Routing is a pure function of the key (see ShardRouter): the
-/// coordinator keeps no per-document state, runs no transactions, and a
-/// dead shard takes down exactly the keys it owns — every other key
-/// routes on, which is the paper's per-document independence doing the
-/// work.
+/// Routing is a pure function of the key (see ShardRouter) — until a
+/// failover says otherwise: RepointDocument overrides single keys to a
+/// different endpoint (a promoted replica), which is how the
+/// FailoverMonitor steers traffic off a dead primary without touching
+/// the hash ring. The coordinator keeps no other per-document state,
+/// runs no transactions, and a dead shard takes down exactly the keys it
+/// owns — every other key routes on, which is the paper's per-document
+/// independence doing the work.
 ///
 /// Request handling:
 ///
-///   --doc <key> <tokens...>   forward to the owning shard; on transport
+///   --doc <key> <tokens...>   forward to the owning endpoint (override
+///                             first, hash otherwise); on transport
 ///                             failure retry once on a fresh connection,
 ///                             then reply "err" "routed: shard <i> ..."
-///   --cluster-status          fan out cluster-hello to every shard;
-///                             reply per-shard health, address, doc keys
-///                             and CommitPoint triples, plus router
-///                             counters
+///   --cluster-status          fan out cluster-hello to every configured
+///                             shard; reply per-shard health, address,
+///                             doc keys and CommitPoint triples, current
+///                             overrides, router counters, and whatever
+///                             the SetExtraStatus hook adds (the failover
+///                             monitor's view)
 ///   --stats                   the router's own registry (cluster.*)
 ///                             plus per-shard reachability
 ///   --ping                    local liveness
@@ -62,8 +70,8 @@ struct CoordinatorOptions {
 ///
 /// Metrics (cluster.*): frames_routed, route_misses (a shard answered
 /// unknown-document), route_errors (no shard reply at all),
-/// connect_retries (fresh dials after a failed attempt), and a
-/// per-shard inflight gauge.
+/// connect_retries (fresh dials after a failed attempt), repoints
+/// (override installs), and a per-endpoint inflight gauge.
 class Coordinator : public concurrency::ConnectionHandler {
  public:
   Coordinator(std::vector<ShardAddress> shards,
@@ -87,7 +95,21 @@ class Coordinator : public concurrency::ConnectionHandler {
   /// summary before serving.
   std::vector<std::string> ClusterStatusFields();
 
-  size_t shard_count() const { return shards_.size(); }
+  /// Routes every future `--doc <key>` frame to `endpoint_spec`
+  /// (DialEndpoint grammar) instead of the hash-owned shard — the
+  /// failover repoint. The endpoint is registered (with its own pool) if
+  /// the coordinator does not front it yet; repointing back to a
+  /// configured shard reuses its pool. Thread-safe; in-flight frames
+  /// finish on the old route.
+  void RepointDocument(const std::string& key,
+                       const std::string& endpoint_spec);
+
+  /// Status fields appended to --cluster-status replies — the failover
+  /// monitor publishes its health/election view through this. Called
+  /// without coordinator locks held; must be thread-safe.
+  void SetExtraStatus(std::function<std::vector<std::string>()> fn);
+
+  size_t shard_count() const { return num_shards_; }
 
  private:
   struct Pool {
@@ -96,29 +118,56 @@ class Coordinator : public concurrency::ConnectionHandler {
     obs::Gauge* inflight = nullptr;
   };
 
-  /// One request/reply round trip to shard `index`, pooled and retried:
-  /// a pooled connection that fails (the shard restarted under it) is
-  /// replaced by one fresh dial before giving up.
+  /// One dialable backend: the first num_shards_ are the configured
+  /// shard list (what the hash ring maps onto); later entries are
+  /// promoted replicas appended by RepointDocument. Append-only, so an
+  /// index, once handed out, stays valid forever.
+  struct Endpoint {
+    ShardAddress addr;
+    Pool pool;
+  };
+
+  /// Looks `spec` up in endpoints_ or appends it. Returns the index.
+  size_t InternEndpointLocked(const std::string& spec);
+
+  /// The endpoint `key` routes to right now: its override if one is
+  /// installed, the hash-owned shard otherwise.
+  size_t RouteFor(const std::string& key);
+
+  /// One request/reply round trip to endpoint `index`, pooled and
+  /// retried: a pooled connection that fails (the shard restarted under
+  /// it) is replaced by one fresh dial before giving up.
   common::Result<std::vector<std::string>> Forward(
       size_t index, const std::vector<std::string>& frame);
 
   /// Pops a pooled connection or dials a new one.
-  common::Result<int> Acquire(size_t index);
+  common::Result<int> Acquire(Endpoint* endpoint);
   /// Returns a healthy connection to the pool (or closes it when full).
-  void Release(size_t index, int fd);
+  void Release(Endpoint* endpoint, int fd);
 
   struct MetricCells {
     obs::Counter* frames_routed = nullptr;
     obs::Counter* route_misses = nullptr;
     obs::Counter* route_errors = nullptr;
     obs::Counter* connect_retries = nullptr;
+    obs::Counter* repoints = nullptr;
   };
 
-  const std::vector<ShardAddress> shards_;
+  const size_t num_shards_;
   const std::unique_ptr<ShardRouter> router_;
   const CoordinatorOptions options_;
   MetricCells metrics_;
-  std::vector<std::unique_ptr<Pool>> pools_;
+
+  /// Guards the endpoint registry shape and the override map. Held only
+  /// for lookups and appends — never across network IO (Forward copies
+  /// the Endpoint pointer out; unique_ptr keeps it stable across vector
+  /// growth).
+  std::mutex routes_mu_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::map<std::string, size_t> overrides_;
+
+  std::mutex extra_status_mu_;
+  std::function<std::vector<std::string>()> extra_status_;
 };
 
 }  // namespace xmlup::cluster

@@ -1,0 +1,288 @@
+#include "cluster/failover.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/sharded_service.h"
+#include "concurrency/server.h"
+#include "replication/fence.h"
+#include "replication/protocol.h"
+
+namespace xmlup::cluster {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+/// Splits "gen:records:bytes:epoch" (the doc.<key>= value).
+bool ParseDocValue(const std::string& value, store::CommitPoint* position,
+                   uint64_t* view_epoch) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t colon = value.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(value.substr(start));
+      break;
+    }
+    parts.push_back(value.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return parts.size() == 4 &&
+         replication::ParseU64(parts[0], &position->generation) &&
+         replication::ParseU64(parts[1], &position->records) &&
+         replication::ParseU64(parts[2], &position->bytes) &&
+         replication::ParseU64(parts[3], view_epoch);
+}
+
+/// The epoch a promote reply settled on (its "fence=<n>" field), or 0.
+uint64_t PromotedFence(const std::vector<std::string>& reply) {
+  for (const std::string& field : reply) {
+    if (field.rfind("fence=", 0) == 0) {
+      uint64_t epoch = 0;
+      if (replication::ParseU64(field.substr(6), &epoch)) return epoch;
+    }
+  }
+  return 0;
+}
+
+bool OkReply(const Result<std::vector<std::string>>& reply) {
+  return reply.ok() && !reply->empty() && (*reply)[0] == "ok";
+}
+
+}  // namespace
+
+Result<size_t> ElectPromotionTarget(
+    const std::vector<PromotionCandidate>& candidates) {
+  bool have_winner = false;
+  size_t winner = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PromotionCandidate& candidate = candidates[i];
+    if (!candidate.reachable || !candidate.has_document) continue;
+    if (!have_winner) {
+      have_winner = true;
+      winner = i;
+      continue;
+    }
+    const PromotionCandidate& best = candidates[winner];
+    if (replication::CommitPointLess(best.position, candidate.position) ||
+        (candidate.position == best.position &&
+         candidate.replica_id < best.replica_id)) {
+      winner = i;
+    }
+  }
+  if (!have_winner) {
+    return Status::NotFound(
+        "no eligible promotion candidate: every replica is unreachable or "
+        "holds no document");
+  }
+  return winner;
+}
+
+FailoverMonitor::FailoverMonitor(Coordinator* coordinator,
+                                 std::vector<ShardTopology> shards,
+                                 FailoverOptions options)
+    : coordinator_(coordinator),
+      shards_(std::move(shards)),
+      options_(options),
+      states_(shards_.size()) {
+  obs::Registry& reg = obs::GlobalMetrics();
+  metrics_.failovers = reg.GetCounter("cluster.failovers");
+  metrics_.promotions = reg.GetCounter("cluster.promotions");
+  metrics_.demotions = reg.GetCounter("cluster.demotions");
+  metrics_.sweeps = reg.GetCounter("cluster.failover_sweeps");
+}
+
+FailoverMonitor::~FailoverMonitor() { Stop(); }
+
+void FailoverMonitor::Start() {
+  thread_ = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(stop_mu_);
+        stop_cv_.wait_for(lock,
+                          std::chrono::milliseconds(options_.sweep_interval_ms),
+                          [this] { return stopping_; });
+        if (stopping_) return;
+      }
+      SweepOnce();
+    }
+  });
+}
+
+void FailoverMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void FailoverMonitor::SweepOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.sweeps->Add(1);
+  for (size_t i = 0; i < shards_.size(); ++i) SweepShardLocked(i);
+}
+
+std::map<std::string, FailoverMonitor::DocInfo>
+FailoverMonitor::ParseHelloDocs(const std::vector<std::string>& reply) {
+  std::map<std::string, DocInfo> docs;
+  for (const std::string& field : reply) {
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string value = field.substr(eq + 1);
+    if (field.rfind("doc.", 0) == 0) {
+      const std::string key = field.substr(4, eq - 4);
+      DocInfo& info = docs[key];
+      if (!ParseDocValue(value, &info.position, &info.view_epoch)) {
+        docs.erase(key);
+      }
+    } else if (field.rfind("docrole.", 0) == 0) {
+      docs[field.substr(8, eq - 8)].primary_role = value == "primary";
+    } else if (field.rfind("docfence.", 0) == 0) {
+      uint64_t fence = 0;
+      if (replication::ParseU64(value, &fence)) {
+        docs[field.substr(9, eq - 9)].fence = fence;
+      }
+    }
+  }
+  return docs;
+}
+
+void FailoverMonitor::SweepShardLocked(size_t index) {
+  ShardState& state = states_[index];
+  const Result<std::vector<std::string>> hello = concurrency::EndpointRequest(
+      shards_[index].primary, {kClusterHelloVerb});
+  if (OkReply(hello)) {
+    state.failures = 0;
+    const std::map<std::string, DocInfo> docs = ParseHelloDocs(*hello);
+    if (!state.promoted_to.empty()) DemoteRejoinedLocked(index, docs);
+    // Refresh the primary-role work list — but never for documents this
+    // incident already moved elsewhere: the promoted replica owns those
+    // now, whatever the old endpoint claims.
+    for (const auto& [key, info] : docs) {
+      if (state.promoted_to.count(key) != 0) continue;
+      if (info.primary_role) state.docs[key] = info;
+    }
+    state.down = false;
+    return;
+  }
+  ++state.failures;
+  if (!state.down && state.failures >= options_.failure_threshold) {
+    state.down = true;
+    metrics_.failovers->Add(1);
+  }
+  if (state.down) RunFailoverLocked(index);
+}
+
+void FailoverMonitor::RunFailoverLocked(size_t index) {
+  ShardState& state = states_[index];
+  // Anything left to re-home?
+  bool pending = false;
+  for (const auto& [key, info] : state.docs) {
+    if (state.promoted_to.count(key) == 0) pending = true;
+  }
+  if (!pending) return;
+
+  // Probe every replica once per run; all this run's elections read the
+  // same snapshot of replica state.
+  const std::vector<std::string>& replicas = shards_[index].replicas;
+  std::vector<bool> reachable(replicas.size(), false);
+  std::vector<std::map<std::string, DocInfo>> replica_docs(replicas.size());
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    const Result<std::vector<std::string>> hello =
+        concurrency::EndpointRequest(replicas[r], {kClusterHelloVerb});
+    if (!OkReply(hello)) continue;
+    reachable[r] = true;
+    replica_docs[r] = ParseHelloDocs(*hello);
+  }
+
+  for (const auto& [key, primary_info] : state.docs) {
+    if (state.promoted_to.count(key) != 0) continue;
+    std::vector<PromotionCandidate> candidates(replicas.size());
+    uint64_t max_fence = primary_info.fence;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      PromotionCandidate& candidate = candidates[r];
+      candidate.replica_id = replicas[r];
+      candidate.reachable = reachable[r];
+      auto it = replica_docs[r].find(key);
+      if (it != replica_docs[r].end()) {
+        candidate.has_document = it->second.position.generation > 0;
+        candidate.position = it->second.position;
+        max_fence = std::max(max_fence, it->second.fence);
+      }
+    }
+    const Result<size_t> elected = ElectPromotionTarget(candidates);
+    if (!elected.ok()) continue;  // retried next sweep
+    const std::string& winner = replicas[*elected];
+    const uint64_t epoch = max_fence + 1;
+    const Result<std::vector<std::string>> promoted =
+        concurrency::EndpointRequest(
+            winner, {"--doc", key, "--promote", std::to_string(epoch)});
+    if (!OkReply(promoted)) continue;  // retried next sweep
+    coordinator_->RepointDocument(key, winner);
+    metrics_.promotions->Add(1);
+    const uint64_t settled = std::max(epoch, PromotedFence(*promoted));
+    state.promoted_to[key] = winner;
+    state.promoted_fence[key] = settled;
+    ElectionRecord record;
+    record.key = key;
+    record.winner = winner;
+    record.winner_position = candidates[*elected].position;
+    record.fence_epoch = settled;
+    record.candidates = std::move(candidates);
+    history_.push_back(std::move(record));
+    // Re-target the losing replicas at the new primary so the document
+    // regains redundancy. Best-effort: an unreachable replica re-targets
+    // when its operator restarts it (or a later rejoin demotes it).
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      if (r == *elected || !reachable[r]) continue;
+      (void)concurrency::EndpointRequest(replicas[r],
+                                         {"--doc", key, "--demote", winner});
+    }
+  }
+}
+
+void FailoverMonitor::DemoteRejoinedLocked(
+    size_t index, const std::map<std::string, DocInfo>& docs) {
+  ShardState& state = states_[index];
+  for (const auto& [key, winner] : state.promoted_to) {
+    auto it = docs.find(key);
+    if (it == docs.end() || !it->second.primary_role) continue;
+    if (it->second.fence >= state.promoted_fence[key]) continue;
+    // The old primary came back still claiming a promoted document with
+    // a pre-failover fence: fold it into the new primary's replica set.
+    const Result<std::vector<std::string>> demoted =
+        concurrency::EndpointRequest(shards_[index].primary,
+                                     {"--doc", key, "--demote", winner});
+    if (OkReply(demoted)) metrics_.demotions->Add(1);
+  }
+}
+
+std::vector<ElectionRecord> FailoverMonitor::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+std::vector<std::string> FailoverMonitor::StatusFields() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> fields;
+  fields.push_back("failover.shards=" + std::to_string(shards_.size()));
+  fields.push_back("failover.elections=" + std::to_string(history_.size()));
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const std::string prefix = "failover.shard" + std::to_string(i) + ".";
+    fields.push_back(prefix + "down=" + (states_[i].down ? "1" : "0"));
+    fields.push_back(prefix + "failures=" +
+                     std::to_string(states_[i].failures));
+  }
+  for (const ShardState& state : states_) {
+    for (const auto& [key, winner] : state.promoted_to) {
+      fields.push_back("failover.promoted." + key + "=" + winner);
+    }
+  }
+  return fields;
+}
+
+}  // namespace xmlup::cluster

@@ -1,0 +1,191 @@
+#ifndef XMLUP_CLUSTER_FAILOVER_H_
+#define XMLUP_CLUSTER_FAILOVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "common/status.h"
+#include "observability/metrics.h"
+#include "store/document_store.h"
+
+namespace xmlup::cluster {
+
+/// One replica considered for promotion of one document.
+struct PromotionCandidate {
+  /// The replica's endpoint spec — doubles as the deterministic
+  /// tie-break key, so every observer that sees the same candidate set
+  /// elects the same winner.
+  std::string replica_id;
+  /// Whether the replica answered cluster-hello this round. Unreachable
+  /// replicas are never elected (promoting one would strand the key).
+  bool reachable = false;
+  /// Whether the replica holds the document at all (a replica still
+  /// waiting for its first snapshot has nothing to serve and must not
+  /// win, however "caught up" its zero position looks).
+  bool has_document = false;
+  /// The replica's applied CommitPoint — the election currency: the
+  /// furthest-ahead replica lost the least acknowledged history.
+  store::CommitPoint position;
+};
+
+/// The election rule, as a pure function so tests can hammer it without
+/// a cluster: among reachable candidates that hold the document, pick
+/// the one with the greatest CommitPoint (generation, then records,
+/// then bytes — replication::CommitPointLess); break exact position
+/// ties by smallest replica_id. Returns the winning index, or NotFound
+/// when no candidate is eligible (all replicas dead or empty).
+/// Deterministic: the same candidate set elects the same winner in any
+/// input order.
+common::Result<size_t> ElectPromotionTarget(
+    const std::vector<PromotionCandidate>& candidates);
+
+/// The primary and replica endpoints of one shard, by spec
+/// (DialEndpoint grammar). `primary` must match the corresponding entry
+/// of the coordinator's shard list — it is what RepointDocument steers
+/// traffic away from.
+struct ShardTopology {
+  std::string primary;
+  std::vector<std::string> replicas;
+};
+
+struct FailoverOptions {
+  /// Health sweep period.
+  uint64_t sweep_interval_ms = 100;
+  /// Consecutive failed probes before a primary is declared down. One
+  /// flaky probe must not trigger a failover; threshold * interval is
+  /// the detection latency floor.
+  int failure_threshold = 3;
+};
+
+/// What one failover decided for one document, kept for status output
+/// and for the chaos suite to audit (the soak asserts the winner's
+/// position dominated every other candidate's).
+struct ElectionRecord {
+  std::string key;
+  std::string winner;
+  store::CommitPoint winner_position;
+  uint64_t fence_epoch = 0;
+  std::vector<PromotionCandidate> candidates;
+};
+
+/// Automatic replica promotion. A background thread sweeps every shard
+/// primary with cluster-hello; `failure_threshold` consecutive misses
+/// declare it down (metric cluster.failovers) and start failing over its
+/// documents, one at a time, each sweep until all are re-homed:
+///
+///   1. probe the shard's replicas; build a PromotionCandidate per
+///      replica from its hello (position, presence) — using the
+///      positions cached from the primary's *last healthy hello* only to
+///      seed the fence arithmetic, never the election;
+///   2. ElectPromotionTarget picks the furthest-ahead reachable replica;
+///   3. promote it with a fence epoch greater than every epoch seen
+///      (`--doc <key> --promote <epoch>`; metric cluster.promotions);
+///   4. repoint the coordinator's routing at the winner;
+///   5. best-effort re-target the losing replicas at the new primary.
+///
+/// A promotion that fails (the replica died between probe and promote)
+/// is simply retried next sweep — nothing was repointed, so no harm. If
+/// the old primary later rejoins still claiming primary role for a
+/// promoted document with a stale fence, the monitor demotes it into the
+/// new primary's replica set (metric cluster.demotions) — the fencing
+/// handshake then erases whatever divergent tail it wrote before dying.
+///
+/// Envelope: one failover per document per incident — the promoted
+/// replica is not itself health-watched (DESIGN.md §12 spells out the
+/// window semantics).
+class FailoverMonitor {
+ public:
+  /// `coordinator` is repointed on promotion; not owned, must outlive
+  /// the monitor. `shards[i].primary` must be coordinator shard i.
+  FailoverMonitor(Coordinator* coordinator, std::vector<ShardTopology> shards,
+                  FailoverOptions options = {});
+  ~FailoverMonitor();
+  FailoverMonitor(const FailoverMonitor&) = delete;
+  FailoverMonitor& operator=(const FailoverMonitor&) = delete;
+
+  /// Starts/stops the sweep thread. Stop is idempotent; the destructor
+  /// calls it.
+  void Start();
+  void Stop();
+
+  /// One synchronous sweep over every shard — the unit tests' and the
+  /// soak's deterministic drive, identical to what the thread runs.
+  void SweepOnce();
+
+  /// Every election decided so far, oldest first.
+  std::vector<ElectionRecord> history() const;
+
+  /// Fields for Coordinator::SetExtraStatus: per-shard health
+  /// (failover.shard<i>.down / .failures) and the promoted-document map
+  /// (failover.promoted.<key>=<endpoint>).
+  std::vector<std::string> StatusFields() const;
+
+ private:
+  /// What a shard's hello said about one document.
+  struct DocInfo {
+    store::CommitPoint position;
+    uint64_t view_epoch = 0;
+    uint64_t fence = 0;
+    bool primary_role = false;
+  };
+
+  struct ShardState {
+    int failures = 0;
+    bool down = false;
+    /// Documents (and fences) cached from the last healthy primary
+    /// hello — the work list a failover must re-home.
+    std::map<std::string, DocInfo> docs;
+    /// key -> winning replica endpoint / fence epoch, for documents
+    /// already failed over this incident.
+    std::map<std::string, std::string> promoted_to;
+    std::map<std::string, uint64_t> promoted_fence;
+  };
+
+  /// Parses `doc.<key>=` / `docrole.<key>=` / `docfence.<key>=` fields
+  /// out of a cluster-hello reply.
+  static std::map<std::string, DocInfo> ParseHelloDocs(
+      const std::vector<std::string>& reply);
+
+  void SweepShardLocked(size_t index);
+  void RunFailoverLocked(size_t index);
+  /// Demotes a rejoined old primary for every promoted document it
+  /// still claims with a stale fence.
+  void DemoteRejoinedLocked(size_t index,
+                            const std::map<std::string, DocInfo>& docs);
+
+  struct MetricCells {
+    obs::Counter* failovers = nullptr;
+    obs::Counter* promotions = nullptr;
+    obs::Counter* demotions = nullptr;
+    obs::Counter* sweeps = nullptr;
+  };
+
+  Coordinator* const coordinator_;
+  const std::vector<ShardTopology> shards_;
+  const FailoverOptions options_;
+  MetricCells metrics_;
+
+  /// Guards states_ and history_. Held across a whole sweep (including
+  /// its probes — localhost round trips), so StatusFields may briefly
+  /// block on an in-flight sweep.
+  mutable std::mutex mu_;
+  std::vector<ShardState> states_;
+  std::vector<ElectionRecord> history_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace xmlup::cluster
+
+#endif  // XMLUP_CLUSTER_FAILOVER_H_

@@ -12,6 +12,8 @@
 #include "concurrency/concurrent_store.h"
 #include "concurrency/server.h"
 #include "observability/metrics.h"
+#include "replication/applier.h"
+#include "replication/fence.h"
 #include "replication/source.h"
 
 namespace xmlup::cluster {
@@ -39,6 +41,19 @@ struct ShardedServiceOptions {
   /// Whether `--doc <key> --create <scheme>` may create documents at
   /// runtime. Off, the corpus is exactly what Open() found on disk.
   bool allow_create = true;
+  /// Non-empty = replica corpus: every document opens replica-role,
+  /// applying the replication stream from this upstream endpoint
+  /// (DialEndpoint grammar — another shard's `--corpus` endpoint). Keys
+  /// are the union of what is on disk and what the upstream's
+  /// cluster-hello reports at Open (documents created upstream later are
+  /// not auto-discovered); --create is rejected. Individual documents
+  /// flip to primary via `--doc <key> --promote` (failover).
+  std::string replicate_from;
+  /// Semi-synchronous replication for primary-role documents: commits
+  /// are written to every connected replica socket before they are
+  /// acknowledged (ReplicationSource::Options::sync_ship) — the mode the
+  /// failover guarantee of zero acknowledged-write loss rests on.
+  bool sync_replication = false;
 };
 
 /// A corpus of independent documents behind one endpoint: the
@@ -48,6 +63,17 @@ struct ShardedServiceOptions {
 /// group-commit pipeline, ReadView publication, and replication source —
 /// and documents never coordinate, because the paper's self-contained
 /// label/key machinery leaves nothing to coordinate.
+///
+/// Documents have a *role*. A primary-role document runs the full write
+/// pipeline and streams to its replicas; a replica-role document runs a
+/// ReplicaApplier following an upstream corpus endpoint and serves reads
+/// only. Roles flip at runtime — `--promote` turns a replica into a
+/// primary over the same store directory (the layouts are bit-identical)
+/// and fences the old epoch; `--demote` turns a primary into a replica
+/// of a named upstream (the failover path for a rejoining old primary) or
+/// re-targets an existing replica. A corpus can therefore be mixed-role:
+/// after a failover a replica corpus is primary for the promoted
+/// documents and replica for the rest.
 ///
 /// Layout: `<corpus_dir>/<key>/` is a plain single-document store
 /// directory (CURRENT/snapshot-N/journal-N); every existing tool
@@ -61,20 +87,29 @@ struct ShardedServiceOptions {
 ///   --doc <key> --create <scheme>
 ///                             create an empty document (root element
 ///                             <root/>) labelled with <scheme>
+///   --doc <key> --promote [<epoch>]
+///                             flip a replica-role document to primary,
+///                             fencing with <epoch> (default: stored
+///                             epoch + 1). Idempotent on a primary.
+///   --doc <key> --demote <endpoint>
+///                             flip a primary-role document to replica of
+///                             <endpoint>, or re-target a replica there
 ///   --doc <key> repl-hello ...
 ///                             subscribe as a replica of one document
 ///                             (each document has its own replica set)
 ///   cluster-hello ... / --cluster-status
 ///                             discovery/status: proto, role, doc keys,
-///                             per-document CommitPoint triples
+///                             per-document CommitPoint triples, roles
+///                             and fence epochs
 ///   --ping / --stats / --shutdown
 ///                             service-level admin; --stats aggregates
 ///                             pipeline counters across the corpus
 class ShardedService : public concurrency::ConnectionHandler {
  public:
   /// Opens every document found under `corpus_dir` (creating the
-  /// directory if absent) and starts their pipelines. A subdirectory is
-  /// a document iff it holds a CURRENT file; anything else is ignored.
+  /// directory if absent) and starts their pipelines — or, with
+  /// options.replicate_from set, their appliers. A subdirectory is a
+  /// document iff it holds a CURRENT file; anything else is ignored.
   static common::Result<std::unique_ptr<ShardedService>> Open(
       const std::string& corpus_dir, const ShardedServiceOptions& options = {});
 
@@ -94,31 +129,78 @@ class ShardedService : public concurrency::ConnectionHandler {
                         const std::atomic<bool>& stop) override;
 
   /// The cluster-hello / --cluster-status payload: proto, role, docs,
-  /// and one `doc.<key>=<gen>:<records>:<bytes>:<epoch>` field per
-  /// document (sorted by key, so identical corpora render identically).
+  /// one `doc.<key>=<gen>:<records>:<bytes>:<epoch>` field per document
+  /// (sorted by key, so identical corpora render identically), plus
+  /// `docrole.<key>=primary|replica` and `docfence.<key>=<epoch>` — the
+  /// distinct prefixes keep parsing unambiguous even though keys may
+  /// contain dots.
   std::vector<std::string> StatusFields() const;
 
-  /// Stops every document pipeline. Idempotent; the destructor calls it.
+  /// Stops every document pipeline and applier. Idempotent; the
+  /// destructor calls it.
   void Stop();
 
   size_t document_count() const;
   std::vector<std::string> DocumentKeys() const;
 
  private:
-  /// One document: its replication source (the store's commit hook and
-  /// the streamer replicas subscribe to), its pipeline, and the Server
-  /// whose HandleRequest implements the single-document grammar.
+  /// One document. Primary role: replication source (the store's commit
+  /// hook and the streamer replicas subscribe to) + pipeline. Replica
+  /// role: an applier following `upstream`. Both: the Server whose
+  /// HandleRequest implements the single-document grammar — role flips
+  /// swap its pointers via Server::SetRole.
   struct DocEntry {
+    /// Serializes role flips and guards the role fields; the request
+    /// path copies what it needs under it and runs outside. Nests inside
+    /// the service mutex (StatusFields), never the other way.
+    std::mutex mu;
+    bool primary = false;
+    // Primary role:
     std::unique_ptr<replication::ReplicationSource> source;
     std::unique_ptr<concurrency::ConcurrentStore> store;
+    // Replica role:
+    std::unique_ptr<replication::ReplicaApplier> applier;
+    std::string upstream;
+    // Both:
     std::unique_ptr<concurrency::Server> server;
+    /// Sources retired by a demotion: Closed, but kept alive because
+    /// replica subscription threads may still be inside ServeReplica on
+    /// them. Freed when the service stops.
+    std::vector<std::unique_ptr<replication::ReplicationSource>>
+        retired_sources;
   };
 
   ShardedService(std::string corpus_dir, ShardedServiceOptions options);
 
-  /// Builds a DocEntry over an opened/created store directory.
+  /// Builds the primary-role pipeline (fenced source + store) over
+  /// `<corpus_dir>/<key>`.
+  common::Status OpenPipeline(
+      const std::string& key, bool create, const std::string& scheme,
+      std::unique_ptr<replication::ReplicationSource>* source,
+      std::unique_ptr<concurrency::ConcurrentStore>* store);
+
+  /// Builds a primary-role DocEntry over an opened/created store dir.
   common::Result<std::unique_ptr<DocEntry>> OpenEntry(
       const std::string& key, bool create, const std::string& scheme);
+
+  /// Builds a replica-role DocEntry applying from options_.replicate_from.
+  common::Result<std::unique_ptr<DocEntry>> OpenReplicaEntry(
+      const std::string& key);
+
+  /// Starts a ReplicaApplier for `key` following `upstream`.
+  common::Result<std::unique_ptr<replication::ReplicaApplier>> StartApplier(
+      const std::string& key, const std::string& upstream);
+
+  /// `--doc <key> --promote [<epoch>]`: replica → primary (see class
+  /// comment). Fills *response.
+  void PromoteDoc(DocEntry* entry, const std::string& key, uint64_t epoch,
+                  std::vector<std::string>* response);
+
+  /// `--doc <key> --demote <endpoint>`: primary → replica of endpoint,
+  /// or re-target an existing replica. Fills *response.
+  void DemoteDoc(DocEntry* entry, const std::string& key,
+                 const std::string& upstream,
+                 std::vector<std::string>* response);
 
   /// Looks up `key`; null when this shard does not own it.
   DocEntry* Find(const std::string& key) const;
@@ -127,6 +209,8 @@ class ShardedService : public concurrency::ConnectionHandler {
     obs::Counter* frames = nullptr;
     obs::Counter* unknown_doc = nullptr;
     obs::Counter* creates = nullptr;
+    obs::Counter* promotions = nullptr;
+    obs::Counter* demotions = nullptr;
     obs::Gauge* docs = nullptr;
   };
 

@@ -32,6 +32,19 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+bool ParseDecimalU64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 // --- Listener ---------------------------------------------------------------
@@ -181,6 +194,16 @@ Server::Server(ConcurrentStore* store, ViewProvider* views)
   metrics_.admin = reg.GetCounter("server.verb.admin");
 }
 
+void Server::SetRole(ConcurrentStore* store, ViewProvider* views,
+                     ReplicationStreamer* streamer,
+                     std::function<std::vector<std::string>()> repl_status) {
+  std::unique_lock<std::shared_mutex> lock(role_mu_);
+  store_ = store;
+  views_ = views;
+  streamer_ = streamer;
+  repl_status_ = std::move(repl_status);
+}
+
 bool Server::HandleRequest(const std::vector<std::string>& request,
                            std::vector<std::string>* response) {
   if (request.empty() || request[0].empty()) {
@@ -188,6 +211,38 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
     return false;
   }
   const std::string& verb = request[0];
+
+  if (verb == "--promote") {
+    // Handled before taking the role lock: the handler flips the role via
+    // SetRole, which needs it exclusive.
+    metrics_.admin->Add(1);
+    if (!promote_handler_) {
+      *response = ErrorResponse(
+          Status::Unsupported("this server cannot be promoted"));
+      return false;
+    }
+    uint64_t epoch = 0;
+    if (request.size() > 2 ||
+        (request.size() == 2 && !ParseDecimalU64(request[1], &epoch))) {
+      *response = ErrorResponse(
+          Status::InvalidArgument("--promote takes at most one numeric "
+                                  "epoch"));
+      return false;
+    }
+    Result<std::vector<std::string>> promoted = promote_handler_(epoch);
+    if (!promoted.ok()) {
+      *response = ErrorResponse(promoted.status());
+      return false;
+    }
+    *response = {"ok"};
+    for (std::string& field : *promoted) response->push_back(std::move(field));
+    return false;
+  }
+
+  // Every other verb dispatches against the current role; holding the
+  // lock shared for the whole request keeps the pointed-at objects alive
+  // until the reply is composed (SetRole drains us before returning).
+  std::shared_lock<std::shared_mutex> role_lock(role_mu_);
 
   if (verb == "--ping") {
     metrics_.admin->Add(1);
@@ -339,16 +394,25 @@ bool Server::HandleConnection(int in_fd, int out_fd,
     if (!(*frame)->empty() && (**frame)[0] == kReplicationHelloVerb) {
       // The connection becomes a one-way replication stream; the streamer
       // writes the reply and every message after it. When it returns the
-      // subscription is over — so is the connection.
+      // subscription is over — so is the connection. The streamer pointer
+      // is copied under the role lock but the stream runs outside it — a
+      // subscription lives as long as the connection and must not block a
+      // role flip; whoever swaps the streamer out keeps the old one alive
+      // (terminated) until its subscriptions drain.
       metrics_.admin->Add(1);
-      if (streamer_ == nullptr) {
+      ReplicationStreamer* streamer;
+      {
+        std::shared_lock<std::shared_mutex> role_lock(role_mu_);
+        streamer = streamer_;
+      }
+      if (streamer == nullptr) {
         (void)WriteFrame(
             out_fd, ErrorResponse(Status::Unsupported(
                         "this server does not accept replica subscriptions")));
         metrics_.errors->Add(1);
         return false;
       }
-      streamer_->ServeReplica(**frame, out_fd, stop);
+      streamer->ServeReplica(**frame, out_fd, stop);
       return false;
     }
     std::vector<std::string> response;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -115,6 +116,9 @@ class Listener {
 ///   --stats                  pipeline counters as key=value fields
 ///   --ping                   liveness probe
 ///   --repl-status            replication role/lag as key=value fields
+///   --promote [<epoch>]      flip a replica into a primary (see
+///                            SetPromoteHandler); response "ok" plus
+///                            handler fields
 ///   --shutdown               stop the server (acknowledged first)
 ///   repl-hello ...           subscribe as a replica (see above)
 ///   <actions...>             one or more -i/-a/-s/-d/-u CLI actions,
@@ -143,6 +147,31 @@ class Server : public ConnectionHandler {
   /// roles). Must be set before serving.
   void SetReplStatus(std::function<std::vector<std::string>()> fn) {
     repl_status_ = std::move(fn);
+  }
+
+  /// Atomically flips the server's role while it is serving: a promotion
+  /// installs a write pipeline (`store` non-null, usually == `views`)
+  /// with its replication streamer; a demotion installs a bare
+  /// ViewProvider and a null store/streamer, after which updates are
+  /// rejected. Blocks until in-flight requests drain, so the caller may
+  /// destroy the previously installed objects once this returns — except
+  /// a previous streamer, whose replica subscriptions run *outside* the
+  /// role lock and must be terminated and retired by the caller (see
+  /// replication::ReplicationSource::Close).
+  void SetRole(ConcurrentStore* store, ViewProvider* views,
+               ReplicationStreamer* streamer,
+               std::function<std::vector<std::string>()> repl_status);
+
+  /// Handles the `--promote [<epoch>]` admin verb: the handler performs
+  /// the actual role flip (stopping an applier, opening the pipeline,
+  /// calling SetRole) and returns the response fields after "ok", or an
+  /// error. Runs outside the role lock. Unset, the verb answers
+  /// Unsupported. Must be set before serving; the handler must be
+  /// thread-safe.
+  void SetPromoteHandler(
+      std::function<common::Result<std::vector<std::string>>(uint64_t epoch)>
+          fn) {
+    promote_handler_ = std::move(fn);
   }
 
   /// See Listener::set_drain_deadline_ms.
@@ -192,10 +221,19 @@ class Server : public ConnectionHandler {
     obs::Counter* admin = nullptr;
   };
 
+  /// Guards the role pointers below: requests hold it shared for their
+  /// whole dispatch (so the objects they touch cannot be swapped out from
+  /// under them), SetRole takes it exclusive — which doubles as the
+  /// in-flight-request drain. Replication subscriptions deliberately run
+  /// outside it: a stream lives for the connection and would deadlock a
+  /// flip; their lifetime is the streamer owner's problem.
+  mutable std::shared_mutex role_mu_;
   ConcurrentStore* store_;  ///< Null on a read-only replica.
   ViewProvider* views_;     ///< Always set; == store_ on a primary.
   ReplicationStreamer* streamer_ = nullptr;
   std::function<std::vector<std::string>()> repl_status_;
+  std::function<common::Result<std::vector<std::string>>(uint64_t)>
+      promote_handler_;
   MetricCells metrics_;
   std::atomic<bool> stdio_stop_{false};
   Listener listener_{this};

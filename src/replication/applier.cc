@@ -9,6 +9,7 @@
 
 #include "concurrency/server.h"
 #include "concurrency/wire.h"
+#include "replication/fence.h"
 #include "replication/protocol.h"
 
 namespace xmlup::replication {
@@ -48,6 +49,10 @@ Result<std::unique_ptr<ReplicaApplier>> ReplicaApplier::Start(
       new ReplicaApplier(dir, primary_socket, options));
   XMLUP_ASSIGN_OR_RETURN(applier->store_,
                          ReplicaStore::Open(dir, options.store));
+  XMLUP_ASSIGN_OR_RETURN(const FenceToken fence,
+                         ReadFence(options.store.fs, dir));
+  applier->fence_epoch_ = fence.epoch;
+  applier->status_.fence_epoch = fence.epoch;
   applier->status_.applied = applier->store_->position();
   if (applier->store_->has_document()) {
     // Serve stale-but-consistent reads from the recovered state right
@@ -103,6 +108,7 @@ std::vector<std::string> ReplicaApplier::StatusFields() const {
                    std::to_string(s.snapshots_installed));
   fields.push_back("rolls=" + std::to_string(s.rolls));
   fields.push_back("commit_points=" + std::to_string(s.commit_points));
+  fields.push_back("fence_epoch=" + std::to_string(s.fence_epoch));
   if (!s.last_error.empty()) {
     fields.push_back("last_error=" + s.last_error);
   }
@@ -199,7 +205,8 @@ void ReplicaApplier::RunSession(bool* connected_once) {
                 std::to_string(kReplProtocolVersion), scheme,
                 std::to_string(position.generation),
                 std::to_string(position.bytes),
-                std::to_string(position.records)});
+                std::to_string(position.records),
+                std::to_string(fence_epoch_)});
   bool session_ok = WriteFrame(fd, hello).ok();
   if (session_ok) {
     Result<std::optional<std::vector<std::string>>> reply = ReadFrame(fd);
@@ -215,6 +222,26 @@ void ReplicaApplier::RunSession(bool* connected_once) {
         RecordError(Status::Internal("primary closed during handshake"));
       }
       session_ok = false;
+    } else {
+      // The reply carries the primary's fence epoch; persist a higher one
+      // so a later promotion of *this* replica fences the right epoch and
+      // a rejoining stale primary can never serve us.
+      uint64_t primary_epoch = 0;
+      if ((*reply)->size() >= 3 &&
+          ParseU64((**reply)[2], &primary_epoch) &&
+          primary_epoch > fence_epoch_) {
+        Status persisted = WriteFence(options_.store.fs, dir_,
+                                      FenceToken{primary_epoch, {}});
+        if (!persisted.ok()) {
+          // Serving can continue — the epoch is re-learned on the next
+          // hello — but the failure is worth surfacing.
+          RecordError(persisted);
+        } else {
+          fence_epoch_ = primary_epoch;
+          std::lock_guard<std::mutex> lock(status_mu_);
+          status_.fence_epoch = primary_epoch;
+        }
+      }
     }
   }
   snapshot_buffer_.clear();

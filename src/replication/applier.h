@@ -45,6 +45,9 @@ struct ReplicaStatus {
   uint64_t snapshots_installed = 0;
   uint64_t rolls = 0;
   uint64_t commit_points = 0;
+  /// Highest fence epoch persisted (learned from the primary's hello
+  /// reply, or recovered from the FENCE file). See fence.h.
+  uint64_t fence_epoch = 0;
   std::string last_error;
 };
 
@@ -86,6 +89,10 @@ class ReplicaApplier : public concurrency::ViewProvider {
   ReplicaStatus status() const;
   /// key=value fields for `--repl-status` on the replica.
   std::vector<std::string> StatusFields() const;
+
+  /// The store directory this applier replicates into. Promotion opens a
+  /// full pipeline over the same directory after Stop().
+  const std::string& dir() const { return dir_; }
 
   /// Blocks until the applied position reaches `target` (same generation
   /// and at least its bytes, or any later generation) or `timeout_ms`
@@ -137,6 +144,10 @@ class ReplicaApplier : public concurrency::ViewProvider {
   /// Partial snapshot transfer: chunks received so far.
   std::string snapshot_buffer_;
   uint64_t next_epoch_ = 1;
+  /// Fence epoch (applier thread only; mirrored into status_). Loaded
+  /// from the FENCE file at Start, advanced when a hello reply carries a
+  /// higher one.
+  uint64_t fence_epoch_ = 0;
   /// Whether the current session applied anything (resets backoff).
   bool session_progress_ = false;
 

@@ -1,0 +1,76 @@
+#include "replication/fence.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "replication/protocol.h"
+
+namespace xmlup::replication {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string FencePath(const std::string& dir) {
+  return dir + "/" + kFenceFileName;
+}
+
+}  // namespace
+
+Result<FenceToken> ReadFence(store::FileSystem* fs, const std::string& dir) {
+  if (fs == nullptr) fs = store::PosixFileSystem();
+  const std::string path = FencePath(dir);
+  if (!fs->FileExists(path)) return FenceToken{};
+  Result<std::string> contents = fs->ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  // One line: "fence <epoch> <generation> <bytes> <records>\n".
+  std::string_view text = *contents;
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  std::vector<std::string_view> fields;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t space = text.find(' ', begin);
+    if (space == std::string_view::npos) {
+      fields.push_back(text.substr(begin));
+      break;
+    }
+    fields.push_back(text.substr(begin, space - begin));
+    begin = space + 1;
+  }
+  FenceToken token;
+  if (fields.size() != 5 || fields[0] != "fence" ||
+      !ParseU64(fields[1], &token.epoch) ||
+      !ParseU64(fields[2], &token.point.generation) ||
+      !ParseU64(fields[3], &token.point.bytes) ||
+      !ParseU64(fields[4], &token.point.records)) {
+    return Status::Internal("malformed fence file: " + path);
+  }
+  return token;
+}
+
+Status WriteFence(store::FileSystem* fs, const std::string& dir,
+                  const FenceToken& token) {
+  if (fs == nullptr) fs = store::PosixFileSystem();
+  const std::string path = FencePath(dir);
+  const std::string tmp = path + ".tmp";
+  const std::string line = "fence " + std::to_string(token.epoch) + " " +
+                           std::to_string(token.point.generation) + " " +
+                           std::to_string(token.point.bytes) + " " +
+                           std::to_string(token.point.records) + "\n";
+  Result<std::unique_ptr<store::WritableFile>> file =
+      fs->OpenWritable(tmp, store::FileSystem::WriteMode::kTruncate);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(line);
+  if (status.ok()) status = (*file)->Sync();
+  if (status.ok()) status = (*file)->Close();
+  if (!status.ok()) return status;
+  status = fs->RenameFile(tmp, path);
+  if (!status.ok()) return status;
+  return fs->SyncDir(dir);
+}
+
+}  // namespace xmlup::replication

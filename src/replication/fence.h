@@ -1,0 +1,67 @@
+#ifndef XMLUP_REPLICATION_FENCE_H_
+#define XMLUP_REPLICATION_FENCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "store/document_store.h"
+#include "store/file.h"
+
+namespace xmlup::replication {
+
+/// Fencing state of one store directory, persisted in a `FENCE` file next
+/// to the journal.
+///
+/// `epoch` counts promotions of the replication group the store belongs
+/// to: it starts at 0 (a store that has never seen a failover has no
+/// FENCE file), and every promotion writes epoch+1 together with `point`,
+/// the promoted store's commit position at the instant it took over.
+///
+/// The pair is what makes the old primary safe to rejoin. After a
+/// failover the old primary's journal and the new primary's agree up to
+/// `point` (everything the new primary had when it was elected) but may
+/// diverge beyond it — the old primary can hold acknowledged-but-never-
+/// shipped frames that exist nowhere else. A subscriber that hellos with
+/// an older epoch is therefore served incremental frames only while its
+/// position is at or before the fence point; past it, the primary forces
+/// snapshot catch-up, which erases the divergent tail. A subscriber with
+/// a *newer* epoch proves the local store is the stale one, and its
+/// hello is rejected outright.
+struct FenceToken {
+  uint64_t epoch = 0;
+  store::CommitPoint point;
+
+  friend bool operator==(const FenceToken&, const FenceToken&) = default;
+};
+
+inline constexpr char kFenceFileName[] = "FENCE";
+
+/// Commit-order comparison: (generation, records, bytes) lexicographic.
+/// Within a generation records and bytes advance together, so this agrees
+/// with byte order; across generations only the triple orders correctly.
+inline bool CommitPointLess(const store::CommitPoint& a,
+                            const store::CommitPoint& b) {
+  if (a.generation != b.generation) return a.generation < b.generation;
+  if (a.records != b.records) return a.records < b.records;
+  return a.bytes < b.bytes;
+}
+
+inline bool CommitPointLessEq(const store::CommitPoint& a,
+                              const store::CommitPoint& b) {
+  return !CommitPointLess(b, a);
+}
+
+/// Reads `dir`'s fence. A missing FENCE file is epoch 0 (never fenced),
+/// not an error; a present-but-corrupt one is an error — promotion state
+/// must never be guessed. `fs` null means the real POSIX file system.
+common::Result<FenceToken> ReadFence(store::FileSystem* fs,
+                                     const std::string& dir);
+
+/// Durably replaces `dir`'s fence (write-temp, rename, SyncDir).
+common::Status WriteFence(store::FileSystem* fs, const std::string& dir,
+                          const FenceToken& token);
+
+}  // namespace xmlup::replication
+
+#endif  // XMLUP_REPLICATION_FENCE_H_

@@ -12,16 +12,24 @@ namespace xmlup::replication {
 /// A replica opens a normal wire.h connection to the primary and sends
 /// one handshake frame:
 ///
-///   repl-hello <version> <scheme|-> <generation> <bytes> <records>
+///   repl-hello <version> <scheme|-> <generation> <bytes> <records> [<epoch>]
 ///
 /// where (generation, bytes, records) is the replica's durable position —
 /// the store::CommitPoint it recovered to — and <scheme> is its store's
 /// labelling scheme ("-" when the replica has no document yet). The
-/// primary replies "ok frames" (the offset is a live frame boundary it
-/// still retains) or "ok snapshot" (the replica is behind the oldest
-/// retained generation, mid-frame, or empty — full catch-up required), or
-/// "err <why>" (version/scheme mismatch). After the reply the connection
-/// is a one-way stream of messages from the primary:
+/// trailing <epoch> is the replica's fence epoch (see fence.h): how many
+/// promotions of the replication group it has heard of. A hello without
+/// the epoch field is accepted as epoch 0. The primary replies
+/// "ok frames <epoch>" (the offset is a live frame boundary it still
+/// retains and the position is not fenced off) or "ok snapshot <epoch>"
+/// (the replica is behind the oldest retained generation, mid-frame,
+/// empty, or past the fence point of an older epoch — full catch-up
+/// required), where <epoch> is the primary's fence epoch (the replica
+/// persists it if higher than its own); or "err <why>" (version/scheme
+/// mismatch, or the hello's epoch is *newer* than the primary's — the
+/// primary is a stale pre-failover survivor and must not serve). After
+/// the reply the connection is a one-way stream of messages from the
+/// primary:
 ///
 ///   snapshot <generation> <index> <count> <chunk>
 ///       One chunk of the generation-opening snapshot image, chunked to

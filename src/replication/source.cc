@@ -24,12 +24,15 @@ uint32_t ReadLe32(const std::string& bytes, uint64_t offset) {
   return v;
 }
 
+constexpr char kClosedMessage[] =
+    "replication source closed: primary demoted";
+
 }  // namespace
 
 ReplicationSource::ReplicationSource() : ReplicationSource(Options()) {}
 
 ReplicationSource::ReplicationSource(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), fence_(options_.fence) {
   obs::Registry& reg = obs::GlobalMetrics();
   metrics_.subscribers = reg.GetGauge("repl.src.subscribers");
   metrics_.snapshots_shipped = reg.GetCounter("repl.src.snapshots_shipped");
@@ -41,7 +44,7 @@ ReplicationSource::ReplicationSource(Options options)
 
 void ReplicationSource::OnCommit(store::DocumentStore* store) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!error_.ok()) return;
+  if (!error_.ok() || closed_) return;
   if (cursor_ == nullptr) {
     // Priming call: the store is quiescent and fully recovered. Capture
     // the generation-opening snapshot; the cursor starts at the head of
@@ -96,6 +99,18 @@ void ReplicationSource::OnCommit(store::DocumentStore* store) {
   current_.journal += batch->payload;
   current_.records += batch->records;
   committed_ = cursor_->position();
+  if (options_.sync_ship) {
+    // Semi-sync: this runs at the durability barrier, before the store
+    // resolves any waiter's future — a write acknowledged to a client has
+    // by then been written to every registered replica socket.
+    for (SyncSubscriber* sub : sync_subs_) ShipSyncLocked(sub);
+  }
+  data_ready_.notify_all();
+}
+
+void ReplicationSource::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
   data_ready_.notify_all();
 }
 
@@ -133,9 +148,119 @@ void ReplicationSource::SliceFrames(const std::string& journal,
   *records = count;
 }
 
+bool ReplicationSource::ComposeNextLocked(StreamPos* pos,
+                                          std::vector<std::string>* message,
+                                          bool* terminal,
+                                          uint64_t* payload_bytes) {
+  if (!error_.ok()) {
+    *message = {"err", error_.ToString()};
+    *terminal = true;
+    return true;
+  }
+  if (closed_) {
+    *message = {"err", kClosedMessage};
+    *terminal = true;
+    return true;
+  }
+  const GenerationImage* image = nullptr;
+  if (pos->generation == current_.generation) {
+    image = &current_;
+  } else if (prev_valid_ && pos->generation == prev_.generation) {
+    image = &prev_;
+  } else {
+    // More than one checkpoint passed while this subscriber lagged; the
+    // bytes it needs are gone. Reconnecting gets it a snapshot.
+    *message = {"err", "generation " + std::to_string(pos->generation) +
+                           " is no longer retained; reconnect for a "
+                           "snapshot"};
+    *terminal = true;
+    return true;
+  }
+  if (pos->bytes < image->journal.size()) {
+    uint64_t end, records;
+    SliceFrames(image->journal, pos->bytes, options_.max_batch_bytes, &end,
+                &records);
+    *message = {kReplVerbFrames,
+                std::to_string(pos->generation),
+                std::to_string(pos->bytes),
+                std::to_string(pos->records),
+                std::to_string(records),
+                EscapeBinary(std::string_view(image->journal)
+                                 .substr(pos->bytes, end - pos->bytes))};
+    *payload_bytes = end - pos->bytes;
+    pos->bytes = end;
+    pos->records += records;
+    return true;
+  }
+  if (image == &prev_) {
+    // The subscriber drained the finished generation: its document now
+    // equals the primary's at the checkpoint, so it can roll by writing
+    // its own (deterministic, bit-identical) snapshot.
+    *message = {kReplVerbRoll, std::to_string(current_.generation)};
+    pos->generation = current_.generation;
+    pos->bytes = store::kJournalHeaderSize;
+    pos->records = 0;
+    return true;
+  }
+  return false;  // Caught up on the live generation.
+}
+
+void ReplicationSource::ShipSyncLocked(SyncSubscriber* sub) {
+  while (!sub->failed) {
+    std::vector<std::string> message;
+    bool terminal = false;
+    uint64_t payload_bytes = 0;
+    if (!ComposeNextLocked(&sub->pos, &message, &terminal, &payload_bytes)) {
+      // Caught up: chase the commit point so the replica fsyncs and
+      // publishes exactly what was just acknowledged.
+      if (sub->have_sent_commit && sub->last_commit == committed_) return;
+      message = {kReplVerbCommitPoint, std::to_string(committed_.generation),
+                 std::to_string(committed_.bytes),
+                 std::to_string(committed_.records)};
+      if (!WriteFrame(sub->fd, message).ok()) {
+        sub->failed = true;
+        return;
+      }
+      CountSend(message, 0);
+      sub->last_commit = committed_;
+      sub->have_sent_commit = true;
+      return;
+    }
+    if (!WriteFrame(sub->fd, message).ok()) {
+      sub->failed = true;
+      return;
+    }
+    CountSend(message, payload_bytes);
+    if (terminal) {
+      sub->failed = true;
+      return;
+    }
+  }
+}
+
+void ReplicationSource::CountSend(const std::vector<std::string>& message,
+                                  uint64_t payload_bytes) {
+  if (message[0] == kReplVerbFrames) {
+    metrics_.frames_shipped->Add(1);
+    metrics_.bytes_shipped->Add(payload_bytes);
+  } else if (message[0] == kReplVerbCommitPoint) {
+    metrics_.commit_points->Add(1);
+  }
+}
+
 store::CommitPoint ReplicationSource::committed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return committed_;
+}
+
+uint64_t ReplicationSource::fence_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fence_.epoch;
+}
+
+void ReplicationSource::SetFence(const FenceToken& fence) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fence_ = fence;
 }
 
 std::vector<std::string> ReplicationSource::StatusFields() const {
@@ -147,9 +272,12 @@ std::vector<std::string> ReplicationSource::StatusFields() const {
   fields.push_back("committed_bytes=" + std::to_string(committed_.bytes));
   fields.push_back("committed_records=" +
                    std::to_string(committed_.records));
+  fields.push_back("fence_epoch=" + std::to_string(fence_.epoch));
   fields.push_back("subscribers=" + std::to_string(subscribers_));
   fields.push_back("snapshots_shipped=" +
                    std::to_string(snapshots_shipped_));
+  if (options_.sync_ship) fields.push_back("sync_ship=on");
+  if (closed_) fields.push_back("closed=1");
   if (!error_.ok()) fields.push_back("error=" + error_.ToString());
   return fields;
 }
@@ -160,15 +288,17 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
   auto fail = [out_fd](const std::string& message) {
     (void)WriteFrame(out_fd, {"err", message});
   };
-  if (request.size() != 6) {
+  if (request.size() != 6 && request.size() != 7) {
     fail("malformed hello: want <verb> <version> <scheme> <generation> "
-         "<bytes> <records>");
+         "<bytes> <records> [<epoch>]");
     return;
   }
   uint64_t version, hello_gen, hello_bytes, hello_records;
+  uint64_t hello_epoch = 0;
   if (!ParseU64(request[1], &version) || !ParseU64(request[3], &hello_gen) ||
       !ParseU64(request[4], &hello_bytes) ||
-      !ParseU64(request[5], &hello_records)) {
+      !ParseU64(request[5], &hello_records) ||
+      (request.size() == 7 && !ParseU64(request[6], &hello_epoch))) {
     fail("malformed hello: non-numeric position field");
     return;
   }
@@ -183,8 +313,9 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
   // needs so the bulk transfer runs without holding it.
   bool send_snapshot = false;
   std::string snapshot_image;
+  uint64_t my_epoch = 0;
   // The subscriber's stream position (journal file offsets).
-  uint64_t pos_gen, pos_bytes, pos_records;
+  StreamPos pos;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (cursor_ == nullptr) {
@@ -198,6 +329,11 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
       fail(message);
       return;
     }
+    if (closed_) {
+      lock.unlock();
+      fail(kClosedMessage);
+      return;
+    }
     if (hello_scheme != kReplNoScheme && hello_scheme != scheme_name_) {
       const std::string message =
           "scheme mismatch: primary uses " + scheme_name_;
@@ -205,24 +341,37 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
       fail(message);
       return;
     }
-    if (hello_gen == current_.generation &&
+    if (hello_epoch > fence_.epoch) {
+      // The subscriber has heard of a later promotion than we have: we
+      // are the stale pre-failover primary and must not serve it.
+      const std::string message =
+          "fenced: subscriber epoch " + std::to_string(hello_epoch) +
+          " is ahead of primary epoch " + std::to_string(fence_.epoch);
+      lock.unlock();
+      fail(message);
+      return;
+    }
+    // A subscriber from an older epoch may hold acknowledged frames the
+    // promoted primary never saw — its journal beyond the fence point is
+    // not trusted, so incremental frames are only valid up to it.
+    const store::CommitPoint hello_point{hello_gen, hello_bytes,
+                                         hello_records};
+    const bool fence_ok = hello_epoch == fence_.epoch ||
+                          CommitPointLessEq(hello_point, fence_.point);
+    my_epoch = fence_.epoch;
+    if (fence_ok && hello_gen == current_.generation &&
         ValidBoundary(current_, hello_bytes, hello_records)) {
-      pos_gen = current_.generation;
-      pos_bytes = hello_bytes;
-      pos_records = hello_records;
-    } else if (prev_valid_ && hello_gen == prev_.generation &&
+      pos = {current_.generation, hello_bytes, hello_records};
+    } else if (fence_ok && prev_valid_ && hello_gen == prev_.generation &&
                ValidBoundary(prev_, hello_bytes, hello_records)) {
-      pos_gen = prev_.generation;
-      pos_bytes = hello_bytes;
-      pos_records = hello_records;
+      pos = {prev_.generation, hello_bytes, hello_records};
     } else {
-      // Empty replica, a generation no longer retained, or an offset that
-      // is not a frame boundary we recognise: full snapshot catch-up.
+      // Empty replica, a generation no longer retained, a fenced-off
+      // position, or an offset that is not a frame boundary we
+      // recognise: full snapshot catch-up.
       send_snapshot = true;
       snapshot_image = current_.snapshot;
-      pos_gen = current_.generation;
-      pos_bytes = store::kJournalHeaderSize;
-      pos_records = 0;
+      pos = {current_.generation, store::kJournalHeaderSize, 0};
     }
     ++subscribers_;
     if (send_snapshot) ++snapshots_shipped_;
@@ -237,8 +386,9 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
     }
   } guard{this};
 
-  if (!WriteFrame(out_fd, {"ok", send_snapshot ? kReplModeSnapshot
-                                               : kReplModeFrames})
+  if (!WriteFrame(out_fd,
+                  {"ok", send_snapshot ? kReplModeSnapshot : kReplModeFrames,
+                   std::to_string(my_epoch)})
            .ok()) {
     return;
   }
@@ -257,8 +407,8 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
       const uint64_t len =
           std::min<uint64_t>(chunk_size, snapshot_image.size() - begin);
       std::vector<std::string> message = {
-          kReplVerbSnapshot, std::to_string(pos_gen), std::to_string(i),
-          std::to_string(chunks),
+          kReplVerbSnapshot, std::to_string(pos.generation),
+          std::to_string(i), std::to_string(chunks),
           EscapeBinary(std::string_view(snapshot_image).substr(begin, len))};
       if (!WriteFrame(out_fd, message).ok()) return;
       metrics_.bytes_shipped->Add(len);
@@ -266,10 +416,43 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
     snapshot_image.clear();
   }
 
-  // The streaming loop: compose one message under the lock, send it
-  // outside. last_sent_commit suppresses duplicate commit-points while
-  // new data keeps arriving; the heartbeat timeout re-sends one anyway so
-  // an idle replica still observes a live, lag-zero primary.
+  if (options_.sync_ship) {
+    // Semi-sync subscription: ship the backlog inline, then hand the fd
+    // to the commit hook — from registration on, OnCommit (under mu_) is
+    // the only writer to this socket and this thread just waits for the
+    // subscription to end.
+    SyncSubscriber sub;
+    sub.fd = out_fd;
+    sub.pos = pos;
+    std::string terminal_message;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ShipSyncLocked(&sub);
+      if (sub.failed) return;
+      sync_subs_.push_back(&sub);
+      while (!stop.load() && !sub.failed && error_.ok() && !closed_) {
+        data_ready_.wait_for(
+            lock, std::chrono::milliseconds(options_.heartbeat_ms));
+      }
+      sync_subs_.erase(
+          std::remove(sync_subs_.begin(), sync_subs_.end(), &sub),
+          sync_subs_.end());
+      if (!sub.failed) {
+        if (!error_.ok()) {
+          terminal_message = error_.ToString();
+        } else if (closed_) {
+          terminal_message = kClosedMessage;
+        }
+      }
+    }
+    if (!terminal_message.empty()) fail(terminal_message);
+    return;
+  }
+
+  // The async streaming loop: compose one message under the lock, send
+  // it outside. last_sent_commit suppresses duplicate commit-points
+  // while new data keeps arriving; the heartbeat timeout re-sends one
+  // anyway so an idle replica still observes a live, lag-zero primary.
   store::CommitPoint last_sent_commit;
   bool have_sent_commit = false;
   while (!stop.load()) {
@@ -278,90 +461,37 @@ void ReplicationSource::ServeReplica(const std::vector<std::string>& request,
     uint64_t payload_bytes = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      if (!error_.ok()) {
-        message = {"err", error_.ToString()};
-        terminal = true;
-      } else if (pos_gen == current_.generation) {
-        if (pos_bytes < current_.journal.size()) {
-          uint64_t end, records;
-          SliceFrames(current_.journal, pos_bytes, options_.max_batch_bytes,
-                      &end, &records);
-          message = {kReplVerbFrames,
-                     std::to_string(pos_gen),
-                     std::to_string(pos_bytes),
-                     std::to_string(pos_records),
-                     std::to_string(records),
-                     EscapeBinary(std::string_view(current_.journal)
-                                      .substr(pos_bytes, end - pos_bytes))};
-          payload_bytes = end - pos_bytes;
-          pos_bytes = end;
-          pos_records += records;
+      if (!ComposeNextLocked(&pos, &message, &terminal, &payload_bytes)) {
+        // Caught up: announce the commit point once per position, then
+        // heartbeat. The wait releases the lock until the writer thread
+        // commits more frames (or the heartbeat expires).
+        if (!have_sent_commit || !(last_sent_commit == committed_)) {
+          message = {kReplVerbCommitPoint,
+                     std::to_string(committed_.generation),
+                     std::to_string(committed_.bytes),
+                     std::to_string(committed_.records)};
+          last_sent_commit = committed_;
+          have_sent_commit = true;
         } else {
-          // Caught up: announce the commit point once per position, then
-          // heartbeat. The wait releases the lock until the writer thread
-          // commits more frames (or the heartbeat expires).
-          if (!have_sent_commit || !(last_sent_commit == committed_)) {
+          data_ready_.wait_for(
+              lock, std::chrono::milliseconds(options_.heartbeat_ms));
+          if (ComposeNextLocked(&pos, &message, &terminal,
+                                &payload_bytes)) {
+            // New frames (or a terminal condition): send them below.
+          } else if (!(last_sent_commit == committed_)) {
+            continue;  // A new commit point: recompose and announce it.
+          } else {
+            // Nothing new: heartbeat the same commit point.
             message = {kReplVerbCommitPoint,
                        std::to_string(committed_.generation),
                        std::to_string(committed_.bytes),
                        std::to_string(committed_.records)};
-            last_sent_commit = committed_;
-            have_sent_commit = true;
-          } else {
-            data_ready_.wait_for(
-                lock, std::chrono::milliseconds(options_.heartbeat_ms));
-            if (pos_bytes >= current_.journal.size() &&
-                pos_gen == current_.generation && error_.ok()) {
-              // Nothing new: heartbeat the same commit point.
-              message = {kReplVerbCommitPoint,
-                         std::to_string(committed_.generation),
-                         std::to_string(committed_.bytes),
-                         std::to_string(committed_.records)};
-            } else {
-              continue;  // recompose against the new state
-            }
           }
         }
-      } else if (prev_valid_ && pos_gen == prev_.generation) {
-        if (pos_bytes < prev_.journal.size()) {
-          uint64_t end, records;
-          SliceFrames(prev_.journal, pos_bytes, options_.max_batch_bytes,
-                      &end, &records);
-          message = {kReplVerbFrames,
-                     std::to_string(pos_gen),
-                     std::to_string(pos_bytes),
-                     std::to_string(pos_records),
-                     std::to_string(records),
-                     EscapeBinary(std::string_view(prev_.journal)
-                                      .substr(pos_bytes, end - pos_bytes))};
-          payload_bytes = end - pos_bytes;
-          pos_bytes = end;
-          pos_records += records;
-        } else {
-          // The subscriber drained the finished generation: its document
-          // now equals the primary's at the checkpoint, so it can roll by
-          // writing its own (deterministic, bit-identical) snapshot.
-          message = {kReplVerbRoll, std::to_string(current_.generation)};
-          pos_gen = current_.generation;
-          pos_bytes = store::kJournalHeaderSize;
-          pos_records = 0;
-        }
-      } else {
-        // More than one checkpoint passed while this subscriber lagged;
-        // the bytes it needs are gone. Reconnecting gets it a snapshot.
-        message = {"err", "generation " + std::to_string(pos_gen) +
-                              " is no longer retained; reconnect for a "
-                              "snapshot"};
-        terminal = true;
       }
     }
     if (!WriteFrame(out_fd, message).ok()) return;
-    if (message[0] == kReplVerbFrames) {
-      metrics_.frames_shipped->Add(1);
-      metrics_.bytes_shipped->Add(payload_bytes);
-    } else if (message[0] == kReplVerbCommitPoint) {
-      metrics_.commit_points->Add(1);
-    }
+    CountSend(message, payload_bytes);
     if (terminal) return;
   }
 }

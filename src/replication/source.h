@@ -13,6 +13,7 @@
 #include "concurrency/concurrent_store.h"
 #include "concurrency/server.h"
 #include "observability/metrics.h"
+#include "replication/fence.h"
 #include "store/document_store.h"
 #include "store/journal_cursor.h"
 
@@ -36,10 +37,19 @@ namespace xmlup::replication {
 /// Plugged into a Server as its ReplicationStreamer, each replica
 /// connection runs ServeReplica on its own connection thread: it
 /// validates the hello against the buffered images (frame-boundary
-/// check), streams `snapshot` chunks when the replica needs full
-/// catch-up, then `frames`/`roll`/`commit-point` messages composed under
-/// the source mutex and sent outside it — a slow replica never blocks the
-/// writer thread, only its own connection.
+/// check) and the fence (see fence.h), streams `snapshot` chunks when the
+/// replica needs full catch-up, then `frames`/`roll`/`commit-point`
+/// messages composed under the source mutex and sent outside it — a slow
+/// replica never blocks the writer thread, only its own connection.
+///
+/// With Options::sync_ship set, caught-up subscribers instead register
+/// with the hook and OnCommit writes their frames inline, *before* the
+/// store resolves the batch's futures — acknowledged then implies
+/// already-written-to-every-connected-replica-socket, which is what lets
+/// a failover after `kill -9` of the primary promote a replica that holds
+/// every acknowledged write. The price is the inverse of the async
+/// contract: a slow or wedged replica socket backpressures the commit
+/// path. Off by default.
 class ReplicationSource : public concurrency::CommitHook,
                           public concurrency::ReplicationStreamer {
  public:
@@ -51,6 +61,14 @@ class ReplicationSource : public concurrency::CommitHook,
     uint64_t snapshot_chunk_bytes = 1u << 20;
     /// Caught-up subscribers get a commit-point heartbeat this often.
     uint64_t heartbeat_ms = 500;
+    /// Fencing state the primary serves under (ReadFence of its store
+    /// dir). Subscribers from older epochs are frame-fed only up to the
+    /// fence point; subscribers from newer epochs are rejected.
+    FenceToken fence;
+    /// Semi-synchronous shipping: OnCommit writes committed frames to
+    /// every registered subscriber socket before returning (see class
+    /// comment). Off = classic async streaming on connection threads.
+    bool sync_ship = false;
   };
 
   ReplicationSource();
@@ -59,17 +77,32 @@ class ReplicationSource : public concurrency::CommitHook,
   /// CommitHook: called on the store's pipeline threads — priming and
   /// post-roll on the writer (with the flusher drained), post-commit on
   /// the flusher at the durability barrier — but never from two threads
-  /// at once. Never blocks on subscribers.
+  /// at once. Never blocks on subscribers unless sync_ship is set.
   void OnCommit(store::DocumentStore* store) override;
 
   /// ReplicationStreamer: serves one replica subscription until the
-  /// connection breaks, `stop` turns true, or the stream position falls
-  /// off the retained images.
+  /// connection breaks, `stop` turns true, the source is Close()d, or
+  /// the stream position falls off the retained images.
   void ServeReplica(const std::vector<std::string>& request, int out_fd,
                     const std::atomic<bool>& stop) override;
 
+  /// Terminates every subscription with a stream error and refuses new
+  /// hellos — the demotion path: the caller is about to re-open the store
+  /// directory as a replica and this source must never ship again.
+  /// Connection threads may still be inside ServeReplica when this
+  /// returns; keep the source alive until they drain (retire, don't
+  /// delete).
+  void Close();
+
   /// Latest commit point buffered (== shippable). Test/quiesce helper.
   store::CommitPoint committed() const;
+
+  /// The fence epoch this source serves under.
+  uint64_t fence_epoch() const;
+
+  /// Installs a new fence (an idempotent re-promotion bumped the epoch on
+  /// disk; keep serving decisions consistent with it).
+  void SetFence(const FenceToken& fence);
 
   /// key=value fields for `--repl-status` on the primary.
   std::vector<std::string> StatusFields() const;
@@ -86,6 +119,24 @@ class ReplicationSource : public concurrency::CommitHook,
     uint64_t records = 0;
   };
 
+  /// One subscriber's position in the stream (journal file offsets).
+  struct StreamPos {
+    uint64_t generation = 0;
+    uint64_t bytes = 0;
+    uint64_t records = 0;
+  };
+
+  /// A subscriber registered for sync_ship: OnCommit owns writes to `fd`
+  /// (under mu_) from registration until `failed` flips or the entry is
+  /// removed; the connection thread just waits.
+  struct SyncSubscriber {
+    int fd = -1;
+    StreamPos pos;
+    store::CommitPoint last_commit;
+    bool have_sent_commit = false;
+    bool failed = false;
+  };
+
   /// True iff (bytes, records) is a frame boundary of `image.journal`
   /// with exactly `records` complete frames before it.
   static bool ValidBoundary(const GenerationImage& image, uint64_t bytes,
@@ -97,6 +148,23 @@ class ReplicationSource : public concurrency::CommitHook,
   static void SliceFrames(const std::string& journal, uint64_t begin,
                           uint64_t max_batch_bytes, uint64_t* end,
                           uint64_t* records);
+
+  /// Composes the next frames/roll message for `pos` and advances it.
+  /// Returns false when the subscriber is caught up (no message). On a
+  /// terminal condition (source error, closed, position fell off the
+  /// retained images) composes an err message and sets *terminal. Caller
+  /// holds mu_.
+  bool ComposeNextLocked(StreamPos* pos, std::vector<std::string>* message,
+                         bool* terminal, uint64_t* payload_bytes);
+
+  /// Ships everything pending to one registered sync subscriber,
+  /// inline on the caller's thread. Caller holds mu_. Marks the
+  /// subscriber failed on a write error or terminal stream condition.
+  void ShipSyncLocked(SyncSubscriber* sub);
+
+  /// Records send metrics for one stream message.
+  void CountSend(const std::vector<std::string>& message,
+                 uint64_t payload_bytes);
 
   struct MetricCells {
     obs::Gauge* subscribers = nullptr;
@@ -118,8 +186,11 @@ class ReplicationSource : public concurrency::CommitHook,
   bool prev_valid_ = false;
   store::CommitPoint committed_;
   common::Status error_;  ///< First cursor/snapshot failure; terminal.
+  bool closed_ = false;   ///< Close() called; all streams terminate.
+  FenceToken fence_;
   uint64_t subscribers_ = 0;
   uint64_t snapshots_shipped_ = 0;
+  std::vector<SyncSubscriber*> sync_subs_;  ///< Registered sync_ship fds.
 };
 
 }  // namespace xmlup::replication

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -104,41 +105,82 @@ struct NodeRuntime {
   std::atomic<uint64_t> errors{0};
 };
 
-/// One worker's persistent connection: a transport failure buys exactly
-/// one fresh dial (the server may have restarted under us); a second
-/// failure aborts the run loudly.
+/// A router reply saying the shard behind it is down — retryable only
+/// when the run opted in (a failover window, not a steady-state error).
+bool IsRoutedUnavailable(const std::vector<std::string>& reply) {
+  return reply.size() >= 2 && reply[0] == "err" &&
+         reply[1].rfind("routed: ", 0) == 0 &&
+         reply[1].find("unavailable: ") != std::string::npos;
+}
+
+/// One worker's persistent connection: each client op gets up to
+/// `op_attempts` transport attempts, sleeping a doubling backoff between
+/// them (the server may be restarting, or a failover may be electing a
+/// new primary under the target). Exhausting the budget aborts the run
+/// loudly. Retries consume no RNG draws — determinism of --ops traces
+/// does not depend on how flaky the transport was.
 class WireClient {
  public:
-  explicit WireClient(std::string target) : target_(std::move(target)) {}
+  WireClient(const EngineOptions& options, obs::Counter* retries_cell,
+             std::atomic<uint64_t>* retries)
+      : options_(options),
+        target_(options.target),
+        retries_cell_(retries_cell),
+        retries_(retries) {}
   ~WireClient() {
     if (fd_ >= 0) ::close(fd_);
   }
 
   Result<std::vector<std::string>> Request(
       const std::vector<std::string>& frame) {
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    const int attempts = std::max(1, options_.op_attempts);
+    uint64_t backoff_ms = options_.retry_backoff_initial_ms;
+    Status last = Status::Ok();
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        retries_cell_->Add();
+        retries_->fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, options_.retry_backoff_max_ms);
+      }
       if (fd_ < 0) {
         auto dialed = concurrency::DialEndpoint(target_);
         if (!dialed.ok()) {
-          if (attempt == 0) continue;
-          return dialed.status();
+          last = dialed.status();
+          continue;
         }
         fd_ = *dialed;
       }
       Status wrote = concurrency::WriteFrame(fd_, frame);
       if (wrote.ok()) {
         auto reply = concurrency::ReadFrame(fd_);
-        if (reply.ok() && reply->has_value()) return std::move(**reply);
+        if (reply.ok() && reply->has_value()) {
+          if (options_.retry_routed_errors && IsRoutedUnavailable(**reply)) {
+            // The router answered — keep the connection — but the shard
+            // behind it is down; spend another attempt on the window.
+            last = Status::Internal((**reply)[1]);
+            continue;
+          }
+          return std::move(**reply);
+        }
+        last = reply.ok() ? Status::Internal("connection closed mid-request")
+                          : reply.status();
+      } else {
+        last = wrote;
       }
       ::close(fd_);
       fd_ = -1;
     }
-    return Status::Internal("workload: connection to " + target_ +
-                            " failed twice");
+    return Status::Internal("workload: request to " + target_ +
+                            " failed after " + std::to_string(attempts) +
+                            " attempts: " + last.ToString());
   }
 
  private:
+  const EngineOptions& options_;
   std::string target_;
+  obs::Counter* retries_cell_;
+  std::atomic<uint64_t>* retries_;
   int fd_ = -1;
 };
 
@@ -147,6 +189,8 @@ struct SharedRun {
   const EngineOptions* options;
   const VariableTable* vars;
   std::vector<NodeRuntime>* nodes;
+  obs::Counter* retries_cell = nullptr;
+  std::atomic<uint64_t>* retries_total = nullptr;
   std::chrono::steady_clock::time_point start;
   std::chrono::steady_clock::time_point deadline;  // meaningful iff timed
   bool timed = false;
@@ -154,11 +198,12 @@ struct SharedRun {
 };
 
 Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
-                 std::vector<std::string>* trace) {
+                 std::vector<std::string>* trace,
+                 std::vector<std::string>* acked) {
   const WorkloadSpec& spec = *run.spec;
   const EngineOptions& options = *run.options;
   SplitMix64 rng(rng_seed);
-  WireClient client(options.target);
+  WireClient client(options, run.retries_cell, run.retries_total);
   uint64_t ops_done = 0;
 
   // (for-n node, iterations remaining) — `end` pops back here.
@@ -257,8 +302,9 @@ Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
       frame.push_back(Expand(node.xpath, *run.vars, thread_index, ops_done,
                              rng));
     }
-    if (trace != nullptr) {
-      std::string line = node.name;
+    std::string line;
+    if (trace != nullptr || acked != nullptr) {
+      line = node.name;
       if (!doc_key.empty()) {
         line += " doc=";
         line += doc_key;
@@ -267,8 +313,10 @@ Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
         line += ' ';
         line += frame[i];
       }
-      trace->push_back(std::move(line));
     }
+    // The trace records the *attempt*, before any outcome: it witnesses
+    // the deterministic client-side op sequence, retries and all.
+    if (trace != nullptr) trace->push_back(line);
 
     const uint64_t t0 = obs::MonotonicNanos();
     auto reply = client.Request(frame);
@@ -279,6 +327,10 @@ Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
     if (reply->empty() || (*reply)[0] != "ok") {
       cells.errors_cell->Add();
       cells.errors.fetch_add(1, std::memory_order_relaxed);
+    } else if (acked != nullptr) {
+      // The ack ledger records only what the server acknowledged — the
+      // set of ops a failover must preserve.
+      acked->push_back(std::move(line));
     }
     ++ops_done;
     node_index = node.next;
@@ -336,11 +388,14 @@ common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
     nodes[i].errors_cell = reg.GetCounter(base + ".errors");
   }
 
+  std::atomic<uint64_t> retries_total{0};
   SharedRun run;
   run.spec = &spec;
   run.options = &options;
   run.vars = &*vars;
   run.nodes = &nodes;
+  run.retries_cell = reg.GetCounter("workload.retries");
+  run.retries_total = &retries_total;
   run.start = std::chrono::steady_clock::now();
   run.timed = options.duration_ms > 0;
   run.deadline = run.start + std::chrono::milliseconds(options.duration_ms);
@@ -354,13 +409,16 @@ common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
 
   std::vector<std::vector<std::string>> traces(
       options.collect_trace ? options.threads : 0);
+  std::vector<std::vector<std::string>> acks(
+      options.collect_acks ? options.threads : 0);
   std::vector<Status> outcomes(options.threads);
   std::vector<std::thread> workers;
   workers.reserve(options.threads);
   for (size_t t = 0; t < options.threads; ++t) {
     workers.emplace_back([&, t] {
       outcomes[t] = RunWorker(run, t, worker_seeds[t],
-                              options.collect_trace ? &traces[t] : nullptr);
+                              options.collect_trace ? &traces[t] : nullptr,
+                              options.collect_acks ? &acks[t] : nullptr);
     });
   }
   for (auto& w : workers) w.join();
@@ -376,7 +434,9 @@ common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
 
   WorkloadReport report;
   report.elapsed_ms = elapsed_ms;
+  report.retries_total = retries_total.load();
   report.trace = std::move(traces);
+  report.acked = std::move(acks);
   for (size_t i = 0; i < spec.nodes.size(); ++i) {
     const SpecNode& node = spec.nodes[i];
     if (nodes[i].latency_ns == nullptr) continue;
@@ -421,6 +481,7 @@ std::string RenderWorkloadJson(const WorkloadSpec& spec,
   out << "  \"elapsed_ms\": " << report.elapsed_ms << ",\n";
   out << "  \"ops_total\": " << report.ops_total << ",\n";
   out << "  \"errors_total\": " << report.errors_total << ",\n";
+  out << "  \"retries_total\": " << report.retries_total << ",\n";
   out << "  \"ops_per_s\": " << report.ops_per_s << ",\n";
   out << "  \"nodes\": [\n";
   for (size_t i = 0; i < report.nodes.size(); ++i) {

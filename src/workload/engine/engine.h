@@ -46,6 +46,29 @@ struct EngineOptions {
   /// override must name a variable the spec defines (the static
   /// template validation stays sound).
   std::vector<std::pair<std::string, std::string>> overrides;
+  /// Transport attempts per client op (each attempt is one dial-if-needed
+  /// + request). The default keeps the historical behaviour — one redial
+  /// per op, then fail the run. Raise it for chaos runs whose target is
+  /// allowed to die mid-stream: a failover window is survived by ops
+  /// that retry until the promoted primary answers. Retries draw no RNG
+  /// and the trace line is emitted before the first attempt, so an
+  /// --ops run's trace is bit-identical however many retries any op
+  /// needed.
+  int op_attempts = 2;
+  /// Sleep between attempts: doubles from initial to max. No sleep
+  /// before the first attempt.
+  uint64_t retry_backoff_initial_ms = 10;
+  uint64_t retry_backoff_max_ms = 500;
+  /// Treat a router's "routed: shard <i> (...) unavailable: ..." error
+  /// reply as retryable within the same attempt budget. Off, it counts
+  /// as a server-side error like any other "err" (in a steady-state run
+  /// a routed error is a real finding; in a failover run it is the
+  /// window itself).
+  bool retry_routed_errors = false;
+  /// Record every *acknowledged* client op ("ok" reply) per thread into
+  /// WorkloadReport::acked, same line shape as the trace. The chaos
+  /// suite's ledger: every line here must survive a failover.
+  bool collect_acks = false;
 };
 
 /// Per-node outcome. Latency percentiles come from the node's
@@ -63,6 +86,7 @@ struct NodeReport {
 struct WorkloadReport {
   uint64_t ops_total = 0;     ///< client ops (edit + query frames)
   uint64_t errors_total = 0;  ///< "err" replies across client nodes
+  uint64_t retries_total = 0;  ///< transport/routed retries across workers
   double elapsed_ms = 0;
   double ops_per_s = 0;
   /// edit/query/think-time nodes in spec order (control nodes —
@@ -70,13 +94,16 @@ struct WorkloadReport {
   std::vector<NodeReport> nodes;
   /// Per-thread client op traces (EngineOptions::collect_trace).
   std::vector<std::vector<std::string>> trace;
+  /// Per-thread acknowledged-op ledgers (EngineOptions::collect_acks).
+  std::vector<std::vector<std::string>> acked;
 };
 
 /// Runs `spec` against `options.target` with `options.threads` workers,
-/// each holding one persistent wire-protocol connection (redialed once
-/// on transport failure). Server-side "err" replies are counted per
-/// node and the run continues; transport failure after a redial fails
-/// the whole run. Per-node latency is recorded into the global
+/// each holding one persistent wire-protocol connection (redialed with
+/// backoff up to `op_attempts` per op). Server-side "err" replies are
+/// counted per node and the run continues; transport failure after the
+/// attempt budget fails the whole run. Per-node latency is recorded into
+/// the global
 /// obs::Registry ("workload.node.<name>.ns" plus ".ops"/".errors"
 /// counters), alongside the engine-side exact counts in the report.
 common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,

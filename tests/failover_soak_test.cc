@@ -1,0 +1,554 @@
+// Failover chaos soak: two TCP shards, each with two sync-replicated
+// replica corpora, fronted by a router whose FailoverMonitor watches the
+// primaries. A seeded workload with op-boundary retries hammers the
+// router while shard 0's primary is killed mid-stream. The suite proves
+// the promotion guarantees end to end: zero acknowledged-write loss
+// (every acked insert is present, bit-for-bit, on the promoted replica),
+// the furthest-ahead replica won the election, the router repointed
+// traffic without a single client-visible error, and the restarted old
+// primary is demoted back to a replica that reconverges bit-identically.
+// Metrics reconcile: cluster.failovers / cluster.promotions /
+// cluster.demotions count exactly this one incident. Runs under TSan in
+// CI (suite name carries "FailoverSoak").
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/failover.h"
+#include "cluster/router.h"
+#include "cluster/sharded_service.h"
+#include "concurrency/server.h"
+#include "observability/metrics.h"
+#include "replication/fence.h"
+#include "replication/protocol.h"
+#include "workload/engine/engine.h"
+#include "workload/engine/spec.h"
+
+namespace xmlup::cluster {
+namespace {
+
+constexpr int kShards = 2;
+constexpr int kReplicasPerShard = 2;
+constexpr int kDocsPerShard = 2;
+constexpr int kVictimShard = 0;
+
+// Inserts uniquely named elements (thread × op, so every acked line
+// names a distinct element) across all documents; reads ride along so
+// the replica-facing failover path sees queries too.
+constexpr char kChaosSpec[] = R"(workload failover-chaos
+var docs = placeholder
+
+node loop for-n
+  count 1000000
+  do pick
+  next finish
+
+node pick random-choice
+  choice 70 ins
+  choice 30 read
+
+node ins edit
+  doc ${choice:docs}
+  script -s . -t elem -n a${thread}x${op}e
+  next end
+
+node read query
+  doc ${choice:docs}
+  xpath //a${thread}x${rand:50}e
+  next end
+)";
+
+class TempDir {
+ public:
+  TempDir() {
+    char dir_template[] = "/tmp/xmlup_fosoak_XXXXXX";
+    EXPECT_NE(::mkdtemp(dir_template), nullptr);
+    path_ = dir_template;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Picks a port by binding an ephemeral loopback socket and releasing
+// it. The tiny claim-it-back race is acceptable for a test, and the
+// restart half of the suite needs a port known before the child binds.
+uint16_t FreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+// A primary corpus as a real `xmlup serve --corpus --sync-repl` child
+// process, so killing it with SIGKILL is a genuine crash: the ack path
+// and the replication ship die in the same instant (bytes already
+// written to a replica socket are still flushed by the kernel — which
+// is exactly the sync-replication guarantee the suite leans on).
+// Restartable over the same directory and port.
+struct ChildPrimary {
+  std::unique_ptr<TempDir> dir = std::make_unique<TempDir>();
+  uint16_t port = 0;
+  pid_t pid = -1;
+
+  std::string spec() const { return "tcp:127.0.0.1:" + std::to_string(port); }
+
+  void Start() {
+    if (port == 0) port = FreePort();
+    const std::string tcp = "127.0.0.1:" + std::to_string(port);
+    pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::execl(XMLUP_BINARY_PATH, "xmlup", "serve", dir->path().c_str(),
+              "--corpus", "--tcp", tcp.c_str(), "--sync-repl",
+              static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    for (int i = 0; i < 10000; ++i) {
+      if (concurrency::EndpointRequest(spec(), {"--ping"}).ok()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "child primary on " << spec() << " never answered --ping";
+  }
+
+  void Kill9() {
+    ASSERT_GT(pid, 0);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    pid = -1;
+  }
+};
+
+// One corpus service over TCP — primary or replica depending on its
+// options — restartable on its original port over its original dir.
+struct Node {
+  std::unique_ptr<TempDir> dir = std::make_unique<TempDir>();
+  ShardedServiceOptions options;
+  std::unique_ptr<ShardedService> service;
+  std::unique_ptr<concurrency::Listener> listener;
+  std::thread thread;
+  uint16_t port = 0;
+
+  std::string spec() const { return "tcp:127.0.0.1:" + std::to_string(port); }
+
+  void Start() {
+    auto opened = ShardedService::Open(dir->path(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    service = std::move(*opened);
+    listener = std::make_unique<concurrency::Listener>(service.get());
+    listener->set_drain_deadline_ms(200);
+    const uint16_t bind_port = port;
+    concurrency::Listener* raw = listener.get();
+    thread = std::thread([raw, bind_port] {
+      common::Status served = raw->ServeTcp("127.0.0.1", bind_port);
+      EXPECT_TRUE(served.ok()) << served.ToString();
+    });
+    for (int i = 0; i < 5000 && listener->bound_port() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_NE(listener->bound_port(), 0) << "listener never bound";
+    port = listener->bound_port();
+  }
+
+  void Kill() {
+    listener->Shutdown();
+    thread.join();
+    service->Stop();
+    service.reset();
+    listener.reset();
+  }
+};
+
+struct DocSnapshot {
+  store::CommitPoint position;
+  bool primary_role = false;
+};
+
+// cluster-hello → per-document position + role, or empty on transport
+// failure / malformed fields.
+std::map<std::string, DocSnapshot> HelloDocs(const std::string& endpoint) {
+  std::map<std::string, DocSnapshot> out;
+  auto reply = concurrency::EndpointRequest(endpoint, {kClusterHelloVerb});
+  if (!reply.ok() || reply->empty() || (*reply)[0] != "ok") return out;
+  for (const std::string& field : *reply) {
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    if (field.rfind("doc.", 0) == 0) {
+      const std::string key = field.substr(4, eq - 4);
+      uint64_t numbers[4] = {0, 0, 0, 0};
+      size_t start = eq + 1;
+      bool valid = true;
+      for (int n = 0; n < 4 && valid; ++n) {
+        size_t colon = field.find(':', start);
+        if (colon == std::string::npos) colon = field.size();
+        valid = replication::ParseU64(field.substr(start, colon - start),
+                                      &numbers[n]);
+        start = colon + 1;
+      }
+      if (!valid) continue;
+      out[key].position =
+          store::CommitPoint{numbers[0], numbers[2], numbers[1]};
+    } else if (field.rfind("docrole.", 0) == 0) {
+      out[field.substr(8, eq - 8)].primary_role =
+          field.substr(eq + 1) == "primary";
+    }
+  }
+  return out;
+}
+
+class FailoverSoak : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::GlobalMetrics().Reset();
+
+    // Keys that hash onto each shard under the router's placement.
+    HashRouter placement(kShards);
+    std::vector<int> assigned(kShards, 0);
+    for (int i = 0; static_cast<int>(keys_.size()) < kShards * kDocsPerShard;
+         ++i) {
+      ASSERT_LT(i, 10000);
+      std::string key = "fo" + std::to_string(i);
+      const size_t shard = placement.ShardFor(key);
+      if (assigned[shard] == kDocsPerShard) continue;
+      ++assigned[shard];
+      shard_keys_[shard].push_back(key);
+      keys_.push_back(std::move(key));
+    }
+
+    // Primaries first (child processes with sync replication: commits
+    // ship to every connected replica before they are acknowledged),
+    // documents created before any replica opens so the upstream hello
+    // advertises them.
+    primaries_.resize(kShards);
+    for (int s = 0; s < kShards; ++s) {
+      primaries_[s].Start();
+      ASSERT_FALSE(HasFatalFailure());
+      for (const std::string& key : shard_keys_[s]) {
+        auto created = concurrency::EndpointRequest(
+            primaries_[s].spec(), {"--doc", key, "--create", "ordpath"});
+        ASSERT_TRUE(created.ok()) << created.status().ToString();
+        ASSERT_EQ((*created)[0], "ok") << (*created)[1];
+      }
+    }
+
+    replicas_.resize(kShards);
+    for (int s = 0; s < kShards; ++s) {
+      replicas_[s].resize(kReplicasPerShard);
+      for (auto& replica : replicas_[s]) {
+        replica.options.replicate_from = primaries_[s].spec();
+        replica.options.sync_replication = true;  // applies once promoted
+        replica.Start();
+        ASSERT_FALSE(HasFatalFailure());
+      }
+    }
+    for (int s = 0; s < kShards; ++s) {
+      for (auto& replica : replicas_[s]) {
+        ASSERT_TRUE(WaitCaughtUp(replica.spec(), primaries_[s].spec(),
+                                 shard_keys_[s]))
+            << "replica of shard " << s << " never caught up";
+      }
+    }
+
+    // Router + failover monitor over a Unix socket.
+    char dir_template[] = "/tmp/xmlup_fosoak_rt_XXXXXX";
+    ASSERT_NE(::mkdtemp(dir_template), nullptr);
+    router_dir_ = dir_template;
+    router_socket_ = router_dir_ + "/r";
+    std::vector<ShardAddress> addresses;
+    std::vector<ShardTopology> topology(kShards);
+    for (int s = 0; s < kShards; ++s) {
+      addresses.push_back(ShardAddress{primaries_[s].spec()});
+      topology[s].primary = primaries_[s].spec();
+      for (auto& replica : replicas_[s]) {
+        topology[s].replicas.push_back(replica.spec());
+      }
+    }
+    coordinator_ = std::make_unique<Coordinator>(
+        std::move(addresses), std::make_unique<HashRouter>(kShards));
+    FailoverOptions failover_options;
+    failover_options.sweep_interval_ms = 25;
+    failover_options.failure_threshold = 2;
+    monitor_ = std::make_unique<FailoverMonitor>(
+        coordinator_.get(), std::move(topology), failover_options);
+    coordinator_->SetExtraStatus(
+        [raw = monitor_.get()] { return raw->StatusFields(); });
+    router_listener_ =
+        std::make_unique<concurrency::Listener>(coordinator_.get());
+    router_listener_->set_drain_deadline_ms(200);
+    router_thread_ = std::thread([this] {
+      common::Status served =
+          router_listener_->ServeUnixSocket(router_socket_);
+      EXPECT_TRUE(served.ok()) << served.ToString();
+    });
+    for (int i = 0; i < 5000; ++i) {
+      if (concurrency::UnixSocketRequest(router_socket_, {"--ping"}).ok()) {
+        monitor_->Start();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "router socket never came up";
+  }
+
+  void TearDown() override {
+    if (monitor_ != nullptr) monitor_->Stop();
+    if (router_listener_ != nullptr) {
+      router_listener_->Shutdown();
+      router_thread_.join();
+    }
+    monitor_.reset();
+    coordinator_.reset();
+    for (auto& shard_replicas : replicas_) {
+      for (auto& replica : shard_replicas) {
+        if (replica.service != nullptr) replica.Kill();
+      }
+    }
+    for (auto& primary : primaries_) {
+      if (primary.pid > 0) primary.Kill9();
+    }
+    ::rmdir(router_dir_.c_str());
+  }
+
+  // Polls until `endpoint` reports the same commit position as
+  // `upstream` for every key in `keys`.
+  bool WaitCaughtUp(const std::string& endpoint, const std::string& upstream,
+                    const std::vector<std::string>& keys) {
+    for (int i = 0; i < 10000; ++i) {
+      const std::map<std::string, DocSnapshot> want = HelloDocs(upstream);
+      const std::map<std::string, DocSnapshot> got = HelloDocs(endpoint);
+      bool all = true;
+      for (const std::string& key : keys) {
+        auto w = want.find(key);
+        auto g = got.find(key);
+        all = all && w != want.end() && g != got.end() &&
+              w->second.position == g->second.position;
+      }
+      if (all) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  std::vector<std::string> Route(const std::vector<std::string>& request) {
+    auto reply = concurrency::UnixSocketRequest(router_socket_, request);
+    if (!reply.ok()) return {};
+    return *reply;
+  }
+
+  std::map<std::string, uint64_t> RouterStats() {
+    std::map<std::string, uint64_t> out;
+    auto reply = Route({"--stats"});
+    EXPECT_GE(reply.size(), 2u);
+    for (size_t i = 1; i < reply.size(); ++i) {
+      const size_t eq = reply[i].find('=');
+      if (eq == std::string::npos) continue;
+      out[reply[i].substr(0, eq)] = std::stoull(reply[i].substr(eq + 1));
+    }
+    return out;
+  }
+
+  // Fetches one document's XML through the router; fails the test on a
+  // non-ok reply.
+  std::string RoutedXml(const std::string& key) {
+    auto reply = Route({"--doc", key, "--xml"});
+    EXPECT_GE(reply.size(), 2u);
+    if (reply.size() < 2 || reply[0] != "ok") {
+      ADD_FAILURE() << "--xml for " << key << " failed: "
+                    << (reply.size() > 1 ? reply[1] : "<transport>");
+      return {};
+    }
+    return reply[1];
+  }
+
+  std::vector<std::string> keys_;
+  std::map<int, std::vector<std::string>> shard_keys_;
+  std::vector<ChildPrimary> primaries_;
+  std::vector<std::vector<Node>> replicas_;
+  std::string router_dir_;
+  std::string router_socket_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<FailoverMonitor> monitor_;
+  std::unique_ptr<concurrency::Listener> router_listener_;
+  std::thread router_thread_;
+};
+
+TEST_F(FailoverSoak, PromotionPreservesEveryAckedWriteAndDemotesRejoiner) {
+  auto spec = workload::ParseWorkloadSpec(kChaosSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  std::string docs_csv;
+  for (const std::string& key : keys_) {
+    if (!docs_csv.empty()) docs_csv += ',';
+    docs_csv += key;
+  }
+  workload::EngineOptions engine;
+  engine.target = router_socket_;
+  engine.threads = 3;
+  engine.seed = 42;
+  engine.duration_ms = 1500;
+  engine.collect_acks = true;
+  engine.op_attempts = 100;
+  engine.retry_backoff_initial_ms = 5;
+  engine.retry_backoff_max_ms = 50;
+  engine.retry_routed_errors = true;
+  engine.overrides = {{"docs", docs_csv}};
+
+  // The chaos: clients stream through the router while the victim
+  // shard's primary dies mid-run. Every op either lands or retries into
+  // the promoted replica — the run itself must see zero errors.
+  common::Result<workload::WorkloadReport> report =
+      common::Status::Internal("workload never ran");
+  std::thread driver([&] { report = workload::RunWorkload(*spec, engine); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  primaries_[kVictimShard].Kill9();
+  driver.join();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->errors_total, 0u)
+      << "a client saw a non-ok reply the retry budget should have hidden";
+  EXPECT_GT(report->retries_total, 0u)
+      << "the outage window was never observed (kill timing too late?)";
+  EXPECT_GT(report->ops_total, 0u);
+
+  // The election: one record per victim document, each won by the
+  // furthest-ahead reachable replica.
+  const std::vector<ElectionRecord> elections = monitor_->history();
+  ASSERT_EQ(elections.size(), static_cast<size_t>(kDocsPerShard));
+  std::set<std::string> replica_specs;
+  for (const auto& replica : replicas_[kVictimShard]) {
+    replica_specs.insert(replica.spec());
+  }
+  std::set<std::string> promoted_keys;
+  for (const ElectionRecord& record : elections) {
+    promoted_keys.insert(record.key);
+    EXPECT_EQ(replica_specs.count(record.winner), 1u) << record.winner;
+    for (const PromotionCandidate& candidate : record.candidates) {
+      if (!candidate.reachable || !candidate.has_document) continue;
+      EXPECT_FALSE(replication::CommitPointLess(record.winner_position,
+                                                candidate.position))
+          << record.key << ": " << candidate.replica_id
+          << " was ahead of the elected " << record.winner;
+    }
+  }
+  std::set<std::string> victim_keys(shard_keys_[kVictimShard].begin(),
+                                    shard_keys_[kVictimShard].end());
+  EXPECT_EQ(promoted_keys, victim_keys);
+
+  // The ledger: every acked insert must be present in the authoritative
+  // XML the router now serves — for victim keys that is the promoted
+  // replica. Retries may duplicate an element; absence is the bug.
+  std::map<std::string, std::vector<std::string>> names_by_doc;
+  uint64_t acked_inserts = 0;
+  for (const auto& thread_lines : report->acked) {
+    for (const std::string& line : thread_lines) {
+      if (line.rfind("ins ", 0) != 0) continue;
+      const size_t doc_at = line.find("doc=");
+      ASSERT_NE(doc_at, std::string::npos) << line;
+      const size_t doc_end = line.find(' ', doc_at);
+      const size_t name_at = line.rfind(' ');
+      names_by_doc[line.substr(doc_at + 4, doc_end - doc_at - 4)].push_back(
+          line.substr(name_at + 1));
+      ++acked_inserts;
+    }
+  }
+  EXPECT_GT(acked_inserts, 0u);
+  for (const auto& [key, names] : names_by_doc) {
+    const std::string xml = RoutedXml(key);
+    ASSERT_FALSE(xml.empty());
+    for (const std::string& name : names) {
+      EXPECT_NE(xml.find("<" + name + "/"), std::string::npos)
+          << "acked insert " << name << " lost from " << key
+          << " across the failover";
+    }
+  }
+
+  if (obs::kMetricsEnabled) {
+    const std::map<std::string, uint64_t> stats = RouterStats();
+    EXPECT_EQ(stats.at("cluster.failovers"), 1u);
+    EXPECT_EQ(stats.at("cluster.promotions"),
+              static_cast<uint64_t>(kDocsPerShard));
+    EXPECT_EQ(stats.at("cluster.repoints"),
+              static_cast<uint64_t>(kDocsPerShard));
+    EXPECT_EQ(stats.at("workload.retries"), report->retries_total);
+  }
+
+  // The rejoin: the old primary restarts on its port still claiming its
+  // documents with a pre-failover fence; the monitor must demote it to a
+  // replica of each winner.
+  primaries_[kVictimShard].Start();
+  ASSERT_FALSE(HasFatalFailure());
+  const std::string old_primary = primaries_[kVictimShard].spec();
+  bool demoted = false;
+  for (int i = 0; i < 10000 && !demoted; ++i) {
+    const std::map<std::string, DocSnapshot> docs = HelloDocs(old_primary);
+    demoted = docs.size() >= victim_keys.size();
+    for (const std::string& key : victim_keys) {
+      auto it = docs.find(key);
+      demoted = demoted && it != docs.end() && !it->second.primary_role;
+    }
+    if (!demoted) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(demoted) << "rejoined old primary was never demoted";
+
+  // Convergence: once caught up to each winner, the demoted replica's
+  // XML is bit-identical to the promoted primary's.
+  for (const ElectionRecord& record : elections) {
+    ASSERT_TRUE(WaitCaughtUp(old_primary, record.winner, {record.key}))
+        << "demoted replica never converged on " << record.key;
+    auto winner_xml = concurrency::EndpointRequest(
+        record.winner, {"--doc", record.key, "--xml"});
+    auto rejoined_xml = concurrency::EndpointRequest(
+        old_primary, {"--doc", record.key, "--xml"});
+    ASSERT_TRUE(winner_xml.ok() && rejoined_xml.ok());
+    ASSERT_EQ((*winner_xml)[0], "ok") << (*winner_xml)[1];
+    ASSERT_EQ((*rejoined_xml)[0], "ok") << (*rejoined_xml)[1];
+    EXPECT_EQ((*winner_xml)[1], (*rejoined_xml)[1])
+        << record.key << " diverged between winner and rejoined replica";
+  }
+
+  if (obs::kMetricsEnabled) {
+    EXPECT_EQ(RouterStats().at("cluster.demotions"),
+              static_cast<uint64_t>(kDocsPerShard));
+  }
+
+  // And the monitor's published view agrees with what happened.
+  auto status = Route({"--cluster-status"});
+  ASSERT_GE(status.size(), 1u);
+  ASSERT_EQ(status[0], "ok");
+  int promoted_fields = 0;
+  for (const std::string& field : status) {
+    if (field.rfind("failover.promoted.", 0) == 0) ++promoted_fields;
+  }
+  EXPECT_EQ(promoted_fields, kDocsPerShard);
+}
+
+}  // namespace
+}  // namespace xmlup::cluster

@@ -1,0 +1,155 @@
+// Unit tests for the failover election rule. ElectPromotionTarget is a
+// pure function over a candidate snapshot, so every property the chaos
+// suite relies on — furthest-ahead wins, deterministic tie-break, stale
+// or dead replicas never win, no-candidate is an explicit error — is
+// checked here without a single socket.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cluster/failover.h"
+#include "store/document_store.h"
+
+namespace xmlup::cluster {
+namespace {
+
+PromotionCandidate Candidate(std::string id, uint64_t generation,
+                             uint64_t records, uint64_t bytes,
+                             bool reachable = true) {
+  PromotionCandidate candidate;
+  candidate.replica_id = std::move(id);
+  candidate.reachable = reachable;
+  candidate.has_document = generation > 0;
+  candidate.position = store::CommitPoint{generation, bytes, records};
+  return candidate;
+}
+
+TEST(PromotionElectionTest, HigherGenerationWins) {
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:a:1", 5, 100, 9000),
+      Candidate("tcp:b:1", 7, 10, 100),  // fewer records, newer generation
+      Candidate("tcp:c:1", 6, 500, 50000),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok()) << winner.status().ToString();
+  EXPECT_EQ(*winner, 1u);
+}
+
+TEST(PromotionElectionTest, RecordsBreakGenerationTie) {
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:a:1", 4, 120, 800),
+      Candidate("tcp:b:1", 4, 121, 700),  // one record ahead
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(*winner, 1u);
+}
+
+TEST(PromotionElectionTest, BytesBreakRecordsTie) {
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:a:1", 4, 120, 801),
+      Candidate("tcp:b:1", 4, 120, 800),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(*winner, 0u);
+}
+
+TEST(PromotionElectionTest, ExactTieGoesToSmallestReplicaId) {
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:host:9002", 3, 42, 512),
+      Candidate("tcp:host:9001", 3, 42, 512),
+      Candidate("tcp:host:9003", 3, 42, 512),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(candidates[*winner].replica_id, "tcp:host:9001");
+}
+
+TEST(PromotionElectionTest, UnreachableReplicaNeverWins) {
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:a:1", 9, 900, 90000, /*reachable=*/false),
+      Candidate("tcp:b:1", 2, 5, 50),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(*winner, 1u) << "the far-ahead but dead replica must lose";
+}
+
+TEST(PromotionElectionTest, ReplicaWithoutTheDocumentNeverWins) {
+  // A replica mid-initial-catch-up reports generation 0: it holds no
+  // committed view of the document yet and must not be promoted over
+  // one that does.
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:a:1", 0, 0, 0),
+      Candidate("tcp:b:1", 1, 1, 10),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(*winner, 1u);
+}
+
+TEST(PromotionElectionTest, AllIneligibleIsNotFound) {
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:a:1", 8, 80, 8000, /*reachable=*/false),
+      Candidate("tcp:b:1", 0, 0, 0),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  EXPECT_FALSE(winner.ok());
+  EXPECT_EQ(winner.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(PromotionElectionTest, EmptyCandidateListIsNotFound) {
+  auto winner = ElectPromotionTarget({});
+  EXPECT_FALSE(winner.ok());
+  EXPECT_EQ(winner.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(PromotionElectionTest, StaleReplicaLosesToCaughtUpOne) {
+  // The zero-acked-loss argument: under sync replication the acked
+  // position is on at least one replica, and the election must pick a
+  // replica at that position, not one generations behind.
+  std::vector<PromotionCandidate> candidates = {
+      Candidate("tcp:stale:1", 2, 10, 100),
+      Candidate("tcp:caught-up:1", 2, 37, 4096),
+  };
+  auto winner = ElectPromotionTarget(candidates);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(candidates[*winner].replica_id, "tcp:caught-up:1");
+}
+
+TEST(PromotionElectionTest, WinnerIsInvariantUnderCandidateOrder) {
+  // Same snapshot, every permutation of arrival order → same winner by
+  // replica_id. A monitor probing replicas in a different order must
+  // not elect a different primary.
+  std::vector<PromotionCandidate> base = {
+      Candidate("tcp:h:9001", 4, 50, 700),
+      Candidate("tcp:h:9002", 4, 50, 700),        // exact tie with 9001
+      Candidate("tcp:h:9003", 4, 49, 9999),       // behind on records
+      Candidate("tcp:h:9004", 5, 1, 8, false),    // ahead but dead
+      Candidate("tcp:h:9005", 0, 0, 0),           // no document
+  };
+  std::string expected;
+  {
+    auto winner = ElectPromotionTarget(base);
+    ASSERT_TRUE(winner.ok());
+    expected = base[*winner].replica_id;
+  }
+  EXPECT_EQ(expected, "tcp:h:9001");
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<PromotionCandidate> shuffled = base;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    auto winner = ElectPromotionTarget(shuffled);
+    ASSERT_TRUE(winner.ok());
+    EXPECT_EQ(shuffled[*winner].replica_id, expected)
+        << "round " << round << " elected a different replica";
+  }
+}
+
+}  // namespace
+}  // namespace xmlup::cluster

@@ -357,4 +357,157 @@ cmp -s "$WORK/run1.trace" "$WORK/run2.trace" \
   || fail "workload: shutdown failed"
 wait "$WL_PID" || fail "workload: server exited nonzero"
 
+# --- failover (manual promote) ---------------------------------------------
+# The scripted failover round trip: a sync-replicated primary/replica
+# pair, kill -9 the primary, `xmlup promote` the replica into a primary
+# over the same directory, write through it, then rejoin the old primary
+# as a replica of the new one and prove bit-identical convergence.
+
+FP_DIR="$WORK/store-fo-primary"
+FR_DIR="$WORK/store-fo-replica"
+FPSOCK="$WORK/fo-primary.sock"
+FRSOCK="$WORK/fo-replica.sock"
+"$XMLUP" init "$FP_DIR" --scheme ordpath --xml "$WORK/in.xml" > /dev/null
+
+"$XMLUP" serve "$FP_DIR" --socket "$FPSOCK" --sync-repl &
+FP_PID=$!
+i=0
+until "$XMLUP" req --socket "$FPSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: primary did not come up"
+  sleep 0.1
+done
+"$XMLUP" req --socket "$FPSOCK" -s '.' -t elem -n durable > /dev/null \
+  || fail "failover: primary edit failed"
+
+"$XMLUP" serve "$FR_DIR" --socket "$FRSOCK" --replicate-from "$FPSOCK" &
+FR_PID=$!
+i=0
+until [ "$("$XMLUP" req --socket "$FRSOCK" -q '/durable' 2>/dev/null | head -1)" = "1" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: replica never caught up"
+  sleep 0.1
+done
+
+# A write acknowledged under sync replication, then the crash.
+"$XMLUP" req --socket "$FPSOCK" -s '.' -t elem -n acked_before_crash \
+  > /dev/null || fail "failover: acked write failed"
+i=0
+until [ "$("$XMLUP" req --socket "$FRSOCK" -q '/acked_before_crash' 2>/dev/null | head -1)" = "1" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: acked write never shipped"
+  sleep 0.1
+done
+kill -9 "$FP_PID"
+wait "$FP_PID" 2>/dev/null || true
+
+# Promote: replica -> primary over the same store directory.
+"$XMLUP" promote --socket "$FRSOCK" > "$WORK/promote.out" \
+  || fail "failover: promote failed: $(cat "$WORK/promote.out")"
+grep -q "^promoted$" "$WORK/promote.out" \
+  || fail "failover: promote reply misses 'promoted': $(cat "$WORK/promote.out")"
+grep -q "^fence=" "$WORK/promote.out" \
+  || fail "failover: promote reply misses the fence epoch"
+# Idempotent: a second promote reports the standing fence.
+"$XMLUP" promote --socket "$FRSOCK" | grep -q "already-primary" \
+  || fail "failover: repeated promote is not idempotent"
+
+# The role flipped (replica -> primary) and writes now land here.
+"$XMLUP" repl-status --socket "$FRSOCK" | grep -q "role=primary" \
+  || fail "failover: promoted node does not report role=primary"
+"$XMLUP" req --socket "$FRSOCK" -s '.' -t elem -n after_failover \
+  > /dev/null || fail "failover: promoted node rejected a write"
+[ "$("$XMLUP" req --socket "$FRSOCK" -q '/acked_before_crash' | head -1)" = "1" ] \
+  || fail "failover: acked write lost across the promotion"
+
+# The old primary rejoins as a replica of the new primary (role
+# primary -> replica) and converges on the post-failover history.
+"$XMLUP" serve "$FP_DIR" --socket "$FPSOCK" --replicate-from "$FRSOCK" &
+FP_PID=$!
+i=0
+until [ "$("$XMLUP" req --socket "$FPSOCK" -q '/after_failover' 2>/dev/null | head -1)" = "1" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: rejoined primary never converged"
+  sleep 0.1
+done
+"$XMLUP" repl-status --socket "$FPSOCK" | grep -q "role=replica" \
+  || fail "failover: rejoined old primary does not report role=replica"
+"$XMLUP" req --socket "$FRSOCK" --xml > "$WORK/new-primary.xml"
+"$XMLUP" req --socket "$FPSOCK" --xml > "$WORK/rejoined.xml"
+cmp -s "$WORK/new-primary.xml" "$WORK/rejoined.xml" \
+  || fail "failover: rejoined replica XML differs from the new primary"
+
+"$XMLUP" req --socket "$FPSOCK" --shutdown > /dev/null \
+  || fail "failover: rejoined replica shutdown failed"
+wait "$FP_PID" || fail "failover: rejoined replica exited nonzero"
+"$XMLUP" req --socket "$FRSOCK" --shutdown > /dev/null \
+  || fail "failover: promoted primary shutdown failed"
+wait "$FR_PID" || fail "failover: promoted primary exited nonzero"
+
+# --- failover (corpus roles via cluster-status) -----------------------------
+# The same promotion on one document of a corpus, watched through
+# cluster-status docrole fields: primary corpus dies, `xmlup promote
+# --doc` flips the replica corpus's copy, and the restarted old corpus
+# rejoins replica-role — primary -> replica -> primary across the pair.
+
+CP_DIR="$WORK/corpus-fo-primary"
+CR_DIR="$WORK/corpus-fo-replica"
+CPSOCK="$WORK/corpus-fo-p.sock"
+CRSOCK="$WORK/corpus-fo-r.sock"
+
+"$XMLUP" serve "$CP_DIR" --corpus --socket "$CPSOCK" --sync-repl &
+CP_PID=$!
+i=0
+until "$XMLUP" req --socket "$CPSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: corpus primary did not come up"
+  sleep 0.1
+done
+"$XMLUP" req --socket "$CPSOCK" --doc alpha --create ordpath > /dev/null \
+  || fail "failover: corpus create failed"
+"$XMLUP" req --socket "$CPSOCK" --doc alpha -s '.' -t elem -n seed \
+  > /dev/null || fail "failover: corpus edit failed"
+"$XMLUP" cluster-status --socket "$CPSOCK" | grep -q "docrole.alpha=primary" \
+  || fail "failover: corpus primary does not report docrole.alpha=primary"
+
+"$XMLUP" serve "$CR_DIR" --corpus --socket "$CRSOCK" \
+  --replicate-from "$CPSOCK" --sync-repl &
+CR_PID=$!
+i=0
+until [ "$("$XMLUP" req --socket "$CRSOCK" --doc alpha -q '/seed' 2>/dev/null | head -1)" = "1" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: corpus replica never caught up"
+  sleep 0.1
+done
+"$XMLUP" cluster-status --socket "$CRSOCK" | grep -q "docrole.alpha=replica" \
+  || fail "failover: corpus replica does not report docrole.alpha=replica"
+
+kill -9 "$CP_PID"
+wait "$CP_PID" 2>/dev/null || true
+
+"$XMLUP" promote --socket "$CRSOCK" --doc alpha --epoch 7 > "$WORK/cpromote.out" \
+  || fail "failover: corpus promote failed: $(cat "$WORK/cpromote.out")"
+grep -q "^fence=7$" "$WORK/cpromote.out" \
+  || fail "failover: corpus promote ignored --epoch 7: $(cat "$WORK/cpromote.out")"
+"$XMLUP" cluster-status --socket "$CRSOCK" > "$WORK/cstatus.txt"
+grep -q "docrole.alpha=primary" "$WORK/cstatus.txt" \
+  || fail "failover: promoted corpus doc is not primary-role: $(cat "$WORK/cstatus.txt")"
+grep -q "docfence.alpha=7" "$WORK/cstatus.txt" \
+  || fail "failover: promoted corpus doc fence is not 7: $(cat "$WORK/cstatus.txt")"
+"$XMLUP" req --socket "$CRSOCK" --doc alpha -s '.' -t elem -n regrown \
+  > /dev/null || fail "failover: promoted corpus doc rejected a write"
+
+# Old corpus primary rejoins as a replica corpus of the promoted one.
+"$XMLUP" serve "$CP_DIR" --corpus --socket "$CPSOCK" \
+  --replicate-from "$CRSOCK" &
+CP_PID=$!
+i=0
+until [ "$("$XMLUP" req --socket "$CPSOCK" --doc alpha -q '/regrown' 2>/dev/null | head -1)" = "1" ]; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "failover: rejoined corpus never converged"
+  sleep 0.1
+done
+"$XMLUP" cluster-status --socket "$CPSOCK" | grep -q "docrole.alpha=replica" \
+  || fail "failover: rejoined corpus doc is not replica-role"
+
+"$XMLUP" req --socket "$CPSOCK" --shutdown > /dev/null \
+  || fail "failover: rejoined corpus shutdown failed"
+wait "$CP_PID" || fail "failover: rejoined corpus exited nonzero"
+"$XMLUP" req --socket "$CRSOCK" --shutdown > /dev/null \
+  || fail "failover: promoted corpus shutdown failed"
+wait "$CR_PID" || fail "failover: promoted corpus exited nonzero"
+
 echo "PASS"

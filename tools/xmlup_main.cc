@@ -6,14 +6,19 @@
 // shell. Every edit is one or more CRC-framed journal records; `cat`
 // after a process restart replays them on top of the latest snapshot.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/coordinator.h"
+#include "cluster/failover.h"
 #include "cluster/router.h"
 #include "cluster/sharded_service.h"
 #include "concurrency/concurrent_store.h"
@@ -24,6 +29,7 @@
 #include "observability/metrics.h"
 #include "observability/trace.h"
 #include "replication/applier.h"
+#include "replication/fence.h"
 #include "replication/source.h"
 #include "store/document_store.h"
 #include "store/file.h"
@@ -85,22 +91,42 @@ usage:
       socket server is also a replication primary: replicas subscribe
       over the same socket
   xmlup serve <dir> --corpus --socket <path> | --tcp <host:port>
+              [--sync-repl]
       serve a corpus of documents (one store per subdirectory) as a
       cluster shard: every request names its document with
-      --doc <key> <tokens...>; --doc <key> --create <scheme> adds one
+      --doc <key> <tokens...>; --doc <key> --create <scheme> adds one;
+      --sync-repl ships each commit to every connected replica before
+      acknowledging it (the failover zero-loss mode)
+  xmlup serve <dir> --corpus (--socket|--tcp ...)
+              --replicate-from <endpoint> [--sync-repl]
+      run a replica corpus: every document of the upstream shard is
+      tailed into <dir>; documents flip to primary on
+      --doc <key> --promote (failover) and back on --demote
   xmlup serve <dir> (--socket|--tcp ...) --replicate-from <endpoint>
               [--replicate-doc <key>]
       run a read-scaling replica: tail the primary's journal stream
       into <dir> (snapshot catch-up when too far behind) and serve
-      reads from replicated snapshots; updates are rejected.
+      reads from replicated snapshots; updates are rejected (until a
+      --promote flips it into a primary over the same directory).
       <endpoint> is a socket path or tcp:HOST:PORT; --replicate-doc
       subscribes to one document of a corpus shard
   xmlup route --shards <ep>[,<ep>...] --socket <path> | --tcp <host:port>
               [--prefix <key-prefix>=<shard>,...]
+              [--replica <shard>=<ep>]... [--failover]
       run a cluster router: forward each --doc <key> frame to the shard
       owning <key> (hash placement, or longest-prefix rules with hash
       fallback) over pooled connections; --cluster-status aggregates
-      every shard's health and positions
+      every shard's health and positions. --replica registers shard
+      <shard>'s replica endpoints (repeatable); --failover watches every
+      shard and, when one dies, promotes each of its documents' furthest-
+      ahead replicas and repoints routing at them automatically
+  xmlup promote --socket <path> | --tcp <host:port> [--doc <key>]
+              [--epoch <n>]
+      flip a running replica into a primary (manual failover): stops its
+      applier, fences the old primary's epoch, and opens the full write
+      pipeline over the same store directory. --doc targets one document
+      of a replica corpus; --epoch forces a fence epoch (default: one
+      past the highest known)
   xmlup req --socket <path> | --tcp <host:port> {<token>}...
       send one request frame to a running server and print the reply:
       the ed action grammar above, or -q <xpath>, --xml, --epoch,
@@ -118,6 +144,7 @@ usage:
       the offending spec line
   xmlup workload run <spec> --target <endpoint> [--threads <n>]
               [--seed <s>] [--ops <n> | --duration <ms>] [--rate <hz>]
+              [--retries <n>]
               [--set <name>=<value>]... [--out <file>] [--trace <file>]
       drive the spec against a running server (socket path or
       tcp:HOST:PORT — a single-document serve, a corpus shard, or a
@@ -127,7 +154,9 @@ usage:
       each worker open-loop; --set overrides a spec variable. Per-node
       latency lands in the metrics registry and the run writes per-node
       p50/p95/p99, throughput, and error counts to --out (default
-      BENCH_workload.json); --trace dumps the client-side op sequence
+      BENCH_workload.json); --trace dumps the client-side op sequence;
+      --retries raises the per-op transport attempt budget (and retries
+      routed-unavailable replies) so a run rides out a failover window
   xmlup schemes
       list registered labelling schemes
 )");
@@ -276,6 +305,7 @@ int CmdServe(int argc, char** argv) {
   std::string replicate_doc;
   bool stdio = false;
   bool corpus = false;
+  bool sync_repl = false;
   concurrency::ConcurrentStoreOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -287,6 +317,8 @@ int CmdServe(int argc, char** argv) {
       stdio = true;
     } else if (arg == "--corpus") {
       corpus = true;
+    } else if (arg == "--sync-repl") {
+      sync_repl = true;
     } else if (arg == "--replicate-from" && i + 1 < argc) {
       replicate_from = argv[++i];
     } else if (arg == "--replicate-doc" && i + 1 < argc) {
@@ -320,15 +352,18 @@ int CmdServe(int argc, char** argv) {
 
   if (corpus) {
     // A cluster shard: one store per subdirectory of `dir`, each with its
-    // own pipeline and replication source, multiplexed by --doc <key>.
-    if (stdio || !replicate_from.empty()) {
+    // own pipeline and replication source, multiplexed by --doc <key> —
+    // or, with --replicate-from, a replica corpus tailing another shard,
+    // ready to be promoted document by document.
+    if (stdio) {
       std::fprintf(stderr,
-                   "xmlup serve: --corpus needs --socket or --tcp and no "
-                   "--replicate-from\n");
+                   "xmlup serve: --corpus needs --socket or --tcp\n");
       return 2;
     }
     cluster::ShardedServiceOptions service_options;
     service_options.store = options;
+    service_options.replicate_from = replicate_from;
+    service_options.sync_replication = sync_repl;
     auto service = cluster::ShardedService::Open(dir, service_options);
     if (!service.ok()) return Fail(service.status());
     concurrency::Listener listener(service->get());
@@ -360,17 +395,83 @@ int CmdServe(int argc, char** argv) {
     concurrency::Server server(applier->get());
     server.SetReplStatus(
         [a = applier->get()] { return a->StatusFields(); });
+    // `--promote` flips this replica into a primary in place: stop the
+    // applier, fence the old primary's epoch, open the full pipeline
+    // over the same directory (the layouts are bit-identical), swap the
+    // server's role. The promoted objects must outlive serving.
+    struct PromotedRole {
+      std::mutex mu;
+      std::unique_ptr<replication::ReplicationSource> source;
+      std::unique_ptr<concurrency::ConcurrentStore> store;
+    };
+    auto promoted = std::make_shared<PromotedRole>();
+    server.SetPromoteHandler(
+        [&, promoted](uint64_t epoch)
+            -> common::Result<std::vector<std::string>> {
+          std::lock_guard<std::mutex> lock(promoted->mu);
+          if (promoted->store != nullptr) {
+            return std::vector<std::string>{
+                "already-primary",
+                "fence=" + std::to_string(promoted->source->fence_epoch())};
+          }
+          replication::ReplicaApplier* a = applier->get();
+          const replication::ReplicaStatus before = a->status();
+          if (!before.has_view || before.applied.generation == 0) {
+            return common::Status::InvalidArgument(
+                "cannot promote: replica holds no document yet");
+          }
+          a->Stop();
+          const store::CommitPoint position = a->status().applied;
+          const uint64_t fence_epoch =
+              std::max(epoch, a->status().fence_epoch + 1);
+          const replication::FenceToken fence{fence_epoch, position};
+          XMLUP_RETURN_NOT_OK(
+              replication::WriteFence(nullptr, dir, fence));
+          replication::ReplicationSource::Options source_options;
+          source_options.fence = fence;
+          source_options.sync_ship = sync_repl;
+          auto source = std::make_unique<replication::ReplicationSource>(
+              source_options);
+          concurrency::ConcurrentStoreOptions open_options = options;
+          open_options.commit_hook = source.get();
+          XMLUP_ASSIGN_OR_RETURN(
+              std::unique_ptr<concurrency::ConcurrentStore> store,
+              concurrency::ConcurrentStore::Open(dir, open_options));
+          server.SetRole(store.get(), store.get(), source.get(),
+                         [s = source.get()] { return s->StatusFields(); });
+          promoted->source = std::move(source);
+          promoted->store = std::move(store);
+          return std::vector<std::string>{
+              "promoted", "fence=" + std::to_string(fence_epoch),
+              "generation=" + std::to_string(position.generation),
+              "records=" + std::to_string(position.records),
+              "bytes=" + std::to_string(position.bytes)};
+        });
     common::Status served = tcp_spec.empty()
                                 ? server.ServeUnixSocket(socket_path)
                                 : server.ServeTcp(tcp_host, tcp_port);
-    (*applier)->Stop();
+    {
+      std::lock_guard<std::mutex> lock(promoted->mu);
+      if (promoted->store != nullptr) {
+        promoted->store->Stop();
+        promoted->source->Close();
+      } else {
+        (*applier)->Stop();
+      }
+    }
     if (!served.ok()) return Fail(served);
     return 0;
   }
 
   // Primary: the source tails every group commit so replicas can
-  // subscribe on the serving socket (no-op until one does).
-  replication::ReplicationSource source;
+  // subscribe on the serving socket (no-op until one does). The stored
+  // fence (if any) carries the epoch across restarts.
+  auto fence = replication::ReadFence(nullptr, dir);
+  if (!fence.ok()) return Fail(fence.status());
+  replication::ReplicationSource::Options source_options;
+  source_options.fence = *fence;
+  source_options.sync_ship = sync_repl;
+  replication::ReplicationSource source(source_options);
   options.commit_hook = &source;
   auto st = concurrency::ConcurrentStore::Open(dir, options);
   if (!st.ok()) return Fail(st.status());
@@ -474,6 +575,57 @@ int CmdStatusVerb(const char* cmd, const char* verb, int argc, char** argv) {
   return 0;
 }
 
+// --- promote ----------------------------------------------------------------
+
+// Manual failover: sends `--promote` (optionally scoped to one document
+// of a corpus) to a running replica and prints the reply fields.
+int CmdPromote(int argc, char** argv) {
+  std::string socket_path;
+  std::string tcp_spec;
+  std::string doc_key;
+  std::string epoch_text;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
+    } else if (arg == "--doc" && i + 1 < argc) {
+      doc_key = argv[++i];
+    } else if (arg == "--epoch" && i + 1 < argc) {
+      epoch_text = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  std::string endpoint;
+  if (!ParseEndpointFlags("promote", socket_path, tcp_spec, &endpoint)) {
+    return 2;
+  }
+  if (!epoch_text.empty()) {
+    size_t ignored = 0;
+    if (!ParseCountFor("promote", "--epoch", epoch_text.c_str(), &ignored)) {
+      return 2;
+    }
+  }
+  std::vector<std::string> request;
+  if (!doc_key.empty()) request = {"--doc", doc_key};
+  request.push_back("--promote");
+  if (!epoch_text.empty()) request.push_back(epoch_text);
+  auto response = concurrency::EndpointRequest(endpoint, request);
+  if (!response.ok()) return Fail(response.status());
+  if (response->empty() || (*response)[0] != "ok") {
+    std::fprintf(stderr, "xmlup promote: %s\n",
+                 response->size() > 1 ? (*response)[1].c_str()
+                                      : "malformed reply");
+    return 1;
+  }
+  for (size_t i = 1; i < response->size(); ++i) {
+    std::printf("%s\n", (*response)[i].c_str());
+  }
+  return 0;
+}
+
 // --- route ------------------------------------------------------------------
 
 int CmdRoute(int argc, char** argv) {
@@ -481,6 +633,9 @@ int CmdRoute(int argc, char** argv) {
   std::string socket_path;
   std::string tcp_spec;
   std::string prefix_text;
+  bool failover = false;
+  // shard index -> replica endpoint specs, from repeated --replica flags.
+  std::map<size_t, std::vector<std::string>> replica_map;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
@@ -491,6 +646,31 @@ int CmdRoute(int argc, char** argv) {
       tcp_spec = argv[++i];
     } else if (arg == "--prefix" && i + 1 < argc) {
       prefix_text = argv[++i];
+    } else if (arg == "--replica" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const size_t eq = kv.find('=');
+      char* end = nullptr;
+      errno = 0;
+      unsigned long long index =
+          eq == std::string::npos
+              ? 0
+              : std::strtoull(kv.substr(0, eq).c_str(), &end, 10);
+      if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size() ||
+          errno != 0 || end == nullptr || *end != '\0') {
+        std::fprintf(stderr,
+                     "xmlup route: --replica needs <shard-index>=<endpoint>, "
+                     "got '%s'\n",
+                     kv.c_str());
+        return 2;
+      }
+      std::string spec = kv.substr(eq + 1);
+      if (spec.rfind("tcp:", 0) != 0 &&
+          spec.find(':') != std::string::npos) {
+        spec = "tcp:" + spec;  // bare HOST:PORT is TCP
+      }
+      replica_map[static_cast<size_t>(index)].push_back(std::move(spec));
+    } else if (arg == "--failover") {
+      failover = true;
     } else {
       return Usage();
     }
@@ -529,16 +709,52 @@ int CmdRoute(int argc, char** argv) {
     router = std::make_unique<cluster::PrefixRouter>(std::move(*rules),
                                                      shards->size());
   }
+  const size_t shard_count = shards->size();
+  for (const auto& [index, specs] : replica_map) {
+    (void)specs;
+    if (index >= shard_count) {
+      std::fprintf(stderr,
+                   "xmlup route: --replica shard index %zu out of range "
+                   "(%zu shards)\n",
+                   index, shard_count);
+      return 2;
+    }
+  }
+  if (failover && replica_map.empty()) {
+    std::fprintf(stderr,
+                 "xmlup route: --failover needs at least one --replica\n");
+    return 2;
+  }
+  std::vector<std::string> primary_specs;
+  primary_specs.reserve(shard_count);
+  for (const cluster::ShardAddress& shard : *shards) {
+    primary_specs.push_back(shard.spec);
+  }
   cluster::Coordinator coordinator(std::move(*shards), std::move(router));
+  std::unique_ptr<cluster::FailoverMonitor> monitor;
+  if (failover) {
+    std::vector<cluster::ShardTopology> topology(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+      topology[i].primary = primary_specs[i];
+      auto it = replica_map.find(i);
+      if (it != replica_map.end()) topology[i].replicas = it->second;
+    }
+    monitor = std::make_unique<cluster::FailoverMonitor>(
+        &coordinator, std::move(topology), cluster::FailoverOptions{});
+    coordinator.SetExtraStatus(
+        [raw = monitor.get()] { return raw->StatusFields(); });
+  }
   // Startup discovery: one cluster-hello sweep, printed before serving so
   // an operator sees immediately which shards answered and what they own.
   for (const std::string& field : coordinator.ClusterStatusFields()) {
     std::fprintf(stderr, "%s\n", field.c_str());
   }
+  if (monitor) monitor->Start();
   concurrency::Listener listener(&coordinator);
   common::Status served = tcp_spec.empty()
                               ? listener.ServeUnixSocket(socket_path)
                               : listener.ServeTcp(tcp_host, tcp_port);
+  if (monitor) monitor->Stop();
   if (!served.ok()) return Fail(served);
   return 0;
 }
@@ -615,6 +831,16 @@ int CmdWorkloadRun(int argc, char** argv) {
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
       options.collect_trace = true;
+    } else if (arg == "--retries" && i + 1 < argc) {
+      size_t attempts = 0;
+      if (!ParseCountFor("workload run", "--retries", argv[++i], &attempts)) {
+        return 2;
+      }
+      // The chaos knob: ops survive a failover window by retrying until
+      // the promoted primary answers, and a router's "routed: ...
+      // unavailable" reply becomes retryable instead of fatal.
+      options.op_attempts = static_cast<int>(attempts);
+      options.retry_routed_errors = true;
     } else {
       return Usage();
     }
@@ -903,6 +1129,7 @@ int main(int argc, char** argv) {
   if (cmd == "ed") return CmdEd(argc - 2, argv + 2);
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
   if (cmd == "route") return CmdRoute(argc - 2, argv + 2);
+  if (cmd == "promote") return CmdPromote(argc - 2, argv + 2);
   if (cmd == "req") return CmdReq(argc - 2, argv + 2);
   if (cmd == "repl-status") {
     return CmdStatusVerb("repl-status", "--repl-status", argc - 2, argv + 2);
