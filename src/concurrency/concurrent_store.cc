@@ -34,6 +34,10 @@ ConcurrentStore::ConcurrentStore(std::unique_ptr<store::DocumentStore> store,
   metrics_.views_rebuilt = reg.GetCounter("cstore.views_rebuilt");
   metrics_.crosschecks = reg.GetCounter("cstore.crosschecks");
   metrics_.crosscheck_failures = reg.GetCounter("cstore.crosscheck_failures");
+  metrics_.parallel_batches = reg.GetCounter("cstore.parallel_batches");
+  metrics_.txns_fast = reg.GetCounter("cstore.prepare_fast");
+  metrics_.txns_conflicted = reg.GetCounter("cstore.prepare_conflicted");
+  metrics_.prepare_fallbacks = reg.GetCounter("cstore.prepare_fallbacks");
   bin_ = std::make_shared<RecycleBin>();
   bin_->capacity = options_.max_recycled_views;
 }
@@ -85,8 +89,14 @@ Result<std::unique_ptr<ConcurrentStore>> ConcurrentStore::Start(
   // batch would make the writer spin without ever draining.
   opts.queue_capacity = std::max<size_t>(opts.queue_capacity, 1);
   opts.max_batch = std::max<size_t>(opts.max_batch, 1);
+  opts.apply_workers = std::max<size_t>(opts.apply_workers, 1);
   std::unique_ptr<ConcurrentStore> engine(
       new ConcurrentStore(std::move(store), opts));
+  if (opts.apply_workers > 1) {
+    // The writer thread is the first lane; the pool supplies the rest.
+    engine->pool_ =
+        std::make_unique<updates::ApplyPool>(opts.apply_workers - 1);
+  }
   // Capture must observe every primitive update from the very first
   // batch; it rides the same post-apply events the journal does.
   engine->store_->mutable_document()->AddUpdateObserver(&engine->capture_);
@@ -217,6 +227,15 @@ void ConcurrentStore::WriterLoop() {
       continue;
     }
 
+    // Parallel-prepare stage: resolve every transaction's XPaths and
+    // footprints concurrently against the latest published view (which
+    // shares the live arena) before the store is touched. Transactions
+    // proven pairwise independent apply below from their pre-resolved
+    // targets; everything else re-resolves live, exactly as before.
+    std::vector<updates::TransactionPlan> plans;
+    std::vector<bool> fast;
+    PrepareBatch(batch, &plans, &fast);
+
     // Apply the whole batch against the live document. Journal records
     // are appended (buffered) as each transaction applies; nothing is
     // durable — or acknowledged — yet. A transaction that fails partway
@@ -224,7 +243,9 @@ void ConcurrentStore::WriterLoop() {
     // action) is rolled back to the mark taken before its first mutation,
     // so the barrier below never makes a failed request's partial effects
     // durable — "a request that fails writes nothing" holds across the
-    // whole pipeline, not just XPath resolution.
+    // whole pipeline, not just XPath resolution. Mutation stays strictly
+    // serial in submission order regardless of the prepare stage, so the
+    // journal byte stream is identical to a fully serial apply.
     std::vector<UpdateResult> results(batch.size());
     size_t applied = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -232,9 +253,24 @@ void ConcurrentStore::WriterLoop() {
       const size_t capture_mark = capture_.Mark();
       Status status;
       size_t matched = 0;
-      for (const UpdateRequest& request : batch[i].requests) {
+      for (size_t r = 0; r < batch[i].requests.size(); ++r) {
+        const UpdateRequest& request = batch[i].requests[r];
         size_t step = 0;
-        status = ApplyUpdate(store_.get(), request, &step);
+        if (fast[i] &&
+            updates::TargetsStillValid(store_->document(), request,
+                                       plans[i].targets[r])) {
+          status = updates::ApplyResolved(store_.get(), request,
+                                          plans[i].targets[r], &step);
+        } else {
+          if (fast[i]) {
+            // The plan went stale (the independence analysis should make
+            // this unreachable); re-resolve live, which is always correct.
+            metrics_.prepare_fallbacks->Add(1);
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.prepare_fallbacks;
+          }
+          status = ApplyUpdate(store_.get(), request, &step);
+        }
         if (!status.ok()) break;
         matched += step;
       }
@@ -254,6 +290,11 @@ void ConcurrentStore::WriterLoop() {
       store_->mutable_document()->RemoveUpdateObserver(&capture_);
       store_->mutable_document()->AddUpdateObserver(&capture_);
       capture_.TruncateTo(capture_mark);
+      // A reloading rollback may have rebuilt the arena, silently
+      // re-assigning the NodeIds the remaining plans resolved to; their
+      // pre-resolved targets can no longer be trusted.
+      std::fill(fast.begin() + static_cast<ptrdiff_t>(i) + 1, fast.end(),
+                false);
       if (!rolled.ok()) {
         // The store is poisoned; the rest of the batch cannot apply.
         status = Status::Internal(status.ToString() +
@@ -357,6 +398,50 @@ void ConcurrentStore::WriterLoop() {
       stats_.checkpoints = store_->stats().checkpoints;
     }
   }
+}
+
+void ConcurrentStore::PrepareBatch(const std::vector<Pending>& batch,
+                                   std::vector<updates::TransactionPlan>* plans,
+                                   std::vector<bool>* fast) {
+  fast->assign(batch.size(), false);
+  plans->clear();
+  if (pool_ == nullptr || batch.size() < 2) return;
+  // Snapshot views round-trip through a compacted arena: their NodeIds
+  // are not the live document's, so plans would resolve garbage.
+  if (options_.force_snapshot_views) return;
+  std::shared_ptr<const ReadView> view = PinView();
+  if (view == nullptr) return;
+  // The plans' NodeIds transfer to the live document only when the
+  // published view is an exact same-arena image of the live state: same
+  // delta lineage (no checkpoint compacted the arena since), every
+  // committed op published, and the view's read caches (order keys +
+  // LabelIndex) prewarmed, making concurrent planning const-pure.
+  if (!view->indexed_ || view->lineage_ != lineage_ || view->usn_ != usn_ ||
+      published_usn_ != usn_) {
+    return;
+  }
+  const core::LabeledDocument& doc = view->document();
+  plans->resize(batch.size());
+  pool_->ParallelFor(batch.size(), [&](size_t i) {
+    (*plans)[i] = updates::PlanTransaction(doc, batch[i].requests,
+                                           updates::PlanOptions{});
+  });
+  const std::vector<bool> conflicted = updates::MarkConflicts(*plans);
+  uint64_t fast_count = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    (*fast)[i] = (*plans)[i].usable && !conflicted[i] &&
+                 (*plans)[i].targets.size() == batch[i].requests.size();
+    if ((*fast)[i]) ++fast_count;
+  }
+  const uint64_t conflicted_count = batch.size() - fast_count;
+  metrics_.parallel_batches->Add(1);
+  metrics_.txns_fast->Add(fast_count);
+  metrics_.txns_conflicted->Add(conflicted_count);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.parallel_batches;
+  stats_.txns_prepared += batch.size();
+  stats_.txns_fast += fast_count;
+  stats_.txns_conflicted += conflicted_count;
 }
 
 void ConcurrentStore::ResolveOnWriter(std::vector<Pending> batch,

@@ -18,6 +18,8 @@
 #include "concurrency/view_delta.h"
 #include "observability/metrics.h"
 #include "store/document_store.h"
+#include "updates/apply_pool.h"
+#include "updates/footprint.h"
 
 namespace xmlup::concurrency {
 
@@ -76,6 +78,17 @@ struct ConcurrentStoreOptions {
   /// Most retired views kept for recycling. Beyond this, dropped views
   /// are simply freed.
   size_t max_recycled_views = 4;
+  /// Lanes for the parallel-prepare stage (1 = serial, the pre-existing
+  /// behaviour). With w > 1 lanes the writer fans each batch's XPath
+  /// resolution and footprint analysis (updates/footprint.h) out over
+  /// w threads (itself plus w-1 pool workers) against the latest
+  /// published view, then applies transactions proven independent from
+  /// their pre-resolved targets — skipping the per-transaction live
+  /// XPath evaluation — while mutation, journal append order, and the
+  /// single fsync stay strictly serial in submission order. Journal
+  /// bytes are therefore identical to a serial apply by construction;
+  /// batches with overlapping footprints degrade to the serial path.
+  size_t apply_workers = 1;
 };
 
 /// Counters for the update pipeline, maintained under stats_mu_ by the
@@ -92,6 +105,12 @@ struct ConcurrentStoreStats {
   uint64_t crosscheck_failures = 0;  ///< Audits that found divergence.
   uint64_t checkpoints = 0;
   uint64_t current_epoch = 0;
+  // Parallel-prepare stage (zero everywhere when apply_workers == 1).
+  uint64_t parallel_batches = 0;   ///< Batches that ran the prepare stage.
+  uint64_t txns_prepared = 0;      ///< Transactions planned in parallel.
+  uint64_t txns_fast = 0;          ///< Applied from pre-resolved targets.
+  uint64_t txns_conflicted = 0;    ///< Overlapping/unanalysable: live path.
+  uint64_t prepare_fallbacks = 0;  ///< Stale plans caught at apply time.
 };
 
 /// Multi-client engine over a DocumentStore: snapshot-isolated readers,
@@ -202,6 +221,17 @@ class ConcurrentStore : public ViewProvider {
   void WriterLoop();
   void FlusherLoop();
 
+  /// Parallel-prepare stage: plans every transaction of the batch against
+  /// the latest published view (which shares the live arena) on the apply
+  /// pool, marks pairwise conflicts, and fills fast[i] = "apply txn i from
+  /// its pre-resolved targets". fast stays all-false when the stage cannot
+  /// run: no pool, singleton batch, or the published view is not an exact
+  /// same-arena image of the live document (snapshot mode, unpublished
+  /// ops, checkpoint just rolled the lineage, index unavailable).
+  void PrepareBatch(const std::vector<Pending>& batch,
+                    std::vector<updates::TransactionPlan>* plans,
+                    std::vector<bool>* fast);
+
   /// Fail-fast path for batches that never reach the flusher (pipeline
   /// already poisoned): counts stats and resolves the waiters on the
   /// writer thread.
@@ -264,6 +294,10 @@ class ConcurrentStore : public ViewProvider {
     obs::Counter* views_rebuilt = nullptr;
     obs::Counter* crosschecks = nullptr;
     obs::Counter* crosscheck_failures = nullptr;
+    obs::Counter* parallel_batches = nullptr;
+    obs::Counter* txns_fast = nullptr;
+    obs::Counter* txns_conflicted = nullptr;
+    obs::Counter* prepare_fallbacks = nullptr;
   };
 
   ConcurrentStoreOptions options_;
@@ -277,6 +311,9 @@ class ConcurrentStore : public ViewProvider {
   /// Registered on the store's document; re-registered after every
   /// rollback or checkpoint (AdoptDocument drops foreign observers).
   DeltaCapture capture_;
+
+  /// Workers for the parallel-prepare stage; null when apply_workers <= 1.
+  std::unique_ptr<updates::ApplyPool> pool_;
 
   // --- Writer-private delta state ----------------------------------------
   uint64_t last_epoch_ = 0;     ///< Writer-owned epoch counter.

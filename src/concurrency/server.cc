@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "concurrency/wire.h"
+#include "updates/script.h"
 
 namespace xmlup::concurrency {
 
@@ -351,6 +352,45 @@ bool Server::HandleRequest(const std::vector<std::string>& request,
          obs::GlobalMetrics().TextFields(mode == "timing")) {
       response->push_back(name + "=" + value);
     }
+    return false;
+  }
+
+  if (verb == "--apply") {
+    // One compiled update script per frame, applied as one all-or-nothing
+    // transaction — the wire twin of `xmlup apply <file>`. The script text
+    // travels as a single field (fields are 0x1F-separated, so embedded
+    // newlines survive verbatim) and diagnostics come back one-line,
+    // `apply:<line>: <message>`, with the offending token quoted.
+    metrics_.updates->Add(1);
+    if (store_ == nullptr) {
+      *response = ErrorResponse(Status::Unsupported(
+          "read-only replica: send updates to the primary"));
+      return false;
+    }
+    if (request.size() != 2) {
+      *response = ErrorResponse(
+          Status::InvalidArgument("--apply takes exactly one script field"));
+      return false;
+    }
+    Result<updates::UpdateScript> script =
+        updates::ParseUpdateScript(request[1], "apply");
+    if (!script.ok()) {
+      *response = ErrorResponse(script.status());
+      return false;
+    }
+    if (script->requests.empty()) {
+      *response = ErrorResponse(
+          Status::InvalidArgument("script contains no actions"));
+      return false;
+    }
+    UpdateResult result =
+        store_->SubmitTransaction(std::move(script->requests)).get();
+    if (!result.status.ok()) {
+      *response = ErrorResponse(result.status);
+      return false;
+    }
+    *response = {"ok", std::to_string(result.matched),
+                 std::to_string(result.epoch)};
     return false;
   }
 

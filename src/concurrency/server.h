@@ -121,7 +121,13 @@ class Listener {
 ///                            handler fields
 ///   --shutdown               stop the server (acknowledged first)
 ///   repl-hello ...           subscribe as a replica (see above)
-///   <actions...>             one or more -i/-a/-s/-d/-u CLI actions,
+///   --apply <script>         compile one update-script field (the
+///                            `xmlup apply` grammar: comments, lets,
+///                            action lines) and run it as one
+///                            all-or-nothing transaction; response
+///                            "ok" <matched> <epoch>
+///   <actions...>             one or more -i/-a/-s/-d/-u/-m/-r CLI
+///                            actions,
 ///                            applied in order as one all-or-nothing
 ///                            transaction; response "ok" <matched>
 ///                            <epoch> after the whole frame is durable,

@@ -1,73 +1,19 @@
 #ifndef XMLUP_CONCURRENCY_UPDATE_H_
 #define XMLUP_CONCURRENCY_UPDATE_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
+// The update grammar and apply engine moved to src/updates (updates/update.h)
+// when they grew script compilation and the static independence analysis;
+// this header keeps the old spellings alive for the pipeline's callers.
 
-#include "common/status.h"
-#include "store/document_store.h"
-#include "xml/node.h"
+#include "updates/update.h"
 
 namespace xmlup::concurrency {
 
-/// One XPath-addressed structural edit, the unit the update pipeline
-/// accepts. This is exactly the xmlup CLI's xmlstar-style action grammar
-/// (-i/-a/-s/-d/-u) lifted into a struct: targets are XPath expressions,
-/// resolved by the writer against its live document at apply time — never
-/// NodeIds, which go stale whenever a checkpoint compacts the arena.
-struct UpdateRequest {
-  enum class Op : uint8_t {
-    kInsertBefore,  ///< -i: new sibling before each match
-    kInsertAfter,   ///< -a: new sibling after each match
-    kInsertChild,   ///< -s: new child of each match
-    kDelete,        ///< -d: delete each matched subtree
-    kSetValue,      ///< -u: replace the value/text of each match
-  };
-
-  Op op = Op::kInsertChild;
-  std::string xpath;
-  xml::NodeKind kind = xml::NodeKind::kElement;
-  std::string name;
-  std::string value;
-};
-
-/// Outcome of one request, delivered once the whole batch it rode in is
-/// durable (acknowledged implies durable — see ConcurrentStore).
-struct UpdateResult {
-  common::Status status;
-  size_t matched = 0;  ///< Nodes the XPath resolved to (and were edited).
-  uint64_t epoch = 0;  ///< First published view that shows the change.
-};
-
-/// Maps an xmlup CLI node-type token ("elem", "attr", "text", "comment")
-/// to a NodeKind.
-common::Result<xml::NodeKind> NodeKindForToken(const std::string& type);
-
-/// Parses a token stream in the CLI action grammar into requests:
-///
-///   -i|-a|-s|-d|-u <xpath> [-t elem|attr|text|comment] [-n <name>]
-///   [-v <value>] ...
-///
-/// Used verbatim by `xmlup ed` argv tails and by the serve-mode wire
-/// protocol, so the two front ends cannot drift apart. All structural
-/// constraints that need no document (missing operands, unknown types,
-/// -t elem/attr without -n, -u without -v) are rejected here — before
-/// anything touches the store.
-common::Result<std::vector<UpdateRequest>> ParseActionTokens(
-    const std::vector<std::string>& tokens);
-
-/// Resolves `request.xpath` against the store's live document and applies
-/// the edit to every match, journalling through the store. The XPath is
-/// fully resolved before the first mutation, so a request that fails to
-/// parse or match writes nothing; `*matched` reports the match count.
-/// A failure *after* the first mutation (a later match rejected, a
-/// journal append error) leaves partial records in the unsynced journal
-/// tail — callers that promise all-or-nothing (the group-commit writer,
-/// `xmlup ed`) take a DocumentStore::Mark() first and RollbackTail() to
-/// it on failure, before any sync barrier.
-common::Status ApplyUpdate(store::DocumentStore* store,
-                           const UpdateRequest& request, size_t* matched);
+using updates::ApplyUpdate;
+using updates::NodeKindForToken;
+using updates::ParseActionTokens;
+using updates::UpdateRequest;
+using updates::UpdateResult;
 
 }  // namespace xmlup::concurrency
 

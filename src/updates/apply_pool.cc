@@ -1,0 +1,62 @@
+#include "updates/apply_pool.h"
+
+namespace xmlup::updates {
+
+ApplyPool::ApplyPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ApplyPool::~ApplyPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ApplyPool::WorkerMain() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    RunSlice(lock);  // lock held between claims, released around fn
+  }
+}
+
+void ApplyPool::RunSlice(std::unique_lock<std::mutex>& lock) {
+  // Caller holds mutex_ via `lock`. Claim under the lock, run unlocked.
+  while (next_ < count_) {
+    const size_t index = next_++;
+    lock.unlock();
+    (*fn_)(index);
+    lock.lock();
+    if (++completed_ == count_) work_done_.notify_all();
+  }
+}
+
+void ApplyPool::ParallelFor(size_t count,
+                            const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  count_ = count;
+  next_ = 0;
+  completed_ = 0;
+  ++generation_;
+  work_ready_.notify_all();
+  RunSlice(lock);
+  work_done_.wait(lock, [&] { return completed_ == count_; });
+  fn_ = nullptr;
+}
+
+}  // namespace xmlup::updates

@@ -1,0 +1,57 @@
+#ifndef XMLUP_UPDATES_APPLY_POOL_H_
+#define XMLUP_UPDATES_APPLY_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmlup::updates {
+
+/// A small persistent worker pool for the parallel-prepare stage: the
+/// writer fans transaction planning out over `workers` threads, then
+/// continues alone. ParallelFor is a synchronous fork-join — the calling
+/// thread participates, so a pool of w threads gives w+1 lanes and a
+/// 1-item loop never context-switches. Tasks must not throw.
+class ApplyPool {
+ public:
+  /// Spawns `workers` threads (0 is allowed: ParallelFor then runs
+  /// entirely on the calling thread).
+  explicit ApplyPool(size_t workers);
+  ~ApplyPool();
+
+  ApplyPool(const ApplyPool&) = delete;
+  ApplyPool& operator=(const ApplyPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  /// Runs fn(0) ... fn(count - 1), work-stealing over a shared atomic
+  /// cursor; returns after every index completed. Not reentrant and not
+  /// thread-safe: one ParallelFor at a time (the writer loop is the only
+  /// caller).
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerMain();
+  // Claims indices until the cursor passes count_. `lock` must hold
+  // mutex_; it is released around each task invocation.
+  void RunSlice(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t count_ = 0;
+  size_t next_ = 0;       // next unclaimed index
+  size_t completed_ = 0;  // indices fully executed
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xmlup::updates
+
+#endif  // XMLUP_UPDATES_APPLY_POOL_H_

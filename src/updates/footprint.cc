@@ -1,0 +1,343 @@
+#include "updates/footprint.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/label_index.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlup::updates {
+
+namespace {
+
+using core::LabelIndex;
+using xml::NodeId;
+
+// The AST is move-only (predicates hold unique_ptr paths); the planner
+// needs prefix copies to evaluate path prefixes step by step.
+xpath::LocationPath CopyPath(const xpath::LocationPath& path);
+
+xpath::Predicate CopyPredicate(const xpath::Predicate& pred) {
+  xpath::Predicate copy;
+  copy.kind = pred.kind;
+  copy.position = pred.position;
+  copy.op = pred.op;
+  copy.literal = pred.literal;
+  if (pred.path != nullptr) {
+    copy.path = std::make_unique<xpath::LocationPath>(CopyPath(*pred.path));
+  }
+  return copy;
+}
+
+xpath::Step CopyStep(const xpath::Step& step) {
+  xpath::Step copy;
+  copy.axis = step.axis;
+  copy.test = step.test;
+  copy.predicates.reserve(step.predicates.size());
+  for (const xpath::Predicate& pred : step.predicates) {
+    copy.predicates.push_back(CopyPredicate(pred));
+  }
+  return copy;
+}
+
+xpath::LocationPath CopyPath(const xpath::LocationPath& path) {
+  xpath::LocationPath copy;
+  copy.absolute = path.absolute;
+  copy.steps.reserve(path.steps.size());
+  for (const xpath::Step& step : path.steps) {
+    copy.steps.push_back(CopyStep(step));
+  }
+  return copy;
+}
+
+// Axes whose evaluation from a frontier node reads only that node's point
+// and the matched nodes' points (the per-prefix frontier points cover
+// everything a later writer could perturb — see AddBranchRead).
+bool SimpleAxis(xpath::Axis axis) {
+  return axis == xpath::Axis::kChild || axis == xpath::Axis::kAttribute ||
+         axis == xpath::Axis::kSelf;
+}
+
+bool DescendingAxis(xpath::Axis axis) {
+  return axis == xpath::Axis::kDescendant ||
+         axis == xpath::Axis::kDescendantOrSelf;
+}
+
+// A predicate path whose every result (and string-value read) provably
+// stays inside the candidate node's subtree: relative, downward axes
+// only, recursively.
+bool PredicatePathContained(const xpath::LocationPath& path) {
+  if (path.absolute) return false;
+  for (const xpath::Step& step : path.steps) {
+    if (!SimpleAxis(step.axis) && !DescendingAxis(step.axis)) return false;
+    for (const xpath::Predicate& pred : step.predicates) {
+      if (pred.path != nullptr && !PredicatePathContained(*pred.path)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Footprint construction against one pinned document. Every Add* method
+// returns false when the position algebra cannot bound the access — the
+// caller then abandons the plan (whole-document, unusable).
+class Planner {
+ public:
+  Planner(const core::LabeledDocument& doc, const LabelIndex& index)
+      : doc_(doc), index_(index), eval_(&doc, xpath::EvalMode::kTree) {}
+
+  const xpath::XPathEvaluator& eval() const { return eval_; }
+
+  bool AddPoint(NodeId node, Footprint* fp) const {
+    const size_t pos = index_.PositionOf(node);
+    if (pos >= index_.size()) return false;
+    fp->AddPoint(pos);
+    return true;
+  }
+
+  bool AddSubtree(NodeId node, Footprint* fp) const {
+    const size_t pos = index_.PositionOf(node);
+    if (pos >= index_.size()) return false;
+    const std::pair<size_t, size_t> range = index_.DescendantRange(node);
+    fp->AddRange(pos, std::max(range.second, pos + 1));
+    return true;
+  }
+
+  // Walks one union branch from the root, recording what its resolution
+  // reads. The invariant that makes the point-based rule sound: every
+  // frontier node of every prefix gets a point, so any write that could
+  // change a later re-resolution (insert/rename/move under a frontier
+  // node — all of which carry a subtree(parent-or-target) write that
+  // contains the frontier point) intersects the read footprint. Steps
+  // with predicates or descending axes read the whole frontier subtree
+  // and are charged subtree ranges instead.
+  bool AddBranchRead(const xpath::LocationPath& path, Footprint* reads) {
+    if (!doc_.tree().has_root()) return false;
+    const NodeId root = doc_.tree().root();
+    std::vector<NodeId> frontier{root};
+    if (!AddPoint(root, reads)) return false;
+    xpath::LocationPath prefix;
+    prefix.absolute = path.absolute;
+    for (const xpath::Step& step : path.steps) {
+      const bool simple = SimpleAxis(step.axis);
+      const bool descending = DescendingAxis(step.axis);
+      if (!simple && !descending) return false;
+      if (descending || !step.predicates.empty()) {
+        for (const xpath::Predicate& pred : step.predicates) {
+          if (pred.path != nullptr && !PredicatePathContained(*pred.path)) {
+            return false;
+          }
+        }
+        for (NodeId node : frontier) {
+          if (!AddSubtree(node, reads)) return false;
+        }
+      }
+      prefix.steps.push_back(CopyStep(step));
+      common::Result<std::vector<NodeId>> next = eval_.Evaluate(prefix, root);
+      if (!next.ok()) return false;
+      frontier = std::move(*next);
+      for (NodeId node : frontier) {
+        if (!AddPoint(node, reads)) return false;
+      }
+    }
+    return true;
+  }
+
+  // Records the positions request's apply can touch, given its resolved
+  // targets. Insert-sibling and rename are charged the parent's subtree
+  // (they change the parent's child list / a child's name, which sibling
+  // resolutions read); move is charged source and destination subtrees.
+  bool AddWrites(const UpdateRequest& request, const ResolvedTargets& targets,
+                 const PlanOptions& options, Footprint* writes) const {
+    using Op = UpdateRequest::Op;
+    if (options.conservative_relabels && request.op != Op::kSetValue) {
+      // Structural ops may relabel or overflow under label-at-rest
+      // analyses; charge everything.
+      writes->MakeWholeDocument();
+      return true;
+    }
+    const xml::Tree& tree = doc_.tree();
+    switch (request.op) {
+      case Op::kSetValue:
+        for (NodeId m : targets.matches) {
+          if (!AddPoint(m, writes)) return false;
+        }
+        return true;
+      case Op::kDelete:
+      case Op::kInsertChild:
+        for (NodeId m : targets.matches) {
+          if (!AddSubtree(m, writes)) return false;
+        }
+        return true;
+      case Op::kInsertBefore:
+      case Op::kInsertAfter:
+      case Op::kRename:
+        for (NodeId m : targets.matches) {
+          const NodeId parent = tree.parent(m);
+          if (!tree.IsValid(parent)) return false;  // root target
+          if (!AddSubtree(parent, writes)) return false;
+        }
+        return true;
+      case Op::kMove: {
+        for (NodeId m : targets.matches) {
+          if (!AddSubtree(m, writes)) return false;
+        }
+        // An empty destination set fails the whole transaction at apply
+        // time, on both paths, before any mutation — no writes to charge.
+        if (!targets.matches2.empty() &&
+            !AddSubtree(targets.matches2.front(), writes)) {
+          return false;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const core::LabeledDocument& doc_;
+  const LabelIndex& index_;
+  xpath::XPathEvaluator eval_;
+};
+
+}  // namespace
+
+void Footprint::AddRange(size_t begin, size_t end) {
+  if (whole_document || begin >= end) return;
+  intervals.emplace_back(begin, end);
+}
+
+void Footprint::MakeWholeDocument() {
+  whole_document = true;
+  intervals.clear();
+}
+
+void Footprint::Unite(const Footprint& other) {
+  if (other.whole_document) {
+    MakeWholeDocument();
+    return;
+  }
+  if (whole_document) return;
+  intervals.insert(intervals.end(), other.intervals.begin(),
+                   other.intervals.end());
+}
+
+void Footprint::Normalize() {
+  if (whole_document) {
+    intervals.clear();
+    return;
+  }
+  std::sort(intervals.begin(), intervals.end());
+  size_t out = 0;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (out > 0 && intervals[i].first <= intervals[out - 1].second) {
+      intervals[out - 1].second =
+          std::max(intervals[out - 1].second, intervals[i].second);
+    } else {
+      intervals[out++] = intervals[i];
+    }
+  }
+  intervals.resize(out);
+}
+
+bool Disjoint(const Footprint& a, const Footprint& b) {
+  if (a.whole_document) return b.empty();
+  if (b.whole_document) return a.empty();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.intervals.size() && j < b.intervals.size()) {
+    if (a.intervals[i].second <= b.intervals[j].first) {
+      ++i;
+    } else if (b.intervals[j].second <= a.intervals[i].first) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+TransactionPlan PlanTransaction(const core::LabeledDocument& doc,
+                                const std::vector<UpdateRequest>& requests,
+                                const PlanOptions& options) {
+  TransactionPlan plan;
+  const auto fail = [&plan]() -> TransactionPlan& {
+    plan.usable = false;
+    plan.reads.MakeWholeDocument();
+    plan.writes.MakeWholeDocument();
+    plan.targets.clear();
+    return plan;
+  };
+  common::Result<const LabelIndex*> index = doc.query_index();
+  if (!index.ok() || *index == nullptr) return fail();
+  Planner planner(doc, **index);
+
+  for (const UpdateRequest& request : requests) {
+    Footprint reads;
+    common::Result<xpath::UnionExpr> parsed = xpath::ParseUnion(request.xpath);
+    if (!parsed.ok()) return fail();
+    for (const xpath::LocationPath& branch : parsed->branches) {
+      if (!planner.AddBranchRead(branch, &reads)) return fail();
+    }
+    ResolvedTargets targets;
+    common::Result<std::vector<NodeId>> matches =
+        planner.eval().Query(request.xpath);
+    if (!matches.ok()) return fail();
+    targets.matches = std::move(*matches);
+    if (request.op == UpdateRequest::Op::kMove) {
+      common::Result<xpath::UnionExpr> parsed2 =
+          xpath::ParseUnion(request.xpath2);
+      if (!parsed2.ok()) return fail();
+      for (const xpath::LocationPath& branch : parsed2->branches) {
+        if (!planner.AddBranchRead(branch, &reads)) return fail();
+      }
+      common::Result<std::vector<NodeId>> matches2 =
+          planner.eval().Query(request.xpath2);
+      if (!matches2.ok()) return fail();
+      targets.matches2 = std::move(*matches2);
+    }
+    reads.Normalize();
+    // Intra-transaction dependency: a request that reads what an earlier
+    // request wrote would resolve differently against the pinned view than
+    // against the live document mid-transaction. (Targets are part of the
+    // read footprint, so stale-target chains are always caught here.)
+    if (!Disjoint(reads, plan.writes)) return fail();
+    plan.reads.Unite(reads);
+
+    Footprint writes;
+    if (!planner.AddWrites(request, targets, options, &writes)) return fail();
+    writes.Normalize();
+    plan.writes.Unite(writes);
+    plan.writes.Normalize();
+    plan.targets.push_back(std::move(targets));
+  }
+  plan.reads.Normalize();
+  plan.usable = true;
+  return plan;
+}
+
+bool Independent(const TransactionPlan& a, const TransactionPlan& b) {
+  if (!a.usable || !b.usable) return false;
+  return Disjoint(a.reads, b.writes) && Disjoint(a.writes, b.reads);
+}
+
+std::vector<bool> MarkConflicts(const std::vector<TransactionPlan>& plans) {
+  // Batches are small (<= the group-commit cap), so the O(n^2) pairwise
+  // check — each a linear interval merge — is cheaper than anything
+  // cleverer and obviously order-insensitive.
+  std::vector<bool> conflicted(plans.size(), false);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    for (size_t j = i + 1; j < plans.size(); ++j) {
+      if (!Independent(plans[i], plans[j])) {
+        conflicted[i] = true;
+        conflicted[j] = true;
+      }
+    }
+  }
+  return conflicted;
+}
+
+}  // namespace xmlup::updates

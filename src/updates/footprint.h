@@ -1,0 +1,94 @@
+#ifndef XMLUP_UPDATES_FOOTPRINT_H_
+#define XMLUP_UPDATES_FOOTPRINT_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/labeled_document.h"
+#include "updates/update.h"
+
+namespace xmlup::updates {
+
+/// A set of half-open intervals of document-order positions (ranks in the
+/// pinned view's LabelIndex — the label algebra's coordinate system: a
+/// node's subtree is exactly [PositionOf(n), DescendantRange(n).second)).
+/// The unit the independence analysis reasons in: a transaction's *read*
+/// footprint covers every position its XPath resolution consulted, its
+/// *write* footprint every position its edits can affect.
+struct Footprint {
+  /// Conservative top element: the footprint may touch any position.
+  /// Used for transactions the analysis cannot bound (unsupported axes,
+  /// parse failures) and, under PlanOptions::conservative_relabels, for
+  /// relabel/overflow-risky structural ops.
+  bool whole_document = false;
+  /// Normalized after Normalize(): sorted, pairwise disjoint, non-empty.
+  std::vector<std::pair<size_t, size_t>> intervals;
+
+  void AddPoint(size_t position) { AddRange(position, position + 1); }
+  void AddRange(size_t begin, size_t end);
+  void MakeWholeDocument();
+  void Unite(const Footprint& other);
+  /// Sorts and coalesces intervals. Disjoint() requires normalized inputs.
+  void Normalize();
+  /// True when the footprint provably covers nothing.
+  bool empty() const { return !whole_document && intervals.empty(); }
+};
+
+/// Pure disjointness over normalized footprints: no position is covered
+/// by both. A whole-document footprint is disjoint only from an empty
+/// one. O(|a| + |b|) two-pointer merge.
+bool Disjoint(const Footprint& a, const Footprint& b);
+
+struct PlanOptions {
+  /// Charge every structural op (insert/delete/move/rename) a whole-
+  /// document write footprint, modelling the relabel/overflow risk the
+  /// label algebra would expose if positions were read from labels that
+  /// a neighbouring update can rewrite. The pipeline runs with this off:
+  /// mutation is strictly serial there, so document-order positions — not
+  /// label bytes — are the coordinate system and relabelling cannot
+  /// invalidate a disjointness verdict (DESIGN.md §13). Analyses that
+  /// reason about labels at rest (e.g. cross-shard script scheduling)
+  /// turn it on.
+  bool conservative_relabels = false;
+};
+
+/// Everything the static analysis derives from one transaction against a
+/// pinned view: per-request resolved targets, read/write footprints, and
+/// whether the pre-resolved targets may be applied directly (`usable`).
+/// A plan is unusable when any XPath needs more than the simple footprint
+/// algebra (non-downward axes, failed parses) or when a later request
+/// reads what an earlier one writes (its resolution against the pinned
+/// view would not see its own transaction's effects); unusable plans get
+/// whole-document footprints, so they also conflict with everything.
+struct TransactionPlan {
+  bool usable = false;
+  Footprint reads;
+  Footprint writes;
+  /// One entry per request, in request order (empty when !usable).
+  std::vector<ResolvedTargets> targets;
+};
+
+/// Statically analyses one transaction against `doc` (a pinned, prewarmed
+/// view sharing the live arena): resolves every target XPath once and
+/// computes the footprints. Pure reads of `doc`; safe to run for many
+/// transactions concurrently against the same view.
+TransactionPlan PlanTransaction(const core::LabeledDocument& doc,
+                                const std::vector<UpdateRequest>& requests,
+                                const PlanOptions& options = {});
+
+/// True when the two plans commute with live resolution: neither reads
+/// what the other writes. Write-write overlap alone is allowed — the
+/// pipeline mutates serially in submission order, so overlapping writes
+/// land exactly as a serial apply would; only resolution moves early.
+bool Independent(const TransactionPlan& a, const TransactionPlan& b);
+
+/// Pairwise independence over a batch: conflicted[i] is true when txn i
+/// overlaps any other txn (or could not be analysed) and must take the
+/// live resolve-at-apply path, in submission order. A singleton batch is
+/// never conflicted.
+std::vector<bool> MarkConflicts(const std::vector<TransactionPlan>& plans);
+
+}  // namespace xmlup::updates
+
+#endif  // XMLUP_UPDATES_FOOTPRINT_H_

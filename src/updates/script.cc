@@ -1,0 +1,170 @@
+#include "updates/script.h"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace xmlup::updates {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// One-line spec-quoting diagnostic: `<origin>:<line>: <message>`.
+Status ScriptError(std::string_view origin, size_t line,
+                   const std::string& message) {
+  return Status::InvalidArgument(std::string(origin) + ":" +
+                                 std::to_string(line) + ": " + message);
+}
+
+bool ValidVarName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name.front())) &&
+      name.front() != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Expands every ${NAME} in `text` from `bindings`; an unknown name is a
+/// compile error (quoted), not a silent empty string.
+Result<std::string> ExpandBindings(
+    std::string_view text, const std::map<std::string, std::string>& bindings,
+    std::string_view origin, size_t line) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '$' || i + 1 >= text.size() || text[i + 1] != '{') {
+      out.push_back(text[i]);
+      continue;
+    }
+    const size_t close = text.find('}', i + 2);
+    if (close == std::string_view::npos) {
+      return ScriptError(origin, line,
+                         "unterminated variable reference in \"" +
+                             std::string(text.substr(i)) + "\"");
+    }
+    const std::string name(text.substr(i + 2, close - (i + 2)));
+    auto it = bindings.find(name);
+    if (it == bindings.end()) {
+      return ScriptError(origin, line,
+                         "undefined variable \"${" + name + "}\"");
+    }
+    out.append(it->second);
+    i = close;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitScriptTokens(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    std::string token;
+    bool quoted = false;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (c == '"') {
+        quoted = !quoted;
+        ++i;
+        continue;
+      }
+      if (!quoted && std::isspace(static_cast<unsigned char>(c))) break;
+      token.push_back(c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+Result<UpdateScript> ParseUpdateScript(std::string_view text,
+                                       std::string_view origin) {
+  UpdateScript script;
+  std::map<std::string, std::string> bindings;
+  size_t line_number = 0;
+  size_t cursor = 0;
+  while (cursor <= text.size()) {
+    const size_t eol = text.find('\n', cursor);
+    std::string_view raw =
+        text.substr(cursor, eol == std::string_view::npos ? std::string_view::npos
+                                                          : eol - cursor);
+    cursor = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.rfind("let", 0) == 0 &&
+        (line.size() == 3 ||
+         std::isspace(static_cast<unsigned char>(line[3])))) {
+      const size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        return ScriptError(origin, line_number,
+                           "let needs NAME = <value> in \"" +
+                               std::string(line) + "\"");
+      }
+      const std::string name(Trim(line.substr(3, eq - 3)));
+      if (!ValidVarName(name)) {
+        return ScriptError(origin, line_number,
+                           "bad variable name \"" + name + "\"");
+      }
+      XMLUP_ASSIGN_OR_RETURN(
+          std::string value,
+          ExpandBindings(Trim(line.substr(eq + 1)), bindings, origin,
+                         line_number));
+      // A quoted value keeps its inner spacing; SplitScriptTokens would
+      // also merge adjacent quoted runs, which a single binding is not.
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      bindings[name] = std::move(value);
+      continue;
+    }
+
+    std::vector<std::string> tokens;
+    for (std::string& token : SplitScriptTokens(line)) {
+      XMLUP_ASSIGN_OR_RETURN(
+          std::string expanded,
+          ExpandBindings(token, bindings, origin, line_number));
+      tokens.push_back(std::move(expanded));
+    }
+    Result<std::vector<UpdateRequest>> actions = ParseActionTokens(tokens);
+    if (!actions.ok()) {
+      // ParseActionTokens already quotes the offending token; prefix the
+      // script position so the author can jump straight to the line.
+      return ScriptError(origin, line_number, actions.status().message());
+    }
+    for (UpdateRequest& request : *actions) {
+      script.requests.push_back(std::move(request));
+    }
+  }
+  return script;
+}
+
+}  // namespace xmlup::updates

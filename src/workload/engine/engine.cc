@@ -263,6 +263,7 @@ Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
         continue;
       }
       case SpecNodeType::kEdit:
+      case SpecNodeType::kApply:
       case SpecNodeType::kQuery:
         break;  // a client op, handled below
     }
@@ -297,6 +298,17 @@ Status RunWorker(const SharedRun& run, size_t thread_index, uint64_t rng_seed,
         frame.push_back(
             Expand(token, *run.vars, thread_index, ops_done, rng));
       }
+    } else if (node.type == SpecNodeType::kApply) {
+      // One script field: expanded lines joined with newlines (the frame
+      // separator is 0x1F, so embedded newlines survive the wire).
+      std::string script;
+      for (const std::string& script_line : node.lines) {
+        if (!script.empty()) script.push_back('\n');
+        script.append(
+            Expand(script_line, *run.vars, thread_index, ops_done, rng));
+      }
+      frame.push_back("--apply");
+      frame.push_back(std::move(script));
     } else {
       frame.push_back("-q");
       frame.push_back(Expand(node.xpath, *run.vars, thread_index, ops_done,
@@ -370,6 +382,9 @@ common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
     for (const std::string& token : node.script) {
       XMLUP_RETURN_NOT_OK(recheck(token));
     }
+    for (const std::string& script_line : node.lines) {
+      XMLUP_RETURN_NOT_OK(recheck(script_line));
+    }
     XMLUP_RETURN_NOT_OK(recheck(node.xpath));
   }
 
@@ -378,6 +393,7 @@ common::Result<WorkloadReport> RunWorkload(const WorkloadSpec& spec,
   for (size_t i = 0; i < spec.nodes.size(); ++i) {
     const SpecNode& node = spec.nodes[i];
     if (node.type != SpecNodeType::kEdit &&
+        node.type != SpecNodeType::kApply &&
         node.type != SpecNodeType::kQuery &&
         node.type != SpecNodeType::kThinkTime) {
       continue;

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "concurrency/update.h"
+#include "updates/script.h"
 #include "xpath/parser.h"
 
 namespace xmlup::workload {
@@ -140,6 +141,8 @@ std::string_view SpecNodeTypeName(SpecNodeType type) {
   switch (type) {
     case SpecNodeType::kEdit:
       return "edit";
+    case SpecNodeType::kApply:
+      return "apply";
     case SpecNodeType::kQuery:
       return "query";
     case SpecNodeType::kRandomChoice:
@@ -279,6 +282,8 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
       node.line_text = line_text;
       if (type_name == "edit") {
         node.type = SpecNodeType::kEdit;
+      } else if (type_name == "apply") {
+        node.type = SpecNodeType::kApply;
       } else if (type_name == "query") {
         node.type = SpecNodeType::kQuery;
       } else if (type_name == "random-choice") {
@@ -306,14 +311,16 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
       const size_t node_index = static_cast<size_t>(current - &spec.nodes[0]);
       const SpecNodeType type = current->type;
       if (keyword == "next" &&
-          (type == SpecNodeType::kEdit || type == SpecNodeType::kQuery ||
-           type == SpecNodeType::kForN || type == SpecNodeType::kThinkTime)) {
+          (type == SpecNodeType::kEdit || type == SpecNodeType::kApply ||
+           type == SpecNodeType::kQuery || type == SpecNodeType::kForN ||
+           type == SpecNodeType::kThinkTime)) {
         if (rest.empty()) {
           return SpecError(line_no, line_text, "next needs a node name");
         }
         refs.push_back({node_index, NodeRef::Kind::kNext, 0,
                         std::string(rest), line_no, line_text});
       } else if (keyword == "doc" && (type == SpecNodeType::kEdit ||
+                                      type == SpecNodeType::kApply ||
                                       type == SpecNodeType::kQuery)) {
         if (rest.empty()) {
           return SpecError(line_no, line_text, "doc needs a key template");
@@ -326,6 +333,13 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
           return SpecError(line_no, line_text, "script needs action tokens");
         }
         current->script = std::move(*tokens);
+      } else if (keyword == "line" && type == SpecNodeType::kApply) {
+        // The rest of the line verbatim: the update-script grammar owns
+        // its own tokenization (quotes, comments, `let`).
+        if (rest.empty()) {
+          return SpecError(line_no, line_text, "line needs script text");
+        }
+        current->lines.emplace_back(rest);
       } else if (keyword == "xpath" && type == SpecNodeType::kQuery) {
         if (rest.empty()) {
           return SpecError(line_no, line_text, "xpath needs an expression");
@@ -405,6 +419,13 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
                            "edit node '" + node.name + "' needs a script");
         }
         break;
+      case SpecNodeType::kApply:
+        if (node.lines.empty()) {
+          return SpecError(node.line, node.line_text,
+                           "apply node '" + node.name +
+                               "' needs at least one line");
+        }
+        break;
       case SpecNodeType::kQuery:
         if (node.xpath.empty()) {
           return SpecError(node.line, node.line_text,
@@ -465,6 +486,7 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
   // Every non-terminal node must have somewhere to go.
   for (const SpecNode& node : spec.nodes) {
     if ((node.type == SpecNodeType::kEdit ||
+         node.type == SpecNodeType::kApply ||
          node.type == SpecNodeType::kQuery ||
          node.type == SpecNodeType::kThinkTime) &&
         node.next == -1) {
@@ -532,6 +554,7 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
           finish_reached = true;
           break;
         case SpecNodeType::kEdit:
+        case SpecNodeType::kApply:
         case SpecNodeType::kQuery:
         case SpecNodeType::kThinkTime:
           XMLUP_RETURN_NOT_OK(follow(node.next, in_body));
@@ -580,6 +603,20 @@ common::Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
         return SpecError(node.line, node.line_text,
                          "edit node '" + node.name + "' script: " +
                              parsed.status().ToString());
+      }
+    }
+    if (node.type == SpecNodeType::kApply) {
+      std::string neutral;
+      for (const std::string& script_line : node.lines) {
+        XMLUP_RETURN_NOT_OK(check_template(script_line));
+        if (!neutral.empty()) neutral.push_back('\n');
+        neutral.append(NeutralizeTemplates(script_line));
+      }
+      auto compiled = updates::ParseUpdateScript(neutral, "script");
+      if (!compiled.ok()) {
+        return SpecError(node.line, node.line_text,
+                         "apply node '" + node.name + "' script: " +
+                             compiled.status().ToString());
       }
     }
     if (node.type == SpecNodeType::kQuery) {

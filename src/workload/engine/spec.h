@@ -27,7 +27,14 @@ namespace xmlup::workload {
 ///
 ///   edit           doc <template>?  script <action tokens...>  next <node>
 ///                  one wire frame in the CLI action grammar
-///                  (-i/-a/-s/-d/-u), all-or-nothing server side
+///                  (-i/-a/-s/-d/-u/-m/-r), all-or-nothing server side
+///   apply          doc <template>?  line <script line>  (repeated)
+///                  next <node>
+///                  one --apply wire frame: the `line` fields joined with
+///                  newlines form an update script in the `xmlup apply`
+///                  grammar (comments, `let` bindings, action lines),
+///                  compiled and run server side as one all-or-nothing
+///                  transaction
 ///   query          doc <template>?  xpath <expr>  next <node>
 ///                  one -q frame evaluated on the latest snapshot view
 ///   random-choice  choice <weight> <node>  (repeated)
@@ -57,6 +64,7 @@ namespace xmlup::workload {
 /// line, so `xmlup workload check` can gate a spec before any traffic.
 enum class SpecNodeType : uint8_t {
   kEdit,
+  kApply,
   kQuery,
   kRandomChoice,
   kForN,
@@ -78,6 +86,9 @@ struct SpecNode {
   std::string doc_template;
   /// edit: templated tokens in the CLI action grammar.
   std::vector<std::string> script;
+  /// apply: templated update-script lines, joined with newlines into the
+  /// --apply frame's one script field.
+  std::vector<std::string> lines;
   /// query: templated XPath expression.
   std::string xpath;
   /// think-time: uniform sleep range in milliseconds (min == max for a

@@ -183,7 +183,7 @@ TEST(WorkloadSpecErrors, EndReachableBothInsideAndOutsideIsRejected) {
 TEST(WorkloadSpecErrors, BadEditScriptCaughtStatically) {
   ExpectRejected(
       "node a edit\n  script -s . -t blob -n x\n  next finish\n",
-      "node a edit", "unknown node type: blob");
+      "node a edit", "unknown node type \"blob\"");
 }
 
 TEST(WorkloadSpecErrors, EditScriptMissingNameCaughtStatically) {

@@ -35,7 +35,11 @@ for scheme in ordpath dewey xpath-accelerator; do
     -u "shelf[1]/book/title/text()" -v "Iliad (rev)" \
     -i '//book/title' -t comment -v "bought used" \
     -a 'shelf[1]' -t elem -n divider \
+    -m 'shelf[1]/book' "//shelf[@id='b']" \
+    -r "//shelf[@id='b']/book[2]/title" -v heading \
     > "$WORK/session.txt"
+  grep -q '<heading>Iliad (rev)</heading>' "$WORK/session.txt" \
+    || fail "$scheme: moved book was not renamed in place"
 
   # Restart: recover in fresh processes and compare byte for byte.
   "$XMLUP" cat "$DIR" > "$WORK/recovered.txt"
@@ -108,6 +112,12 @@ expect_error "unmatched target" "$XMLUP" ed "$DIR" -d '/no/such/node'
 expect_error "unknown node type" "$XMLUP" ed "$DIR" -s '.' -t blob -n x
 # -u without a value.
 expect_error "-u without -v" "$XMLUP" ed "$DIR" -u '/shelf'
+# -m with a single operand.
+expect_error "-m missing destination" "$XMLUP" ed "$DIR" -m '/shelf'
+# -r without the new name.
+expect_error "-r without -v" "$XMLUP" ed "$DIR" -r '/shelf'
+# -m into the moved subtree itself must be rejected before any mutation.
+expect_error "-m into own subtree" "$XMLUP" ed "$DIR" -m '/shelf' '/shelf/book'
 # Element insert without a name.
 expect_error "elem insert without -n" "$XMLUP" ed "$DIR" -s '.' -t elem
 # A script that fails mid-way (first action fine, second unmatched) must
@@ -127,6 +137,124 @@ cmp -s "$WORK/pristine.xml" "$WORK/after-errors.xml" \
 expect_error "unknown scheme" "$XMLUP" init "$WORK/store-bogus" --scheme bogus
 [ ! -e "$WORK/store-bogus" ] \
   || fail "failed init left a store directory behind"
+
+# --- update scripts (apply) -------------------------------------------------
+# Compiled update scripts: comments, `let` bindings, quoted tokens, move
+# and rename, applied as one all-or-nothing transaction; compile errors
+# exit 2 with a one-line <file>:<line> diagnostic quoting the offending
+# token; the remote form ships the same script as a single --apply frame
+# (directly, and routed to a corpus document with --doc).
+
+DIR="$WORK/store-apply"
+"$XMLUP" init "$DIR" --scheme dewey --xml "$WORK/in.xml" > /dev/null
+
+cat > "$WORK/grow.up" <<'EOF'
+# grow a second shelf and restock it
+let SHELF = //shelf[@id='b']
+-s . -t elem -n shelf
+-s shelf[2] -t attr -n id -v b
+-s ${SHELF} -t elem -n book
+-s ${SHELF}/book -t elem -n title
+-s ${SHELF}/book/title -t text -v "Moby Dick"
+-m shelf[1]/book ${SHELF}
+-r ${SHELF}/book[1]/title -v heading
+EOF
+"$XMLUP" apply "$DIR" "$WORK/grow.up" --print > "$WORK/apply.out" \
+  || fail "apply: script failed"
+grep -q '<shelf id="b"><book><heading>Moby Dick</heading></book><book><title>Iliad</title></book></shelf>' \
+  "$WORK/apply.out" || fail "apply: script result wrong: $(cat "$WORK/apply.out")"
+# Restart: the applied script recovers byte for byte.
+"$XMLUP" cat "$DIR" > "$WORK/apply-recovered.xml"
+cmp -s "$WORK/apply.out" "$WORK/apply-recovered.xml" \
+  || fail "apply: recovered state differs from the in-memory result"
+
+# msg, <file>:<line> needle, quoted-token needle, then the command.
+expect_exit2_quoting() {
+  msg="$1"; where="$2"; token="$3"; shift 3
+  if out="$("$@" 2>&1)"; then
+    fail "$msg: expected exit 2, got success"
+  else
+    code=$?
+  fi
+  [ "$code" -eq 2 ] || fail "$msg: expected exit 2, got $code"
+  [ "$(printf '%s\n' "$out" | wc -l)" -eq 1 ] \
+    || fail "$msg: diagnostic is not one line: $out"
+  case "$out" in
+    *"$where"*) ;;
+    *) fail "$msg: diagnostic misses $where: $out" ;;
+  esac
+  case "$out" in
+    *"$token"*) ;;
+    *) fail "$msg: diagnostic misses $token: $out" ;;
+  esac
+}
+
+cat > "$WORK/broken.up" <<'EOF'
+# fine line
+-u shelf/x/text() -v ok
+-z oops
+EOF
+expect_exit2_quoting "apply: unknown action" "broken.up:3:" '"-z"' \
+  "$XMLUP" apply "$DIR" "$WORK/broken.up"
+printf -- '-u ${NOPE}/text() -v x\n' > "$WORK/undef.up"
+expect_exit2_quoting "apply: undefined variable" "undef.up:1:" '"${NOPE}"' \
+  "$XMLUP" apply "$DIR" "$WORK/undef.up"
+# A failed compile applies nothing.
+"$XMLUP" cat "$DIR" > "$WORK/after-bad-scripts.xml"
+cmp -s "$WORK/apply-recovered.xml" "$WORK/after-bad-scripts.xml" \
+  || fail "apply: failed scripts changed the store"
+
+# Remote form: the same script as one --apply frame, through a server
+# running the parallel-prepare stage.
+ASOCK="$WORK/apply.sock"
+"$XMLUP" serve "$DIR" --socket "$ASOCK" --apply-workers 4 &
+APPLY_PID=$!
+i=0
+until "$XMLUP" req --socket "$ASOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "apply: server did not come up"
+  sleep 0.1
+done
+cat > "$WORK/remote.up" <<'EOF'
+let WING = annex
+-s . -t elem -n ${WING}
+-s ${WING} -t text -v "via apply"
+EOF
+"$XMLUP" apply --socket "$ASOCK" "$WORK/remote.up" > "$WORK/remote.out" \
+  || fail "apply: remote script failed"
+# The reply is the transaction's <matched> and <epoch>, one per line.
+[ "$(wc -l < "$WORK/remote.out")" -eq 2 ] \
+  || fail "apply: remote reply is not matched+epoch: $(cat "$WORK/remote.out")"
+[ "$(head -1 "$WORK/remote.out")" = "2" ] \
+  || fail "apply: remote matched count wrong: $(cat "$WORK/remote.out")"
+[ "$("$XMLUP" req --socket "$ASOCK" -q '/annex' | head -1)" = "1" ] \
+  || fail "apply: remote edit not visible"
+# Remote compile errors are caught locally, before any round trip.
+expect_exit2_quoting "apply: remote compile error" "broken.up:3:" '"-z"' \
+  "$XMLUP" apply --socket "$ASOCK" "$WORK/broken.up"
+"$XMLUP" req --socket "$ASOCK" --shutdown > /dev/null \
+  || fail "apply: shutdown failed"
+wait "$APPLY_PID" || fail "apply: server exited nonzero"
+"$XMLUP" cat "$DIR" | grep -q "via apply" \
+  || fail "apply: acknowledged remote script lost after shutdown"
+
+# Routed: the identical frame through a corpus service keyed by --doc.
+ACSOCK="$WORK/apply-corpus.sock"
+"$XMLUP" serve "$WORK/apply-corpus" --corpus --socket "$ACSOCK" &
+ACORPUS_PID=$!
+i=0
+until "$XMLUP" req --socket "$ACSOCK" --ping > /dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -lt 100 ] || fail "apply: corpus did not come up"
+  sleep 0.1
+done
+"$XMLUP" req --socket "$ACSOCK" --doc alpha --create dewey > /dev/null \
+  || fail "apply: corpus create failed"
+"$XMLUP" apply --socket "$ACSOCK" --doc alpha "$WORK/remote.up" > /dev/null \
+  || fail "apply: routed script failed"
+[ "$("$XMLUP" req --socket "$ACSOCK" --doc alpha -q '/annex' | head -1)" = "1" ] \
+  || fail "apply: routed edit not visible"
+"$XMLUP" req --socket "$ACSOCK" --shutdown > /dev/null \
+  || fail "apply: corpus shutdown failed"
+wait "$ACORPUS_PID" || fail "apply: corpus exited nonzero"
 
 # --- serve / req -----------------------------------------------------------
 # Socket round trip: a server process, edits and queries through the wire

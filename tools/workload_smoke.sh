@@ -86,6 +86,20 @@ done
   || fail "mixed-corpus run against the router failed"
 assert_clean_run BENCH_workload.json "mixed-corpus"
 
+# Update scripts as single --apply frames, routed by document key; the
+# reshape node's move/rename prove multi-action transactions survive the
+# trip. The scripts grew real subtrees: every document must show them.
+"$XMLUP" workload run "$EXAMPLES/script-apply.workload" \
+  --target "$RSOCK" --threads 4 --seed 1 --ops 60 \
+  --out "$WORK/script-apply.json" \
+  || fail "script-apply run against the router failed"
+assert_clean_run "$WORK/script-apply.json" "script-apply"
+for key in alpha beta gamma delta; do
+  "$XMLUP" req --socket "$RSOCK" --doc "$key" --xml \
+    | grep -q "<bay\|<shaped" \
+    || fail "script-apply: document $key shows no applied scripts"
+done
+
 # Every frame found its shard: the router counted no route errors.
 "$XMLUP" req --socket "$RSOCK" --stats > "$WORK/router-stats.txt" \
   || fail "router --stats failed"

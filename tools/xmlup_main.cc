@@ -33,6 +33,8 @@
 #include "replication/source.h"
 #include "store/document_store.h"
 #include "store/file.h"
+#include "updates/script.h"
+#include "updates/update.h"
 #include "workload/engine/engine.h"
 #include "workload/engine/spec.h"
 #include "xml/parser.h"
@@ -64,10 +66,29 @@ usage:
             delete each matched subtree
         -u <xpath> -v <value>
             replace the value/text of each match
+        -m <src-xpath> <dst-xpath>
+            move each match to be the last child of <dst-xpath>'s first
+            match (attrs slot in before element children)
+        -r <xpath> -v <new-name>
+            rename each matched element or attribute
       the script is applied all-or-nothing with one fsync at the end
       (group commit): a failing action rolls the journal back, leaving
-      the store exactly as before the invocation
+      the store exactly as before the invocation; a malformed action
+      list exits 2 with a one-line diagnostic quoting the bad token
       --print / --labels echo the resulting XML / node labels afterwards
+  xmlup apply <dir> <script-file> [--print] [--labels]
+      compile an update script and apply it as one all-or-nothing
+      transaction. Scripts are line-oriented: '#' comments, blank
+      lines, `let NAME = <value>` bindings (referenced as ${NAME}),
+      and action lines in the ed grammar above ("quotes" group
+      tokens). Compile errors exit 2 with a one-line
+      <file>:<line>: diagnostic quoting the offending token
+  xmlup apply (--socket <path> | --tcp <host:port>) [--doc <key>]
+              <script-file>
+      the same script sent to a running server (or through a router
+      with --doc) as a single --apply frame: one group-commit
+      transaction, acknowledged after the fsync; prints
+      <matched> and <epoch>
   xmlup cat <dir> [--pretty]
       recover the document and serialize it to stdout
   xmlup labels <dir>
@@ -84,12 +105,16 @@ usage:
   xmlup damage <dir> --truncate <n> | --flip <byte>[:<bit>]
       deliberately tear or corrupt the live journal (crash simulation)
   xmlup serve <dir> --socket <path> | --tcp <host:port> | --stdio
-              [--queue <n>] [--batch <n>]
+              [--queue <n>] [--batch <n>] [--apply-workers <n>]
       serve the store to concurrent clients: snapshot-isolated reads,
       single-writer group commit; requests use the wire protocol
       (length-prefixed action/query frames — see `xmlup req`); a
       socket server is also a replication primary: replicas subscribe
-      over the same socket
+      over the same socket. --apply-workers <n> turns on the
+      parallel-prepare stage: each group-commit batch's XPath
+      resolution and independence analysis fan out over n lanes, and
+      provably disjoint transactions skip re-resolution (journal
+      bytes stay identical to a serial apply)
   xmlup serve <dir> --corpus --socket <path> | --tcp <host:port>
               [--sync-repl]
       serve a corpus of documents (one store per subdirectory) as a
@@ -195,7 +220,52 @@ int PrintXml(const core::LabeledDocument& doc, bool pretty) {
   return 0;
 }
 
-// --- ed -------------------------------------------------------------------
+// --- ed / apply -----------------------------------------------------------
+
+// Applies one compiled request list to a local store as an all-or-nothing
+// script with a single sync barrier — the body shared by `ed` (argv
+// actions) and `apply` (a compiled script file).
+int ApplyToLocalStore(const char* cmd, const std::string& dir,
+                      const std::vector<updates::UpdateRequest>& actions,
+                      bool print, bool labels) {
+  StoreOptions options;
+  // One barrier for the whole script; a mid-script failure rolls back.
+  options.sync_each_update = false;
+  // Checkpoints compact NodeIds; roll only between whole edit scripts.
+  options.auto_checkpoint = false;
+  auto st = DocumentStore::Open(dir, options);
+  if (!st.ok()) return Fail(st.status());
+  // Nothing this invocation appends is synced until CommitBatch below, so
+  // a mid-script failure rolls the journal back to this mark — in place,
+  // never rewriting (and so never endangering) the committed prefix.
+  const DocumentStore::BatchMark mark = (*st)->Mark();
+  for (const updates::UpdateRequest& action : actions) {
+    common::Status status = updates::ApplyUpdate(st->get(), action, nullptr);
+    if (!status.ok()) {
+      // Unwind the unsynced tail this invocation appended: the journal —
+      // and therefore the next recovery — must not contain a partially
+      // applied script.
+      common::Status rolled = (*st)->RollbackTail(mark);
+      if (!rolled.ok()) {
+        std::fprintf(stderr,
+                     "xmlup %s: rollback failed, a partial script may "
+                     "remain in the journal: %s\n",
+                     cmd, rolled.ToString().c_str());
+      }
+      return Fail(status);
+    }
+  }
+  common::Status committed = (*st)->CommitBatch();
+  if (!committed.ok()) return Fail(committed);
+  common::Status rolled = (*st)->MaybeCheckpoint();
+  if (!rolled.ok()) return Fail(rolled);
+  if (print) {
+    int rc = PrintXml((*st)->document(), /*pretty=*/false);
+    if (rc != 0) return rc;
+  }
+  if (labels) PrintLabels((*st)->document());
+  return 0;
+}
 
 int CmdEd(int argc, char** argv) {
   if (argc < 1) return Usage();
@@ -215,52 +285,23 @@ int CmdEd(int argc, char** argv) {
       tokens.push_back(std::move(arg));
     }
   }
-  auto actions = concurrency::ParseActionTokens(tokens);
-  if (!actions.ok()) return Fail(actions.status());
+  auto actions = updates::ParseActionTokens(tokens);
+  if (!actions.ok()) {
+    // A malformed action list is a usage error, not a store failure: the
+    // one-line token-quoting diagnostic and exit 2, matching `workload
+    // check` and `apply`.
+    std::fprintf(stderr, "xmlup ed: %s\n",
+                 actions.status().ToString().c_str());
+    return 2;
+  }
   if (actions->empty()) {
     std::fprintf(stderr, "xmlup ed: no actions given\n");
     return Usage();
   }
-
-  StoreOptions options;
-  // One barrier for the whole script; a mid-script failure rolls back.
-  options.sync_each_update = false;
-  // Checkpoints compact NodeIds; roll only between whole edit scripts.
-  options.auto_checkpoint = false;
-  auto st = DocumentStore::Open(dir, options);
-  if (!st.ok()) return Fail(st.status());
-  // Nothing this invocation appends is synced until CommitBatch below, so
-  // a mid-script failure rolls the journal back to this mark — in place,
-  // never rewriting (and so never endangering) the committed prefix.
-  const DocumentStore::BatchMark mark = (*st)->Mark();
-  for (const concurrency::UpdateRequest& action : *actions) {
-    common::Status status =
-        concurrency::ApplyUpdate(st->get(), action, nullptr);
-    if (!status.ok()) {
-      // Unwind the unsynced tail this invocation appended: the journal —
-      // and therefore the next recovery — must not contain a partially
-      // applied script.
-      common::Status rolled = (*st)->RollbackTail(mark);
-      if (!rolled.ok()) {
-        std::fprintf(stderr,
-                     "xmlup ed: rollback failed, a partial script may "
-                     "remain in the journal: %s\n",
-                     rolled.ToString().c_str());
-      }
-      return Fail(status);
-    }
-  }
-  common::Status committed = (*st)->CommitBatch();
-  if (!committed.ok()) return Fail(committed);
-  common::Status rolled = (*st)->MaybeCheckpoint();
-  if (!rolled.ok()) return Fail(rolled);
-  if (print) {
-    int rc = PrintXml((*st)->document(), /*pretty=*/false);
-    if (rc != 0) return rc;
-  }
-  if (labels) PrintLabels((*st)->document());
-  return 0;
+  return ApplyToLocalStore("ed", dir, *actions, print, labels);
 }
+
+int CmdApply(int argc, char** argv);  // defined after the req helpers
 
 // --- serve / req ----------------------------------------------------------
 
@@ -327,6 +368,11 @@ int CmdServe(int argc, char** argv) {
       if (!ParseCountFor("serve", "--queue", argv[++i], &options.queue_capacity)) return 2;
     } else if (arg == "--batch" && i + 1 < argc) {
       if (!ParseCountFor("serve", "--batch", argv[++i], &options.max_batch)) return 2;
+    } else if (arg == "--apply-workers" && i + 1 < argc) {
+      if (!ParseCountFor("serve", "--apply-workers", argv[++i],
+                         &options.apply_workers)) {
+        return 2;
+      }
     } else {
       return Usage();
     }
@@ -532,6 +578,100 @@ int CmdReq(int argc, char** argv) {
   if (!response.ok()) return Fail(response.status());
   if (response->empty() || (*response)[0] == "err") {
     std::fprintf(stderr, "xmlup req: %s\n",
+                 response->size() > 1 ? (*response)[1].c_str()
+                                      : "malformed reply");
+    return 1;
+  }
+  for (size_t i = 1; i < response->size(); ++i) {
+    std::printf("%s\n", (*response)[i].c_str());
+  }
+  return 0;
+}
+
+// `xmlup apply`: compile an update-script file and run it as one
+// transaction — locally against a store directory, or remotely as a
+// single `--apply` frame (optionally routed with --doc). Compile errors
+// exit 2 with the script compiler's `<file>:<line>: ...` one-liner; the
+// remote form compiles locally first so a typo never costs a round-trip.
+int CmdApply(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::string socket_path;
+  std::string tcp_spec;
+  std::string doc_key;
+  bool print = false, labels = false;
+  std::vector<std::string> positional;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_spec = argv[++i];
+    } else if (arg == "--doc" && i + 1 < argc) {
+      doc_key = argv[++i];
+    } else if (arg == "--print") {
+      print = true;
+    } else if (arg == "--labels") {
+      labels = true;
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  const bool remote = !socket_path.empty() || !tcp_spec.empty();
+  if (remote) {
+    if (print || labels) {
+      std::fprintf(stderr,
+                   "xmlup apply: --print/--labels are local-only (use "
+                   "`xmlup req ... --xml` against a server)\n");
+      return 2;
+    }
+    if (positional.size() != 1) {
+      std::fprintf(stderr,
+                   "xmlup apply: remote form takes exactly one "
+                   "<script-file>\n");
+      return 2;
+    }
+  } else {
+    if (!doc_key.empty()) {
+      std::fprintf(stderr, "xmlup apply: --doc needs --socket or --tcp\n");
+      return 2;
+    }
+    if (positional.size() != 2) return Usage();
+  }
+  const std::string& script_path = remote ? positional[0] : positional[1];
+  auto text = ReadInputFile(script_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "xmlup apply: %s\n",
+                 text.status().ToString().c_str());
+    return 2;
+  }
+  auto script = updates::ParseUpdateScript(*text, script_path);
+  if (!script.ok()) {
+    std::fprintf(stderr, "xmlup apply: %s\n",
+                 script.status().ToString().c_str());
+    return 2;
+  }
+  if (script->requests.empty()) {
+    std::fprintf(stderr, "xmlup apply: %s: script contains no actions\n",
+                 script_path.c_str());
+    return 2;
+  }
+  if (!remote) {
+    return ApplyToLocalStore("apply", positional[0], script->requests, print,
+                             labels);
+  }
+  std::string endpoint;
+  if (!ParseEndpointFlags("apply", socket_path, tcp_spec, &endpoint)) return 2;
+  std::vector<std::string> request;
+  if (!doc_key.empty()) {
+    request.push_back("--doc");
+    request.push_back(doc_key);
+  }
+  request.push_back("--apply");
+  request.push_back(*text);  // the server compiles its own copy
+  auto response = concurrency::EndpointRequest(endpoint, request);
+  if (!response.ok()) return Fail(response.status());
+  if (response->empty() || (*response)[0] != "ok") {
+    std::fprintf(stderr, "xmlup apply: %s\n",
                  response->size() > 1 ? (*response)[1].c_str()
                                       : "malformed reply");
     return 1;
@@ -1127,6 +1267,7 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "init") return CmdInit(argc - 2, argv + 2);
   if (cmd == "ed") return CmdEd(argc - 2, argv + 2);
+  if (cmd == "apply") return CmdApply(argc - 2, argv + 2);
   if (cmd == "serve") return CmdServe(argc - 2, argv + 2);
   if (cmd == "route") return CmdRoute(argc - 2, argv + 2);
   if (cmd == "promote") return CmdPromote(argc - 2, argv + 2);
